@@ -1,0 +1,306 @@
+//! Sparsity-aware processing-element allocation.
+//!
+//! The paper's platform "efficiently allocates platform resources for
+//! the model by leveraging the model's layer sizes and layer-wise
+//! sparsity characteristics". This module reproduces that scheme: the
+//! PE budget implied by the device's DSP/LUT counts is distributed
+//! across pipeline stages proportionally to each stage's *expected*
+//! work — event-driven work for the sparsity-aware accelerator, dense
+//! work for the oblivious baseline — which balances per-stage cycle
+//! counts under the lock-step schedule.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::FpgaDevice;
+use crate::workload::{ModelWorkload, StageWorkload};
+
+/// Fabric cost of one processing element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeCost {
+    /// LUTs per PE (datapath + event FIFO slice).
+    pub luts: u64,
+    /// DSP slices per PE (the MAC).
+    pub dsps: u64,
+    /// Flip-flops per PE.
+    pub flip_flops: u64,
+}
+
+impl Default for PeCost {
+    fn default() -> Self {
+        PeCost { luts: 150, dsps: 1, flip_flops: 220 }
+    }
+}
+
+/// Fraction of LUTs reserved for control, I/O, and the spike NoC.
+const CONTROL_LUT_FRACTION: f64 = 0.20;
+
+/// PE assignment for one pipeline stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageAllocation {
+    /// Stage name.
+    pub name: String,
+    /// PEs assigned.
+    pub pes: u64,
+    /// This stage's share of total expected work.
+    pub work_share: f64,
+}
+
+/// A complete allocation with resource accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Per-stage assignments, in pipeline order.
+    pub stages: Vec<StageAllocation>,
+    /// Total PEs instantiated.
+    pub total_pes: u64,
+    /// LUTs consumed (PEs + control share).
+    pub luts_used: u64,
+    /// DSPs consumed.
+    pub dsps_used: u64,
+    /// Flip-flops consumed.
+    pub flip_flops_used: u64,
+    /// On-chip memory consumed in bytes.
+    pub mem_bytes_used: u64,
+}
+
+impl Allocation {
+    /// LUT utilization against a device budget, in `[0, 1+]`.
+    pub fn lut_utilization(&self, device: &FpgaDevice) -> f64 {
+        self.luts_used as f64 / device.luts as f64
+    }
+
+    /// DSP utilization against a device budget.
+    pub fn dsp_utilization(&self, device: &FpgaDevice) -> f64 {
+        self.dsps_used as f64 / device.dsps as f64
+    }
+
+    /// Memory utilization against a device budget.
+    pub fn mem_utilization(&self, device: &FpgaDevice) -> f64 {
+        self.mem_bytes_used as f64 / (device.mem_kb as f64 * 1024.0)
+    }
+
+    /// PEs assigned to the named stage (0 if absent).
+    pub fn pes_for(&self, name: &str) -> u64 {
+        self.stages.iter().find(|s| s.name == name).map_or(0, |s| s.pes)
+    }
+}
+
+/// Error produced when a model cannot be placed on a device.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AllocError {
+    /// Weights + potentials exceed on-chip memory.
+    MemoryExceeded {
+        /// Bytes required.
+        required: u64,
+        /// Bytes available.
+        available: u64,
+    },
+    /// The device cannot host even one PE per stage.
+    TooManyStages {
+        /// Pipeline stages in the model.
+        stages: usize,
+        /// PE budget of the device.
+        budget: u64,
+    },
+    /// Device validation failed.
+    BadDevice(String),
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::MemoryExceeded { required, available } => write!(
+                f,
+                "model needs {required} bytes of on-chip memory but only {available} are available"
+            ),
+            AllocError::TooManyStages { stages, budget } => write!(
+                f,
+                "device PE budget {budget} cannot host one PE for each of {stages} stages"
+            ),
+            AllocError::BadDevice(msg) => write!(f, "invalid device: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Expected per-timestep work of a stage under the given dataflow.
+fn stage_work(stage: &StageWorkload, sparsity_aware: bool) -> f64 {
+    if sparsity_aware {
+        // Event work can transiently exceed dense work for dense
+        // inputs; the allocator sizes for the expectation.
+        stage.event_macs().max(1.0)
+    } else {
+        (stage.dense_macs as f64).max(1.0)
+    }
+}
+
+/// Distributes the device's PE budget across pipeline stages
+/// proportionally to expected work (largest-remainder rounding, at
+/// least one PE per stage).
+///
+/// # Errors
+///
+/// Returns an [`AllocError`] if the device is invalid, memory does
+/// not fit, or the PE budget is below one per stage.
+pub fn allocate(
+    device: &FpgaDevice,
+    workload: &ModelWorkload,
+    sparsity_aware: bool,
+    pe_cost: PeCost,
+) -> Result<Allocation, AllocError> {
+    device.validate().map_err(AllocError::BadDevice)?;
+    let mem_required = workload.total_memory_bytes();
+    let mem_available = device.mem_kb * 1024;
+    if mem_required > mem_available {
+        return Err(AllocError::MemoryExceeded { required: mem_required, available: mem_available });
+    }
+
+    let lut_budget = ((device.luts as f64) * (1.0 - CONTROL_LUT_FRACTION)) as u64;
+    let budget = (device.dsps / pe_cost.dsps.max(1))
+        .min(lut_budget / pe_cost.luts.max(1))
+        .min(device.flip_flops / pe_cost.flip_flops.max(1));
+    let n = workload.stages.len() as u64;
+    if budget < n {
+        return Err(AllocError::TooManyStages { stages: workload.stages.len(), budget });
+    }
+
+    let works: Vec<f64> =
+        workload.stages.iter().map(|s| stage_work(s, sparsity_aware)).collect();
+    let total_work: f64 = works.iter().sum();
+
+    // Guarantee 1 PE each, distribute the rest by largest remainder.
+    let spare = budget - n;
+    let mut pes: Vec<u64> = vec![1; works.len()];
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(works.len());
+    let mut assigned = 0u64;
+    for (i, w) in works.iter().enumerate() {
+        let ideal = spare as f64 * w / total_work;
+        let floor = ideal.floor() as u64;
+        pes[i] += floor;
+        assigned += floor;
+        remainders.push((i, ideal - floor as f64));
+    }
+    remainders.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut leftover = spare - assigned;
+    for &(i, _) in &remainders {
+        if leftover == 0 {
+            break;
+        }
+        pes[i] += 1;
+        leftover -= 1;
+    }
+
+    let total_pes: u64 = pes.iter().sum();
+    let stages = workload
+        .stages
+        .iter()
+        .zip(&pes)
+        .zip(&works)
+        .map(|((s, &p), &w)| StageAllocation {
+            name: s.name.clone(),
+            pes: p,
+            work_share: w / total_work,
+        })
+        .collect();
+    Ok(Allocation {
+        stages,
+        total_pes,
+        luts_used: total_pes * pe_cost.luts + (device.luts as f64 * CONTROL_LUT_FRACTION) as u64,
+        dsps_used: total_pes * pe_cost.dsps,
+        flip_flops_used: total_pes * pe_cost.flip_flops,
+        mem_bytes_used: mem_required,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{StageKind, StageWorkload};
+
+    fn stage(name: &str, in_events: f64, fanout: f64, dense: u64) -> StageWorkload {
+        StageWorkload {
+            name: name.into(),
+            kind: StageKind::Conv,
+            neurons: 1024,
+            fan_in: 27,
+            in_events,
+            fanout_per_event: fanout,
+            out_events: in_events * 0.5,
+            dense_macs: dense,
+            weight_bytes: 1024,
+            potential_bytes: 2048,
+            weight_density: 1.0,
+        }
+    }
+
+    fn workload() -> ModelWorkload {
+        ModelWorkload {
+            stages: vec![
+                stage("conv1", 100.0, 288.0, 200_000),
+                stage("conv2", 50.0, 288.0, 150_000),
+                stage("fc1", 30.0, 256.0, 130_000),
+                stage("fc2", 10.0, 10.0, 2_560),
+            ],
+            timesteps: 4,
+            input_density: 0.3,
+        }
+    }
+
+    #[test]
+    fn budget_fully_distributed() {
+        let d = FpgaDevice::kintex_ultrascale_plus();
+        let a = allocate(&d, &workload(), true, PeCost::default()).unwrap();
+        assert_eq!(a.total_pes, a.stages.iter().map(|s| s.pes).sum::<u64>());
+        assert!(a.stages.iter().all(|s| s.pes >= 1));
+        assert!(a.dsps_used <= d.dsps);
+        assert!(a.luts_used <= d.luts);
+        let shares: f64 = a.stages.iter().map(|s| s.work_share).sum();
+        assert!((shares - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportionality_tracks_work() {
+        let d = FpgaDevice::kintex_ultrascale_plus();
+        let a = allocate(&d, &workload(), true, PeCost::default()).unwrap();
+        // conv1 event work (100×288) > fc2 work (10×10) → more PEs.
+        assert!(a.pes_for("conv1") > a.pes_for("fc2"));
+    }
+
+    #[test]
+    fn aware_vs_oblivious_differ() {
+        let d = FpgaDevice::kintex_ultrascale_plus();
+        let mut wl = workload();
+        // Make fc1 very sparse: tiny event work, huge dense work.
+        wl.stages[2].in_events = 0.5;
+        let aware = allocate(&d, &wl, true, PeCost::default()).unwrap();
+        let dense = allocate(&d, &wl, false, PeCost::default()).unwrap();
+        // The dense allocator over-provisions the sparse stage.
+        assert!(dense.pes_for("fc1") > aware.pes_for("fc1"));
+    }
+
+    #[test]
+    fn memory_pressure_detected() {
+        let d = FpgaDevice::artix_class();
+        let mut wl = workload();
+        wl.stages[0].weight_bytes = 10 * 1024 * 1024;
+        let err = allocate(&d, &wl, true, PeCost::default()).unwrap_err();
+        assert!(matches!(err, AllocError::MemoryExceeded { .. }));
+    }
+
+    #[test]
+    fn tiny_budget_detected() {
+        let mut d = FpgaDevice::artix_class();
+        d.dsps = 2; // fewer than the 4 stages
+        let err = allocate(&d, &workload(), true, PeCost::default()).unwrap_err();
+        assert!(matches!(err, AllocError::TooManyStages { .. }));
+    }
+
+    #[test]
+    fn utilizations_bounded() {
+        let d = FpgaDevice::kintex_ultrascale_plus();
+        let a = allocate(&d, &workload(), true, PeCost::default()).unwrap();
+        assert!(a.dsp_utilization(&d) <= 1.0);
+        assert!(a.lut_utilization(&d) <= 1.0);
+        assert!(a.mem_utilization(&d) <= 1.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! FPGA device models: resource budgets, clocking, and energy
+//! constants.
+//!
+//! The paper implements its accelerator on a Xilinx Kintex®
+//! UltraScale+™ part. [`FpgaDevice::kintex_ultrascale_plus`] encodes a
+//! KU5P-class budget with energy constants typical of published FPGA
+//! SNN accelerators; absolute numbers are approximate by design — the
+//! reproduction compares *relative* efficiency between configurations
+//! on the same device model (see `DESIGN.md` §2).
+
+use serde::{Deserialize, Serialize};
+
+/// An FPGA device: programmable-logic budgets plus first-order power
+/// constants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FpgaDevice {
+    /// Device name for reports.
+    pub name: String,
+    /// Lookup tables available.
+    pub luts: u64,
+    /// Flip-flops available.
+    pub flip_flops: u64,
+    /// DSP slices available.
+    pub dsps: u64,
+    /// On-chip memory (BRAM + URAM) in kilobytes.
+    pub mem_kb: u64,
+    /// Fabric clock in MHz.
+    pub clock_mhz: f64,
+    /// Device static power in watts (leakage + clocking).
+    pub static_power_w: f64,
+    /// Incremental leakage per active processing element, watts.
+    pub pe_static_w: f64,
+    /// Energy per synaptic multiply–accumulate, joules.
+    pub energy_mac_j: f64,
+    /// Energy per membrane-potential update, joules.
+    pub energy_neuron_update_j: f64,
+    /// Energy per on-chip weight fetch, joules.
+    pub energy_weight_fetch_j: f64,
+    /// Energy to route one spike event through the NoC/FIFOs, joules.
+    pub energy_spike_route_j: f64,
+}
+
+impl FpgaDevice {
+    /// A Kintex UltraScale+ KU5P-class device at 200 MHz — the class
+    /// of part the paper's platform targets.
+    pub fn kintex_ultrascale_plus() -> Self {
+        FpgaDevice {
+            name: "kintex-ultrascale+ (KU5P-class)".into(),
+            luts: 216_960,
+            flip_flops: 433_920,
+            dsps: 1_824,
+            mem_kb: 4_320,
+            clock_mhz: 200.0,
+            static_power_w: 0.90,
+            pe_static_w: 0.002,
+            energy_mac_j: 5.0e-12,
+            energy_neuron_update_j: 8.0e-12,
+            energy_weight_fetch_j: 12.0e-12,
+            energy_spike_route_j: 2.0e-12,
+        }
+    }
+
+    /// A smaller Artix-class budget, for resource-pressure ablations.
+    pub fn artix_class() -> Self {
+        FpgaDevice {
+            name: "artix-class".into(),
+            luts: 63_400,
+            flip_flops: 126_800,
+            dsps: 240,
+            mem_kb: 1_620,
+            clock_mhz: 150.0,
+            static_power_w: 0.45,
+            pe_static_w: 0.002,
+            energy_mac_j: 6.5e-12,
+            energy_neuron_update_j: 10.0e-12,
+            energy_weight_fetch_j: 15.0e-12,
+            energy_spike_route_j: 2.5e-12,
+        }
+    }
+
+    /// Fabric clock period in seconds.
+    pub fn clock_period_s(&self) -> f64 {
+        1.0 / (self.clock_mhz * 1.0e6)
+    }
+
+    /// Validates that all budgets and constants are positive and
+    /// finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.luts == 0 || self.dsps == 0 || self.mem_kb == 0 {
+            return Err(format!("device `{}` has a zero resource budget", self.name));
+        }
+        for (label, v) in [
+            ("clock_mhz", self.clock_mhz),
+            ("static_power_w", self.static_power_w),
+            ("pe_static_w", self.pe_static_w),
+            ("energy_mac_j", self.energy_mac_j),
+            ("energy_neuron_update_j", self.energy_neuron_update_j),
+            ("energy_weight_fetch_j", self.energy_weight_fetch_j),
+            ("energy_spike_route_j", self.energy_spike_route_j),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("device `{}`: {label} must be positive, got {v}", self.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FpgaDevice {
+    fn default() -> Self {
+        Self::kintex_ultrascale_plus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        assert!(FpgaDevice::kintex_ultrascale_plus().validate().is_ok());
+        assert!(FpgaDevice::artix_class().validate().is_ok());
+    }
+
+    #[test]
+    fn kintex_bigger_than_artix() {
+        let k = FpgaDevice::kintex_ultrascale_plus();
+        let a = FpgaDevice::artix_class();
+        assert!(k.dsps > a.dsps);
+        assert!(k.luts > a.luts);
+        assert!(k.mem_kb > a.mem_kb);
+    }
+
+    #[test]
+    fn clock_period() {
+        let k = FpgaDevice::kintex_ultrascale_plus();
+        assert!((k.clock_period_s() - 5.0e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn validation_catches_zero_budget() {
+        let mut d = FpgaDevice::default();
+        d.dsps = 0;
+        assert!(d.validate().is_err());
+        let mut d = FpgaDevice::default();
+        d.energy_mac_j = 0.0;
+        assert!(d.validate().is_err());
+        let mut d = FpgaDevice::default();
+        d.clock_mhz = f64::NAN;
+        assert!(d.validate().is_err());
+    }
+}

@@ -1,0 +1,351 @@
+//! Event-driven cycle simulation of the lock-step pipeline.
+//!
+//! The analytical model ([`crate::schedule`]) prices every timestep
+//! at the *mean* event count. Real spike traffic is bursty: the
+//! lock-step barrier waits for the slowest stage *at each step*, so
+//! temporal variance costs real cycles (a Jensen-gap above the
+//! mean-based estimate). This module replays a recorded
+//! [`SpikeTrace`] through the pipeline step by step and measures the
+//! exact schedule, which both validates the analytical model and
+//! quantifies its optimism.
+
+use serde::{Deserialize, Serialize};
+
+use snn_core::SpikeTrace;
+
+use crate::alloc::Allocation;
+use crate::device::FpgaDevice;
+use crate::workload::ModelWorkload;
+
+/// Cycle-accurate activity of one pipeline stage across the whole
+/// simulated inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSimStats {
+    /// Stage name.
+    pub name: String,
+    /// Cycles the stage spent doing useful work.
+    pub busy_cycles: u64,
+    /// Cycles the stage spent stalled at the lock-step barrier.
+    pub stall_cycles: u64,
+    /// How many steps this stage was the pipeline bottleneck.
+    pub bottleneck_steps: usize,
+}
+
+impl StageSimStats {
+    /// Fraction of occupied cycles spent on useful work.
+    pub fn utilization(&self) -> f64 {
+        let total = self.busy_cycles + self.stall_cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / total as f64
+        }
+    }
+}
+
+/// Result of replaying one inference through the pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventSimReport {
+    /// Period of every global pipeline step (fill + body + drain).
+    pub step_periods: Vec<u64>,
+    /// Total cycles for one inference (sum of step periods).
+    pub total_cycles: u64,
+    /// Per-stage busy/stall accounting.
+    pub stages: Vec<StageSimStats>,
+    /// Timesteps per inference.
+    pub timesteps: usize,
+    /// What the mean-based analytical model predicted for the same
+    /// model (latency cycles).
+    pub analytic_latency_cycles: u64,
+}
+
+impl EventSimReport {
+    /// Simulated latency in seconds on `device`.
+    pub fn latency_s(&self, device: &FpgaDevice) -> f64 {
+        self.total_cycles as f64 * device.clock_period_s()
+    }
+
+    /// Simulated latency in microseconds.
+    pub fn latency_us(&self, device: &FpgaDevice) -> f64 {
+        self.latency_s(device) * 1e6
+    }
+
+    /// Relative error of the analytical model vs the simulation
+    /// (positive = the analytical model was optimistic).
+    pub fn analytic_error(&self) -> f64 {
+        if self.analytic_latency_cycles == 0 {
+            return 0.0;
+        }
+        self.total_cycles as f64 / self.analytic_latency_cycles as f64 - 1.0
+    }
+
+    /// Steady-state throughput estimate: one inference every
+    /// `T × mean step period` cycles.
+    pub fn fps(&self, device: &FpgaDevice) -> f64 {
+        if self.step_periods.is_empty() {
+            return 0.0;
+        }
+        let mean_period =
+            self.step_periods.iter().sum::<u64>() as f64 / self.step_periods.len() as f64;
+        1.0 / (self.timesteps as f64 * mean_period * device.clock_period_s())
+    }
+}
+
+/// Error replaying a trace through a pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The trace lacks a layer the workload requires.
+    MissingTrace(String),
+    /// Trace and workload disagree on the timestep count.
+    TimestepMismatch {
+        /// Timesteps in the trace.
+        trace: usize,
+        /// Timesteps in the workload.
+        workload: usize,
+    },
+    /// The allocation does not cover a stage.
+    MissingAllocation(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::MissingTrace(name) => write!(f, "spike trace lacks layer `{name}`"),
+            SimError::TimestepMismatch { trace, workload } => {
+                write!(f, "trace has {trace} timesteps but workload expects {workload}")
+            }
+            SimError::MissingAllocation(name) => {
+                write!(f, "allocation lacks stage `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Replays a recorded spike trace through the lock-step pipeline.
+///
+/// At global step `g`, stage `l` processes inference timestep
+/// `t = g − l` (when `0 ≤ t < T`); the step's period is the slowest
+/// active stage plus the synchronization overhead. Stage cycle cost
+/// mirrors the analytical model but uses the *actual* per-timestep
+/// event counts from the trace.
+///
+/// `analytic_latency_cycles` should come from
+/// [`crate::schedule`]`(…)` on the same allocation so the report can
+/// quantify the mean-model's error.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] if trace, workload, and allocation do not
+/// describe the same model.
+pub fn simulate_trace(
+    workload: &ModelWorkload,
+    allocation: &Allocation,
+    trace: &SpikeTrace,
+    sync_overhead_cycles: u64,
+    analytic_latency_cycles: u64,
+) -> Result<EventSimReport, SimError> {
+    if trace.timesteps != workload.timesteps {
+        return Err(SimError::TimestepMismatch {
+            trace: trace.timesteps,
+            workload: workload.timesteps,
+        });
+    }
+    let t_count = workload.timesteps;
+    let l_count = workload.stages.len();
+
+    // Pre-compute per-stage, per-timestep cycle costs.
+    let mut cost = vec![vec![0u64; t_count]; l_count];
+    for (li, stage) in workload.stages.iter().enumerate() {
+        let lt = trace
+            .layer(&stage.name)
+            .ok_or_else(|| SimError::MissingTrace(stage.name.clone()))?;
+        let pes = allocation.pes_for(&stage.name);
+        if pes == 0 {
+            return Err(SimError::MissingAllocation(stage.name.clone()));
+        }
+        let threshold_pass = (stage.neurons as f64 / pes as f64).ceil() as u64;
+        for t in 0..t_count {
+            let events = lt.in_events[t];
+            // Match the analytical per-event cost, including the
+            // pruned-weight discount.
+            let ops = events * stage.fanout_per_event * stage.weight_density;
+            cost[li][t] = (ops / pes as f64).ceil() as u64 + threshold_pass;
+        }
+    }
+
+    let mut stats: Vec<StageSimStats> = workload
+        .stages
+        .iter()
+        .map(|s| StageSimStats {
+            name: s.name.clone(),
+            busy_cycles: 0,
+            stall_cycles: 0,
+            bottleneck_steps: 0,
+        })
+        .collect();
+    let steps = t_count + l_count - 1;
+    let mut step_periods = Vec::with_capacity(steps);
+    for g in 0..steps {
+        // Which stages are active this step, and their costs.
+        let mut period = 0u64;
+        let mut slowest = usize::MAX;
+        let mut active: Vec<(usize, u64)> = Vec::with_capacity(l_count);
+        for li in 0..l_count {
+            let Some(t) = g.checked_sub(li) else { continue };
+            if t >= t_count {
+                continue;
+            }
+            let c = cost[li][t];
+            active.push((li, c));
+            if c > period {
+                period = c;
+                slowest = li;
+            }
+        }
+        let full_period = period + sync_overhead_cycles;
+        for (li, c) in active {
+            stats[li].busy_cycles += c;
+            stats[li].stall_cycles += full_period - c;
+            if li == slowest {
+                stats[li].bottleneck_steps += 1;
+            }
+        }
+        step_periods.push(full_period);
+    }
+    let total_cycles = step_periods.iter().sum();
+    Ok(EventSimReport {
+        step_periods,
+        total_cycles,
+        stages: stats,
+        timesteps: t_count,
+        analytic_latency_cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::{allocate, PeCost};
+    use crate::pipeline::schedule;
+    use crate::workload::{StageKind, StageWorkload};
+    use snn_core::LayerTrace;
+
+    fn stage(name: &str, fanout: f64, neurons: u64) -> StageWorkload {
+        StageWorkload {
+            name: name.into(),
+            kind: StageKind::Conv,
+            neurons,
+            fan_in: 27,
+            in_events: 100.0,
+            fanout_per_event: fanout,
+            out_events: 50.0,
+            dense_macs: neurons * 27,
+            weight_bytes: 100,
+            potential_bytes: 100,
+            weight_density: 1.0,
+        }
+    }
+
+    fn fixture(events_a: Vec<f64>, events_b: Vec<f64>) -> (ModelWorkload, Allocation, SpikeTrace) {
+        let t = events_a.len();
+        let w = ModelWorkload {
+            stages: vec![stage("a", 10.0, 64), stage("b", 10.0, 64)],
+            timesteps: t,
+            input_density: 0.5,
+        };
+        let d = FpgaDevice::kintex_ultrascale_plus();
+        let alloc = allocate(&d, &w, true, PeCost::default()).unwrap();
+        let trace = SpikeTrace {
+            layers: vec![
+                LayerTrace {
+                    name: "a".into(),
+                    in_events: events_a.clone(),
+                    out_events: events_a,
+                },
+                LayerTrace {
+                    name: "b".into(),
+                    in_events: events_b.clone(),
+                    out_events: events_b,
+                },
+            ],
+            timesteps: t,
+            samples: 1,
+        };
+        (w, alloc, trace)
+    }
+
+    #[test]
+    fn pipeline_fill_and_drain_counted() {
+        let (w, a, tr) = fixture(vec![10.0; 4], vec![10.0; 4]);
+        let r = simulate_trace(&w, &a, &tr, 8, 0).unwrap();
+        // T=4, L=2 → 5 global steps.
+        assert_eq!(r.step_periods.len(), 5);
+        assert_eq!(r.total_cycles, r.step_periods.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn uniform_trace_matches_analytic() {
+        // With perfectly uniform events, the event simulation must
+        // agree with the mean-based analytical model exactly.
+        let (w, a, tr) = fixture(vec![100.0; 4], vec![100.0; 4]);
+        let timing = schedule(&w, &a, true, 8);
+        let r = simulate_trace(&w, &a, &tr, 8, timing.latency_cycles()).unwrap();
+        // Workload in_events (100) equals the uniform trace, so the
+        // per-step period matches.
+        assert_eq!(r.total_cycles, timing.latency_cycles());
+        assert!(r.analytic_error().abs() < 1e-9);
+    }
+
+    #[test]
+    fn bursty_trace_is_slower_than_analytic() {
+        // Same mean (100) but bursty: the barrier waits for peaks.
+        let (w, a, tr) = fixture(vec![10.0, 190.0, 10.0, 190.0], vec![100.0; 4]);
+        let timing = schedule(&w, &a, true, 8);
+        let r = simulate_trace(&w, &a, &tr, 8, timing.latency_cycles()).unwrap();
+        assert!(
+            r.total_cycles >= timing.latency_cycles(),
+            "sim {} < analytic {}",
+            r.total_cycles,
+            timing.latency_cycles()
+        );
+    }
+
+    #[test]
+    fn utilization_and_bottlenecks_accounted() {
+        let (w, a, tr) = fixture(vec![500.0; 3], vec![5.0; 3]);
+        let r = simulate_trace(&w, &a, &tr, 8, 0).unwrap();
+        let a_stats = &r.stages[0];
+        let b_stats = &r.stages[1];
+        // Stage a dominates: more bottleneck steps, higher utilization.
+        assert!(a_stats.bottleneck_steps >= b_stats.bottleneck_steps);
+        assert!(a_stats.utilization() >= b_stats.utilization());
+        assert!(a_stats.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn errors_on_mismatched_inputs() {
+        let (w, a, mut tr) = fixture(vec![10.0; 4], vec![10.0; 4]);
+        tr.layers[1].name = "zzz".into();
+        assert!(matches!(
+            simulate_trace(&w, &a, &tr, 8, 0),
+            Err(SimError::MissingTrace(_))
+        ));
+        let (w, a, mut tr) = fixture(vec![10.0; 4], vec![10.0; 4]);
+        tr.timesteps = 3;
+        assert!(matches!(
+            simulate_trace(&w, &a, &tr, 8, 0),
+            Err(SimError::TimestepMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fps_positive_and_bounded_by_period() {
+        let (w, a, tr) = fixture(vec![50.0; 4], vec![50.0; 4]);
+        let d = FpgaDevice::kintex_ultrascale_plus();
+        let r = simulate_trace(&w, &a, &tr, 8, 0).unwrap();
+        assert!(r.fps(&d) > 0.0);
+        assert!(r.latency_us(&d) > 0.0);
+    }
+}

@@ -1,0 +1,615 @@
+//! Fixed-point (integer) inference — the datapath the FPGA actually
+//! executes.
+//!
+//! The resource and power models assume int8 weights and 16-to-32-bit
+//! membrane registers. This module makes that assumption testable: it
+//! lowers a trained [`NetworkSnapshot`] into an all-integer network
+//! (int8 weights, Q-format membranes, shift-based leak multiply) and
+//! runs inference with no floating point in the timestep loop, so the
+//! accuracy cost of the hardware datapath can be measured directly.
+//!
+//! Arithmetic mirrors a DSP-slice implementation:
+//!
+//! * synaptic accumulation in wide (i64) integers of int8 weights
+//!   against binary spikes (or 8-bit pixels for direct-coded layer 0);
+//! * a per-stage precomputed multiplier rescales the accumulator into
+//!   the membrane's Q format with one multiply and one shift;
+//! * the leak `β` is a Q15 multiply-shift;
+//! * threshold compare and subtract-reset are plain integer ops.
+
+use serde::{Deserialize, Serialize};
+
+use snn_core::{LayerSnapshot, NetworkSnapshot, ResetMode};
+use snn_tensor::conv::Conv2dGeometry;
+use snn_tensor::pool::Pool2dGeometry;
+use snn_tensor::Tensor;
+
+use crate::quant::QuantizedTensor;
+
+/// Bit-width configuration of the integer datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixedSpec {
+    /// Fractional bits of the membrane Q format (stored in i32).
+    pub membrane_frac_bits: u32,
+    /// Fractional bits of the leak coefficient (Q0.x in i32).
+    pub beta_frac_bits: u32,
+    /// Fractional bits of the per-stage rescale multiplier.
+    pub mult_frac_bits: u32,
+}
+
+impl Default for FixedSpec {
+    fn default() -> Self {
+        FixedSpec { membrane_frac_bits: 16, beta_frac_bits: 15, mult_frac_bits: 12 }
+    }
+}
+
+/// Integer LIF parameters for one stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct FixedLif {
+    /// `round(beta × 2^beta_frac_bits)`.
+    beta_q: i64,
+    /// `round(theta × 2^membrane_frac_bits)`.
+    theta_q: i32,
+    /// Reset behaviour.
+    reset: ResetMode,
+}
+
+/// One integer pipeline stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum FixedStage {
+    Conv {
+        name: String,
+        geom: Conv2dGeometry,
+        /// Quantized filter bank `[oc][c·k·k]` flattened.
+        weights: Vec<i8>,
+        /// Per-stage rescale multiplier `round(ws·xs·2^F·2^M)`.
+        mult_q: i64,
+        /// `round(bias × 2^F)` per filter.
+        bias_q: Vec<i32>,
+        lif: FixedLif,
+    },
+    Dense {
+        name: String,
+        out_features: usize,
+        in_features: usize,
+        weights: Vec<i8>,
+        mult_q: i64,
+        bias_q: Vec<i32>,
+        lif: FixedLif,
+    },
+    Pool {
+        geom: Pool2dGeometry,
+    },
+    Flatten,
+}
+
+/// Error lowering a snapshot to fixed point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FixedError {
+    /// A multiplier or constant overflowed its integer format.
+    Overflow(String),
+}
+
+impl std::fmt::Display for FixedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FixedError::Overflow(what) => write!(f, "fixed-point overflow lowering {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FixedError {}
+
+/// An all-integer inference network lowered from a trained snapshot.
+///
+/// # Examples
+///
+/// ```
+/// use snn_accel::FixedNetwork;
+/// use snn_core::{LifConfig, NetworkSnapshot, SpikingNetwork};
+/// use snn_tensor::{Shape, Tensor};
+///
+/// let net = SpikingNetwork::paper_topology(
+///     Shape::d3(1, 16, 16), 4, LifConfig::paper_default(), 7)?;
+/// let snap = NetworkSnapshot::from_network(&net);
+/// let fixed = FixedNetwork::from_snapshot(&snap, Default::default())
+///     .expect("lowers");
+/// let frames = vec![Tensor::zeros(Shape::d3(1, 16, 16)); 4];
+/// let counts = fixed.infer(&frames);
+/// assert_eq!(counts.len(), 4);
+/// # Ok::<(), snn_core::BuildNetworkError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FixedNetwork {
+    stages: Vec<FixedStage>,
+    spec: FixedSpec,
+    classes: usize,
+    /// Scale of direct-coded analog inputs (pixels quantized to
+    /// `0..=255`); binary spike inputs use scale 1.
+    input_is_analog: bool,
+}
+
+impl FixedNetwork {
+    /// Lowers a trained snapshot into the integer datapath.
+    ///
+    /// `input_is_analog` is auto-detected per frame at inference
+    /// time; weights are quantized symmetrically per tensor (int8),
+    /// biases and thresholds into the membrane Q format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::Overflow`] if a constant does not fit
+    /// its format (pathologically large θ or weight scale).
+    pub fn from_snapshot(snapshot: &NetworkSnapshot, spec: FixedSpec) -> Result<Self, FixedError> {
+        let f_one = (1i64) << spec.membrane_frac_bits;
+        let mut stages = Vec::with_capacity(snapshot.layers.len());
+        for layer in &snapshot.layers {
+            match layer {
+                LayerSnapshot::Conv { name, geom, lif, weight, bias } => {
+                    let q = QuantizedTensor::quantize(weight);
+                    let mult_q = mult_for(q.scale, &spec, name)?;
+                    let bias_q = quantize_bias(bias, f_one, name)?;
+                    stages.push(FixedStage::Conv {
+                        name: name.clone(),
+                        geom: *geom,
+                        weights: q.values,
+                        mult_q,
+                        bias_q,
+                        lif: fixed_lif(lif, &spec, name)?,
+                    });
+                }
+                LayerSnapshot::Dense { name, lif, weight, bias } => {
+                    let q = QuantizedTensor::quantize(weight);
+                    let mult_q = mult_for(q.scale, &spec, name)?;
+                    let bias_q = quantize_bias(bias, f_one, name)?;
+                    stages.push(FixedStage::Dense {
+                        name: name.clone(),
+                        out_features: weight.shape().dim(0),
+                        in_features: weight.shape().dim(1),
+                        weights: q.values,
+                        mult_q,
+                        bias_q,
+                        lif: fixed_lif(lif, &spec, name)?,
+                    });
+                }
+                LayerSnapshot::Pool { geom, .. } => stages.push(FixedStage::Pool { geom: *geom }),
+                LayerSnapshot::Flatten { .. } => stages.push(FixedStage::Flatten),
+            }
+        }
+        Ok(FixedNetwork {
+            stages,
+            spec,
+            classes: snapshot.classes,
+            input_is_analog: true,
+        })
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Runs one inference over per-timestep input frames (each a
+    /// `[C, H, W]` tensor), returning output spike counts per class.
+    ///
+    /// Frames whose values are all 0/1 are treated as binary spikes;
+    /// anything else is quantized to 8-bit pixels (direct coding).
+    /// The timestep loop is integer-only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a frame's shape disagrees with the first stage.
+    pub fn infer(&self, frames: &[Tensor]) -> Vec<u32> {
+        let mut counts = vec![0u32; self.classes];
+        // Persistent integer state per stage.
+        let mut membranes: Vec<Vec<i32>> = Vec::with_capacity(self.stages.len());
+        let mut prev_spikes: Vec<Vec<u8>> = Vec::with_capacity(self.stages.len());
+        for st in &self.stages {
+            let n = match st {
+                FixedStage::Conv { geom, .. } => {
+                    geom.out_channels * geom.out_h() * geom.out_w()
+                }
+                FixedStage::Dense { out_features, .. } => *out_features,
+                _ => 0,
+            };
+            membranes.push(vec![0i32; n]);
+            prev_spikes.push(vec![0u8; n]);
+        }
+
+        for frame in frames {
+            // Quantize the input frame: binary passthrough or 8-bit.
+            let analog = frame.as_slice().iter().any(|&v| v != 0.0 && v != 1.0);
+            let mut x: Vec<i32> = if analog {
+                frame
+                    .as_slice()
+                    .iter()
+                    .map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as i32)
+                    .collect()
+            } else {
+                frame.as_slice().iter().map(|&v| v as i32).collect()
+            };
+            let mut x_is_analog = analog;
+
+            for (si, st) in self.stages.iter().enumerate() {
+                match st {
+                    FixedStage::Conv { geom, weights, mult_q, bias_q, lif, .. } => {
+                        let acc = conv_accumulate(geom, weights, &x);
+                        let spikes = lif_step_fixed(
+                            &self.spec,
+                            lif,
+                            &acc,
+                            *mult_q,
+                            x_is_analog,
+                            bias_q,
+                            geom.out_h() * geom.out_w(),
+                            &mut membranes[si],
+                            &mut prev_spikes[si],
+                        );
+                        x = spikes;
+                        x_is_analog = false;
+                    }
+                    FixedStage::Dense { out_features, in_features, weights, mult_q, bias_q, lif, .. } => {
+                        debug_assert_eq!(x.len(), *in_features, "dense input size");
+                        let mut acc = vec![0i64; *out_features];
+                        for (o, accv) in acc.iter_mut().enumerate() {
+                            let wrow = &weights[o * in_features..(o + 1) * in_features];
+                            let mut a = 0i64;
+                            for (w, &xi) in wrow.iter().zip(&x) {
+                                if xi != 0 {
+                                    a += (*w as i64) * xi as i64;
+                                }
+                            }
+                            *accv = a;
+                        }
+                        let spikes = lif_step_fixed(
+                            &self.spec,
+                            lif,
+                            &acc,
+                            *mult_q,
+                            x_is_analog,
+                            bias_q,
+                            1,
+                            &mut membranes[si],
+                            &mut prev_spikes[si],
+                        );
+                        x = spikes;
+                        x_is_analog = false;
+                    }
+                    FixedStage::Pool { geom } => {
+                        x = pool_or(geom, &x);
+                    }
+                    FixedStage::Flatten => { /* already flat in x */ }
+                }
+            }
+            for (c, count) in counts.iter_mut().enumerate() {
+                *count += x[c] as u32;
+            }
+        }
+        counts
+    }
+
+    /// Argmax class prediction for one inference.
+    pub fn classify(&self, frames: &[Tensor]) -> usize {
+        let counts = self.infer(frames);
+        counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+fn fixed_lif(
+    lif: &snn_core::LifConfig,
+    spec: &FixedSpec,
+    name: &str,
+) -> Result<FixedLif, FixedError> {
+    let beta_q = (lif.beta as f64 * (1i64 << spec.beta_frac_bits) as f64).round() as i64;
+    let theta = lif.theta as f64 * (1i64 << spec.membrane_frac_bits) as f64;
+    if theta > i32::MAX as f64 {
+        return Err(FixedError::Overflow(format!("{name}.theta")));
+    }
+    Ok(FixedLif { beta_q, theta_q: theta.round() as i32, reset: lif.reset })
+}
+
+fn mult_for(weight_scale: f32, spec: &FixedSpec, name: &str) -> Result<i64, FixedError> {
+    // real_current = acc × ws (× 1/255 for analog inputs, applied at
+    // runtime via a constant shift-multiply folded into mult).
+    let m = weight_scale as f64
+        * (1i64 << spec.membrane_frac_bits) as f64
+        * (1i64 << spec.mult_frac_bits) as f64;
+    if m > i64::MAX as f64 / (1 << 20) as f64 {
+        return Err(FixedError::Overflow(format!("{name}.mult")));
+    }
+    Ok(m.round() as i64)
+}
+
+fn quantize_bias(bias: &Tensor, f_one: i64, name: &str) -> Result<Vec<i32>, FixedError> {
+    bias.as_slice()
+        .iter()
+        .map(|&b| {
+            let q = (b as f64 * f_one as f64).round();
+            if q.abs() > i32::MAX as f64 {
+                Err(FixedError::Overflow(format!("{name}.bias")))
+            } else {
+                Ok(q as i32)
+            }
+        })
+        .collect()
+}
+
+/// Integer convolution accumulation: `acc[oc, oy, ox] = Σ w_q · x`.
+fn conv_accumulate(geom: &Conv2dGeometry, weights: &[i8], x: &[i32]) -> Vec<i64> {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let mut acc = vec![0i64; geom.out_channels * oh * ow];
+    let k = geom.kernel;
+    for c in 0..geom.in_channels {
+        let chan = &x[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
+        for (iy, row) in chan.chunks(geom.in_w).enumerate() {
+            for (ix, &xv) in row.iter().enumerate() {
+                if xv == 0 {
+                    continue; // event-driven: skip silent inputs
+                }
+                // Scatter this input event to all covered outputs.
+                for ky in 0..k {
+                    let oy_num = iy as isize + geom.padding as isize - ky as isize;
+                    if oy_num < 0 || oy_num % geom.stride as isize != 0 {
+                        continue;
+                    }
+                    let oy = (oy_num / geom.stride as isize) as usize;
+                    if oy >= oh {
+                        continue;
+                    }
+                    for kx in 0..k {
+                        let ox_num = ix as isize + geom.padding as isize - kx as isize;
+                        if ox_num < 0 || ox_num % geom.stride as isize != 0 {
+                            continue;
+                        }
+                        let ox = (ox_num / geom.stride as isize) as usize;
+                        if ox >= ow {
+                            continue;
+                        }
+                        for oc in 0..geom.out_channels {
+                            let w = weights[oc * geom.col_rows() + (c * k + ky) * k + kx];
+                            acc[(oc * oh + oy) * ow + ox] += (w as i64) * xv as i64;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// OR-pooling over binary spike maps (integer domain).
+fn pool_or(geom: &Pool2dGeometry, x: &[i32]) -> Vec<i32> {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let mut out = vec![0i32; geom.channels * oh * ow];
+    for c in 0..geom.channels {
+        let chan = &x[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut v = 0i32;
+                'win: for ky in 0..geom.kernel {
+                    for kx in 0..geom.kernel {
+                        let iy = oy * geom.stride + ky;
+                        let ix = ox * geom.stride + kx;
+                        if chan[iy * geom.in_w + ix] != 0 {
+                            v = 1;
+                            break 'win;
+                        }
+                    }
+                }
+                out[(c * oh + oy) * ow + ox] = v;
+            }
+        }
+    }
+    out
+}
+
+/// One integer LIF timestep over a stage's accumulators.
+#[allow(clippy::too_many_arguments)]
+fn lif_step_fixed(
+    spec: &FixedSpec,
+    lif: &FixedLif,
+    acc: &[i64],
+    mult_q: i64,
+    input_analog: bool,
+    bias_q: &[i32],
+    per_channel: usize,
+    membranes: &mut [i32],
+    prev_spikes: &mut [u8],
+) -> Vec<i32> {
+    let mut out = vec![0i32; acc.len()];
+    let shift = spec.mult_frac_bits;
+    for (i, (&a, m)) in acc.iter().zip(membranes.iter_mut()).enumerate() {
+        // Rescale accumulator into the membrane Q format. Analog
+        // inputs carry an extra 1/255 pixel scale: fold it in with an
+        // integer divide (hardware: constant multiplier).
+        let mut current = (a * mult_q) >> shift;
+        if input_analog {
+            current /= 255;
+        }
+        let bias = bias_q[i / per_channel.max(1)] as i64;
+        let leaked = ((*m as i64) * lif.beta_q) >> spec.beta_frac_bits;
+        let reset_term = if prev_spikes[i] != 0 {
+            match lif.reset {
+                ResetMode::Subtract => lif.theta_q as i64,
+                ResetMode::Zero => leaked, // cancels the carryover
+            }
+        } else {
+            0
+        };
+        let u = (leaked + current + bias - reset_term)
+            .clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+        *m = u;
+        let s = u > lif.theta_q;
+        prev_spikes[i] = u8::from(s);
+        out[i] = i32::from(s);
+    }
+    out
+}
+
+/// Accuracy of the fixed-point network over a dataset, plus the
+/// agreement rate with a float reference's predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FixedEvalReport {
+    /// Top-1 accuracy of the integer datapath.
+    pub accuracy: f64,
+    /// Fraction of samples where integer and float predictions agree.
+    pub agreement: f64,
+    /// Samples evaluated.
+    pub samples: usize,
+}
+
+/// Evaluates the fixed-point network against a float reference on
+/// the same dataset and encoding.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn evaluate_fixed(
+    fixed: &FixedNetwork,
+    reference: &mut snn_core::SpikingNetwork,
+    dataset: &snn_data::Dataset,
+    encoding: snn_data::SpikeEncoding,
+    timesteps: usize,
+    seed: u64,
+) -> FixedEvalReport {
+    assert!(!dataset.is_empty(), "cannot evaluate an empty dataset");
+    let mut correct = 0usize;
+    let mut agree = 0usize;
+    for i in 0..dataset.len() {
+        let (img, label) = dataset.item(i);
+        let batch = Tensor::stack(std::slice::from_ref(img)).expect("single item stacks");
+        let frames =
+            encoding.encode(&batch, timesteps, snn_tensor::derive_seed(seed, &format!("fx{i}")));
+        // Fixed path runs on the un-batched frames.
+        let item_frames: Vec<Tensor> = frames.iter().map(|f| f.batch_item(0)).collect();
+        let pred_fixed = fixed.classify(&item_frames);
+        let out = reference.run_sequence(&frames, false);
+        let pred_float = out.counts.argmax_row(0);
+        correct += usize::from(pred_fixed == label);
+        agree += usize::from(pred_fixed == pred_float);
+    }
+    FixedEvalReport {
+        accuracy: correct as f64 / dataset.len() as f64,
+        agreement: agree as f64 / dataset.len() as f64,
+        samples: dataset.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_core::{LifConfig, SpikingNetwork};
+    use snn_data::{bars_dataset, SpikeEncoding};
+    use snn_tensor::Shape;
+
+    fn float_net() -> SpikingNetwork {
+        SpikingNetwork::paper_topology(
+            Shape::d3(1, 16, 16),
+            4,
+            LifConfig { theta: 0.5, ..LifConfig::paper_default() },
+            3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lowering_succeeds_and_structure_matches() {
+        let net = float_net();
+        let snap = NetworkSnapshot::from_network(&net);
+        let fixed = FixedNetwork::from_snapshot(&snap, FixedSpec::default()).unwrap();
+        assert_eq!(fixed.classes(), 4);
+        assert_eq!(fixed.stages.len(), 7);
+    }
+
+    #[test]
+    fn silent_input_stays_silent() {
+        let net = float_net();
+        let snap = NetworkSnapshot::from_network(&net);
+        let fixed = FixedNetwork::from_snapshot(&snap, FixedSpec::default()).unwrap();
+        let frames = vec![Tensor::zeros(Shape::d3(1, 16, 16)); 4];
+        // Zero input with zero biases → zero counts.
+        let counts = fixed.infer(&frames);
+        assert_eq!(counts, vec![0; 4]);
+    }
+
+    #[test]
+    fn integer_conv_matches_float_conv() {
+        // On binary input, the integer accumulate must equal the
+        // float convolution of the dequantized weights exactly.
+        use snn_tensor::conv::conv2d_forward;
+        let geom = Conv2dGeometry::new(1, 2, 3, 1, 1, 6, 6).unwrap();
+        let w = snn_tensor::Init::Uniform { bound: 0.4 }.tensor(geom.weight_shape(), 9, 9, 5);
+        let q = QuantizedTensor::quantize(&w);
+        let wd = q.dequantize();
+        let x_bits: Vec<i32> = (0..36).map(|i| i32::from(i % 3 == 0)).collect();
+        let xf = Tensor::from_vec(
+            Shape::d4(1, 1, 6, 6),
+            x_bits.iter().map(|&v| v as f32).collect(),
+        )
+        .unwrap();
+        let want = conv2d_forward(&geom, &xf, &wd, &Tensor::zeros(Shape::d1(2))).unwrap();
+        let acc = conv_accumulate(&geom, &q.values, &x_bits);
+        for (i, (&a, &wv)) in acc.iter().zip(want.as_slice()).enumerate() {
+            let real = a as f32 * q.scale;
+            assert!((real - wv).abs() < 1e-4, "idx {i}: {real} vs {wv}");
+        }
+    }
+
+    #[test]
+    fn fixed_agrees_with_float_mostly() {
+        // The integer datapath should predict like the float model on
+        // a clear-signal task.
+        let mut net = float_net();
+        let snap = NetworkSnapshot::from_network(&net);
+        let fixed = FixedNetwork::from_snapshot(&snap, FixedSpec::default()).unwrap();
+        let ds = bars_dataset(20, 16, 3);
+        let r = evaluate_fixed(&fixed, &mut net, &ds, SpikeEncoding::Direct, 4, 0);
+        assert_eq!(r.samples, 20);
+        assert!(
+            r.agreement >= 0.8,
+            "fixed/float agreement {} too low (untrained net, deterministic paths)",
+            r.agreement
+        );
+    }
+
+    #[test]
+    fn pool_or_is_binary_union() {
+        let geom = Pool2dGeometry::new(1, 2, 2, 4, 4).unwrap();
+        let mut x = vec![0i32; 16];
+        x[0] = 1; // window (0,0)
+        x[15] = 1; // window (1,1)
+        let y = pool_or(&geom, &x);
+        assert_eq!(y, vec![1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn theta_overflow_detected() {
+        let net = float_net();
+        let mut snap = NetworkSnapshot::from_network(&net);
+        for layer in &mut snap.layers {
+            if let LayerSnapshot::Conv { lif, .. } = layer {
+                lif.theta = 1e9;
+            }
+        }
+        let err = FixedNetwork::from_snapshot(&snap, FixedSpec::default()).unwrap_err();
+        assert!(matches!(err, FixedError::Overflow(_)));
+    }
+
+    #[test]
+    fn beta_quantization_accuracy() {
+        let spec = FixedSpec::default();
+        let lif = fixed_lif(
+            &LifConfig { beta: 0.7, ..LifConfig::paper_default() },
+            &spec,
+            "t",
+        )
+        .unwrap();
+        let beta_back = lif.beta_q as f64 / (1i64 << spec.beta_frac_bits) as f64;
+        assert!((beta_back - 0.7).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,227 @@
+//! Lock-step pipeline timing model.
+//!
+//! The paper's platform "operates in a layer-wise lock-step manner to
+//! save memory resources and achieve high throughput": every pipeline
+//! stage processes one timestep of one sample simultaneously, stages
+//! are separated by ping-pong spike buffers, and the global step
+//! advances when the *slowest* stage finishes. Hence:
+//!
+//! * step period  = `max_l cycles_l + sync overhead`
+//! * inference latency = `(T + L − 1) × step` (fill + drain)
+//! * steady-state throughput = one inference per `T × step`
+
+use serde::{Deserialize, Serialize};
+
+use crate::alloc::Allocation;
+use crate::device::FpgaDevice;
+use crate::workload::ModelWorkload;
+
+/// Timing of one pipeline stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage name.
+    pub name: String,
+    /// PEs executing this stage.
+    pub pes: u64,
+    /// Synaptic operations this stage performs per timestep.
+    pub ops_per_step: f64,
+    /// Cycles this stage needs per timestep.
+    pub cycles_per_step: u64,
+}
+
+/// Timing of the whole pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineTiming {
+    /// Per-stage timings, in pipeline order.
+    pub stages: Vec<StageTiming>,
+    /// Lock-step period in cycles (slowest stage + sync).
+    pub step_cycles: u64,
+    /// Timesteps per inference.
+    pub timesteps: usize,
+    /// Fixed synchronization overhead added to each step.
+    pub sync_overhead_cycles: u64,
+}
+
+impl PipelineTiming {
+    /// End-to-end latency of one inference in cycles, including
+    /// pipeline fill and drain.
+    pub fn latency_cycles(&self) -> u64 {
+        (self.timesteps as u64 + self.stages.len() as u64 - 1) * self.step_cycles
+    }
+
+    /// Latency in seconds on the given device.
+    pub fn latency_s(&self, device: &FpgaDevice) -> f64 {
+        self.latency_cycles() as f64 * device.clock_period_s()
+    }
+
+    /// Steady-state throughput in frames (inferences) per second.
+    pub fn fps(&self, device: &FpgaDevice) -> f64 {
+        let period_s = self.timesteps as f64 * self.step_cycles as f64 * device.clock_period_s();
+        1.0 / period_s
+    }
+
+    /// The bottleneck stage (name, cycles).
+    pub fn bottleneck(&self) -> (&str, u64) {
+        self.stages
+            .iter()
+            .max_by_key(|s| s.cycles_per_step)
+            .map(|s| (s.name.as_str(), s.cycles_per_step))
+            .unwrap_or(("", 0))
+    }
+
+    /// Mean utilization of stage PEs against the bottleneck period
+    /// (1.0 = perfectly balanced pipeline).
+    pub fn balance(&self) -> f64 {
+        if self.stages.is_empty() || self.step_cycles == 0 {
+            return 0.0;
+        }
+        let busy: f64 = self.stages.iter().map(|s| s.cycles_per_step as f64).sum();
+        busy / (self.stages.len() as f64 * self.step_cycles as f64)
+    }
+}
+
+/// Default per-step synchronization overhead (buffer swap + barrier).
+pub const DEFAULT_SYNC_OVERHEAD: u64 = 8;
+
+/// Computes the lock-step schedule for a workload under an
+/// allocation.
+///
+/// With `sparsity_aware = true` each stage's per-step work is its
+/// event-driven MAC count; otherwise the dense count (every synapse
+/// of every neuron each timestep).
+///
+/// # Panics
+///
+/// Panics if `allocation` does not cover every workload stage (the
+/// mapper always produces matching pairs).
+pub fn schedule(
+    workload: &ModelWorkload,
+    allocation: &Allocation,
+    sparsity_aware: bool,
+    sync_overhead_cycles: u64,
+) -> PipelineTiming {
+    let stages: Vec<StageTiming> = workload
+        .stages
+        .iter()
+        .map(|s| {
+            let pes = allocation.pes_for(&s.name);
+            assert!(pes > 0, "allocation missing stage `{}`", s.name);
+            let ops = if sparsity_aware { s.event_macs() } else { s.dense_macs as f64 };
+            // Each PE retires one synaptic op per cycle; membrane
+            // decay updates overlap with accumulation except for the
+            // final per-neuron threshold pass.
+            let threshold_pass = (s.neurons as f64 / pes as f64).ceil();
+            let cycles = (ops / pes as f64).ceil() + threshold_pass;
+            StageTiming {
+                name: s.name.clone(),
+                pes,
+                ops_per_step: ops,
+                cycles_per_step: cycles.max(1.0) as u64,
+            }
+        })
+        .collect();
+    let step_cycles = stages.iter().map(|s| s.cycles_per_step).max().unwrap_or(1)
+        + sync_overhead_cycles;
+    PipelineTiming {
+        stages,
+        step_cycles,
+        timesteps: workload.timesteps,
+        sync_overhead_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::{allocate, PeCost};
+    use crate::workload::{StageKind, StageWorkload};
+
+    fn wl(events: [f64; 2], dense: [u64; 2], t: usize) -> ModelWorkload {
+        let mk = |name: &str, ev: f64, dm: u64| StageWorkload {
+            name: name.into(),
+            kind: StageKind::Conv,
+            neurons: 256,
+            fan_in: 27,
+            in_events: ev,
+            fanout_per_event: 100.0,
+            out_events: ev * 0.5,
+            dense_macs: dm,
+            weight_bytes: 512,
+            potential_bytes: 512,
+            weight_density: 1.0,
+        };
+        ModelWorkload {
+            stages: vec![mk("a", events[0], dense[0]), mk("b", events[1], dense[1])],
+            timesteps: t,
+            input_density: 0.5,
+        }
+    }
+
+    #[test]
+    fn step_is_slowest_stage_plus_sync() {
+        let w = wl([100.0, 10.0], [50_000, 50_000], 4);
+        let d = FpgaDevice::kintex_ultrascale_plus();
+        let a = allocate(&d, &w, true, PeCost::default()).unwrap();
+        let t = schedule(&w, &a, true, 8);
+        let max = t.stages.iter().map(|s| s.cycles_per_step).max().unwrap();
+        assert_eq!(t.step_cycles, max + 8);
+        assert_eq!(t.bottleneck().1, max);
+    }
+
+    #[test]
+    fn latency_formula() {
+        let w = wl([100.0, 100.0], [50_000, 50_000], 4);
+        let d = FpgaDevice::kintex_ultrascale_plus();
+        let a = allocate(&d, &w, true, PeCost::default()).unwrap();
+        let t = schedule(&w, &a, true, 8);
+        assert_eq!(t.latency_cycles(), (4 + 2 - 1) * t.step_cycles);
+        assert!(t.latency_s(&d) > 0.0);
+    }
+
+    #[test]
+    fn fewer_events_is_faster() {
+        // The core mechanism of Fig. 2: lower firing → lower latency.
+        let d = FpgaDevice::kintex_ultrascale_plus();
+        let busy = wl([1000.0, 1000.0], [500_000, 500_000], 4);
+        let quiet = wl([100.0, 100.0], [500_000, 500_000], 4);
+        // Same allocation basis (dense) so only the event rate moves.
+        let ab = allocate(&d, &busy, false, PeCost::default()).unwrap();
+        let tb = schedule(&busy, &ab, true, 8);
+        let tq = schedule(&quiet, &ab, true, 8);
+        assert!(tq.step_cycles < tb.step_cycles);
+        assert!(tq.latency_cycles() < tb.latency_cycles());
+    }
+
+    #[test]
+    fn dense_schedule_ignores_events() {
+        let d = FpgaDevice::kintex_ultrascale_plus();
+        let busy = wl([1000.0, 1000.0], [500_000, 500_000], 4);
+        let quiet = wl([10.0, 10.0], [500_000, 500_000], 4);
+        let a = allocate(&d, &busy, false, PeCost::default()).unwrap();
+        let tb = schedule(&busy, &a, false, 8);
+        let tq = schedule(&quiet, &a, false, 8);
+        assert_eq!(tb.step_cycles, tq.step_cycles);
+    }
+
+    #[test]
+    fn more_timesteps_linear_latency() {
+        let d = FpgaDevice::kintex_ultrascale_plus();
+        let w4 = wl([100.0, 100.0], [50_000, 50_000], 4);
+        let w8 = wl([100.0, 100.0], [50_000, 50_000], 8);
+        let a = allocate(&d, &w4, true, PeCost::default()).unwrap();
+        let t4 = schedule(&w4, &a, true, 8);
+        let t8 = schedule(&w8, &a, true, 8);
+        assert_eq!(t8.step_cycles, t4.step_cycles);
+        assert!(t8.latency_cycles() > t4.latency_cycles());
+        assert!(t8.fps(&d) < t4.fps(&d));
+    }
+
+    #[test]
+    fn balance_in_unit_range() {
+        let d = FpgaDevice::kintex_ultrascale_plus();
+        let w = wl([500.0, 500.0], [50_000, 50_000], 4);
+        let a = allocate(&d, &w, true, PeCost::default()).unwrap();
+        let t = schedule(&w, &a, true, 8);
+        assert!(t.balance() > 0.0 && t.balance() <= 1.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! First-order power model: static + activity-proportional dynamic
+//! power.
+
+use serde::{Deserialize, Serialize};
+
+use crate::alloc::Allocation;
+use crate::device::FpgaDevice;
+use crate::pipeline::PipelineTiming;
+use crate::workload::ModelWorkload;
+
+/// Power breakdown of a mapped accelerator at steady-state
+/// throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Device + per-PE static power, watts.
+    pub static_w: f64,
+    /// Activity-proportional dynamic power, watts.
+    pub dynamic_w: f64,
+    /// Energy consumed by one inference, joules.
+    pub energy_per_inference_j: f64,
+}
+
+impl PowerBreakdown {
+    /// Total power in watts.
+    pub fn total_w(&self) -> f64 {
+        self.static_w + self.dynamic_w
+    }
+}
+
+/// Computes the power of a mapped model.
+///
+/// Dynamic energy per timestep sums, per stage:
+///
+/// * synaptic MACs × (MAC energy + weight-fetch energy) — event
+///   counts for the sparsity-aware dataflow, dense counts otherwise;
+/// * incoming events × routing energy (zero for the dense dataflow,
+///   which streams rather than routes);
+/// * neurons × membrane-update energy (both dataflows update every
+///   membrane every timestep).
+///
+/// Dynamic power is that energy times the steady-state inference
+/// rate.
+pub fn power(
+    device: &FpgaDevice,
+    workload: &ModelWorkload,
+    allocation: &Allocation,
+    timing: &PipelineTiming,
+    sparsity_aware: bool,
+) -> PowerBreakdown {
+    let mut energy_per_step = 0.0f64;
+    for s in &workload.stages {
+        let macs = if sparsity_aware { s.event_macs() } else { s.dense_macs as f64 };
+        energy_per_step += macs * (device.energy_mac_j + device.energy_weight_fetch_j);
+        if sparsity_aware {
+            energy_per_step += s.in_events * device.energy_spike_route_j;
+        }
+        energy_per_step += s.neurons as f64 * device.energy_neuron_update_j;
+    }
+    let energy_per_inference = energy_per_step * workload.timesteps as f64;
+    let fps = timing.fps(device);
+    PowerBreakdown {
+        static_w: device.static_power_w + allocation.total_pes as f64 * device.pe_static_w,
+        dynamic_w: energy_per_inference * fps,
+        energy_per_inference_j: energy_per_inference,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::{allocate, PeCost};
+    use crate::pipeline::schedule;
+    use crate::workload::{StageKind, StageWorkload};
+
+    fn wl(events: f64, dense: u64) -> ModelWorkload {
+        ModelWorkload {
+            stages: vec![StageWorkload {
+                name: "conv1".into(),
+                kind: StageKind::Conv,
+                neurons: 1000,
+                fan_in: 27,
+                in_events: events,
+                fanout_per_event: 50.0,
+                out_events: events * 0.3,
+                dense_macs: dense,
+                weight_bytes: 1000,
+                potential_bytes: 2000,
+                weight_density: 1.0,
+            }],
+            timesteps: 4,
+            input_density: 0.4,
+        }
+    }
+
+    fn mapped(events: f64, aware: bool) -> (FpgaDevice, PowerBreakdown) {
+        let d = FpgaDevice::kintex_ultrascale_plus();
+        let w = wl(events, 200_000);
+        let a = allocate(&d, &w, aware, PeCost::default()).unwrap();
+        let t = schedule(&w, &a, aware, 8);
+        let p = power(&d, &w, &a, &t, aware);
+        (d, p)
+    }
+
+    #[test]
+    fn static_floor_respected() {
+        let (d, p) = mapped(100.0, true);
+        assert!(p.static_w >= d.static_power_w);
+        assert!(p.total_w() > p.static_w);
+    }
+
+    #[test]
+    fn sparse_activity_cheaper_energy() {
+        let (_, quiet) = mapped(10.0, true);
+        let (_, busy) = mapped(2000.0, true);
+        assert!(quiet.energy_per_inference_j < busy.energy_per_inference_j);
+    }
+
+    #[test]
+    fn aware_beats_dense_energy_for_sparse_model() {
+        let (_, aware) = mapped(100.0, true);
+        let (_, dense) = mapped(100.0, false);
+        // 100 events × 50 fanout = 5k event MACs vs 200k dense MACs.
+        assert!(aware.energy_per_inference_j < dense.energy_per_inference_j);
+    }
+
+    #[test]
+    fn energy_scales_with_timesteps() {
+        let d = FpgaDevice::kintex_ultrascale_plus();
+        let mut w = wl(100.0, 200_000);
+        let a = allocate(&d, &w, true, PeCost::default()).unwrap();
+        let t4 = schedule(&w, &a, true, 8);
+        let e4 = power(&d, &w, &a, &t4, true).energy_per_inference_j;
+        w.timesteps = 8;
+        let t8 = schedule(&w, &a, true, 8);
+        let e8 = power(&d, &w, &a, &t8, true).energy_per_inference_j;
+        assert!((e8 / e4 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,156 @@
+//! Weight quantization for on-chip storage.
+//!
+//! The memory model assumes 8-bit weights (see
+//! [`crate::workload::WEIGHT_BYTES`]); this module provides the
+//! symmetric per-tensor int8 quantizer that justifies it, plus
+//! helpers to measure the accuracy impact by rewriting a model
+//! snapshot with dequantized weights.
+
+use serde::{Deserialize, Serialize};
+
+use snn_core::{LayerSnapshot, NetworkSnapshot};
+use snn_tensor::Tensor;
+
+/// A symmetric, per-tensor int8 quantization of a weight tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedTensor {
+    /// Scale such that `real ≈ q × scale`.
+    pub scale: f32,
+    /// Quantized values.
+    pub values: Vec<i8>,
+    /// Original shape dims.
+    pub dims: Vec<usize>,
+}
+
+impl QuantizedTensor {
+    /// Quantizes a tensor symmetrically into int8.
+    ///
+    /// An all-zero tensor quantizes with scale 1.0.
+    pub fn quantize(t: &Tensor) -> Self {
+        let max_abs = t.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+        let values = t
+            .as_slice()
+            .iter()
+            .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        QuantizedTensor { scale, values, dims: t.shape().dims().to_vec() }
+    }
+
+    /// Reconstructs the (lossy) floating-point tensor.
+    pub fn dequantize(&self) -> Tensor {
+        let data: Vec<f32> = self.values.iter().map(|&q| q as f32 * self.scale).collect();
+        Tensor::from_vec(snn_tensor::Shape::from_dims(&self.dims), data)
+            .expect("dims recorded at quantization time")
+    }
+
+    /// Bytes this tensor occupies on-chip.
+    pub fn bytes(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Root-mean-square quantization error against the original.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original` has a different element count.
+    pub fn rms_error(&self, original: &Tensor) -> f64 {
+        assert_eq!(original.len(), self.values.len(), "shape mismatch");
+        let deq = self.dequantize();
+        let se: f64 = deq
+            .as_slice()
+            .iter()
+            .zip(original.as_slice())
+            .map(|(&a, &b)| ((a - b) as f64).powi(2))
+            .sum();
+        (se / self.values.len().max(1) as f64).sqrt()
+    }
+}
+
+/// Rewrites every weight/bias in a snapshot through int8
+/// quantize–dequantize, modelling what the accelerator actually
+/// computes with. Evaluating the returned snapshot measures the
+/// deployment accuracy drop.
+pub fn quantize_snapshot(snapshot: &NetworkSnapshot) -> NetworkSnapshot {
+    let mut out = snapshot.clone();
+    for layer in &mut out.layers {
+        match layer {
+            LayerSnapshot::Conv { weight, bias, .. }
+            | LayerSnapshot::Dense { weight, bias, .. } => {
+                *weight = QuantizedTensor::quantize(weight).dequantize();
+                *bias = QuantizedTensor::quantize(bias).dequantize();
+            }
+            LayerSnapshot::Pool { .. } | LayerSnapshot::Flatten { .. } => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_tensor::{Init, Shape};
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_step() {
+        let t = Init::Uniform { bound: 0.5 }.tensor(Shape::d2(32, 32), 32, 32, 5);
+        let q = QuantizedTensor::quantize(&t);
+        let deq = q.dequantize();
+        let half_step = q.scale / 2.0 + 1e-6;
+        for (&a, &b) in deq.as_slice().iter().zip(t.as_slice()) {
+            assert!((a - b).abs() <= half_step, "{a} vs {b}");
+        }
+        assert!(q.rms_error(&t) <= half_step as f64);
+    }
+
+    #[test]
+    fn zero_tensor_is_exact() {
+        let t = Tensor::zeros(Shape::d1(16));
+        let q = QuantizedTensor::quantize(&t);
+        assert_eq!(q.dequantize(), t);
+        assert_eq!(q.rms_error(&t), 0.0);
+    }
+
+    #[test]
+    fn extremes_map_to_127() {
+        let t = Tensor::from_vec(Shape::d1(3), vec![-2.0, 0.0, 2.0]).unwrap();
+        let q = QuantizedTensor::quantize(&t);
+        assert_eq!(q.values, vec![-127, 0, 127]);
+    }
+
+    #[test]
+    fn bytes_is_element_count() {
+        let t = Tensor::zeros(Shape::d2(4, 8));
+        assert_eq!(QuantizedTensor::quantize(&t).bytes(), 32);
+    }
+
+    #[test]
+    fn snapshot_quantization_preserves_structure() {
+        use snn_core::{LifConfig, SpikingNetwork};
+        let net = SpikingNetwork::paper_topology(
+            Shape::d3(1, 16, 16),
+            4,
+            LifConfig::paper_default(),
+            7,
+        )
+        .unwrap();
+        let snap = NetworkSnapshot::from_network(&net);
+        let qsnap = quantize_snapshot(&snap);
+        assert_eq!(qsnap.layers.len(), snap.layers.len());
+        // Weights changed slightly but not wildly.
+        if let (LayerSnapshot::Conv { weight: w0, .. }, LayerSnapshot::Conv { weight: w1, .. }) =
+            (&snap.layers[0], &qsnap.layers[0])
+        {
+            let max_diff = w0
+                .as_slice()
+                .iter()
+                .zip(w1.as_slice())
+                .map(|(&a, &b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(max_diff > 0.0, "quantization should perturb weights");
+            assert!(max_diff < 0.05, "quantization error too large: {max_diff}");
+        } else {
+            panic!("expected conv at position 0");
+        }
+    }
+}

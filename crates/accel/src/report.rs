@@ -1,0 +1,167 @@
+//! The mapped-accelerator report: everything the paper's evaluation
+//! plots (latency, FPS, power, FPS/W) plus diagnostics.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::alloc::Allocation;
+use crate::device::FpgaDevice;
+use crate::pipeline::PipelineTiming;
+use crate::power::PowerBreakdown;
+use crate::workload::ModelWorkload;
+
+/// Result of mapping one trained model onto one accelerator
+/// configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccelReport {
+    /// Device the model was mapped to.
+    pub device: FpgaDevice,
+    /// Whether the event-driven (sparsity-aware) dataflow was used.
+    pub sparsity_aware: bool,
+    /// Characterized workload.
+    pub workload: ModelWorkload,
+    /// PE allocation.
+    pub allocation: Allocation,
+    /// Lock-step timing.
+    pub timing: PipelineTiming,
+    /// Power breakdown.
+    pub power: PowerBreakdown,
+}
+
+impl AccelReport {
+    /// Inference latency in microseconds.
+    pub fn latency_us(&self) -> f64 {
+        self.timing.latency_s(&self.device) * 1e6
+    }
+
+    /// Steady-state throughput in frames per second.
+    pub fn fps(&self) -> f64 {
+        self.timing.fps(&self.device)
+    }
+
+    /// Total power in watts.
+    pub fn power_w(&self) -> f64 {
+        self.power.total_w()
+    }
+
+    /// Accelerator efficiency in FPS per watt — the paper's headline
+    /// hardware metric (Fig. 1 right axis, the 1.72× claim).
+    pub fn fps_per_watt(&self) -> f64 {
+        self.fps() / self.power_w()
+    }
+
+    /// Energy per inference in microjoules.
+    pub fn energy_per_inference_uj(&self) -> f64 {
+        self.power.energy_per_inference_j * 1e6
+    }
+}
+
+impl fmt::Display for AccelReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "accelerator report — {} [{} dataflow]",
+            self.device.name,
+            if self.sparsity_aware { "event-driven" } else { "dense" }
+        )?;
+        writeln!(
+            f,
+            "  {:<8} {:>8} {:>14} {:>12} {:>10}",
+            "stage", "PEs", "ops/step", "cycles/step", "firing"
+        )?;
+        for (st, wl) in self.timing.stages.iter().zip(&self.workload.stages) {
+            let firing = if wl.neurons > 0 {
+                wl.out_events / wl.neurons as f64
+            } else {
+                0.0
+            };
+            writeln!(
+                f,
+                "  {:<8} {:>8} {:>14.0} {:>12} {:>9.1}%",
+                st.name,
+                st.pes,
+                st.ops_per_step,
+                st.cycles_per_step,
+                firing * 100.0
+            )?;
+        }
+        writeln!(
+            f,
+            "  step {} cyc | latency {:.1} µs | {:.0} FPS | {:.3} W | {:.0} FPS/W",
+            self.timing.step_cycles,
+            self.latency_us(),
+            self.fps(),
+            self.power_w(),
+            self.fps_per_watt()
+        )?;
+        writeln!(
+            f,
+            "  util: DSP {:.0}% LUT {:.0}% MEM {:.0}% | balance {:.2}",
+            self.allocation.dsp_utilization(&self.device) * 100.0,
+            self.allocation.lut_utilization(&self.device) * 100.0,
+            self.allocation.mem_utilization(&self.device) * 100.0,
+            self.timing.balance()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::{allocate, PeCost};
+    use crate::pipeline::schedule;
+    use crate::power::power;
+    use crate::workload::{StageKind, StageWorkload};
+
+    fn report() -> AccelReport {
+        let device = FpgaDevice::kintex_ultrascale_plus();
+        let workload = ModelWorkload {
+            stages: vec![StageWorkload {
+                name: "conv1".into(),
+                kind: StageKind::Conv,
+                neurons: 512,
+                fan_in: 27,
+                in_events: 64.0,
+                fanout_per_event: 288.0,
+                out_events: 50.0,
+                dense_macs: 100_000,
+                weight_bytes: 864,
+                potential_bytes: 1024,
+                weight_density: 1.0,
+            }],
+            timesteps: 4,
+            input_density: 0.25,
+        };
+        let allocation = allocate(&device, &workload, true, PeCost::default()).unwrap();
+        let timing = schedule(&workload, &allocation, true, 8);
+        let pw = power(&device, &workload, &allocation, &timing, true);
+        AccelReport { device, sparsity_aware: true, workload, allocation, timing, power: pw }
+    }
+
+    #[test]
+    fn derived_metrics_consistent() {
+        let r = report();
+        assert!(r.fps() > 0.0);
+        assert!(r.power_w() > 0.0);
+        assert!((r.fps_per_watt() - r.fps() / r.power_w()).abs() < 1e-9);
+        assert!(r.latency_us() > 0.0);
+        assert!(r.energy_per_inference_uj() > 0.0);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let s = report().to_string();
+        assert!(s.contains("conv1"));
+        assert!(s.contains("FPS/W"));
+        assert!(s.contains("event-driven"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: AccelReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

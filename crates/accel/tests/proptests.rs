@@ -1,0 +1,150 @@
+//! Property-based tests for the accelerator model: monotonicity and
+//! conservation laws the timing/power models must obey.
+
+use proptest::prelude::*;
+
+use snn_accel::{
+    allocate, power, schedule, AcceleratorConfig, FpgaDevice, ModelWorkload, PeCost, StageKind,
+    StageWorkload, DEFAULT_SYNC_OVERHEAD,
+};
+
+fn stage(name: &str, in_events: f64, fanout: f64, neurons: u64, fan_in: u64) -> StageWorkload {
+    StageWorkload {
+        name: name.into(),
+        kind: StageKind::Conv,
+        neurons,
+        fan_in,
+        in_events,
+        fanout_per_event: fanout,
+        out_events: in_events * 0.5,
+        dense_macs: neurons * fan_in,
+        weight_bytes: neurons * fan_in / 8,
+        potential_bytes: neurons * 2,
+        weight_density: 1.0,
+    }
+}
+
+fn workload(events: [f64; 3], t: usize) -> ModelWorkload {
+    ModelWorkload {
+        stages: vec![
+            stage("conv1", events[0], 288.0, 8192, 27),
+            stage("conv2", events[1], 288.0, 2048, 288),
+            stage("fc1", events[2], 256.0, 256, 512),
+        ],
+        timesteps: t,
+        input_density: 0.5,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Latency is monotone in event counts under the event-driven
+    /// dataflow (fixed allocation) — the paper's central mechanism.
+    #[test]
+    fn latency_monotone_in_events(
+        e1 in 1.0f64..5000.0, e2 in 1.0f64..5000.0, e3 in 1.0f64..500.0,
+        scale in 1.01f64..4.0,
+        t in 1usize..16,
+    ) {
+        let d = FpgaDevice::kintex_ultrascale_plus();
+        let base = workload([e1, e2, e3], t);
+        let busier = workload([e1 * scale, e2 * scale, e3 * scale], t);
+        // Allocate for the dense bound so the PE split is identical.
+        let a = allocate(&d, &base, false, PeCost::default()).unwrap();
+        let tb = schedule(&base, &a, true, DEFAULT_SYNC_OVERHEAD);
+        let tz = schedule(&busier, &a, true, DEFAULT_SYNC_OVERHEAD);
+        prop_assert!(tz.step_cycles >= tb.step_cycles);
+        prop_assert!(tz.latency_cycles() >= tb.latency_cycles());
+    }
+
+    /// Energy per inference is monotone in events and linear in
+    /// timesteps.
+    #[test]
+    fn energy_monotone_and_linear(
+        e in 1.0f64..5000.0,
+        scale in 1.01f64..4.0,
+        t in 1usize..12,
+    ) {
+        let d = FpgaDevice::kintex_ultrascale_plus();
+        let base = workload([e, e, e], t);
+        let busier = workload([e * scale, e * scale, e * scale], t);
+        let a = allocate(&d, &base, true, PeCost::default()).unwrap();
+        let tb = schedule(&base, &a, true, DEFAULT_SYNC_OVERHEAD);
+        let pb = power(&d, &base, &a, &tb, true);
+        let tz = schedule(&busier, &a, true, DEFAULT_SYNC_OVERHEAD);
+        let pz = power(&d, &busier, &a, &tz, true);
+        prop_assert!(pz.energy_per_inference_j >= pb.energy_per_inference_j);
+
+        let mut double_t = base.clone();
+        double_t.timesteps = t * 2;
+        let t2 = schedule(&double_t, &a, true, DEFAULT_SYNC_OVERHEAD);
+        let p2 = power(&d, &double_t, &a, &t2, true);
+        let ratio = p2.energy_per_inference_j / pb.energy_per_inference_j;
+        prop_assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    /// Allocation always spends the whole PE budget, respects device
+    /// limits, and gives every stage at least one PE.
+    #[test]
+    fn allocation_invariants(
+        e1 in 1.0f64..10_000.0, e2 in 1.0f64..10_000.0, e3 in 1.0f64..10_000.0,
+        aware in any::<bool>(),
+    ) {
+        let d = FpgaDevice::kintex_ultrascale_plus();
+        let w = workload([e1, e2, e3], 4);
+        let a = allocate(&d, &w, aware, PeCost::default()).unwrap();
+        prop_assert!(a.stages.iter().all(|s| s.pes >= 1));
+        prop_assert!(a.dsps_used <= d.dsps);
+        prop_assert!(a.luts_used <= d.luts);
+        prop_assert_eq!(a.total_pes, a.stages.iter().map(|s| s.pes).sum::<u64>());
+        let share: f64 = a.stages.iter().map(|s| s.work_share).sum();
+        prop_assert!((share - 1.0).abs() < 1e-9);
+    }
+
+    /// The dense dataflow's step period never beats the event-driven
+    /// one on the same allocation (event work ≤ dense work here by
+    /// construction).
+    #[test]
+    fn aware_never_slower_when_sparse(
+        frac in 0.01f64..0.9,
+        t in 1usize..8,
+    ) {
+        let d = FpgaDevice::kintex_ultrascale_plus();
+        // Construct events so event_macs = frac × dense_macs.
+        let mut w = workload([1.0, 1.0, 1.0], t);
+        for s in &mut w.stages {
+            s.in_events = frac * s.dense_macs as f64 / s.fanout_per_event;
+        }
+        let a = allocate(&d, &w, false, PeCost::default()).unwrap();
+        let aware = schedule(&w, &a, true, DEFAULT_SYNC_OVERHEAD);
+        let dense = schedule(&w, &a, false, DEFAULT_SYNC_OVERHEAD);
+        prop_assert!(aware.step_cycles <= dense.step_cycles);
+    }
+
+    /// FPS × latency relations: latency ≥ T × step period implies
+    /// FPS ≤ 1 / (T × step), and both derive from the same clock.
+    #[test]
+    fn timing_self_consistent(e in 1.0f64..5000.0, t in 1usize..10) {
+        let d = FpgaDevice::kintex_ultrascale_plus();
+        let w = workload([e, e, e], t);
+        let a = allocate(&d, &w, true, PeCost::default()).unwrap();
+        let timing = schedule(&w, &a, true, DEFAULT_SYNC_OVERHEAD);
+        let fps = timing.fps(&d);
+        let period_s = t as f64 * timing.step_cycles as f64 * d.clock_period_s();
+        prop_assert!((fps * period_s - 1.0).abs() < 1e-9);
+        prop_assert!(timing.latency_s(&d) >= period_s - 1e-12);
+    }
+
+    /// Default config mapping equals its parts composed by hand.
+    #[test]
+    fn config_presets_consistent(aware in any::<bool>()) {
+        let cfg = if aware {
+            AcceleratorConfig::sparsity_aware()
+        } else {
+            AcceleratorConfig::dense_baseline()
+        };
+        prop_assert_eq!(cfg.sparsity_aware, aware);
+        prop_assert!(cfg.device.validate().is_ok());
+    }
+}

@@ -1,0 +1,36 @@
+//! Microbenchmark: mapping a trained model onto the accelerator
+//! simulator (workload characterization + allocation + timing +
+//! power).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snn_accel::AcceleratorConfig;
+use snn_core::{evaluate, LifConfig, NetworkSnapshot, SpikingNetwork};
+use snn_data::{bars_dataset, SpikeEncoding};
+use snn_tensor::Shape;
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut net = SpikingNetwork::paper_topology(
+        Shape::d3(1, 16, 16),
+        4,
+        LifConfig { theta: 0.5, ..LifConfig::paper_default() },
+        3,
+    )
+    .expect("valid topology");
+    let ds = bars_dataset(16, 16, 0);
+    let eval = evaluate(&mut net, &ds, SpikeEncoding::default(), 4, 8, 1);
+    let snapshot = NetworkSnapshot::from_network(&net);
+    let aware = AcceleratorConfig::sparsity_aware();
+    let dense = AcceleratorConfig::dense_baseline();
+
+    let mut group = c.benchmark_group("accel_map");
+    group.bench_function("sparsity_aware", |b| {
+        b.iter(|| aware.map(&snapshot, &eval.profile).expect("fits device"));
+    });
+    group.bench_function("dense_baseline", |b| {
+        b.iter(|| dense.map(&snapshot, &eval.profile).expect("fits device"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Microbenchmark: im2col convolution forward/backward on the
+//! paper's conv1 geometry (32 filters, 3×3, padding 1).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use snn_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dGeometry};
+use snn_tensor::{Init, Shape, Tensor};
+
+fn bench_conv(c: &mut Criterion) {
+    let g = Conv2dGeometry::new(3, 32, 3, 1, 1, 16, 16).expect("valid geometry");
+    let batch = 8;
+    let x = Tensor::from_fn(Shape::d4(batch, 3, 16, 16), |i| f32::from(i % 5 == 0));
+    let w = Init::KaimingUniform.tensor(g.weight_shape(), g.col_rows(), 32, 1);
+    let b = Tensor::zeros(Shape::d1(32));
+    let macs = g.dense_macs() * batch as u64;
+
+    let mut group = c.benchmark_group("conv2d");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.throughput(Throughput::Elements(macs));
+    group.bench_function("forward_16x16x3_to_32", |bch| {
+        bch.iter(|| conv2d_forward(&g, &x, &w, &b).expect("shapes validated"));
+    });
+
+    let y = conv2d_forward(&g, &x, &w, &b).expect("shapes validated");
+    let dy = Tensor::full(y.shape(), 0.01);
+    group.bench_function("backward_16x16x3_to_32", |bch| {
+        bch.iter(|| conv2d_backward(&g, &x, &w, &dy).expect("shapes validated"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Microbenchmark: LIF neuron update throughput (forward and BPTT
+//! backward steps) on a conv-layer-sized activation tensor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snn_core::neuron::{lif_backward_step, lif_step, LifConfig, LifState};
+use snn_core::Surrogate;
+use snn_tensor::{Shape, Tensor};
+
+fn bench_lif(c: &mut Criterion) {
+    let shape = Shape::d4(8, 32, 16, 16); // one conv1 batch
+    let n = shape.len() as u64;
+    let mut group = c.benchmark_group("lif_step");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(6));
+    group.throughput(Throughput::Elements(n));
+
+    for (label, cfg) in [
+        ("soft_reset", LifConfig::paper_default()),
+        (
+            "hard_reset",
+            LifConfig { reset: snn_core::ResetMode::Zero, ..LifConfig::paper_default() },
+        ),
+    ] {
+        let state = LifState::new(shape);
+        let input = Tensor::from_fn(shape, |i| ((i % 7) as f32) * 0.2);
+        group.bench_with_input(BenchmarkId::new("forward", label), &cfg, |b, cfg| {
+            b.iter(|| lif_step(cfg, &state, &input));
+        });
+    }
+
+    let cfg = LifConfig { surrogate: Surrogate::FastSigmoid { k: 0.25 }, ..LifConfig::paper_default() };
+    let grad = Tensor::full(shape, 0.01);
+    let carry = Tensor::zeros(shape);
+    let u = Tensor::from_fn(shape, |i| ((i % 11) as f32) * 0.15);
+    let s = u.map(|v| f32::from(v > 1.0));
+    group.bench_function("backward", |b| {
+        b.iter(|| lif_backward_step(&cfg, &grad, &carry, &u, &s));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lif);
+criterion_main!(benches);

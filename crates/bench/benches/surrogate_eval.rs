@@ -1,0 +1,26 @@
+//! Microbenchmark: surrogate derivative evaluation — the scalar the
+//! BPTT inner loop calls once per neuron per timestep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snn_core::Surrogate;
+
+fn bench_surrogates(c: &mut Criterion) {
+    let xs: Vec<f32> = (0..100_000).map(|i| (i as f32 * 0.0001) - 5.0).collect();
+    let mut group = c.benchmark_group("surrogate_grad");
+    group.throughput(Throughput::Elements(xs.len() as u64));
+    for s in [
+        Surrogate::ArcTan { alpha: 2.0 },
+        Surrogate::FastSigmoid { k: 0.25 },
+        Surrogate::Sigmoid { slope: 4.0 },
+        Surrogate::Triangular { width: 1.0 },
+        Surrogate::StraightThrough,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(s.name()), &s, |b, s| {
+            b.iter(|| xs.iter().map(|&x| s.grad(x)).sum::<f32>());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_surrogates);
+criterion_main!(benches);

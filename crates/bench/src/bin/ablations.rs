@@ -1,0 +1,88 @@
+//! Extension ablations beyond the paper's figures (DESIGN.md §6):
+//! timestep count, reset mode, surrogate family, input encoding.
+//!
+//! ```text
+//! cargo run --release -p snn-bench --bin ablations [-- --profile quick]
+//! ```
+
+use snn_bench::{banner, cli_options};
+use snn_dse::{
+    encoding_ablation, pruning_ablation, reset_mode_ablation, surrogate_family_ablation,
+    timestep_ablation, write_csv, AblationRow,
+};
+
+fn print_rows(title: &str, rows: &[AblationRow]) {
+    println!("{title}:");
+    println!(
+        "  {:<26} {:>9} {:>9} {:>11} {:>11}",
+        "variant", "accuracy", "firing", "latency_us", "FPS/W"
+    );
+    for r in rows {
+        println!(
+            "  {:<26} {:>8.1}% {:>8.1}% {:>11.1} {:>11.0}",
+            r.label,
+            r.accuracy * 100.0,
+            r.firing_rate * 100.0,
+            r.latency_us,
+            r.fps_per_watt
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let (profile, out_dir) = cli_options();
+    banner("Extension ablations", &profile);
+    let (train, test) = profile.datasets();
+    let started = std::time::Instant::now();
+
+    let mut all: Vec<(String, AblationRow)> = Vec::new();
+    let mut run = |name: &str, res: Result<Vec<AblationRow>, snn_dse::RunError>| {
+        match res {
+            Ok(rows) => {
+                print_rows(name, &rows);
+                for r in rows {
+                    all.push((name.to_string(), r));
+                }
+            }
+            Err(e) => eprintln!("{name} failed: {e}"),
+        }
+    };
+
+    run(
+        "timesteps (latency is linear in T; accuracy saturates)",
+        timestep_ablation(&profile, &[2, 4, 8], &train, &test),
+    );
+    run("reset mode (Eq. 1 soft vs hard)", reset_mode_ablation(&profile, &train, &test));
+    run(
+        "surrogate family at scale 0.25",
+        surrogate_family_ablation(&profile, 0.25, &train, &test),
+    );
+    run("input encoding", encoding_ablation(&profile, &train, &test));
+    run(
+        "weight pruning (spike-and-weight sparsity, ref [2])",
+        pruning_ablation(&profile, &[0.0, 0.25, 0.5, 0.75, 0.9], &train, &test),
+    );
+
+    let csv_path = out_dir.join("ablations.csv");
+    let rows = all.iter().map(|(group, r)| {
+        vec![
+            group.clone(),
+            r.label.clone(),
+            format!("{:.4}", r.accuracy),
+            format!("{:.4}", r.firing_rate),
+            format!("{:.2}", r.latency_us),
+            format!("{:.1}", r.fps_per_watt),
+        ]
+    });
+    if let Err(e) = write_csv(
+        &csv_path,
+        &["group", "variant", "accuracy", "firing_rate", "latency_us", "fps_per_watt"],
+        rows,
+    ) {
+        eprintln!("warning: could not write {}: {e}", csv_path.display());
+    } else {
+        println!("wrote {}", csv_path.display());
+    }
+    println!("total wall time: {:.1}s", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,98 @@
+//! Hardware design-space exploration for one trained model: sweep
+//! device × clock × PE datapath × dataflow, print all feasible
+//! operating points and the (FPS, power) Pareto front.
+//!
+//! ```text
+//! cargo run --release -p snn-bench --bin dse_search [-- --profile quick]
+//! ```
+
+use snn_bench::{banner, cli_options};
+use snn_core::Surrogate;
+use snn_dse::{hw_search, run_point, write_csv, HwSearchSpace};
+
+fn main() {
+    let (profile, out_dir) = cli_options();
+    banner("Hardware DSE — device/clock/PE/dataflow search", &profile);
+    let (train, test) = profile.datasets();
+    let started = std::time::Instant::now();
+
+    // One fine-tuned model anchors the search.
+    let lif = profile.lif(Surrogate::FastSigmoid { k: 0.25 }, 0.7, 1.5);
+    let point = match run_point(&profile, lif, &train, &test) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("training failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "anchor model: accuracy {:.1}%, firing rate {:.1}%\n",
+        point.test_accuracy * 100.0,
+        point.firing_rate * 100.0
+    );
+
+    // The search needs the raw sparsity profile; re-evaluate the
+    // stored snapshot once to obtain it.
+    let mut net = point.snapshot.clone().into_network();
+    let eval = snn_core::evaluate(
+        &mut net,
+        &test,
+        profile.encoding,
+        profile.timesteps,
+        profile.batch_size,
+        0,
+    );
+
+    let result = hw_search(&HwSearchSpace::default(), &point.snapshot, &eval.profile);
+    let front: std::collections::HashSet<usize> =
+        result.pareto_front().into_iter().collect();
+    println!(
+        "{:<30} {:>8} {:>8} {:>6} {:>10} {:>10} {:>8} {:>10} {:>7}",
+        "device", "clockMHz", "LUT/PE", "event", "latency_us", "FPS", "power_W", "FPS/W", "pareto"
+    );
+    for (i, p) in result.points.iter().enumerate() {
+        println!(
+            "{:<30} {:>8.0} {:>8} {:>6} {:>10.1} {:>10.0} {:>8.3} {:>10.0} {:>7}",
+            p.device,
+            p.clock_mhz,
+            p.pe_luts,
+            if p.sparsity_aware { "yes" } else { "no" },
+            p.latency_us,
+            p.fps,
+            p.power_w,
+            p.fps_per_watt,
+            if front.contains(&i) { "*" } else { "" }
+        );
+    }
+    println!(
+        "\n{} feasible, {} infeasible; best efficiency: {:.0} FPS/W",
+        result.points.len(),
+        result.infeasible,
+        result.best_efficiency().map_or(0.0, |p| p.fps_per_watt)
+    );
+
+    let csv_path = out_dir.join("dse_search.csv");
+    let rows = result.points.iter().enumerate().map(|(i, p)| {
+        vec![
+            p.device.clone(),
+            format!("{:.0}", p.clock_mhz),
+            p.pe_luts.to_string(),
+            p.sparsity_aware.to_string(),
+            format!("{:.2}", p.latency_us),
+            format!("{:.0}", p.fps),
+            format!("{:.4}", p.power_w),
+            format!("{:.1}", p.fps_per_watt),
+            front.contains(&i).to_string(),
+        ]
+    });
+    if let Err(e) = write_csv(
+        &csv_path,
+        &["device", "clock_mhz", "pe_luts", "sparsity_aware", "latency_us", "fps", "power_w", "fps_per_watt", "pareto"],
+        rows,
+    ) {
+        eprintln!("warning: could not write {}: {e}", csv_path.display());
+    } else {
+        println!("wrote {}", csv_path.display());
+    }
+    println!("total wall time: {:.1}s", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,142 @@
+//! Regenerates **Figure 1**: accuracy and accelerator efficiency
+//! (FPS/W) for the arctangent and fast-sigmoid surrogates across
+//! derivative scaling factors 0.5–32, with β = 0.25 and θ = 1.0.
+//!
+//! ```text
+//! cargo run --release -p snn-bench --bin fig1 [-- --profile quick]
+//! ```
+//!
+//! Prints the two series the paper plots and writes
+//! `results/fig1.csv`. Expected shape (paper → here): both families
+//! track each other in accuracy; fast sigmoid fires less and is more
+//! efficient (~11% in the paper); the tuned points clear the
+//! prior-work reference accuracy (green line).
+
+use snn_bench::{banner, cli_options};
+use snn_dse::{ascii_chart, surrogate_sweep, write_csv, PAPER_SCALES};
+
+fn main() {
+    let (profile, out_dir) = cli_options();
+    banner("Figure 1 — surrogate gradient sweep", &profile);
+    let (train, test) = profile.datasets();
+    let started = std::time::Instant::now();
+    let fig1 = match surrogate_sweep(&profile, &PAPER_SCALES, &train, &test) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "{:<14} {:>6} {:>9} {:>9} {:>11} {:>11}",
+        "surrogate", "scale", "accuracy", "firing", "FPS/W", "latency_us"
+    );
+    for family in ["arctan", "fast_sigmoid"] {
+        for row in fig1.family(family) {
+            println!(
+                "{:<14} {:>6} {:>8.1}% {:>8.1}% {:>11.0} {:>11.1}",
+                row.surrogate,
+                row.scale,
+                row.accuracy * 100.0,
+                row.firing_rate * 100.0,
+                row.fps_per_watt,
+                row.latency_us
+            );
+        }
+        println!();
+    }
+    println!(
+        "prior-work reference (green line): accuracy {:.1}%, {:.0} FPS/W (dense accel)",
+        fig1.reference_accuracy * 100.0,
+        fig1.reference_fps_per_watt
+    );
+
+    // ASCII rendition of the paper's two panels.
+    let labels: Vec<String> = PAPER_SCALES.iter().map(|s| s.to_string()).collect();
+    let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    let acc_at: Vec<f64> = fig1.family("arctan").iter().map(|r| r.accuracy * 100.0).collect();
+    let acc_fs: Vec<f64> =
+        fig1.family("fast_sigmoid").iter().map(|r| r.accuracy * 100.0).collect();
+    let reference_line = vec![fig1.reference_accuracy * 100.0; labels.len()];
+    println!("
+accuracy (%) vs derivative scale:");
+    println!(
+        "{}",
+        ascii_chart(
+            &label_refs,
+            &[
+                ("arctan", &acc_at[..]),
+                ("fast_sigmoid", &acc_fs[..]),
+                ("prior work [6]", &reference_line[..]),
+            ],
+            12,
+        )
+    );
+    let eff_at: Vec<f64> = fig1.family("arctan").iter().map(|r| r.fps_per_watt).collect();
+    let eff_fs: Vec<f64> =
+        fig1.family("fast_sigmoid").iter().map(|r| r.fps_per_watt).collect();
+    println!("accelerator efficiency (FPS/W) vs derivative scale:");
+    println!(
+        "{}",
+        ascii_chart(&label_refs, &[("arctan", &eff_at[..]), ("fast_sigmoid", &eff_fs[..])], 12)
+    );
+
+    let arctan_fr = fig1.mean_firing_rate("arctan");
+    let fs_fr = fig1.mean_firing_rate("fast_sigmoid");
+    let arctan_eff = fig1.mean_fps_per_watt("arctan");
+    let fs_eff = fig1.mean_fps_per_watt("fast_sigmoid");
+    println!();
+    println!("paper claim C1 — fast sigmoid fires less, runs more efficiently:");
+    println!(
+        "  mean firing  : fast_sigmoid {:.1}% vs arctan {:.1}%  ({})",
+        fs_fr * 100.0,
+        arctan_fr * 100.0,
+        if fs_fr < arctan_fr { "REPRODUCED" } else { "NOT REPRODUCED" }
+    );
+    println!(
+        "  mean FPS/W   : fast_sigmoid {:.0} vs arctan {:.0}  (+{:.1}%, paper: ~11%) ({})",
+        fs_eff,
+        arctan_eff,
+        (fs_eff / arctan_eff - 1.0) * 100.0,
+        if fs_eff > arctan_eff { "REPRODUCED" } else { "NOT REPRODUCED" }
+    );
+    let best_fs = fig1.best_accuracy("fast_sigmoid").expect("nonempty sweep");
+    let best_at = fig1.best_accuracy("arctan").expect("nonempty sweep");
+    println!("paper claim C2 — tuned models beat the prior-work accuracy line:");
+    println!(
+        "  best fast_sigmoid {:.1}% / best arctan {:.1}% vs reference {:.1}%  ({})",
+        best_fs.accuracy * 100.0,
+        best_at.accuracy * 100.0,
+        fig1.reference_accuracy * 100.0,
+        if best_fs.accuracy > fig1.reference_accuracy
+            && best_at.accuracy > fig1.reference_accuracy
+        {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        }
+    );
+
+    let csv_path = out_dir.join("fig1.csv");
+    let rows = fig1.rows.iter().map(|r| {
+        vec![
+            r.surrogate.clone(),
+            r.scale.to_string(),
+            format!("{:.4}", r.accuracy),
+            format!("{:.4}", r.firing_rate),
+            format!("{:.1}", r.fps_per_watt),
+            format!("{:.2}", r.latency_us),
+        ]
+    });
+    if let Err(e) = write_csv(
+        &csv_path,
+        &["surrogate", "scale", "accuracy", "firing_rate", "fps_per_watt", "latency_us"],
+        rows,
+    ) {
+        eprintln!("warning: could not write {}: {e}", csv_path.display());
+    } else {
+        println!("\nwrote {}", csv_path.display());
+    }
+    println!("total wall time: {:.1}s", started.elapsed().as_secs_f64());
+}

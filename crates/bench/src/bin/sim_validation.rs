@@ -1,0 +1,128 @@
+//! Validates the analytical (mean-based) timing model against the
+//! event-driven cycle simulation, and the float training stack
+//! against the integer (fixed-point) FPGA datapath.
+//!
+//! ```text
+//! cargo run --release -p snn-bench --bin sim_validation [-- --profile quick]
+//! ```
+//!
+//! Two checks a hardware paper's reviewers would ask for:
+//!
+//! 1. **Timing-model fidelity** — replay real per-timestep spike
+//!    traces through the lock-step pipeline; the analytical model
+//!    prices mean traffic, so its error equals the burstiness the
+//!    barrier has to absorb.
+//! 2. **Datapath fidelity** — run the int8/Q-format inference engine
+//!    and compare predictions with the float reference.
+
+use snn_accel::{evaluate_fixed, simulate_trace, FixedNetwork, FixedSpec};
+use snn_bench::{banner, cli_options};
+use snn_core::{evaluate, trace_spikes, Surrogate};
+use snn_dse::{run_point, write_csv};
+
+fn main() {
+    let (profile, out_dir) = cli_options();
+    banner("Model validation — analytic vs cycle sim, float vs fixed point", &profile);
+    let (train, test) = profile.datasets();
+    let started = std::time::Instant::now();
+
+    let lif = profile.lif(Surrogate::FastSigmoid { k: 0.25 }, 0.5, 1.0);
+    let point = match run_point(&profile, lif, &train, &test) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("training failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut net = point.snapshot.clone().into_network();
+    println!(
+        "anchor model: accuracy {:.1}%, firing rate {:.1}%\n",
+        point.test_accuracy * 100.0,
+        point.firing_rate * 100.0
+    );
+
+    // --- 1. Timing model vs event-driven simulation.
+    let trace = trace_spikes(
+        &mut net,
+        &test,
+        profile.encoding,
+        profile.timesteps,
+        profile.batch_size,
+        0,
+    );
+    let report = &point.accel;
+    let sim = match simulate_trace(
+        &report.workload,
+        &report.allocation,
+        &trace,
+        report.timing.sync_overhead_cycles,
+        report.timing.latency_cycles(),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("timing-model validation (sparsity-aware accelerator):");
+    println!("  analytic latency : {} cycles", report.timing.latency_cycles());
+    println!("  simulated latency: {} cycles", sim.total_cycles);
+    println!(
+        "  analytic model error: {:+.2}% (positive = optimistic; Jensen gap from burstiness)",
+        sim.analytic_error() * 100.0
+    );
+    println!("  per-stage occupancy:");
+    for s in &sim.stages {
+        println!(
+            "    {:<8} busy {:>8} cyc, stalled {:>8} cyc, util {:>5.1}%, bottleneck in {:>2} steps",
+            s.name,
+            s.busy_cycles,
+            s.stall_cycles,
+            s.utilization() * 100.0,
+            s.bottleneck_steps
+        );
+    }
+    for stage in &report.workload.stages {
+        println!(
+            "    {:<8} input burstiness (peak/mean): {:.2}",
+            stage.name,
+            trace.burstiness(&stage.name)
+        );
+    }
+
+    // --- 2. Float vs fixed-point datapath.
+    println!("\ndatapath validation (int8 weights, Q16.16 membranes, Q15 leak):");
+    let fixed = match FixedNetwork::from_snapshot(&point.snapshot, FixedSpec::default()) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("fixed-point lowering failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let subset = test.take(100.min(test.len()));
+    let fx = evaluate_fixed(&fixed, &mut net, &subset, profile.encoding, profile.timesteps, 0);
+    let float_eval =
+        evaluate(&mut net, &subset, profile.encoding, profile.timesteps, profile.batch_size, 0);
+    println!("  float accuracy : {:.1}%", float_eval.accuracy * 100.0);
+    println!("  fixed accuracy : {:.1}%", fx.accuracy * 100.0);
+    println!("  prediction agreement: {:.1}% over {} samples", fx.agreement * 100.0, fx.samples);
+
+    let csv_path = out_dir.join("sim_validation.csv");
+    let rows = vec![
+        vec![
+            "analytic_latency_cycles".to_string(),
+            report.timing.latency_cycles().to_string(),
+        ],
+        vec!["simulated_latency_cycles".to_string(), sim.total_cycles.to_string()],
+        vec!["analytic_error".to_string(), format!("{:.4}", sim.analytic_error())],
+        vec!["float_accuracy".to_string(), format!("{:.4}", float_eval.accuracy)],
+        vec!["fixed_accuracy".to_string(), format!("{:.4}", fx.accuracy)],
+        vec!["fixed_float_agreement".to_string(), format!("{:.4}", fx.agreement)],
+    ];
+    if let Err(e) = write_csv(&csv_path, &["metric", "value"], rows.into_iter()) {
+        eprintln!("warning: could not write {}: {e}", csv_path.display());
+    } else {
+        println!("\nwrote {}", csv_path.display());
+    }
+    println!("total wall time: {:.1}s", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,67 @@
+//! Shared helpers for the figure-regeneration binaries and criterion
+//! benches.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+
+use snn_dse::ExperimentProfile;
+
+/// Parses `--profile <micro|quick|bench|full>` from `std::env::args`
+/// (default: `bench`) and `--out <dir>` (default: `results/`).
+///
+/// Exits the process with a usage message on an unknown profile —
+/// these are CLI entry points, not library calls.
+pub fn cli_options() -> (ExperimentProfile, PathBuf) {
+    let args: Vec<String> = std::env::args().collect();
+    let mut profile = ExperimentProfile::bench();
+    let mut out = PathBuf::from("results");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--profile" => {
+                let name = args.get(i + 1).map(String::as_str).unwrap_or("");
+                profile = match ExperimentProfile::by_name(name) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        eprintln!("usage: --profile <micro|quick|bench|full> [--out DIR]");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--out" => {
+                out = PathBuf::from(args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("error: --out requires a directory");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: --profile <micro|quick|bench|full> [--out DIR]");
+                std::process::exit(2);
+            }
+        }
+    }
+    (profile, out)
+}
+
+/// Prints a banner line for a regeneration binary.
+pub fn banner(title: &str, profile: &ExperimentProfile) {
+    println!("=== {title} ===");
+    println!(
+        "profile `{}`: {}x{}x{} images, {} train / {} test, {} epochs, T={}",
+        profile.name,
+        profile.channels,
+        profile.image_size,
+        profile.image_size,
+        profile.train_samples,
+        profile.test_samples,
+        profile.epochs,
+        profile.timesteps
+    );
+    println!();
+}

@@ -1,0 +1,140 @@
+//! Minimal flag parsing for the `snn` binary (the workspace's
+//! dependency policy excludes argument-parser crates).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` flags.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// The first positional argument.
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses an iterator of arguments (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if a flag is missing its value or a stray
+    /// positional argument appears after the subcommand.
+    pub fn parse(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+        let command = argv.next().unwrap_or_default();
+        let mut flags = BTreeMap::new();
+        while let Some(arg) = argv.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument `{arg}`"));
+            };
+            let value =
+                argv.next().ok_or_else(|| format!("flag --{key} requires a value"))?;
+            flags.insert(key.to_string(), value);
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// String flag with a default.
+    pub fn get<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.flags.get(key).map_or(default, String::as_str)
+    }
+
+    /// Optional string flag.
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Required string flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing flag.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.opt(key).ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// Parsed numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value does not parse.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => {
+                v.parse().map_err(|_| format!("flag --{key}: cannot parse `{v}`"))
+            }
+        }
+    }
+
+}
+
+/// Parses a surrogate spec like `fast_sigmoid:0.25` or `arctan:2`.
+///
+/// # Errors
+///
+/// Returns a message for unknown families or malformed scales.
+pub fn parse_surrogate(spec: &str) -> Result<snn_core::Surrogate, String> {
+    use snn_core::Surrogate;
+    let (family, scale) = match spec.split_once(':') {
+        Some((f, s)) => {
+            let scale: f32 =
+                s.parse().map_err(|_| format!("bad surrogate scale `{s}`"))?;
+            (f, scale)
+        }
+        None => (spec, 0.25),
+    };
+    match family {
+        "fast_sigmoid" => Ok(Surrogate::FastSigmoid { k: scale }),
+        "arctan" => Ok(Surrogate::ArcTan { alpha: scale }),
+        "sigmoid" => Ok(Surrogate::Sigmoid { slope: scale }),
+        "triangular" => Ok(Surrogate::Triangular { width: scale }),
+        "straight_through" => Ok(Surrogate::StraightThrough),
+        other => Err(format!(
+            "unknown surrogate `{other}` (expected fast_sigmoid|arctan|sigmoid|triangular|straight_through)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_core::Surrogate;
+
+    fn args(items: &[&str]) -> Result<Args, String> {
+        Args::parse(items.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = args(&["train", "--beta", "0.5", "--out", "m.json"]).unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.get("beta", "0.25"), "0.5");
+        assert_eq!(a.get("theta", "1.0"), "1.0");
+        assert_eq!(a.require("out").unwrap(), "m.json");
+        assert!(a.require("missing").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(args(&["x", "--flag"]).is_err());
+        assert!(args(&["x", "stray"]).is_err());
+    }
+
+    #[test]
+    fn numeric_parsing() {
+        let a = args(&["t", "--beta", "0.7"]).unwrap();
+        assert_eq!(a.get_parsed("beta", 0.25f32).unwrap(), 0.7);
+        assert_eq!(a.get_parsed("theta", 1.0f32).unwrap(), 1.0);
+        let bad = args(&["t", "--beta", "xyz"]).unwrap();
+        assert!(bad.get_parsed("beta", 0.25f32).is_err());
+    }
+
+    #[test]
+    fn surrogate_specs() {
+        assert_eq!(parse_surrogate("fast_sigmoid:0.5").unwrap(), Surrogate::FastSigmoid { k: 0.5 });
+        assert_eq!(parse_surrogate("arctan:2").unwrap(), Surrogate::ArcTan { alpha: 2.0 });
+        assert_eq!(parse_surrogate("fast_sigmoid").unwrap(), Surrogate::FastSigmoid { k: 0.25 });
+        assert_eq!(parse_surrogate("straight_through").unwrap(), Surrogate::StraightThrough);
+        assert!(parse_surrogate("nope").is_err());
+        assert!(parse_surrogate("arctan:abc").is_err());
+    }
+}

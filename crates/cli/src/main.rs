@@ -1,0 +1,210 @@
+//! `snn` — command-line front end for the DATE'24 reproduction
+//! workspace.
+//!
+//! ```text
+//! snn train --profile quick --beta 0.5 --theta 1.5 \
+//!           --surrogate fast_sigmoid:0.25 --out model.json
+//! snn eval  --model model.json --profile quick
+//! snn map   --model model.json --profile quick --dataflow dense
+//! snn info  --model model.json
+//! ```
+
+mod args;
+
+use args::{parse_surrogate, Args};
+
+use snn_accel::{AcceleratorConfig, FpgaDevice};
+use snn_core::{evaluate, fit, LifConfig, NetworkSnapshot, SpikingNetwork};
+use snn_dse::ExperimentProfile;
+use snn_tensor::derive_seed;
+
+const USAGE: &str = "\
+usage: snn <command> [flags]
+
+commands:
+  train   train the paper topology on synthetic SVHN and save a snapshot
+          --profile micro|quick|bench|full (quick)   --beta F (0.25)
+          --theta F (1.0)   --surrogate FAMILY[:SCALE] (fast_sigmoid:0.25)
+          --out PATH (model.json)
+  eval    evaluate a saved snapshot
+          --model PATH   --profile … (quick)
+  map     map a saved snapshot onto the accelerator model
+          --model PATH   --profile … (quick)
+          --dataflow event|dense (event)   --device kintex|artix (kintex)
+  info    print a saved snapshot's layer table
+          --model PATH
+";
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => die(&e),
+    };
+    let result = match args.command.as_str() {
+        "train" => cmd_train(&args),
+        "eval" => cmd_eval(&args),
+        "map" => cmd_map(&args),
+        "info" => cmd_info(&args),
+        "" | "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return;
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    if let Err(e) = result {
+        die(&e);
+    }
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("error: {message}\n\n{USAGE}");
+    std::process::exit(2)
+}
+
+fn profile_from(args: &Args) -> Result<ExperimentProfile, String> {
+    ExperimentProfile::by_name(args.get("profile", "quick"))
+}
+
+fn load_model(args: &Args) -> Result<NetworkSnapshot, String> {
+    let path = args.require("model")?;
+    NetworkSnapshot::load_json(path).map_err(|e| format!("cannot load `{path}`: {e}"))
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let profile = profile_from(args)?;
+    let beta: f32 = args.get_parsed("beta", 0.25)?;
+    let theta: f32 = args.get_parsed("theta", 1.0)?;
+    let surrogate = parse_surrogate(args.get("surrogate", "fast_sigmoid:0.25"))?;
+    let out = args.get("out", "model.json");
+
+    let (train, test) = profile.datasets();
+    let lif = LifConfig { beta, theta, surrogate, ..LifConfig::paper_default() };
+    lif.validate()?;
+    let mut net = SpikingNetwork::paper_topology(
+        profile.input_shape(),
+        train.classes(),
+        lif,
+        derive_seed(profile.seed, "weights"),
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "training {} parameters on {} samples ({} epochs, T={}, {} surrogate, β={beta}, θ={theta})",
+        net.param_count(),
+        train.len(),
+        profile.epochs,
+        profile.timesteps,
+        surrogate,
+    );
+    let cfg = profile.train_config();
+    let report = fit(&cfg, &mut net, &train)?;
+    for e in &report.epochs {
+        println!(
+            "  epoch {:>2}: loss {:.4}  acc {:.1}%  lr {:.5}",
+            e.epoch,
+            e.train_loss,
+            e.train_accuracy * 100.0,
+            e.lr
+        );
+    }
+    let eval = evaluate(&mut net, &test, cfg.encoding, profile.timesteps, profile.batch_size, 0);
+    println!(
+        "test accuracy {:.1}%  firing rate {:.1}%  ({:.1}s)",
+        eval.accuracy * 100.0,
+        eval.profile.mean_firing_rate() * 100.0,
+        report.wall_secs
+    );
+    NetworkSnapshot::from_network(&net)
+        .save_json(out)
+        .map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    println!("saved {out}");
+    Ok(())
+}
+
+fn cmd_eval(args: &Args) -> Result<(), String> {
+    let profile = profile_from(args)?;
+    let mut net = load_model(args)?.into_network();
+    let (_, test) = profile.datasets();
+    if test.item_shape() != net.input_item_shape() {
+        return Err(format!(
+            "model expects {} inputs but profile `{}` provides {}",
+            net.input_item_shape(),
+            profile.name,
+            test.item_shape()
+        ));
+    }
+    let eval = evaluate(
+        &mut net,
+        &test,
+        profile.encoding,
+        profile.timesteps,
+        profile.batch_size,
+        0,
+    );
+    println!("test accuracy {:.2}%  loss {:.4}", eval.accuracy * 100.0, eval.loss);
+    println!("per-layer firing:");
+    for l in &eval.profile.layers {
+        if l.neurons > 0 {
+            println!("  {:<10} {:>7} neurons  {:>6.2}%", l.name, l.neurons, l.firing_rate() * 100.0);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_map(args: &Args) -> Result<(), String> {
+    let profile = profile_from(args)?;
+    let snapshot = load_model(args)?;
+    let mut net = snapshot.clone().into_network();
+    let (_, test) = profile.datasets();
+    let eval = evaluate(
+        &mut net,
+        &test,
+        profile.encoding,
+        profile.timesteps,
+        profile.batch_size,
+        0,
+    );
+    let device = match args.get("device", "kintex") {
+        "kintex" => FpgaDevice::kintex_ultrascale_plus(),
+        "artix" => FpgaDevice::artix_class(),
+        other => return Err(format!("unknown device `{other}` (expected kintex|artix)")),
+    };
+    let sparsity_aware = match args.get("dataflow", "event") {
+        "event" => true,
+        "dense" => false,
+        other => return Err(format!("unknown dataflow `{other}` (expected event|dense)")),
+    };
+    let cfg = AcceleratorConfig {
+        device,
+        sparsity_aware,
+        ..AcceleratorConfig::sparsity_aware()
+    };
+    let report = cfg.map(&snapshot, &eval.profile).map_err(|e| e.to_string())?;
+    println!("{report}");
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let snapshot = load_model(args)?;
+    let net = snapshot.into_network();
+    println!(
+        "input {}  classes {}  parameters {}",
+        net.input_item_shape(),
+        net.classes(),
+        net.param_count()
+    );
+    println!("{:<10} {:>18} {:>12} {:>10}", "layer", "output", "params", "beta/theta");
+    for l in net.layers() {
+        let lif = l
+            .lif_config()
+            .map(|c| format!("{}/{}", c.beta, c.theta))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<10} {:>18} {:>12} {:>10}",
+            l.name(),
+            l.output_item_shape().to_string(),
+            l.param_count(),
+            lif
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,252 @@
+//! Confusion matrices and per-class metrics.
+
+use serde::{Deserialize, Serialize};
+
+use snn_data::{Dataset, SpikeEncoding};
+use snn_tensor::derive_seed;
+
+use crate::network::SpikingNetwork;
+
+/// A `K × K` confusion matrix: `counts[true][predicted]`.
+///
+/// # Examples
+///
+/// ```
+/// use snn_core::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::new(3);
+/// cm.record(0, 0);
+/// cm.record(0, 1);
+/// cm.record(1, 1);
+/// assert_eq!(cm.total(), 3);
+/// assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+/// assert!((cm.recall(0) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty `classes × classes` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        ConfusionMatrix { classes, counts: vec![0; classes * classes] }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one `(true, predicted)` observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is out of range.
+    pub fn record(&mut self, true_class: usize, predicted: usize) {
+        assert!(true_class < self.classes && predicted < self.classes, "label out of range");
+        self.counts[true_class * self.classes + predicted] += 1;
+    }
+
+    /// Count at `(true, predicted)`.
+    pub fn count(&self, true_class: usize, predicted: usize) -> u64 {
+        self.counts[true_class * self.classes + predicted]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (0.0 if empty).
+    pub fn accuracy(&self) -> f64 {
+        let diag: u64 = (0..self.classes).map(|i| self.count(i, i)).sum();
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            diag as f64 / total as f64
+        }
+    }
+
+    /// Recall of one class: `TP / (TP + FN)` (0.0 if the class never
+    /// occurred).
+    pub fn recall(&self, class: usize) -> f64 {
+        let row: u64 = (0..self.classes).map(|p| self.count(class, p)).sum();
+        if row == 0 {
+            0.0
+        } else {
+            self.count(class, class) as f64 / row as f64
+        }
+    }
+
+    /// Precision of one class: `TP / (TP + FP)` (0.0 if the class was
+    /// never predicted).
+    pub fn precision(&self, class: usize) -> f64 {
+        let col: u64 = (0..self.classes).map(|t| self.count(t, class)).sum();
+        if col == 0 {
+            0.0
+        } else {
+            self.count(class, class) as f64 / col as f64
+        }
+    }
+
+    /// F1 score of one class (harmonic mean of precision and recall).
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// The most-confused off-diagonal pair `(true, predicted, count)`,
+    /// or `None` if there are no errors.
+    pub fn worst_confusion(&self) -> Option<(usize, usize, u64)> {
+        let mut best: Option<(usize, usize, u64)> = None;
+        for t in 0..self.classes {
+            for p in 0..self.classes {
+                if t == p {
+                    continue;
+                }
+                let c = self.count(t, p);
+                if c > 0 && best.map_or(true, |(_, _, bc)| c > bc) {
+                    best = Some((t, p, c));
+                }
+            }
+        }
+        best
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "true\\pred")?;
+        for p in 0..self.classes {
+            write!(f, "{p:>6}")?;
+        }
+        writeln!(f)?;
+        for t in 0..self.classes {
+            write!(f, "{t:>9}")?;
+            for p in 0..self.classes {
+                write!(f, "{:>6}", self.count(t, p))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the confusion matrix of a network over a dataset.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty or shaped wrong for the network.
+pub fn confusion_matrix(
+    network: &mut SpikingNetwork,
+    dataset: &Dataset,
+    encoding: SpikeEncoding,
+    timesteps: usize,
+    batch_size: usize,
+    seed: u64,
+) -> ConfusionMatrix {
+    assert!(!dataset.is_empty(), "cannot evaluate an empty dataset");
+    let mut cm = ConfusionMatrix::new(dataset.classes());
+    for (bi, (batch, labels)) in dataset.batches(batch_size).enumerate() {
+        let frames = encoding.encode(&batch, timesteps, derive_seed(seed, &format!("cm{bi}")));
+        let out = network.run_sequence(&frames, false);
+        for (i, &label) in labels.iter().enumerate() {
+            cm.record(label, out.counts.argmax_row(i));
+        }
+    }
+    cm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neuron::LifConfig;
+    use snn_data::bars_dataset;
+    use snn_tensor::Shape;
+
+    #[test]
+    fn metrics_on_known_matrix() {
+        let mut cm = ConfusionMatrix::new(2);
+        // 8 TP for class 0, 2 misclassified as 1; 5 TP for class 1,
+        // 5 misclassified as 0.
+        for _ in 0..8 {
+            cm.record(0, 0);
+        }
+        for _ in 0..2 {
+            cm.record(0, 1);
+        }
+        for _ in 0..5 {
+            cm.record(1, 1);
+        }
+        for _ in 0..5 {
+            cm.record(1, 0);
+        }
+        assert_eq!(cm.total(), 20);
+        assert!((cm.accuracy() - 13.0 / 20.0).abs() < 1e-12);
+        assert!((cm.recall(0) - 0.8).abs() < 1e-12);
+        assert!((cm.recall(1) - 0.5).abs() < 1e-12);
+        assert!((cm.precision(0) - 8.0 / 13.0).abs() < 1e-12);
+        assert!((cm.precision(1) - 5.0 / 7.0).abs() < 1e-12);
+        assert!(cm.f1(0) > 0.0 && cm.f1(0) <= 1.0);
+        assert_eq!(cm.worst_confusion(), Some((1, 0, 5)));
+    }
+
+    #[test]
+    fn empty_matrix_behaves() {
+        let cm = ConfusionMatrix::new(3);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.recall(0), 0.0);
+        assert_eq!(cm.precision(0), 0.0);
+        assert_eq!(cm.f1(0), 0.0);
+        assert_eq!(cm.worst_confusion(), None);
+    }
+
+    #[test]
+    fn display_renders_grid() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 1);
+        let s = cm.to_string();
+        assert!(s.contains("true\\pred"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn network_confusion_consistent_with_accuracy() {
+        let lif = LifConfig { theta: 0.5, ..LifConfig::paper_default() };
+        let mut net = SpikingNetwork::builder(Shape::d3(1, 8, 8), 3)
+            .conv(4, 3, 1, 1, lif)
+            .unwrap()
+            .flatten()
+            .unwrap()
+            .dense(4, lif)
+            .unwrap()
+            .build()
+            .unwrap();
+        let ds = bars_dataset(24, 8, 1);
+        let cm = confusion_matrix(&mut net, &ds, SpikeEncoding::Direct, 4, 8, 0);
+        let eval =
+            crate::metrics::evaluate(&mut net, &ds, SpikeEncoding::Direct, 4, 8, 0);
+        assert_eq!(cm.total(), 24);
+        assert!((cm.accuracy() - eval.accuracy).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn record_checks_range() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(2, 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Flatten layer: `[N, C, H, W] → [N, C·H·W]`.
+
+use snn_tensor::{Shape, Tensor};
+
+use super::LayerActivity;
+
+/// Reshapes spatial spike maps into feature vectors for the dense
+/// head. Stateless and parameter-free; its backward pass is the
+/// inverse reshape.
+#[derive(Debug, Clone)]
+pub struct Flatten {
+    /// Layer name.
+    pub name: String,
+    /// Item shape expected on input (`[C, H, W]`).
+    pub input_item_shape: Shape,
+}
+
+impl Flatten {
+    /// Creates the layer for the given per-item input shape.
+    pub fn new(name: impl Into<String>, input_item_shape: Shape) -> Self {
+        Flatten { name: name.into(), input_item_shape }
+    }
+
+    /// Shape of one output item: `[C·H·W]`.
+    pub fn output_item_shape(&self) -> Shape {
+        Shape::d1(self.input_item_shape.len())
+    }
+
+    pub(crate) fn begin_sequence(&mut self, _train: bool) {}
+
+    pub(crate) fn forward_step(&mut self, input: &Tensor) -> Tensor {
+        let batch = input.shape().dim(0);
+        input
+            .reshape(Shape::d2(batch, self.input_item_shape.len()))
+            .expect("flatten preserves element count")
+    }
+
+    pub(crate) fn backward_step(&mut self, _t: usize, grad_output: &Tensor) -> Tensor {
+        let batch = grad_output.shape().dim(0);
+        let dims = self.input_item_shape.dims();
+        let mut full = vec![batch];
+        full.extend_from_slice(dims);
+        grad_output
+            .reshape(Shape::from_dims(&full))
+            .expect("flatten backward preserves element count")
+    }
+
+    pub(crate) fn activity(&self) -> LayerActivity {
+        // Reshape-only: contributes no neurons or spikes of its own.
+        LayerActivity {
+            name: self.name.clone(),
+            neurons: 0,
+            total_spikes: 0.0,
+            neuron_steps: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut l = Flatten::new("flat", Shape::d3(2, 3, 4));
+        l.begin_sequence(true);
+        let x = Tensor::from_fn(Shape::d4(5, 2, 3, 4), |i| i as f32);
+        let y = l.forward_step(&x);
+        assert_eq!(y.shape(), Shape::d2(5, 24));
+        let back = l.backward_step(0, &y);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn no_activity() {
+        let l = Flatten::new("flat", Shape::d3(1, 2, 2));
+        assert_eq!(l.activity().neurons, 0);
+        assert_eq!(l.activity().firing_rate(), 0.0);
+    }
+}

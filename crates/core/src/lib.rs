@@ -1,0 +1,74 @@
+//! # snn-core
+//!
+//! Spiking neural network training with surrogate gradients — the
+//! primary contribution of the DATE'24 paper this workspace
+//! reproduces.
+//!
+//! The crate provides:
+//!
+//! * [`Surrogate`] — arctangent and fast-sigmoid surrogate gradients
+//!   (paper Eqs. 3–4) plus extension families, parameterized by their
+//!   derivative scaling factors.
+//! * [`LifConfig`]/[`neuron`] — the leaky integrate-and-fire neuron of
+//!   Eqs. 1–2 with soft (subtract) or hard (zero) reset.
+//! * [`SpikingNetwork`] — feed-forward SNNs built from spiking conv,
+//!   spiking dense, max-pool, and flatten [`layer`]s, including the
+//!   paper's `32C3-P2-32C3-MP2-256-10` topology.
+//! * [`fit`]/[`TrainConfig`] — backpropagation through time with
+//!   per-timestep caching, Adam/SGD, cosine-annealed learning rates.
+//! * [`evaluate`]/[`SparsityProfile`] — accuracy plus the per-layer
+//!   firing statistics the hardware model (`snn-accel`) consumes.
+//!
+//! ## Example: train a small SNN
+//!
+//! ```
+//! use snn_core::{evaluate, fit, LifConfig, SpikingNetwork, TrainConfig};
+//! use snn_data::{bars_dataset, SpikeEncoding};
+//! use snn_tensor::Shape;
+//!
+//! let ds = bars_dataset(80, 8, 7);
+//! let (train, test) = ds.split(0.8);
+//! let lif = LifConfig { theta: 0.5, ..LifConfig::paper_default() };
+//! let mut net = SpikingNetwork::builder(Shape::d3(1, 8, 8), 42)
+//!     .conv(4, 3, 1, 1, lif)?
+//!     .maxpool(2)?
+//!     .flatten()?
+//!     .dense(4, lif)?
+//!     .build()?;
+//! let cfg = TrainConfig { epochs: 1, ..TrainConfig::default() };
+//! let report = fit(&cfg, &mut net, &train).expect("valid config");
+//! let eval = evaluate(&mut net, &test, SpikeEncoding::default(), 4, 16, 0);
+//! assert!(eval.accuracy >= 0.0 && report.epochs.len() == 1);
+//! # Ok::<(), snn_core::BuildNetworkError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod confusion;
+pub mod layer;
+mod loss;
+mod metrics;
+pub mod neuron;
+mod network;
+mod optim;
+mod prune;
+mod schedule;
+mod snapshot;
+mod surrogate;
+mod trace;
+mod trainer;
+
+pub use confusion::{confusion_matrix, ConfusionMatrix};
+pub use layer::{Layer, LayerActivity, ParamMut};
+pub use loss::Loss;
+pub use metrics::{evaluate, evaluate_temporal, EvalReport, SparsityProfile};
+pub use neuron::{LifConfig, ResetMode};
+pub use network::{BuildNetworkError, NetworkBuilder, SequenceOutput, SpikingNetwork};
+pub use optim::{clip_grad_norm, Optimizer, OptimizerKind};
+pub use prune::{prune_snapshot, LayerPruneStats, PruneReport};
+pub use schedule::LrSchedule;
+pub use snapshot::{LayerSnapshot, NetworkSnapshot};
+pub use surrogate::Surrogate;
+pub use trace::{trace_spikes, LayerTrace, SpikeTrace};
+pub use trainer::{fit, fit_temporal, EpochStats, TrainConfig, TrainReport};

@@ -1,0 +1,210 @@
+//! Loss functions on output spike counts.
+//!
+//! The network's readout is rate-coded: class scores are the output
+//! layer's spike counts over the sequence. Both losses return the
+//! gradient w.r.t. those counts; since `count = Σ_t s[t]`, the same
+//! gradient seeds every timestep of BPTT.
+
+use serde::{Deserialize, Serialize};
+
+use snn_tensor::{Shape, Tensor};
+
+/// Loss functions over `[N, classes]` spike-count tensors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Loss {
+    /// Softmax cross-entropy on spike counts (the usual snnTorch
+    /// `ce_count_loss` flow).
+    CountCrossEntropy,
+    /// Mean-squared error against target firing fractions: the
+    /// correct class should fire in `correct` of timesteps, the
+    /// others in `wrong` (snnTorch's `mse_count_loss`).
+    CountMse {
+        /// Target firing fraction for the labeled class.
+        correct: f32,
+        /// Target firing fraction for every other class.
+        wrong: f32,
+    },
+}
+
+impl Default for Loss {
+    fn default() -> Self {
+        Loss::CountCrossEntropy
+    }
+}
+
+impl Loss {
+    /// Short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Loss::CountCrossEntropy => "ce_count",
+            Loss::CountMse { .. } => "mse_count",
+        }
+    }
+
+    /// Computes `(mean loss, ∂L/∂counts)` for a batch.
+    ///
+    /// `timesteps` converts the MSE firing fractions into absolute
+    /// count targets; it is ignored by cross-entropy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is not `[N, classes]` with `N == labels
+    /// .len()`, or a label is out of range.
+    pub fn forward(&self, counts: &Tensor, labels: &[usize], timesteps: usize) -> (f64, Tensor) {
+        assert_eq!(counts.shape().rank(), 2, "counts must be [N, classes]");
+        let n = counts.shape().dim(0);
+        let k = counts.shape().dim(1);
+        assert_eq!(n, labels.len(), "batch/label count mismatch");
+        assert!(labels.iter().all(|&l| l < k), "label out of range");
+        let mut grad = Tensor::zeros(Shape::d2(n, k));
+        let cv = counts.as_slice();
+        let gv = grad.as_mut_slice();
+        let mut loss = 0.0f64;
+        match *self {
+            Loss::CountCrossEntropy => {
+                for (i, &label) in labels.iter().enumerate() {
+                    let row = &cv[i * k..(i + 1) * k];
+                    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+                    let z: f32 = exps.iter().sum();
+                    let p_label = exps[label] / z;
+                    loss -= (p_label.max(1e-12) as f64).ln();
+                    for j in 0..k {
+                        let p = exps[j] / z;
+                        gv[i * k + j] =
+                            (p - if j == label { 1.0 } else { 0.0 }) / n as f32;
+                    }
+                }
+                loss /= n as f64;
+            }
+            Loss::CountMse { correct, wrong } => {
+                let t = timesteps as f32;
+                for (i, &label) in labels.iter().enumerate() {
+                    for j in 0..k {
+                        let target = if j == label { correct } else { wrong } * t;
+                        let diff = cv[i * k + j] - target;
+                        loss += (diff * diff) as f64;
+                        gv[i * k + j] = 2.0 * diff / (n * k) as f32;
+                    }
+                }
+                loss /= (n * k) as f64;
+            }
+        }
+        (loss, grad)
+    }
+
+    /// Batch accuracy of count-argmax predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shape/label mismatch (see [`Loss::forward`]).
+    pub fn accuracy(counts: &Tensor, labels: &[usize]) -> f64 {
+        assert_eq!(counts.shape().rank(), 2);
+        let n = counts.shape().dim(0);
+        assert_eq!(n, labels.len());
+        let correct = labels
+            .iter()
+            .enumerate()
+            .filter(|&(i, &l)| counts.argmax_row(i) == l)
+            .count();
+        correct as f64 / n.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(rows: &[&[f32]]) -> Tensor {
+        let k = rows[0].len();
+        let data: Vec<f32> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        Tensor::from_vec(Shape::d2(rows.len(), k), data).unwrap()
+    }
+
+    #[test]
+    fn ce_prefers_correct_class() {
+        let good = counts(&[&[5.0, 0.0, 0.0]]);
+        let bad = counts(&[&[0.0, 5.0, 0.0]]);
+        let (lg, _) = Loss::CountCrossEntropy.forward(&good, &[0], 5);
+        let (lb, _) = Loss::CountCrossEntropy.forward(&bad, &[0], 5);
+        assert!(lg < lb);
+    }
+
+    #[test]
+    fn ce_gradient_signs() {
+        let c = counts(&[&[1.0, 2.0, 0.0]]);
+        let (_, g) = Loss::CountCrossEntropy.forward(&c, &[0], 4);
+        // Correct class pushed up (negative grad), others down.
+        assert!(g.at2(0, 0) < 0.0);
+        assert!(g.at2(0, 1) > 0.0);
+        assert!(g.at2(0, 2) > 0.0);
+        // Softmax gradient sums to zero per row.
+        assert!((g.at2(0, 0) + g.at2(0, 1) + g.at2(0, 2)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ce_numeric_gradient() {
+        let mut c = counts(&[&[1.0, 2.0, -0.5], &[0.0, 0.5, 3.0]]);
+        let labels = [1usize, 2];
+        let (_, g) = Loss::CountCrossEntropy.forward(&c, &labels, 4);
+        let eps = 1e-3f32;
+        for idx in 0..c.len() {
+            let orig = c.as_slice()[idx];
+            c.as_mut_slice()[idx] = orig + eps;
+            let (lp, _) = Loss::CountCrossEntropy.forward(&c, &labels, 4);
+            c.as_mut_slice()[idx] = orig - eps;
+            let (lm, _) = Loss::CountCrossEntropy.forward(&c, &labels, 4);
+            c.as_mut_slice()[idx] = orig;
+            let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (numeric - g.as_slice()[idx]).abs() < 1e-3,
+                "idx {idx}: {numeric} vs {}",
+                g.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn mse_targets_scale_with_timesteps() {
+        let l = Loss::CountMse { correct: 0.8, wrong: 0.2 };
+        // Perfect prediction at T=10: correct fires 8, wrong 2 each.
+        let perfect = counts(&[&[8.0, 2.0, 2.0]]);
+        let (loss, g) = l.forward(&perfect, &[0], 10);
+        assert!(loss < 1e-12);
+        assert!(g.sq_norm() < 1e-12);
+    }
+
+    #[test]
+    fn mse_numeric_gradient() {
+        let l = Loss::CountMse { correct: 1.0, wrong: 0.0 };
+        let mut c = counts(&[&[2.0, 3.0], &[1.0, 0.0]]);
+        let labels = [0usize, 1];
+        let (_, g) = l.forward(&c, &labels, 4);
+        let eps = 1e-3f32;
+        for idx in 0..c.len() {
+            let orig = c.as_slice()[idx];
+            c.as_mut_slice()[idx] = orig + eps;
+            let (lp, _) = l.forward(&c, &labels, 4);
+            c.as_mut_slice()[idx] = orig - eps;
+            let (lm, _) = l.forward(&c, &labels, 4);
+            c.as_mut_slice()[idx] = orig;
+            let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!((numeric - g.as_slice()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let c = counts(&[&[3.0, 1.0], &[0.0, 2.0], &[5.0, 5.0]]);
+        // Row 2 ties → argmax picks index 0.
+        let acc = Loss::accuracy(&c, &[0, 1, 1]);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        let c = counts(&[&[1.0, 2.0]]);
+        let _ = Loss::CountCrossEntropy.forward(&c, &[2], 4);
+    }
+}

@@ -1,0 +1,270 @@
+//! First-order optimizers operating on [`ParamMut`] views.
+
+use serde::{Deserialize, Serialize};
+
+use snn_tensor::Tensor;
+
+use crate::layer::ParamMut;
+
+/// Optimizer algorithm and its hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// Stochastic gradient descent with classical momentum.
+    Sgd {
+        /// Momentum coefficient in `[0, 1)`; 0 disables momentum.
+        momentum: f32,
+    },
+    /// Adam (Kingma & Ba) with bias correction.
+    Adam {
+        /// Exponential decay for the first moment.
+        beta1: f32,
+        /// Exponential decay for the second moment.
+        beta2: f32,
+        /// Numerical floor added to the denominator.
+        eps: f32,
+    },
+}
+
+impl Default for OptimizerKind {
+    /// Adam with the standard (0.9, 0.999, 1e-8) constants — the
+    /// snnTorch reference flow's choice.
+    fn default() -> Self {
+        OptimizerKind::Adam { beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+    }
+}
+
+/// Per-parameter optimizer state.
+#[derive(Debug, Clone)]
+enum SlotState {
+    Sgd { velocity: Tensor },
+    Adam { m: Tensor, v: Tensor },
+}
+
+/// A stateful optimizer.
+///
+/// State slots are keyed by parameter *position*, so the caller must
+/// always pass parameters in the same order —
+/// [`crate::SpikingNetwork::params_mut`] guarantees a stable order.
+///
+/// # Examples
+///
+/// ```
+/// use snn_core::{Optimizer, OptimizerKind};
+///
+/// let mut opt = Optimizer::new(OptimizerKind::Sgd { momentum: 0.9 }, 0.01);
+/// assert_eq!(opt.lr(), 0.01);
+/// opt.set_lr(0.005);
+/// assert_eq!(opt.lr(), 0.005);
+/// ```
+#[derive(Debug)]
+pub struct Optimizer {
+    kind: OptimizerKind,
+    lr: f32,
+    t: u64,
+    slots: Vec<SlotState>,
+}
+
+impl Optimizer {
+    /// Creates an optimizer with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(kind: OptimizerKind, lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive, got {lr}");
+        Optimizer { kind, lr, t: 0, slots: Vec::new() }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (called by schedulers between
+    /// epochs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive, got {lr}");
+        self.lr = lr;
+    }
+
+    /// The configured algorithm.
+    pub fn kind(&self) -> OptimizerKind {
+        self.kind
+    }
+
+    /// Applies one update step to the given parameters using their
+    /// accumulated gradients. Gradients are *not* zeroed; call
+    /// [`crate::SpikingNetwork::zero_grads`] afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter list shrinks or reorders between calls
+    /// (detected via shape mismatch with the stored state).
+    pub fn step(&mut self, params: &mut [ParamMut<'_>]) {
+        self.t += 1;
+        // Lazily create state slots on first sight of each parameter.
+        while self.slots.len() < params.len() {
+            let p = &params[self.slots.len()];
+            let zero = Tensor::zeros(p.value.shape());
+            self.slots.push(match self.kind {
+                OptimizerKind::Sgd { .. } => SlotState::Sgd { velocity: zero },
+                OptimizerKind::Adam { .. } => SlotState::Adam { m: zero.clone(), v: zero },
+            });
+        }
+        for (p, slot) in params.iter_mut().zip(&mut self.slots) {
+            assert_eq!(
+                p.value.shape(),
+                match slot {
+                    SlotState::Sgd { velocity } => velocity.shape(),
+                    SlotState::Adam { m, .. } => m.shape(),
+                },
+                "parameter order changed between optimizer steps ({})",
+                p.name
+            );
+            match (self.kind, slot) {
+                (OptimizerKind::Sgd { momentum }, SlotState::Sgd { velocity }) => {
+                    let vv = velocity.as_mut_slice();
+                    let gv = p.grad.as_slice();
+                    let wv = p.value.as_mut_slice();
+                    for i in 0..wv.len() {
+                        vv[i] = momentum * vv[i] + gv[i];
+                        wv[i] -= self.lr * vv[i];
+                    }
+                }
+                (OptimizerKind::Adam { beta1, beta2, eps }, SlotState::Adam { m, v }) => {
+                    let bc1 = 1.0 - beta1.powi(self.t as i32);
+                    let bc2 = 1.0 - beta2.powi(self.t as i32);
+                    let mv = m.as_mut_slice();
+                    let vv = v.as_mut_slice();
+                    let gv = p.grad.as_slice();
+                    let wv = p.value.as_mut_slice();
+                    for i in 0..wv.len() {
+                        mv[i] = beta1 * mv[i] + (1.0 - beta1) * gv[i];
+                        vv[i] = beta2 * vv[i] + (1.0 - beta2) * gv[i] * gv[i];
+                        let m_hat = mv[i] / bc1;
+                        let v_hat = vv[i] / bc2;
+                        wv[i] -= self.lr * m_hat / (v_hat.sqrt() + eps);
+                    }
+                }
+                _ => unreachable!("slot kind always matches optimizer kind"),
+            }
+        }
+    }
+}
+
+/// Scales gradients so their global L2 norm does not exceed
+/// `max_norm`. Returns the pre-clip norm.
+pub fn clip_grad_norm(params: &mut [ParamMut<'_>], max_norm: f32) -> f64 {
+    let total: f64 = params.iter().map(|p| p.grad.sq_norm()).sum();
+    let norm = total.sqrt();
+    if norm > max_norm as f64 && norm > 0.0 {
+        let scale = (max_norm as f64 / norm) as f32;
+        for p in params.iter_mut() {
+            p.grad.scale_in_place(scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_tensor::Shape;
+
+    fn quad_setup() -> (Tensor, Tensor) {
+        // Minimize f(w) = ½‖w‖²; grad = w.
+        let w = Tensor::from_vec(Shape::d1(3), vec![1.0, -2.0, 0.5]).unwrap();
+        let g = Tensor::zeros(Shape::d1(3));
+        (w, g)
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let (mut w, mut g) = quad_setup();
+        let mut opt = Optimizer::new(OptimizerKind::Sgd { momentum: 0.0 }, 0.1);
+        for _ in 0..100 {
+            let grad_vals = w.clone();
+            g.as_mut_slice().copy_from_slice(grad_vals.as_slice());
+            let mut params =
+                vec![ParamMut { name: "w".into(), value: &mut w, grad: &mut g }];
+            opt.step(&mut params);
+        }
+        assert!(w.sq_norm() < 1e-6, "‖w‖² = {}", w.sq_norm());
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let run = |momentum: f32| -> f64 {
+            let (mut w, mut g) = quad_setup();
+            let mut opt = Optimizer::new(OptimizerKind::Sgd { momentum }, 0.01);
+            for _ in 0..50 {
+                let grad_vals = w.clone();
+                g.as_mut_slice().copy_from_slice(grad_vals.as_slice());
+                let mut params =
+                    vec![ParamMut { name: "w".into(), value: &mut w, grad: &mut g }];
+                opt.step(&mut params);
+            }
+            w.sq_norm()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let (mut w, mut g) = quad_setup();
+        let mut opt = Optimizer::new(OptimizerKind::default(), 0.05);
+        let start = w.sq_norm();
+        for _ in 0..200 {
+            let grad_vals = w.clone();
+            g.as_mut_slice().copy_from_slice(grad_vals.as_slice());
+            let mut params =
+                vec![ParamMut { name: "w".into(), value: &mut w, grad: &mut g }];
+            opt.step(&mut params);
+        }
+        assert!(w.sq_norm() < start * 1e-3, "‖w‖² = {}", w.sq_norm());
+    }
+
+    #[test]
+    fn adam_first_step_magnitude_is_lr() {
+        // With bias correction, the first Adam step is ≈ lr in each
+        // coordinate with a nonzero gradient.
+        let mut w = Tensor::from_vec(Shape::d1(2), vec![1.0, 1.0]).unwrap();
+        let mut g = Tensor::from_vec(Shape::d1(2), vec![0.3, -7.0]).unwrap();
+        let mut opt = Optimizer::new(OptimizerKind::default(), 0.01);
+        let mut params = vec![ParamMut { name: "w".into(), value: &mut w, grad: &mut g }];
+        opt.step(&mut params);
+        assert!((w.as_slice()[0] - (1.0 - 0.01)).abs() < 1e-4);
+        assert!((w.as_slice()[1] - (1.0 + 0.01)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn clip_caps_global_norm() {
+        let mut w = Tensor::zeros(Shape::d1(2));
+        let mut g = Tensor::from_vec(Shape::d1(2), vec![3.0, 4.0]).unwrap();
+        let mut params = vec![ParamMut { name: "w".into(), value: &mut w, grad: &mut g }];
+        let pre = clip_grad_norm(&mut params, 1.0);
+        assert!((pre - 5.0).abs() < 1e-9);
+        let post: f64 = params[0].grad.sq_norm();
+        assert!((post.sqrt() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_leaves_small_grads_alone() {
+        let mut w = Tensor::zeros(Shape::d1(2));
+        let mut g = Tensor::from_vec(Shape::d1(2), vec![0.1, 0.1]).unwrap();
+        let before = g.clone();
+        let mut params = vec![ParamMut { name: "w".into(), value: &mut w, grad: &mut g }];
+        clip_grad_norm(&mut params, 1.0);
+        assert_eq!(*params[0].grad, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn rejects_bad_lr() {
+        let _ = Optimizer::new(OptimizerKind::default(), 0.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Magnitude-based weight pruning.
+//!
+//! The paper's reference [2] (Wang et al., ISCAS'23) accelerates SNNs
+//! by exploiting *both* spike sparsity and weight sparsity. This
+//! module provides the training-side half of that extension: global
+//! per-tensor magnitude pruning of a trained snapshot. The hardware
+//! model (`snn-accel`) picks the resulting weight density up from the
+//! snapshot and discounts event-driven MAC work accordingly.
+
+use serde::{Deserialize, Serialize};
+
+use snn_tensor::Tensor;
+
+use crate::snapshot::{LayerSnapshot, NetworkSnapshot};
+
+/// Per-layer outcome of a pruning pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerPruneStats {
+    /// Layer name.
+    pub name: String,
+    /// Weights before pruning.
+    pub total: usize,
+    /// Nonzero weights after pruning.
+    pub nonzero: usize,
+}
+
+impl LayerPruneStats {
+    /// Fraction of weights that survived.
+    pub fn density(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.nonzero as f64 / self.total as f64
+        }
+    }
+}
+
+/// Outcome of pruning a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PruneReport {
+    /// Per-layer statistics (spiking layers only).
+    pub layers: Vec<LayerPruneStats>,
+    /// Fraction requested for removal.
+    pub requested_fraction: f64,
+}
+
+impl PruneReport {
+    /// Overall surviving-weight density across all pruned layers.
+    pub fn overall_density(&self) -> f64 {
+        let (nz, total) = self
+            .layers
+            .iter()
+            .fold((0usize, 0usize), |(nz, t), l| (nz + l.nonzero, t + l.total));
+        if total == 0 {
+            1.0
+        } else {
+            nz as f64 / total as f64
+        }
+    }
+}
+
+/// Zeroes the smallest-magnitude `fraction` of each weight tensor
+/// (per-tensor thresholding; biases are untouched).
+///
+/// Returns the pruned snapshot and a report. `fraction = 0.0` is a
+/// no-op; `fraction = 1.0` zeroes everything.
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `[0, 1]`.
+pub fn prune_snapshot(snapshot: &NetworkSnapshot, fraction: f64) -> (NetworkSnapshot, PruneReport) {
+    assert!((0.0..=1.0).contains(&fraction), "prune fraction {fraction} out of range");
+    let mut out = snapshot.clone();
+    let mut layers = Vec::new();
+    for layer in &mut out.layers {
+        let (name, weight) = match layer {
+            LayerSnapshot::Conv { name, weight, .. } => (name.clone(), weight),
+            LayerSnapshot::Dense { name, weight, .. } => (name.clone(), weight),
+            _ => continue,
+        };
+        prune_tensor(weight, fraction);
+        layers.push(LayerPruneStats {
+            name,
+            total: weight.len(),
+            nonzero: weight.count_nonzero(),
+        });
+    }
+    (out, PruneReport { layers, requested_fraction: fraction })
+}
+
+/// Zeroes the smallest-magnitude `fraction` of one tensor in place.
+fn prune_tensor(t: &mut Tensor, fraction: f64) {
+    if fraction <= 0.0 || t.is_empty() {
+        return;
+    }
+    let k = ((t.len() as f64) * fraction).round() as usize;
+    if k == 0 {
+        return;
+    }
+    if k >= t.len() {
+        t.fill(0.0);
+        return;
+    }
+    let mut mags: Vec<f32> = t.as_slice().iter().map(|v| v.abs()).collect();
+    mags.sort_by(f32::total_cmp);
+    let threshold = mags[k - 1];
+    // Zero values strictly below the threshold first, then remove
+    // ties at the threshold until exactly k are gone (keeps the count
+    // deterministic when many weights share a magnitude).
+    let mut removed = 0usize;
+    let data = t.as_mut_slice();
+    for v in data.iter_mut() {
+        if v.abs() < threshold && *v != 0.0 {
+            *v = 0.0;
+            removed += 1;
+        }
+    }
+    if removed < k {
+        for v in data.iter_mut() {
+            if removed >= k {
+                break;
+            }
+            if *v != 0.0 && v.abs() == threshold {
+                *v = 0.0;
+                removed += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neuron::LifConfig;
+    use crate::network::SpikingNetwork;
+    use snn_tensor::Shape;
+
+    fn snapshot() -> NetworkSnapshot {
+        let net = SpikingNetwork::paper_topology(
+            Shape::d3(1, 16, 16),
+            4,
+            LifConfig { theta: 0.5, ..LifConfig::paper_default() },
+            5,
+        )
+        .unwrap();
+        NetworkSnapshot::from_network(&net)
+    }
+
+    #[test]
+    fn zero_fraction_is_noop() {
+        let snap = snapshot();
+        let (pruned, report) = prune_snapshot(&snap, 0.0);
+        assert_eq!(pruned, snap);
+        assert!((report.overall_density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prunes_requested_fraction() {
+        let snap = snapshot();
+        let (_, report) = prune_snapshot(&snap, 0.5);
+        for l in &report.layers {
+            assert!(
+                (l.density() - 0.5).abs() < 0.02,
+                "{}: density {} after 50% prune",
+                l.name,
+                l.density()
+            );
+        }
+        assert!((report.overall_density() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn full_prune_zeroes_everything() {
+        let snap = snapshot();
+        let (pruned, report) = prune_snapshot(&snap, 1.0);
+        assert_eq!(report.overall_density(), 0.0);
+        for layer in &pruned.layers {
+            if let LayerSnapshot::Conv { weight, .. } | LayerSnapshot::Dense { weight, .. } =
+                layer
+            {
+                assert_eq!(weight.count_nonzero(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn keeps_largest_magnitudes() {
+        let mut t = Tensor::from_vec(
+            Shape::d1(6),
+            vec![0.1, -0.9, 0.2, 0.8, -0.05, 0.5],
+        )
+        .unwrap();
+        prune_tensor(&mut t, 0.5);
+        assert_eq!(t.as_slice(), &[0.0, -0.9, 0.0, 0.8, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn tie_handling_exact_count() {
+        let mut t = Tensor::from_vec(Shape::d1(4), vec![0.5, 0.5, 0.5, 0.5]).unwrap();
+        prune_tensor(&mut t, 0.5);
+        assert_eq!(t.count_nonzero(), 2);
+    }
+
+    #[test]
+    fn pruned_network_still_runs() {
+        let snap = snapshot();
+        let (pruned, _) = prune_snapshot(&snap, 0.7);
+        let mut net = pruned.into_network();
+        let frames = vec![Tensor::ones(Shape::d4(1, 1, 16, 16)); 3];
+        let out = net.run_sequence(&frames, false);
+        assert_eq!(out.counts.shape(), Shape::d2(1, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_fraction() {
+        let _ = prune_snapshot(&snapshot(), 1.5);
+    }
+}

@@ -1,0 +1,144 @@
+//! Learning-rate schedules.
+//!
+//! The paper trains with cosine annealing (SGDR, Loshchilov & Hutter)
+//! over 25 epochs "due to its ability to rapidly converge to optimal
+//! accuracy"; [`LrSchedule::CosineAnnealing`] reproduces that
+//! schedule.
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule evaluated per epoch.
+///
+/// # Examples
+///
+/// ```
+/// use snn_core::LrSchedule;
+///
+/// let s = LrSchedule::CosineAnnealing { t_max: 25, eta_min: 0.0 };
+/// let lr0 = s.lr_at(0.01, 0, 25);
+/// let lr24 = s.lr_at(0.01, 24, 25);
+/// assert!(lr0 > lr24);
+/// assert!((lr0 - 0.01).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Cosine annealing from the base rate down to `eta_min` over
+    /// `t_max` epochs:
+    /// `lr(e) = eta_min + ½(base − eta_min)(1 + cos(π·e/t_max))`.
+    CosineAnnealing {
+        /// Period of the anneal in epochs (the paper uses the full
+        /// training length, 25).
+        t_max: usize,
+        /// Floor learning rate.
+        eta_min: f32,
+    },
+    /// Multiply the rate by `gamma` every `every` epochs.
+    StepDecay {
+        /// Epoch interval between decays.
+        every: usize,
+        /// Multiplicative factor per decay.
+        gamma: f32,
+    },
+}
+
+impl Default for LrSchedule {
+    fn default() -> Self {
+        LrSchedule::CosineAnnealing { t_max: 25, eta_min: 0.0 }
+    }
+}
+
+impl LrSchedule {
+    /// Learning rate at `epoch` (0-based) given the base rate.
+    ///
+    /// `total_epochs` lets `CosineAnnealing` fall back to the run
+    /// length when `t_max` is zero.
+    ///
+    /// The result is clamped to a tiny positive floor so optimizers
+    /// (which reject non-positive rates) always accept it.
+    pub fn lr_at(&self, base_lr: f32, epoch: usize, total_epochs: usize) -> f32 {
+        let lr = match *self {
+            LrSchedule::Constant => base_lr,
+            LrSchedule::CosineAnnealing { t_max, eta_min } => {
+                let t_max = if t_max == 0 { total_epochs.max(1) } else { t_max };
+                let phase = (epoch % t_max) as f32 / t_max as f32;
+                eta_min
+                    + 0.5 * (base_lr - eta_min) * (1.0 + (std::f32::consts::PI * phase).cos())
+            }
+            LrSchedule::StepDecay { every, gamma } => {
+                let k = if every == 0 { 0 } else { (epoch / every) as i32 };
+                base_lr * gamma.powi(k)
+            }
+        };
+        lr.max(1e-12)
+    }
+
+    /// Short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LrSchedule::Constant => "constant",
+            LrSchedule::CosineAnnealing { .. } => "cosine",
+            LrSchedule::StepDecay { .. } => "step",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant;
+        for e in 0..10 {
+            assert_eq!(s.lr_at(0.01, e, 10), 0.01);
+        }
+    }
+
+    #[test]
+    fn cosine_monotone_within_period() {
+        let s = LrSchedule::CosineAnnealing { t_max: 10, eta_min: 0.001 };
+        let mut prev = f32::INFINITY;
+        for e in 0..10 {
+            let lr = s.lr_at(0.1, e, 10);
+            assert!(lr < prev, "epoch {e}: {lr} !< {prev}");
+            assert!(lr >= 0.001 - 1e-6);
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn cosine_warm_restart() {
+        // SGDR: rate jumps back up at the period boundary.
+        let s = LrSchedule::CosineAnnealing { t_max: 5, eta_min: 0.0 };
+        let end_of_period = s.lr_at(0.1, 4, 20);
+        let restart = s.lr_at(0.1, 5, 20);
+        assert!(restart > end_of_period);
+        assert!((restart - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_zero_tmax_uses_total() {
+        let s = LrSchedule::CosineAnnealing { t_max: 0, eta_min: 0.0 };
+        assert!((s.lr_at(0.1, 0, 20) - 0.1).abs() < 1e-9);
+        assert!(s.lr_at(0.1, 19, 20) < 0.01);
+    }
+
+    #[test]
+    fn step_decay_halves() {
+        let s = LrSchedule::StepDecay { every: 3, gamma: 0.5 };
+        assert_eq!(s.lr_at(0.08, 0, 12), 0.08);
+        assert_eq!(s.lr_at(0.08, 2, 12), 0.08);
+        assert_eq!(s.lr_at(0.08, 3, 12), 0.04);
+        assert_eq!(s.lr_at(0.08, 6, 12), 0.02);
+    }
+
+    #[test]
+    fn never_returns_nonpositive() {
+        let s = LrSchedule::CosineAnnealing { t_max: 4, eta_min: 0.0 };
+        for e in 0..8 {
+            assert!(s.lr_at(0.1, e, 8) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Serializable model snapshots (weights + hyperparameters).
+//!
+//! Snapshots decouple training from hardware mapping: a sweep can
+//! train once, save snapshots, and re-map them onto different
+//! accelerator configurations later.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use snn_tensor::conv::Conv2dGeometry;
+use snn_tensor::pool::Pool2dGeometry;
+use snn_tensor::{Shape, Tensor};
+
+use crate::layer::{Flatten, Layer, MaxPool2d, SpikingConv2d, SpikingDense};
+use crate::neuron::LifConfig;
+use crate::network::SpikingNetwork;
+
+/// Serialized form of one layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LayerSnapshot {
+    /// A [`SpikingConv2d`].
+    Conv {
+        /// Layer name.
+        name: String,
+        /// Convolution geometry.
+        geom: Conv2dGeometry,
+        /// Neuron configuration.
+        lif: LifConfig,
+        /// Filter bank.
+        weight: Tensor,
+        /// Per-filter bias.
+        bias: Tensor,
+    },
+    /// A [`SpikingDense`].
+    Dense {
+        /// Layer name.
+        name: String,
+        /// Neuron configuration.
+        lif: LifConfig,
+        /// Weight matrix `[out, in]`.
+        weight: Tensor,
+        /// Per-neuron bias.
+        bias: Tensor,
+    },
+    /// A [`MaxPool2d`].
+    Pool {
+        /// Layer name.
+        name: String,
+        /// Pooling geometry.
+        geom: Pool2dGeometry,
+    },
+    /// A [`Flatten`].
+    Flatten {
+        /// Layer name.
+        name: String,
+        /// Per-item input shape dims.
+        input_item_dims: Vec<usize>,
+    },
+}
+
+/// Serialized form of a whole network.
+///
+/// # Examples
+///
+/// ```
+/// use snn_core::{LifConfig, NetworkSnapshot, SpikingNetwork};
+/// use snn_tensor::Shape;
+///
+/// let net = SpikingNetwork::paper_topology(
+///     Shape::d3(1, 16, 16), 4, LifConfig::paper_default(), 7)?;
+/// let snap = NetworkSnapshot::from_network(&net);
+/// let json = serde_json::to_string(&snap).expect("serializable");
+/// let back: NetworkSnapshot = serde_json::from_str(&json).expect("roundtrip");
+/// let restored = back.into_network();
+/// assert_eq!(restored.param_count(), net.param_count());
+/// # Ok::<(), snn_core::BuildNetworkError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSnapshot {
+    /// Per-item input shape dims.
+    pub input_item_dims: Vec<usize>,
+    /// Number of output classes.
+    pub classes: usize,
+    /// Layer snapshots in forward order.
+    pub layers: Vec<LayerSnapshot>,
+}
+
+impl NetworkSnapshot {
+    /// Captures the trainable state of a network.
+    pub fn from_network(net: &SpikingNetwork) -> Self {
+        let layers = net
+            .layers()
+            .iter()
+            .map(|l| match l {
+                Layer::SpikingConv2d(c) => LayerSnapshot::Conv {
+                    name: c.name.clone(),
+                    geom: c.geom,
+                    lif: c.lif,
+                    weight: c.weight.clone(),
+                    bias: c.bias.clone(),
+                },
+                Layer::SpikingDense(d) => LayerSnapshot::Dense {
+                    name: d.name.clone(),
+                    lif: d.lif,
+                    weight: d.weight.clone(),
+                    bias: d.bias.clone(),
+                },
+                Layer::MaxPool2d(p) => {
+                    LayerSnapshot::Pool { name: p.name.clone(), geom: p.geom }
+                }
+                Layer::Flatten(f) => LayerSnapshot::Flatten {
+                    name: f.name.clone(),
+                    input_item_dims: f.input_item_shape.dims().to_vec(),
+                },
+            })
+            .collect();
+        NetworkSnapshot {
+            input_item_dims: net.input_item_shape().dims().to_vec(),
+            classes: net.classes(),
+            layers,
+        }
+    }
+
+    /// Reconstructs a runnable network (fresh runtime state, restored
+    /// weights).
+    pub fn into_network(self) -> SpikingNetwork {
+        let layers = self
+            .layers
+            .into_iter()
+            .map(|ls| match ls {
+                LayerSnapshot::Conv { name, geom, lif, weight, bias } => {
+                    let mut layer = SpikingConv2d::new(name, geom, lif, 0);
+                    layer.weight = weight;
+                    layer.bias = bias;
+                    Layer::SpikingConv2d(layer)
+                }
+                LayerSnapshot::Dense { name, lif, weight, bias } => {
+                    let out = weight.shape().dim(0);
+                    let inf = weight.shape().dim(1);
+                    let mut layer = SpikingDense::new(name, inf, out, lif, 0);
+                    layer.weight = weight;
+                    layer.bias = bias;
+                    Layer::SpikingDense(layer)
+                }
+                LayerSnapshot::Pool { name, geom } => Layer::MaxPool2d(MaxPool2d::new(name, geom)),
+                LayerSnapshot::Flatten { name, input_item_dims } => {
+                    Layer::Flatten(Flatten::new(name, Shape::from_dims(&input_item_dims)))
+                }
+            })
+            .collect();
+        SpikingNetwork {
+            layers,
+            input_item_shape: Shape::from_dims(&self.input_item_dims),
+            classes: self.classes,
+        }
+    }
+}
+
+impl NetworkSnapshot {
+    /// Writes the snapshot as JSON, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and serialization errors.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let json = serde_json::to_string(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, json)
+    }
+
+    /// Reads a snapshot from a JSON file written by
+    /// [`NetworkSnapshot::save_json`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; malformed JSON maps to
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn load_json(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_tensor::Tensor as T;
+
+    fn net() -> SpikingNetwork {
+        SpikingNetwork::paper_topology(
+            Shape::d3(1, 16, 16),
+            4,
+            LifConfig { theta: 0.5, ..LifConfig::paper_default() },
+            11,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_behaviour() {
+        let mut original = net();
+        let snap = NetworkSnapshot::from_network(&original);
+        let mut restored = snap.into_network();
+        let frames = vec![T::ones(Shape::d4(2, 1, 16, 16)); 3];
+        let a = original.run_sequence(&frames, false);
+        let b = restored.run_sequence(&frames, false);
+        assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let original = net();
+        let snap = NetworkSnapshot::from_network(&original);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: NetworkSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("snn_core_snapshot_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/model.json");
+        let snap = NetworkSnapshot::from_network(&net());
+        snap.save_json(&path).unwrap();
+        let back = NetworkSnapshot::load_json(&path).unwrap();
+        assert_eq!(back, snap);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("snn_core_snapshot_bad");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        let err = NetworkSnapshot::load_json(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_structure() {
+        let snap = NetworkSnapshot::from_network(&net());
+        assert_eq!(snap.layers.len(), 7);
+        assert_eq!(snap.classes, 4);
+        assert_eq!(snap.input_item_dims, vec![1, 16, 16]);
+        assert!(matches!(snap.layers[0], LayerSnapshot::Conv { .. }));
+        assert!(matches!(snap.layers[1], LayerSnapshot::Pool { .. }));
+        assert!(matches!(snap.layers[4], LayerSnapshot::Flatten { .. }));
+        assert!(matches!(snap.layers[6], LayerSnapshot::Dense { .. }));
+    }
+}

@@ -1,0 +1,324 @@
+//! Surrogate gradient functions for the spiking nonlinearity.
+//!
+//! The spike function `s = H(u - θ)` (Heaviside) has zero derivative
+//! almost everywhere, so backpropagation replaces `∂s/∂u` with a
+//! smooth *surrogate* derivative evaluated at the centered membrane
+//! potential `u - θ`. The paper studies two surrogates — arctangent
+//! (Eq. 3) and fast sigmoid (Eq. 4) — swept over their derivative
+//! scaling factors `α` and `k`; this module additionally provides
+//! three common alternatives used by the extension ablations.
+
+use serde::{Deserialize, Serialize};
+
+/// A surrogate gradient function with its scaling hyperparameter.
+///
+/// The forward pass is always the exact Heaviside step; only the
+/// backward pass uses the surrogate's derivative, evaluated at the
+/// centered potential `u_c = u - θ`.
+///
+/// # Examples
+///
+/// ```
+/// use snn_core::Surrogate;
+///
+/// let fs = Surrogate::FastSigmoid { k: 0.25 };
+/// // The derivative peaks at the threshold crossing...
+/// assert!(fs.grad(0.0) > fs.grad(1.0));
+/// // ...and is symmetric.
+/// assert_eq!(fs.grad(-0.5), fs.grad(0.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Surrogate {
+    /// Arctangent surrogate (paper Eq. 3):
+    /// `S ≈ (1/π)·arctan(π·u·α/2)`, so
+    /// `∂S/∂u = (α/2) / (1 + (π·u·α/2)²)`.
+    ArcTan {
+        /// Derivative scaling factor `α`.
+        alpha: f32,
+    },
+    /// Fast sigmoid surrogate (paper Eq. 4):
+    /// `S ≈ u / (1 + k·|u|)`, so `∂S/∂u = 1 / (1 + k·|u|)²`.
+    FastSigmoid {
+        /// Slope scaling factor `k`.
+        k: f32,
+    },
+    /// Logistic sigmoid surrogate:
+    /// `∂S/∂u = slope·σ(slope·u)·(1 − σ(slope·u))`.
+    Sigmoid {
+        /// Steepness of the sigmoid.
+        slope: f32,
+    },
+    /// Triangular (piecewise-linear) surrogate:
+    /// `∂S/∂u = max(0, 1 − |u|/width) / width`.
+    Triangular {
+        /// Half-width of the triangle support.
+        width: f32,
+    },
+    /// Straight-through estimator: derivative 1 on `|u| < 0.5`, else
+    /// 0 (a boxcar window).
+    StraightThrough,
+}
+
+impl Default for Surrogate {
+    /// The paper's chosen configuration after the Figure-1 sweep: fast
+    /// sigmoid with slope scaling factor 0.25.
+    fn default() -> Self {
+        Surrogate::FastSigmoid { k: 0.25 }
+    }
+}
+
+impl Surrogate {
+    /// Evaluates the surrogate derivative at centered potential `u_c`
+    /// (= membrane potential minus threshold).
+    #[inline]
+    pub fn grad(&self, u_c: f32) -> f32 {
+        match *self {
+            Surrogate::ArcTan { alpha } => {
+                let z = std::f32::consts::PI * u_c * alpha * 0.5;
+                (alpha * 0.5) / (1.0 + z * z)
+            }
+            Surrogate::FastSigmoid { k } => {
+                let d = 1.0 + k * u_c.abs();
+                1.0 / (d * d)
+            }
+            Surrogate::Sigmoid { slope } => {
+                let s = 1.0 / (1.0 + (-slope * u_c).exp());
+                slope * s * (1.0 - s)
+            }
+            Surrogate::Triangular { width } => {
+                let t = 1.0 - u_c.abs() / width;
+                if t > 0.0 {
+                    t / width
+                } else {
+                    0.0
+                }
+            }
+            Surrogate::StraightThrough => {
+                if u_c.abs() < 0.5 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// The smooth forward approximation the derivative corresponds to.
+    ///
+    /// Not used in training (the forward pass is the exact step); it
+    /// exists for plotting and for testing that [`Surrogate::grad`] is
+    /// indeed its derivative.
+    pub fn smooth(&self, u_c: f32) -> f32 {
+        match *self {
+            Surrogate::ArcTan { alpha } => {
+                (std::f32::consts::PI * u_c * alpha * 0.5).atan() / std::f32::consts::PI
+            }
+            Surrogate::FastSigmoid { k } => u_c / (1.0 + k * u_c.abs()),
+            Surrogate::Sigmoid { slope } => 1.0 / (1.0 + (-slope * u_c).exp()),
+            Surrogate::Triangular { width } => {
+                // Integral of the triangle: piecewise quadratic that
+                // saturates at ±0.5 outside the support.
+                if u_c.abs() >= width {
+                    0.5 * u_c.signum()
+                } else {
+                    u_c / width - u_c * u_c.abs() / (2.0 * width * width)
+                }
+            }
+            Surrogate::StraightThrough => u_c.clamp(-0.5, 0.5),
+        }
+    }
+
+    /// The derivative scaling factor (`α`, `k`, slope, or width).
+    ///
+    /// Returns 1.0 for [`Surrogate::StraightThrough`], which has no
+    /// parameter.
+    pub fn scale(&self) -> f32 {
+        match *self {
+            Surrogate::ArcTan { alpha } => alpha,
+            Surrogate::FastSigmoid { k } => k,
+            Surrogate::Sigmoid { slope } => slope,
+            Surrogate::Triangular { width } => width,
+            Surrogate::StraightThrough => 1.0,
+        }
+    }
+
+    /// Returns the same surrogate family with a new scaling factor.
+    ///
+    /// Used by the Figure-1 sweep, which varies the factor while
+    /// holding the family fixed.
+    pub fn with_scale(&self, scale: f32) -> Surrogate {
+        match *self {
+            Surrogate::ArcTan { .. } => Surrogate::ArcTan { alpha: scale },
+            Surrogate::FastSigmoid { .. } => Surrogate::FastSigmoid { k: scale },
+            Surrogate::Sigmoid { .. } => Surrogate::Sigmoid { slope: scale },
+            Surrogate::Triangular { .. } => Surrogate::Triangular { width: scale },
+            Surrogate::StraightThrough => Surrogate::StraightThrough,
+        }
+    }
+
+    /// Short stable name for reports and CSV headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Surrogate::ArcTan { .. } => "arctan",
+            Surrogate::FastSigmoid { .. } => "fast_sigmoid",
+            Surrogate::Sigmoid { .. } => "sigmoid",
+            Surrogate::Triangular { .. } => "triangular",
+            Surrogate::StraightThrough => "straight_through",
+        }
+    }
+}
+
+impl std::fmt::Display for Surrogate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Surrogate::StraightThrough => write!(f, "straight_through"),
+            s => write!(f, "{}({})", s.name(), s.scale()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FAMILIES: [Surrogate; 5] = [
+        Surrogate::ArcTan { alpha: 2.0 },
+        Surrogate::FastSigmoid { k: 0.25 },
+        Surrogate::Sigmoid { slope: 4.0 },
+        Surrogate::Triangular { width: 1.0 },
+        Surrogate::StraightThrough,
+    ];
+
+    #[test]
+    fn derivative_nonnegative_everywhere() {
+        for s in FAMILIES {
+            for i in -100..=100 {
+                let u = i as f32 * 0.1;
+                assert!(s.grad(u) >= 0.0, "{s} at {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_peaks_at_threshold() {
+        for s in FAMILIES {
+            let peak = s.grad(0.0);
+            for i in 1..=50 {
+                let u = i as f32 * 0.2;
+                assert!(s.grad(u) <= peak + 1e-6, "{s} at {u}");
+                assert!(s.grad(-u) <= peak + 1e-6, "{s} at -{u}");
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_symmetric() {
+        for s in FAMILIES {
+            for i in 0..=40 {
+                let u = i as f32 * 0.25;
+                assert!((s.grad(u) - s.grad(-u)).abs() < 1e-6, "{s} at ±{u}");
+            }
+        }
+    }
+
+    #[test]
+    fn arctan_matches_paper_formula() {
+        let alpha = 2.0f32;
+        let s = Surrogate::ArcTan { alpha };
+        // Peak value is alpha/2.
+        assert!((s.grad(0.0) - alpha / 2.0).abs() < 1e-6);
+        // At u where pi*u*alpha/2 = 1, derivative halves.
+        let u = 2.0 / (std::f32::consts::PI * alpha);
+        assert!((s.grad(u) - alpha / 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fast_sigmoid_matches_paper_formula() {
+        let k = 4.0f32;
+        let s = Surrogate::FastSigmoid { k };
+        assert!((s.grad(0.0) - 1.0).abs() < 1e-6);
+        assert!((s.grad(1.0) - 1.0 / 25.0).abs() < 1e-6);
+        assert!((s.grad(-1.0) - 1.0 / 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grad_is_derivative_of_smooth_where_smooth_is_exact() {
+        // For arctan, fast sigmoid, and sigmoid the smooth form is
+        // analytic; check d(smooth)/du == grad numerically.
+        let smooth_families = [
+            Surrogate::ArcTan { alpha: 3.0 },
+            Surrogate::FastSigmoid { k: 0.5 },
+            Surrogate::Sigmoid { slope: 2.0 },
+        ];
+        for s in smooth_families {
+            for i in -20..=20 {
+                let u = i as f32 * 0.17;
+                let eps = 1e-3f32;
+                let numeric = (s.smooth(u + eps) - s.smooth(u - eps)) / (2.0 * eps);
+                assert!(
+                    (numeric - s.grad(u)).abs() < 1e-2,
+                    "{s} at {u}: numeric {numeric} vs {}",
+                    s.grad(u)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn larger_scale_narrows_fast_sigmoid() {
+        // Bigger k concentrates gradient near threshold: smaller value
+        // at |u| = 1.
+        let lo = Surrogate::FastSigmoid { k: 0.5 };
+        let hi = Surrogate::FastSigmoid { k: 8.0 };
+        assert!(hi.grad(1.0) < lo.grad(1.0));
+        // ... while both peak at u=0 with value 1.
+        assert_eq!(hi.grad(0.0), 1.0);
+        assert_eq!(lo.grad(0.0), 1.0);
+    }
+
+    #[test]
+    fn larger_alpha_raises_arctan_peak() {
+        // For arctan the scale multiplies the peak: the "vanishing vs
+        // exploding" axis the Fig. 1 sweep explores.
+        let lo = Surrogate::ArcTan { alpha: 0.5 };
+        let hi = Surrogate::ArcTan { alpha: 8.0 };
+        assert!(hi.grad(0.0) > lo.grad(0.0));
+    }
+
+    #[test]
+    fn with_scale_preserves_family() {
+        for s in FAMILIES {
+            let t = s.with_scale(7.0);
+            assert_eq!(s.name(), t.name());
+            if !matches!(s, Surrogate::StraightThrough) {
+                assert_eq!(t.scale(), 7.0);
+            }
+        }
+    }
+
+    #[test]
+    fn triangular_support_is_finite() {
+        let s = Surrogate::Triangular { width: 1.0 };
+        assert_eq!(s.grad(1.5), 0.0);
+        assert!(s.grad(0.99) > 0.0);
+    }
+
+    #[test]
+    fn straight_through_window() {
+        let s = Surrogate::StraightThrough;
+        assert_eq!(s.grad(0.0), 1.0);
+        assert_eq!(s.grad(0.49), 1.0);
+        assert_eq!(s.grad(0.51), 0.0);
+    }
+
+    #[test]
+    fn display_contains_name_and_scale() {
+        let s = Surrogate::FastSigmoid { k: 0.25 };
+        assert_eq!(s.to_string(), "fast_sigmoid(0.25)");
+    }
+
+    #[test]
+    fn default_is_papers_pick() {
+        assert_eq!(Surrogate::default(), Surrogate::FastSigmoid { k: 0.25 });
+    }
+}

@@ -1,0 +1,221 @@
+//! Per-timestep spike traces.
+//!
+//! The [`crate::SparsityProfile`] carries *mean* firing rates — enough
+//! for the analytical hardware model. Cycle-level simulation needs
+//! the temporal structure too: how many events arrive at each layer
+//! at each timestep of each sample, because the lock-step pipeline
+//! stalls on the *burstiest* stage, not the average one. A
+//! [`SpikeTrace`] records exactly that.
+
+use serde::{Deserialize, Serialize};
+
+use snn_data::{Dataset, SpikeEncoding};
+use snn_tensor::{derive_seed, Tensor};
+
+use crate::network::SpikingNetwork;
+
+/// Per-timestep event counts for one layer across one traced batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerTrace {
+    /// Layer name.
+    pub name: String,
+    /// Nonzero input elements per timestep (averaged per sample).
+    pub in_events: Vec<f64>,
+    /// Nonzero output elements per timestep (averaged per sample).
+    pub out_events: Vec<f64>,
+}
+
+/// Spike-event counts per layer per timestep, averaged per sample.
+///
+/// # Examples
+///
+/// ```
+/// use snn_core::{trace_spikes, LifConfig, SpikingNetwork};
+/// use snn_data::{bars_dataset, SpikeEncoding};
+/// use snn_tensor::Shape;
+///
+/// let mut net = SpikingNetwork::paper_topology(
+///     Shape::d3(1, 16, 16), 4, LifConfig::paper_default(), 3)?;
+/// let ds = bars_dataset(8, 16, 0);
+/// let trace = trace_spikes(&mut net, &ds, SpikeEncoding::default(), 4, 8, 0);
+/// assert_eq!(trace.timesteps, 4);
+/// assert_eq!(trace.layers.len(), net.layers().len());
+/// # Ok::<(), snn_core::BuildNetworkError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpikeTrace {
+    /// Per-layer traces, in forward order.
+    pub layers: Vec<LayerTrace>,
+    /// Timesteps per inference.
+    pub timesteps: usize,
+    /// Samples aggregated into the averages.
+    pub samples: usize,
+}
+
+impl SpikeTrace {
+    /// The trace of one layer, by name.
+    pub fn layer(&self, name: &str) -> Option<&LayerTrace> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+
+    /// Peak-to-mean ratio of a layer's input events — the burstiness
+    /// the analytical (mean-based) timing model cannot see.
+    ///
+    /// Returns 1.0 for a layer with no events.
+    pub fn burstiness(&self, name: &str) -> f64 {
+        let Some(l) = self.layer(name) else { return 1.0 };
+        let mean = l.in_events.iter().sum::<f64>() / l.in_events.len().max(1) as f64;
+        if mean == 0.0 {
+            return 1.0;
+        }
+        let peak = l.in_events.iter().copied().fold(0.0f64, f64::max);
+        peak / mean
+    }
+}
+
+/// Runs `network` over `dataset` (inference mode) and records
+/// per-timestep event counts for every layer.
+///
+/// Averages are per sample: an entry of 12.5 means that at that
+/// timestep, 12.5 spike events arrive per inference on average.
+///
+/// # Panics
+///
+/// Panics if `dataset` is empty or shaped wrong for the network.
+pub fn trace_spikes(
+    network: &mut SpikingNetwork,
+    dataset: &Dataset,
+    encoding: SpikeEncoding,
+    timesteps: usize,
+    batch_size: usize,
+    seed: u64,
+) -> SpikeTrace {
+    assert!(!dataset.is_empty(), "cannot trace an empty dataset");
+    assert_eq!(
+        dataset.item_shape(),
+        network.input_item_shape(),
+        "dataset item shape disagrees with network input"
+    );
+    let layer_count = network.layers().len();
+    let mut in_events = vec![vec![0.0f64; timesteps]; layer_count];
+    let mut out_events = vec![vec![0.0f64; timesteps]; layer_count];
+    let mut samples = 0usize;
+    for (bi, (batch, labels)) in dataset.batches(batch_size).enumerate() {
+        let frames = encoding.encode(&batch, timesteps, derive_seed(seed, &format!("trace{bi}")));
+        samples += labels.len();
+        network.begin_sequence(false);
+        for (t, frame) in frames.iter().enumerate() {
+            let mut li = 0usize;
+            network.forward_step_observed(frame, |_name, input: &Tensor, output: &Tensor| {
+                in_events[li][t] += input.count_nonzero() as f64;
+                out_events[li][t] += output.count_nonzero() as f64;
+                li += 1;
+            });
+        }
+    }
+    let names: Vec<String> = network.layers().iter().map(|l| l.name().to_string()).collect();
+    let layers = names
+        .into_iter()
+        .enumerate()
+        .map(|(i, name)| LayerTrace {
+            name,
+            in_events: in_events[i].iter().map(|&v| v / samples as f64).collect(),
+            out_events: out_events[i].iter().map(|&v| v / samples as f64).collect(),
+        })
+        .collect();
+    SpikeTrace { layers, timesteps, samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neuron::LifConfig;
+    use snn_data::bars_dataset;
+    use snn_tensor::Shape;
+
+    fn setup() -> (SpikingNetwork, Dataset) {
+        let net = SpikingNetwork::paper_topology(
+            Shape::d3(1, 16, 16),
+            4,
+            LifConfig { theta: 0.5, ..LifConfig::paper_default() },
+            3,
+        )
+        .unwrap();
+        (net, bars_dataset(12, 16, 0))
+    }
+
+    #[test]
+    fn trace_covers_all_layers_and_steps() {
+        let (mut net, ds) = setup();
+        let tr = trace_spikes(&mut net, &ds, SpikeEncoding::default(), 4, 6, 0);
+        assert_eq!(tr.layers.len(), 7);
+        assert_eq!(tr.samples, 12);
+        for l in &tr.layers {
+            assert_eq!(l.in_events.len(), 4);
+            assert_eq!(l.out_events.len(), 4);
+        }
+    }
+
+    #[test]
+    fn event_chain_consistency() {
+        // A layer's output events at t equal the next layer's input
+        // events at t (pool/flatten pass the spike stream through).
+        let (mut net, ds) = setup();
+        let tr = trace_spikes(&mut net, &ds, SpikeEncoding::default(), 3, 6, 0);
+        for w in tr.layers.windows(2) {
+            for t in 0..3 {
+                assert!(
+                    (w[0].out_events[t] - w[1].in_events[t]).abs() < 1e-9,
+                    "{} -> {} at t={t}",
+                    w[0].name,
+                    w[1].name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_matches_profile_means() {
+        // Mean of traced output events over time ≈ firing rate ×
+        // neurons from the sparsity profile. Direct coding makes the
+        // spike streams identical regardless of encoder seeds.
+        let (mut net, ds) = setup();
+        let tr = trace_spikes(&mut net, &ds, SpikeEncoding::Direct, 4, 6, 9);
+        let eval = crate::metrics::evaluate(&mut net, &ds, SpikeEncoding::Direct, 4, 6, 9);
+        for lt in &tr.layers {
+            let Some(act) = eval.profile.layer(&lt.name) else { continue };
+            if act.neurons == 0 {
+                continue;
+            }
+            let traced_mean: f64 =
+                lt.out_events.iter().sum::<f64>() / lt.out_events.len() as f64;
+            let profile_mean = act.firing_rate() * act.neurons as f64;
+            assert!(
+                (traced_mean - profile_mean).abs() < 1e-6,
+                "{}: trace {} vs profile {}",
+                lt.name,
+                traced_mean,
+                profile_mean
+            );
+        }
+    }
+
+    #[test]
+    fn burstiness_at_least_one_for_active_layers() {
+        let (mut net, ds) = setup();
+        let tr = trace_spikes(&mut net, &ds, SpikeEncoding::default(), 4, 6, 0);
+        for l in &tr.layers {
+            let b = tr.burstiness(&l.name);
+            assert!(b >= 1.0 - 1e-9, "{}: burstiness {b}", l.name);
+        }
+        assert_eq!(tr.burstiness("not-a-layer"), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_dataset_rejected() {
+        let (mut net, _) = setup();
+        let empty = Dataset::new(Vec::new(), 4);
+        let _ = trace_spikes(&mut net, &empty, SpikeEncoding::default(), 2, 4, 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Spike encoders: convert static images into per-timestep network
+//! inputs.
+//!
+//! The paper fixes the input coding scheme and studies *training*
+//! hyperparameters; this module provides the fixed scheme (rate
+//! coding by default, as in the snnTorch reference flow) plus two
+//! alternatives used by the encoding ablation in `snn-dse`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use snn_tensor::{derive_seed, Tensor};
+
+/// Input spike-coding schemes.
+///
+/// # Examples
+///
+/// ```
+/// use snn_data::SpikeEncoding;
+/// use snn_tensor::{Shape, Tensor};
+///
+/// let img = Tensor::full(Shape::d4(1, 1, 2, 2), 0.8);
+/// let frames = SpikeEncoding::Rate { gain: 1.0 }.encode(&img, 4, 1);
+/// assert_eq!(frames.len(), 4);
+/// // Rate-coded frames are binary.
+/// assert!(frames[0].as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SpikeEncoding {
+    /// Bernoulli rate coding: each pixel fires independently each
+    /// timestep with probability `gain * value` (clamped to `[0, 1]`).
+    Rate {
+        /// Multiplier applied to pixel intensities before sampling.
+        gain: f32,
+    },
+    /// Direct (constant-current) coding: the analog image is presented
+    /// unchanged at every timestep. The first spiking layer converts
+    /// it to spikes.
+    Direct,
+    /// Time-to-first-spike (latency) coding: each pixel emits exactly
+    /// one spike, earlier for brighter pixels; pixels below
+    /// `threshold` stay silent.
+    Latency {
+        /// Minimum intensity that produces any spike.
+        threshold: f32,
+    },
+}
+
+impl Default for SpikeEncoding {
+    fn default() -> Self {
+        SpikeEncoding::Rate { gain: 1.0 }
+    }
+}
+
+impl SpikeEncoding {
+    /// Short stable name for reports and CSV headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpikeEncoding::Rate { .. } => "rate",
+            SpikeEncoding::Direct => "direct",
+            SpikeEncoding::Latency { .. } => "latency",
+        }
+    }
+
+    /// Encodes a batch into `timesteps` input frames of the same shape
+    /// as `batch`.
+    ///
+    /// Stochastic schemes (rate) derive their stream from `seed`, so
+    /// the same `(batch, timesteps, seed)` triple always yields the
+    /// same spike trains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timesteps == 0`.
+    pub fn encode(&self, batch: &Tensor, timesteps: usize, seed: u64) -> Vec<Tensor> {
+        assert!(timesteps > 0, "at least one timestep is required");
+        match *self {
+            SpikeEncoding::Rate { gain } => {
+                let mut rng = StdRng::seed_from_u64(derive_seed(seed, "rate-encoder"));
+                let pixels = batch.as_slice();
+                (0..timesteps)
+                    .map(|_| {
+                        Tensor::from_fn(batch.shape(), |i| {
+                            let p = (pixels[i] * gain).clamp(0.0, 1.0);
+                            if rng.gen::<f32>() < p {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        })
+                    })
+                    .collect()
+            }
+            SpikeEncoding::Direct => (0..timesteps).map(|_| batch.clone()).collect(),
+            SpikeEncoding::Latency { threshold } => {
+                let t_max = timesteps - 1;
+                let mut frames: Vec<Tensor> = (0..timesteps)
+                    .map(|_| Tensor::zeros(batch.shape()))
+                    .collect();
+                for (idx, &v) in batch.as_slice().iter().enumerate() {
+                    if v < threshold {
+                        continue;
+                    }
+                    // Brighter → earlier. v = 1 fires at t = 0;
+                    // v = threshold fires at t_max.
+                    let norm = if threshold < 1.0 { (1.0 - v) / (1.0 - threshold) } else { 0.0 };
+                    let t = (norm * t_max as f32).round().clamp(0.0, t_max as f32) as usize;
+                    frames[t].as_mut_slice()[idx] = 1.0;
+                }
+                frames
+            }
+        }
+    }
+
+    /// Mean spike density this encoding produces for the given batch —
+    /// the layer-0 activity the accelerator front-end must absorb.
+    pub fn expected_density(&self, batch: &Tensor, timesteps: usize) -> f64 {
+        match *self {
+            SpikeEncoding::Rate { gain } => batch
+                .as_slice()
+                .iter()
+                .map(|&v| (v * gain).clamp(0.0, 1.0) as f64)
+                .sum::<f64>()
+                / batch.len().max(1) as f64,
+            // Direct coding is analog; the hardware treats every input
+            // element as an event each timestep.
+            SpikeEncoding::Direct => 1.0,
+            SpikeEncoding::Latency { threshold } => {
+                let firing: usize =
+                    batch.as_slice().iter().filter(|&&v| v >= threshold).count();
+                firing as f64 / (batch.len().max(1) * timesteps) as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_tensor::Shape;
+
+    #[test]
+    fn rate_density_tracks_intensity() {
+        let bright = Tensor::full(Shape::d2(1, 4096), 0.9);
+        let dim = Tensor::full(Shape::d2(1, 4096), 0.1);
+        let enc = SpikeEncoding::Rate { gain: 1.0 };
+        let b: f64 = enc.encode(&bright, 8, 3).iter().map(|f| f.sum()).sum::<f64>()
+            / (4096.0 * 8.0);
+        let d: f64 =
+            enc.encode(&dim, 8, 3).iter().map(|f| f.sum()).sum::<f64>() / (4096.0 * 8.0);
+        assert!((b - 0.9).abs() < 0.03, "bright density {b}");
+        assert!((d - 0.1).abs() < 0.03, "dim density {d}");
+    }
+
+    #[test]
+    fn rate_is_deterministic_per_seed() {
+        let img = Tensor::full(Shape::d1(64), 0.5);
+        let enc = SpikeEncoding::Rate { gain: 1.0 };
+        assert_eq!(enc.encode(&img, 3, 7), enc.encode(&img, 3, 7));
+        assert_ne!(enc.encode(&img, 3, 7), enc.encode(&img, 3, 8));
+    }
+
+    #[test]
+    fn rate_gain_scales() {
+        let img = Tensor::full(Shape::d1(8192), 0.5);
+        let half = SpikeEncoding::Rate { gain: 0.5 };
+        let d: f64 =
+            half.encode(&img, 4, 1).iter().map(|f| f.sum()).sum::<f64>() / (8192.0 * 4.0);
+        assert!((d - 0.25).abs() < 0.02, "density {d}");
+    }
+
+    #[test]
+    fn direct_passes_through() {
+        let img = Tensor::from_fn(Shape::d1(5), |i| i as f32 * 0.1);
+        let frames = SpikeEncoding::Direct.encode(&img, 3, 0);
+        assert_eq!(frames.len(), 3);
+        for f in frames {
+            assert_eq!(f, img);
+        }
+    }
+
+    #[test]
+    fn latency_single_spike_per_pixel() {
+        let img = Tensor::from_vec(Shape::d1(4), vec![1.0, 0.6, 0.3, 0.05]).unwrap();
+        let frames = SpikeEncoding::Latency { threshold: 0.1 }.encode(&img, 8, 0);
+        let mut per_pixel = [0.0f32; 4];
+        for f in &frames {
+            for (i, &v) in f.as_slice().iter().enumerate() {
+                per_pixel[i] += v;
+            }
+        }
+        assert_eq!(per_pixel, [1.0, 1.0, 1.0, 0.0]); // below-threshold stays silent
+        // Brightest pixel fires first.
+        assert_eq!(frames[0].as_slice()[0], 1.0);
+    }
+
+    #[test]
+    fn latency_ordering_monotone() {
+        let img = Tensor::from_vec(Shape::d1(3), vec![0.9, 0.5, 0.2]).unwrap();
+        let frames = SpikeEncoding::Latency { threshold: 0.1 }.encode(&img, 10, 0);
+        let time_of = |pix: usize| -> usize {
+            frames.iter().position(|f| f.as_slice()[pix] == 1.0).unwrap()
+        };
+        assert!(time_of(0) < time_of(1));
+        assert!(time_of(1) < time_of(2));
+    }
+
+    #[test]
+    fn expected_density_estimates() {
+        let img = Tensor::full(Shape::d1(100), 0.4);
+        assert!((SpikeEncoding::Rate { gain: 1.0 }.expected_density(&img, 4) - 0.4).abs() < 1e-6);
+        assert_eq!(SpikeEncoding::Direct.expected_density(&img, 4), 1.0);
+        let lat = SpikeEncoding::Latency { threshold: 0.5 }.expected_density(&img, 4);
+        assert_eq!(lat, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "timestep")]
+    fn zero_timesteps_rejected() {
+        let img = Tensor::zeros(Shape::d1(1));
+        let _ = SpikeEncoding::Direct.encode(&img, 0, 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Bitmap digit glyphs and an affine rasterizer.
+//!
+//! The synthetic SVHN substitute renders digits from these 5×7
+//! templates with random scale, shift, shear, and thickness — enough
+//! intra-class variation that a linear classifier cannot saturate the
+//! task while a small conv net can.
+
+/// Width of the glyph templates in cells.
+pub const GLYPH_W: usize = 5;
+/// Height of the glyph templates in cells.
+pub const GLYPH_H: usize = 7;
+
+/// The ten digit templates, row-major, `#` = ink.
+const GLYPHS: [[&str; GLYPH_H]; 10] = [
+    // 0
+    [" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "],
+    // 1
+    ["  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "],
+    // 2
+    [" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"],
+    // 3
+    [" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "],
+    // 4
+    ["   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "],
+    // 5
+    ["#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "],
+    // 6
+    [" ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### "],
+    // 7
+    ["#####", "    #", "   # ", "  #  ", "  #  ", " #   ", " #   "],
+    // 8
+    [" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "],
+    // 9
+    [" ### ", "#   #", "#   #", " ####", "    #", "    #", " ### "],
+];
+
+/// Returns whether the template for `digit` has ink at cell
+/// `(row, col)`.
+///
+/// # Panics
+///
+/// Panics if `digit > 9`, `row >= GLYPH_H`, or `col >= GLYPH_W`.
+pub fn glyph_ink(digit: usize, row: usize, col: usize) -> bool {
+    assert!(digit <= 9, "digit {digit} out of range");
+    GLYPHS[digit][row].as_bytes()[col] == b'#'
+}
+
+/// Affine placement of a glyph on a canvas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlyphTransform {
+    /// Canvas x of the glyph's left edge (may be fractional/negative).
+    pub x: f32,
+    /// Canvas y of the glyph's top edge.
+    pub y: f32,
+    /// Rendered glyph width in pixels.
+    pub width: f32,
+    /// Rendered glyph height in pixels.
+    pub height: f32,
+    /// Horizontal shear: each row is offset by `shear * (row_center)`.
+    pub shear: f32,
+    /// Extra ink dilation radius in *cell* units (0.0 = thin strokes,
+    /// 0.5 = bold).
+    pub thickness: f32,
+}
+
+impl GlyphTransform {
+    /// Centered placement filling `frac` of a `size`-pixel canvas.
+    pub fn centered(size: usize, frac: f32) -> Self {
+        let h = size as f32 * frac;
+        let w = h * GLYPH_W as f32 / GLYPH_H as f32;
+        GlyphTransform {
+            x: (size as f32 - w) / 2.0,
+            y: (size as f32 - h) / 2.0,
+            width: w,
+            height: h,
+            shear: 0.0,
+            thickness: 0.25,
+        }
+    }
+}
+
+/// Samples the glyph's ink coverage at canvas pixel `(px, py)`,
+/// returning a value in `[0, 1]` (antialiased by 2×2 supersampling).
+///
+/// Pixels outside the transformed glyph box return 0.0.
+pub fn sample_glyph(digit: usize, t: &GlyphTransform, px: usize, py: usize) -> f32 {
+    let mut acc = 0.0f32;
+    const SUB: [f32; 2] = [0.25, 0.75];
+    for &dy in &SUB {
+        for &dx in &SUB {
+            let cy = py as f32 + dy;
+            let cx = px as f32 + dx;
+            // Invert the affine map: canvas -> glyph cell space.
+            let gy = (cy - t.y) / t.height * GLYPH_H as f32;
+            if !(0.0..GLYPH_H as f32).contains(&gy) {
+                continue;
+            }
+            let row_center = gy - GLYPH_H as f32 / 2.0;
+            let gx = (cx - t.x - t.shear * row_center * t.height / GLYPH_H as f32) / t.width
+                * GLYPH_W as f32;
+            if !(0.0..GLYPH_W as f32).contains(&gx) {
+                continue;
+            }
+            if cell_ink(digit, gx, gy, t.thickness) {
+                acc += 0.25;
+            }
+        }
+    }
+    acc
+}
+
+/// Ink test in continuous cell coordinates with dilation radius `r`.
+fn cell_ink(digit: usize, gx: f32, gy: f32, r: f32) -> bool {
+    let c0 = (gx - r).floor().max(0.0) as usize;
+    let c1 = (gx + r).floor().min((GLYPH_W - 1) as f32) as usize;
+    let r0 = (gy - r).floor().max(0.0) as usize;
+    let r1 = (gy + r).floor().min((GLYPH_H - 1) as f32) as usize;
+    for row in r0..=r1 {
+        for col in c0..=c1 {
+            if glyph_ink(digit, row, col) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_glyphs_well_formed() {
+        for d in 0..10 {
+            for row in GLYPHS[d] {
+                assert_eq!(row.len(), GLYPH_W, "digit {d}");
+                assert!(row.bytes().all(|b| b == b'#' || b == b' '));
+            }
+        }
+    }
+
+    #[test]
+    fn every_glyph_has_ink_and_gaps() {
+        for d in 0..10 {
+            let ink: usize = (0..GLYPH_H)
+                .flat_map(|r| (0..GLYPH_W).map(move |c| (r, c)))
+                .filter(|&(r, c)| glyph_ink(d, r, c))
+                .count();
+            assert!(ink >= 7, "digit {d} too sparse: {ink}");
+            assert!(ink <= GLYPH_W * GLYPH_H - 5, "digit {d} too dense: {ink}");
+        }
+    }
+
+    #[test]
+    fn glyphs_pairwise_distinct() {
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let differs = (0..GLYPH_H)
+                    .flat_map(|r| (0..GLYPH_W).map(move |c| (r, c)))
+                    .any(|(r, c)| glyph_ink(a, r, c) != glyph_ink(b, r, c));
+                assert!(differs, "digits {a} and {b} identical");
+            }
+        }
+    }
+
+    #[test]
+    fn centered_sample_hits_ink() {
+        // A centered "1" must place ink near the canvas midline.
+        let t = GlyphTransform::centered(32, 0.8);
+        let mut total = 0.0;
+        for py in 0..32 {
+            for px in 0..32 {
+                total += sample_glyph(1, &t, px, py);
+            }
+        }
+        assert!(total > 10.0, "centered glyph rendered almost nothing: {total}");
+    }
+
+    #[test]
+    fn sample_outside_box_is_zero() {
+        let t = GlyphTransform { x: 10.0, y: 10.0, width: 8.0, height: 10.0, shear: 0.0, thickness: 0.2 };
+        assert_eq!(sample_glyph(3, &t, 0, 0), 0.0);
+        assert_eq!(sample_glyph(3, &t, 31, 31), 0.0);
+    }
+
+    #[test]
+    fn thickness_monotone() {
+        let size = 32;
+        let thin = GlyphTransform { thickness: 0.05, ..GlyphTransform::centered(size, 0.8) };
+        let bold = GlyphTransform { thickness: 0.45, ..GlyphTransform::centered(size, 0.8) };
+        for d in 0..10 {
+            let cover = |t: &GlyphTransform| -> f32 {
+                (0..size)
+                    .flat_map(|y| (0..size).map(move |x| (x, y)))
+                    .map(|(x, y)| sample_glyph(d, t, x, y))
+                    .sum()
+            };
+            assert!(cover(&bold) >= cover(&thin), "digit {d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "digit")]
+    fn glyph_ink_rejects_bad_digit() {
+        let _ = glyph_ink(10, 0, 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # snn-data
+//!
+//! Datasets and spike encoders for the DATE'24 SNN reproduction.
+//!
+//! The paper trains on SVHN, which is unavailable in this offline
+//! environment; [`SynthConfig`] generates a procedural substitute with
+//! the same shape and difficulty drivers (see `DESIGN.md` §2 for the
+//! substitution note). [`SpikeEncoding`] converts images into
+//! per-timestep spike/current frames, and [`Dataset`] provides splits
+//! and mini-batch iteration.
+//!
+//! ```
+//! use snn_data::{SpikeEncoding, SynthConfig};
+//!
+//! let ds = SynthConfig::small().generate(100, 7);
+//! let (train, test) = ds.split(0.8);
+//! let (batch, labels) = train.batches(16).next().expect("nonempty");
+//! let frames = SpikeEncoding::default().encode(&batch, 4, 0);
+//! assert_eq!(frames.len(), 4);
+//! assert_eq!(labels.len(), 16);
+//! # let _ = test;
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod encode;
+pub mod glyph;
+mod loader;
+mod patterns;
+mod synth;
+mod temporal;
+
+pub use encode::SpikeEncoding;
+pub use loader::{Batches, Dataset};
+pub use patterns::{bars_dataset, BAR_CLASSES};
+pub use synth::SynthConfig;
+pub use temporal::{dvs_motion_dataset, TemporalBatches, TemporalDataset, DVS_CLASSES};

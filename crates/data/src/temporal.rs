@@ -1,0 +1,339 @@
+//! Natively temporal event-stream datasets (DVS-camera style).
+//!
+//! The paper's future work calls for "additional datasets"; static
+//! image tasks under-exercise the membrane leak `β` because every
+//! timestep carries the same evidence. This module provides a
+//! synthetic dynamic-vision-sensor task — classifying the motion
+//! direction of a bar from ON/OFF polarity events — where evidence
+//! only exists *across* timesteps, so temporal integration is load-
+//! bearing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use snn_tensor::{derive_seed, Shape, Tensor};
+
+/// Motion-direction classes of [`dvs_motion_dataset`].
+pub const DVS_CLASSES: usize = 4;
+
+/// A labeled dataset of event-frame sequences.
+///
+/// Each item is a sequence of `timesteps` binary event frames of
+/// identical `[C, H, W]` shape (C = 2 polarity channels for the DVS
+/// task). Unlike [`crate::Dataset`], no encoding step applies — the
+/// frames *are* the network input.
+#[derive(Debug, Clone)]
+pub struct TemporalDataset {
+    items: Vec<(Vec<Tensor>, usize)>,
+    classes: usize,
+    timesteps: usize,
+}
+
+impl TemporalDataset {
+    /// Creates a temporal dataset from labeled frame sequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if items disagree on frame shape or sequence length, a
+    /// label is out of range, or `items` is empty.
+    pub fn new(items: Vec<(Vec<Tensor>, usize)>, classes: usize) -> Self {
+        let first = items.first().expect("temporal dataset cannot be empty");
+        let timesteps = first.0.len();
+        assert!(timesteps > 0, "sequences need at least one frame");
+        let shape = first.0[0].shape();
+        for (frames, label) in &items {
+            assert_eq!(frames.len(), timesteps, "sequence lengths must match");
+            assert!(*label < classes, "label {label} out of range");
+            for f in frames {
+                assert_eq!(f.shape(), shape, "frame shapes must match");
+            }
+        }
+        TemporalDataset { items, classes, timesteps }
+    }
+
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the dataset is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Frames per sequence.
+    pub fn timesteps(&self) -> usize {
+        self.timesteps
+    }
+
+    /// Shape of one frame.
+    pub fn frame_shape(&self) -> Shape {
+        self.items[0].0[0].shape()
+    }
+
+    /// Borrows sequence `index` as `(frames, label)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn item(&self, index: usize) -> (&[Tensor], usize) {
+        let (frames, label) = &self.items[index];
+        (frames, *label)
+    }
+
+    /// Splits into `(front, back)` like [`crate::Dataset::split`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `front_frac` is outside `[0, 1]` or either side
+    /// would be empty.
+    pub fn split(&self, front_frac: f64) -> (TemporalDataset, TemporalDataset) {
+        assert!((0.0..=1.0).contains(&front_frac), "fraction out of range");
+        let k = (self.len() as f64 * front_frac).round() as usize;
+        assert!(k > 0 && k < self.len(), "split would produce an empty side");
+        (
+            TemporalDataset {
+                items: self.items[..k].to_vec(),
+                classes: self.classes,
+                timesteps: self.timesteps,
+            },
+            TemporalDataset {
+                items: self.items[k..].to_vec(),
+                classes: self.classes,
+                timesteps: self.timesteps,
+            },
+        )
+    }
+
+    /// Returns a seeded shuffle of the dataset.
+    pub fn shuffled(&self, seed: u64) -> TemporalDataset {
+        let mut items = self.items.clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..items.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            items.swap(i, j);
+        }
+        TemporalDataset { items, classes: self.classes, timesteps: self.timesteps }
+    }
+
+    /// Iterates over mini-batches: each yields `timesteps` stacked
+    /// `[N, C, H, W]` frames plus the labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn batches(&self, batch_size: usize) -> TemporalBatches<'_> {
+        assert!(batch_size > 0, "batch size must be nonzero");
+        TemporalBatches { ds: self, batch_size, next: 0 }
+    }
+}
+
+/// Iterator created by [`TemporalDataset::batches`].
+#[derive(Debug)]
+pub struct TemporalBatches<'a> {
+    ds: &'a TemporalDataset,
+    batch_size: usize,
+    next: usize,
+}
+
+impl Iterator for TemporalBatches<'_> {
+    type Item = (Vec<Tensor>, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.ds.len() {
+            return None;
+        }
+        let end = (self.next + self.batch_size).min(self.ds.len());
+        let slice = &self.ds.items[self.next..end];
+        self.next = end;
+        let labels: Vec<usize> = slice.iter().map(|(_, l)| *l).collect();
+        let frames: Vec<Tensor> = (0..self.ds.timesteps)
+            .map(|t| {
+                let per_item: Vec<Tensor> =
+                    slice.iter().map(|(seq, _)| seq[t].clone()).collect();
+                Tensor::stack(&per_item).expect("temporal invariant: uniform shapes")
+            })
+            .collect();
+        Some((frames, labels))
+    }
+}
+
+/// Generates a synthetic DVS motion-classification dataset.
+///
+/// A bright bar sweeps across a `size`×`size` canvas in one of four
+/// directions (0 = rightward, 1 = leftward, 2 = downward, 3 =
+/// upward) at one pixel per timestep. Each frame carries two binary
+/// polarity channels like a DVS camera: channel 0 (ON) fires where
+/// brightness rises (the bar's leading edge), channel 1 (OFF) where
+/// it falls (trailing edge). Background noise events fire with
+/// probability `noise`.
+///
+/// # Examples
+///
+/// ```
+/// use snn_data::{dvs_motion_dataset, DVS_CLASSES};
+///
+/// let ds = dvs_motion_dataset(40, 8, 6, 0.02, 1);
+/// assert_eq!(ds.len(), 40);
+/// assert_eq!(ds.classes(), DVS_CLASSES);
+/// assert_eq!(ds.timesteps(), 6);
+/// assert_eq!(ds.frame_shape().dims(), &[2, 8, 8]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `size < 4` or `timesteps == 0`.
+pub fn dvs_motion_dataset(
+    n: usize,
+    size: usize,
+    timesteps: usize,
+    noise: f32,
+    seed: u64,
+) -> TemporalDataset {
+    assert!(size >= 4, "canvas too small");
+    assert!(timesteps > 0, "need at least one timestep");
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, "dvs-motion"));
+    let mut items = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % DVS_CLASSES;
+        let sweep0 = rng.gen_range(-(size as isize) / 2..size as isize / 2);
+        let bar_len = rng.gen_range(size / 2..=size);
+        let bar_off = rng.gen_range(0..=(size - bar_len));
+        let mut frames = Vec::with_capacity(timesteps);
+        for t in 0..timesteps {
+            let mut f = Tensor::zeros(Shape::d3(2, size, size));
+            {
+                let d = f.as_mut_slice();
+                let head = sweep0 + t as isize;
+                let tail = head - 1;
+                // Events along the bar span, at leading (ON) and
+                // trailing (OFF) sweep coordinates.
+                for k in bar_off..bar_off + bar_len {
+                    let (on_y, on_x, off_y, off_x) = match class {
+                        0 => (k as isize, head, k as isize, tail),       // rightward
+                        1 => (k as isize, size as isize - 1 - head, k as isize, size as isize - 1 - tail),
+                        2 => (head, k as isize, tail, k as isize),       // downward
+                        _ => (size as isize - 1 - head, k as isize, size as isize - 1 - tail, k as isize),
+                    };
+                    if (0..size as isize).contains(&on_y) && (0..size as isize).contains(&on_x) {
+                        d[(on_y as usize) * size + on_x as usize] = 1.0;
+                    }
+                    if (0..size as isize).contains(&off_y) && (0..size as isize).contains(&off_x) {
+                        d[size * size + (off_y as usize) * size + off_x as usize] = 1.0;
+                    }
+                }
+                // Sensor noise on both polarities.
+                for v in d.iter_mut() {
+                    if rng.gen::<f32>() < noise {
+                        *v = 1.0;
+                    }
+                }
+            }
+            frames.push(f);
+        }
+        items.push((frames, class));
+    }
+    TemporalDataset::new(items, DVS_CLASSES).shuffled(derive_seed(seed, "dvs-shuffle"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_balance() {
+        let ds = dvs_motion_dataset(40, 8, 5, 0.0, 3);
+        assert_eq!(ds.len(), 40);
+        let mut counts = [0usize; DVS_CLASSES];
+        for i in 0..ds.len() {
+            let (frames, label) = ds.item(i);
+            counts[label] += 1;
+            assert_eq!(frames.len(), 5);
+            for f in frames {
+                assert_eq!(f.shape(), Shape::d3(2, 8, 8));
+                assert!(f.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+            }
+        }
+        assert_eq!(counts, [10; DVS_CLASSES]);
+    }
+
+    #[test]
+    fn events_move_over_time() {
+        // Without noise, the ON-event centroid must move monotonically
+        // in the class direction.
+        let ds = dvs_motion_dataset(8, 10, 6, 0.0, 7);
+        for i in 0..ds.len() {
+            let (frames, label) = ds.item(i);
+            let centroid_x = |f: &Tensor| -> Option<f64> {
+                let d = f.as_slice();
+                let (mut sx, mut n) = (0.0f64, 0.0f64);
+                for y in 0..10 {
+                    for x in 0..10 {
+                        if d[y * 10 + x] > 0.0 {
+                            sx += x as f64;
+                            n += 1.0;
+                        }
+                    }
+                }
+                (n > 0.0).then(|| sx / n)
+            };
+            if label == 0 {
+                let xs: Vec<f64> = frames.iter().filter_map(centroid_x).collect();
+                for w in xs.windows(2) {
+                    assert!(w[1] >= w[0] - 1e-9, "rightward bar moved left: {xs:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = dvs_motion_dataset(12, 8, 4, 0.05, 9);
+        let b = dvs_motion_dataset(12, 8, 4, 0.05, 9);
+        for i in 0..a.len() {
+            assert_eq!(a.item(i).0, b.item(i).0);
+            assert_eq!(a.item(i).1, b.item(i).1);
+        }
+    }
+
+    #[test]
+    fn batches_stack_frames() {
+        let ds = dvs_motion_dataset(10, 8, 3, 0.0, 1);
+        let (frames, labels) = ds.batches(4).next().unwrap();
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0].shape(), Shape::d4(4, 2, 8, 8));
+        assert_eq!(labels.len(), 4);
+        let total: usize = ds.batches(4).map(|(_, l)| l.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn split_and_shuffle() {
+        let ds = dvs_motion_dataset(20, 8, 3, 0.0, 2);
+        let (a, b) = ds.split(0.75);
+        assert_eq!(a.len(), 15);
+        assert_eq!(b.len(), 5);
+        let sh = ds.shuffled(3);
+        assert_eq!(sh.len(), ds.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn rejects_bad_labels() {
+        let frames = vec![Tensor::zeros(Shape::d3(1, 4, 4))];
+        let _ = TemporalDataset::new(vec![(frames, 9usize)], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence lengths")]
+    fn rejects_ragged_sequences() {
+        let a = (vec![Tensor::zeros(Shape::d3(1, 4, 4))], 0usize);
+        let b = (vec![Tensor::zeros(Shape::d3(1, 4, 4)); 2], 1usize);
+        let _ = TemporalDataset::new(vec![a, b], 4);
+    }
+}

@@ -1,0 +1,200 @@
+//! Terminal charts for sweep results.
+//!
+//! The regeneration binaries print the same *series* the paper
+//! plots; these helpers render them as compact ASCII line/heat
+//! charts so the shapes (trends, collapses, knees) are visible
+//! without leaving the terminal.
+
+/// Renders one or more named series as an ASCII chart.
+///
+/// All series share the x-axis `labels` (one column per point) and a
+/// common y-scale derived from the combined min/max. Each series is
+/// drawn with its own glyph, assigned in order: `*`, `o`, `+`, `x`.
+///
+/// # Examples
+///
+/// ```
+/// use snn_dse::ascii_chart;
+///
+/// let chart = ascii_chart(
+///     &["0.5", "1", "2"],
+///     &[("acc", &[0.9, 0.8, 0.4][..])],
+///     8,
+/// );
+/// assert!(chart.contains('*'));
+/// assert!(chart.contains("acc"));
+/// ```
+///
+/// # Panics
+///
+/// Panics if a series length disagrees with `labels`, no series are
+/// given, or `height < 2`.
+pub fn ascii_chart(labels: &[&str], series: &[(&str, &[f64])], height: usize) -> String {
+    assert!(!series.is_empty(), "need at least one series");
+    assert!(height >= 2, "chart height must be at least 2");
+    for (name, ys) in series {
+        assert_eq!(ys.len(), labels.len(), "series `{name}` length mismatch");
+    }
+    const GLYPHS: [char; 4] = ['*', 'o', '+', 'x'];
+    let all: Vec<f64> = series.iter().flat_map(|(_, ys)| ys.iter().copied()).collect();
+    let (mut lo, mut hi) = all
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    if !(lo.is_finite() && hi.is_finite()) {
+        lo = 0.0;
+        hi = 1.0;
+    }
+    if (hi - lo).abs() < 1e-12 {
+        hi = lo + 1.0;
+    }
+    let col_w = labels.iter().map(|l| l.len()).max().unwrap_or(1).max(3) + 1;
+    let mut rows = vec![vec![' '; labels.len() * col_w]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (xi, &y) in ys.iter().enumerate() {
+            let norm = (y - lo) / (hi - lo);
+            let row = ((1.0 - norm) * (height - 1) as f64).round() as usize;
+            let col = xi * col_w + col_w / 2;
+            // Later series overwrite earlier ones at collisions; the
+            // legend disambiguates.
+            rows[row.min(height - 1)][col] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        let y_label = if ri == 0 {
+            format!("{hi:>9.2} |")
+        } else if ri == height - 1 {
+            format!("{lo:>9.2} |")
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&y_label);
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>9} +{}\n", "", "-".repeat(labels.len() * col_w)));
+    out.push_str(&format!("{:>9}  ", ""));
+    for l in labels {
+        out.push_str(&format!("{l:^col_w$}"));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:>9}  legend: ", ""));
+    for (si, (name, _)) in series.iter().enumerate() {
+        if si > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{} = {name}", GLYPHS[si % GLYPHS.len()]));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders a `rows × cols` matrix as an ASCII heat map using a
+/// five-level shade ramp (` .:+#`), with row/column labels — used
+/// for the Figure-2 β × θ grids.
+///
+/// # Panics
+///
+/// Panics if `values` is not `row_labels.len() × col_labels.len()`.
+pub fn ascii_heatmap(
+    row_labels: &[String],
+    col_labels: &[String],
+    values: &[f64],
+) -> String {
+    assert_eq!(
+        values.len(),
+        row_labels.len() * col_labels.len(),
+        "value count must equal rows × cols"
+    );
+    const RAMP: [char; 5] = [' ', '.', ':', '+', '#'];
+    let (mut lo, mut hi) = values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    if !(lo.is_finite() && hi.is_finite()) {
+        lo = 0.0;
+        hi = 1.0;
+    }
+    if (hi - lo).abs() < 1e-12 {
+        hi = lo + 1.0;
+    }
+    let col_w = col_labels.iter().map(|l| l.len()).max().unwrap_or(1).max(5) + 1;
+    let row_w = row_labels.iter().map(|l| l.len()).max().unwrap_or(1).max(5) + 1;
+    let mut out = String::new();
+    out.push_str(&format!("{:>row_w$}", ""));
+    for c in col_labels {
+        out.push_str(&format!("{c:>col_w$}"));
+    }
+    out.push('\n');
+    for (ri, r) in row_labels.iter().enumerate() {
+        out.push_str(&format!("{r:>row_w$}"));
+        for ci in 0..col_labels.len() {
+            let v = values[ri * col_labels.len() + ci];
+            let norm = (v - lo) / (hi - lo);
+            let shade = RAMP[((norm * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1)];
+            let cell = format!("{v:.1}{shade}");
+            out.push_str(&format!("{cell:>col_w$}"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>row_w$}(shade: ' '={lo:.1} … '#'={hi:.1})\n",
+        ""
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_places_extremes_on_edge_rows() {
+        let chart = ascii_chart(&["a", "b", "c"], &[("s", &[0.0, 0.5, 1.0][..])], 5);
+        let lines: Vec<&str> = chart.lines().collect();
+        // Max (1.0) on the first row, min (0.0) on the last data row.
+        assert!(lines[0].contains('*'));
+        assert!(lines[4].contains('*'));
+    }
+
+    #[test]
+    fn chart_handles_flat_series() {
+        let chart = ascii_chart(&["a", "b"], &[("flat", &[2.0, 2.0][..])], 4);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn chart_multiple_series_legend() {
+        let chart = ascii_chart(
+            &["x1", "x2"],
+            &[("one", &[1.0, 2.0][..]), ("two", &[2.0, 1.0][..])],
+            4,
+        );
+        assert!(chart.contains("* = one"));
+        assert!(chart.contains("o = two"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn chart_checks_lengths() {
+        let _ = ascii_chart(&["a"], &[("s", &[1.0, 2.0][..])], 4);
+    }
+
+    #[test]
+    fn heatmap_renders_all_cells() {
+        let hm = ascii_heatmap(
+            &["0.25".into(), "0.5".into()],
+            &["1.0".into(), "1.5".into()],
+            &[10.0, 20.0, 30.0, 40.0],
+        );
+        assert!(hm.contains("10.0"));
+        assert!(hm.contains("40.0#"));
+        assert!(hm.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows × cols")]
+    fn heatmap_checks_dims() {
+        let _ = ascii_heatmap(&["a".into()], &["b".into()], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,56 @@
+//! # snn-dse
+//!
+//! Design-space-exploration harness for the DATE'24 reproduction:
+//! hyperparameter sweeps, the end-to-end train → profile → map
+//! pipeline, trade-off analysis, and report writers.
+//!
+//! The paper's experiments map onto this crate as follows (see
+//! `DESIGN.md` §4 for the full index):
+//!
+//! * **Figure 1** → [`surrogate_sweep`] over [`PAPER_SCALES`].
+//! * **Figure 2** → [`beta_theta_sweep`] over [`PAPER_BETAS`] ×
+//!   [`PAPER_THETAS`], analyzed by [`tradeoff::analyze`].
+//! * **1.72× / prior-work comparison** → [`comparison`].
+//!
+//! ```no_run
+//! use snn_dse::{surrogate_sweep, ExperimentProfile, PAPER_SCALES};
+//!
+//! let profile = ExperimentProfile::bench();
+//! let (train, test) = profile.datasets();
+//! let fig1 = surrogate_sweep(&profile, &PAPER_SCALES, &train, &test)
+//!     .expect("sweep completes");
+//! for row in &fig1.rows {
+//!     println!("{} scale {}: acc {:.3}, {:.0} FPS/W",
+//!         row.surrogate, row.scale, row.accuracy, row.fps_per_watt);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablations;
+mod chart;
+mod compare;
+mod par;
+mod profile;
+mod report;
+mod runner;
+mod search;
+mod sweeps;
+pub mod tradeoff;
+
+pub use ablations::{
+    encoding_ablation, pruning_ablation, reset_mode_ablation, surrogate_family_ablation,
+    timestep_ablation, AblationRow,
+};
+pub use chart::{ascii_chart, ascii_heatmap};
+pub use compare::{comparison, ComparisonResult, ConfigSummary};
+pub use par::parallel_map;
+pub use profile::ExperimentProfile;
+pub use report::{fmt_f, fmt_pct, markdown_table, to_csv, write_csv};
+pub use runner::{run_point, PointResult, RunError};
+pub use search::{hw_search, HwSearchPoint, HwSearchResult, HwSearchSpace};
+pub use sweeps::{
+    beta_theta_sweep, prior_work_reference, surrogate_sweep, Fig1Result, Fig1Row, Fig2Result,
+    Fig2Row, PAPER_BETAS, PAPER_SCALES, PAPER_THETAS,
+};

@@ -1,0 +1,88 @@
+//! Minimal parallel map over sweep points.
+//!
+//! Sweep points are independent (train → profile → map), so they
+//! parallelize trivially across cores. On a single-core host this
+//! degrades to sequential execution with no overhead beyond one
+//! thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Applies `f` to every item, using up to `available_parallelism`
+/// worker threads, and returns results in input order.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the worker scope unwinds).
+///
+/// # Examples
+///
+/// ```
+/// use snn_dse::parallel_map;
+///
+/// let squares = parallel_map(&[1, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> =
+        Mutex::new((0..items.len()).map(|_| None).collect());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every index visited exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let input: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&input, |&x| x + 1);
+        assert_eq!(out, (1..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = parallel_map(&[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(parallel_map(&[7], |&x| x * 2), vec![14]);
+    }
+
+    #[test]
+    fn heavier_work_is_correct() {
+        let input: Vec<u64> = (0..32).collect();
+        let out = parallel_map(&input, |&x| (0..1000).fold(x, |a, b| a.wrapping_add(b)));
+        let want: Vec<u64> =
+            input.iter().map(|&x| (0..1000).fold(x, |a, b| a.wrapping_add(b))).collect();
+        assert_eq!(out, want);
+    }
+}

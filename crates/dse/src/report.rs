@@ -1,0 +1,139 @@
+//! CSV and Markdown report writers for sweep results.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Renders rows as CSV (header + records, RFC-4180 quoting for
+/// fields containing commas/quotes/newlines).
+///
+/// # Examples
+///
+/// ```
+/// use snn_dse::to_csv;
+///
+/// let csv = to_csv(
+///     &["name", "value"],
+///     [vec!["a".to_string(), "1".to_string()]].into_iter(),
+/// );
+/// assert_eq!(csv, "name,value\na,1\n");
+/// ```
+pub fn to_csv(headers: &[&str], rows: impl Iterator<Item = Vec<String>>) -> String {
+    let mut out = String::new();
+    out.push_str(&headers.iter().map(|h| csv_field(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|f| csv_field(f)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Writes CSV to a file, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(
+    path: impl AsRef<Path>,
+    headers: &[&str],
+    rows: impl Iterator<Item = Vec<String>>,
+) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, to_csv(headers, rows))
+}
+
+/// Renders rows as a GitHub-flavoured Markdown table.
+///
+/// # Examples
+///
+/// ```
+/// use snn_dse::markdown_table;
+///
+/// let md = markdown_table(
+///     &["k", "acc"],
+///     [vec!["0.25".to_string(), "0.91".to_string()]].into_iter(),
+/// );
+/// assert!(md.starts_with("| k | acc |"));
+/// ```
+pub fn markdown_table(headers: &[&str], rows: impl Iterator<Item = Vec<String>>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", headers.join(" | "));
+    let _ = writeln!(out, "|{}", "---|".repeat(headers.len()));
+    for row in rows {
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
+/// Formats a float with a fixed number of decimals for tables.
+pub fn fmt_f(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Formats a percentage (input in `[0, 1]`) for tables.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_basic() {
+        let csv = to_csv(
+            &["a", "b"],
+            vec![vec!["1".to_string(), "2".to_string()]].into_iter(),
+        );
+        assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn csv_quoting() {
+        let csv = to_csv(
+            &["x"],
+            vec![vec!["hello, \"world\"".to_string()]].into_iter(),
+        );
+        assert_eq!(csv, "x\n\"hello, \"\"world\"\"\"\n");
+    }
+
+    #[test]
+    fn markdown_structure() {
+        let md = markdown_table(
+            &["a", "b"],
+            vec![vec!["1".to_string(), "2".to_string()]].into_iter(),
+        );
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1], "|---|---|");
+    }
+
+    #[test]
+    fn write_csv_creates_dirs() {
+        let dir = std::env::temp_dir().join("snn_dse_test_csv");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.csv");
+        write_csv(&path, &["h"], vec![vec!["v".to_string()]].into_iter()).unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "h\nv\n");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_pct(0.4821), "48.21%");
+    }
+}

@@ -1,0 +1,162 @@
+//! The end-to-end pipeline for one sweep point:
+//! train → evaluate → profile sparsity → map to hardware.
+
+use serde::{Deserialize, Serialize};
+
+use snn_accel::{AccelReport, AcceleratorConfig, MapError};
+use snn_core::{evaluate, fit, LifConfig, NetworkSnapshot, SpikingNetwork};
+use snn_data::Dataset;
+use snn_tensor::derive_seed;
+
+use crate::profile::ExperimentProfile;
+
+/// Everything measured at one hyperparameter point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointResult {
+    /// The LIF/surrogate configuration trained.
+    pub lif: LifConfig,
+    /// Final-epoch training accuracy.
+    pub train_accuracy: f64,
+    /// Test accuracy.
+    pub test_accuracy: f64,
+    /// Mean firing rate across spiking layers on the test set.
+    pub firing_rate: f64,
+    /// Hardware report on the sparsity-aware accelerator.
+    pub accel: AccelReport,
+    /// Hardware report on the dense baseline accelerator (prior-work
+    /// stand-in, same trained model).
+    pub baseline_accel: AccelReport,
+    /// Trained model snapshot (for re-mapping/ablations).
+    pub snapshot: NetworkSnapshot,
+    /// Wall-clock seconds spent training.
+    pub train_secs: f64,
+}
+
+impl PointResult {
+    /// Inference latency on the sparsity-aware accelerator, µs.
+    pub fn latency_us(&self) -> f64 {
+        self.accel.latency_us()
+    }
+
+    /// Efficiency on the sparsity-aware accelerator, FPS/W.
+    pub fn fps_per_watt(&self) -> f64 {
+        self.accel.fps_per_watt()
+    }
+}
+
+/// Error from running a sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// Network construction failed.
+    Build(String),
+    /// Training failed (bad config or data).
+    Train(String),
+    /// Hardware mapping failed.
+    Map(MapError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Build(m) => write!(f, "network build failed: {m}"),
+            RunError::Train(m) => write!(f, "training failed: {m}"),
+            RunError::Map(e) => write!(f, "hardware mapping failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<MapError> for RunError {
+    fn from(e: MapError) -> Self {
+        RunError::Map(e)
+    }
+}
+
+/// Trains the paper topology with `lif` on the given datasets and
+/// maps the result onto both accelerator variants.
+///
+/// Deterministic for fixed inputs: weight seeds derive from the
+/// profile seed, so every sweep point starts from the same initial
+/// weights unless the surrogate/β/θ change behaviour.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if any stage fails.
+pub fn run_point(
+    profile: &ExperimentProfile,
+    lif: LifConfig,
+    train_ds: &Dataset,
+    test_ds: &Dataset,
+) -> Result<PointResult, RunError> {
+    let mut net = SpikingNetwork::paper_topology(
+        profile.input_shape(),
+        train_ds.classes(),
+        lif,
+        derive_seed(profile.seed, "weights"),
+    )
+    .map_err(|e| RunError::Build(e.to_string()))?;
+    let cfg = profile.train_config();
+    let report = fit(&cfg, &mut net, train_ds).map_err(RunError::Train)?;
+    let eval = evaluate(
+        &mut net,
+        test_ds,
+        cfg.encoding,
+        profile.timesteps,
+        profile.batch_size,
+        derive_seed(profile.seed, "eval"),
+    );
+    let snapshot = NetworkSnapshot::from_network(&net);
+    let accel = AcceleratorConfig::sparsity_aware().map(&snapshot, &eval.profile)?;
+    let baseline_accel = AcceleratorConfig::dense_baseline().map(&snapshot, &eval.profile)?;
+    Ok(PointResult {
+        lif,
+        train_accuracy: report.final_train_accuracy(),
+        test_accuracy: eval.accuracy,
+        firing_rate: eval.profile.mean_firing_rate(),
+        accel,
+        baseline_accel,
+        snapshot,
+        train_secs: report.wall_secs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_core::Surrogate;
+
+    #[test]
+    fn quick_point_end_to_end() {
+        let p = ExperimentProfile::quick();
+        let (train, test) = p.datasets();
+        let lif = p.lif(Surrogate::FastSigmoid { k: 0.25 }, 0.25, 1.0);
+        let r = run_point(&p, lif, &train, &test).expect("pipeline runs");
+        assert!((0.0..=1.0).contains(&r.test_accuracy));
+        assert!((0.0..=1.0).contains(&r.firing_rate));
+        assert!(r.latency_us() > 0.0);
+        assert!(r.fps_per_watt() > 0.0);
+        // Sparsity-aware mapping is never slower than the dense twin.
+        assert!(r.accel.latency_us() <= r.baseline_accel.latency_us());
+        assert_eq!(r.snapshot.classes, 10);
+    }
+
+    #[test]
+    fn deterministic_point() {
+        let p = ExperimentProfile::quick();
+        let (train, test) = p.datasets();
+        let lif = p.lif(Surrogate::FastSigmoid { k: 0.25 }, 0.25, 1.0);
+        let a = run_point(&p, lif, &train, &test).unwrap();
+        let b = run_point(&p, lif, &train, &test).unwrap();
+        assert_eq!(a.test_accuracy, b.test_accuracy);
+        assert_eq!(a.firing_rate, b.firing_rate);
+    }
+
+    #[test]
+    fn bad_lif_rejected() {
+        let p = ExperimentProfile::quick();
+        let (train, test) = p.datasets();
+        let lif = LifConfig { beta: 7.0, ..LifConfig::paper_default() };
+        assert!(matches!(run_point(&p, lif, &train, &test), Err(RunError::Build(_))));
+    }
+}

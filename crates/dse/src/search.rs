@@ -1,0 +1,238 @@
+//! Hardware design-space exploration for a fixed trained model.
+//!
+//! The paper's platform descends from a DSE flow (the authors publish
+//! it as *SNN-DSE*): given a trained, profiled model, search the
+//! accelerator configuration space — device, clock, PE
+//! microarchitecture, dataflow — for efficient operating points.
+//! This module provides that search plus a Pareto-front extractor
+//! over (throughput, power).
+
+use serde::{Deserialize, Serialize};
+
+use snn_accel::{AcceleratorConfig, FpgaDevice, PeCost, DEFAULT_SYNC_OVERHEAD};
+use snn_core::{NetworkSnapshot, SparsityProfile};
+
+/// The hardware configuration axes to sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HwSearchSpace {
+    /// Candidate devices.
+    pub devices: Vec<FpgaDevice>,
+    /// Clock multipliers applied to each device's base clock.
+    pub clock_scales: Vec<f64>,
+    /// Candidate per-PE LUT costs (lean vs comfortable datapaths).
+    pub pe_luts: Vec<u64>,
+    /// Dataflows to consider (`true` = event-driven).
+    pub dataflows: Vec<bool>,
+}
+
+impl Default for HwSearchSpace {
+    /// Two devices × three clocks × two PE datapaths × both
+    /// dataflows = 24 candidate points.
+    fn default() -> Self {
+        HwSearchSpace {
+            devices: vec![FpgaDevice::kintex_ultrascale_plus(), FpgaDevice::artix_class()],
+            clock_scales: vec![0.5, 1.0, 1.5],
+            pe_luts: vec![100, 150],
+            dataflows: vec![true, false],
+        }
+    }
+}
+
+/// One explored hardware configuration with its measured metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HwSearchPoint {
+    /// Device name.
+    pub device: String,
+    /// Fabric clock after scaling, MHz.
+    pub clock_mhz: f64,
+    /// LUTs per PE.
+    pub pe_luts: u64,
+    /// Event-driven (`true`) or dense dataflow.
+    pub sparsity_aware: bool,
+    /// Inference latency, µs.
+    pub latency_us: f64,
+    /// Throughput, FPS.
+    pub fps: f64,
+    /// Total power, W.
+    pub power_w: f64,
+    /// Efficiency, FPS/W.
+    pub fps_per_watt: f64,
+    /// Total PEs instantiated.
+    pub total_pes: u64,
+}
+
+/// Result of a hardware search: feasible points plus the count of
+/// infeasible candidates (model did not fit).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HwSearchResult {
+    /// All feasible points, in sweep order.
+    pub points: Vec<HwSearchPoint>,
+    /// Candidates rejected by the allocator (memory/PE budget).
+    pub infeasible: usize,
+}
+
+impl HwSearchResult {
+    /// The most efficient feasible point.
+    pub fn best_efficiency(&self) -> Option<&HwSearchPoint> {
+        self.points
+            .iter()
+            .max_by(|a, b| a.fps_per_watt.total_cmp(&b.fps_per_watt))
+    }
+
+    /// Indices of the Pareto front maximizing FPS while minimizing
+    /// power (a point survives if no other point has both ≥ FPS and
+    /// ≤ power with at least one strict).
+    pub fn pareto_front(&self) -> Vec<usize> {
+        let mut front = Vec::new();
+        'outer: for (i, p) in self.points.iter().enumerate() {
+            for (j, q) in self.points.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let dominates = q.fps >= p.fps
+                    && q.power_w <= p.power_w
+                    && (q.fps > p.fps || q.power_w < p.power_w);
+                if dominates {
+                    continue 'outer;
+                }
+            }
+            front.push(i);
+        }
+        front
+    }
+}
+
+/// Explores the hardware space for one trained model.
+///
+/// Infeasible candidates (model does not fit) are counted, not
+/// errors — resource pressure is a finding, not a failure.
+pub fn hw_search(
+    space: &HwSearchSpace,
+    snapshot: &NetworkSnapshot,
+    profile: &SparsityProfile,
+) -> HwSearchResult {
+    let mut points = Vec::new();
+    let mut infeasible = 0usize;
+    for device in &space.devices {
+        for &clock_scale in &space.clock_scales {
+            for &pe_luts in &space.pe_luts {
+                for &aware in &space.dataflows {
+                    let mut dev = device.clone();
+                    dev.clock_mhz *= clock_scale;
+                    // Faster clocks burn proportionally more dynamic
+                    // energy per op is already frequency-implicit
+                    // (fixed energy/op); static power rises mildly.
+                    dev.static_power_w *= clock_scale.sqrt();
+                    let cfg = AcceleratorConfig {
+                        device: dev,
+                        sparsity_aware: aware,
+                        pe_cost: PeCost { luts: pe_luts, ..PeCost::default() },
+                        sync_overhead_cycles: DEFAULT_SYNC_OVERHEAD,
+                    };
+                    match cfg.map(snapshot, profile) {
+                        Ok(r) => points.push(HwSearchPoint {
+                            device: device.name.clone(),
+                            clock_mhz: cfg.device.clock_mhz,
+                            pe_luts,
+                            sparsity_aware: aware,
+                            latency_us: r.latency_us(),
+                            fps: r.fps(),
+                            power_w: r.power_w(),
+                            fps_per_watt: r.fps_per_watt(),
+                            total_pes: r.allocation.total_pes,
+                        }),
+                        Err(_) => infeasible += 1,
+                    }
+                }
+            }
+        }
+    }
+    HwSearchResult { points, infeasible }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_core::{evaluate, LifConfig, SpikingNetwork};
+    use snn_data::{bars_dataset, SpikeEncoding};
+    use snn_tensor::Shape;
+
+    fn fixture() -> (NetworkSnapshot, SparsityProfile) {
+        let mut net = SpikingNetwork::paper_topology(
+            Shape::d3(1, 16, 16),
+            4,
+            LifConfig { theta: 0.5, ..LifConfig::paper_default() },
+            3,
+        )
+        .unwrap();
+        let ds = bars_dataset(12, 16, 0);
+        let eval = evaluate(&mut net, &ds, SpikeEncoding::default(), 4, 6, 1);
+        (NetworkSnapshot::from_network(&net), eval.profile)
+    }
+
+    #[test]
+    fn default_space_mostly_feasible() {
+        let (snap, prof) = fixture();
+        let r = hw_search(&HwSearchSpace::default(), &snap, &prof);
+        assert_eq!(r.points.len() + r.infeasible, 24);
+        assert!(r.points.len() >= 12, "too many infeasible: {}", r.infeasible);
+        assert!(r.best_efficiency().is_some());
+    }
+
+    #[test]
+    fn faster_clock_means_more_fps() {
+        let (snap, prof) = fixture();
+        let space = HwSearchSpace {
+            devices: vec![FpgaDevice::kintex_ultrascale_plus()],
+            clock_scales: vec![0.5, 1.0],
+            pe_luts: vec![150],
+            dataflows: vec![true],
+        };
+        let r = hw_search(&space, &snap, &prof);
+        assert_eq!(r.points.len(), 2);
+        let slow = &r.points[0];
+        let fast = &r.points[1];
+        assert!(fast.clock_mhz > slow.clock_mhz);
+        assert!(fast.fps > slow.fps);
+        assert!(fast.latency_us < slow.latency_us);
+    }
+
+    #[test]
+    fn pareto_front_is_nondominated() {
+        let (snap, prof) = fixture();
+        let r = hw_search(&HwSearchSpace::default(), &snap, &prof);
+        let front = r.pareto_front();
+        assert!(!front.is_empty());
+        for &i in &front {
+            for (j, q) in r.points.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let p = &r.points[i];
+                let dominated = q.fps >= p.fps
+                    && q.power_w <= p.power_w
+                    && (q.fps > p.fps || q.power_w < p.power_w);
+                assert!(!dominated, "front point {i} dominated by {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn event_dataflow_dominates_dense_on_sparse_model() {
+        // For the same device/clock/PE cost, the event-driven point
+        // should appear on the Pareto front, the dense one shouldn't
+        // dominate it.
+        let (snap, prof) = fixture();
+        let space = HwSearchSpace {
+            devices: vec![FpgaDevice::kintex_ultrascale_plus()],
+            clock_scales: vec![1.0],
+            pe_luts: vec![150],
+            dataflows: vec![true, false],
+        };
+        let r = hw_search(&space, &snap, &prof);
+        assert_eq!(r.points.len(), 2);
+        let aware = r.points.iter().find(|p| p.sparsity_aware).unwrap();
+        let dense = r.points.iter().find(|p| !p.sparsity_aware).unwrap();
+        assert!(aware.fps_per_watt > dense.fps_per_watt);
+    }
+}

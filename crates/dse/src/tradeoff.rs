@@ -1,0 +1,151 @@
+//! Trade-off analysis over the Figure-2 grid: the paper's
+//! "48% latency reduction for 2.88% accuracy" style selections.
+
+use serde::{Deserialize, Serialize};
+
+use crate::sweeps::{Fig2Result, Fig2Row};
+
+/// Summary of the latency/accuracy trade-off across a `β × θ` grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TradeoffSummary {
+    /// The configuration with the best accuracy (the paper's
+    /// comparison anchor).
+    pub best_accuracy: Fig2Row,
+    /// The selected fast configuration (max latency reduction within
+    /// the accuracy budget).
+    pub chosen: Fig2Row,
+    /// Latency reduction of `chosen` vs `best_accuracy`, in percent.
+    pub latency_reduction_pct: f64,
+    /// Accuracy drop of `chosen` vs `best_accuracy`, in percentage
+    /// points.
+    pub accuracy_drop_pct: f64,
+    /// The accuracy budget used for the selection, percentage points.
+    pub max_drop_pct: f64,
+}
+
+/// Selects the grid point with the largest latency reduction whose
+/// accuracy drop (vs the best-accuracy point) stays within
+/// `max_drop_pct` percentage points.
+///
+/// The paper's analysis instantiates this with a ~3-point budget and
+/// lands on `β = 0.5, θ = 1.5` (48% latency reduction, 2.88%
+/// accuracy cost).
+///
+/// # Panics
+///
+/// Panics if the grid is empty.
+pub fn analyze(grid: &Fig2Result, max_drop_pct: f64) -> TradeoffSummary {
+    analyze_from(grid, grid.best_accuracy().clone(), max_drop_pct)
+}
+
+/// Like [`analyze`], but measures reductions against an explicit
+/// anchor row instead of the best-accuracy point.
+///
+/// The paper's abstract states the 48%/2.88% numbers "compared to the
+/// default setting" (`β = 0.25, θ = 1.0`), while §III.B compares
+/// against the best-accuracy configuration — this variant supports
+/// the first reading. The accuracy budget is still measured against
+/// the anchor.
+pub fn analyze_from(grid: &Fig2Result, anchor: Fig2Row, max_drop_pct: f64) -> TradeoffSummary {
+    let mut chosen = anchor.clone();
+    let mut best_reduction = 0.0f64;
+    for row in &grid.rows {
+        let drop_pct = (anchor.accuracy - row.accuracy) * 100.0;
+        if drop_pct > max_drop_pct {
+            continue;
+        }
+        let reduction = 1.0 - row.latency_us / anchor.latency_us;
+        if reduction > best_reduction {
+            best_reduction = reduction;
+            chosen = row.clone();
+        }
+    }
+    TradeoffSummary {
+        latency_reduction_pct: best_reduction * 100.0,
+        accuracy_drop_pct: (anchor.accuracy - chosen.accuracy) * 100.0,
+        best_accuracy: anchor,
+        chosen,
+        max_drop_pct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(beta: f32, theta: f32, acc: f64, lat: f64) -> Fig2Row {
+        Fig2Row {
+            beta,
+            theta,
+            accuracy: acc,
+            firing_rate: 0.1,
+            latency_us: lat,
+            fps_per_watt: 1000.0,
+        }
+    }
+
+    fn grid(rows: Vec<Fig2Row>) -> Fig2Result {
+        Fig2Result { rows, betas: vec![], thetas: vec![] }
+    }
+
+    #[test]
+    fn picks_fastest_within_budget() {
+        let g = grid(vec![
+            row(0.9, 0.5, 0.90, 100.0), // best accuracy, slow
+            row(0.5, 1.5, 0.87, 52.0),  // −3 pts, 48% faster
+            row(0.25, 2.0, 0.80, 30.0), // −10 pts, fastest (over budget)
+        ]);
+        let t = analyze(&g, 5.0);
+        assert_eq!((t.chosen.beta, t.chosen.theta), (0.5, 1.5));
+        assert!((t.latency_reduction_pct - 48.0).abs() < 1e-9);
+        assert!((t.accuracy_drop_pct - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_budget_keeps_best() {
+        let g = grid(vec![row(0.9, 0.5, 0.90, 100.0), row(0.5, 1.5, 0.85, 40.0)]);
+        let t = analyze(&g, 1.0);
+        assert_eq!(t.chosen, t.best_accuracy);
+        assert_eq!(t.latency_reduction_pct, 0.0);
+        assert_eq!(t.accuracy_drop_pct, 0.0);
+    }
+
+    #[test]
+    fn equal_accuracy_faster_point_wins() {
+        let g = grid(vec![row(0.9, 0.5, 0.90, 100.0), row(0.7, 1.5, 0.90, 60.0)]);
+        let t = analyze(&g, 5.0);
+        assert_eq!((t.chosen.beta, t.chosen.theta), (0.7, 1.5));
+        assert!((t.latency_reduction_pct - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_grid_panics() {
+        let g = grid(vec![]);
+        let _ = analyze(&g, 5.0);
+    }
+
+    #[test]
+    fn anchored_analysis_uses_given_row() {
+        let default_row = row(0.25, 1.0, 0.85, 80.0);
+        let g = grid(vec![
+            default_row.clone(),
+            row(0.9, 0.5, 0.90, 100.0), // best accuracy, slowest
+            row(0.5, 1.5, 0.83, 42.0),  // −2 pts vs default, 47.5% faster
+        ]);
+        let t = analyze_from(&g, default_row, 3.0);
+        assert_eq!((t.chosen.beta, t.chosen.theta), (0.5, 1.5));
+        assert!((t.latency_reduction_pct - 47.5).abs() < 1e-9);
+        assert!((t.accuracy_drop_pct - 2.0).abs() < 1e-9);
+        // The faster-but-over-budget point is never chosen; the
+        // higher-accuracy point is slower so it is not chosen either.
+    }
+
+    #[test]
+    fn anchored_analysis_ignores_points_above_budget() {
+        let anchor = row(0.25, 1.0, 0.85, 80.0);
+        let g = grid(vec![anchor.clone(), row(0.5, 2.0, 0.70, 10.0)]);
+        let t = analyze_from(&g, anchor, 3.0);
+        assert_eq!(t.latency_reduction_pct, 0.0);
+    }
+}

@@ -1,0 +1,595 @@
+//! 2-D convolution kernels (im2col-based) with hand-written backward
+//! passes.
+//!
+//! Weights are stored as rank-2 `[out_channels, in_channels*kh*kw]`
+//! matrices so forward convolution is a single GEMM per batch item:
+//! `Y_n = W · im2col(X_n)`. The backward pass uses the transposed
+//! products from [`crate::linalg`] plus `col2im` scatter.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, TensorError};
+use crate::linalg::gemm_into;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Static geometry of a 2-D convolution.
+///
+/// # Examples
+///
+/// ```
+/// use snn_tensor::conv::Conv2dGeometry;
+///
+/// let g = Conv2dGeometry::new(3, 32, 3, 1, 1, 32, 32)?;
+/// assert_eq!((g.out_h(), g.out_w()), (32, 32));
+/// assert_eq!(g.weight_shape().dims(), &[32, 3 * 3 * 3]);
+/// # Ok::<(), snn_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Conv2dGeometry {
+    /// Input channel count.
+    pub in_channels: usize,
+    /// Output channel count (number of filters).
+    pub out_channels: usize,
+    /// Square kernel side length.
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on every border.
+    pub padding: usize,
+    /// Input spatial height.
+    pub in_h: usize,
+    /// Input spatial width.
+    pub in_w: usize,
+}
+
+impl Conv2dGeometry {
+    /// Creates and validates a convolution geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BadGeometry`] if any dimension is zero,
+    /// the kernel exceeds the padded input, or the stride is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        in_h: usize,
+        in_w: usize,
+    ) -> Result<Self> {
+        let g = Conv2dGeometry { in_channels, out_channels, kernel, stride, padding, in_h, in_w };
+        if in_channels == 0 || out_channels == 0 || kernel == 0 || in_h == 0 || in_w == 0 {
+            return Err(TensorError::BadGeometry(format!("zero-sized convolution: {g:?}")));
+        }
+        if stride == 0 {
+            return Err(TensorError::BadGeometry("stride must be nonzero".into()));
+        }
+        if kernel > in_h + 2 * padding || kernel > in_w + 2 * padding {
+            return Err(TensorError::BadGeometry(format!(
+                "kernel {kernel} exceeds padded input {}x{}",
+                in_h + 2 * padding,
+                in_w + 2 * padding
+            )));
+        }
+        Ok(g)
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Rows of the im2col matrix: `in_channels * kernel²`.
+    pub fn col_rows(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Columns of the im2col matrix: `out_h * out_w`.
+    pub fn col_cols(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Shape of the weight matrix: `[out_channels, col_rows]`.
+    pub fn weight_shape(&self) -> Shape {
+        Shape::d2(self.out_channels, self.col_rows())
+    }
+
+    /// Shape of one input item `[in_channels, in_h, in_w]`.
+    pub fn input_item_shape(&self) -> Shape {
+        Shape::d3(self.in_channels, self.in_h, self.in_w)
+    }
+
+    /// Shape of one output item `[out_channels, out_h, out_w]`.
+    pub fn output_item_shape(&self) -> Shape {
+        Shape::d3(self.out_channels, self.out_h(), self.out_w())
+    }
+
+    /// Multiply–accumulate count for a dense forward pass of one item.
+    ///
+    /// Used by the accelerator workload model as the dense-work upper
+    /// bound.
+    pub fn dense_macs(&self) -> u64 {
+        (self.out_channels * self.col_rows() * self.col_cols()) as u64
+    }
+
+    /// Per-spike synaptic fan-out: how many output accumulations one
+    /// input spike triggers in an event-driven dataflow
+    /// (`out_channels * kernel² / stride²`, the average number of
+    /// output positions covered by one input pixel).
+    pub fn spike_fanout(&self) -> f64 {
+        let per_pixel = (self.kernel as f64 / self.stride as f64).powi(2);
+        self.out_channels as f64 * per_pixel
+    }
+}
+
+/// Expands one input item `[C, H, W]` into the im2col matrix
+/// `[C*k*k, out_h*out_w]`, writing into `cols`.
+///
+/// Out-of-bounds (padding) taps contribute zeros.
+///
+/// # Panics
+///
+/// Debug-asserts that the buffer lengths match the geometry.
+pub fn im2col(g: &Conv2dGeometry, input: &[f32], cols: &mut [f32]) {
+    debug_assert_eq!(input.len(), g.in_channels * g.in_h * g.in_w);
+    debug_assert_eq!(cols.len(), g.col_rows() * g.col_cols());
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let n_cols = oh * ow;
+    cols.fill(0.0);
+    for c in 0..g.in_channels {
+        let chan = &input[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
+        for ky in 0..g.kernel {
+            for kx in 0..g.kernel {
+                let row = (c * g.kernel + ky) * g.kernel + kx;
+                let out_row = &mut cols[row * n_cols..(row + 1) * n_cols];
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                    if iy < 0 || iy >= g.in_h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                        if ix < 0 || ix >= g.in_w as isize {
+                            continue;
+                        }
+                        out_row[oy * ow + ox] = chan[iy * g.in_w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2col`]: scatters a `[C*k*k, out_h*out_w]` gradient
+/// matrix back onto a `[C, H, W]` input-gradient buffer (accumulating).
+///
+/// # Panics
+///
+/// Debug-asserts that the buffer lengths match the geometry.
+pub fn col2im(g: &Conv2dGeometry, cols: &[f32], grad_input: &mut [f32]) {
+    debug_assert_eq!(grad_input.len(), g.in_channels * g.in_h * g.in_w);
+    debug_assert_eq!(cols.len(), g.col_rows() * g.col_cols());
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let n_cols = oh * ow;
+    for c in 0..g.in_channels {
+        let chan = &mut grad_input[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
+        for ky in 0..g.kernel {
+            for kx in 0..g.kernel {
+                let row = (c * g.kernel + ky) * g.kernel + kx;
+                let col_row = &cols[row * n_cols..(row + 1) * n_cols];
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                    if iy < 0 || iy >= g.in_h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                        if ix < 0 || ix >= g.in_w as isize {
+                            continue;
+                        }
+                        chan[iy * g.in_w + ix as usize] += col_row[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward convolution on a `[N, C, H, W]` batch.
+///
+/// `weight` must have shape [`Conv2dGeometry::weight_shape`]; `bias`
+/// is a rank-1 tensor of length `out_channels`.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] if input/weight/bias shapes disagree with
+/// the geometry.
+pub fn conv2d_forward(
+    g: &Conv2dGeometry,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+) -> Result<Tensor> {
+    check_batch_input(g, input)?;
+    check_params(g, weight, bias)?;
+    let n = input.shape().dim(0);
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let item_in = g.in_channels * g.in_h * g.in_w;
+    let item_out = g.out_channels * oh * ow;
+    let mut out = Tensor::zeros(Shape::d4(n, g.out_channels, oh, ow));
+    let mut cols = vec![0.0f32; g.col_rows() * g.col_cols()];
+    let (iv, wv, bv) = (input.as_slice(), weight.as_slice(), bias.as_slice());
+    // Copy bias to a local so the borrow checker lets us write `out`.
+    let bias_local: Vec<f32> = bv.to_vec();
+    let ov = out.as_mut_slice();
+    for item in 0..n {
+        im2col(g, &iv[item * item_in..(item + 1) * item_in], &mut cols);
+        let out_item = &mut ov[item * item_out..(item + 1) * item_out];
+        gemm_into(wv, &cols, out_item, g.out_channels, g.col_rows(), g.col_cols());
+        for (oc, &b) in bias_local.iter().enumerate() {
+            if b != 0.0 {
+                for v in &mut out_item[oc * oh * ow..(oc + 1) * oh * ow] {
+                    *v += b;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Gradients of a 2-D convolution.
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient w.r.t. the input batch, same shape as the input.
+    pub grad_input: Tensor,
+    /// Gradient w.r.t. the weight matrix.
+    pub grad_weight: Tensor,
+    /// Gradient w.r.t. the bias vector.
+    pub grad_bias: Tensor,
+}
+
+/// Backward convolution: given upstream `grad_output` `[N, OC, OH,
+/// OW]` and the original `input`, produces all three gradients.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] if any shape disagrees with the geometry.
+pub fn conv2d_backward(
+    g: &Conv2dGeometry,
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+) -> Result<Conv2dGrads> {
+    check_batch_input(g, input)?;
+    if grad_output.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: grad_output.shape().rank(),
+            op: "conv2d_backward grad_output",
+        });
+    }
+    let n = input.shape().dim(0);
+    let expect = Shape::d4(n, g.out_channels, g.out_h(), g.out_w());
+    if grad_output.shape() != expect {
+        return Err(TensorError::ShapeMismatch {
+            lhs: grad_output.shape(),
+            rhs: expect,
+            op: "conv2d_backward grad_output",
+        });
+    }
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let n_cols = oh * ow;
+    let item_in = g.in_channels * g.in_h * g.in_w;
+    let item_out = g.out_channels * n_cols;
+
+    let mut grad_input = Tensor::zeros(input.shape());
+    let mut grad_weight = Tensor::zeros(g.weight_shape());
+    let mut grad_bias = Tensor::zeros(Shape::d1(g.out_channels));
+    let mut cols = vec![0.0f32; g.col_rows() * n_cols];
+    let mut col_grad = vec![0.0f32; g.col_rows() * n_cols];
+
+    let (iv, wv, gov) = (input.as_slice(), weight.as_slice(), grad_output.as_slice());
+    let gwv_len = grad_weight.len();
+    for item in 0..n {
+        let x = &iv[item * item_in..(item + 1) * item_in];
+        let dy = &gov[item * item_out..(item + 1) * item_out];
+        im2col(g, x, &mut cols);
+
+        // dW[oc, r] += sum_col dy[oc, col] * cols[r, col]  (A · Bᵀ)
+        {
+            let gw = grad_weight.as_mut_slice();
+            debug_assert_eq!(gw.len(), gwv_len);
+            for oc in 0..g.out_channels {
+                let dyrow = &dy[oc * n_cols..(oc + 1) * n_cols];
+                let gwrow = &mut gw[oc * g.col_rows()..(oc + 1) * g.col_rows()];
+                for (r, gwval) in gwrow.iter_mut().enumerate() {
+                    let crow = &cols[r * n_cols..(r + 1) * n_cols];
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in dyrow.iter().zip(crow) {
+                        acc += a * b;
+                    }
+                    *gwval += acc;
+                }
+            }
+        }
+
+        // db[oc] += sum over spatial of dy
+        {
+            let gb = grad_bias.as_mut_slice();
+            for oc in 0..g.out_channels {
+                let dyrow = &dy[oc * n_cols..(oc + 1) * n_cols];
+                gb[oc] += dyrow.iter().sum::<f32>();
+            }
+        }
+
+        // col_grad = Wᵀ · dy : [col_rows, n_cols]
+        col_grad.fill(0.0);
+        for oc in 0..g.out_channels {
+            let wrow = &wv[oc * g.col_rows()..(oc + 1) * g.col_rows()];
+            let dyrow = &dy[oc * n_cols..(oc + 1) * n_cols];
+            for (r, &wval) in wrow.iter().enumerate() {
+                if wval == 0.0 {
+                    continue;
+                }
+                let cg = &mut col_grad[r * n_cols..(r + 1) * n_cols];
+                for (cgv, &dyv) in cg.iter_mut().zip(dyrow) {
+                    *cgv += wval * dyv;
+                }
+            }
+        }
+        let gi = grad_input.as_mut_slice();
+        col2im(g, &col_grad, &mut gi[item * item_in..(item + 1) * item_in]);
+    }
+    Ok(Conv2dGrads { grad_input, grad_weight, grad_bias })
+}
+
+fn check_batch_input(g: &Conv2dGeometry, input: &Tensor) -> Result<()> {
+    if input.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input.shape().rank(),
+            op: "conv2d input",
+        });
+    }
+    let expect = Shape::d4(input.shape().dim(0), g.in_channels, g.in_h, g.in_w);
+    if input.shape() != expect {
+        return Err(TensorError::ShapeMismatch {
+            lhs: input.shape(),
+            rhs: expect,
+            op: "conv2d input",
+        });
+    }
+    Ok(())
+}
+
+fn check_params(g: &Conv2dGeometry, weight: &Tensor, bias: &Tensor) -> Result<()> {
+    if weight.shape() != g.weight_shape() {
+        return Err(TensorError::ShapeMismatch {
+            lhs: weight.shape(),
+            rhs: g.weight_shape(),
+            op: "conv2d weight",
+        });
+    }
+    if bias.shape().rank() != 1 || bias.len() != g.out_channels {
+        return Err(TensorError::ShapeMismatch {
+            lhs: bias.shape(),
+            rhs: Shape::d1(g.out_channels),
+            op: "conv2d bias",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(c: usize, oc: usize, k: usize, s: usize, p: usize, h: usize, w: usize) -> Conv2dGeometry {
+        Conv2dGeometry::new(c, oc, k, s, p, h, w).unwrap()
+    }
+
+    /// Direct (reference) convolution for cross-checking im2col+GEMM.
+    fn conv_reference(g: &Conv2dGeometry, x: &Tensor, wt: &Tensor, b: &Tensor) -> Tensor {
+        let n = x.shape().dim(0);
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let mut out = Tensor::zeros(Shape::d4(n, g.out_channels, oh, ow));
+        for item in 0..n {
+            for oc in 0..g.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = b.as_slice()[oc];
+                        for c in 0..g.in_channels {
+                            for ky in 0..g.kernel {
+                                for kx in 0..g.kernel {
+                                    let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                                    let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                                    if iy < 0
+                                        || ix < 0
+                                        || iy >= g.in_h as isize
+                                        || ix >= g.in_w as isize
+                                    {
+                                        continue;
+                                    }
+                                    let wv = wt.at2(oc, (c * g.kernel + ky) * g.kernel + kx);
+                                    acc += wv * x.at4(item, c, iy as usize, ix as usize);
+                                }
+                            }
+                        }
+                        out.set4(item, oc, oy, ox, acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn geometry_output_dims() {
+        let g = geom(3, 32, 3, 1, 1, 32, 32);
+        assert_eq!((g.out_h(), g.out_w()), (32, 32));
+        let g = geom(3, 8, 3, 1, 0, 16, 16);
+        assert_eq!((g.out_h(), g.out_w()), (14, 14));
+        let g = geom(1, 1, 2, 2, 0, 8, 8);
+        assert_eq!((g.out_h(), g.out_w()), (4, 4));
+    }
+
+    #[test]
+    fn geometry_rejects_bad() {
+        assert!(Conv2dGeometry::new(0, 1, 3, 1, 0, 8, 8).is_err());
+        assert!(Conv2dGeometry::new(1, 1, 9, 1, 0, 8, 8).is_err());
+        assert!(Conv2dGeometry::new(1, 1, 3, 0, 0, 8, 8).is_err());
+        assert!(Conv2dGeometry::new(1, 1, 9, 1, 1, 8, 8).is_ok()); // padded 10 >= 9
+    }
+
+    #[test]
+    fn forward_matches_reference() {
+        let g = geom(2, 3, 3, 1, 1, 5, 6);
+        let x = Tensor::from_fn(Shape::d4(2, 2, 5, 6), |i| ((i * 37 % 11) as f32 - 5.0) * 0.1);
+        let w = Tensor::from_fn(g.weight_shape(), |i| ((i * 17 % 7) as f32 - 3.0) * 0.05);
+        let b = Tensor::from_vec(Shape::d1(3), vec![0.1, -0.2, 0.3]).unwrap();
+        let got = conv2d_forward(&g, &x, &w, &b).unwrap();
+        let want = conv_reference(&g, &x, &w, &b);
+        for (a, e) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((a - e).abs() < 1e-4, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn forward_strided_matches_reference() {
+        let g = geom(1, 2, 2, 2, 0, 6, 6);
+        let x = Tensor::from_fn(Shape::d4(1, 1, 6, 6), |i| i as f32 * 0.1);
+        let w = Tensor::from_fn(g.weight_shape(), |i| (i as f32 - 4.0) * 0.2);
+        let b = Tensor::zeros(Shape::d1(2));
+        let got = conv2d_forward(&g, &x, &w, &b).unwrap();
+        let want = conv_reference(&g, &x, &w, &b);
+        for (a, e) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((a - e).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn backward_weight_grad_matches_numeric() {
+        let g = geom(1, 2, 2, 1, 0, 4, 4);
+        let x = Tensor::from_fn(Shape::d4(1, 1, 4, 4), |i| (i as f32 * 0.13).sin());
+        let mut w = Tensor::from_fn(g.weight_shape(), |i| (i as f32 * 0.3).cos() * 0.2);
+        let b = Tensor::zeros(Shape::d1(2));
+        // Loss = sum(Y); then dL/dY = 1.
+        let y = conv2d_forward(&g, &x, &w, &b).unwrap();
+        let dy = Tensor::ones(y.shape());
+        let grads = conv2d_backward(&g, &x, &w, &dy).unwrap();
+
+        let eps = 1e-3f32;
+        for idx in 0..w.len() {
+            let orig = w.as_slice()[idx];
+            w.as_mut_slice()[idx] = orig + eps;
+            let lp = conv2d_forward(&g, &x, &w, &b).unwrap().sum();
+            w.as_mut_slice()[idx] = orig - eps;
+            let lm = conv2d_forward(&g, &x, &w, &b).unwrap().sum();
+            w.as_mut_slice()[idx] = orig;
+            let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            let analytic = grads.grad_weight.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "idx {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_input_grad_matches_numeric() {
+        let g = geom(2, 2, 3, 1, 1, 4, 4);
+        let mut x = Tensor::from_fn(Shape::d4(1, 2, 4, 4), |i| (i as f32 * 0.07).cos());
+        let w = Tensor::from_fn(g.weight_shape(), |i| ((i % 5) as f32 - 2.0) * 0.1);
+        let b = Tensor::zeros(Shape::d1(2));
+        let y = conv2d_forward(&g, &x, &w, &b).unwrap();
+        let dy = Tensor::from_fn(y.shape(), |i| (i % 3) as f32 - 1.0);
+        let grads = conv2d_backward(&g, &x, &w, &dy).unwrap();
+
+        let loss = |x: &Tensor| -> f64 {
+            let y = conv2d_forward(&g, x, &w, &b).unwrap();
+            y.as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(&yv, &dv)| (yv * dv) as f64)
+                .sum()
+        };
+        let eps = 1e-3f32;
+        for idx in (0..x.len()).step_by(3) {
+            let orig = x.as_slice()[idx];
+            x.as_mut_slice()[idx] = orig + eps;
+            let lp = loss(&x);
+            x.as_mut_slice()[idx] = orig - eps;
+            let lm = loss(&x);
+            x.as_mut_slice()[idx] = orig;
+            let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            let analytic = grads.grad_input.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "idx {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_bias_is_spatial_sum() {
+        let g = geom(1, 3, 3, 1, 1, 4, 4);
+        let x = Tensor::ones(Shape::d4(2, 1, 4, 4));
+        let w = Tensor::zeros(g.weight_shape());
+        let dy = Tensor::ones(Shape::d4(2, 3, 4, 4));
+        let grads = conv2d_backward(&g, &x, &w, &dy).unwrap();
+        // 2 batch items × 16 spatial positions each.
+        assert_eq!(grads.grad_bias.as_slice(), &[32.0, 32.0, 32.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), c> == <x, col2im(c)> for all x, c — the defining
+        // property of an adjoint pair, checked on pseudo-random data.
+        let g = geom(2, 1, 3, 2, 1, 5, 5);
+        let x: Vec<f32> = (0..g.in_channels * g.in_h * g.in_w)
+            .map(|i| ((i * 31 % 13) as f32) - 6.0)
+            .collect();
+        let c: Vec<f32> =
+            (0..g.col_rows() * g.col_cols()).map(|i| ((i * 7 % 9) as f32) - 4.0).collect();
+        let mut cols = vec![0.0; c.len()];
+        im2col(&g, &x, &mut cols);
+        let lhs: f64 = cols.iter().zip(&c).map(|(&a, &b)| (a * b) as f64).sum();
+        let mut gx = vec![0.0; x.len()];
+        col2im(&g, &c, &mut gx);
+        let rhs: f64 = x.iter().zip(&gx).map(|(&a, &b)| (a * b) as f64).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn shape_validation_errors() {
+        let g = geom(3, 4, 3, 1, 1, 8, 8);
+        let bad_x = Tensor::zeros(Shape::d4(1, 2, 8, 8));
+        let w = Tensor::zeros(g.weight_shape());
+        let b = Tensor::zeros(Shape::d1(4));
+        assert!(conv2d_forward(&g, &bad_x, &w, &b).is_err());
+        let x = Tensor::zeros(Shape::d4(1, 3, 8, 8));
+        let bad_w = Tensor::zeros(Shape::d2(4, 5));
+        assert!(conv2d_forward(&g, &x, &bad_w, &b).is_err());
+        let bad_b = Tensor::zeros(Shape::d1(3));
+        assert!(conv2d_forward(&g, &x, &w, &bad_b).is_err());
+        let bad_dy = Tensor::zeros(Shape::d4(1, 4, 7, 7));
+        assert!(conv2d_backward(&g, &x, &w, &bad_dy).is_err());
+    }
+
+    #[test]
+    fn fanout_and_macs() {
+        let g = geom(3, 32, 3, 1, 1, 32, 32);
+        assert_eq!(g.dense_macs(), (32 * 27 * 32 * 32) as u64);
+        assert!((g.spike_fanout() - 32.0 * 9.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,127 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+use crate::shape::Shape;
+
+/// Error returned by fallible tensor operations.
+///
+/// Most tensor kernels in this crate have infallible `*_unchecked`-style
+/// hot paths used internally after validation, and fallible public
+/// entry points returning this type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands were expected to have identical shapes.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        lhs: Shape,
+        /// Shape of the right-hand operand.
+        rhs: Shape,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A reshape was requested to a shape with a different element count.
+    ReshapeCount {
+        /// Element count of the source tensor.
+        from: usize,
+        /// Element count implied by the requested shape.
+        to: usize,
+    },
+    /// An axis index was out of range for the tensor rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor rank.
+        rank: usize,
+    },
+    /// The tensor had an unexpected rank.
+    RankMismatch {
+        /// Expected rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// Inner dimensions of a matrix product did not agree.
+    GemmInnerDim {
+        /// Columns of the left matrix.
+        lhs_cols: usize,
+        /// Rows of the right matrix.
+        rhs_rows: usize,
+    },
+    /// A convolution/pooling geometry was invalid (e.g. kernel larger
+    /// than padded input).
+    BadGeometry(String),
+    /// Raw data length did not match the shape element count.
+    DataLength {
+        /// Expected number of elements.
+        expected: usize,
+        /// Provided number of elements.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in `{op}`: {lhs} vs {rhs}")
+            }
+            TensorError::ReshapeCount { from, to } => {
+                write!(f, "cannot reshape {from} elements into a shape of {to} elements")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank-{rank} tensor")
+            }
+            TensorError::RankMismatch { expected, actual, op } => {
+                write!(f, "`{op}` expects a rank-{expected} tensor, got rank {actual}")
+            }
+            TensorError::GemmInnerDim { lhs_cols, rhs_rows } => {
+                write!(f, "matrix product inner dimensions disagree: {lhs_cols} vs {rhs_rows}")
+            }
+            TensorError::BadGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            TensorError::DataLength { expected, actual } => {
+                write!(f, "data length {actual} does not match shape element count {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errs: Vec<TensorError> = vec![
+            TensorError::ShapeMismatch {
+                lhs: Shape::d2(2, 3),
+                rhs: Shape::d2(3, 2),
+                op: "add",
+            },
+            TensorError::ReshapeCount { from: 6, to: 8 },
+            TensorError::AxisOutOfRange { axis: 4, rank: 2 },
+            TensorError::RankMismatch { expected: 4, actual: 2, op: "conv2d" },
+            TensorError::GemmInnerDim { lhs_cols: 3, rhs_rows: 4 },
+            TensorError::BadGeometry("kernel exceeds input".into()),
+            TensorError::DataLength { expected: 4, actual: 5 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with('`'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

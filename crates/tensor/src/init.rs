@@ -1,0 +1,175 @@
+//! Weight initializers and deterministic seed derivation.
+//!
+//! Every stochastic component in the workspace takes an explicit
+//! `u64` seed; [`derive_seed`] produces decorrelated child seeds so a
+//! single experiment seed fans out to data generation, weight init,
+//! and encoder noise without accidental stream sharing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Weight-initialization schemes.
+///
+/// `fan_in`/`fan_out` follow the usual convention: for a dense layer
+/// `[out, in]` they are `in` and `out`; for a conv layer they are
+/// `in_channels * kh * kw` and `out_channels * kh * kw`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// Every element set to the same constant.
+    Constant(f32),
+    /// Uniform on `[-bound, bound]`.
+    Uniform {
+        /// Half-width of the interval.
+        bound: f32,
+    },
+    /// Kaiming/He uniform: `U(-sqrt(6/fan_in), +sqrt(6/fan_in))`.
+    ///
+    /// The default for layers feeding spiking nonlinearities; the LIF
+    /// threshold behaves similarly to a ReLU knee, so He scaling keeps
+    /// early firing rates in a trainable range.
+    KaimingUniform,
+    /// Xavier/Glorot uniform: `U(±sqrt(6/(fan_in+fan_out)))`.
+    XavierUniform,
+    /// Gaussian with the given standard deviation.
+    Normal {
+        /// Standard deviation of the distribution.
+        std: f32,
+    },
+}
+
+impl Default for Init {
+    fn default() -> Self {
+        Init::KaimingUniform
+    }
+}
+
+impl Init {
+    /// Materializes a tensor of the given shape.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use snn_tensor::{Init, Shape};
+    ///
+    /// let w = Init::KaimingUniform.tensor(Shape::d2(16, 64), 64, 16, 42);
+    /// assert_eq!(w.len(), 16 * 64);
+    /// let bound = (6.0f32 / 64.0).sqrt();
+    /// assert!(w.max() <= bound && w.min() >= -bound);
+    /// ```
+    pub fn tensor(self, shape: impl Into<Shape>, fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+        let shape = shape.into();
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self {
+            Init::Constant(v) => Tensor::full(shape, v),
+            Init::Uniform { bound } => {
+                Tensor::from_fn(shape, |_| rng.gen_range(-bound..=bound))
+            }
+            Init::KaimingUniform => {
+                let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+                Tensor::from_fn(shape, |_| rng.gen_range(-bound..=bound))
+            }
+            Init::XavierUniform => {
+                let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                Tensor::from_fn(shape, |_| rng.gen_range(-bound..=bound))
+            }
+            Init::Normal { std } => {
+                // Box–Muller transform; `rand`'s normal distribution
+                // lives in rand_distr, which we avoid pulling in.
+                Tensor::from_fn(shape, |_| {
+                    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                    let u2: f32 = rng.gen_range(0.0..1.0);
+                    std * (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+                })
+            }
+        }
+    }
+}
+
+/// Derives a decorrelated child seed from a parent seed and a stream
+/// label using the SplitMix64 finalizer.
+///
+/// The same `(parent, label)` pair always yields the same child, and
+/// different labels yield (statistically) independent streams.
+///
+/// # Examples
+///
+/// ```
+/// use snn_tensor::derive_seed;
+///
+/// let a = derive_seed(7, "weights");
+/// let b = derive_seed(7, "data");
+/// assert_ne!(a, b);
+/// assert_eq!(a, derive_seed(7, "weights"));
+/// ```
+pub fn derive_seed(parent: u64, label: &str) -> u64 {
+    let mut h = parent ^ 0x9e37_79b9_7f4a_7c15;
+    for &b in label.as_bytes() {
+        h = h.wrapping_add(b as u64);
+        h = splitmix64(h);
+    }
+    splitmix64(h)
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_fills() {
+        let t = Init::Constant(0.5).tensor(Shape::d1(4), 1, 1, 0);
+        assert_eq!(t.as_slice(), &[0.5; 4]);
+    }
+
+    #[test]
+    fn kaiming_bound_respected() {
+        let fan_in = 100;
+        let t = Init::KaimingUniform.tensor(Shape::d1(10_000), fan_in, 1, 3);
+        let bound = (6.0f32 / fan_in as f32).sqrt();
+        assert!(t.max() <= bound + 1e-6);
+        assert!(t.min() >= -bound - 1e-6);
+        // Should actually use the range, not collapse to zero.
+        assert!(t.max() > bound * 0.5);
+    }
+
+    #[test]
+    fn xavier_bound_respected() {
+        let t = Init::XavierUniform.tensor(Shape::d1(10_000), 50, 50, 3);
+        let bound = (6.0f32 / 100.0).sqrt();
+        assert!(t.max() <= bound + 1e-6 && t.min() >= -bound - 1e-6);
+    }
+
+    #[test]
+    fn normal_moments_roughly_right() {
+        let t = Init::Normal { std: 2.0 }.tensor(Shape::d1(50_000), 1, 1, 9);
+        let mean = t.mean();
+        let var = t.sq_norm() / t.len() as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Init::KaimingUniform.tensor(Shape::d1(32), 8, 8, 11);
+        let b = Init::KaimingUniform.tensor(Shape::d1(32), 8, 8, 11);
+        assert_eq!(a, b);
+        let c = Init::KaimingUniform.tensor(Shape::d1(32), 8, 8, 12);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn derive_seed_distinguishes_labels_and_parents() {
+        assert_ne!(derive_seed(1, "a"), derive_seed(1, "b"));
+        assert_ne!(derive_seed(1, "a"), derive_seed(2, "a"));
+        assert_eq!(derive_seed(5, "enc"), derive_seed(5, "enc"));
+    }
+}

@@ -1,0 +1,50 @@
+//! # snn-tensor
+//!
+//! Dense `f32` tensors with hand-written forward *and* backward
+//! kernels, sized for training small convolutional spiking neural
+//! networks on a CPU.
+//!
+//! This crate is the numeric substrate of the DATE'24 reproduction: it
+//! replaces the PyTorch tensor/autograd layer the paper's authors used
+//! via snnTorch. There is deliberately no general-purpose autodiff
+//! graph — each kernel ([`linalg`], [`conv`], [`pool`]) exposes an
+//! explicit backward function, and the BPTT engine in `snn-core`
+//! composes them.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use snn_tensor::{conv, linalg, Init, Shape, Tensor};
+//!
+//! // A tiny dense layer: y = x Wᵀ + b, with W stored [out, in].
+//! let w = Init::KaimingUniform.tensor(Shape::d2(4, 8), 8, 4, 7);
+//! let x = Tensor::ones(Shape::d2(1, 8));
+//! let mut y = linalg::matmul_nt(&x, &w)?; // [1, 4]
+//! let b = Tensor::zeros(Shape::d1(4));
+//! linalg::add_bias_rows(&mut y, &b)?;
+//! assert_eq!(y.shape(), Shape::d2(1, 4));
+//!
+//! // A convolution geometry like the paper's first layer (32C3 on
+//! // 32x32 RGB input with padding 1).
+//! let g = conv::Conv2dGeometry::new(3, 32, 3, 1, 1, 32, 32)?;
+//! assert_eq!(g.output_item_shape().dims(), &[32, 32, 32]);
+//! # Ok::<(), snn_tensor::TensorError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod conv;
+mod error;
+mod init;
+pub mod linalg;
+pub mod pool;
+mod shape;
+mod stats;
+mod tensor;
+
+pub use error::{Result, TensorError};
+pub use init::{derive_seed, Init};
+pub use shape::Shape;
+pub use stats::{histogram, percentile, Summary};
+pub use tensor::Tensor;

@@ -1,0 +1,296 @@
+//! Dense matrix kernels: GEMM, transposed products, bias broadcast.
+//!
+//! The kernels here are deliberately plain loop nests with a cached
+//! row-major layout — no SIMD intrinsics — so the same code builds on
+//! any target. The inner loops are arranged `i → k → j` so the
+//! innermost accesses are contiguous in both `B` and `C`, which lets
+//! LLVM auto-vectorize them.
+
+use crate::error::{Result, TensorError};
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Computes `C = A · B` for row-major rank-2 tensors.
+///
+/// `A` is `[m, k]`, `B` is `[k, n]`, result is `[m, n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if either operand is not
+/// rank 2 and [`TensorError::GemmInnerDim`] if the inner dimensions
+/// disagree.
+///
+/// # Examples
+///
+/// ```
+/// use snn_tensor::{linalg, Shape, Tensor};
+///
+/// let a = Tensor::from_vec(Shape::d2(2, 2), vec![1.0, 2.0, 3.0, 4.0])?;
+/// let b = Tensor::from_vec(Shape::d2(2, 1), vec![1.0, 1.0])?;
+/// let c = linalg::matmul(&a, &b)?;
+/// assert_eq!(c.as_slice(), &[3.0, 7.0]);
+/// # Ok::<(), snn_tensor::TensorError>(())
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = dims2(a, "matmul lhs")?;
+    let (k2, n) = dims2(b, "matmul rhs")?;
+    if k != k2 {
+        return Err(TensorError::GemmInnerDim { lhs_cols: k, rhs_rows: k2 });
+    }
+    let mut c = Tensor::zeros(Shape::d2(m, n));
+    gemm_into(a.as_slice(), b.as_slice(), c.as_mut_slice(), m, k, n);
+    Ok(c)
+}
+
+/// Computes `C = Aᵀ · B` without materializing the transpose.
+///
+/// `A` is `[k, m]`, `B` is `[k, n]`, result is `[m, n]`. This is the
+/// shape that arises for weight gradients (`dW = Xᵀ · dY`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] or
+/// [`TensorError::GemmInnerDim`] on malformed operands.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, m) = dims2(a, "matmul_tn lhs")?;
+    let (k2, n) = dims2(b, "matmul_tn rhs")?;
+    if k != k2 {
+        return Err(TensorError::GemmInnerDim { lhs_cols: k, rhs_rows: k2 });
+    }
+    let mut c = Tensor::zeros(Shape::d2(m, n));
+    let (av, bv, cv) = (a.as_slice(), b.as_slice(), c.as_mut_slice());
+    // C[i,j] = sum_p A[p,i] * B[p,j]
+    for p in 0..k {
+        let arow = &av[p * m..(p + 1) * m];
+        let brow = &bv[p * n..(p + 1) * n];
+        for (i, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue; // spike matrices are mostly zero; skip the row
+            }
+            let crow = &mut cv[i * n..(i + 1) * n];
+            for (cval, &bval) in crow.iter_mut().zip(brow) {
+                *cval += aval * bval;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Computes `C = A · Bᵀ` without materializing the transpose.
+///
+/// `A` is `[m, k]`, `B` is `[n, k]`, result is `[m, n]`. This is the
+/// shape that arises for input gradients (`dX = dY · Wᵀ` with `W`
+/// stored `[n, k]` = `[out, in]`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] or
+/// [`TensorError::GemmInnerDim`] on malformed operands.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = dims2(a, "matmul_nt lhs")?;
+    let (n, k2) = dims2(b, "matmul_nt rhs")?;
+    if k != k2 {
+        return Err(TensorError::GemmInnerDim { lhs_cols: k, rhs_rows: k2 });
+    }
+    let mut c = Tensor::zeros(Shape::d2(m, n));
+    let (av, bv, cv) = (a.as_slice(), b.as_slice(), c.as_mut_slice());
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        let crow = &mut cv[i * n..(i + 1) * n];
+        for (j, cval) in crow.iter_mut().enumerate() {
+            let brow = &bv[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            *cval = acc;
+        }
+    }
+    Ok(c)
+}
+
+/// Raw GEMM on slices: `C += A · B`, `A` `[m,k]`, `B` `[k,n]`, `C`
+/// `[m,n]`, all row-major.
+///
+/// Exposed for the convolution kernels which operate on scratch
+/// buffers.
+///
+/// # Panics
+///
+/// Debug-asserts the slice lengths match the given dimensions.
+pub fn gemm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (p, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (cval, &bval) in crow.iter_mut().zip(brow) {
+                *cval += aval * bval;
+            }
+        }
+    }
+}
+
+/// Adds a length-`n` bias row to every row of a `[m, n]` tensor in
+/// place.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `bias` is not rank 1 of
+/// length `n`.
+pub fn add_bias_rows(x: &mut Tensor, bias: &Tensor) -> Result<()> {
+    let (m, n) = dims2(x, "add_bias_rows input")?;
+    if bias.shape().rank() != 1 || bias.len() != n {
+        return Err(TensorError::ShapeMismatch {
+            lhs: x.shape(),
+            rhs: bias.shape(),
+            op: "add_bias_rows",
+        });
+    }
+    let bv = bias.as_slice().to_vec();
+    let xv = x.as_mut_slice();
+    for i in 0..m {
+        for (xval, &bval) in xv[i * n..(i + 1) * n].iter_mut().zip(&bv) {
+            *xval += bval;
+        }
+    }
+    Ok(())
+}
+
+/// Sums a `[m, n]` tensor over its rows, producing a length-`n`
+/// rank-1 tensor. This is the bias-gradient reduction.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if `x` is not rank 2.
+pub fn sum_rows(x: &Tensor) -> Result<Tensor> {
+    let (m, n) = dims2(x, "sum_rows")?;
+    let mut out = Tensor::zeros(Shape::d1(n));
+    let (xv, ov) = (x.as_slice(), out.as_mut_slice());
+    for i in 0..m {
+        for (o, &v) in ov.iter_mut().zip(&xv[i * n..(i + 1) * n]) {
+            *o += v;
+        }
+    }
+    Ok(out)
+}
+
+/// Returns the transpose of a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if `x` is not rank 2.
+pub fn transpose(x: &Tensor) -> Result<Tensor> {
+    let (m, n) = dims2(x, "transpose")?;
+    let mut out = Tensor::zeros(Shape::d2(n, m));
+    let (xv, ov) = (x.as_slice(), out.as_mut_slice());
+    for i in 0..m {
+        for j in 0..n {
+            ov[j * m + i] = xv[i * n + j];
+        }
+    }
+    Ok(out)
+}
+
+fn dims2(t: &Tensor, _what: &'static str) -> Result<(usize, usize)> {
+    if t.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: t.shape().rank(),
+            op: "matrix kernel",
+        });
+    }
+    Ok((t.shape().dim(0), t.shape().dim(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(r: usize, c: usize, v: Vec<f32>) -> Tensor {
+        Tensor::from_vec(Shape::d2(r, c), v).unwrap()
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = t2(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = t2(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t2(2, 2, vec![1., 2., 3., 4.]);
+        let id = t2(2, 2, vec![1., 0., 0., 1.]);
+        assert_eq!(matmul(&a, &id).unwrap(), a);
+        assert_eq!(matmul(&id, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_dims() {
+        let a = t2(2, 3, vec![0.; 6]);
+        let b = t2(2, 3, vec![0.; 6]);
+        assert!(matches!(matmul(&a, &b), Err(TensorError::GemmInnerDim { .. })));
+        let v = Tensor::zeros(Shape::d1(3));
+        assert!(matmul(&v, &b).is_err());
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let a = t2(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let b = t2(3, 4, (0..12).map(|i| i as f32).collect());
+        let want = matmul(&transpose(&a).unwrap(), &b).unwrap();
+        let got = matmul_tn(&a, &b).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let a = t2(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = t2(4, 3, (0..12).map(|i| i as f32).collect());
+        let want = matmul(&a, &transpose(&b).unwrap()).unwrap();
+        let got = matmul_nt(&a, &b).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bias_and_sum_rows_are_adjoint_shapes() {
+        let mut x = Tensor::zeros(Shape::d2(3, 2));
+        let b = Tensor::from_vec(Shape::d1(2), vec![1., -1.]).unwrap();
+        add_bias_rows(&mut x, &b).unwrap();
+        assert_eq!(x.as_slice(), &[1., -1., 1., -1., 1., -1.]);
+        let s = sum_rows(&x).unwrap();
+        assert_eq!(s.as_slice(), &[3., -3.]);
+    }
+
+    #[test]
+    fn bias_rejects_wrong_len() {
+        let mut x = Tensor::zeros(Shape::d2(3, 2));
+        let b = Tensor::zeros(Shape::d1(3));
+        assert!(add_bias_rows(&mut x, &b).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = t2(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let tt = transpose(&transpose(&a).unwrap()).unwrap();
+        assert_eq!(tt, a);
+    }
+
+    #[test]
+    fn gemm_skips_zero_rows_correctly() {
+        // A with a zero entry must produce the same result as the naive
+        // triple loop.
+        let a = t2(2, 2, vec![0., 1., 2., 0.]);
+        let b = t2(2, 2, vec![5., 6., 7., 8.]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[7., 8., 10., 12.]);
+    }
+}

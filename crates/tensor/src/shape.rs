@@ -1,0 +1,240 @@
+//! Tensor shapes and row-major index arithmetic.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The shape of a dense, row-major tensor of rank 1–4.
+///
+/// Ranks above 4 are not needed anywhere in this workspace (the largest
+/// objects are `[N, C, H, W]` activation batches), so the dimensions
+/// are stored inline to keep `Shape` `Copy` and allocation-free.
+///
+/// # Examples
+///
+/// ```
+/// use snn_tensor::Shape;
+///
+/// let s = Shape::d4(8, 3, 32, 32);
+/// assert_eq!(s.len(), 8 * 3 * 32 * 32);
+/// assert_eq!(s.rank(), 4);
+/// assert_eq!(s.dim(1), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: [usize; 4],
+    rank: u8,
+}
+
+impl Shape {
+    /// Creates a rank-1 shape.
+    pub fn d1(n: usize) -> Self {
+        Shape { dims: [n, 1, 1, 1], rank: 1 }
+    }
+
+    /// Creates a rank-2 shape (`rows`, `cols`).
+    pub fn d2(rows: usize, cols: usize) -> Self {
+        Shape { dims: [rows, cols, 1, 1], rank: 2 }
+    }
+
+    /// Creates a rank-3 shape (`c`, `h`, `w`).
+    pub fn d3(c: usize, h: usize, w: usize) -> Self {
+        Shape { dims: [c, h, w, 1], rank: 3 }
+    }
+
+    /// Creates a rank-4 shape (`n`, `c`, `h`, `w`).
+    pub fn d4(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape { dims: [n, c, h, w], rank: 4 }
+    }
+
+    /// Creates a shape from a dimension slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or has more than 4 entries.
+    pub fn from_dims(dims: &[usize]) -> Self {
+        assert!(
+            !dims.is_empty() && dims.len() <= 4,
+            "shape rank must be 1..=4, got {}",
+            dims.len()
+        );
+        let mut d = [1usize; 4];
+        d[..dims.len()].copy_from_slice(dims);
+        Shape { dims: d, rank: dims.len() as u8 }
+    }
+
+    /// Number of dimensions (1–4).
+    pub fn rank(&self) -> usize {
+        self.rank as usize
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        assert!(axis < self.rank(), "axis {axis} out of range for rank {}", self.rank());
+        self.dims[axis]
+    }
+
+    /// The dimensions as a slice of length `rank()`.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims[..self.rank()]
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.dims().iter().product()
+    }
+
+    /// Whether the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides for this shape, one per dimension.
+    ///
+    /// The last dimension has stride 1.
+    pub fn strides(&self) -> [usize; 4] {
+        let r = self.rank();
+        let mut s = [0usize; 4];
+        let mut acc = 1usize;
+        for axis in (0..r).rev() {
+            s[axis] = acc;
+            acc *= self.dims[axis];
+        }
+        s
+    }
+
+    /// Linear (row-major) offset of a rank-2 index.
+    #[inline]
+    pub fn offset2(&self, i: usize, j: usize) -> usize {
+        debug_assert_eq!(self.rank(), 2);
+        i * self.dims[1] + j
+    }
+
+    /// Linear (row-major) offset of a rank-4 index.
+    #[inline]
+    pub fn offset4(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert_eq!(self.rank(), 4);
+        ((n * self.dims[1] + c) * self.dims[2] + h) * self.dims[3] + w
+    }
+
+    /// Returns this shape with the leading (batch) dimension replaced.
+    ///
+    /// Useful when the same feature geometry is reused across batch
+    /// sizes.
+    pub fn with_batch(&self, n: usize) -> Shape {
+        let mut out = *self;
+        out.dims[0] = n;
+        out
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<usize> for Shape {
+    fn from(n: usize) -> Self {
+        Shape::d1(n)
+    }
+}
+
+impl From<(usize, usize)> for Shape {
+    fn from((a, b): (usize, usize)) -> Self {
+        Shape::d2(a, b)
+    }
+}
+
+impl From<(usize, usize, usize)> for Shape {
+    fn from((a, b, c): (usize, usize, usize)) -> Self {
+        Shape::d3(a, b, c)
+    }
+}
+
+impl From<(usize, usize, usize, usize)> for Shape {
+    fn from((a, b, c, d): (usize, usize, usize, usize)) -> Self {
+        Shape::d4(a, b, c, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_rank() {
+        assert_eq!(Shape::d1(5).len(), 5);
+        assert_eq!(Shape::d2(3, 4).len(), 12);
+        assert_eq!(Shape::d3(2, 3, 4).len(), 24);
+        assert_eq!(Shape::d4(2, 3, 4, 5).len(), 120);
+        assert_eq!(Shape::d4(2, 3, 4, 5).rank(), 4);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::d4(2, 3, 4, 5);
+        assert_eq!(s.strides()[..4], [60, 20, 5, 1]);
+        let s2 = Shape::d2(3, 7);
+        assert_eq!(s2.strides()[..2], [7, 1]);
+    }
+
+    #[test]
+    fn offsets_match_strides() {
+        let s = Shape::d4(2, 3, 4, 5);
+        let st = s.strides();
+        for n in 0..2 {
+            for c in 0..3 {
+                for h in 0..4 {
+                    for w in 0..5 {
+                        let expect = n * st[0] + c * st[1] + h * st[2] + w * st[3];
+                        assert_eq!(s.offset4(n, c, h, w), expect);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_dims_roundtrip() {
+        let s = Shape::from_dims(&[4, 7]);
+        assert_eq!(s, Shape::d2(4, 7));
+        assert_eq!(s.dims(), &[4, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape rank")]
+    fn from_dims_rejects_empty() {
+        let _ = Shape::from_dims(&[]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::d3(1, 2, 3).to_string(), "[1, 2, 3]");
+    }
+
+    #[test]
+    fn with_batch_replaces_leading() {
+        let s = Shape::d4(8, 3, 32, 32);
+        assert_eq!(s.with_batch(1), Shape::d4(1, 3, 32, 32));
+    }
+
+    #[test]
+    fn tuple_conversions() {
+        let s: Shape = (2, 3).into();
+        assert_eq!(s, Shape::d2(2, 3));
+        let s: Shape = (2, 3, 4, 5).into();
+        assert_eq!(s, Shape::d4(2, 3, 4, 5));
+    }
+}

@@ -1,0 +1,165 @@
+//! Summary statistics over `f64` samples — used by trace analysis
+//! and experiment reports.
+
+/// Summary statistics of a sample set.
+///
+/// # Examples
+///
+/// ```
+/// use snn_tensor::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// assert!((s.std - 1.118).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean (0.0 for an empty sample).
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum (`+inf` for an empty sample).
+    pub min: f64,
+    /// Maximum (`-inf` for an empty sample).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a slice.
+    pub fn of(xs: &[f64]) -> Summary {
+        let count = xs.len();
+        if count == 0 {
+            return Summary {
+                count,
+                mean: 0.0,
+                std: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+            };
+        }
+        let mean = xs.iter().sum::<f64>() / count as f64;
+        let var = xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / count as f64;
+        let (min, max) = xs
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        Summary { count, mean, std: var.sqrt(), min, max }
+    }
+
+    /// Coefficient of variation (`std / |mean|`; 0.0 when the mean is
+    /// zero). Spike-trace burstiness in one number.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std / self.mean.abs()
+        }
+    }
+}
+
+/// Linear-interpolation percentile (`q` in `[0, 1]`) of an unsorted
+/// sample.
+///
+/// Returns `None` for an empty sample.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or any value is NaN.
+pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Fixed-width histogram over `[lo, hi)` with `bins` buckets;
+/// out-of-range samples clamp to the edge buckets.
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or `hi <= lo`.
+pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "need at least one bin");
+    assert!(hi > lo, "histogram range must be non-degenerate");
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f64;
+    for &x in xs {
+        let idx = (((x - lo) / width).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        counts[idx] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_known_values() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std, 2.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.count, 8);
+        assert!((s.cv() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn summary_single() {
+        let s = Summary::of(&[3.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!((s.min, s.max), (3.0, 3.0));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 1.0), Some(4.0));
+        assert_eq!(percentile(&xs, 0.5), Some(2.5));
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn percentile_order_independent() {
+        let a = percentile(&[3.0, 1.0, 2.0], 0.5);
+        let b = percentile(&[1.0, 2.0, 3.0], 0.5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn histogram_buckets_and_clamps() {
+        let xs = [-1.0, 0.0, 0.5, 0.9, 1.5];
+        let h = histogram(&xs, 0.0, 1.0, 2);
+        // -1.0 clamps into bucket 0 (joining 0.0); 0.5 and 0.9 land
+        // in bucket 1; 1.5 clamps into bucket 1.
+        assert_eq!(h, vec![2, 3]);
+        assert_eq!(h.iter().sum::<usize>(), xs.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-degenerate")]
+    fn histogram_rejects_bad_range() {
+        let _ = histogram(&[1.0], 1.0, 1.0, 4);
+    }
+}

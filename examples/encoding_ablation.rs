@@ -1,0 +1,58 @@
+//! Input-coding ablation (the paper's introduction motivates input
+//! coding as the primary sparsity driver; this extension measures
+//! it): train the same topology under rate, direct, and latency
+//! coding and compare accuracy, firing, and hardware efficiency.
+//!
+//! ```text
+//! cargo run --release --example encoding_ablation
+//! ```
+
+use snn_accel::AcceleratorConfig;
+use snn_core::{evaluate, fit, NetworkSnapshot, SpikingNetwork, Surrogate};
+use snn_data::SpikeEncoding;
+use snn_dse::ExperimentProfile;
+use snn_tensor::derive_seed;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut profile = ExperimentProfile::quick();
+    let (train, test) = profile.datasets();
+    println!(
+        "{:<22} {:>9} {:>9} {:>9} {:>11}",
+        "encoding", "accuracy", "firing", "in-dens", "FPS/W"
+    );
+    for encoding in [
+        SpikeEncoding::Rate { gain: 1.0 },
+        SpikeEncoding::Direct,
+        SpikeEncoding::Latency { threshold: 0.2 },
+    ] {
+        profile.encoding = encoding;
+        let lif = profile.lif(Surrogate::FastSigmoid { k: 0.25 }, 0.5, 1.0);
+        let mut net = SpikingNetwork::paper_topology(
+            profile.input_shape(),
+            train.classes(),
+            lif,
+            derive_seed(profile.seed, "weights"),
+        )?;
+        let cfg = profile.train_config();
+        fit(&cfg, &mut net, &train)?;
+        let eval =
+            evaluate(&mut net, &test, encoding, profile.timesteps, profile.batch_size, 0);
+        let snapshot = NetworkSnapshot::from_network(&net);
+        let accel = AcceleratorConfig::sparsity_aware().map(&snapshot, &eval.profile)?;
+        println!(
+            "{:<22} {:>8.1}% {:>8.1}% {:>8.1}% {:>11.0}",
+            encoding.name(),
+            eval.accuracy * 100.0,
+            eval.profile.mean_firing_rate() * 100.0,
+            eval.profile.input_density * 100.0,
+            accel.fps_per_watt()
+        );
+    }
+    println!();
+    println!(
+        "direct coding maximizes accuracy (clean gradients) at the cost of a dense\n\
+         layer-0 workload; latency coding minimizes input events; rate coding sits\n\
+         between — the trade the paper's introduction describes."
+    );
+    Ok(())
+}

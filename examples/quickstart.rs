@@ -1,0 +1,64 @@
+//! Quickstart: train a small spiking network with surrogate
+//! gradients and evaluate it — the five-minute tour of the core API.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use snn_core::{evaluate, fit, LifConfig, SpikingNetwork, Surrogate, TrainConfig};
+use snn_data::{bars_dataset, SpikeEncoding};
+use snn_tensor::Shape;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A tiny 4-class visual task: oriented bars on an 8×8 canvas.
+    let dataset = bars_dataset(240, 8, 7);
+    let (train, test) = dataset.split(0.8);
+    println!("dataset: {} train / {} test, {} classes", train.len(), test.len(), train.classes());
+
+    // 2. Build a spiking conv net. Every spiking layer uses LIF
+    //    neurons (paper Eq. 1-2) with the fast-sigmoid surrogate.
+    let lif = LifConfig {
+        beta: 0.5,
+        theta: 0.5,
+        surrogate: Surrogate::FastSigmoid { k: 0.25 },
+        ..LifConfig::paper_default()
+    };
+    let mut net = SpikingNetwork::builder(Shape::d3(1, 8, 8), 42)
+        .conv(8, 3, 1, 1, lif)?
+        .maxpool(2)?
+        .flatten()?
+        .dense(4, lif)?
+        .build()?;
+    println!("network: {} parameters", net.param_count());
+
+    // 3. Train with BPTT: rate-coded inputs, Adam, cosine-annealed
+    //    learning rate (the paper's scheduler).
+    let cfg = TrainConfig { epochs: 8, timesteps: 6, batch_size: 16, ..TrainConfig::default() };
+    let report = fit(&cfg, &mut net, &train)?;
+    for e in &report.epochs {
+        println!(
+            "epoch {:>2}: loss {:.3}  train-acc {:.1}%  lr {:.4}",
+            e.epoch,
+            e.train_loss,
+            e.train_accuracy * 100.0,
+            e.lr
+        );
+    }
+
+    // 4. Evaluate: accuracy plus the per-layer firing statistics the
+    //    hardware model consumes.
+    let eval = evaluate(&mut net, &test, SpikeEncoding::default(), 6, 16, 0);
+    println!("\ntest accuracy: {:.1}%", eval.accuracy * 100.0);
+    println!("mean firing rate: {:.1}%", eval.profile.mean_firing_rate() * 100.0);
+    for layer in &eval.profile.layers {
+        if layer.neurons > 0 {
+            println!(
+                "  {:<8} {:>5} neurons, firing {:>5.1}%",
+                layer.name,
+                layer.neurons,
+                layer.firing_rate() * 100.0
+            );
+        }
+    }
+    Ok(())
+}

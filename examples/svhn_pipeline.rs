@@ -1,0 +1,67 @@
+//! The paper's end-to-end flow on the synthetic SVHN stand-in:
+//! train the `32C3-P2-32C3-MP2-256-10` topology, profile its spike
+//! sparsity, and map it onto the sparsity-aware FPGA accelerator
+//! model and the dense prior-work baseline.
+//!
+//! ```text
+//! cargo run --release --example svhn_pipeline
+//! ```
+
+use snn_accel::AcceleratorConfig;
+use snn_core::{evaluate, fit, NetworkSnapshot, SpikingNetwork, Surrogate};
+use snn_dse::ExperimentProfile;
+use snn_tensor::derive_seed;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The `quick` profile keeps this example under a minute on one
+    // CPU core; swap in `bench` or `full` for stronger accuracy.
+    let profile = ExperimentProfile::quick();
+    let (train, test) = profile.datasets();
+    println!(
+        "synthetic SVHN: {}×{}×{} images, {} train / {} test",
+        profile.channels,
+        profile.image_size,
+        profile.image_size,
+        train.len(),
+        test.len()
+    );
+
+    // Paper-default hyperparameters: fast sigmoid k=0.25, β=0.25, θ=1.0.
+    let lif = profile.lif(Surrogate::FastSigmoid { k: 0.25 }, 0.25, 1.0);
+    let mut net = SpikingNetwork::paper_topology(
+        profile.input_shape(),
+        train.classes(),
+        lif,
+        derive_seed(profile.seed, "weights"),
+    )?;
+    println!("topology 32C3-P2-32C3-MP2-256-10: {} parameters\n", net.param_count());
+
+    let cfg = profile.train_config();
+    let report = fit(&cfg, &mut net, &train)?;
+    println!(
+        "trained {} epochs in {:.1}s (final train acc {:.1}%)",
+        report.epochs.len(),
+        report.wall_secs,
+        report.final_train_accuracy() * 100.0
+    );
+
+    let eval = evaluate(&mut net, &test, cfg.encoding, profile.timesteps, profile.batch_size, 0);
+    println!(
+        "test accuracy {:.1}%, mean firing rate {:.1}%\n",
+        eval.accuracy * 100.0,
+        eval.profile.mean_firing_rate() * 100.0
+    );
+
+    // Map the trained model onto both hardware variants.
+    let snapshot = NetworkSnapshot::from_network(&net);
+    let ours = AcceleratorConfig::sparsity_aware().map(&snapshot, &eval.profile)?;
+    let prior = AcceleratorConfig::dense_baseline().map(&snapshot, &eval.profile)?;
+    println!("{ours}");
+    println!("{prior}");
+    println!(
+        "sparsity-aware vs dense: {:.2}× FPS/W, {:.2}× lower latency",
+        ours.fps_per_watt() / prior.fps_per_watt(),
+        prior.latency_us() / ours.latency_us()
+    );
+    Ok(())
+}

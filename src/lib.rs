@@ -1,0 +1,8 @@
+//! Workspace root crate: re-exports the member crates for use by
+//! the integration tests and examples in this repository.
+
+pub use snn_accel as accel;
+pub use snn_core as core;
+pub use snn_data as data;
+pub use snn_dse as dse;
+pub use snn_tensor as tensor;

@@ -1,0 +1,71 @@
+//! Reproducibility guarantees: every stochastic component is seeded,
+//! so identical inputs give bit-identical results across the whole
+//! stack.
+
+use snn_accel::AcceleratorConfig;
+use snn_core::{evaluate, fit, NetworkSnapshot, SpikingNetwork, Surrogate};
+use snn_dse::{run_point, ExperimentProfile};
+use snn_tensor::derive_seed;
+
+#[test]
+fn full_point_bit_identical() {
+    let mut p = ExperimentProfile::micro();
+    p.epochs = 2;
+    let (train, test) = p.datasets();
+    let lif = p.lif(Surrogate::FastSigmoid { k: 0.25 }, 0.5, 1.0);
+    let a = run_point(&p, lif, &train, &test).expect("point runs");
+    let b = run_point(&p, lif, &train, &test).expect("point runs");
+    assert_eq!(a.test_accuracy, b.test_accuracy);
+    assert_eq!(a.train_accuracy, b.train_accuracy);
+    assert_eq!(a.firing_rate, b.firing_rate);
+    assert_eq!(a.accel.timing.step_cycles, b.accel.timing.step_cycles);
+    assert_eq!(a.snapshot, b.snapshot);
+}
+
+#[test]
+fn different_seed_changes_results() {
+    let p1 = ExperimentProfile::micro();
+    let mut p2 = p1;
+    p2.seed = 43;
+    let (train1, test1) = p1.datasets();
+    let (train2, test2) = p2.datasets();
+    // Data differs.
+    assert_ne!(train1.item(0).0, train2.item(0).0);
+    let lif = p1.lif(Surrogate::FastSigmoid { k: 0.25 }, 0.5, 1.0);
+    let a = run_point(&p1, lif, &train1, &test1).expect("point runs");
+    let b = run_point(&p2, lif, &train2, &test2).expect("point runs");
+    // Weight seeds differ → snapshots differ.
+    assert_ne!(a.snapshot, b.snapshot);
+}
+
+#[test]
+fn mapping_is_pure() {
+    // The accelerator simulator is a pure function of its inputs.
+    let p = ExperimentProfile::micro();
+    let (train, test) = p.datasets();
+    let lif = p.lif(Surrogate::FastSigmoid { k: 0.25 }, 0.5, 1.0);
+    let mut net = SpikingNetwork::paper_topology(
+        p.input_shape(),
+        train.classes(),
+        lif,
+        derive_seed(p.seed, "weights"),
+    )
+    .expect("topology builds");
+    let cfg = p.train_config();
+    fit(&cfg, &mut net, &train).expect("training succeeds");
+    let eval = evaluate(&mut net, &test, cfg.encoding, p.timesteps, p.batch_size, 0);
+    let snapshot = NetworkSnapshot::from_network(&net);
+    let acfg = AcceleratorConfig::sparsity_aware();
+    let r1 = acfg.map(&snapshot, &eval.profile).expect("maps");
+    let r2 = acfg.map(&snapshot, &eval.profile).expect("maps");
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn seed_derivation_is_stable_across_runs() {
+    // These constants are load-bearing: changing `derive_seed` would
+    // silently invalidate every recorded experiment.
+    assert_eq!(derive_seed(42, "train"), derive_seed(42, "train"));
+    assert_ne!(derive_seed(42, "train"), derive_seed(42, "test"));
+    assert_ne!(derive_seed(42, "train"), derive_seed(43, "train"));
+}

@@ -1,0 +1,132 @@
+//! Cross-crate validation of the hardware models: the event-driven
+//! cycle simulator against the analytical timing model, and the
+//! fixed-point datapath against the float reference.
+
+use snn_accel::{
+    evaluate_fixed, simulate_trace, AcceleratorConfig, FixedNetwork, FixedSpec,
+};
+use snn_core::{evaluate, fit, trace_spikes, NetworkSnapshot, SpikingNetwork, Surrogate};
+use snn_dse::ExperimentProfile;
+use snn_tensor::derive_seed;
+
+struct Fixture {
+    net: SpikingNetwork,
+    snapshot: NetworkSnapshot,
+    profile: ExperimentProfile,
+}
+
+fn trained_fixture() -> Fixture {
+    let profile = ExperimentProfile::quick();
+    let (train, _) = profile.datasets();
+    let lif = profile.lif(Surrogate::FastSigmoid { k: 0.25 }, 0.5, 1.0);
+    let mut net = SpikingNetwork::paper_topology(
+        profile.input_shape(),
+        train.classes(),
+        lif,
+        derive_seed(profile.seed, "weights"),
+    )
+    .expect("topology builds");
+    fit(&profile.train_config(), &mut net, &train).expect("training succeeds");
+    let snapshot = NetworkSnapshot::from_network(&net);
+    Fixture { net, snapshot, profile }
+}
+
+#[test]
+fn cycle_sim_agrees_with_analytic_within_burstiness() {
+    let Fixture { mut net, snapshot, profile } = trained_fixture();
+    let (_, test) = profile.datasets();
+    let eval = evaluate(
+        &mut net,
+        &test,
+        profile.encoding,
+        profile.timesteps,
+        profile.batch_size,
+        0,
+    );
+    let report = AcceleratorConfig::sparsity_aware()
+        .map(&snapshot, &eval.profile)
+        .expect("fits device");
+    let trace = trace_spikes(
+        &mut net,
+        &test,
+        profile.encoding,
+        profile.timesteps,
+        profile.batch_size,
+        0,
+    );
+    let sim = simulate_trace(
+        &report.workload,
+        &report.allocation,
+        &trace,
+        report.timing.sync_overhead_cycles,
+        report.timing.latency_cycles(),
+    )
+    .expect("trace matches workload");
+    // The analytical model prices mean traffic; the sim replays the
+    // actual trace. They must agree within the burstiness envelope:
+    // bounded error, and never wildly divergent.
+    let err = sim.analytic_error();
+    assert!(
+        err > -0.5 && err < 2.0,
+        "analytic model error {err} outside the plausible envelope"
+    );
+    // The simulated schedule accounts every stage's cycles.
+    for s in &sim.stages {
+        assert!(s.utilization() <= 1.0);
+    }
+    assert_eq!(sim.step_periods.len(), profile.timesteps + sim.stages.len() - 1);
+}
+
+#[test]
+fn fixed_point_tracks_float_on_trained_model() {
+    let Fixture { mut net, snapshot, profile } = trained_fixture();
+    let (_, test) = profile.datasets();
+    let fixed = FixedNetwork::from_snapshot(&snapshot, FixedSpec::default())
+        .expect("lowering succeeds");
+    let subset = test.take(60);
+    let r = evaluate_fixed(&fixed, &mut net, &subset, profile.encoding, profile.timesteps, 0);
+    let float_eval =
+        evaluate(&mut net, &subset, profile.encoding, profile.timesteps, profile.batch_size, 0);
+    // The integer datapath must be a faithful deployment: high
+    // prediction agreement and accuracy within a few points.
+    assert!(
+        r.agreement > 0.7,
+        "fixed/float agreement {:.3} too low on a trained model",
+        r.agreement
+    );
+    assert!(
+        (r.accuracy - float_eval.accuracy).abs() < 0.15,
+        "fixed accuracy {:.3} too far from float {:.3}",
+        r.accuracy,
+        float_eval.accuracy
+    );
+}
+
+#[test]
+fn quantized_snapshot_loses_little_accuracy() {
+    let Fixture { mut net, snapshot, profile } = trained_fixture();
+    let (_, test) = profile.datasets();
+    let float_eval = evaluate(
+        &mut net,
+        &test,
+        profile.encoding,
+        profile.timesteps,
+        profile.batch_size,
+        0,
+    );
+    let mut qnet = snn_accel::quantize_snapshot(&snapshot).into_network();
+    let qeval = evaluate(
+        &mut qnet,
+        &test,
+        profile.encoding,
+        profile.timesteps,
+        profile.batch_size,
+        0,
+    );
+    assert!(
+        (qeval.accuracy - float_eval.accuracy).abs() < 0.1,
+        "int8 weight quantization cost too much: {:.3} vs {:.3}",
+        qeval.accuracy,
+        float_eval.accuracy
+    );
+}

@@ -1,0 +1,156 @@
+//! Cross-crate property-based tests (proptest) on the core numeric
+//! invariants.
+
+use proptest::prelude::*;
+
+use snn_core::neuron::{lif_step, LifConfig, LifState};
+use snn_core::{Loss, Surrogate};
+use snn_data::SpikeEncoding;
+use snn_tensor::conv::{col2im, im2col, Conv2dGeometry};
+use snn_tensor::{linalg, Shape, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Surrogate derivatives are finite, non-negative, and peak at
+    /// the threshold crossing for every family and scale.
+    #[test]
+    fn surrogate_grad_well_behaved(
+        scale in 0.05f32..64.0,
+        u in -20.0f32..20.0,
+        family in 0usize..4,
+    ) {
+        let s = match family {
+            0 => Surrogate::ArcTan { alpha: scale },
+            1 => Surrogate::FastSigmoid { k: scale },
+            2 => Surrogate::Sigmoid { slope: scale },
+            _ => Surrogate::Triangular { width: scale },
+        };
+        let g = s.grad(u);
+        prop_assert!(g.is_finite());
+        prop_assert!(g >= 0.0);
+        prop_assert!(g <= s.grad(0.0) + 1e-6);
+    }
+
+    /// LIF spikes are binary and the membrane follows Eq. 1 exactly
+    /// (soft reset).
+    #[test]
+    fn lif_step_equation_one(
+        beta in 0.0f32..=1.0,
+        theta in 0.1f32..3.0,
+        u_prev in -2.0f32..4.0,
+        s_prev in 0usize..2,
+        input in -2.0f32..4.0,
+    ) {
+        let cfg = LifConfig { beta, theta, ..LifConfig::paper_default() };
+        let state = LifState {
+            membrane: Tensor::full(Shape::d1(1), u_prev),
+            prev_spikes: Tensor::full(Shape::d1(1), s_prev as f32),
+        };
+        let (u, s) = lif_step(&cfg, &state, &Tensor::full(Shape::d1(1), input));
+        let expect_u = beta * u_prev + input - s_prev as f32 * theta;
+        prop_assert!((u.as_slice()[0] - expect_u).abs() < 1e-5);
+        let spike = s.as_slice()[0];
+        prop_assert!(spike == 0.0 || spike == 1.0);
+        prop_assert_eq!(spike == 1.0, expect_u > theta);
+    }
+
+    /// im2col/col2im form an adjoint pair for random geometries:
+    /// <im2col(x), c> == <x, col2im(c)>.
+    #[test]
+    fn conv_im2col_adjoint(
+        c in 1usize..3,
+        k in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        hw in 4usize..9,
+        seed in 0u64..1000,
+    ) {
+        let geom = match Conv2dGeometry::new(c, 2, k, stride, pad, hw, hw) {
+            Ok(g) => g,
+            Err(_) => return Ok(()), // geometry invalid for this draw
+        };
+        let mut rng = seed;
+        let mut next = || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((rng >> 33) as f32 / u32::MAX as f32) * 2.0 - 1.0
+        };
+        let x: Vec<f32> = (0..c * hw * hw).map(|_| next()).collect();
+        let cols_grad: Vec<f32> = (0..geom.col_rows() * geom.col_cols()).map(|_| next()).collect();
+        let mut cols = vec![0.0; cols_grad.len()];
+        im2col(&geom, &x, &mut cols);
+        let lhs: f64 = cols.iter().zip(&cols_grad).map(|(&a, &b)| (a * b) as f64).sum();
+        let mut gx = vec![0.0; x.len()];
+        col2im(&geom, &cols_grad, &mut gx);
+        let rhs: f64 = x.iter().zip(&gx).map(|(&a, &b)| (a * b) as f64).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    /// GEMM distributes over addition: (A+B)·C == A·C + B·C.
+    #[test]
+    fn gemm_linear(
+        m in 1usize..5, k in 1usize..5, n in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let gen = |s: u64, len: usize| -> Tensor {
+            let mut rng = s;
+            Tensor::from_fn(Shape::d1(len), |_| {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((rng >> 33) as f32 / u32::MAX as f32) - 0.5
+            })
+        };
+        let a = gen(seed, m * k).reshape(Shape::d2(m, k)).unwrap();
+        let b = gen(seed + 1, m * k).reshape(Shape::d2(m, k)).unwrap();
+        let c = gen(seed + 2, k * n).reshape(Shape::d2(k, n)).unwrap();
+        let sum_then_mul = linalg::matmul(&a.zip(&b, |x, y| x + y).unwrap(), &c).unwrap();
+        let mul_then_sum = linalg::matmul(&a, &c)
+            .unwrap()
+            .zip(&linalg::matmul(&b, &c).unwrap(), |x, y| x + y)
+            .unwrap();
+        for (x, y) in sum_then_mul.as_slice().iter().zip(mul_then_sum.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Rate encoding density tracks intensity and stays binary.
+    #[test]
+    fn rate_encoding_density(p in 0.0f32..=1.0, seed in 0u64..100) {
+        let img = Tensor::full(Shape::d1(4096), p);
+        let frames = SpikeEncoding::Rate { gain: 1.0 }.encode(&img, 4, seed);
+        let mut ones = 0usize;
+        for f in &frames {
+            for &v in f.as_slice() {
+                prop_assert!(v == 0.0 || v == 1.0);
+                ones += (v == 1.0) as usize;
+            }
+        }
+        let density = ones as f64 / (4096.0 * 4.0);
+        prop_assert!((density - p as f64).abs() < 0.05);
+    }
+
+    /// Cross-entropy gradient rows sum to ~0 and loss is non-negative.
+    #[test]
+    fn ce_loss_invariants(
+        c0 in -5.0f32..5.0, c1 in -5.0f32..5.0, c2 in -5.0f32..5.0,
+        label in 0usize..3,
+    ) {
+        let counts = Tensor::from_vec(Shape::d2(1, 3), vec![c0, c1, c2]).unwrap();
+        let (loss, grad) = Loss::CountCrossEntropy.forward(&counts, &[label], 4);
+        prop_assert!(loss >= 0.0);
+        let row_sum: f32 = grad.as_slice().iter().sum();
+        prop_assert!(row_sum.abs() < 1e-5);
+        // Gradient on the true class is non-positive.
+        prop_assert!(grad.as_slice()[label] <= 0.0);
+    }
+
+    /// Latency encoding emits at most one spike per pixel.
+    #[test]
+    fn latency_one_spike(v0 in 0.0f32..=1.0, v1 in 0.0f32..=1.0, t in 2usize..12) {
+        let img = Tensor::from_vec(Shape::d1(2), vec![v0, v1]).unwrap();
+        let frames = SpikeEncoding::Latency { threshold: 0.2 }.encode(&img, t, 0);
+        for pix in 0..2 {
+            let total: f32 = frames.iter().map(|f| f.as_slice()[pix]).sum();
+            prop_assert!(total <= 1.0);
+        }
+    }
+}
