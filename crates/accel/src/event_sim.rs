@@ -166,12 +166,12 @@ pub fn simulate_trace(
             return Err(SimError::MissingAllocation(stage.name.clone()));
         }
         let threshold_pass = (stage.neurons as f64 / pes as f64).ceil() as u64;
-        for t in 0..t_count {
+        for (t, slot) in cost[li].iter_mut().enumerate() {
             let events = lt.in_events[t];
             // Match the analytical per-event cost, including the
             // pruned-weight discount.
             let ops = events * stage.fanout_per_event * stage.weight_density;
-            cost[li][t] = (ops / pes as f64).ceil() as u64 + threshold_pass;
+            *slot = (ops / pes as f64).ceil() as u64 + threshold_pass;
         }
     }
 
@@ -192,12 +192,12 @@ pub fn simulate_trace(
         let mut period = 0u64;
         let mut slowest = usize::MAX;
         let mut active: Vec<(usize, u64)> = Vec::with_capacity(l_count);
-        for li in 0..l_count {
+        for (li, stage_cost) in cost.iter().enumerate() {
             let Some(t) = g.checked_sub(li) else { continue };
             if t >= t_count {
                 continue;
             }
-            let c = cost[li][t];
+            let c = stage_cost[t];
             active.push((li, c));
             if c > period {
                 period = c;

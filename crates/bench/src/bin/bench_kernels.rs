@@ -1,0 +1,271 @@
+//! Kernel-scaling benchmark for the thread-parallel, sparsity-aware
+//! compute backend.
+//!
+//! ```text
+//! cargo run --release -p snn-bench --bin bench_kernels [-- --reps N --out FILE]
+//! ```
+//!
+//! Times the three hot-path kernels — `conv2d_forward`, the
+//! dense-layer GEMM (`matmul_nt`), and the elementwise LIF step — at
+//! 1/2/4/8 threads, on dense real-valued operands and on 90%-sparse
+//! binary spike operands, and writes the results to
+//! `BENCH_kernels.json` (at the workspace root when run via cargo).
+//!
+//! Thread counts are forced with [`par::set_num_threads`], overriding
+//! `SNN_NUM_THREADS`. `host_parallelism` records how many hardware
+//! threads the machine actually has: scaling numbers measured with
+//! more workers than cores show scheduling overhead, not speedup.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use snn_tensor::conv::{conv2d_forward_with, Conv2dGeometry, ConvScratch};
+use snn_tensor::{linalg, par, Shape, Tensor};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn lcg_tensor(shape: Shape, seed: u64, scale: f32) -> Tensor {
+    let mut rng = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+    Tensor::from_fn(shape, |_| {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (((rng >> 33) as f32 / u32::MAX as f32) - 0.5) * 2.0 * scale
+    })
+}
+
+/// Binary spike tensor with ~`density_pct`% ones.
+fn spike_tensor(shape: Shape, seed: u64, density_pct: u64) -> Tensor {
+    let mut rng = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    Tensor::from_fn(shape, |_| {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        f32::from(((rng >> 33) % 100) < density_pct)
+    })
+}
+
+/// Median wall-clock seconds over `reps` runs (one warmup discarded).
+fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+#[derive(Serialize)]
+struct ScalingResult {
+    threads: Vec<usize>,
+    seconds: Vec<f64>,
+    /// Serial time divided by 4-thread time.
+    speedup_4_threads: f64,
+}
+
+fn scale_over_threads(reps: usize, mut f: impl FnMut()) -> ScalingResult {
+    let seconds: Vec<f64> = THREADS
+        .iter()
+        .map(|&t| {
+            par::set_num_threads(t);
+            time_median(reps, &mut f)
+        })
+        .collect();
+    par::set_num_threads(0); // restore auto detection
+    ScalingResult {
+        threads: THREADS.to_vec(),
+        seconds: seconds.clone(),
+        speedup_4_threads: seconds[0] / seconds[2],
+    }
+}
+
+#[derive(Serialize)]
+struct ConvBench {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    image: usize,
+    batch: usize,
+    dense: ScalingResult,
+    sparse90: ScalingResult,
+    /// Dense-input serial time over 90%-sparse serial time: the gain
+    /// from the spike-gather GEMM path alone.
+    sparse_path_speedup_serial: f64,
+}
+
+#[derive(Serialize)]
+struct GemmBench {
+    m: usize,
+    k: usize,
+    n: usize,
+    dense: ScalingResult,
+    sparse90: ScalingResult,
+    /// Serial dense time over serial 90%-sparse time; must exceed 1
+    /// for the sparse path to pay off at this sparsity.
+    sparse_path_speedup_serial: f64,
+}
+
+#[derive(Serialize)]
+struct LifBench {
+    elements: usize,
+    scaling: ScalingResult,
+}
+
+#[derive(Serialize)]
+struct KernelReport {
+    host_parallelism: usize,
+    reps: usize,
+    conv2d_forward: ConvBench,
+    gemm_nt: GemmBench,
+    lif_step: LifBench,
+}
+
+fn bench_conv(reps: usize) -> ConvBench {
+    let (cin, cout, img, batch) = (16usize, 32usize, 16usize, 16usize);
+    let g = Conv2dGeometry::new(cin, cout, 3, 1, 1, img, img).expect("valid geometry");
+    let w = lcg_tensor(g.weight_shape(), 11, 0.3);
+    let b = lcg_tensor(Shape::d1(cout), 13, 0.1);
+    let x_dense = lcg_tensor(Shape::d4(batch, cin, img, img), 17, 1.0);
+    let x_sparse = spike_tensor(Shape::d4(batch, cin, img, img), 19, 10);
+    let mut scratch = ConvScratch::new();
+    let dense = scale_over_threads(reps, || {
+        let _ = conv2d_forward_with(&g, &x_dense, &w, &b, &mut scratch).expect("valid shapes");
+    });
+    let sparse90 = scale_over_threads(reps, || {
+        let _ = conv2d_forward_with(&g, &x_sparse, &w, &b, &mut scratch).expect("valid shapes");
+    });
+    let sparse_path_speedup_serial = dense.seconds[0] / sparse90.seconds[0];
+    ConvBench {
+        in_channels: cin,
+        out_channels: cout,
+        kernel: 3,
+        image: img,
+        batch,
+        dense,
+        sparse90,
+        sparse_path_speedup_serial,
+    }
+}
+
+fn bench_gemm(reps: usize) -> GemmBench {
+    // Dense-layer forward shape: [batch·something, in] × [out, in]ᵀ.
+    let (m, k, n) = (256usize, 512usize, 256usize);
+    let a_dense = lcg_tensor(Shape::d2(m, k), 23, 1.0);
+    let a_sparse = spike_tensor(Shape::d2(m, k), 29, 10);
+    let b = lcg_tensor(Shape::d2(n, k), 31, 0.3);
+    let dense = scale_over_threads(reps, || {
+        let _ = linalg::matmul_nt(&a_dense, &b).expect("valid shapes");
+    });
+    let sparse90 = scale_over_threads(reps, || {
+        let _ = linalg::matmul_nt(&a_sparse, &b).expect("valid shapes");
+    });
+    let sparse_path_speedup_serial = dense.seconds[0] / sparse90.seconds[0];
+    GemmBench { m, k, n, dense, sparse90, sparse_path_speedup_serial }
+}
+
+fn bench_lif(reps: usize) -> LifBench {
+    use snn_core::neuron::{lif_step, LifState};
+    use snn_core::{LifConfig, Surrogate};
+    let cfg = LifConfig {
+        beta: 0.9,
+        theta: 0.5,
+        surrogate: Surrogate::FastSigmoid { k: 2.0 },
+        ..LifConfig::paper_default()
+    };
+    let shape = Shape::d2(64, 32 * 16 * 16);
+    let input = lcg_tensor(shape, 37, 1.0);
+    let state = LifState {
+        membrane: lcg_tensor(shape, 41, 0.6),
+        prev_spikes: lcg_tensor(shape, 43, 1.0).map(|v| f32::from(v > 0.0)),
+    };
+    let scaling = scale_over_threads(reps, || {
+        let _ = lif_step(&cfg, &state, &input);
+    });
+    LifBench { elements: input.len(), scaling }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut reps = 30usize;
+    let mut out = String::from("BENCH_kernels.json");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--reps" => {
+                reps = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&r| r > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --reps requires a positive integer");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--out" => {
+                out = args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("error: --out requires a path");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: bench_kernels [--reps N] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("=== kernel scaling: serial vs 2/4/8 threads, dense vs 90% sparse ===");
+    println!("host parallelism: {host} hardware threads, {reps} reps per point\n");
+
+    let conv = bench_conv(reps);
+    println!(
+        "conv2d_forward {}x{}x{}x{} (batch {}):",
+        conv.in_channels, conv.image, conv.image, conv.out_channels, conv.batch
+    );
+    for (t, s) in conv.dense.threads.iter().zip(&conv.dense.seconds) {
+        println!("  dense    {t} thread(s): {:>9.3} ms", s * 1e3);
+    }
+    for (t, s) in conv.sparse90.threads.iter().zip(&conv.sparse90.seconds) {
+        println!("  sparse90 {t} thread(s): {:>9.3} ms", s * 1e3);
+    }
+    println!(
+        "  4-thread speedup: dense {:.2}x, sparse {:.2}x; sparse-path gain (serial): {:.2}x\n",
+        conv.dense.speedup_4_threads,
+        conv.sparse90.speedup_4_threads,
+        conv.sparse_path_speedup_serial
+    );
+
+    let gemm = bench_gemm(reps);
+    println!("matmul_nt {}x{} * ({}x{})T:", gemm.m, gemm.k, gemm.n, gemm.k);
+    for (t, s) in gemm.dense.threads.iter().zip(&gemm.dense.seconds) {
+        println!("  dense    {t} thread(s): {:>9.3} ms", s * 1e3);
+    }
+    for (t, s) in gemm.sparse90.threads.iter().zip(&gemm.sparse90.seconds) {
+        println!("  sparse90 {t} thread(s): {:>9.3} ms", s * 1e3);
+    }
+    println!(
+        "  4-thread speedup: dense {:.2}x, sparse {:.2}x; sparse-path gain (serial): {:.2}x\n",
+        gemm.dense.speedup_4_threads,
+        gemm.sparse90.speedup_4_threads,
+        gemm.sparse_path_speedup_serial
+    );
+
+    let lif = bench_lif(reps);
+    println!("lif_step over {} elements:", lif.elements);
+    for (t, s) in lif.scaling.threads.iter().zip(&lif.scaling.seconds) {
+        println!("  {t} thread(s): {:>9.3} ms", s * 1e3);
+    }
+    println!("  4-thread speedup: {:.2}x\n", lif.scaling.speedup_4_threads);
+
+    let report = KernelReport { host_parallelism: host, reps, conv2d_forward: conv, gemm_nt: gemm, lif_step: lif };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("error: could not write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}

@@ -1,6 +1,6 @@
 //! Convolutional spiking layer: `conv2d → LIF`.
 
-use snn_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dGeometry};
+use snn_tensor::conv::{conv2d_backward_with, conv2d_forward_with, Conv2dGeometry, ConvScratch};
 use snn_tensor::{Init, Shape, Tensor};
 
 use crate::neuron::{lif_backward_step, lif_step, LifConfig, LifState};
@@ -36,6 +36,9 @@ pub struct SpikingConv2d {
     carry_u: Option<Tensor>,
     total_spikes: f64,
     neuron_steps: f64,
+    /// Reusable im2col / spike-index buffers; allocated once per
+    /// sequence instead of once per timestep.
+    scratch: ConvScratch,
 }
 
 impl SpikingConv2d {
@@ -66,6 +69,7 @@ impl SpikingConv2d {
             carry_u: None,
             total_spikes: 0.0,
             neuron_steps: 0.0,
+            scratch: ConvScratch::new(),
         }
     }
 
@@ -88,8 +92,9 @@ impl SpikingConv2d {
     pub(crate) fn forward_step(&mut self, input: &Tensor) -> Tensor {
         let batch = input.shape().dim(0);
         let out_shape = Shape::d4(batch, self.geom.out_channels, self.geom.out_h(), self.geom.out_w());
-        let current = conv2d_forward(&self.geom, input, &self.weight, &self.bias)
-            .expect("conv geometry validated at construction");
+        let current =
+            conv2d_forward_with(&self.geom, input, &self.weight, &self.bias, &mut self.scratch)
+                .expect("conv geometry validated at construction");
         let state = self
             .state
             .get_or_insert_with(|| LifState::new(out_shape));
@@ -97,6 +102,8 @@ impl SpikingConv2d {
         let (u, s) = lif_step(&self.lif, state, &current);
         self.total_spikes += s.sum();
         self.neuron_steps += s.len() as f64;
+        // Tensors are copy-on-write, so caching clones of the spike and
+        // membrane maps shares the underlying buffer (no data copies).
         if self.train {
             self.cached_inputs.push(input.clone());
             self.cached_membranes.push(u.clone());
@@ -117,8 +124,14 @@ impl SpikingConv2d {
         let (grad_current, new_carry) =
             lif_backward_step(&self.lif, grad_output, &carry, u, s);
         self.carry_u = Some(new_carry);
-        let grads = conv2d_backward(&self.geom, &self.cached_inputs[t], &self.weight, &grad_current)
-            .expect("conv shapes validated in forward");
+        let grads = conv2d_backward_with(
+            &self.geom,
+            &self.cached_inputs[t],
+            &self.weight,
+            &grad_current,
+            &mut self.scratch,
+        )
+        .expect("conv shapes validated in forward");
         self.grad_weight
             .add_assign(&grads.grad_weight)
             .expect("grad shape invariant");

@@ -106,6 +106,8 @@ impl SpikingDense {
         let (u, s) = lif_step(&self.lif, state, &current);
         self.total_spikes += s.sum();
         self.neuron_steps += s.len() as f64;
+        // Tensors are copy-on-write, so caching clones of the spike and
+        // membrane maps shares the underlying buffer (no data copies).
         if self.train {
             self.cached_inputs.push(input.clone());
             self.cached_membranes.push(u.clone());

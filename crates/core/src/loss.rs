@@ -10,10 +10,11 @@ use serde::{Deserialize, Serialize};
 use snn_tensor::{Shape, Tensor};
 
 /// Loss functions over `[N, classes]` spike-count tensors.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Loss {
     /// Softmax cross-entropy on spike counts (the usual snnTorch
     /// `ce_count_loss` flow).
+    #[default]
     CountCrossEntropy,
     /// Mean-squared error against target firing fractions: the
     /// correct class should fire in `correct` of timesteps, the
@@ -24,12 +25,6 @@ pub enum Loss {
         /// Target firing fraction for every other class.
         wrong: f32,
     },
-}
-
-impl Default for Loss {
-    fn default() -> Self {
-        Loss::CountCrossEntropy
-    }
 }
 
 impl Loss {

@@ -13,7 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use snn_tensor::Tensor;
+use snn_tensor::{par, Tensor};
 
 use crate::surrogate::Surrogate;
 
@@ -154,19 +154,28 @@ pub fn lif_step(cfg: &LifConfig, state: &LifState, input: &Tensor) -> (Tensor, T
     let in_v = input.as_slice();
     let mut u = Tensor::zeros(input.shape());
     let mut s = Tensor::zeros(input.shape());
+    if in_v.is_empty() {
+        return (u, s);
+    }
     {
         let uv = u.as_mut_slice();
         let sv = s.as_mut_slice();
-        for i in 0..in_v.len() {
-            let decayed = match cfg.reset {
-                ResetMode::Subtract => {
-                    cfg.beta * u_prev[i] + in_v[i] - s_prev[i] * cfg.theta
-                }
-                ResetMode::Zero => cfg.beta * u_prev[i] * (1.0 - s_prev[i]) + in_v[i],
-            };
-            uv[i] = decayed;
-            sv[i] = if decayed > cfg.theta { 1.0 } else { 0.0 };
-        }
+        // Purely elementwise (~5 flops each): any chunking is bitwise
+        // identical to the serial loop, so thread count cannot change
+        // results.
+        par::for_each_block2(uv, 1, sv, 1, par::min_granules_for(5), |i0, ublock, sblock| {
+            for (j, (uval, sval)) in ublock.iter_mut().zip(sblock.iter_mut()).enumerate() {
+                let i = i0 + j;
+                let decayed = match cfg.reset {
+                    ResetMode::Subtract => {
+                        cfg.beta * u_prev[i] + in_v[i] - s_prev[i] * cfg.theta
+                    }
+                    ResetMode::Zero => cfg.beta * u_prev[i] * (1.0 - s_prev[i]) + in_v[i],
+                };
+                *uval = decayed;
+                *sval = if decayed > cfg.theta { 1.0 } else { 0.0 };
+            }
+        });
     }
     (u, s)
 }
@@ -200,31 +209,35 @@ pub fn lif_backward_step(
     let uv = membrane.as_slice();
     let sv = spikes.as_slice();
     let mut grad_u = Tensor::zeros(membrane.shape());
-    {
+    if !grad_u.is_empty() {
         let gu = grad_u.as_mut_slice();
-        for i in 0..gu.len() {
-            let g_surr = cfg.surrogate.grad(uv[i] - cfg.theta);
-            // Path 1: through this timestep's spike output.
-            let mut g = gs[i] * g_surr;
-            // Path 2: through u[t+1]'s dependence on u[t].
-            let du_next_du = if cfg.detach_reset {
-                match cfg.reset {
-                    ResetMode::Subtract => cfg.beta,
-                    ResetMode::Zero => cfg.beta * (1.0 - sv[i]),
-                }
-            } else {
-                match cfg.reset {
-                    ResetMode::Subtract => cfg.beta - cfg.theta * g_surr,
-                    ResetMode::Zero => {
-                        cfg.beta * (1.0 - sv[i]) - cfg.beta * uv[i] * g_surr
+        par::for_each_block(gu, 1, par::min_granules_for(10), |i0, block| {
+            for (j, gval) in block.iter_mut().enumerate() {
+                let i = i0 + j;
+                let g_surr = cfg.surrogate.grad(uv[i] - cfg.theta);
+                // Path 1: through this timestep's spike output.
+                let mut g = gs[i] * g_surr;
+                // Path 2: through u[t+1]'s dependence on u[t].
+                let du_next_du = if cfg.detach_reset {
+                    match cfg.reset {
+                        ResetMode::Subtract => cfg.beta,
+                        ResetMode::Zero => cfg.beta * (1.0 - sv[i]),
                     }
-                }
-            };
-            g += cu[i] * du_next_du;
-            gu[i] = g;
-        }
+                } else {
+                    match cfg.reset {
+                        ResetMode::Subtract => cfg.beta - cfg.theta * g_surr,
+                        ResetMode::Zero => {
+                            cfg.beta * (1.0 - sv[i]) - cfg.beta * uv[i] * g_surr
+                        }
+                    }
+                };
+                g += cu[i] * du_next_du;
+                *gval = g;
+            }
+        });
     }
-    // ∂u[t]/∂I[t] = 1, so grad_input equals grad_u.
+    // ∂u[t]/∂I[t] = 1, so grad_input equals grad_u (the clone is an
+    // O(1) refcount bump on the shared buffer).
     (grad_u.clone(), grad_u)
 }
 

@@ -67,7 +67,7 @@ impl LrSchedule {
                     + 0.5 * (base_lr - eta_min) * (1.0 + (std::f32::consts::PI * phase).cos())
             }
             LrSchedule::StepDecay { every, gamma } => {
-                let k = if every == 0 { 0 } else { (epoch / every) as i32 };
+                let k = epoch.checked_div(every).unwrap_or(0) as i32;
                 base_lr * gamma.powi(k)
             }
         };

@@ -1,0 +1,90 @@
+//! Bitwise thread-count invariance of the LIF neuron kernels.
+//!
+//! The LIF forward and BPTT backward steps are purely elementwise, so
+//! any chunking across workers must reproduce the serial result
+//! bit-for-bit. These properties pin that contract across reset
+//! modes, detach settings, and thread counts 1–8.
+
+use proptest::prelude::*;
+
+use snn_core::neuron::{lif_backward_step, lif_step, LifState};
+use snn_core::{LifConfig, ResetMode, Surrogate};
+use snn_tensor::{par, Shape, Tensor};
+
+const THREAD_COUNTS: [usize; 5] = [1, 2, 3, 5, 8];
+
+fn lcg_tensor(shape: Shape, seed: u64, scale: f32) -> Tensor {
+    let mut rng = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+    Tensor::from_fn(shape, |_| {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (((rng >> 33) as f32 / u32::MAX as f32) - 0.5) * 2.0 * scale
+    })
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `lif_step` produces identical membrane and spike bits at every
+    /// thread count, for both reset modes.
+    #[test]
+    fn lif_step_thread_invariant(
+        batch in 1usize..6, features in 1usize..260,
+        hard_reset in any::<bool>(), seed in 0u64..500,
+    ) {
+        let cfg = LifConfig {
+            beta: 0.9,
+            theta: 0.5,
+            surrogate: Surrogate::FastSigmoid { k: 2.0 },
+            reset: if hard_reset { ResetMode::Zero } else { ResetMode::Subtract },
+            ..LifConfig::paper_default()
+        };
+        let shape = Shape::d2(batch, features);
+        let input = lcg_tensor(shape, seed, 1.0);
+        let state = LifState {
+            membrane: lcg_tensor(shape, seed + 1, 0.6),
+            prev_spikes: lcg_tensor(shape, seed + 2, 1.0).map(|v| f32::from(v > 0.0)),
+        };
+        let (u_ref, s_ref) = par::with_num_threads(1, || lif_step(&cfg, &state, &input));
+        let (ub, sb) = (bits(&u_ref), bits(&s_ref));
+        for t in &THREAD_COUNTS[1..] {
+            let (u, s) = par::with_num_threads(*t, || lif_step(&cfg, &state, &input));
+            prop_assert_eq!(&bits(&u), &ub, "membrane threads={}", t);
+            prop_assert_eq!(&bits(&s), &sb, "spikes threads={}", t);
+        }
+    }
+
+    /// `lif_backward_step` produces identical gradient bits at every
+    /// thread count, across reset modes and detach settings.
+    #[test]
+    fn lif_backward_thread_invariant(
+        batch in 1usize..6, features in 1usize..260,
+        hard_reset in any::<bool>(), detach in any::<bool>(), seed in 0u64..500,
+    ) {
+        let cfg = LifConfig {
+            beta: 0.9,
+            theta: 0.5,
+            surrogate: Surrogate::FastSigmoid { k: 2.0 },
+            reset: if hard_reset { ResetMode::Zero } else { ResetMode::Subtract },
+            detach_reset: detach,
+            ..LifConfig::paper_default()
+        };
+        let shape = Shape::d2(batch, features);
+        let gs = lcg_tensor(shape, seed, 1.0);
+        let cu = lcg_tensor(shape, seed + 1, 1.0);
+        let u = lcg_tensor(shape, seed + 2, 0.8);
+        let s = u.map(|v| f32::from(v > cfg.theta));
+        let (gi_ref, carry_ref) =
+            par::with_num_threads(1, || lif_backward_step(&cfg, &gs, &cu, &u, &s));
+        let (gb, cb) = (bits(&gi_ref), bits(&carry_ref));
+        for t in &THREAD_COUNTS[1..] {
+            let (gi, carry) =
+                par::with_num_threads(*t, || lif_backward_step(&cfg, &gs, &cu, &u, &s));
+            prop_assert_eq!(&bits(&gi), &gb, "grad_input threads={}", t);
+            prop_assert_eq!(&bits(&carry), &cb, "carry threads={}", t);
+        }
+    }
+}

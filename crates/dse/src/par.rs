@@ -1,16 +1,15 @@
 //! Minimal parallel map over sweep points.
 //!
 //! Sweep points are independent (train → profile → map), so they
-//! parallelize trivially across cores. On a single-core host this
-//! degrades to sequential execution with no overhead beyond one
-//! thread.
+//! parallelize trivially across cores. The execution itself is
+//! delegated to the workspace-wide scoped-thread pool in
+//! [`snn_tensor::par`], so the sweep honours the same
+//! `SNN_NUM_THREADS` configuration as the compute kernels. On a
+//! single-core host this degrades to sequential execution with no
+//! overhead beyond the dispatch.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
-
-/// Applies `f` to every item, using up to `available_parallelism`
-/// worker threads, and returns results in input order.
+/// Applies `f` to every item on the shared worker pool and returns
+/// results in input order.
 ///
 /// # Panics
 ///
@@ -25,34 +24,7 @@ use parking_lot::Mutex;
 /// assert_eq!(squares, vec![1, 4, 9, 16]);
 /// ```
 pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len().max(1));
-    if workers <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<R>>> =
-        Mutex::new((0..items.len()).map(|_| None).collect());
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                results.lock()[i] = Some(r);
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every index visited exactly once"))
-        .collect()
+    snn_tensor::par::parallel_map(items, f)
 }
 
 #[cfg(test)]

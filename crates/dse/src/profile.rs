@@ -74,7 +74,7 @@ impl ExperimentProfile {
             channels: 3,
             train_samples: 300,
             test_samples: 100,
-            epochs: 4,
+            epochs: 8,
             timesteps: 3,
             batch_size: 25,
             base_lr: 1e-2,

@@ -9,7 +9,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, TensorError};
-use crate::linalg::gemm_into;
+use crate::linalg::{self, gemm_into};
+use crate::par;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -205,10 +206,49 @@ pub fn col2im(g: &Conv2dGeometry, cols: &[f32], grad_input: &mut [f32]) {
     }
 }
 
+/// Reusable workspace for [`conv2d_forward_with`] and
+/// [`conv2d_backward_with`]: per-worker im2col buffers, column
+/// gradients, and the spike index of the sparse path.
+///
+/// A layer that owns one of these allocates its buffers on the first
+/// timestep and reuses them for the rest of the sequence (and for
+/// every following batch with the same geometry).
+#[derive(Debug, Clone, Default)]
+pub struct ConvScratch {
+    /// One buffer set per worker thread, grown on demand.
+    bufs: Vec<ConvBufs>,
+}
+
+impl ConvScratch {
+    /// Empty scratch; buffers are allocated lazily per worker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct ConvBufs {
+    cols: Vec<f32>,
+    col_grad: Vec<f32>,
+    spikes: linalg::SpikeIndex,
+}
+
+/// Density bound for routing an im2col matrix through the sparse
+/// spike GEMM: above half nonzero, the dense kernel's contiguous
+/// sweeps win. Path choice depends only on the data, never on the
+/// thread count, so results stay deterministic (and the two paths
+/// agree bitwise regardless — see [`linalg::gemm_spike_into`]).
+fn spike_nnz_bound(col_elems: usize) -> usize {
+    col_elems / 2
+}
+
 /// Forward convolution on a `[N, C, H, W]` batch.
 ///
 /// `weight` must have shape [`Conv2dGeometry::weight_shape`]; `bias`
 /// is a rank-1 tensor of length `out_channels`.
+///
+/// Allocates fresh scratch per call; layers evaluating a sequence
+/// should hold a [`ConvScratch`] and call [`conv2d_forward_with`].
 ///
 /// # Errors
 ///
@@ -220,30 +260,84 @@ pub fn conv2d_forward(
     weight: &Tensor,
     bias: &Tensor,
 ) -> Result<Tensor> {
+    conv2d_forward_with(g, input, weight, bias, &mut ConvScratch::new())
+}
+
+/// [`conv2d_forward`] with caller-owned scratch buffers.
+///
+/// Batch items are independent, so they are split across the worker
+/// pool (each worker uses its own im2col buffer from `scratch`).
+/// Binary, mostly-zero inputs — spike trains after the first layer —
+/// are routed through [`linalg::gemm_spike_into`]. Both choices are
+/// bitwise neutral: see [`crate::par`] and [`crate::linalg`] on
+/// exactness.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] if input/weight/bias shapes disagree with
+/// the geometry.
+pub fn conv2d_forward_with(
+    g: &Conv2dGeometry,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    scratch: &mut ConvScratch,
+) -> Result<Tensor> {
     check_batch_input(g, input)?;
     check_params(g, weight, bias)?;
     let n = input.shape().dim(0);
     let (oh, ow) = (g.out_h(), g.out_w());
     let item_in = g.in_channels * g.in_h * g.in_w;
     let item_out = g.out_channels * oh * ow;
+    let col_elems = g.col_rows() * g.col_cols();
     let mut out = Tensor::zeros(Shape::d4(n, g.out_channels, oh, ow));
-    let mut cols = vec![0.0f32; g.col_rows() * g.col_cols()];
+    if n == 0 || item_out == 0 {
+        return Ok(out);
+    }
     let (iv, wv, bv) = (input.as_slice(), weight.as_slice(), bias.as_slice());
     // Copy bias to a local so the borrow checker lets us write `out`.
     let bias_local: Vec<f32> = bv.to_vec();
     let ov = out.as_mut_slice();
-    for item in 0..n {
-        im2col(g, &iv[item * item_in..(item + 1) * item_in], &mut cols);
-        let out_item = &mut ov[item * item_out..(item + 1) * item_out];
-        gemm_into(wv, &cols, out_item, g.out_channels, g.col_rows(), g.col_cols());
-        for (oc, &b) in bias_local.iter().enumerate() {
-            if b != 0.0 {
-                for v in &mut out_item[oc * oh * ow..(oc + 1) * oh * ow] {
-                    *v += b;
+    let min_items = par::min_granules_for(2 * g.dense_macs() as usize);
+    par::for_each_block_with(
+        ov,
+        item_out,
+        min_items,
+        &mut scratch.bufs,
+        ConvBufs::default,
+        |bufs, item0, block| {
+            bufs.cols.resize(col_elems, 0.0);
+            for (i, out_item) in block.chunks_exact_mut(item_out).enumerate() {
+                let item = item0 + i;
+                im2col(g, &iv[item * item_in..(item + 1) * item_in], &mut bufs.cols);
+                let sparse = bufs.spikes.build(
+                    &bufs.cols,
+                    g.col_rows(),
+                    g.col_cols(),
+                    spike_nnz_bound(col_elems),
+                );
+                if sparse {
+                    linalg::gemm_spike_into(
+                        wv,
+                        &bufs.spikes,
+                        out_item,
+                        g.out_channels,
+                        g.col_rows(),
+                        g.col_cols(),
+                    );
+                } else {
+                    gemm_into(wv, &bufs.cols, out_item, g.out_channels, g.col_rows(), g.col_cols());
+                }
+                for (oc, &b) in bias_local.iter().enumerate() {
+                    if b != 0.0 {
+                        for v in &mut out_item[oc * oh * ow..(oc + 1) * oh * ow] {
+                            *v += b;
+                        }
+                    }
                 }
             }
-        }
-    }
+        },
+    );
     Ok(out)
 }
 
@@ -261,6 +355,10 @@ pub struct Conv2dGrads {
 /// Backward convolution: given upstream `grad_output` `[N, OC, OH,
 /// OW]` and the original `input`, produces all three gradients.
 ///
+/// Allocates fresh scratch per call; layers backpropagating a
+/// sequence should hold a [`ConvScratch`] and call
+/// [`conv2d_backward_with`].
+///
 /// # Errors
 ///
 /// Returns a [`TensorError`] if any shape disagrees with the geometry.
@@ -269,6 +367,27 @@ pub fn conv2d_backward(
     input: &Tensor,
     weight: &Tensor,
     grad_output: &Tensor,
+) -> Result<Conv2dGrads> {
+    conv2d_backward_with(g, input, weight, grad_output, &mut ConvScratch::new())
+}
+
+/// [`conv2d_backward`] with caller-owned scratch buffers.
+///
+/// The input gradient is written per item into disjoint slices; the
+/// weight and bias gradients are computed as per-item partials in
+/// parallel, then folded sequentially in ascending item order —
+/// which is exactly the order the serial loop adds them, so the
+/// result is bitwise identical for any thread count.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] if any shape disagrees with the geometry.
+pub fn conv2d_backward_with(
+    g: &Conv2dGeometry,
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    scratch: &mut ConvScratch,
 ) -> Result<Conv2dGrads> {
     check_batch_input(g, input)?;
     if grad_output.shape().rank() != 4 {
@@ -291,64 +410,114 @@ pub fn conv2d_backward(
     let n_cols = oh * ow;
     let item_in = g.in_channels * g.in_h * g.in_w;
     let item_out = g.out_channels * n_cols;
+    let col_rows = g.col_rows();
+    let col_elems = col_rows * n_cols;
+    let wlen = g.out_channels * col_rows;
 
     let mut grad_input = Tensor::zeros(input.shape());
     let mut grad_weight = Tensor::zeros(g.weight_shape());
     let mut grad_bias = Tensor::zeros(Shape::d1(g.out_channels));
-    let mut cols = vec![0.0f32; g.col_rows() * n_cols];
-    let mut col_grad = vec![0.0f32; g.col_rows() * n_cols];
+    if n == 0 || item_in == 0 {
+        return Ok(Conv2dGrads { grad_input, grad_weight, grad_bias });
+    }
 
     let (iv, wv, gov) = (input.as_slice(), weight.as_slice(), grad_output.as_slice());
-    let gwv_len = grad_weight.len();
-    for item in 0..n {
-        let x = &iv[item * item_in..(item + 1) * item_in];
-        let dy = &gov[item * item_out..(item + 1) * item_out];
-        im2col(g, x, &mut cols);
+    // Per-item partials for dW and db: [wlen | out_channels] per
+    // item. The serial kernel already computes each item's
+    // contribution as a standalone dot product before adding it, so
+    // materializing the partials and folding them below in item
+    // order reproduces the serial sums bit-for-bit.
+    let part_len = wlen + g.out_channels;
+    let mut partials = vec![0.0f32; n * part_len];
+    let gi = grad_input.as_mut_slice();
+    // Three passes per item at roughly `dense_macs` each.
+    let min_items = par::min_granules_for(6 * g.dense_macs() as usize);
+    par::for_each_block2_with(
+        gi,
+        item_in,
+        &mut partials,
+        part_len,
+        min_items,
+        &mut scratch.bufs,
+        ConvBufs::default,
+        |bufs, item0, gi_block, part_block| {
+            bufs.cols.resize(col_elems, 0.0);
+            bufs.col_grad.resize(col_elems, 0.0);
+            let items = gi_block.len() / item_in;
+            for i in 0..items {
+                let item = item0 + i;
+                let x = &iv[item * item_in..(item + 1) * item_in];
+                let dy = &gov[item * item_out..(item + 1) * item_out];
+                im2col(g, x, &mut bufs.cols);
+                let sparse = bufs.spikes.build(
+                    &bufs.cols,
+                    col_rows,
+                    n_cols,
+                    spike_nnz_bound(col_elems),
+                );
+                let (dw_part, db_part) =
+                    part_block[i * part_len..(i + 1) * part_len].split_at_mut(wlen);
 
-        // dW[oc, r] += sum_col dy[oc, col] * cols[r, col]  (A · Bᵀ)
-        {
-            let gw = grad_weight.as_mut_slice();
-            debug_assert_eq!(gw.len(), gwv_len);
-            for oc in 0..g.out_channels {
-                let dyrow = &dy[oc * n_cols..(oc + 1) * n_cols];
-                let gwrow = &mut gw[oc * g.col_rows()..(oc + 1) * g.col_rows()];
-                for (r, gwval) in gwrow.iter_mut().enumerate() {
-                    let crow = &cols[r * n_cols..(r + 1) * n_cols];
-                    let mut acc = 0.0f32;
-                    for (&a, &b) in dyrow.iter().zip(crow) {
-                        acc += a * b;
+                // dW[oc, r] = sum_col dy[oc, col] * cols[r, col]
+                // (A · Bᵀ). For a binary im2col matrix the products
+                // are a gather-sum over the row's spike positions —
+                // bitwise identical (see `linalg` on exactness).
+                for oc in 0..g.out_channels {
+                    let dyrow = &dy[oc * n_cols..(oc + 1) * n_cols];
+                    let dwrow = &mut dw_part[oc * col_rows..(oc + 1) * col_rows];
+                    for (r, dwval) in dwrow.iter_mut().enumerate() {
+                        let mut acc = 0.0f32;
+                        if sparse {
+                            for &col in bufs.spikes.row(r) {
+                                acc += dyrow[col as usize];
+                            }
+                        } else {
+                            let crow = &bufs.cols[r * n_cols..(r + 1) * n_cols];
+                            for (&a, &b) in dyrow.iter().zip(crow) {
+                                acc += a * b;
+                            }
+                        }
+                        *dwval = acc;
                     }
-                    *gwval += acc;
                 }
-            }
-        }
 
-        // db[oc] += sum over spatial of dy
-        {
-            let gb = grad_bias.as_mut_slice();
-            for oc in 0..g.out_channels {
-                let dyrow = &dy[oc * n_cols..(oc + 1) * n_cols];
-                gb[oc] += dyrow.iter().sum::<f32>();
-            }
-        }
+                // db[oc] = sum over spatial of dy
+                for (oc, dbval) in db_part.iter_mut().enumerate() {
+                    let dyrow = &dy[oc * n_cols..(oc + 1) * n_cols];
+                    *dbval = dyrow.iter().sum::<f32>();
+                }
 
-        // col_grad = Wᵀ · dy : [col_rows, n_cols]
-        col_grad.fill(0.0);
-        for oc in 0..g.out_channels {
-            let wrow = &wv[oc * g.col_rows()..(oc + 1) * g.col_rows()];
-            let dyrow = &dy[oc * n_cols..(oc + 1) * n_cols];
-            for (r, &wval) in wrow.iter().enumerate() {
-                if wval == 0.0 {
-                    continue;
+                // col_grad = Wᵀ · dy : [col_rows, n_cols]
+                bufs.col_grad.fill(0.0);
+                for oc in 0..g.out_channels {
+                    let wrow = &wv[oc * col_rows..(oc + 1) * col_rows];
+                    let dyrow = &dy[oc * n_cols..(oc + 1) * n_cols];
+                    for (r, &wval) in wrow.iter().enumerate() {
+                        if wval == 0.0 {
+                            continue;
+                        }
+                        let cg = &mut bufs.col_grad[r * n_cols..(r + 1) * n_cols];
+                        for (cgv, &dyv) in cg.iter_mut().zip(dyrow) {
+                            *cgv += wval * dyv;
+                        }
+                    }
                 }
-                let cg = &mut col_grad[r * n_cols..(r + 1) * n_cols];
-                for (cgv, &dyv) in cg.iter_mut().zip(dyrow) {
-                    *cgv += wval * dyv;
-                }
+                col2im(g, &bufs.col_grad, &mut gi_block[i * item_in..(i + 1) * item_in]);
             }
+        },
+    );
+
+    // Sequential fold in ascending item order — the same order the
+    // serial loop accumulates, hence bitwise identical.
+    let gw = grad_weight.as_mut_slice();
+    let gb = grad_bias.as_mut_slice();
+    for part in partials.chunks_exact(part_len) {
+        for (gwval, &p) in gw.iter_mut().zip(&part[..wlen]) {
+            *gwval += p;
         }
-        let gi = grad_input.as_mut_slice();
-        col2im(g, &col_grad, &mut gi[item * item_in..(item + 1) * item_in]);
+        for (gbval, &p) in gb.iter_mut().zip(&part[wlen..]) {
+            *gbval += p;
+        }
     }
     Ok(Conv2dGrads { grad_input, grad_weight, grad_bias })
 }

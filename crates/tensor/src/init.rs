@@ -16,7 +16,7 @@ use crate::tensor::Tensor;
 /// `fan_in`/`fan_out` follow the usual convention: for a dense layer
 /// `[out, in]` they are `in` and `out`; for a conv layer they are
 /// `in_channels * kh * kw` and `out_channels * kh * kw`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Init {
     /// Every element set to the same constant.
     Constant(f32),
@@ -30,6 +30,7 @@ pub enum Init {
     /// The default for layers feeding spiking nonlinearities; the LIF
     /// threshold behaves similarly to a ReLU knee, so He scaling keeps
     /// early firing rates in a trainable range.
+    #[default]
     KaimingUniform,
     /// Xavier/Glorot uniform: `U(±sqrt(6/(fan_in+fan_out)))`.
     XavierUniform,
@@ -38,12 +39,6 @@ pub enum Init {
         /// Standard deviation of the distribution.
         std: f32,
     },
-}
-
-impl Default for Init {
-    fn default() -> Self {
-        Init::KaimingUniform
-    }
 }
 
 impl Init {

@@ -38,6 +38,7 @@ pub mod conv;
 mod error;
 mod init;
 pub mod linalg;
+pub mod par;
 pub mod pool;
 mod shape;
 mod stats;

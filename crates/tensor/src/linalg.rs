@@ -4,9 +4,30 @@
 //! row-major layout — no SIMD intrinsics — so the same code builds on
 //! any target. The inner loops are arranged `i → k → j` so the
 //! innermost accesses are contiguous in both `B` and `C`, which lets
-//! LLVM auto-vectorize them.
+//! LLVM auto-vectorize them. The matrix products split their output
+//! rows across the scoped-thread pool in [`crate::par`], and binary
+//! spike operands take a sparse gather path ([`SpikeIndex`],
+//! [`gemm_spike_into`]).
+//!
+//! # Exactness
+//!
+//! Every optimization here preserves results bit-for-bit against the
+//! plain serial triple loop, for any thread count and block size:
+//!
+//! * Parallelism and cache blocking only change *which rows/columns
+//!   are computed when*; each output element still accumulates its
+//!   `k` terms in ascending inner-index order, and no accumulation
+//!   crosses a worker boundary.
+//! * The sparse paths skip exactly the terms whose spike factor is
+//!   `0.0`. Each such product is `±0.0`, and an IEEE-754
+//!   accumulation that starts at `+0.0` can never reach `-0.0`
+//!   (round-to-nearest returns `+0.0` both for `+0.0 + -0.0` and for
+//!   exact cancellation of nonzero terms), so `acc + ±0.0 == acc`
+//!   bitwise and dropping the term is a no-op. The kept terms are
+//!   `a * 1.0 == a`, exactly.
 
 use crate::error::{Result, TensorError};
+use crate::par;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -38,7 +59,15 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         return Err(TensorError::GemmInnerDim { lhs_cols: k, rhs_rows: k2 });
     }
     let mut c = Tensor::zeros(Shape::d2(m, n));
-    gemm_into(a.as_slice(), b.as_slice(), c.as_mut_slice(), m, k, n);
+    if m == 0 || n == 0 {
+        return Ok(c);
+    }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let cv = c.as_mut_slice();
+    par::for_each_block(cv, n, par::min_granules_for(2 * k * n), |row0, cblock| {
+        let rows = cblock.len() / n;
+        gemm_into(&av[row0 * k..(row0 + rows) * k], bv, cblock, rows, k, n);
+    });
     Ok(c)
 }
 
@@ -58,21 +87,29 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         return Err(TensorError::GemmInnerDim { lhs_cols: k, rhs_rows: k2 });
     }
     let mut c = Tensor::zeros(Shape::d2(m, n));
-    let (av, bv, cv) = (a.as_slice(), b.as_slice(), c.as_mut_slice());
-    // C[i,j] = sum_p A[p,i] * B[p,j]
-    for p in 0..k {
-        let arow = &av[p * m..(p + 1) * m];
-        let brow = &bv[p * n..(p + 1) * n];
-        for (i, &aval) in arow.iter().enumerate() {
-            if aval == 0.0 {
-                continue; // spike matrices are mostly zero; skip the row
-            }
-            let crow = &mut cv[i * n..(i + 1) * n];
-            for (cval, &bval) in crow.iter_mut().zip(brow) {
-                *cval += aval * bval;
+    if m == 0 || n == 0 {
+        return Ok(c);
+    }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let cv = c.as_mut_slice();
+    par::for_each_block(cv, n, par::min_granules_for(2 * k * n), |row0, cblock| {
+        // C[i,j] = sum_p A[p,i] * B[p,j]; `p` stays the outer loop so
+        // every element accumulates in the same ascending-`p` order
+        // as the serial kernel.
+        for p in 0..k {
+            let arow = &av[p * m..(p + 1) * m];
+            let brow = &bv[p * n..(p + 1) * n];
+            for (i, crow) in cblock.chunks_exact_mut(n).enumerate() {
+                let aval = arow[row0 + i];
+                if aval == 0.0 {
+                    continue; // spike matrices are mostly zero; skip the row
+                }
+                for (cval, &bval) in crow.iter_mut().zip(brow) {
+                    *cval += aval * bval;
+                }
             }
         }
-    }
+    });
     Ok(c)
 }
 
@@ -93,20 +130,67 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         return Err(TensorError::GemmInnerDim { lhs_cols: k, rhs_rows: k2 });
     }
     let mut c = Tensor::zeros(Shape::d2(m, n));
-    let (av, bv, cv) = (a.as_slice(), b.as_slice(), c.as_mut_slice());
-    for i in 0..m {
-        let arow = &av[i * k..(i + 1) * k];
-        let crow = &mut cv[i * n..(i + 1) * n];
-        for (j, cval) in crow.iter_mut().enumerate() {
-            let brow = &bv[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&x, &y) in arow.iter().zip(brow) {
-                acc += x * y;
-            }
-            *cval = acc;
-        }
+    if m == 0 || n == 0 {
+        return Ok(c);
     }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let cv = c.as_mut_slice();
+    let mut scratch: Vec<Vec<u32>> = Vec::new();
+    par::for_each_block_with(
+        cv,
+        n,
+        par::min_granules_for(2 * k * n),
+        &mut scratch,
+        Vec::new,
+        |nz, row0, cblock| {
+            for (i, crow) in cblock.chunks_exact_mut(n).enumerate() {
+                let arow = &av[(row0 + i) * k..(row0 + i + 1) * k];
+                if gather_binary_row(arow, nz) {
+                    // Spike row: every nonzero of `arow` is exactly
+                    // 1.0, so each dot product is a gather-sum over
+                    // `B` in ascending-`p` order — bitwise identical
+                    // to the dense loop (see the module docs).
+                    for (j, cval) in crow.iter_mut().enumerate() {
+                        let brow = &bv[j * k..(j + 1) * k];
+                        let mut acc = 0.0f32;
+                        for &p in nz.iter() {
+                            acc += brow[p as usize];
+                        }
+                        *cval = acc;
+                    }
+                } else {
+                    for (j, cval) in crow.iter_mut().enumerate() {
+                        let brow = &bv[j * k..(j + 1) * k];
+                        let mut acc = 0.0f32;
+                        for (&x, &y) in arow.iter().zip(brow) {
+                            acc += x * y;
+                        }
+                        *cval = acc;
+                    }
+                }
+            }
+        },
+    );
     Ok(c)
+}
+
+/// Collects the nonzero positions of `row` into `nz` if the row is
+/// binary (every entry exactly 0.0 or 1.0) and at most half nonzero
+/// — the regime where the gather-sum beats the dense dot. Returns
+/// `false` (leaving `nz` unspecified) otherwise.
+fn gather_binary_row(row: &[f32], nz: &mut Vec<u32>) -> bool {
+    nz.clear();
+    let max_nnz = row.len() / 2;
+    for (p, &v) in row.iter().enumerate() {
+        if v == 0.0 {
+            continue;
+        }
+        if v != 1.0 || nz.len() >= max_nnz {
+            return false;
+        }
+        nz.push(p as u32);
+    }
+    true
 }
 
 /// Raw GEMM on slices: `C += A · B`, `A` `[m,k]`, `B` `[k,n]`, `C`
@@ -122,6 +206,108 @@ pub fn gemm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    // Cache blocking over columns: 512 f32 columns = 2 KiB per `B`
+    // row, so the panel of `B` rows a block touches stays resident
+    // while every `A` row sweeps it. Blocking only reorders which
+    // elements are touched when — each `C` element still accumulates
+    // its terms in ascending-`p` order, so results are bitwise
+    // identical for any block size.
+    const COL_BLOCK: usize = 512;
+    let mut j0 = 0;
+    while j0 < n {
+        let jb = COL_BLOCK.min(n - j0);
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let crow = &mut c[i * n + j0..i * n + j0 + jb];
+            for (p, &aval) in arow.iter().enumerate() {
+                if aval == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n + j0..p * n + j0 + jb];
+                for (cval, &bval) in crow.iter_mut().zip(brow) {
+                    *cval += aval * bval;
+                }
+            }
+        }
+        j0 += jb;
+    }
+}
+
+/// Row-compressed index of the nonzero positions of a binary (0/1)
+/// matrix — the sparse operand format for spike GEMMs.
+///
+/// The buffers are reused across [`SpikeIndex::build`] calls, so a
+/// per-layer index allocates only on the first timestep of a
+/// sequence.
+#[derive(Debug, Clone, Default)]
+pub struct SpikeIndex {
+    /// `ptr[r]..ptr[r + 1]` brackets row `r`'s entries in `idx`.
+    ptr: Vec<u32>,
+    /// Column indices of the 1.0 entries, row by row, ascending.
+    idx: Vec<u32>,
+}
+
+impl SpikeIndex {
+    /// Empty index; populated by [`SpikeIndex::build`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-indexes `values` (row-major `[rows, cols]`). Returns
+    /// `false` — leaving the index unusable — if any entry is not
+    /// exactly 0.0 or 1.0, or if more than `max_nnz` entries are
+    /// nonzero (callers pass the density bound above which the dense
+    /// kernel wins anyway); either way the scan aborts at the first
+    /// disqualifying entry.
+    pub fn build(&mut self, values: &[f32], rows: usize, cols: usize, max_nnz: usize) -> bool {
+        debug_assert_eq!(values.len(), rows * cols);
+        self.ptr.clear();
+        self.idx.clear();
+        self.ptr.reserve(rows + 1);
+        self.ptr.push(0);
+        for row in values.chunks_exact(cols) {
+            for (j, &v) in row.iter().enumerate() {
+                if v == 0.0 {
+                    continue;
+                }
+                if v != 1.0 || self.idx.len() >= max_nnz {
+                    return false;
+                }
+                self.idx.push(j as u32);
+            }
+            self.ptr.push(self.idx.len() as u32);
+        }
+        true
+    }
+
+    /// Nonzero column indices of row `r`, ascending.
+    pub fn row(&self, r: usize) -> &[u32] {
+        &self.idx[self.ptr[r] as usize..self.ptr[r + 1] as usize]
+    }
+
+    /// Total nonzero count.
+    pub fn nnz(&self) -> usize {
+        self.idx.len()
+    }
+}
+
+/// Sparse GEMM `C += A · S` where `S` is a binary `[k, n]` matrix
+/// given by its [`SpikeIndex`]: `A` is `[m, k]`, `C` is `[m, n]`.
+///
+/// Instead of multiplying whole rows of a mostly-zero `S`, each
+/// nonzero scatters `A[i, p]` into `C` directly (the `× 1.0` is
+/// elided). Each `C` element still receives its terms in
+/// ascending-`p` order and the skipped terms are exact zeros, so the
+/// result is bitwise identical to [`gemm_into`] on the dense operand
+/// (see the module docs on exactness).
+///
+/// # Panics
+///
+/// Debug-asserts the dimensions; panics on out-of-range indices.
+pub fn gemm_spike_into(a: &[f32], s: &SpikeIndex, c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(c.len(), m * n);
+    debug_assert_eq!(s.ptr.len(), k + 1);
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         let crow = &mut c[i * n..(i + 1) * n];
@@ -129,9 +315,8 @@ pub fn gemm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
             if aval == 0.0 {
                 continue;
             }
-            let brow = &b[p * n..(p + 1) * n];
-            for (cval, &bval) in crow.iter_mut().zip(brow) {
-                *cval += aval * bval;
+            for &j in s.row(p) {
+                crow[j as usize] += aval;
             }
         }
     }
@@ -292,5 +477,53 @@ mod tests {
         let b = t2(2, 2, vec![5., 6., 7., 8.]);
         let c = matmul(&a, &b).unwrap();
         assert_eq!(c.as_slice(), &[7., 8., 10., 12.]);
+    }
+
+    #[test]
+    fn spike_index_accepts_binary_rejects_other() {
+        let mut s = SpikeIndex::new();
+        let spikes = [0., 1., 0., 0., 1., 1.];
+        assert!(s.build(&spikes, 2, 3, 6));
+        assert_eq!(s.nnz(), 3);
+        assert_eq!(s.row(0), &[1]);
+        assert_eq!(s.row(1), &[1, 2]);
+        assert!(!s.build(&[0.5, 0.0], 1, 2, 2), "non-binary must be rejected");
+        assert!(!s.build(&spikes, 2, 3, 2), "density bound must be enforced");
+    }
+
+    #[test]
+    fn spike_gemm_matches_dense_bitwise() {
+        let a: Vec<f32> = vec![0.3, -1.25, 0.0, 2.5, 0.75, -0.5];
+        let spikes = [1., 0., 0., 1., 0., 0., 1., 1., 0., 0., 0., 1.];
+        let (m, k, n) = (2, 3, 4);
+        let mut dense = vec![0.0f32; m * n];
+        gemm_into(&a, &spikes, &mut dense, m, k, n);
+        let mut s = SpikeIndex::new();
+        assert!(s.build(&spikes, k, n, k * n));
+        let mut sparse = vec![0.0f32; m * n];
+        gemm_spike_into(&a, &s, &mut sparse, m, k, n);
+        let dense_bits: Vec<u32> = dense.iter().map(|v| v.to_bits()).collect();
+        let sparse_bits: Vec<u32> = sparse.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(dense_bits, sparse_bits);
+    }
+
+    #[test]
+    fn matmuls_are_thread_count_invariant() {
+        // Large enough that the row count clears the per-worker
+        // work floor, so threads > 1 genuinely run in parallel.
+        let (m, k, n) = (512, 33, 40);
+        let a = t2(m, k, (0..m * k).map(|i| (i as f32 * 0.37).sin()).collect());
+        let b = t2(k, n, (0..k * n).map(|i| (i as f32 * 0.53).cos()).collect());
+        let at = transpose(&a).unwrap();
+        let bt = transpose(&b).unwrap();
+        let serial = crate::par::with_num_threads(1, || {
+            (matmul(&a, &b).unwrap(), matmul_tn(&at, &b).unwrap(), matmul_nt(&a, &bt).unwrap())
+        });
+        for threads in [2, 3, 8] {
+            let parallel = crate::par::with_num_threads(threads, || {
+                (matmul(&a, &b).unwrap(), matmul_tn(&at, &b).unwrap(), matmul_nt(&a, &bt).unwrap())
+            });
+            assert_eq!(serial, parallel);
+        }
     }
 }

@@ -1,0 +1,441 @@
+//! Scoped-thread parallel execution for the compute kernels.
+//!
+//! This is the workspace's shared "thread pool": a set of helpers
+//! that split kernel work into disjoint contiguous blocks and run the
+//! blocks on scoped threads (`std::thread::scope`), so no `unsafe`,
+//! no `'static` bounds, and no external dependencies are needed.
+//!
+//! # Thread count
+//!
+//! The worker count comes from, in priority order:
+//! 1. [`set_num_threads`] (explicit in-process configuration),
+//! 2. the `SNN_NUM_THREADS` environment variable (read once, at the
+//!    first kernel call),
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! # Determinism
+//!
+//! Every helper partitions work by *granule* (an output row, a batch
+//! item, an element range) and each granule's computation is
+//! self-contained: no accumulation crosses a granule boundary, and
+//! cross-granule reductions are performed sequentially by the caller
+//! in a fixed order. Results are therefore bitwise identical for
+//! every thread count, including 1 (the serial path runs the same
+//! code inline).
+//!
+//! # When to parallelize
+//!
+//! Spawning a scoped thread costs on the order of tens of
+//! microseconds, so callers pass `min_granules_per_worker` sized so
+//! each worker gets enough arithmetic to amortize the spawn; below
+//! that the helpers degrade to a plain inline call.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Configured worker count; 0 means "not yet resolved" (resolve from
+/// the environment on first use).
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Rough FLOP threshold under which a kernel is not worth a thread
+/// spawn. Callers divide by their per-granule cost to derive
+/// `min_granules_per_worker`.
+pub const MIN_FLOPS_PER_WORKER: usize = 1 << 16;
+
+/// Derives `min_granules_per_worker` for a kernel whose granules cost
+/// `flops_per_granule` arithmetic operations each.
+pub fn min_granules_for(flops_per_granule: usize) -> usize {
+    (MIN_FLOPS_PER_WORKER / flops_per_granule.max(1)).max(1)
+}
+
+fn resolve_from_env() -> usize {
+    std::env::var("SNN_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        })
+}
+
+/// Returns the worker count kernels will use.
+///
+/// Defaults to `SNN_NUM_THREADS` if set (≥ 1), otherwise
+/// [`std::thread::available_parallelism`].
+pub fn num_threads() -> usize {
+    match NUM_THREADS.load(Ordering::Relaxed) {
+        0 => {
+            let n = resolve_from_env();
+            NUM_THREADS.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Overrides the worker count process-wide. Passing 0 resets to
+/// automatic resolution (environment, then hardware) on the next
+/// [`num_threads`] call.
+///
+/// Kernel results do not depend on this value (see the module docs on
+/// determinism) — only wall-clock time does.
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Runs `f` with the worker count forced to `n`, restoring the
+/// previous setting afterwards. Calls are serialized process-wide, so
+/// concurrent tests sweeping thread counts don't interleave their
+/// overrides.
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    static GUARD: Mutex<()> = Mutex::new(());
+    let _guard = GUARD.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let previous = NUM_THREADS.swap(n, Ordering::Relaxed);
+    let result = f();
+    NUM_THREADS.store(previous, Ordering::Relaxed);
+    result
+}
+
+/// Splits `data` into per-worker blocks of whole granules (each
+/// granule is `granule` consecutive elements) and runs
+/// `f(first_granule_index, block)` for each block, in parallel when
+/// the granule count justifies it.
+///
+/// # Panics
+///
+/// Panics if `granule` is zero or does not divide `data.len()`.
+/// Worker panics propagate when the scope joins.
+pub fn for_each_block<T, F>(data: &mut [T], granule: usize, min_granules_per_worker: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let mut scratch: Vec<()> = Vec::new();
+    for_each_block2_with(
+        data,
+        granule,
+        &mut [],
+        0,
+        min_granules_per_worker,
+        &mut scratch,
+        || (),
+        |_s: &mut (), start, block, _b: &mut [()]| f(start, block),
+    );
+}
+
+/// Like [`for_each_block`], but each worker additionally receives an
+/// exclusive scratch value from `scratch` (grown with `make_scratch`
+/// as needed). Scratch contents persist across calls, so per-sequence
+/// buffers (e.g. im2col workspaces) are allocated once.
+pub fn for_each_block_with<T, S, M, F>(
+    data: &mut [T],
+    granule: usize,
+    min_granules_per_worker: usize,
+    scratch: &mut Vec<S>,
+    make_scratch: M,
+    f: F,
+) where
+    T: Send,
+    S: Send,
+    M: FnMut() -> S,
+    F: Fn(&mut S, usize, &mut [T]) + Sync,
+{
+    for_each_block2_with(
+        data,
+        granule,
+        &mut [],
+        0,
+        min_granules_per_worker,
+        scratch,
+        make_scratch,
+        |s, start, block, _b: &mut [()]| f(s, start, block),
+    );
+}
+
+/// Splits two parallel buffers by the same granule count (`a` in
+/// granules of `granule_a` elements, `b` of `granule_b`) and runs
+/// `f(first_granule_index, block_a, block_b)` per block. Used when a
+/// kernel writes two disjoint outputs per granule (e.g. pooling's
+/// values + argmax, or per-item gradients + per-item reductions).
+///
+/// # Panics
+///
+/// Panics if `granule_a` is zero, or if either buffer's length is not
+/// `granules * granule`. Worker panics propagate when the scope
+/// joins.
+pub fn for_each_block2<A, B, F>(
+    a: &mut [A],
+    granule_a: usize,
+    b: &mut [B],
+    granule_b: usize,
+    min_granules_per_worker: usize,
+    f: F,
+) where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut [A], &mut [B]) + Sync,
+{
+    let mut scratch: Vec<()> = Vec::new();
+    for_each_block2_with(
+        a,
+        granule_a,
+        b,
+        granule_b,
+        min_granules_per_worker,
+        &mut scratch,
+        || (),
+        |_s: &mut (), start, block_a, block_b| f(start, block_a, block_b),
+    );
+}
+
+/// Most general block runner: two parallel output buffers plus
+/// per-worker scratch. All other helpers delegate here.
+///
+/// `granule_b == 0` means "no second buffer" (workers get an empty
+/// `block_b`).
+///
+/// # Panics
+///
+/// Panics if `granule_a` is zero or the buffer lengths are not whole
+/// multiples of their granule sizes with equal granule counts.
+/// Worker panics propagate when the scope joins.
+#[allow(clippy::too_many_arguments)]
+pub fn for_each_block2_with<A, B, S, M, F>(
+    a: &mut [A],
+    granule_a: usize,
+    b: &mut [B],
+    granule_b: usize,
+    min_granules_per_worker: usize,
+    scratch: &mut Vec<S>,
+    mut make_scratch: M,
+    f: F,
+) where
+    A: Send,
+    B: Send,
+    S: Send,
+    M: FnMut() -> S,
+    F: Fn(&mut S, usize, &mut [A], &mut [B]) + Sync,
+{
+    assert!(granule_a > 0, "granule_a must be nonzero");
+    assert!(
+        a.len().is_multiple_of(granule_a),
+        "buffer length {} is not a whole number of granules of {granule_a}",
+        a.len()
+    );
+    let granules = a.len() / granule_a;
+    if granule_b > 0 {
+        assert!(
+            b.len() == granules * granule_b,
+            "second buffer length {} disagrees with {granules} granules of {granule_b}",
+            b.len()
+        );
+    }
+    let min_granules = min_granules_per_worker.max(1);
+    let workers = num_threads().min(granules / min_granules).max(1);
+    while scratch.len() < workers {
+        scratch.push(make_scratch());
+    }
+    if workers == 1 {
+        f(&mut scratch[0], 0, a, b);
+        return;
+    }
+    let base = granules / workers;
+    let rem = granules % workers;
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest_a: &mut [A] = a;
+        let mut rest_b: &mut [B] = b;
+        let mut start = 0usize;
+        for (w, s) in scratch.iter_mut().take(workers).enumerate() {
+            let count = base + usize::from(w < rem);
+            let (block_a, next_a) = std::mem::take(&mut rest_a).split_at_mut(count * granule_a);
+            rest_a = next_a;
+            let (block_b, next_b) = std::mem::take(&mut rest_b).split_at_mut(count * granule_b);
+            rest_b = next_b;
+            let first = start;
+            scope.spawn(move || f(s, first, block_a, block_b));
+            start += count;
+        }
+    });
+}
+
+/// Applies `f` to every item on the worker pool and returns results
+/// in input order. Items are claimed dynamically (an atomic cursor),
+/// so unevenly sized tasks — design-space sweep points, whole
+/// training runs — balance across workers.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope unwinds on join).
+///
+/// # Examples
+///
+/// ```
+/// use snn_tensor::par::parallel_map;
+///
+/// let squares = parallel_map(&[1, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let workers = num_threads().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(&items[i]);
+                // Each slot is written exactly once, so the lock is
+                // uncontended; it exists only to satisfy safe Rust.
+                *slots[i].lock().expect("slot lock never poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock never poisoned")
+                .expect("every index visited exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_threads_is_positive_and_settable() {
+        assert!(num_threads() >= 1);
+        with_num_threads(3, || assert_eq!(num_threads(), 3));
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn blocks_cover_everything_once() {
+        for threads in [1, 2, 3, 5, 8] {
+            with_num_threads(threads, || {
+                let mut data = vec![0u32; 7 * 4];
+                for_each_block(&mut data, 4, 1, |start, block| {
+                    for (g, granule) in block.chunks_mut(4).enumerate() {
+                        for v in granule.iter_mut() {
+                            *v += (start + g + 1) as u32;
+                        }
+                    }
+                });
+                let want: Vec<u32> =
+                    (0..7).flat_map(|g| std::iter::repeat_n(g + 1, 4)).collect();
+                assert_eq!(data, want);
+            });
+        }
+    }
+
+    #[test]
+    fn pair_blocks_stay_aligned() {
+        with_num_threads(4, || {
+            let mut a = vec![0u32; 6 * 3];
+            let mut b = vec![0u64; 6 * 2];
+            for_each_block2(&mut a, 3, &mut b, 2, 1, |start, ba, bb| {
+                for v in ba.iter_mut() {
+                    *v = start as u32;
+                }
+                for v in bb.iter_mut() {
+                    *v = start as u64;
+                }
+            });
+            // Every granule pair was written by a worker whose start
+            // index is at most the granule's own index.
+            for (g, granule) in a.chunks(3).enumerate() {
+                assert!(granule.iter().all(|&v| v as usize <= g));
+            }
+            for (g, granule) in b.chunks(2).enumerate() {
+                assert!(granule.iter().all(|&v| v as usize <= g));
+            }
+        });
+    }
+
+    #[test]
+    fn scratch_is_reused_across_calls() {
+        with_num_threads(2, || {
+            let mut scratch: Vec<Vec<f32>> = Vec::new();
+            let mut data = vec![0.0f32; 64];
+            for _ in 0..3 {
+                for_each_block_with(
+                    &mut data,
+                    1,
+                    1,
+                    &mut scratch,
+                    Vec::new,
+                    |buf, _start, block| {
+                        buf.resize(16, 0.0);
+                        for v in block.iter_mut() {
+                            *v += 1.0;
+                        }
+                    },
+                );
+            }
+            assert_eq!(scratch.len(), 2, "one scratch per worker, reused");
+            assert!(data.iter().all(|&v| v == 3.0));
+        });
+    }
+
+    #[test]
+    fn min_granules_forces_serial() {
+        with_num_threads(8, || {
+            // 4 granules with min 8 per worker -> single inline call.
+            let mut data = vec![0u8; 4];
+            let calls = AtomicUsize::new(0);
+            for_each_block(&mut data, 1, 8, |_start, block| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                for v in block.iter_mut() {
+                    *v = 1;
+                }
+            });
+            assert_eq!(calls.load(Ordering::Relaxed), 1);
+            assert_eq!(data, vec![1; 4]);
+        });
+    }
+
+    #[test]
+    fn empty_input_is_a_noop() {
+        let mut data: Vec<f32> = Vec::new();
+        for_each_block(&mut data, 3, 1, |_start, block| {
+            assert!(block.is_empty());
+        });
+        let out: Vec<u32> = parallel_map(&[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        for threads in [1, 2, 4, 8] {
+            with_num_threads(threads, || {
+                let input: Vec<usize> = (0..100).collect();
+                let out = parallel_map(&input, |&x| x + 1);
+                assert_eq!(out, (1..=100).collect::<Vec<_>>());
+            });
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_uneven_work() {
+        with_num_threads(4, || {
+            let input: Vec<u64> = (0..32).collect();
+            let out = parallel_map(&input, |&x| {
+                (0..(x % 7) * 1000).fold(x, |a, b| a.wrapping_add(b))
+            });
+            let want: Vec<u64> = input
+                .iter()
+                .map(|&x| (0..(x % 7) * 1000).fold(x, |a, b| a.wrapping_add(b)))
+                .collect();
+            assert_eq!(out, want);
+        });
+    }
+}

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, TensorError};
+use crate::par;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -98,35 +99,50 @@ pub fn maxpool2d_forward(g: &Pool2dGeometry, input: &Tensor) -> Result<PoolForwa
     let (oh, ow) = (g.out_h(), g.out_w());
     let mut output = Tensor::zeros(Shape::d4(n, g.channels, oh, ow));
     let mut argmax = vec![0u32; output.len()];
+    let item_out = g.channels * oh * ow;
+    if n == 0 || item_out == 0 {
+        return Ok(PoolForward { output, argmax });
+    }
     let iv = input.as_slice();
     let ov = output.as_mut_slice();
-    let mut oidx = 0usize;
-    for item in 0..n {
-        for c in 0..g.channels {
-            let chan_base = (item * g.channels + c) * g.in_h * g.in_w;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_off = chan_base;
-                    for ky in 0..g.kernel {
-                        let iy = oy * g.stride + ky;
-                        for kx in 0..g.kernel {
-                            let ix = ox * g.stride + kx;
-                            let off = chan_base + iy * g.in_w + ix;
-                            let v = iv[off];
-                            if v > best {
-                                best = v;
-                                best_off = off;
+    let min_items = par::min_granules_for(item_out * g.kernel * g.kernel);
+    par::for_each_block2(
+        ov,
+        item_out,
+        &mut argmax,
+        item_out,
+        min_items,
+        |item0, ovblock, amblock| {
+            let mut oidx = 0usize;
+            for i in 0..ovblock.len() / item_out {
+                let item = item0 + i;
+                for c in 0..g.channels {
+                    let chan_base = (item * g.channels + c) * g.in_h * g.in_w;
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut best = f32::NEG_INFINITY;
+                            let mut best_off = chan_base;
+                            for ky in 0..g.kernel {
+                                let iy = oy * g.stride + ky;
+                                for kx in 0..g.kernel {
+                                    let ix = ox * g.stride + kx;
+                                    let off = chan_base + iy * g.in_w + ix;
+                                    let v = iv[off];
+                                    if v > best {
+                                        best = v;
+                                        best_off = off;
+                                    }
+                                }
                             }
+                            ovblock[oidx] = best;
+                            amblock[oidx] = best_off as u32;
+                            oidx += 1;
                         }
                     }
-                    ov[oidx] = best;
-                    argmax[oidx] = best_off as u32;
-                    oidx += 1;
                 }
             }
-        }
-    }
+        },
+    );
     Ok(PoolForward { output, argmax })
 }
 
@@ -150,10 +166,31 @@ pub fn maxpool2d_backward(
         });
     }
     let mut grad_input = Tensor::zeros(Shape::d4(batch, g.channels, g.in_h, g.in_w));
-    let gi = grad_input.as_mut_slice();
-    for (&off, &gv) in argmax.iter().zip(grad_output.as_slice()) {
-        gi[off as usize] += gv;
+    let item_in = g.channels * g.in_h * g.in_w;
+    let item_out = g.channels * g.out_h() * g.out_w();
+    if batch == 0 || item_in == 0 || item_out == 0 {
+        return Ok(grad_input);
     }
+    let go = grad_output.as_slice();
+    let gi = grad_input.as_mut_slice();
+    if argmax.len() != batch * item_out {
+        for (&off, &gv) in argmax.iter().zip(go) {
+            gi[off as usize] += gv;
+        }
+        return Ok(grad_input);
+    }
+    // Every argmax offset for output item `i` points inside input item
+    // `i`, so partitioning by item keeps the scatter worker-local and
+    // preserves the serial per-element accumulation order exactly.
+    par::for_each_block(gi, item_in, par::min_granules_for(2 * item_out), |item0, block| {
+        let base = item0 * item_in;
+        let items = block.len() / item_in;
+        let lo = item0 * item_out;
+        let hi = lo + items * item_out;
+        for (&off, &gv) in argmax[lo..hi].iter().zip(&go[lo..hi]) {
+            block[off as usize - base] += gv;
+        }
+    });
     Ok(grad_input)
 }
 

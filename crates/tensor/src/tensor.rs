@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -11,10 +12,17 @@ use crate::shape::Shape;
 /// A dense, row-major tensor of `f32` values with rank 1–4.
 ///
 /// `Tensor` is the workhorse value type for activations, weights, and
-/// gradients. It intentionally stays simple: owned contiguous storage,
-/// eager operations, explicit shapes. All neural-network kernels
-/// (GEMM, convolution, pooling) live in sibling modules and operate on
+/// gradients. It intentionally stays simple: contiguous storage, eager
+/// operations, explicit shapes. All neural-network kernels (GEMM,
+/// convolution, pooling) live in sibling modules and operate on
 /// `Tensor` values.
+///
+/// Storage is copy-on-write ([`Arc`]-shared): [`Clone`] and
+/// [`Tensor::reshape`] are O(1) pointer copies, and the underlying
+/// buffer is duplicated only when a shared tensor is mutated. The
+/// BPTT engine caches a spike tensor per layer per timestep *and*
+/// hands the same tensor to the next layer, so sharing those buffers
+/// removes one full activation copy per step.
 ///
 /// # Examples
 ///
@@ -30,14 +38,14 @@ use crate::shape::Shape;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
     shape: Shape,
-    data: Vec<f32>,
+    data: Arc<Vec<f32>>,
 }
 
 impl Tensor {
     /// Creates a tensor filled with zeros.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        Tensor { data: vec![0.0; shape.len()], shape }
+        Tensor { data: Arc::new(vec![0.0; shape.len()]), shape }
     }
 
     /// Creates a tensor filled with ones.
@@ -48,7 +56,7 @@ impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
-        Tensor { data: vec![value; shape.len()], shape }
+        Tensor { data: Arc::new(vec![value; shape.len()]), shape }
     }
 
     /// Creates a tensor from raw row-major data.
@@ -62,14 +70,14 @@ impl Tensor {
         if data.len() != shape.len() {
             return Err(TensorError::DataLength { expected: shape.len(), actual: data.len() });
         }
-        Ok(Tensor { shape, data })
+        Ok(Tensor { shape, data: Arc::new(data) })
     }
 
     /// Creates a tensor by evaluating `f` at every linear index.
     pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut(usize) -> f32) -> Self {
         let shape = shape.into();
         let data = (0..shape.len()).map(&mut f).collect();
-        Tensor { shape, data }
+        Tensor { shape, data: Arc::new(data) }
     }
 
     /// The tensor's shape.
@@ -93,13 +101,19 @@ impl Tensor {
     }
 
     /// Mutably borrow the raw row-major data.
+    ///
+    /// If the storage is shared with other tensors (via [`Clone`] or
+    /// [`Tensor::reshape`]), this first detaches a private copy
+    /// (copy-on-write); on uniquely owned tensors it is free.
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.data
+        let data: &mut Vec<f32> = Arc::make_mut(&mut self.data);
+        data
     }
 
-    /// Consumes the tensor, returning its raw storage.
+    /// Consumes the tensor, returning its raw storage (copying only
+    /// if the storage is shared).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        Arc::try_unwrap(self.data).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// Value at a rank-2 index.
@@ -118,14 +132,14 @@ impl Tensor {
     #[inline]
     pub fn set2(&mut self, i: usize, j: usize, v: f32) {
         let off = self.shape.offset2(i, j);
-        self.data[off] = v;
+        Arc::make_mut(&mut self.data)[off] = v;
     }
 
     /// Sets the value at a rank-4 index.
     #[inline]
     pub fn set4(&mut self, n: usize, c: usize, h: usize, w: usize, v: f32) {
         let off = self.shape.offset4(n, c, h, w);
-        self.data[off] = v;
+        Arc::make_mut(&mut self.data)[off] = v;
     }
 
     /// Returns a tensor with the same data and a new shape.
@@ -159,12 +173,12 @@ impl Tensor {
 
     /// Applies `f` elementwise, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape, data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor { shape: self.shape, data: Arc::new(self.data.iter().map(|&x| f(x)).collect()) }
     }
 
     /// Applies `f` elementwise in place.
     pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
+        for x in self.as_mut_slice() {
             *x = f(*x);
         }
     }
@@ -176,8 +190,8 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
         self.check_same_shape(other, "zip")?;
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Ok(Tensor { shape: self.shape, data })
+        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
+        Ok(Tensor { shape: self.shape, data: Arc::new(data) })
     }
 
     /// Elementwise `self += other`.
@@ -187,7 +201,7 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
         self.check_same_shape(other, "add_assign")?;
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.data.iter()) {
             *a += b;
         }
         Ok(())
@@ -200,7 +214,7 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn axpy(&mut self, scale: f32, other: &Tensor) -> Result<()> {
         self.check_same_shape(other, "axpy")?;
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.data.iter()) {
             *a += scale * b;
         }
         Ok(())
@@ -208,7 +222,7 @@ impl Tensor {
 
     /// Multiplies every element by `s` in place.
     pub fn scale_in_place(&mut self, s: f32) {
-        for x in &mut self.data {
+        for x in self.as_mut_slice() {
             *x *= s;
         }
     }
@@ -220,7 +234,7 @@ impl Tensor {
 
     /// Fills the tensor with `value`.
     pub fn fill(&mut self, value: f32) {
-        self.data.fill(value);
+        self.as_mut_slice().fill(value);
     }
 
     /// Sum of all elements (f64 accumulator for stability).
@@ -323,7 +337,7 @@ impl Tensor {
         let start = index * item_len;
         Tensor {
             shape: item_shape,
-            data: self.data[start..start + item_len].to_vec(),
+            data: Arc::new(self.data[start..start + item_len].to_vec()),
         }
     }
 
@@ -356,7 +370,7 @@ impl Tensor {
         }
         let mut dims = vec![items.len()];
         dims.extend_from_slice(first.shape.dims());
-        Ok(Tensor { shape: Shape::from_dims(&dims), data })
+        Ok(Tensor { shape: Shape::from_dims(&dims), data: Arc::new(data) })
     }
 
     fn check_same_shape(&self, other: &Tensor, op: &'static str) -> Result<()> {

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: release build, full test suite, and a
+# zero-warning clippy pass over every target (benches and vendored
+# stand-ins included).
+#
+# The workspace is fully hermetic — all external crates are vendored
+# under vendor/ — so everything here runs with --offline.
+#
+# Usage: scripts/ci.sh
+# Optional follow-up (not part of the gate; writes BENCH_kernels.json
+# at the repo root):
+#   cargo run --release --offline -p snn-bench --bin bench_kernels
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "ci.sh: all gates passed"

@@ -95,7 +95,7 @@ fn sparsity_profile_feeds_workload_consistently() {
         // out_events before pooling equals rate × neurons; after
         // fused pooling it is the pooled stream, which is ≤ neurons.
         assert!(stage.out_events >= 0.0);
-        assert!(measured >= 0.0 && measured <= 1.0);
+        assert!((0.0..=1.0).contains(&measured));
     }
     // Event work never exceeds dense work by more than the conv
     // padding slack.

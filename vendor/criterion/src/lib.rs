@@ -1,0 +1,267 @@
+//! Hermetic in-tree stand-in for the `criterion` crate.
+//!
+//! Keeps the bench-definition API this workspace uses —
+//! [`Criterion::benchmark_group`], `sample_size`, `measurement_time`,
+//! `throughput`, `bench_function`, `bench_with_input`,
+//! [`BenchmarkId`], [`Throughput`], [`criterion_group!`],
+//! [`criterion_main!`], [`black_box`] — and swaps the statistical
+//! machinery for a plain wall-clock sampler that prints mean/min/max
+//! per benchmark. Measurement time is capped (3 s per benchmark) so
+//! full bench runs stay quick in CI.
+//!
+//! ```
+//! use criterion::{criterion_group, criterion_main, Criterion};
+//!
+//! fn bench_demo(c: &mut Criterion) {
+//!     let mut group = c.benchmark_group("demo");
+//!     group.sample_size(10);
+//!     group.bench_function("sum", |b| {
+//!         b.iter(|| (0..100u64).sum::<u64>())
+//!     });
+//!     group.finish();
+//! }
+//!
+//! criterion_group!(benches, bench_demo);
+//! # fn main() { benches(); }
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Cap on per-benchmark sampling time, regardless of the configured
+/// `measurement_time` (the stand-in reports indicative numbers, not
+/// publication statistics).
+const MAX_SAMPLING: Duration = Duration::from_secs(3);
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            throughput: None,
+        }
+    }
+}
+
+/// Work-per-iteration declaration, used to report rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` compound id.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Id naming only the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the sampling time budget per benchmark (capped at 3 s by
+    /// this stand-in).
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Declares work-per-iteration for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark defined by a closure over a [`Bencher`].
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: Vec::new() };
+        let budget = self.measurement_time.min(MAX_SAMPLING);
+        let max_samples = self.sample_size.max(10);
+        let started = Instant::now();
+        while bencher.samples.len() < max_samples && started.elapsed() < budget {
+            routine(&mut bencher);
+        }
+        self.report(&id.to_string(), &bencher.samples);
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group (printing is per-benchmark, so this is a
+    /// no-op).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{}/{id}: no samples collected", self.name);
+            return;
+        }
+        let nanos: Vec<f64> = samples.iter().map(|d| d.as_nanos() as f64).collect();
+        let mean = nanos.iter().sum::<f64>() / nanos.len() as f64;
+        let min = nanos.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = nanos.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  {:.1} Melem/s", n as f64 / mean * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  {:.1} MiB/s", n as f64 / mean * 1e9 / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: mean {} (min {}, max {}, {} samples){rate}",
+            self.name,
+            format_ns(mean),
+            format_ns(min),
+            format_ns(max),
+            samples.len(),
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one sample of `routine` (one call per sample; the
+    /// closure's result is passed through [`black_box`]).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        let elapsed = start.elapsed();
+        black_box(out);
+        self.samples.push(elapsed);
+    }
+}
+
+/// Bundles benchmark functions into a single runner function, like
+/// upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the named benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("vendor_check");
+        group.sample_size(5);
+        group.measurement_time(Duration::from_millis(50));
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(
+            BenchmarkId::new("scaled", 3usize),
+            &3usize,
+            |b, &n| b.iter(|| (0..n as u64).sum::<u64>()),
+        );
+        group.finish();
+    }
+
+    criterion_group!(benches, quick_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("forward", "beta=0.5").to_string(), "forward/beta=0.5");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+}

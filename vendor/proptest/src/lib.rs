@@ -1,0 +1,405 @@
+//! Hermetic in-tree stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property suites use: the
+//! [`proptest!`] macro with an optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! parameters drawn from integer/float ranges (`lo..hi`, `lo..=hi`)
+//! or [`any::<bool>()`], and the [`prop_assert!`] /
+//! [`prop_assert_eq!`] assertion macros (including early
+//! `return Ok(())` rejection of invalid inputs).
+//!
+//! Differences from upstream: no shrinking (a failing case reports
+//! its inputs verbatim), and case generation is seeded
+//! deterministically from the test's module path and name, so runs
+//! are reproducible by construction.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(16))]
+//!     // (an `#[test]` attribute would go here in a test module)
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert_eq!(a as u64 + b as u64, b as u64 + a as u64);
+//!     }
+//! }
+//! # addition_commutes();
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Everything the test suites import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig, Strategy,
+        TestCaseError, TestRng, TestRunner,
+    };
+}
+
+/// Number of generated cases per property (no other knobs needed
+/// here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Cases generated per property function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A property-test failure (carried by `Err` out of the case body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with a formatted message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic per-test random source (SplitMix64 over a hash of
+/// the test path).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from an arbitrary label (the macro passes
+    /// `module_path!()::test_name`).
+    pub fn from_label(label: &str) -> Self {
+        // FNV-1a over the label gives a stable, well-mixed seed.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in label.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: hash }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut x = self.state;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    /// Uniform draw on `[0, 1)` with 53 random bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Drives the generated cases for one property function.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Builds a runner for the property named by `label`.
+    pub fn new(config: ProptestConfig, label: &str) -> Self {
+        TestRunner { config, rng: TestRng::from_label(label) }
+    }
+
+    /// Number of cases to generate.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The runner's random source.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}
+
+/// A source of generated values (upstream's `Strategy`, minus
+/// shrinking).
+pub trait Strategy {
+    /// Type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128 * span) >> 64;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128 * span) >> 64;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let u = rng.unit_f64() as $t;
+                self.start + (self.end - self.start) * u
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let u = rng.unit_f64() as $t;
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+impl_strategy_float!(f32, f64);
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy over a type's whole domain; created by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The `any::<T>()` strategy constructor.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Defines property-test functions. See the crate docs for the
+/// supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Recursive item expander behind [`proptest!`] (one property
+/// function per step).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::TestRunner::new(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..runner.cases() {
+                $(let $arg = $crate::Strategy::sample(&($strat), runner.rng());)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    panic!(
+                        "property {} failed at case {}/{} with inputs {:?}:\n{}",
+                        stringify!($name),
+                        case + 1,
+                        runner.cases(),
+                        ($(&$arg,)+),
+                        err,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// (with location and optional formatted message) instead of
+/// panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!(
+                    "{} at {}:{}",
+                    format!($($fmt)*),
+                    file!(),
+                    line!(),
+                ),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body, failing the case
+/// with both values on mismatch.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn int_ranges_in_bounds(a in 1usize..6, b in 0u64..500, c in -3i32..=3) {
+            prop_assert!((1..6).contains(&a));
+            prop_assert!(b < 500);
+            prop_assert!((-3..=3).contains(&c));
+        }
+
+        #[test]
+        fn float_ranges_in_bounds(x in 0.0f32..=0.95, y in -2.0f64..2.0) {
+            prop_assert!((0.0..=0.95).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn any_bool_and_early_return(flag in any::<bool>(), n in 0usize..10) {
+            if n < 5 {
+                // Rejecting a case must compile and pass.
+                return Ok(());
+            }
+            prop_assert_eq!(flag, flag);
+        }
+    }
+
+    #[test]
+    fn generated_fns_run() {
+        int_ranges_in_bounds();
+        float_ranges_in_bounds();
+        any_bool_and_early_return();
+    }
+
+    #[test]
+    fn failures_report_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            fn always_fails(v in 0usize..2) {
+                prop_assert!(v > 10, "v was {}", v);
+            }
+        }
+        let result = std::panic::catch_unwind(always_fails);
+        let panic = result.expect_err("property must fail");
+        let text = panic
+            .downcast_ref::<String>()
+            .expect("panic carries a String");
+        assert!(text.contains("always_fails"), "{text}");
+        assert!(text.contains("v was"), "{text}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::from_label("demo");
+        let mut b = TestRng::from_label("demo");
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! Hermetic in-tree stand-in for the `serde` crate.
+//!
+//! The build container has no network access, so the real `serde`
+//! cannot be resolved. This crate provides the subset the workspace
+//! uses — `#[derive(Serialize, Deserialize)]` on plain structs and
+//! enums, serialized through `serde_json::to_string` /
+//! `serde_json::from_str` — with a deliberately simpler design:
+//! both traits go through one self-describing [`Value`] tree instead
+//! of upstream's visitor machinery.
+//!
+//! Representation conventions (chosen to match what upstream
+//! `serde_json` produces for the same types, so snapshots stay
+//! human-readable):
+//! - structs -> JSON objects keyed by field name
+//! - unit enum variants -> a JSON string of the variant name
+//! - struct enum variants -> `{"Variant": {field: value, ...}}`
+//! - `Option::None` -> `null`; numbers -> f64 (exact for every `f32`
+//!   and for integers up to 2^53, far beyond anything stored here)
+//!
+//! ```
+//! use serde::{Deserialize, Serialize, Value};
+//!
+//! let v = vec![1.0f32, 2.5];
+//! let val = v.to_value();
+//! let back = <Vec<f32>>::from_value(&val).unwrap();
+//! assert_eq!(back, v);
+//! assert!(matches!(val, Value::Array(_)));
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing data tree: the interchange format between
+/// [`Serialize`]/[`Deserialize`] impls and the `serde_json`
+/// reader/writer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also carries non-finite floats).
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number. All workspace numerics fit f64 exactly.
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object as an ordered field list (insertion order is
+    /// preserved so emitted JSON matches declaration order).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrows the object entries if this value is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Borrows the element list if this value is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization failure: what was expected, what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Builds an error with a fully formatted message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error { message: message.into() }
+    }
+
+    /// Builds a "expected X while decoding Y, found Z" error.
+    pub fn expected(what: &str, context: &str, found: &Value) -> Self {
+        Error {
+            message: format!(
+                "expected {what} while decoding {context}, found {}",
+                found.kind()
+            ),
+        }
+    }
+
+    /// Builds a missing-field error.
+    pub fn missing_field(field: &str, context: &str) -> Self {
+        Error { message: format!("missing field `{field}` while decoding {context}") }
+    }
+
+    /// Builds an unknown-enum-variant error.
+    pub fn unknown_variant(variant: &str, context: &str) -> Self {
+        Error { message: format!("unknown variant `{variant}` while decoding {context}") }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into a [`Value`] tree.
+pub trait Serialize {
+    /// Encodes `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Decodes `Self` from a [`Value`], reporting shape mismatches as
+    /// [`Error`]s.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up a field in an object's entry list (helper for derived
+/// impls).
+pub fn field<'a>(
+    entries: &'a [(String, Value)],
+    name: &str,
+    context: &str,
+) -> Result<&'a Value, Error> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::missing_field(name, context))
+}
+
+// ---- primitive impls -------------------------------------------------
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => Ok(*n as $t),
+                    other => Err(Error::expected(
+                        "number",
+                        stringify!($t),
+                        other,
+                    )),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as f64;
+                if v.is_finite() { Value::Number(v) } else { Value::Null }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => Ok(*n as $t),
+                    // Non-finite floats serialize as null (the JSON
+                    // convention upstream serde_json uses as well).
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(Error::expected(
+                        "number",
+                        stringify!($t),
+                        other,
+                    )),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", "bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", "String", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Mirrors upstream serde's zero-copy `&str` support for the one
+    /// pattern this workspace uses (`&'static str` name fields in
+    /// config structs). The value-centric pipeline owns its strings,
+    /// so the decoded string is leaked; callers deserialize a handful
+    /// of small profile names per process, making the leak bounded
+    /// and harmless.
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(Error::expected("string", "&'static str", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) if s.chars().count() == 1 => {
+                Ok(s.chars().next().expect("length checked"))
+            }
+            other => Err(Error::expected("single-char string", "char", other)),
+        }
+    }
+}
+
+// ---- container impls -------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::expected("array", "Vec", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::expected("array", "fixed-size array", value))?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, found length {}",
+                items.len()
+            )));
+        }
+        let decoded: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        decoded
+            .try_into()
+            .map_err(|_| Error::custom("array length changed during decode"))
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| Error::expected("array", "tuple", value))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected tuple of length {expected}, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+macro_rules! impl_serde_ptr {
+    ($($ptr:ident),*) => {$(
+        impl<T: Serialize> Serialize for $ptr<T> {
+            fn to_value(&self) -> Value {
+                (**self).to_value()
+            }
+        }
+        impl<T: Deserialize> Deserialize for $ptr<T> {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                T::from_value(value).map($ptr::new)
+            }
+        }
+    )*};
+}
+impl_serde_ptr!(Box, Arc, Rc);
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
+        assert_eq!(u64::from_value(&7u64.to_value()).unwrap(), 7);
+        assert_eq!(i8::from_value(&(-3i8).to_value()).unwrap(), -3);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert!(f32::from_value(&f32::NAN.to_value()).unwrap().is_nan());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let arr = [4usize, 5, 6, 7];
+        assert_eq!(<[usize; 4]>::from_value(&arr.to_value()).unwrap(), arr);
+        let opt: Option<f32> = None;
+        assert_eq!(Option::<f32>::from_value(&opt.to_value()).unwrap(), None);
+        let pair = (0.25f32, 0.75f32);
+        assert_eq!(<(f32, f32)>::from_value(&pair.to_value()).unwrap(), pair);
+        let shared = Arc::new(vec![1.0f32, 2.0]);
+        assert_eq!(
+            Arc::<Vec<f32>>::from_value(&shared.to_value()).unwrap(),
+            shared
+        );
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        assert!(bool::from_value(&Value::Number(1.0)).is_err());
+        assert!(<[u8; 2]>::from_value(&vec![1u8].to_value()).is_err());
+        let entries = vec![("a".to_string(), Value::Null)];
+        assert!(field(&entries, "b", "Demo").is_err());
+        assert!(field(&entries, "a", "Demo").is_ok());
+    }
+
+    #[test]
+    fn f32_via_f64_is_exact() {
+        // Every f32 is exactly representable as f64, so the
+        // Number(f64) detour must be lossless.
+        for bits in [0x3f80_0001u32, 0x0000_0001, 0x7f7f_ffff, 0xc2c8_0000] {
+            let x = f32::from_bits(bits);
+            assert_eq!(f32::from_value(&x.to_value()).unwrap().to_bits(), bits);
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Hermetic in-tree stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]`
+//! for the shapes this workspace actually uses: structs with named
+//! fields, and enums whose variants are unit or struct-like. The
+//! parser walks the raw [`proc_macro::TokenStream`] directly (no
+//! `syn`/`quote`, which are unavailable offline) and the generated
+//! impls target the workspace's Value-centric `serde` stand-in:
+//!
+//! - struct  -> `Value::Object([(field, value), ...])`
+//! - unit variant   -> `Value::String("Variant")`
+//! - struct variant -> `Value::Object([("Variant", {fields...})])`
+//!
+//! Unsupported shapes (tuple structs, tuple variants, generics)
+//! panic at expansion time with a clear message rather than emitting
+//! wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a `#[derive]` input item.
+enum Item {
+    /// `struct Name { fields }`
+    Struct { name: String, fields: Vec<String> },
+    /// `enum Name { variants }`
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// One enum variant: unit (`fields` is `None`) or struct-like.
+struct Variant {
+    name: String,
+    fields: Option<Vec<String>>,
+}
+
+/// Derives the workspace `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives the workspace `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl must parse")
+}
+
+// ---- input parsing ---------------------------------------------------
+
+/// Skips leading attributes (`#[...]`) and a visibility modifier
+/// (`pub`, `pub(...)`) starting at `*i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // '#' then the bracketed attribute group.
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Reads the next token as an identifier, advancing `*i`.
+fn expect_ident(tokens: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde derive: expected {what}, found {other:?}"),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = expect_ident(&tokens, &mut i, "`struct` or `enum`");
+    let name = expect_ident(&tokens, &mut i, "item name");
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive: generic type `{name}` is not supported");
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde derive: `{name}` must have a braced body \
+             (tuple/unit items unsupported), found {other:?}"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct { name, fields: parse_named_fields(body) },
+        "enum" => Item::Enum { name, variants: parse_variants(body) },
+        other => panic!("serde derive: cannot derive for `{other} {name}`"),
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the names. Types
+/// are skipped with angle-bracket depth tracking so commas inside
+/// generics (e.g. `HashMap<K, V>`) don't split fields.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = expect_ident(&tokens, &mut i, "field name");
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!(
+                "serde derive: expected `:` after field `{field}` \
+                 (tuple fields unsupported), found {other:?}"
+            ),
+        }
+        let mut angle_depth = 0i64;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+/// Parses enum variants: `Name`, `Name { fields }` (tuple variants
+/// panic).
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i, "variant name");
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde derive: tuple variant `{name}` is not supported")
+            }
+            _ => None,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---- code generation -------------------------------------------------
+
+/// `("name", value_expr)` object-entry expression.
+fn entry(key: &str, value_expr: &str) -> String {
+    format!("(::std::string::String::from(\"{key}\"), {value_expr})")
+}
+
+fn serialize_struct(name: &str, fields: &[String]) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| entry(f, &format!("::serde::Serialize::to_value(&self.{f})")))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{}])\n\
+             }}\n\
+         }}",
+        entries.join(", ")
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                None => format!(
+                    "{name}::{vname} => ::serde::Value::String(\
+                     ::std::string::String::from(\"{vname}\")),"
+                ),
+                Some(fields) => {
+                    let bindings = fields.join(", ");
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| entry(f, &format!("::serde::Serialize::to_value({f})")))
+                        .collect();
+                    let inner = entry(
+                        vname,
+                        &format!("::serde::Value::Object(::std::vec![{}])", entries.join(", ")),
+                    );
+                    format!(
+                        "{name}::{vname} {{ {bindings} }} => \
+                         ::serde::Value::Object(::std::vec![{inner}]),"
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{}\n}}\n\
+             }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+/// `field: Deserialize::from_value(field(entries, "field", ctx)?)?,`
+/// initializers for a named-field body.
+fn field_initializers(fields: &[String], context: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(\
+                 ::serde::field(entries, \"{f}\", \"{context}\")?)?,"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let inits = field_initializers(fields, name);
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let entries = match value {{\n\
+                     ::serde::Value::Object(entries) => entries,\n\
+                     other => return ::std::result::Result::Err(\
+                         ::serde::Error::expected(\"object\", \"{name}\", other)),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}\n}})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| v.fields.is_none())
+        .map(|v| {
+            let vname = &v.name;
+            format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+        })
+        .collect();
+    let struct_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| v.fields.as_ref().map(|fields| (&v.name, fields)))
+        .map(|(vname, fields)| {
+            let context = format!("{name}::{vname}");
+            let inits = field_initializers(fields, &context);
+            format!(
+                "\"{vname}\" => {{\n\
+                     let entries = match inner {{\n\
+                         ::serde::Value::Object(entries) => entries,\n\
+                         other => return ::std::result::Result::Err(\
+                             ::serde::Error::expected(\"object\", \"{context}\", other)),\n\
+                     }};\n\
+                     ::std::result::Result::Ok({name}::{vname} {{\n{inits}\n}})\n\
+                 }}"
+            )
+        })
+        .collect();
+
+    let string_arm = format!(
+        "::serde::Value::String(tag) => match tag.as_str() {{\n\
+             {}\n\
+             other => ::std::result::Result::Err(\
+                 ::serde::Error::unknown_variant(other, \"{name}\")),\n\
+         }},",
+        unit_arms.join("\n")
+    );
+    // Only emit the object arm when struct variants exist, so
+    // unit-only enums don't bind an unused `inner`.
+    let object_arm = if struct_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "::serde::Value::Object(tagged) if tagged.len() == 1 => {{\n\
+                 let (tag, inner) = &tagged[0];\n\
+                 match tag.as_str() {{\n\
+                     {}\n\
+                     other => ::std::result::Result::Err(\
+                         ::serde::Error::unknown_variant(other, \"{name}\")),\n\
+                 }}\n\
+             }},",
+            struct_arms.join("\n")
+        )
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match value {{\n\
+                     {string_arm}\n\
+                     {object_arm}\n\
+                     other => ::std::result::Result::Err(::serde::Error::expected(\
+                         \"enum representation\", \"{name}\", other)),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
