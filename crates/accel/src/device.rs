@@ -143,14 +143,11 @@ mod tests {
 
     #[test]
     fn validation_catches_zero_budget() {
-        let mut d = FpgaDevice::default();
-        d.dsps = 0;
+        let d = FpgaDevice { dsps: 0, ..FpgaDevice::default() };
         assert!(d.validate().is_err());
-        let mut d = FpgaDevice::default();
-        d.energy_mac_j = 0.0;
+        let d = FpgaDevice { energy_mac_j: 0.0, ..FpgaDevice::default() };
         assert!(d.validate().is_err());
-        let mut d = FpgaDevice::default();
-        d.clock_mhz = f64::NAN;
+        let d = FpgaDevice { clock_mhz: f64::NAN, ..FpgaDevice::default() };
         assert!(d.validate().is_err());
     }
 }

@@ -1,0 +1,416 @@
+//! End-to-end serving benchmark for the `snn-serve` stack.
+//!
+//! ```text
+//! cargo run --release -p snn-bench --bin bench_serve \
+//!     [-- --requests N --clients N --out FILE]
+//! ```
+//!
+//! Starts the HTTP server in-process and drives it over real loopback
+//! TCP with closed-loop client threads, three phases:
+//!
+//! 1. `unbatched` — `max_batch = 1`: every request is its own forward
+//!    pass. The baseline.
+//! 2. `batched` — `max_batch = 8` at the *same offered load*: the
+//!    dynamic queue coalesces concurrent requests into shared forward
+//!    passes. On a single-core host this is the whole throughput
+//!    story: the speedup comes from amortizing per-pass work across
+//!    the batch, not from parallelism.
+//! 3. `overload` — a deliberately tiny queue (capacity 4) with short
+//!    request deadlines under the same client pressure: shows the
+//!    server shedding load with typed `429`/`504` rejections instead
+//!    of queueing without bound.
+//!
+//! Writes `BENCH_serve.json`: per-phase p50/p95/p99 latency,
+//! throughput, realized batch size, rejection counts, and cumulative
+//! per-layer firing rates (the paper's sparsity story as observed by
+//! the serving path).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use snn_core::{LifConfig, NetworkSnapshot, SpikingNetwork};
+use snn_serve::{BatcherConfig, ModelRegistry, Server, ServerConfig};
+use snn_tensor::Shape;
+
+const USAGE: &str =
+    "usage: bench_serve [--requests N] [--clients N] [--reps N] [--out FILE]";
+
+fn main() {
+    let mut requests: usize = 400;
+    let mut clients: usize = 8;
+    let mut reps: usize = 3;
+    let mut out = String::from("BENCH_serve.json");
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        let value = |i: usize| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("error: {} requires a value\n{USAGE}", args[i]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--requests" => {
+                requests = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("error: bad --requests\n{USAGE}");
+                    std::process::exit(2);
+                })
+            }
+            "--clients" => {
+                clients = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("error: bad --clients\n{USAGE}");
+                    std::process::exit(2);
+                })
+            }
+            "--reps" => {
+                reps = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("error: bad --reps\n{USAGE}");
+                    std::process::exit(2);
+                })
+            }
+            "--out" => out = value(i),
+            other => {
+                eprintln!("error: unknown argument `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    let clients = clients.max(1);
+    let requests = requests.max(clients);
+    let reps = reps.max(1);
+
+    println!("=== bench_serve ===");
+    println!(
+        "{clients} closed-loop clients, {requests} requests per phase, \
+         median of {reps} reps, host parallelism {}",
+        thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+
+    let snapshot = demo_snapshot();
+    let input_len = 8 * 8;
+    let timesteps = 8;
+
+    // Each phase is repeated and the median-throughput rep is kept:
+    // on a single-core host, scheduler noise between closed-loop
+    // client threads is the dominant source of variance, and one rep
+    // can swing either way.
+    let serve_phase = |name: &str, batcher: BatcherConfig, timeout_ms: Option<u64>| {
+        let mut runs: Vec<Phase> = (0..reps)
+            .map(|_| {
+                let registry = Arc::new(
+                    ModelRegistry::new(snapshot.clone(), "bench")
+                        .expect("demo snapshot is valid"),
+                );
+                let cfg = ServerConfig {
+                    addr: "127.0.0.1:0".into(),
+                    batcher: batcher.clone(),
+                    default_timeout: Some(Duration::from_secs(30)),
+                };
+                let mut server = Server::start(registry, cfg).expect("server starts");
+                let phase =
+                    run_phase(name, &server, &batcher, input_len, requests, clients, timeout_ms);
+                server.shutdown();
+                phase
+            })
+            .collect();
+        runs.sort_by(|a, b| {
+            a.throughput_rps.partial_cmp(&b.throughput_rps).expect("finite throughput")
+        });
+        runs.swap_remove(runs.len() / 2)
+    };
+
+    let unbatched = serve_phase(
+        "unbatched",
+        BatcherConfig {
+            max_batch: 1,
+            max_wait: Duration::from_micros(100),
+            capacity: 256,
+            timesteps,
+        },
+        None,
+    );
+    let batched = serve_phase(
+        "batched",
+        BatcherConfig {
+            max_batch: 8,
+            max_wait: Duration::from_micros(2000),
+            capacity: 256,
+            timesteps,
+        },
+        None,
+    );
+    let overload = serve_phase(
+        "overload",
+        BatcherConfig {
+            max_batch: 4,
+            max_wait: Duration::from_micros(2000),
+            capacity: 4,
+            timesteps,
+        },
+        Some(1),
+    );
+
+    let report = Report {
+        requests_per_phase: requests,
+        clients,
+        timesteps,
+        input_len,
+        host_parallelism: thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        batched_speedup: batched.throughput_rps / unbatched.throughput_rps,
+        phases: vec![unbatched, batched, overload],
+    };
+    for p in &report.phases {
+        println!(
+            "{:<10} max_batch {:>2}  {:>7.1} req/s  p50 {:>6}us  p95 {:>6}us  p99 {:>6}us  \
+             mean batch {:>4.1}  429s {:>3}  504s {:>3}",
+            p.name,
+            p.max_batch,
+            p.throughput_rps,
+            p.latency_us.p50,
+            p.latency_us.p95,
+            p.latency_us.p99,
+            p.mean_batch_size,
+            p.rejected_429,
+            p.rejected_504,
+        );
+    }
+    println!("batched speedup over unbatched: {:.2}x", report.batched_speedup);
+
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out, json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write `{out}`: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out}");
+}
+
+/// The model under load: paper-shaped (conv → pool → conv → pool →
+/// fc) at interactive-serving scale (1×8×8 input). Small per-item
+/// compute is the regime where dynamic batching matters: per-pass
+/// fixed costs (worker wakeup, frame setup, layer dispatch) rival the
+/// per-item math, and sharing a pass across requests amortizes them.
+fn demo_snapshot() -> NetworkSnapshot {
+    let lif = LifConfig { theta: 0.5, ..LifConfig::paper_default() };
+    let net = SpikingNetwork::builder(Shape::d3(1, 8, 8), 42)
+        .conv(4, 3, 1, 1, lif)
+        .expect("conv geometry")
+        .maxpool(2)
+        .expect("pool geometry")
+        .conv(4, 3, 1, 1, lif)
+        .expect("conv geometry")
+        .maxpool(2)
+        .expect("pool geometry")
+        .flatten()
+        .expect("flatten")
+        .dense(10, lif)
+        .expect("dense")
+        .build()
+        .expect("demo network builds");
+    NetworkSnapshot::from_network(&net)
+}
+
+#[derive(Serialize)]
+struct Report {
+    requests_per_phase: usize,
+    clients: usize,
+    timesteps: usize,
+    input_len: usize,
+    host_parallelism: usize,
+    /// `batched.throughput_rps / unbatched.throughput_rps` at the same
+    /// offered load — the headline number.
+    batched_speedup: f64,
+    phases: Vec<Phase>,
+}
+
+#[derive(Serialize)]
+struct Phase {
+    name: String,
+    max_batch: usize,
+    queue_capacity: usize,
+    offered: usize,
+    completed: u64,
+    rejected_429: u64,
+    rejected_504: u64,
+    other_errors: u64,
+    wall_secs: f64,
+    /// Completed requests per second of wall clock.
+    throughput_rps: f64,
+    /// Requests per batched forward pass actually realized.
+    mean_batch_size: f64,
+    latency_us: Percentiles,
+    /// Cumulative per-layer firing rates observed while serving.
+    per_layer_rates: Vec<LayerRate>,
+}
+
+#[derive(Serialize)]
+struct Percentiles {
+    p50: u64,
+    p95: u64,
+    p99: u64,
+    max: u64,
+}
+
+#[derive(Serialize)]
+struct LayerRate {
+    layer: String,
+    rate: f64,
+}
+
+fn run_phase(
+    name: &str,
+    server: &Server,
+    cfg: &BatcherConfig,
+    input_len: usize,
+    requests: usize,
+    clients: usize,
+    timeout_ms: Option<u64>,
+) -> Phase {
+    let addr = server.addr();
+    let per_client = requests / clients;
+    let offered = per_client * clients;
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            thread::spawn(move || client_loop(addr, c as u64, input_len, per_client, timeout_ms))
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::with_capacity(offered);
+    let mut statuses: Vec<u16> = Vec::with_capacity(offered);
+    for h in handles {
+        let (lat, st) = h.join().expect("client thread");
+        latencies.extend(lat);
+        statuses.extend(st);
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let completed = statuses.iter().filter(|&&s| s == 200).count() as u64;
+    let rejected_429 = statuses.iter().filter(|&&s| s == 429).count() as u64;
+    let rejected_504 = statuses.iter().filter(|&&s| s == 504).count() as u64;
+    let other_errors = statuses.len() as u64 - completed - rejected_429 - rejected_504;
+
+    let metrics = server.metrics();
+    let batches = metrics.batches.load(Ordering::Relaxed);
+    let batched_items = metrics.batched_items.load(Ordering::Relaxed);
+    let snap = metrics.snapshot(snn_serve::ModelInfo {
+        name: name.into(),
+        version: 1,
+        input_len,
+        classes: 10,
+        params: 0,
+    });
+    Phase {
+        name: name.into(),
+        max_batch: cfg.max_batch,
+        queue_capacity: cfg.capacity,
+        offered,
+        completed,
+        rejected_429,
+        rejected_504,
+        other_errors,
+        wall_secs,
+        throughput_rps: completed as f64 / wall_secs,
+        mean_batch_size: if batches > 0 { batched_items as f64 / batches as f64 } else { 0.0 },
+        latency_us: percentiles(&mut latencies),
+        per_layer_rates: snap
+            .layers
+            .iter()
+            .map(|l| LayerRate { layer: l.layer.clone(), rate: l.rate })
+            .collect(),
+    }
+}
+
+fn percentiles(samples: &mut [u64]) -> Percentiles {
+    if samples.is_empty() {
+        return Percentiles { p50: 0, p95: 0, p99: 0, max: 0 };
+    }
+    samples.sort_unstable();
+    let pick = |q: f64| samples[((samples.len() - 1) as f64 * q).round() as usize];
+    Percentiles {
+        p50: pick(0.50),
+        p95: pick(0.95),
+        p99: pick(0.99),
+        max: *samples.last().expect("non-empty"),
+    }
+}
+
+/// One closed-loop client: a single keep-alive connection issuing
+/// requests back-to-back, recording per-request latency and status.
+fn client_loop(
+    addr: SocketAddr,
+    seed: u64,
+    input_len: usize,
+    count: usize,
+    timeout_ms: Option<u64>,
+) -> (Vec<u64>, Vec<u16>) {
+    let mut stream = TcpStream::connect(addr).expect("connecting to bench server");
+    stream.set_nodelay(true).expect("TCP_NODELAY");
+    let mut latencies = Vec::with_capacity(count);
+    let mut statuses = Vec::with_capacity(count);
+    for r in 0..count {
+        let body = infer_body(seed.wrapping_add(r as u64), input_len, timeout_ms);
+        let request = format!(
+            "POST /infer HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let t0 = Instant::now();
+        stream.write_all(request.as_bytes()).expect("request write");
+        let status = read_response(&mut stream);
+        latencies.push(t0.elapsed().as_micros() as u64);
+        statuses.push(status);
+    }
+    (latencies, statuses)
+}
+
+fn infer_body(seed: u64, input_len: usize, timeout_ms: Option<u64>) -> String {
+    let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let values: Vec<String> = (0..input_len)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            format!("{:.4}", ((x >> 33) as f64) / (u32::MAX as f64))
+        })
+        .collect();
+    match timeout_ms {
+        Some(t) => format!("{{\"input\":[{}],\"timeout_ms\":{t}}}", values.join(",")),
+        None => format!("{{\"input\":[{}]}}", values.join(",")),
+    }
+}
+
+/// Reads one keep-alive HTTP response and returns its status code.
+fn read_response(stream: &mut TcpStream) -> u16 {
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).expect("response read");
+        assert!(n > 0, "server closed mid-response");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).expect("ASCII head");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length").then(|| value.trim().parse().ok())?
+        })
+        .expect("content-length header");
+    let total = head_end + 4 + content_length;
+    while buf.len() < total {
+        let n = stream.read(&mut chunk).expect("body read");
+        assert!(n > 0, "server closed mid-body");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    status
+}

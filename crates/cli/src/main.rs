@@ -7,6 +7,7 @@
 //! snn eval  --model model.json --profile quick
 //! snn map   --model model.json --profile quick --dataflow dense
 //! snn info  --model model.json
+//! snn serve --model model.json --addr 127.0.0.1:7878
 //! ```
 
 mod args;
@@ -33,6 +34,11 @@ commands:
           --dataflow event|dense (event)   --device kintex|artix (kintex)
   info    print a saved snapshot's layer table
           --model PATH
+  serve   serve a snapshot over HTTP with dynamic micro-batching
+          --model PATH | --demo SIDE (in-memory demo net, SIDE x SIDE input)
+          --addr HOST:PORT (127.0.0.1:7878; port 0 picks a free port)
+          --timesteps N (4)   --max-batch N (8)   --max-wait-us N (2000)
+          --capacity N (64)   --timeout-ms N (2000; 0 disables)
 ";
 
 fn main() {
@@ -45,6 +51,7 @@ fn main() {
         "eval" => cmd_eval(&args),
         "map" => cmd_map(&args),
         "info" => cmd_info(&args),
+        "serve" => cmd_serve(&args),
         "" | "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return;
@@ -181,6 +188,72 @@ fn cmd_map(args: &Args) -> Result<(), String> {
     let report = cfg.map(&snapshot, &eval.profile).map_err(|e| e.to_string())?;
     println!("{report}");
     Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use snn_serve::{BatcherConfig, ModelRegistry, Server, ServerConfig};
+    use std::time::Duration;
+
+    let (snapshot, name) = if let Some(side) = args.opt("demo") {
+        let side: usize = side
+            .parse()
+            .map_err(|_| format!("flag --demo: cannot parse `{side}` as an input side"))?;
+        (demo_snapshot(side)?, format!("demo-{side}x{side}"))
+    } else {
+        (load_model(args)?, args.require("model")?.to_string())
+    };
+    let timesteps: usize = args.get_parsed("timesteps", 4)?;
+    let max_batch: usize = args.get_parsed("max-batch", 8)?;
+    let max_wait_us: u64 = args.get_parsed("max-wait-us", 2000)?;
+    let capacity: usize = args.get_parsed("capacity", 64)?;
+    let timeout_ms: u64 = args.get_parsed("timeout-ms", 2000)?;
+    if max_batch == 0 || capacity == 0 {
+        return Err("--max-batch and --capacity must be at least 1".into());
+    }
+
+    let registry =
+        std::sync::Arc::new(ModelRegistry::new(snapshot, name).map_err(|e| e.to_string())?);
+    let info = registry.info();
+    let cfg = ServerConfig {
+        addr: args.get("addr", "127.0.0.1:7878").to_string(),
+        batcher: BatcherConfig {
+            max_batch,
+            max_wait: Duration::from_micros(max_wait_us),
+            capacity,
+            timesteps,
+        },
+        default_timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
+    };
+    let mut server = Server::start(registry, cfg).map_err(|e| e.to_string())?;
+    println!(
+        "serving {} ({} inputs, {} classes, {} parameters, T={timesteps})",
+        info.name, info.input_len, info.classes, info.params
+    );
+    // ci.sh and other harnesses parse this line for the ephemeral port.
+    println!("listening on {}", server.addr());
+    server.join();
+    Ok(())
+}
+
+/// An untrained paper-shaped toy model so the server can be exercised
+/// (CI smoke tests, load benches) with no snapshot file on disk.
+fn demo_snapshot(side: usize) -> Result<NetworkSnapshot, String> {
+    if side < 4 {
+        return Err(format!("--demo side {side} too small (need at least 4)"));
+    }
+    let lif = LifConfig { theta: 0.5, ..LifConfig::paper_default() };
+    let net = SpikingNetwork::builder(snn_tensor::Shape::d3(1, side, side), 7)
+        .conv(4, 3, 1, 1, lif)
+        .map_err(|e| e.to_string())?
+        .maxpool(2)
+        .map_err(|e| e.to_string())?
+        .flatten()
+        .map_err(|e| e.to_string())?
+        .dense(10, lif)
+        .map_err(|e| e.to_string())?
+        .build()
+        .map_err(|e| e.to_string())?;
+    Ok(NetworkSnapshot::from_network(&net))
 }
 
 fn cmd_info(args: &Args) -> Result<(), String> {

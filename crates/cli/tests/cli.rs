@@ -1,0 +1,82 @@
+//! End-to-end tests of the `snn` binary's error paths: bad inputs
+//! must produce a diagnostic and a nonzero exit, never a panic.
+
+use std::process::Command;
+
+fn snn(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_snn"))
+        .args(args)
+        .output()
+        .expect("running snn binary");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn assert_clean_error(args: &[&str], expect: &str) {
+    let (code, _stdout, stderr) = snn(args);
+    assert_eq!(code, 2, "`snn {}` should exit 2, stderr: {stderr}", args.join(" "));
+    assert!(
+        stderr.contains(expect),
+        "`snn {}` stderr should mention `{expect}`, got: {stderr}",
+        args.join(" ")
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "`snn {}` panicked instead of reporting an error: {stderr}",
+        args.join(" ")
+    );
+}
+
+#[test]
+fn serve_requires_a_model() {
+    assert_clean_error(&["serve"], "missing required flag --model");
+}
+
+#[test]
+fn serve_reports_missing_snapshot_path() {
+    assert_clean_error(
+        &["serve", "--model", "/no/such/snapshot.json"],
+        "cannot load `/no/such/snapshot.json`",
+    );
+}
+
+#[test]
+fn serve_rejects_malformed_snapshot() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("snn-cli-test-malformed-snapshot.json");
+    std::fs::write(&path, "{\"not\": \"a snapshot\"}").unwrap();
+    let path_str = path.to_str().unwrap().to_string();
+    assert_clean_error(&["serve", "--model", &path_str], "cannot load");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn info_and_eval_report_missing_model() {
+    assert_clean_error(&["info"], "missing required flag --model");
+    assert_clean_error(
+        &["info", "--model", "/no/such/snapshot.json"],
+        "cannot load `/no/such/snapshot.json`",
+    );
+    assert_clean_error(
+        &["eval", "--model", "/no/such/snapshot.json"],
+        "cannot load `/no/such/snapshot.json`",
+    );
+}
+
+#[test]
+fn unknown_command_and_bad_flags() {
+    assert_clean_error(&["frobnicate"], "unknown command `frobnicate`");
+    assert_clean_error(&["serve", "--demo", "xyz"], "cannot parse `xyz`");
+    assert_clean_error(&["serve", "--demo", "2"], "too small");
+}
+
+#[test]
+fn help_prints_usage_with_serve() {
+    let (code, stdout, _stderr) = snn(&["help"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("serve"), "usage should document serve: {stdout}");
+    assert!(stdout.contains("--max-batch"), "usage should document batching: {stdout}");
+}

@@ -68,7 +68,7 @@ pub use network::{BuildNetworkError, NetworkBuilder, SequenceOutput, SpikingNetw
 pub use optim::{clip_grad_norm, Optimizer, OptimizerKind};
 pub use prune::{prune_snapshot, LayerPruneStats, PruneReport};
 pub use schedule::LrSchedule;
-pub use snapshot::{LayerSnapshot, NetworkSnapshot};
+pub use snapshot::{LayerSnapshot, NetworkSnapshot, SnapshotError};
 pub use surrogate::Surrogate;
 pub use trace::{trace_spikes, LayerTrace, SpikeTrace};
 pub use trainer::{fit, fit_temporal, EpochStats, TrainConfig, TrainReport};

@@ -373,6 +373,45 @@ impl SpikingNetwork {
         SequenceOutput { counts, timesteps: frames.len() }
     }
 
+    /// Forward-only run of a whole sequence: no BPTT activation
+    /// caches are kept, so memory stays flat regardless of sequence
+    /// length. This is the serving path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty.
+    pub fn run_inference(&mut self, frames: &[Tensor]) -> SequenceOutput {
+        self.run_sequence(frames, false)
+    }
+
+    /// Like [`SpikingNetwork::run_inference`], but calls `observer`
+    /// after every layer at every timestep with `(layer_index,
+    /// layer_name, output)` — the hook the serving engine uses for
+    /// per-request spike accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty.
+    pub fn run_inference_observed(
+        &mut self,
+        frames: &[Tensor],
+        mut observer: impl FnMut(usize, &str, &Tensor),
+    ) -> SequenceOutput {
+        assert!(!frames.is_empty(), "run_inference_observed requires at least one frame");
+        self.begin_sequence(false);
+        let batch = frames[0].shape().dim(0);
+        let mut counts = Tensor::zeros(Shape::d2(batch, self.classes));
+        for f in frames {
+            let mut x = f.clone();
+            for (i, l) in self.layers.iter_mut().enumerate() {
+                x = l.forward_step(&x);
+                observer(i, l.name(), &x);
+            }
+            counts.add_assign(&x).expect("output shape invariant");
+        }
+        SequenceOutput { counts, timesteps: frames.len() }
+    }
+
     /// Backpropagates through time after a training-mode
     /// [`SpikingNetwork::run_sequence`].
     ///
@@ -525,6 +564,23 @@ mod tests {
                 assert_eq!(cfg.theta, 1.5);
             }
         }
+    }
+
+    #[test]
+    fn inference_observed_matches_run_sequence() {
+        let mut a = SpikingNetwork::paper_topology(Shape::d3(1, 16, 16), 4, lif(), 5).unwrap();
+        let mut b = a.clone();
+        let frames = vec![Tensor::ones(Shape::d4(2, 1, 16, 16)); 3];
+        let plain = a.run_sequence(&frames, false);
+        let names = ["conv1", "pool1", "conv2", "pool2", "flatten", "fc1", "fc2"];
+        let mut calls = 0usize;
+        let observed = b.run_inference_observed(&frames, |i, name, out| {
+            assert_eq!(name, names[i]);
+            assert!(!out.is_empty());
+            calls += 1;
+        });
+        assert_eq!(plain.counts, observed.counts);
+        assert_eq!(calls, names.len() * 3);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! train once, save snapshots, and re-map them onto different
 //! accelerator configurations later.
 
+use std::fmt;
 use std::path::Path;
 
 use serde::{Deserialize, Serialize};
@@ -15,6 +16,53 @@ use snn_tensor::{Shape, Tensor};
 use crate::layer::{Flatten, Layer, MaxPool2d, SpikingConv2d, SpikingDense};
 use crate::neuron::LifConfig;
 use crate::network::SpikingNetwork;
+
+/// Error loading or validating a [`NetworkSnapshot`].
+///
+/// Snapshots cross a trust boundary (they arrive from disk or over
+/// the serving API), so every structural defect maps to a typed error
+/// here instead of a panic deeper in the forward pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The file could not be read or written.
+    Io {
+        /// Path passed to the load/save call.
+        path: String,
+        /// The underlying I/O error, formatted.
+        message: String,
+    },
+    /// The text is not valid JSON, or valid JSON that does not decode
+    /// into a snapshot.
+    Malformed(String),
+    /// A layer is structurally inconsistent (bad geometry, wrong
+    /// weight shape, truncated tensor data, invalid LIF config).
+    Layer {
+        /// Name of the offending layer.
+        layer: String,
+        /// What is wrong with it.
+        message: String,
+    },
+    /// The layers do not compose into a runnable network (wrong input
+    /// rank, non-classifier head, no layers at all).
+    Structure(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io { path, message } => {
+                write!(f, "cannot access snapshot `{path}`: {message}")
+            }
+            SnapshotError::Malformed(msg) => write!(f, "malformed snapshot JSON: {msg}"),
+            SnapshotError::Layer { layer, message } => {
+                write!(f, "invalid snapshot layer `{layer}`: {message}")
+            }
+            SnapshotError::Structure(msg) => write!(f, "invalid snapshot structure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
 
 /// Serialized form of one layer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -122,8 +170,54 @@ impl NetworkSnapshot {
         }
     }
 
+    /// Checks that the snapshot describes a runnable network: every
+    /// layer's geometry is self-consistent, weight/bias tensors have
+    /// the shapes the geometry implies (and data matching their
+    /// declared shapes), LIF configs pass validation, and the layers
+    /// compose from the declared input shape to a `classes`-wide head.
+    ///
+    /// Untrusted snapshots (files, API bodies) must pass through this
+    /// before [`NetworkSnapshot::into_network`]; use
+    /// [`NetworkSnapshot::try_into_network`] to do both.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SnapshotError`] found, in forward order.
+    pub fn validate(&self) -> Result<(), SnapshotError> {
+        let mut current = shape_from_untrusted_dims(&self.input_item_dims)
+            .map_err(|msg| SnapshotError::Structure(format!("input shape: {msg}")))?;
+        if self.layers.is_empty() {
+            return Err(SnapshotError::Structure("snapshot has no layers".into()));
+        }
+        for ls in &self.layers {
+            current = validate_layer(ls, current)?;
+        }
+        if current.rank() != 1 || current.dim(0) != self.classes || self.classes == 0 {
+            return Err(SnapshotError::Structure(format!(
+                "head emits {current} but snapshot declares {} classes",
+                self.classes
+            )));
+        }
+        Ok(())
+    }
+
+    /// Validates the snapshot and reconstructs a runnable network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] instead of panicking on snapshots
+    /// that decode structurally but describe an impossible network.
+    pub fn try_into_network(self) -> Result<SpikingNetwork, SnapshotError> {
+        self.validate()?;
+        Ok(self.into_network())
+    }
+
     /// Reconstructs a runnable network (fresh runtime state, restored
     /// weights).
+    ///
+    /// Trusted-input counterpart of
+    /// [`NetworkSnapshot::try_into_network`]: on a snapshot that fails
+    /// [`NetworkSnapshot::validate`], later forward passes may panic.
     pub fn into_network(self) -> SpikingNetwork {
         let layers = self
             .layers
@@ -157,6 +251,129 @@ impl NetworkSnapshot {
     }
 }
 
+/// Builds a [`Shape`] from dims that may come from hostile JSON,
+/// without tripping the panicking invariants inside [`Shape`].
+fn shape_from_untrusted_dims(dims: &[usize]) -> Result<Shape, String> {
+    if dims.is_empty() || dims.len() > 4 {
+        return Err(format!("rank must be 1..=4, got {}", dims.len()));
+    }
+    if dims.contains(&0) {
+        return Err(format!("zero-sized dimension in {dims:?}"));
+    }
+    Ok(Shape::from_dims(dims))
+}
+
+/// Checks one tensor field against the shape its layer geometry
+/// implies, including the declared-shape/data-length agreement that
+/// the serde layer does not enforce.
+fn check_tensor(
+    layer: &str,
+    field: &str,
+    tensor: &Tensor,
+    expected: Shape,
+) -> Result<(), SnapshotError> {
+    // Full structural equality first: a corrupt `Shape` (junk rank,
+    // stale trailing dims) never satisfies it, so the `len()` call
+    // below only ever runs on a well-formed shape.
+    if tensor.shape() != expected {
+        return Err(SnapshotError::Layer {
+            layer: layer.into(),
+            message: format!("{field} has shape {:?}, expected {expected}", tensor.shape()),
+        });
+    }
+    if tensor.as_slice().len() != expected.len() {
+        return Err(SnapshotError::Layer {
+            layer: layer.into(),
+            message: format!(
+                "{field} declares {} elements but carries {} values",
+                expected.len(),
+                tensor.as_slice().len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Validates one layer against the running item shape, returning the
+/// item shape it emits.
+fn validate_layer(ls: &LayerSnapshot, current: Shape) -> Result<Shape, SnapshotError> {
+    let layer_err = |layer: &str, message: String| SnapshotError::Layer {
+        layer: layer.into(),
+        message,
+    };
+    match ls {
+        LayerSnapshot::Conv { name, geom, lif, weight, bias } => {
+            // Re-run the geometry constructor: deserialized fields
+            // bypass `Conv2dGeometry::new`'s checks.
+            Conv2dGeometry::new(
+                geom.in_channels,
+                geom.out_channels,
+                geom.kernel,
+                geom.stride,
+                geom.padding,
+                geom.in_h,
+                geom.in_w,
+            )
+            .map_err(|e| layer_err(name, e.to_string()))?;
+            if current != geom.input_item_shape() {
+                return Err(layer_err(
+                    name,
+                    format!("expects {} input, preceding layers emit {current}", geom.input_item_shape()),
+                ));
+            }
+            lif.validate().map_err(|msg| layer_err(name, format!("invalid LIF config: {msg}")))?;
+            check_tensor(name, "weight", weight, geom.weight_shape())?;
+            check_tensor(name, "bias", bias, Shape::d1(geom.out_channels))?;
+            Ok(geom.output_item_shape())
+        }
+        LayerSnapshot::Dense { name, lif, weight, bias } => {
+            if current.rank() != 1 {
+                return Err(layer_err(
+                    name,
+                    format!("expects rank-1 input, preceding layers emit {current}"),
+                ));
+            }
+            lif.validate().map_err(|msg| layer_err(name, format!("invalid LIF config: {msg}")))?;
+            if weight.shape().rank() != 2 {
+                return Err(layer_err(
+                    name,
+                    format!("weight must be a rank-2 matrix, got {:?}", weight.shape()),
+                ));
+            }
+            let out = weight.shape().dim(0);
+            if out == 0 {
+                return Err(layer_err(name, "weight has zero output neurons".into()));
+            }
+            check_tensor(name, "weight", weight, Shape::d2(out, current.dim(0)))?;
+            check_tensor(name, "bias", bias, Shape::d1(out))?;
+            Ok(Shape::d1(out))
+        }
+        LayerSnapshot::Pool { name, geom } => {
+            Pool2dGeometry::new(geom.channels, geom.kernel, geom.stride, geom.in_h, geom.in_w)
+                .map_err(|e| layer_err(name, e.to_string()))?;
+            let expected_in = Shape::d3(geom.channels, geom.in_h, geom.in_w);
+            if current != expected_in {
+                return Err(layer_err(
+                    name,
+                    format!("expects {expected_in} input, preceding layers emit {current}"),
+                ));
+            }
+            Ok(geom.output_item_shape())
+        }
+        LayerSnapshot::Flatten { name, input_item_dims } => {
+            let declared = shape_from_untrusted_dims(input_item_dims)
+                .map_err(|msg| layer_err(name, format!("input shape: {msg}")))?;
+            if current != declared {
+                return Err(layer_err(
+                    name,
+                    format!("declares {declared} input, preceding layers emit {current}"),
+                ));
+            }
+            Ok(Shape::d1(declared.len()))
+        }
+    }
+}
+
 impl NetworkSnapshot {
     /// Writes the snapshot as JSON, creating parent directories.
     ///
@@ -173,17 +390,35 @@ impl NetworkSnapshot {
         std::fs::write(path, json)
     }
 
-    /// Reads a snapshot from a JSON file written by
+    /// Reads and validates a snapshot from a JSON file written by
     /// [`NetworkSnapshot::save_json`].
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors; malformed JSON maps to
-    /// [`std::io::ErrorKind::InvalidData`].
-    pub fn load_json(path: impl AsRef<Path>) -> std::io::Result<Self> {
-        let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    /// Returns [`SnapshotError::Io`] for filesystem failures,
+    /// [`SnapshotError::Malformed`] for text that does not decode, and
+    /// the [`NetworkSnapshot::validate`] errors for snapshots that
+    /// decode but describe an impossible network.
+    pub fn load_json(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        let path = path.as_ref();
+        let json = std::fs::read_to_string(path).map_err(|e| SnapshotError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        Self::from_json(&json)
+    }
+
+    /// Parses and validates a snapshot from JSON text (the serving
+    /// API's hot-swap path).
+    ///
+    /// # Errors
+    ///
+    /// As [`NetworkSnapshot::load_json`], minus the I/O variant.
+    pub fn from_json(json: &str) -> Result<Self, SnapshotError> {
+        let snap: NetworkSnapshot =
+            serde_json::from_str(json).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+        snap.validate()?;
+        Ok(snap)
     }
 }
 
@@ -242,8 +477,85 @@ mod tests {
         let path = dir.join("bad.json");
         std::fs::write(&path, "{ not json").unwrap();
         let err = NetworkSnapshot::load_json(&path).unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(matches!(err, SnapshotError::Malformed(_)), "got {err:?}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_rejects_missing_file() {
+        let err = NetworkSnapshot::load_json("/nonexistent/model.json").unwrap_err();
+        assert!(matches!(err, SnapshotError::Io { .. }), "got {err:?}");
+        assert!(err.to_string().contains("/nonexistent/model.json"));
+    }
+
+    #[test]
+    fn validate_accepts_real_snapshots() {
+        let snap = NetworkSnapshot::from_network(&net());
+        snap.validate().unwrap();
+        let _ = snap.try_into_network().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_truncated_weights() {
+        let mut snap = NetworkSnapshot::from_network(&net());
+        // Chop the conv filter bank to half its declared length by
+        // round-tripping through JSON with the data array truncated.
+        let json = serde_json::to_string(&snap).unwrap();
+        if let LayerSnapshot::Conv { weight, .. } = &mut snap.layers[0] {
+            let shape = weight.shape();
+            let half: Vec<f32> = weight.as_slice()[..weight.len() / 2].to_vec();
+            // Forge a tensor whose declared shape disagrees with its
+            // data by splicing JSON (the typed API cannot build one).
+            let good = serde_json::to_string(weight).unwrap();
+            let bad_tensor = format!(
+                "{{\"shape\":{},\"data\":{}}}",
+                serde_json::to_string(&shape).unwrap(),
+                serde_json::to_string(&half).unwrap()
+            );
+            let bad_json = json.replacen(&good, &bad_tensor, 1);
+            assert_ne!(bad_json, json, "splice must hit the weight tensor");
+            let err = NetworkSnapshot::from_json(&bad_json).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Layer { ref layer, .. } if layer == "conv1"),
+                "got {err:?}"
+            );
+        } else {
+            panic!("expected conv1 first");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_wrong_dense_shape() {
+        let mut snap = NetworkSnapshot::from_network(&net());
+        let last = snap.layers.len() - 1;
+        if let LayerSnapshot::Dense { weight, .. } = &mut snap.layers[last] {
+            *weight = Tensor::zeros(Shape::d2(4, 99));
+        } else {
+            panic!("expected dense head");
+        }
+        let err = snap.validate().unwrap_err();
+        assert!(matches!(err, SnapshotError::Layer { ref layer, .. } if layer == "fc2"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_geometry_and_structure() {
+        let mut snap = NetworkSnapshot::from_network(&net());
+        if let LayerSnapshot::Conv { geom, .. } = &mut snap.layers[0] {
+            geom.stride = 0;
+        }
+        assert!(matches!(snap.validate().unwrap_err(), SnapshotError::Layer { .. }));
+
+        let mut snap = NetworkSnapshot::from_network(&net());
+        snap.layers.clear();
+        assert!(matches!(snap.validate().unwrap_err(), SnapshotError::Structure(_)));
+
+        let mut snap = NetworkSnapshot::from_network(&net());
+        snap.classes = 99;
+        assert!(matches!(snap.validate().unwrap_err(), SnapshotError::Structure(_)));
+
+        let mut snap = NetworkSnapshot::from_network(&net());
+        snap.input_item_dims = vec![1, 2, 3, 4, 5];
+        assert!(matches!(snap.validate().unwrap_err(), SnapshotError::Structure(_)));
     }
 
     #[test]

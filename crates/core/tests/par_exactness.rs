@@ -70,7 +70,6 @@ proptest! {
             surrogate: Surrogate::FastSigmoid { k: 2.0 },
             reset: if hard_reset { ResetMode::Zero } else { ResetMode::Subtract },
             detach_reset: detach,
-            ..LifConfig::paper_default()
         };
         let shape = Shape::d2(batch, features);
         let gs = lcg_tensor(shape, seed, 1.0);

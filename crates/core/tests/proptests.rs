@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 
 use snn_core::neuron::{lif_backward_step, lif_step, LifConfig, LifState};
-use snn_core::{LrSchedule, Surrogate};
+use snn_core::{LayerSnapshot, LrSchedule, NetworkSnapshot, SpikingNetwork, Surrogate};
 use snn_tensor::{Shape, Tensor};
 
 /// Runs a single LIF neuron for `steps` timesteps with constant
@@ -113,6 +113,66 @@ proptest! {
         prop_assert!(lr > 0.0);
         prop_assert!(lr <= base + 1e-6);
         prop_assert!((s.lr_at(base, 0, 50) - base).abs() < 1e-6);
+    }
+
+    /// A snapshot survives a JSON round trip losslessly: every weight
+    /// comes back bit-for-bit, and the reconstructed network produces
+    /// bitwise-identical forward outputs — saving and reloading a
+    /// model (or shipping it to the serving layer) can never change
+    /// its predictions.
+    #[test]
+    fn snapshot_json_roundtrip_is_lossless(
+        seed in any::<u64>(),
+        channels in 2usize..6,
+        side in 6usize..11,
+        classes in 2usize..6,
+        beta in 0.1f32..0.9,
+        theta in 0.3f32..1.5,
+    ) {
+        let lif = LifConfig { beta, theta, ..LifConfig::paper_default() };
+        let net = SpikingNetwork::builder(Shape::d3(1, side, side), seed)
+            .conv(channels, 3, 1, 1, lif).expect("conv geometry")
+            .maxpool(2).expect("pool geometry")
+            .flatten().expect("flatten")
+            .dense(classes, lif).expect("dense")
+            .build().expect("network builds");
+        let snap = NetworkSnapshot::from_network(&net);
+
+        let json = serde_json::to_string(&snap).expect("snapshot serializes");
+        let back = NetworkSnapshot::from_json(&json).expect("round trip parses + validates");
+        prop_assert_eq!(&snap, &back);
+        for (a, b) in snap.layers.iter().zip(&back.layers) {
+            let params = |l: &LayerSnapshot| match l {
+                LayerSnapshot::Conv { weight, bias, .. }
+                | LayerSnapshot::Dense { weight, bias, .. } => {
+                    Some((weight.clone(), bias.clone()))
+                }
+                _ => None,
+            };
+            if let (Some((wa, ba)), Some((wb, bb))) = (params(a), params(b)) {
+                for (x, y) in wa.as_slice().iter().zip(wb.as_slice()) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+                for (x, y) in ba.as_slice().iter().zip(bb.as_slice()) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+
+        // Identical forward behaviour, bit for bit.
+        let mut rng = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let frame = Tensor::from_fn(Shape::from_dims(&[1, 1, side, side]), |_| {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((rng >> 33) as f32) / (u32::MAX as f32)
+        });
+        let frames = vec![frame; 3];
+        let mut original = net;
+        let mut restored = back.try_into_network().expect("validated snapshot builds");
+        let a = original.run_inference(&frames);
+        let b = restored.run_inference(&frames);
+        for (x, y) in a.counts.as_slice().iter().zip(b.counts.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     /// Surrogate scale round-trips through `with_scale`.

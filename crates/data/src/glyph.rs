@@ -131,8 +131,8 @@ mod tests {
 
     #[test]
     fn all_glyphs_well_formed() {
-        for d in 0..10 {
-            for row in GLYPHS[d] {
+        for (d, glyph) in GLYPHS.iter().enumerate() {
+            for row in *glyph {
                 assert_eq!(row.len(), GLYPH_W, "digit {d}");
                 assert!(row.bytes().all(|b| b == b'#' || b == b' '));
             }

@@ -1,0 +1,660 @@
+//! Minimal hermetic HTTP/1.1 front end over [`std::net::TcpListener`].
+//!
+//! No async runtime and no HTTP crate: the workspace is offline, and
+//! the protocol surface a model server needs — fixed routes, JSON
+//! bodies, `Content-Length` framing, keep-alive — fits in a few
+//! hundred lines of `std`. Connections get a thread each; the real
+//! concurrency control is the bounded [`crate::Batcher`] behind them,
+//! which turns overload into typed rejections instead of unbounded
+//! queues.
+//!
+//! Routes:
+//!
+//! | Route | Method | Purpose |
+//! |---|---|---|
+//! | `/infer` | POST | `{"input": [...], "timeout_ms": n?}` → prediction + per-layer firing rates |
+//! | `/healthz` | GET | liveness + served model name/version |
+//! | `/metrics` | GET | full [`crate::MetricsSnapshot`] |
+//! | `/reload` | POST | snapshot JSON → validated atomic hot-swap |
+//!
+//! Rejections map onto status codes: full queue → `429`, lapsed
+//! deadline → `504`, malformed input → `400`, shutdown → `503`,
+//! incompatible reload → `409`.
+
+use std::fmt;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use serde::{Serialize, Value};
+
+use crate::metrics::Metrics;
+use crate::queue::{Batcher, BatcherConfig, Rejection};
+use crate::registry::{ModelRegistry, SwapError};
+use snn_core::{NetworkSnapshot, SnapshotError};
+
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+/// Largest accepted request body.
+const MAX_BODY: usize = 8 * 1024 * 1024;
+/// Poll granularity for reads, so idle connection threads notice
+/// shutdown promptly.
+const READ_TIMEOUT: Duration = Duration::from_millis(250);
+/// Idle keep-alive connections are closed after this long.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Configuration for the batching queue behind `/infer`.
+    pub batcher: BatcherConfig,
+    /// Deadline applied to `/infer` requests that do not send
+    /// `timeout_ms`. `None` means such requests wait indefinitely.
+    pub default_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            batcher: BatcherConfig::default(),
+            default_timeout: Some(Duration::from_millis(2000)),
+        }
+    }
+}
+
+/// Failure starting the server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding the listener failed.
+    Io(io::Error),
+    /// The engine could not be built from the registry's snapshot.
+    Snapshot(SnapshotError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "cannot bind server: {e}"),
+            ServeError::Snapshot(e) => write!(f, "cannot build engine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Shared state every connection thread sees.
+struct ServerShared {
+    registry: Arc<ModelRegistry>,
+    batcher: Arc<Batcher>,
+    metrics: Arc<Metrics>,
+    default_timeout: Option<Duration>,
+    shutdown: AtomicBool,
+}
+
+/// The running HTTP server.
+pub struct Server {
+    shared: Arc<ServerShared>,
+    addr: SocketAddr,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener, starts the batch worker and the accept
+    /// loop, and returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] if the address cannot be bound or the
+    /// engine cannot be built.
+    pub fn start(registry: Arc<ModelRegistry>, cfg: ServerConfig) -> Result<Self, ServeError> {
+        let metrics = Arc::new(Metrics::default());
+        let batcher = Arc::new(
+            Batcher::start(Arc::clone(&registry), cfg.batcher, Arc::clone(&metrics))
+                .map_err(ServeError::Snapshot)?,
+        );
+        let listener = TcpListener::bind(&cfg.addr).map_err(ServeError::Io)?;
+        let addr = listener.local_addr().map_err(ServeError::Io)?;
+        let shared = Arc::new(ServerShared {
+            registry,
+            batcher,
+            metrics,
+            default_timeout: cfg.default_timeout,
+            shutdown: AtomicBool::new(false),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("snn-serve-accept".into())
+                .spawn(move || accept_loop(listener, shared))
+                .expect("spawning accept loop")
+        };
+        Ok(Server { shared, addr, accept: Some(accept) })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics handle.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Blocks until the server shuts down. For embedding in a CLI
+    /// process that serves until killed.
+    pub fn join(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stops accepting connections, drains the queue with
+    /// [`Rejection::ShuttingDown`], and joins the accept loop.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.batcher.request_shutdown();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.join();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(&shared);
+        // Connection threads are detached; they poll the shutdown
+        // flag every READ_TIMEOUT and exit on their own.
+        let _ = thread::Builder::new()
+            .name("snn-serve-conn".into())
+            .spawn(move || handle_connection(stream, shared));
+    }
+}
+
+/// One parsed HTTP request.
+struct Request {
+    method: String,
+    path: String,
+    close: bool,
+    body: Vec<u8>,
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
+    if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
+        return;
+    }
+    // Responses are small and latency-sensitive; never wait for more
+    // payload to coalesce.
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let req = match read_request(&mut stream, &mut buf, &shared.shutdown) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean close / idle timeout / shutdown
+            Err(_) => {
+                shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(
+                    &mut stream,
+                    400,
+                    &error_body("malformed HTTP request"),
+                    true,
+                );
+                return;
+            }
+        };
+        let close = req.close;
+        let (status, body) = route(&req, &shared);
+        if write_response(&mut stream, status, &body, close).is_err() || close {
+            return;
+        }
+    }
+}
+
+/// Reads one request from the stream. `Ok(None)` means the connection
+/// should be closed without a response (peer hung up, idle timeout,
+/// or server shutdown).
+fn read_request(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    shutdown: &AtomicBool,
+) -> io::Result<Option<Request>> {
+    let idle_since = Instant::now();
+    let mut chunk = [0u8; 4096];
+    // Phase 1: accumulate until the blank line ending the head.
+    let head_end = loop {
+        if let Some(pos) = find_head_end(buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(io::Error::new(ErrorKind::InvalidData, "request head too large"));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(io::Error::new(ErrorKind::UnexpectedEof, "truncated request"))
+                };
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shutdown.load(Ordering::Acquire)
+                    || (buf.is_empty() && idle_since.elapsed() > IDLE_TIMEOUT)
+                {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| io::Error::new(ErrorKind::InvalidData, "non-UTF-8 request head"))?
+        .to_string();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || !path.starts_with('/') {
+        return Err(io::Error::new(ErrorKind::InvalidData, "bad request line"));
+    }
+
+    let mut content_length = 0usize;
+    let mut close = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| io::Error::new(ErrorKind::InvalidData, "bad content-length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            close = value.eq_ignore_ascii_case("close");
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(io::Error::new(ErrorKind::InvalidData, "request body too large"));
+    }
+
+    // Phase 2: the body is `content_length` bytes after the head.
+    let body_start = head_end + 4;
+    while buf.len() < body_start + content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(io::Error::new(ErrorKind::UnexpectedEof, "truncated body")),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shutdown.load(Ordering::Acquire) {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let body = buf[body_start..body_start + content_length].to_vec();
+    // Keep any pipelined bytes for the next request on this
+    // connection.
+    buf.drain(..body_start + content_length);
+    Ok(Some(Request { method, path, close, body }))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn route(req: &Request, shared: &ServerShared) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let info = shared.registry.info();
+            let body = Value::Object(vec![
+                ("status".into(), Value::String("ok".into())),
+                ("model".into(), Value::String(info.name)),
+                ("version".into(), Value::Number(info.version as f64)),
+            ]);
+            (200, render(&body))
+        }
+        ("GET", "/metrics") => {
+            let snap = shared.metrics.snapshot(shared.registry.info());
+            (200, serde_json::to_string(&snap).expect("metrics serialize"))
+        }
+        ("POST", "/infer") => handle_infer(req, shared),
+        ("POST", "/reload") => handle_reload(req, shared),
+        ("GET" | "POST", _) => (404, error_body("no such route")),
+        _ => (405, error_body("method not allowed")),
+    }
+}
+
+fn handle_infer(req: &Request, shared: &ServerShared) -> (u16, String) {
+    let parsed = std::str::from_utf8(&req.body)
+        .map_err(|_| "body is not UTF-8".to_string())
+        .and_then(|text| parse_infer_body(text, shared.batcher.input_len()));
+    let (input, timeout) = match parsed {
+        Ok(p) => p,
+        Err(msg) => {
+            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return (400, error_body(&msg));
+        }
+    };
+    let deadline = timeout
+        .or(shared.default_timeout)
+        .map(|d| Instant::now() + d);
+    let submitted = shared.batcher.submit(input, deadline);
+    let waited = submitted.and_then(|ticket| ticket.wait());
+    match waited {
+        Ok(reply) => {
+            let mut entries = match reply.output.to_value() {
+                Value::Object(entries) => entries,
+                other => vec![("output".into(), other)],
+            };
+            entries.push(("batch_size".into(), Value::Number(reply.batch_size as f64)));
+            entries.push(("queue_us".into(), Value::Number(reply.queue_us as f64)));
+            entries.push(("infer_us".into(), Value::Number(reply.infer_us as f64)));
+            entries
+                .push(("model_version".into(), Value::Number(reply.model_version as f64)));
+            (200, render(&Value::Object(entries)))
+        }
+        Err(rejection) => {
+            if matches!(rejection, Rejection::BadInput { .. }) {
+                shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            }
+            let status = match rejection {
+                Rejection::QueueFull { .. } => 429,
+                Rejection::DeadlineExceeded { .. } => 504,
+                Rejection::BadInput { .. } => 400,
+                Rejection::ShuttingDown => 503,
+            };
+            (status, error_body(&rejection.to_string()))
+        }
+    }
+}
+
+/// Decodes `{"input": [...], "timeout_ms": n?}` by hand over the
+/// `Value` tree — the vendored serde derive has no optional fields, so
+/// a typed struct would reject bodies omitting `timeout_ms`.
+fn parse_infer_body(
+    text: &str,
+    expected_len: usize,
+) -> Result<(Vec<f32>, Option<Duration>), String> {
+    let value = serde_json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let Value::Object(entries) = value else {
+        return Err("request body must be a JSON object".into());
+    };
+    let mut input: Option<Vec<f32>> = None;
+    let mut timeout: Option<Duration> = None;
+    for (key, val) in entries {
+        match key.as_str() {
+            "input" => {
+                let Value::Array(items) = val else {
+                    return Err("`input` must be an array of numbers".into());
+                };
+                let mut xs = Vec::with_capacity(items.len());
+                for item in items {
+                    let Value::Number(n) = item else {
+                        return Err("`input` must be an array of numbers".into());
+                    };
+                    xs.push(n as f32);
+                }
+                input = Some(xs);
+            }
+            "timeout_ms" => {
+                let Value::Number(n) = val else {
+                    return Err("`timeout_ms` must be a number".into());
+                };
+                if !(n.is_finite() && n >= 0.0) {
+                    return Err("`timeout_ms` must be a non-negative number".into());
+                }
+                timeout = Some(Duration::from_micros((n * 1000.0) as u64));
+            }
+            other => return Err(format!("unknown field `{other}`")),
+        }
+    }
+    let input = input.ok_or_else(|| "missing required field `input`".to_string())?;
+    if input.len() != expected_len {
+        return Err(format!(
+            "bad input: expected {expected_len} values, got {}",
+            input.len()
+        ));
+    }
+    Ok((input, timeout))
+}
+
+fn handle_reload(req: &Request, shared: &ServerShared) -> (u16, String) {
+    let parsed = std::str::from_utf8(&req.body)
+        .map_err(|_| SnapshotError::Malformed("body is not UTF-8".into()))
+        .and_then(NetworkSnapshot::from_json);
+    let snapshot = match parsed {
+        Ok(s) => s,
+        Err(e) => {
+            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return (400, error_body(&format!("rejected snapshot: {e}")));
+        }
+    };
+    match shared.registry.swap(snapshot, "reload") {
+        Ok(info) => (200, serde_json::to_string(&info).expect("info serialize")),
+        Err(e @ SwapError::Invalid(_)) => {
+            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            (400, error_body(&e.to_string()))
+        }
+        Err(e @ SwapError::Incompatible { .. }) => (409, error_body(&e.to_string())),
+    }
+}
+
+fn error_body(message: &str) -> String {
+    render(&Value::Object(vec![(
+        "error".into(),
+        Value::String(message.into()),
+    )]))
+}
+
+fn render(value: &Value) -> String {
+    serde_json::to_string(value).expect("Value serializes infallibly")
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Internal Server Error",
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    close: bool,
+) -> io::Result<()> {
+    // One write for the whole response: head and body in separate
+    // segments trip Nagle + delayed-ACK on loopback (~40ms stalls).
+    let mut response = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        status_text(status),
+        body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    response.push_str(body);
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_core::{LifConfig, SpikingNetwork};
+    use snn_tensor::Shape;
+
+    fn snapshot(seed: u64) -> NetworkSnapshot {
+        let lif = LifConfig { theta: 0.5, ..LifConfig::paper_default() };
+        let net = SpikingNetwork::builder(Shape::d3(1, 8, 8), seed)
+            .conv(4, 3, 1, 1, lif)
+            .unwrap()
+            .maxpool(2)
+            .unwrap()
+            .flatten()
+            .unwrap()
+            .dense(4, lif)
+            .unwrap()
+            .build()
+            .unwrap();
+        NetworkSnapshot::from_network(&net)
+    }
+
+    fn start_server() -> Server {
+        let registry = Arc::new(ModelRegistry::new(snapshot(11), "demo").unwrap());
+        let cfg = ServerConfig {
+            batcher: BatcherConfig { timesteps: 2, ..BatcherConfig::default() },
+            ..ServerConfig::default()
+        };
+        Server::start(registry, cfg).unwrap()
+    }
+
+    /// Raw one-shot HTTP client: returns (status, body).
+    fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let req = format!(
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(req.as_bytes()).unwrap();
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).unwrap();
+        let text = String::from_utf8(response).unwrap();
+        let (head, body) = text.split_once("\r\n\r\n").expect("complete response");
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .expect("status code")
+            .parse()
+            .expect("numeric status");
+        (status, body.to_string())
+    }
+
+    #[test]
+    fn healthz_reports_model() {
+        let server = start_server();
+        let (status, body) = request(server.addr(), "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""), "body: {body}");
+        assert!(body.contains("\"model\":\"demo\""), "body: {body}");
+    }
+
+    #[test]
+    fn infer_round_trip_reports_firing_rates() {
+        let server = start_server();
+        let input: Vec<String> = (0..64).map(|i| format!("{}", (i % 7) as f32 / 7.0)).collect();
+        let body = format!("{{\"input\":[{}]}}", input.join(","));
+        let (status, reply) = request(server.addr(), "POST", "/infer", &body);
+        assert_eq!(status, 200, "reply: {reply}");
+        for field in ["\"class\":", "\"counts\":", "\"layers\":", "\"rate\":", "\"batch_size\":"] {
+            assert!(reply.contains(field), "missing {field} in {reply}");
+        }
+    }
+
+    #[test]
+    fn infer_rejects_malformed_bodies() {
+        let server = start_server();
+        let cases = [
+            ("not json at all", "invalid JSON"),
+            ("[1,2,3]", "must be a JSON object"),
+            ("{\"input\":\"nope\"}", "array of numbers"),
+            ("{\"input\":[1,2,3]}", "expected 64 values"),
+            ("{}", "missing required field"),
+        ];
+        for (body, expect) in cases {
+            let (status, reply) = request(server.addr(), "POST", "/infer", body);
+            assert_eq!(status, 400, "body {body} gave {reply}");
+            assert!(reply.contains(expect), "body {body} gave {reply}");
+        }
+        let m = server.metrics();
+        assert_eq!(m.bad_requests.load(Ordering::Relaxed), cases.len() as u64);
+    }
+
+    #[test]
+    fn metrics_and_unknown_routes() {
+        let server = start_server();
+        let (status, body) = request(server.addr(), "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        for field in ["\"completed\":", "\"mean_batch_size\":", "\"latency_us\":"] {
+            assert!(body.contains(field), "missing {field} in {body}");
+        }
+        let (status, _) = request(server.addr(), "GET", "/nope", "");
+        assert_eq!(status, 404);
+        let (status, _) = request(server.addr(), "DELETE", "/infer", "");
+        assert_eq!(status, 405);
+    }
+
+    #[test]
+    fn reload_swaps_and_rejects() {
+        let server = start_server();
+        let good = serde_json::to_string(&snapshot(77)).unwrap();
+        let (status, body) = request(server.addr(), "POST", "/reload", &good);
+        assert_eq!(status, 200, "reply: {body}");
+        assert!(body.contains("\"version\":2"), "reply: {body}");
+
+        let (status, _) = request(server.addr(), "POST", "/reload", "{\"bad\":1}");
+        assert_eq!(status, 400);
+
+        // Incompatible interface: a model with a different class count.
+        let lif = LifConfig { theta: 0.5, ..LifConfig::paper_default() };
+        let other = SpikingNetwork::builder(Shape::d3(1, 8, 8), 5)
+            .flatten()
+            .unwrap()
+            .dense(9, lif)
+            .unwrap()
+            .build()
+            .unwrap();
+        let other = serde_json::to_string(&NetworkSnapshot::from_network(&other)).unwrap();
+        let (status, body) = request(server.addr(), "POST", "/reload", &other);
+        assert_eq!(status, 409, "reply: {body}");
+
+        // /healthz reflects the surviving version-2 model.
+        let (_, health) = request(server.addr(), "GET", "/healthz", "");
+        assert!(health.contains("\"version\":2"), "health: {health}");
+    }
+
+    #[test]
+    fn shutdown_is_clean_and_idempotent() {
+        let mut server = start_server();
+        let addr = server.addr();
+        let (status, _) = request(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        server.shutdown();
+        server.shutdown();
+        // After shutdown the listener is gone: either the connection
+        // is refused or it resets without a response.
+        let gone = match TcpStream::connect(addr) {
+            Err(_) => true,
+            Ok(mut s) => {
+                let _ = s.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+                let mut out = Vec::new();
+                matches!(s.read_to_end(&mut out), Ok(0) | Err(_)) && out.is_empty()
+            }
+        };
+        assert!(gone, "server still answering after shutdown");
+    }
+}

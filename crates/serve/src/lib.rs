@@ -1,0 +1,68 @@
+//! # snn-serve
+//!
+//! The deployment half of the workspace: everything downstream of a
+//! trained [`snn_core::NetworkSnapshot`]. The DATE'24 paper's claim
+//! is that sparsity bought at training time (via `beta`/`theta` and
+//! the surrogate) pays off at *inference* time; this crate is where
+//! that payoff becomes end-to-end request latency and throughput.
+//!
+//! Four layers, composed bottom-up:
+//!
+//! * [`engine`] — [`InferenceEngine`]: forward-only execution of a
+//!   snapshot. No BPTT caches, per-engine scratch reuse, and
+//!   per-request spike counters so every response reports its own
+//!   sparsity.
+//! * [`queue`] — [`Batcher`]: a dynamic micro-batching queue.
+//!   Requests accumulate up to `max_batch` or `max_wait` and run as
+//!   one batched forward pass (on a single-core host the throughput
+//!   win comes from batching, not threads). The queue is bounded:
+//!   over-capacity submissions are rejected immediately with a typed
+//!   [`Rejection`], and requests whose deadline lapses while queued
+//!   are shed at dispatch instead of wasting a forward pass.
+//! * [`registry`] — [`ModelRegistry`]: the serving snapshot behind an
+//!   `Arc` swap, so `/reload` replaces the model atomically while
+//!   requests are in flight.
+//! * [`http`] — [`Server`]: a minimal hermetic HTTP/1.1 front end on
+//!   `std::net::TcpListener` with `/infer`, `/healthz`, `/metrics`,
+//!   and `/reload`.
+//!
+//! ## Example: in-process serving
+//!
+//! ```
+//! use snn_core::{LifConfig, NetworkSnapshot, SpikingNetwork};
+//! use snn_serve::{Batcher, BatcherConfig, Metrics, ModelRegistry};
+//! use snn_tensor::Shape;
+//! use std::sync::Arc;
+//!
+//! let net = SpikingNetwork::builder(Shape::d3(1, 8, 8), 7)
+//!     .conv(4, 3, 1, 1, LifConfig { theta: 0.5, ..LifConfig::paper_default() })?
+//!     .maxpool(2)?
+//!     .flatten()?
+//!     .dense(4, LifConfig { theta: 0.5, ..LifConfig::paper_default() })?
+//!     .build()?;
+//! let registry =
+//!     Arc::new(ModelRegistry::new(NetworkSnapshot::from_network(&net), "demo").unwrap());
+//! let metrics = Arc::new(Metrics::default());
+//! let batcher =
+//!     Batcher::start(registry, BatcherConfig::default(), metrics).unwrap();
+//! let ticket = batcher.submit(vec![1.0; 64], None).unwrap();
+//! let reply = ticket.wait().unwrap();
+//! assert_eq!(reply.output.counts.len(), 4);
+//! assert!(!reply.output.layers.is_empty(), "response carries per-layer rates");
+//! # Ok::<(), snn_core::BuildNetworkError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod registry;
+
+pub use engine::{InferenceEngine, LayerFiring, RequestOutput};
+pub use http::{ServeError, Server, ServerConfig};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use queue::{Batcher, BatcherConfig, InferReply, Rejection, Ticket};
+pub use registry::{ModelInfo, ModelRegistry, SwapError};

@@ -1,0 +1,245 @@
+//! Serving counters and the `/metrics` report.
+//!
+//! Hot-path counters are atomics (no locking on the request path);
+//! the latency window and per-layer spike aggregates sit behind short
+//! mutexes touched once per request / once per batch respectively.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::Serialize;
+
+use crate::engine::RequestOutput;
+use crate::registry::ModelInfo;
+
+/// Capacity of the rolling latency window (recent requests).
+const LATENCY_WINDOW: usize = 4096;
+
+/// Rolling window of recent request latencies in microseconds.
+#[derive(Debug, Default)]
+struct LatencyWindow {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl LatencyWindow {
+    fn record(&mut self, us: u64) {
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(us);
+        } else {
+            self.samples[self.next] = us;
+            self.next = (self.next + 1) % LATENCY_WINDOW;
+        }
+    }
+
+    fn stats(&self) -> LatencyStats {
+        if self.samples.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let pick = |q: f64| {
+            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+            sorted[idx]
+        };
+        LatencyStats {
+            samples: sorted.len(),
+            p50_us: pick(0.50),
+            p95_us: pick(0.95),
+            p99_us: pick(0.99),
+            max_us: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Percentiles over the rolling latency window.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct LatencyStats {
+    /// Requests currently in the window.
+    pub samples: usize,
+    /// Median end-to-end latency (submit → reply), microseconds.
+    pub p50_us: u64,
+    /// 95th percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Worst latency in the window, microseconds.
+    pub max_us: u64,
+}
+
+/// Cumulative per-layer firing aggregate across all served requests.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LayerRateAgg {
+    /// Layer name.
+    pub layer: String,
+    /// Total output spikes.
+    pub spikes: f64,
+    /// Total spike opportunities.
+    pub neuron_steps: f64,
+    /// `spikes / neuron_steps`.
+    pub rate: f64,
+}
+
+/// Shared serving counters.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests accepted into the queue.
+    pub received: AtomicU64,
+    /// Requests answered with an inference result.
+    pub completed: AtomicU64,
+    /// Submissions rejected because the queue was at capacity.
+    pub rejected_full: AtomicU64,
+    /// Requests shed at dispatch because their deadline had lapsed.
+    pub rejected_deadline: AtomicU64,
+    /// Requests drained during shutdown.
+    pub rejected_shutdown: AtomicU64,
+    /// HTTP requests that failed parsing/validation.
+    pub bad_requests: AtomicU64,
+    /// Batched forward passes executed.
+    pub batches: AtomicU64,
+    /// Requests served across those batches.
+    pub batched_items: AtomicU64,
+    latencies: Mutex<LatencyWindow>,
+    layers: Mutex<Vec<LayerRateAgg>>,
+}
+
+impl Metrics {
+    /// Records one request's end-to-end latency.
+    pub fn record_latency(&self, us: u64) {
+        self.latencies.lock().expect("metrics lock poisoned").record(us);
+    }
+
+    /// Folds a completed batch's per-request firing statistics into
+    /// the cumulative per-layer aggregate.
+    pub fn record_batch_outputs(&self, outputs: &[RequestOutput]) {
+        let mut agg = self.layers.lock().expect("metrics lock poisoned");
+        for out in outputs {
+            if agg.is_empty() {
+                agg.extend(out.layers.iter().map(|l| LayerRateAgg {
+                    layer: l.layer.clone(),
+                    spikes: 0.0,
+                    neuron_steps: 0.0,
+                    rate: 0.0,
+                }));
+            }
+            for (a, l) in agg.iter_mut().zip(&out.layers) {
+                a.spikes += l.spikes;
+                a.neuron_steps += l.neuron_steps;
+            }
+        }
+        for a in agg.iter_mut() {
+            a.rate = if a.neuron_steps > 0.0 { a.spikes / a.neuron_steps } else { 0.0 };
+        }
+    }
+
+    /// Snapshots every counter into a serializable report.
+    pub fn snapshot(&self, model: ModelInfo) -> MetricsSnapshot {
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched_items = self.batched_items.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            model,
+            received: self.received.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected_full: self.rejected_full.load(Ordering::Relaxed),
+            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            batches,
+            batched_items,
+            mean_batch_size: if batches > 0 {
+                batched_items as f64 / batches as f64
+            } else {
+                0.0
+            },
+            latency_us: self.latencies.lock().expect("metrics lock poisoned").stats(),
+            layers: self.layers.lock().expect("metrics lock poisoned").clone(),
+        }
+    }
+}
+
+/// Point-in-time copy of all serving counters (the `/metrics` body).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    /// The model the counters describe.
+    pub model: ModelInfo,
+    /// Requests accepted into the queue.
+    pub received: u64,
+    /// Requests answered with an inference result.
+    pub completed: u64,
+    /// Submissions rejected at capacity.
+    pub rejected_full: u64,
+    /// Requests shed after their deadline lapsed in queue.
+    pub rejected_deadline: u64,
+    /// Requests drained during shutdown.
+    pub rejected_shutdown: u64,
+    /// Malformed HTTP requests.
+    pub bad_requests: u64,
+    /// Batched forward passes executed.
+    pub batches: u64,
+    /// Requests served across those batches.
+    pub batched_items: u64,
+    /// `batched_items / batches` — the realized batching factor.
+    pub mean_batch_size: f64,
+    /// Latency percentiles over the rolling window.
+    pub latency_us: LatencyStats,
+    /// Cumulative per-layer firing rates.
+    pub layers: Vec<LayerRateAgg>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ModelInfo {
+        ModelInfo { name: "m".into(), version: 1, input_len: 4, classes: 2, params: 10 }
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let m = Metrics::default();
+        for us in 1..=100 {
+            m.record_latency(us);
+        }
+        let s = m.snapshot(model());
+        assert_eq!(s.latency_us.samples, 100);
+        // Index round((100-1) * 0.5) = 50 → the 51st sample.
+        assert_eq!(s.latency_us.p50_us, 51);
+        assert_eq!(s.latency_us.p95_us, 95);
+        assert_eq!(s.latency_us.max_us, 100);
+    }
+
+    #[test]
+    fn window_wraps() {
+        let m = Metrics::default();
+        for us in 0..(LATENCY_WINDOW as u64 + 10) {
+            m.record_latency(us);
+        }
+        let s = m.snapshot(model());
+        assert_eq!(s.latency_us.samples, LATENCY_WINDOW);
+        assert_eq!(s.latency_us.max_us, LATENCY_WINDOW as u64 + 9);
+    }
+
+    #[test]
+    fn layer_aggregation() {
+        use crate::engine::{LayerFiring, RequestOutput};
+        let m = Metrics::default();
+        let out = RequestOutput {
+            class: 0,
+            counts: vec![1.0, 0.0],
+            timesteps: 2,
+            layers: vec![LayerFiring {
+                layer: "conv1".into(),
+                spikes: 3.0,
+                neuron_steps: 10.0,
+                rate: 0.3,
+            }],
+            mean_rate: 0.3,
+        };
+        m.record_batch_outputs(&[out.clone(), out]);
+        let s = m.snapshot(model());
+        assert_eq!(s.layers.len(), 1);
+        assert_eq!(s.layers[0].spikes, 6.0);
+        assert_eq!(s.layers[0].neuron_steps, 20.0);
+        assert!((s.layers[0].rate - 0.3).abs() < 1e-12);
+    }
+}

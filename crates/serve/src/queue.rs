@@ -1,0 +1,573 @@
+//! Dynamic micro-batching of inference requests.
+//!
+//! On a single-core host the throughput lever is batching, not
+//! threads: one batched forward pass amortizes per-pass overhead
+//! (frame setup, im2col, GEMM dispatch) across every request in the
+//! batch. The [`Batcher`] owns one worker thread and one
+//! [`crate::InferenceEngine`]; callers [`Batcher::submit`] a flattened
+//! input and block on the returned [`Ticket`].
+//!
+//! Dispatch policy, in order:
+//!
+//! 1. A submission is rejected immediately — **before** entering the
+//!    queue — if the input length is wrong, the queue is at
+//!    `capacity`, or the batcher is shutting down. The queue is
+//!    bounded; overload turns into typed [`Rejection`]s, never
+//!    unbounded memory growth or deadlock.
+//! 2. The worker wakes on the first queued request, then lingers until
+//!    either `max_batch` requests are waiting or the oldest has waited
+//!    `max_wait`, and drains up to `max_batch` into one batch.
+//! 3. Requests whose deadline lapsed while queued are shed with
+//!    [`Rejection::DeadlineExceeded`] at dispatch, before the forward
+//!    pass — a request that can no longer meet its deadline must not
+//!    consume compute that others could.
+//! 4. If the [`crate::ModelRegistry`] version changed, the worker
+//!    rebuilds its engine first, so a batch never mixes models.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::engine::{InferenceEngine, RequestOutput};
+use crate::metrics::Metrics;
+use crate::registry::ModelRegistry;
+use snn_core::SnapshotError;
+
+/// Tuning knobs for the batching queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatcherConfig {
+    /// Largest batch one forward pass may serve.
+    pub max_batch: usize,
+    /// Longest the oldest queued request may wait for the batch to
+    /// fill before dispatch.
+    pub max_wait: Duration,
+    /// Bound on queued (not yet dispatched) requests; submissions
+    /// beyond it are rejected with [`Rejection::QueueFull`].
+    pub capacity: usize,
+    /// Timesteps each input is presented for.
+    pub timesteps: usize,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        BatcherConfig {
+            max_batch: 8,
+            max_wait: Duration::from_micros(2000),
+            capacity: 64,
+            timesteps: 4,
+        }
+    }
+}
+
+/// Why a request was not served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejection {
+    /// The bounded queue was at capacity when the request arrived.
+    QueueFull {
+        /// The configured queue bound.
+        capacity: usize,
+    },
+    /// The request's deadline lapsed while it sat in the queue.
+    DeadlineExceeded {
+        /// How long it waited before being shed, microseconds.
+        waited_us: u64,
+    },
+    /// The input length does not match the model.
+    BadInput {
+        /// Flattened input length the model requires.
+        expected: usize,
+        /// Length the request supplied.
+        actual: usize,
+    },
+    /// The batcher is shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for Rejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejection::QueueFull { capacity } => {
+                write!(f, "queue full (capacity {capacity})")
+            }
+            Rejection::DeadlineExceeded { waited_us } => {
+                write!(f, "deadline exceeded after waiting {waited_us}us in queue")
+            }
+            Rejection::BadInput { expected, actual } => {
+                write!(f, "bad input: expected {expected} values, got {actual}")
+            }
+            Rejection::ShuttingDown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejection {}
+
+/// A served inference plus its scheduling telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferReply {
+    /// The model's answer, with per-layer firing rates.
+    pub output: RequestOutput,
+    /// How many requests shared this forward pass.
+    pub batch_size: usize,
+    /// Time the request spent queued before dispatch, microseconds.
+    pub queue_us: u64,
+    /// Duration of the shared forward pass, microseconds.
+    pub infer_us: u64,
+    /// Registry version of the model that answered.
+    pub model_version: u64,
+}
+
+/// Handle to one in-flight request.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<InferReply, Rejection>>,
+}
+
+impl Ticket {
+    /// Blocks until the request is served or rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Rejection`] if the request was shed; a vanished
+    /// worker reads as [`Rejection::ShuttingDown`].
+    pub fn wait(self) -> Result<InferReply, Rejection> {
+        self.rx.recv().unwrap_or(Err(Rejection::ShuttingDown))
+    }
+
+    /// Like [`Ticket::wait`] but gives up after `timeout`; `None`
+    /// means the request is still in flight (and stays so — the ticket
+    /// is consumed).
+    pub fn wait_timeout(self, timeout: Duration) -> Option<Result<InferReply, Rejection>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => Some(r),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(Rejection::ShuttingDown)),
+        }
+    }
+}
+
+/// One queued request.
+struct Job {
+    input: Vec<f32>,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    tx: mpsc::Sender<Result<InferReply, Rejection>>,
+}
+
+/// State under the queue mutex.
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    wake: Condvar,
+}
+
+/// The dynamic micro-batching queue: accepts requests from any
+/// thread, serves them from one worker-owned engine.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    worker: Option<thread::JoinHandle<()>>,
+    cfg: BatcherConfig,
+    input_len: usize,
+    metrics: Arc<Metrics>,
+}
+
+impl Batcher {
+    /// Builds the engine from the registry's current model and starts
+    /// the worker thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] if the engine cannot be built (e.g.
+    /// `cfg.timesteps == 0`).
+    pub fn start(
+        registry: Arc<ModelRegistry>,
+        cfg: BatcherConfig,
+        metrics: Arc<Metrics>,
+    ) -> Result<Self, SnapshotError> {
+        let engine_version = registry.version();
+        let engine = InferenceEngine::new(registry.current().snapshot.clone(), cfg.timesteps)?;
+        let input_len = engine.input_len();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
+            wake: Condvar::new(),
+        });
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let cfg = cfg.clone();
+            let metrics = Arc::clone(&metrics);
+            thread::Builder::new()
+                .name("snn-serve-batcher".into())
+                .spawn(move || {
+                    run_worker(shared, registry, cfg, metrics, engine, engine_version)
+                })
+                .expect("spawning batch worker")
+        };
+        Ok(Batcher { shared, worker: Some(worker), cfg, input_len, metrics })
+    }
+
+    /// Flattened input length the served model requires. Hot-swaps
+    /// preserve the model interface, so this never changes over the
+    /// batcher's lifetime.
+    pub fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BatcherConfig {
+        &self.cfg
+    }
+
+    /// Enqueues one request.
+    ///
+    /// # Errors
+    ///
+    /// Rejects immediately (without queueing) on wrong input length,
+    /// a full queue, or shutdown.
+    pub fn submit(
+        &self,
+        input: Vec<f32>,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, Rejection> {
+        if input.len() != self.input_len {
+            return Err(Rejection::BadInput { expected: self.input_len, actual: input.len() });
+        }
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = self.shared.state.lock().expect("queue lock poisoned");
+            if st.shutdown {
+                return Err(Rejection::ShuttingDown);
+            }
+            if st.jobs.len() >= self.cfg.capacity {
+                self.metrics.rejected_full.fetch_add(1, Ordering::Relaxed);
+                return Err(Rejection::QueueFull { capacity: self.cfg.capacity });
+            }
+            st.jobs.push_back(Job { input, deadline, enqueued: Instant::now(), tx });
+        }
+        self.metrics.received.fetch_add(1, Ordering::Relaxed);
+        self.shared.wake.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Flips the shutdown flag without joining: new submissions are
+    /// rejected and the worker drains the queue with
+    /// [`Rejection::ShuttingDown`], then exits. Usable through a
+    /// shared reference (e.g. from `Arc<Batcher>`); the eventual
+    /// [`Drop`] joins the worker.
+    pub fn request_shutdown(&self) {
+        {
+            let mut st = self.shared.state.lock().expect("queue lock poisoned");
+            st.shutdown = true;
+        }
+        self.shared.wake.notify_all();
+    }
+
+    /// Stops accepting work, rejects everything still queued with
+    /// [`Rejection::ShuttingDown`], and joins the worker. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.request_shutdown();
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The worker loop. Owns the engine; everything it shares with
+/// submitters goes through `shared`.
+fn run_worker(
+    shared: Arc<Shared>,
+    registry: Arc<ModelRegistry>,
+    cfg: BatcherConfig,
+    metrics: Arc<Metrics>,
+    mut engine: InferenceEngine,
+    mut engine_version: u64,
+) {
+    loop {
+        // Phase 1: sleep until there is work (or shutdown).
+        let mut st = shared.state.lock().expect("queue lock poisoned");
+        while st.jobs.is_empty() && !st.shutdown {
+            st = shared.wake.wait(st).expect("queue lock poisoned");
+        }
+        if st.shutdown {
+            let drained: Vec<Job> = st.jobs.drain(..).collect();
+            drop(st);
+            metrics.rejected_shutdown.fetch_add(drained.len() as u64, Ordering::Relaxed);
+            for job in drained {
+                let _ = job.tx.send(Err(Rejection::ShuttingDown));
+            }
+            return;
+        }
+
+        // Phase 2: linger — give the batch a chance to fill, bounded
+        // by the oldest request's patience.
+        let batch_deadline = st.jobs.front().expect("non-empty").enqueued + cfg.max_wait;
+        loop {
+            if st.jobs.len() >= cfg.max_batch || st.shutdown {
+                break;
+            }
+            let now = Instant::now();
+            if now >= batch_deadline {
+                break;
+            }
+            let (guard, _timeout) = shared
+                .wake
+                .wait_timeout(st, batch_deadline - now)
+                .expect("queue lock poisoned");
+            st = guard;
+        }
+
+        // Phase 3: drain up to max_batch and release the lock so
+        // submitters keep flowing while we compute.
+        let n = st.jobs.len().min(cfg.max_batch);
+        let taken: Vec<Job> = st.jobs.drain(..n).collect();
+        drop(st);
+
+        // Phase 4: shed requests whose deadline lapsed in queue.
+        let now = Instant::now();
+        let mut batch: Vec<Job> = Vec::with_capacity(taken.len());
+        for job in taken {
+            match job.deadline {
+                Some(d) if now >= d => {
+                    metrics.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+                    let waited_us = (now - job.enqueued).as_micros() as u64;
+                    let _ = job.tx.send(Err(Rejection::DeadlineExceeded { waited_us }));
+                }
+                _ => batch.push(job),
+            }
+        }
+        if batch.is_empty() {
+            continue;
+        }
+
+        // Phase 5: if the model was hot-swapped, rebuild the engine so
+        // this batch (and the response metadata) reflect it. The
+        // registry only admits validated snapshots with an unchanged
+        // interface, so this cannot fail.
+        let current_version = registry.version();
+        if current_version != engine_version {
+            engine = InferenceEngine::new(registry.current().snapshot.clone(), cfg.timesteps)
+                .expect("registry admits only validated snapshots");
+            engine_version = current_version;
+        }
+
+        // Phase 6: one forward pass for the whole batch.
+        let inputs: Vec<Vec<f32>> = batch.iter().map(|j| j.input.clone()).collect();
+        let started = Instant::now();
+        let outputs = engine.infer_batch(&inputs);
+        let infer_us = started.elapsed().as_micros() as u64;
+
+        metrics.batches.fetch_add(1, Ordering::Relaxed);
+        metrics.batched_items.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        metrics.record_batch_outputs(&outputs);
+
+        let batch_size = batch.len();
+        for (job, output) in batch.into_iter().zip(outputs) {
+            let queue_us = (started - job.enqueued).as_micros() as u64;
+            metrics.completed.fetch_add(1, Ordering::Relaxed);
+            metrics.record_latency(job.enqueued.elapsed().as_micros() as u64);
+            let _ = job.tx.send(Ok(InferReply {
+                output,
+                batch_size,
+                queue_us,
+                infer_us,
+                model_version: engine_version,
+            }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_core::{LifConfig, NetworkSnapshot, SpikingNetwork};
+    use snn_tensor::Shape;
+
+    fn snapshot(seed: u64) -> NetworkSnapshot {
+        let lif = LifConfig { theta: 0.5, ..LifConfig::paper_default() };
+        let net = SpikingNetwork::builder(Shape::d3(1, 8, 8), seed)
+            .conv(4, 3, 1, 1, lif)
+            .unwrap()
+            .maxpool(2)
+            .unwrap()
+            .flatten()
+            .unwrap()
+            .dense(4, lif)
+            .unwrap()
+            .build()
+            .unwrap();
+        NetworkSnapshot::from_network(&net)
+    }
+
+    fn setup(cfg: BatcherConfig) -> (Arc<ModelRegistry>, Arc<Metrics>, Batcher) {
+        let registry = Arc::new(ModelRegistry::new(snapshot(11), "test").unwrap());
+        let metrics = Arc::new(Metrics::default());
+        let batcher =
+            Batcher::start(Arc::clone(&registry), cfg, Arc::clone(&metrics)).unwrap();
+        (registry, metrics, batcher)
+    }
+
+    fn input(seed: u64) -> Vec<f32> {
+        let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (0..64)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 33) as f32) / (u32::MAX as f32)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serves_a_request_end_to_end() {
+        let (_r, metrics, batcher) = setup(BatcherConfig::default());
+        let reply = batcher.submit(input(1), None).unwrap().wait().unwrap();
+        assert_eq!(reply.output.counts.len(), 4);
+        assert!(!reply.output.layers.is_empty());
+        assert_eq!(reply.model_version, 1);
+        let snap = metrics.snapshot(_r.info());
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.batches, 1);
+    }
+
+    #[test]
+    fn rejects_wrong_input_length_without_queueing() {
+        let (_r, metrics, batcher) = setup(BatcherConfig::default());
+        let err = batcher.submit(vec![0.0; 3], None).unwrap_err();
+        assert_eq!(err, Rejection::BadInput { expected: 64, actual: 3 });
+        assert_eq!(metrics.received.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_not_served() {
+        // A long linger window guarantees the 5ms deadline lapses
+        // while the request is still queued.
+        let cfg = BatcherConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(150),
+            capacity: 8,
+            timesteps: 2,
+        };
+        let (_r, metrics, batcher) = setup(cfg);
+        let doomed = batcher
+            .submit(input(1), Some(Instant::now() + Duration::from_millis(5)))
+            .unwrap();
+        let healthy = batcher.submit(input(2), None).unwrap();
+        match doomed.wait() {
+            Err(Rejection::DeadlineExceeded { waited_us }) => {
+                assert!(waited_us >= 5_000, "waited only {waited_us}us");
+            }
+            other => panic!("expected deadline rejection, got {other:?}"),
+        }
+        let reply = healthy.wait().unwrap();
+        assert_eq!(reply.output.counts.len(), 4);
+        assert_eq!(metrics.rejected_deadline.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.completed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn over_capacity_submissions_are_rejected_immediately() {
+        // The worker lingers (max_wait) before draining, so the first
+        // `capacity` submissions fill the queue and the next one must
+        // bounce instead of blocking.
+        let cfg = BatcherConfig {
+            max_batch: 16,
+            max_wait: Duration::from_millis(250),
+            capacity: 4,
+            timesteps: 2,
+        };
+        let (_r, metrics, batcher) = setup(cfg);
+        let tickets: Vec<Ticket> =
+            (0..4).map(|i| batcher.submit(input(i), None).unwrap()).collect();
+        let err = batcher.submit(input(99), None).unwrap_err();
+        assert_eq!(err, Rejection::QueueFull { capacity: 4 });
+        // The queued four still complete (shed policy never starves
+        // accepted work), and they share one forward pass.
+        for t in tickets {
+            let reply = t.wait().unwrap();
+            assert_eq!(reply.batch_size, 4);
+        }
+        assert_eq!(metrics.rejected_full.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.completed.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn batched_replies_are_bitwise_equal_to_serial_inference() {
+        let cfg = BatcherConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(150),
+            capacity: 8,
+            timesteps: 4,
+        };
+        let (_r, _m, batcher) = setup(cfg);
+        let items: Vec<Vec<f32>> = (0..4).map(input).collect();
+        let tickets: Vec<Ticket> =
+            items.iter().map(|x| batcher.submit(x.clone(), None).unwrap()).collect();
+        let replies: Vec<InferReply> =
+            tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        assert!(
+            replies.iter().all(|r| r.batch_size == 4),
+            "linger window should have coalesced all four requests"
+        );
+        let mut engine = InferenceEngine::new(snapshot(11), 4).unwrap();
+        for (item, reply) in items.iter().zip(&replies) {
+            let solo = engine.infer_one(item.clone());
+            assert_eq!(reply.output, solo);
+            for (a, b) in reply.output.counts.iter().zip(&solo.counts) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn hot_swap_takes_effect_at_batch_boundary() {
+        let (registry, _m, batcher) = setup(BatcherConfig {
+            max_batch: 1,
+            max_wait: Duration::from_micros(100),
+            capacity: 8,
+            timesteps: 2,
+        });
+        let before = batcher.submit(input(3), None).unwrap().wait().unwrap();
+        assert_eq!(before.model_version, 1);
+        registry.swap(snapshot(77), "v2").unwrap();
+        let after = batcher.submit(input(3), None).unwrap().wait().unwrap();
+        assert_eq!(after.model_version, 2);
+        assert_ne!(
+            before.output.counts, after.output.counts,
+            "different weights should change the rate-coded logits"
+        );
+    }
+
+    #[test]
+    fn shutdown_rejects_queued_and_new_work() {
+        let cfg = BatcherConfig {
+            max_batch: 16,
+            max_wait: Duration::from_millis(500),
+            capacity: 16,
+            timesteps: 2,
+        };
+        let (_r, metrics, mut batcher) = setup(cfg);
+        let queued = batcher.submit(input(1), None).unwrap();
+        batcher.shutdown();
+        // Whether the worker dispatched the job before seeing the
+        // flag, the ticket must resolve — shutdown never deadlocks.
+        match queued.wait() {
+            Ok(reply) => assert_eq!(reply.output.counts.len(), 4),
+            Err(Rejection::ShuttingDown) => {
+                assert_eq!(metrics.rejected_shutdown.load(Ordering::Relaxed), 1);
+            }
+            Err(other) => panic!("unexpected rejection {other:?}"),
+        }
+        assert_eq!(batcher.submit(input(2), None).unwrap_err(), Rejection::ShuttingDown);
+    }
+}

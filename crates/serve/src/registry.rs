@@ -1,0 +1,214 @@
+//! The model registry: which snapshot is being served, hot-swappable.
+//!
+//! The registry holds the current snapshot behind an `Arc` that is
+//! swapped atomically under a short write lock. Readers (the HTTP
+//! handlers, the batch worker) clone the `Arc` and never block each
+//! other; a swap becomes visible at the next batch boundary, so no
+//! request ever runs against a half-replaced model.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use serde::Serialize;
+
+use snn_core::{NetworkSnapshot, SnapshotError};
+
+/// Summary of the currently served model.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ModelInfo {
+    /// Operator-facing name (usually the snapshot path, or `demo`).
+    pub name: String,
+    /// Monotonic version, bumped on every successful swap.
+    pub version: u64,
+    /// Flattened input length one request must supply.
+    pub input_len: usize,
+    /// Number of output classes.
+    pub classes: usize,
+    /// Trainable parameter count.
+    pub params: usize,
+}
+
+/// A validated snapshot plus its serving metadata.
+#[derive(Debug)]
+pub struct LoadedModel {
+    /// The snapshot itself (tensors are `Arc`-backed; cloning the
+    /// snapshot to build an engine copies no weight data).
+    pub snapshot: NetworkSnapshot,
+    /// Serving metadata.
+    pub info: ModelInfo,
+}
+
+/// Error swapping a new snapshot into the registry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SwapError {
+    /// The incoming snapshot failed validation.
+    Invalid(SnapshotError),
+    /// The incoming snapshot is valid but serves a different
+    /// interface than the current model; queued requests would become
+    /// unanswerable, so the swap is refused.
+    Incompatible {
+        /// What the current model serves, formatted.
+        current: String,
+        /// What the incoming snapshot serves, formatted.
+        incoming: String,
+    },
+}
+
+impl fmt::Display for SwapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwapError::Invalid(e) => write!(f, "rejected snapshot: {e}"),
+            SwapError::Incompatible { current, incoming } => write!(
+                f,
+                "incompatible snapshot: currently serving {current}, incoming serves {incoming}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}
+
+/// The hot-swappable home of the serving snapshot.
+pub struct ModelRegistry {
+    current: RwLock<Arc<LoadedModel>>,
+    version: AtomicU64,
+}
+
+fn interface_of(snapshot: &NetworkSnapshot) -> (Vec<usize>, usize) {
+    (snapshot.input_item_dims.clone(), snapshot.classes)
+}
+
+impl ModelRegistry {
+    /// Validates `snapshot` and creates a registry serving it as
+    /// version 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] if the snapshot does not describe a
+    /// runnable network.
+    pub fn new(snapshot: NetworkSnapshot, name: impl Into<String>) -> Result<Self, SnapshotError> {
+        snapshot.validate()?;
+        let info = Self::info_for(&snapshot, name.into(), 1);
+        Ok(ModelRegistry {
+            current: RwLock::new(Arc::new(LoadedModel { snapshot, info })),
+            version: AtomicU64::new(1),
+        })
+    }
+
+    fn info_for(snapshot: &NetworkSnapshot, name: String, version: u64) -> ModelInfo {
+        // Validation already ran, so into_network cannot panic; a
+        // throwaway network is the simplest source of derived counts.
+        let net = snapshot.clone().into_network();
+        ModelInfo {
+            name,
+            version,
+            input_len: net.input_item_shape().len(),
+            classes: net.classes(),
+            params: net.param_count(),
+        }
+    }
+
+    /// The currently served model (cheap `Arc` clone).
+    pub fn current(&self) -> Arc<LoadedModel> {
+        self.current.read().expect("registry lock poisoned").clone()
+    }
+
+    /// Serving metadata of the current model.
+    pub fn info(&self) -> ModelInfo {
+        self.current().info.clone()
+    }
+
+    /// Version of the current model. Workers compare this against the
+    /// version their engine was built from to detect swaps without
+    /// taking the lock.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Atomically replaces the served snapshot.
+    ///
+    /// The new snapshot must pass validation and expose the same
+    /// input shape and class count as the current one (in-flight and
+    /// queued requests were validated against that interface).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwapError`] and leaves the current model serving.
+    pub fn swap(
+        &self,
+        snapshot: NetworkSnapshot,
+        name: impl Into<String>,
+    ) -> Result<ModelInfo, SwapError> {
+        snapshot.validate().map_err(SwapError::Invalid)?;
+        let mut slot = self.current.write().expect("registry lock poisoned");
+        let cur = interface_of(&slot.snapshot);
+        let new = interface_of(&snapshot);
+        if cur != new {
+            return Err(SwapError::Incompatible {
+                current: format!("input {:?} / {} classes", cur.0, cur.1),
+                incoming: format!("input {:?} / {} classes", new.0, new.1),
+            });
+        }
+        let version = self.version.load(Ordering::Acquire) + 1;
+        let info = Self::info_for(&snapshot, name.into(), version);
+        *slot = Arc::new(LoadedModel { snapshot, info: info.clone() });
+        // Publish the version only after the slot holds the new model
+        // so a worker that observes the bump always rebuilds from it.
+        self.version.store(version, Ordering::Release);
+        Ok(info)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_core::{LifConfig, SpikingNetwork};
+    use snn_tensor::Shape;
+
+    fn snap(seed: u64, classes: usize) -> NetworkSnapshot {
+        let lif = LifConfig { theta: 0.5, ..LifConfig::paper_default() };
+        let net = SpikingNetwork::builder(Shape::d3(1, 8, 8), seed)
+            .conv(4, 3, 1, 1, lif)
+            .unwrap()
+            .maxpool(2)
+            .unwrap()
+            .flatten()
+            .unwrap()
+            .dense(classes, lif)
+            .unwrap()
+            .build()
+            .unwrap();
+        NetworkSnapshot::from_network(&net)
+    }
+
+    #[test]
+    fn swap_bumps_version_and_replaces_weights() {
+        let reg = ModelRegistry::new(snap(1, 4), "a").unwrap();
+        assert_eq!(reg.version(), 1);
+        assert_eq!(reg.info().input_len, 64);
+        let before = reg.current();
+        reg.swap(snap(2, 4), "b").unwrap();
+        assert_eq!(reg.version(), 2);
+        assert_eq!(reg.info().name, "b");
+        let after = reg.current();
+        assert_ne!(before.snapshot, after.snapshot, "weights must differ across seeds");
+    }
+
+    #[test]
+    fn swap_rejects_incompatible_interface() {
+        let reg = ModelRegistry::new(snap(1, 4), "a").unwrap();
+        let err = reg.swap(snap(1, 5), "b").unwrap_err();
+        assert!(matches!(err, SwapError::Incompatible { .. }));
+        assert_eq!(reg.version(), 1, "failed swap must not bump the version");
+    }
+
+    #[test]
+    fn swap_rejects_invalid_snapshot() {
+        let reg = ModelRegistry::new(snap(1, 4), "a").unwrap();
+        let mut bad = snap(2, 4);
+        bad.layers.clear();
+        assert!(matches!(reg.swap(bad, "b").unwrap_err(), SwapError::Invalid(_)));
+        assert_eq!(reg.version(), 1);
+    }
+}

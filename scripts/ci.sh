@@ -14,8 +14,53 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline
+# --workspace: the root manifest is also a package, and a bare
+# `cargo build` would compile only it — the smoke test below needs the
+# release `snn` binary to be current.
+cargo build --workspace --release --offline
+# Root-package integration suites (tier-1), plus the fast member-crate
+# suites for the serving stack. The remaining member suites (tensor,
+# data, accel, dse, bench) are much slower — dse's training sweeps
+# alone take ~35 min on one core — and are left to
+# `cargo test --workspace` outside the gate.
 cargo test -q --offline
-cargo clippy --all-targets --offline -- -D warnings
+cargo test -q --offline -p snn-core -p snn-serve -p snn-cli
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Serve smoke test: boot the model server on an ephemeral port, round
+# trip /healthz and /infer, and shut it down cleanly.
+serve_log="$(mktemp)"
+target/release/snn serve --demo 8 --addr 127.0.0.1:0 --timesteps 2 \
+  >"$serve_log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$serve_log"' EXIT
+
+addr=""
+for _ in $(seq 50); do
+  addr="$(sed -n 's/^listening on //p' "$serve_log")"
+  [ -n "$addr" ] && break
+  kill -0 "$serve_pid" 2>/dev/null || { cat "$serve_log"; echo "ci.sh: serve exited early" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] || { cat "$serve_log"; echo "ci.sh: serve never reported its address" >&2; exit 1; }
+
+health="$(curl -sf --max-time 5 "http://$addr/healthz")"
+case "$health" in
+  *'"status":"ok"'*) ;;
+  *) echo "ci.sh: unexpected /healthz response: $health" >&2; exit 1 ;;
+esac
+
+input="$(seq 64 | sed 's/.*/0.5/' | paste -sd,)"
+infer="$(curl -sf --max-time 5 -X POST "http://$addr/infer" -d "{\"input\":[$input]}")"
+case "$infer" in
+  *'"class":'*'"layers":'*) ;;
+  *) echo "ci.sh: unexpected /infer response: $infer" >&2; exit 1 ;;
+esac
+
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+trap - EXIT
+rm -f "$serve_log"
+echo "ci.sh: serve smoke test passed ($addr)"
 
 echo "ci.sh: all gates passed"

@@ -392,6 +392,21 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl Serialize for Value {
+    /// The identity encoding, so hand-assembled `Value` trees (e.g.
+    /// HTTP response bodies with dynamic fields) flow through the same
+    /// serialization entry points as derived types.
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,7 +416,7 @@ mod tests {
         assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
         assert_eq!(u64::from_value(&7u64.to_value()).unwrap(), 7);
         assert_eq!(i8::from_value(&(-3i8).to_value()).unwrap(), -3);
-        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert!(bool::from_value(&true.to_value()).unwrap());
         assert_eq!(
             String::from_value(&"hi".to_string().to_value()).unwrap(),
             "hi"
