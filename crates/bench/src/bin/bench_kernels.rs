@@ -2,7 +2,8 @@
 //! compute backend.
 //!
 //! ```text
-//! cargo run --release -p snn-bench --bin bench_kernels [-- --reps N --out FILE]
+//! cargo run --release -p snn-bench --bin bench_kernels \
+//!     [-- --reps N --out FILE --json-pretty]
 //! ```
 //!
 //! Times the three hot-path kernels — `conv2d_forward`, the
@@ -118,6 +119,10 @@ struct KernelReport {
     conv2d_forward: ConvBench,
     gemm_nt: GemmBench,
     lif_step: LifBench,
+    /// Snapshots of the global `snn_span_*` histograms the kernels
+    /// recorded into while being timed — per-call latency
+    /// distributions (p50/p95/p99) to set against the medians above.
+    span_histograms: Vec<snn_obs::HistogramSnapshot>,
 }
 
 fn bench_conv(reps: usize) -> ConvBench {
@@ -188,9 +193,14 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut reps = 30usize;
     let mut out = String::from("BENCH_kernels.json");
+    let mut pretty = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--json-pretty" => {
+                pretty = true;
+                i += 1;
+            }
             "--reps" => {
                 reps = args
                     .get(i + 1)
@@ -211,7 +221,7 @@ fn main() {
             }
             other => {
                 eprintln!("error: unknown argument `{other}`");
-                eprintln!("usage: bench_kernels [--reps N] [--out FILE]");
+                eprintln!("usage: bench_kernels [--reps N] [--out FILE] [--json-pretty]");
                 std::process::exit(2);
             }
         }
@@ -261,8 +271,19 @@ fn main() {
     }
     println!("  4-thread speedup: {:.2}x\n", lif.scaling.speedup_4_threads);
 
-    let report = KernelReport { host_parallelism: host, reps, conv2d_forward: conv, gemm_nt: gemm, lif_step: lif };
-    let json = serde_json::to_string(&report).expect("report serializes");
+    let report = KernelReport {
+        host_parallelism: host,
+        reps,
+        conv2d_forward: conv,
+        gemm_nt: gemm,
+        lif_step: lif,
+        span_histograms: snn_obs::global().histogram_snapshots(),
+    };
+    let json = if pretty {
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    } else {
+        serde_json::to_string(&report).expect("report serializes")
+    };
     if let Err(e) = std::fs::write(&out, json + "\n") {
         eprintln!("error: could not write {out}: {e}");
         std::process::exit(1);

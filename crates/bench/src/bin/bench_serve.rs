@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p snn-bench --bin bench_serve \
-//!     [-- --requests N --clients N --out FILE]
+//!     [-- --requests N --clients N --out FILE --json-pretty]
 //! ```
 //!
 //! Starts the HTTP server in-process and drives it over real loopback
@@ -27,7 +27,6 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -38,13 +37,14 @@ use snn_serve::{BatcherConfig, ModelRegistry, Server, ServerConfig};
 use snn_tensor::Shape;
 
 const USAGE: &str =
-    "usage: bench_serve [--requests N] [--clients N] [--reps N] [--out FILE]";
+    "usage: bench_serve [--requests N] [--clients N] [--reps N] [--out FILE] [--json-pretty]";
 
 fn main() {
     let mut requests: usize = 400;
     let mut clients: usize = 8;
     let mut reps: usize = 3;
     let mut out = String::from("BENCH_serve.json");
+    let mut pretty = false;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -74,6 +74,11 @@ fn main() {
                 })
             }
             "--out" => out = value(i),
+            "--json-pretty" => {
+                pretty = true;
+                i += 1;
+                continue;
+            }
             other => {
                 eprintln!("error: unknown argument `{other}`\n{USAGE}");
                 std::process::exit(2);
@@ -182,7 +187,11 @@ fn main() {
     }
     println!("batched speedup over unbatched: {:.2}x", report.batched_speedup);
 
-    let json = serde_json::to_string(&report).expect("report serializes");
+    let json = if pretty {
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    } else {
+        serde_json::to_string(&report).expect("report serializes")
+    };
     std::fs::write(&out, json).unwrap_or_else(|e| {
         eprintln!("error: cannot write `{out}`: {e}");
         std::process::exit(1);
@@ -246,6 +255,10 @@ struct Phase {
     latency_us: Percentiles,
     /// Cumulative per-layer firing rates observed while serving.
     per_layer_rates: Vec<LayerRate>,
+    /// Snapshots of this server instance's `snn_serve_*` histograms
+    /// (request latency, realized batch size, per-layer firing rate)
+    /// — the full distributions behind the summary columns above.
+    histograms: Vec<snn_obs::HistogramSnapshot>,
 }
 
 #[derive(Serialize)]
@@ -295,8 +308,8 @@ fn run_phase(
     let other_errors = statuses.len() as u64 - completed - rejected_429 - rejected_504;
 
     let metrics = server.metrics();
-    let batches = metrics.batches.load(Ordering::Relaxed);
-    let batched_items = metrics.batched_items.load(Ordering::Relaxed);
+    let batches = metrics.batches.get();
+    let batched_items = metrics.batched_items.get();
     let snap = metrics.snapshot(snn_serve::ModelInfo {
         name: name.into(),
         version: 1,
@@ -322,6 +335,7 @@ fn run_phase(
             .iter()
             .map(|l| LayerRate { layer: l.layer.clone(), rate: l.rate })
             .collect(),
+        histograms: snap.histograms,
     }
 }
 

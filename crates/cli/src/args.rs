@@ -14,22 +14,35 @@ pub struct Args {
 impl Args {
     /// Parses an iterator of arguments (excluding the program name).
     ///
+    /// A flag followed by another flag (or the end of the line) is
+    /// boolean: it records as present with an empty value, queryable
+    /// via [`Args::has`] — so `snn profile --demo` works alongside
+    /// `snn serve --demo 8`.
+    ///
     /// # Errors
     ///
-    /// Returns a message if a flag is missing its value or a stray
-    /// positional argument appears after the subcommand.
-    pub fn parse(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    /// Returns a message if a stray positional argument appears after
+    /// the subcommand.
+    pub fn parse(argv: impl Iterator<Item = String>) -> Result<Args, String> {
+        let mut argv = argv.peekable();
         let command = argv.next().unwrap_or_default();
         let mut flags = BTreeMap::new();
         while let Some(arg) = argv.next() {
             let Some(key) = arg.strip_prefix("--") else {
                 return Err(format!("unexpected positional argument `{arg}`"));
             };
-            let value =
-                argv.next().ok_or_else(|| format!("flag --{key} requires a value"))?;
+            let value = match argv.peek() {
+                Some(next) if !next.starts_with("--") => argv.next().expect("just peeked"),
+                _ => String::new(),
+            };
             flags.insert(key.to_string(), value);
         }
         Ok(Args { command, flags })
+    }
+
+    /// Whether the flag was given at all (with or without a value).
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
     }
 
     /// String flag with a default.
@@ -114,9 +127,20 @@ mod tests {
     }
 
     #[test]
-    fn rejects_malformed() {
-        assert!(args(&["x", "--flag"]).is_err());
+    fn rejects_stray_positionals() {
         assert!(args(&["x", "stray"]).is_err());
+        assert!(args(&["x", "--ok", "v", "stray"]).is_err());
+    }
+
+    #[test]
+    fn valueless_flags_are_boolean() {
+        let a = args(&["profile", "--demo", "--reps", "2"]).unwrap();
+        assert!(a.has("demo"));
+        assert_eq!(a.opt("demo"), Some(""));
+        assert_eq!(a.get_parsed("reps", 1usize).unwrap(), 2);
+        let b = args(&["profile", "--demo"]).unwrap();
+        assert!(b.has("demo"));
+        assert!(!b.has("reps"));
     }
 
     #[test]

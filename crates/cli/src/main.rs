@@ -11,6 +11,7 @@
 //! ```
 
 mod args;
+mod obscheck;
 
 use args::{parse_surrogate, Args};
 
@@ -39,6 +40,13 @@ commands:
           --addr HOST:PORT (127.0.0.1:7878; port 0 picks a free port)
           --timesteps N (4)   --max-batch N (8)   --max-wait-us N (2000)
           --capacity N (64)   --timeout-ms N (2000; 0 disables)
+  profile run forward+backward passes and print a span-tree time breakdown
+          --demo [SIDE] (8) | --model PATH   --reps N (3)
+          --timesteps N (4)   --batch N (2)
+          SNN_TRACE=out.jsonl also writes chrome://tracing trace events
+  obs-check  validate observability artifacts (used by scripts/ci.sh)
+          --text FILE (Prometheus exposition)   --json FILE (/metrics.json body)
+          --trace FILE (SNN_TRACE trace_event output)
 ";
 
 fn main() {
@@ -52,6 +60,8 @@ fn main() {
         "map" => cmd_map(&args),
         "info" => cmd_info(&args),
         "serve" => cmd_serve(&args),
+        "profile" => cmd_profile(&args),
+        "obs-check" => cmd_obs_check(&args),
         "" | "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return;
@@ -254,6 +264,92 @@ fn demo_snapshot(side: usize) -> Result<NetworkSnapshot, String> {
         .build()
         .map_err(|e| e.to_string())?;
     Ok(NetworkSnapshot::from_network(&net))
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let (snapshot, what) = if args.has("demo") {
+        let side: usize = match args.opt("demo") {
+            Some("") | None => 8,
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("flag --demo: cannot parse `{s}` as an input side"))?,
+        };
+        (demo_snapshot(side)?, format!("demo-{side}x{side}"))
+    } else {
+        (load_model(args)?, args.require("model")?.to_string())
+    };
+    let reps: usize = args.get_parsed("reps", 3)?;
+    let timesteps: usize = args.get_parsed("timesteps", 4)?;
+    let batch: usize = args.get_parsed("batch", 2)?;
+    if reps == 0 || timesteps == 0 || batch == 0 {
+        return Err("--reps, --timesteps, and --batch must be at least 1".into());
+    }
+    let mut net = snapshot.into_network();
+    snn_obs::enable_profiling(true);
+
+    // Deterministic, mostly-dense input so the conv/GEMM/LIF spans
+    // see representative work on every rep.
+    let item = net.input_item_shape();
+    let mut dims = vec![batch];
+    dims.extend_from_slice(item.dims());
+    let mut x = 0x9e37_79b9_7f4a_7c15_u64;
+    let data: Vec<f32> = (0..batch * item.len())
+        .map(|_| {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+            ((x >> 40) as f32) / ((1u64 << 24) as f32)
+        })
+        .collect();
+    let frame = snn_tensor::Tensor::from_vec(snn_tensor::Shape::from_dims(&dims), data)
+        .map_err(|e| e.to_string())?;
+    let frames = vec![frame; timesteps];
+    let grad = snn_tensor::Tensor::from_vec(
+        snn_tensor::Shape::d2(batch, net.classes()),
+        vec![1.0; batch * net.classes()],
+    )
+    .map_err(|e| e.to_string())?;
+
+    for _ in 0..reps {
+        net.zero_grads();
+        let _ = net.run_sequence(&frames, true);
+        net.backward_sequence(&grad, timesteps);
+    }
+
+    println!(
+        "profiled {what}: {reps} forward+backward reps, batch {batch}, T={timesteps}, {} parameters\n",
+        net.param_count()
+    );
+    print!("{}", snn_obs::render_profile());
+    if snn_obs::trace_enabled() {
+        println!("\ntrace events written to $SNN_TRACE (open in chrome://tracing or Perfetto)");
+    }
+    Ok(())
+}
+
+fn cmd_obs_check(args: &Args) -> Result<(), String> {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+    };
+    let mut checked = 0usize;
+    if let Some(path) = args.opt("text") {
+        obscheck::check_prometheus(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: ok (Prometheus text exposition)");
+        checked += 1;
+    }
+    if let Some(path) = args.opt("json") {
+        obscheck::check_metrics_json(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: ok (metrics JSON)");
+        checked += 1;
+    }
+    if let Some(path) = args.opt("trace") {
+        let events =
+            obscheck::check_trace(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: ok (chrome trace, {events} duration events)");
+        checked += 1;
+    }
+    if checked == 0 {
+        return Err("obs-check needs at least one of --text, --json, --trace".into());
+    }
+    Ok(())
 }
 
 fn cmd_info(args: &Args) -> Result<(), String> {

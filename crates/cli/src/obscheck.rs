@@ -1,0 +1,271 @@
+//! Validation for observability output formats (`snn obs-check`).
+//!
+//! Checks a Prometheus text exposition and/or a `/metrics.json` body
+//! for structural validity — the checks ci.sh runs against a live
+//! server so a malformed exposition fails the build rather than a
+//! scrape at 3am.
+
+/// Validates a Prometheus text exposition body.
+///
+/// Enforced rules:
+///
+/// * non-empty and ends with a newline;
+/// * comment lines are `# HELP <name> <text>` or `# TYPE <name>
+///   <counter|gauge|histogram>`;
+/// * sample lines are `<name>[{labels}] <value>` with a legal metric
+///   name and a parseable value (`NaN`/`+Inf`/`-Inf` allowed);
+/// * every sample's family (label-less name with any
+///   `_bucket`/`_sum`/`_count` suffix stripped) has a preceding `#
+///   TYPE`;
+/// * histogram `_bucket` cumulative counts are monotonically
+///   non-decreasing within a family.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn check_prometheus(text: &str) -> Result<(), String> {
+    if text.is_empty() {
+        return Err("exposition is empty".into());
+    }
+    if !text.ends_with('\n') {
+        return Err("exposition does not end with a newline".into());
+    }
+    let mut typed: Vec<(String, String)> = Vec::new(); // (family, kind)
+    let mut last_bucket: Option<(String, f64)> = None;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                if !valid_name(name) {
+                    return Err(format!("line {lineno}: bad metric name in TYPE: `{name}`"));
+                }
+                if !matches!(kind, "counter" | "gauge" | "histogram") {
+                    return Err(format!("line {lineno}: unknown TYPE kind `{kind}`"));
+                }
+                typed.push((name.to_string(), kind.to_string()));
+            } else if let Some(decl) = rest.strip_prefix("HELP ") {
+                let name = decl.split_whitespace().next().unwrap_or("");
+                if !valid_name(name) {
+                    return Err(format!("line {lineno}: bad metric name in HELP: `{name}`"));
+                }
+            } else {
+                return Err(format!("line {lineno}: comment is neither HELP nor TYPE"));
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (series, value) = split_sample(line)
+            .ok_or_else(|| format!("line {lineno}: not a `name value` sample: `{line}`"))?;
+        let name = series.split('{').next().unwrap_or(series);
+        if !valid_name(name) {
+            return Err(format!("line {lineno}: bad metric name `{name}`"));
+        }
+        let value: f64 = match value {
+            "NaN" => f64::NAN,
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v
+                .parse()
+                .map_err(|_| format!("line {lineno}: unparseable value `{v}`"))?,
+        };
+        let family = family_of(name);
+        if !typed.iter().any(|(n, _)| n == family) {
+            return Err(format!("line {lineno}: sample `{name}` has no preceding # TYPE {family}"));
+        }
+        // Cumulative bucket monotonicity within one family.
+        if name.ends_with("_bucket") {
+            match &last_bucket {
+                Some((prev_family, prev)) if prev_family == family && value < *prev => {
+                    return Err(format!(
+                        "line {lineno}: bucket counts for `{family}` are not cumulative \
+                         ({value} after {prev})"
+                    ));
+                }
+                _ => {}
+            }
+            last_bucket = Some((family.to_string(), value));
+        } else {
+            last_bucket = None;
+        }
+    }
+    if typed.is_empty() {
+        return Err("exposition declares no # TYPE families".into());
+    }
+    Ok(())
+}
+
+/// Validates a `/metrics.json` body: parseable JSON with a `summary`
+/// object and an `instruments` array whose entries carry `name` and
+/// `kind`.
+///
+/// # Errors
+///
+/// Returns a message describing the first structural problem.
+pub fn check_metrics_json(text: &str) -> Result<(), String> {
+    let value = serde_json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let serde::Value::Object(fields) = value else {
+        return Err("top level is not an object".into());
+    };
+    let get = |k: &str| fields.iter().find(|(name, _)| name == k).map(|(_, v)| v);
+    match get("summary") {
+        Some(serde::Value::Object(_)) => {}
+        Some(_) => return Err("`summary` is not an object".into()),
+        None => return Err("missing `summary` field".into()),
+    }
+    let Some(serde::Value::Array(instruments)) = get("instruments") else {
+        return Err("missing or non-array `instruments` field".into());
+    };
+    if instruments.is_empty() {
+        return Err("`instruments` is empty".into());
+    }
+    for (i, inst) in instruments.iter().enumerate() {
+        let serde::Value::Object(fields) = inst else {
+            return Err(format!("instrument {i} is not an object"));
+        };
+        for required in ["name", "kind"] {
+            if !fields.iter().any(|(k, _)| k == required) {
+                return Err(format!("instrument {i} lacks `{required}`"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a Chrome trace_event file as written by `SNN_TRACE`:
+/// opens with `[`, and every subsequent non-empty line (after
+/// stripping a trailing comma) is a JSON object with `name`, `ph`,
+/// `pid`, and `tid`; `X` events also need numeric `ts` and `dur`.
+///
+/// Returns the number of duration (`"ph":"X"`) events.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn check_trace(text: &str) -> Result<usize, String> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, first)) if first.trim() == "[" => {}
+        _ => return Err("trace does not open with a `[` line".into()),
+    }
+    let mut complete_events = 0usize;
+    for (i, line) in lines {
+        let lineno = i + 1;
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() || line == "]" {
+            continue;
+        }
+        let value = serde_json::parse(line)
+            .map_err(|e| format!("line {lineno}: invalid JSON event: {e}"))?;
+        let serde::Value::Object(fields) = value else {
+            return Err(format!("line {lineno}: event is not an object"));
+        };
+        let get = |k: &str| fields.iter().find(|(name, _)| name == k).map(|(_, v)| v);
+        for required in ["name", "ph", "pid", "tid"] {
+            if get(required).is_none() {
+                return Err(format!("line {lineno}: event lacks `{required}`"));
+            }
+        }
+        if let Some(serde::Value::String(ph)) = get("ph") {
+            if ph == "X" {
+                for required in ["ts", "dur"] {
+                    match get(required) {
+                        Some(serde::Value::Number(_)) => {}
+                        _ => {
+                            return Err(format!(
+                                "line {lineno}: X event lacks numeric `{required}`"
+                            ));
+                        }
+                    }
+                }
+                complete_events += 1;
+            }
+        }
+    }
+    Ok(complete_events)
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Splits a sample line into `(series, value)`, honouring `{...}`
+/// label blocks that may contain spaces.
+fn split_sample(line: &str) -> Option<(&str, &str)> {
+    let split_at = match line.find('{') {
+        Some(open) => open + line[open..].find('}')? + 1,
+        None => line.find(' ')?,
+    };
+    let (series, rest) = line.split_at(split_at);
+    let value = rest.trim();
+    if value.is_empty() || value.contains(' ') {
+        return None;
+    }
+    Some((series, value))
+}
+
+/// Strips histogram series suffixes to the declared family name.
+fn family_of(name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stripped) = name.strip_suffix(suffix) {
+            return stripped;
+        }
+    }
+    name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_exposition() {
+        let text = "# HELP snn_x_total things\n# TYPE snn_x_total counter\nsnn_x_total 3\n\
+                    # TYPE snn_h histogram\nsnn_h_bucket{le=\"0.1\"} 1\n\
+                    snn_h_bucket{le=\"+Inf\"} 2\nsnn_h_sum 0.15\nsnn_h_count 2\n";
+        check_prometheus(text).unwrap();
+    }
+
+    #[test]
+    fn rejects_structural_defects() {
+        assert!(check_prometheus("").is_err());
+        assert!(check_prometheus("# TYPE x counter\nx 1").is_err(), "missing trailing newline");
+        assert!(check_prometheus("x 1\n").is_err(), "sample without TYPE");
+        assert!(check_prometheus("# TYPE x widget\nx 1\n").is_err(), "bad kind");
+        assert!(check_prometheus("# TYPE x counter\nx abc\n").is_err(), "bad value");
+        let non_cumulative = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n";
+        assert!(check_prometheus(non_cumulative).is_err());
+    }
+
+    #[test]
+    fn validates_metrics_json() {
+        let good = "{\"summary\":{\"completed\":1},\
+                    \"instruments\":[{\"name\":\"x\",\"kind\":\"counter\",\"value\":1}]}";
+        check_metrics_json(good).unwrap();
+        assert!(check_metrics_json("[]").is_err());
+        assert!(check_metrics_json("{\"summary\":{}}").is_err());
+        assert!(check_metrics_json("{\"summary\":{},\"instruments\":[]}").is_err());
+        assert!(check_metrics_json("not json").is_err());
+    }
+
+    #[test]
+    fn validates_trace_events() {
+        let good = "[\n\
+            {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{}},\n\
+            {\"name\":\"conv2d_fwd\",\"cat\":\"snn\",\"ph\":\"X\",\"ts\":1.5,\"dur\":10,\"pid\":1,\"tid\":1},\n";
+        assert_eq!(check_trace(good).unwrap(), 1);
+        assert!(check_trace("{}").is_err(), "missing opening bracket");
+        assert!(check_trace("[\n{\"ph\":\"X\"},\n").is_err(), "incomplete event");
+    }
+}

@@ -1,6 +1,9 @@
-//! End-to-end tests of the `snn` binary's error paths: bad inputs
-//! must produce a diagnostic and a nonzero exit, never a panic.
+//! End-to-end tests of the `snn` binary: bad inputs must produce a
+//! diagnostic and a nonzero exit (never a panic), and the
+//! observability surface — `profile --demo`, `SNN_TRACE`, `obs-check`
+//! — must round-trip.
 
+use std::path::PathBuf;
 use std::process::Command;
 
 fn snn(args: &[&str]) -> (i32, String, String) {
@@ -79,4 +82,69 @@ fn help_prints_usage_with_serve() {
     assert_eq!(code, 0);
     assert!(stdout.contains("serve"), "usage should document serve: {stdout}");
     assert!(stdout.contains("--max-batch"), "usage should document batching: {stdout}");
+    assert!(stdout.contains("profile"), "usage should document profile: {stdout}");
+    assert!(stdout.contains("obs-check"), "usage should document obs-check: {stdout}");
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("snn-cli-test-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn profile_demo_prints_span_tree_and_emits_valid_trace() {
+    let trace = temp_path("profile.trace.jsonl");
+    let _ = std::fs::remove_file(&trace);
+
+    let out = Command::new(env!("CARGO_BIN_EXE_snn"))
+        .args(["profile", "--demo", "--reps", "2"])
+        .env("SNN_TRACE", &trace)
+        .output()
+        .expect("running snn binary");
+    assert!(
+        out.status.success(),
+        "profile failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for span in ["forward_seq", "backward_seq", "conv2d_fwd", "conv2d_bwd", "lif_step", "matmul"] {
+        assert!(stdout.contains(span), "span `{span}` missing from profile output:\n{stdout}");
+    }
+    assert!(stdout.contains("trace events written"), "no trace hint in:\n{stdout}");
+
+    // The emitted file is valid chrome://tracing input and names the
+    // kernel spans; `obs-check --trace` is the same validator ci.sh
+    // uses.
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(text.starts_with("[\n"), "trace must open as a JSON array");
+    for span in ["conv2d_fwd", "matmul", "lif_step"] {
+        assert!(text.contains(&format!("\"name\":\"{span}\"")), "trace lacks `{span}` events");
+    }
+    let (code, _stdout, stderr) = snn(&["obs-check", "--trace", trace.to_str().unwrap()]);
+    assert_eq!(code, 0, "obs-check rejected the trace: {stderr}");
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn profile_without_trace_env_writes_no_file() {
+    let out = Command::new(env!("CARGO_BIN_EXE_snn"))
+        .args(["profile", "--demo", "--reps", "1"])
+        .env_remove("SNN_TRACE")
+        .output()
+        .expect("running snn binary");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("trace events written"), "trace hint without SNN_TRACE:\n{stdout}");
+}
+
+#[test]
+fn obs_check_rejects_malformed_exposition() {
+    let bad = temp_path("bad.prom");
+    std::fs::write(&bad, "snn_orphan_metric 1\n").unwrap();
+    let (code, _stdout, stderr) = snn(&["obs-check", "--text", bad.to_str().unwrap()]);
+    assert_ne!(code, 0, "malformed exposition must fail obs-check");
+    assert!(stderr.contains("TYPE"), "error should mention the missing TYPE:\n{stderr}");
+    let _ = std::fs::remove_file(&bad);
+
+    let (code, _stdout, _stderr) = snn(&["obs-check"]);
+    assert_ne!(code, 0, "obs-check with no inputs must fail");
 }

@@ -55,6 +55,43 @@ impl SparsityProfile {
     pub fn layer(&self, name: &str) -> Option<&LayerActivity> {
         self.layers.iter().find(|l| l.name == name)
     }
+
+    /// Publishes this profile into the global `snn-obs` registry: each
+    /// spiking layer's firing rate lands in the
+    /// `snn_core_layer_firing_rate_ratio` histogram, and the
+    /// neuron-step-weighted mean rate in a gauge. Called by
+    /// [`evaluate`]/[`evaluate_temporal`]; explicit calls are fine for
+    /// profiles built elsewhere.
+    pub fn record_observability(&self) {
+        let r = snn_obs::global();
+        let hist = r.histogram(
+            "snn_core_layer_firing_rate_ratio",
+            "per-layer mean firing rate over the most recent evaluation",
+            firing_rate_bounds(),
+        );
+        for l in &self.layers {
+            if l.neuron_steps > 0.0 {
+                hist.record(l.firing_rate());
+            }
+        }
+        r.gauge(
+            "snn_core_mean_firing_rate_ratio",
+            "neuron-step-weighted mean firing rate of the most recent evaluation",
+        )
+        .set(self.mean_firing_rate());
+        r.gauge(
+            "snn_core_input_density_ratio",
+            "encoded-input event density of the most recent evaluation",
+        )
+        .set(self.input_density);
+    }
+}
+
+/// Bucket bounds for firing-rate histograms: 20 linear buckets of
+/// width 0.05 covering `[0, 1]`.
+pub fn firing_rate_bounds() -> &'static [f64] {
+    static BOUNDS: std::sync::OnceLock<Vec<f64>> = std::sync::OnceLock::new();
+    BOUNDS.get_or_init(|| (1..=20).map(|i| i as f64 * 0.05).collect())
 }
 
 /// Result of evaluating a network on a dataset.
@@ -126,15 +163,17 @@ pub fn evaluate(
             }
         }
     }
+    let profile = SparsityProfile {
+        layers: acc_layers.unwrap_or_default(),
+        input_density: if input_elems > 0.0 { input_events / input_elems } else { 0.0 },
+        timesteps,
+        samples: total,
+    };
+    profile.record_observability();
     EvalReport {
         accuracy: correct as f64 / total as f64,
         loss: loss_sum / batches as f64,
-        profile: SparsityProfile {
-            layers: acc_layers.unwrap_or_default(),
-            input_density: if input_elems > 0.0 { input_events / input_elems } else { 0.0 },
-            timesteps,
-            samples: total,
-        },
+        profile,
     }
 }
 
@@ -188,15 +227,17 @@ pub fn evaluate_temporal(
             }
         }
     }
+    let profile = SparsityProfile {
+        layers: acc_layers.unwrap_or_default(),
+        input_density: if input_elems > 0.0 { input_events / input_elems } else { 0.0 },
+        timesteps,
+        samples: total,
+    };
+    profile.record_observability();
     EvalReport {
         accuracy: correct as f64 / total.max(1) as f64,
         loss: loss_sum / batches.max(1) as f64,
-        profile: SparsityProfile {
-            layers: acc_layers.unwrap_or_default(),
-            input_density: if input_elems > 0.0 { input_events / input_elems } else { 0.0 },
-            timesteps,
-            samples: total,
-        },
+        profile,
     }
 }
 

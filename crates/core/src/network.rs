@@ -363,6 +363,7 @@ impl SpikingNetwork {
     /// Panics if `frames` is empty.
     pub fn run_sequence(&mut self, frames: &[Tensor], train: bool) -> SequenceOutput {
         assert!(!frames.is_empty(), "run_sequence requires at least one frame");
+        let _span = snn_obs::span!("forward_seq");
         self.begin_sequence(train);
         let batch = frames[0].shape().dim(0);
         let mut counts = Tensor::zeros(Shape::d2(batch, self.classes));
@@ -418,6 +419,7 @@ impl SpikingNetwork {
     /// `grad_counts` is `∂L/∂counts`; since `counts = Σ_t s_out[t]`,
     /// the same gradient seeds every timestep.
     pub fn backward_sequence(&mut self, grad_counts: &Tensor, timesteps: usize) {
+        let _span = snn_obs::span!("backward_seq");
         for t in (0..timesteps).rev() {
             self.backward_step(t, grad_counts);
         }

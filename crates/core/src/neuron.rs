@@ -149,6 +149,7 @@ impl LifState {
 /// layer, not user input).
 pub fn lif_step(cfg: &LifConfig, state: &LifState, input: &Tensor) -> (Tensor, Tensor) {
     assert_eq!(state.membrane.shape(), input.shape(), "LIF state/input shape mismatch");
+    let _span = snn_obs::span!("lif_step");
     let u_prev = state.membrane.as_slice();
     let s_prev = state.prev_spikes.as_slice();
     let in_v = input.as_slice();

@@ -153,6 +153,8 @@ pub fn fit(
     let mut optimizer = Optimizer::new(config.optimizer, config.base_lr);
     let mut epochs = Vec::with_capacity(config.epochs);
     for epoch in 0..config.epochs {
+        let _epoch_span = snn_obs::span!("epoch");
+        let epoch_started = Instant::now();
         let lr = config.schedule.lr_at(config.base_lr, epoch, config.epochs);
         optimizer.set_lr(lr);
         let data = if config.shuffle {
@@ -173,14 +175,53 @@ pub fn fit(
             correct += c;
             total += labels.len();
         }
-        epochs.push(EpochStats {
+        let stats = EpochStats {
             epoch,
             train_loss: loss_sum / batch_count.max(1) as f64,
             train_accuracy: correct as f64 / total.max(1) as f64,
             lr,
-        });
+        };
+        record_epoch(&stats, epoch_started.elapsed().as_secs_f64());
+        epochs.push(stats);
     }
     Ok(TrainReport { epochs, wall_secs: started.elapsed().as_secs_f64() })
+}
+
+/// Publishes one epoch's statistics into the global `snn-obs`
+/// registry: loss/accuracy/learning-rate gauges, an epoch counter,
+/// and a wall-time histogram.
+fn record_epoch(stats: &EpochStats, epoch_secs: f64) {
+    use std::sync::{Arc, OnceLock};
+    struct EpochObs {
+        epochs: Arc<snn_obs::Counter>,
+        loss: Arc<snn_obs::Gauge>,
+        accuracy: Arc<snn_obs::Gauge>,
+        lr: Arc<snn_obs::Gauge>,
+        seconds: Arc<snn_obs::Histogram>,
+    }
+    static OBS: OnceLock<EpochObs> = OnceLock::new();
+    let o = OBS.get_or_init(|| {
+        let r = snn_obs::global();
+        EpochObs {
+            epochs: r.counter("snn_core_train_epochs_total", "training epochs completed"),
+            loss: r.gauge("snn_core_train_loss", "mean training loss of the most recent epoch"),
+            accuracy: r.gauge(
+                "snn_core_train_accuracy_ratio",
+                "training accuracy of the most recent epoch",
+            ),
+            lr: r.gauge("snn_core_train_lr", "learning rate of the most recent epoch"),
+            seconds: r.histogram(
+                "snn_core_train_epoch_seconds",
+                "wall time per training epoch, seconds",
+                snn_obs::span_bounds(),
+            ),
+        }
+    });
+    o.epochs.inc();
+    o.loss.set(stats.train_loss);
+    o.accuracy.set(stats.train_accuracy);
+    o.lr.set(f64::from(stats.lr));
+    o.seconds.record(epoch_secs);
 }
 
 /// One optimizer step on a pre-encoded frame sequence; returns
@@ -237,6 +278,8 @@ pub fn fit_temporal(
     let mut optimizer = Optimizer::new(config.optimizer, config.base_lr);
     let mut epochs = Vec::with_capacity(config.epochs);
     for epoch in 0..config.epochs {
+        let _epoch_span = snn_obs::span!("epoch");
+        let epoch_started = Instant::now();
         let lr = config.schedule.lr_at(config.base_lr, epoch, config.epochs);
         optimizer.set_lr(lr);
         let data = if config.shuffle {
@@ -252,12 +295,14 @@ pub fn fit_temporal(
             correct += c;
             total += labels.len();
         }
-        epochs.push(EpochStats {
+        let stats = EpochStats {
             epoch,
             train_loss: loss_sum / batch_count.max(1) as f64,
             train_accuracy: correct as f64 / total.max(1) as f64,
             lr,
-        });
+        };
+        record_epoch(&stats, epoch_started.elapsed().as_secs_f64());
+        epochs.push(stats);
     }
     Ok(TrainReport { epochs, wall_secs: started.elapsed().as_secs_f64() })
 }

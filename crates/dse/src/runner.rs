@@ -89,6 +89,13 @@ pub fn run_point(
     train_ds: &Dataset,
     test_ds: &Dataset,
 ) -> Result<PointResult, RunError> {
+    let _span = snn_obs::span!(
+        "dse_point",
+        format!(
+            "surrogate={:?} beta={} theta={}",
+            lif.surrogate, lif.beta, lif.theta
+        )
+    );
     let mut net = SpikingNetwork::paper_topology(
         profile.input_shape(),
         train_ds.classes(),

@@ -1,0 +1,50 @@
+//! `snn-obs` — the workspace-wide observability spine.
+//!
+//! One small, dependency-free (vendored `serde` only) crate that every
+//! other `snn-*` crate can lean on for measurement:
+//!
+//! * **Instruments** ([`Counter`], [`Gauge`], [`Histogram`]) — typed,
+//!   lock-free handles. Histograms have fixed bucket bounds and derive
+//!   p50/p95/p99 from the bucket counts ([`Histogram::quantile`]).
+//! * **Registries** ([`Registry`], [`global`]) — name → instrument
+//!   maps with Prometheus text exposition
+//!   ([`Registry::render_prometheus`]) and structured JSON snapshots
+//!   ([`Registry::snapshot_value`]). The map lock is touched only at
+//!   registration/exposition; recording is on the shared handles.
+//! * **Spans** ([`span!`], [`SpanGuard`]) — RAII wall-time guards.
+//!   Every span records into a `snn_span_<name>_seconds` histogram in
+//!   the global registry; with `SNN_TRACE=path` set it also appends a
+//!   Chrome `trace_event` line loadable in `chrome://tracing`, and
+//!   with profiling enabled ([`enable_profiling`]) it folds into the
+//!   call-path tree that `snn profile` prints ([`render_profile`]).
+//!
+//! # Naming convention
+//!
+//! Instruments are named `snn_<crate>_<name>_<unit>` — e.g.
+//! `snn_serve_request_latency_seconds`,
+//! `snn_core_train_loss` — and counters end in `_total`. See
+//! [`crate::registry`] for details.
+//!
+//! # Cost model
+//!
+//! With tracing and profiling off, a span costs two `Instant::now()`
+//! calls, one histogram record (an atomic add plus two CAS loops), a
+//! thread-local push/pop, and two relaxed atomic loads. That keeps
+//! spans cheap enough to sit at kernel entry points (per conv/GEMM
+//! call, never per element).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod instrument;
+mod registry;
+mod span;
+mod trace;
+
+pub use instrument::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{global, Instrument, Registry};
+pub use span::{
+    enable_profiling, profile_rows, profiling_enabled, render_profile, span_bounds,
+    span_histogram, NodeStats, SpanGuard,
+};
+pub use trace::trace_enabled;

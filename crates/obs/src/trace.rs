@@ -1,0 +1,111 @@
+//! Chrome `trace_event` JSONL output, gated by `SNN_TRACE`.
+//!
+//! When the `SNN_TRACE` environment variable names a writable path,
+//! every [`crate::span!`] emits one complete-event line
+//! (`"ph":"X"`, timestamps in microseconds since process start). The
+//! file opens with a single `[` line and each event line ends with a
+//! comma — the Chrome trace "JSON Array Format", whose closing `]` is
+//! optional, so the file loads directly into `chrome://tracing` (or
+//! Perfetto) while still being line-oriented: every line after the
+//! first, minus its trailing comma, is a standalone JSON object.
+//!
+//! When `SNN_TRACE` is unset the whole module costs one atomic load
+//! per span.
+
+use std::fs::File;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use serde::Value;
+
+struct Sink {
+    file: Mutex<File>,
+    epoch: Instant,
+}
+
+static SINK: OnceLock<Option<Sink>> = OnceLock::new();
+
+fn sink() -> Option<&'static Sink> {
+    SINK.get_or_init(|| {
+        let path = std::env::var("SNN_TRACE").ok()?;
+        if path.is_empty() {
+            return None;
+        }
+        let mut file = match File::create(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("snn-obs: cannot open SNN_TRACE file `{path}`: {e}; tracing disabled");
+                return None;
+            }
+        };
+        let meta = concat!(
+            "[\n",
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,",
+            "\"args\":{\"name\":\"snn\"}},\n"
+        );
+        let _ = file.write_all(meta.as_bytes());
+        Some(Sink { file: Mutex::new(file), epoch: Instant::now() })
+    })
+    .as_ref()
+}
+
+/// Whether trace output is active (i.e. `SNN_TRACE` named a writable
+/// path). Resolved once, at the first span.
+pub fn trace_enabled() -> bool {
+    sink().is_some()
+}
+
+/// Small dense ordinal for the current thread, used as the trace
+/// `tid` (raw `ThreadId`s are opaque).
+fn thread_ordinal() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static ORDINAL: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ORDINAL.with(|t| *t)
+}
+
+/// Emits one complete ("X") event covering `[started, started+dur]`.
+/// No-op when tracing is disabled.
+pub(crate) fn emit_complete(name: &str, started: Instant, dur_us: f64, args: Option<&str>) {
+    let Some(sink) = sink() else { return };
+    let ts_us = started.saturating_duration_since(sink.epoch).as_secs_f64() * 1e6;
+    let mut fields = vec![
+        ("name".to_string(), Value::String(name.to_string())),
+        ("cat".to_string(), Value::String("snn".into())),
+        ("ph".to_string(), Value::String("X".into())),
+        ("ts".to_string(), Value::Number(ts_us)),
+        ("dur".to_string(), Value::Number(dur_us)),
+        ("pid".to_string(), Value::Number(1.0)),
+        ("tid".to_string(), Value::Number(thread_ordinal() as f64)),
+    ];
+    if let Some(args) = args {
+        fields.push((
+            "args".to_string(),
+            Value::Object(vec![("detail".to_string(), Value::String(args.to_string()))]),
+        ));
+    }
+    let mut line =
+        serde_json::to_string(&Value::Object(fields)).expect("Value serializes infallibly");
+    line.push_str(",\n");
+    // One write_all per event (no BufWriter): the sink is a process
+    // global that is never dropped, so buffered bytes would be lost
+    // at exit.
+    let mut file = sink.file.lock().expect("trace sink lock poisoned");
+    let _ = file.write_all(line.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_ordinals_are_distinct() {
+        let here = thread_ordinal();
+        let there = std::thread::spawn(thread_ordinal).join().unwrap();
+        assert_ne!(here, there);
+        assert_eq!(here, thread_ordinal(), "stable within a thread");
+    }
+}

@@ -133,6 +133,7 @@ impl InferenceEngine {
     /// Panics if `items` is empty or any item has the wrong length —
     /// the queue validates lengths before enqueueing.
     pub fn infer_batch(&mut self, items: &[Vec<f32>]) -> Vec<RequestOutput> {
+        let _span = snn_obs::span!("infer_batch");
         let n = items.len();
         assert!(n > 0, "infer_batch requires at least one item");
         let item_len = self.input_len();

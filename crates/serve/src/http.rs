@@ -14,7 +14,8 @@
 //! |---|---|---|
 //! | `/infer` | POST | `{"input": [...], "timeout_ms": n?}` → prediction + per-layer firing rates |
 //! | `/healthz` | GET | liveness + served model name/version |
-//! | `/metrics` | GET | full [`crate::MetricsSnapshot`] |
+//! | `/metrics` | GET | Prometheus text exposition (instance + global instruments) |
+//! | `/metrics.json` | GET | JSON: [`crate::MetricsSnapshot`] summary + full instrument dump |
 //! | `/reload` | POST | snapshot JSON → validated atomic hot-swap |
 //!
 //! Rejections map onto status codes: full queue → `429`, lapsed
@@ -210,10 +211,11 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
             Ok(Some(req)) => req,
             Ok(None) => return, // clean close / idle timeout / shutdown
             Err(_) => {
-                shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.bad_requests.inc();
                 let _ = write_response(
                     &mut stream,
                     400,
+                    "application/json",
                     &error_body("malformed HTTP request"),
                     true,
                 );
@@ -222,7 +224,14 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
         };
         let close = req.close;
         let (status, body) = route(&req, &shared);
-        if write_response(&mut stream, status, &body, close).is_err() || close {
+        // The Prometheus exposition is plain text; everything else
+        // speaks JSON.
+        let content_type = if req.method == "GET" && req.path == "/metrics" {
+            "text/plain; version=0.0.4"
+        } else {
+            "application/json"
+        };
+        if write_response(&mut stream, status, content_type, &body, close).is_err() || close {
             return;
         }
     }
@@ -331,9 +340,15 @@ fn route(req: &Request, shared: &ServerShared) -> (u16, String) {
             ]);
             (200, render(&body))
         }
-        ("GET", "/metrics") => {
+        ("GET", "/metrics") => (200, shared.metrics.render_prometheus()),
+        ("GET", "/metrics.json") => {
             let snap = shared.metrics.snapshot(shared.registry.info());
-            (200, serde_json::to_string(&snap).expect("metrics serialize"))
+            let summary = snap.to_value();
+            let body = Value::Object(vec![
+                ("summary".into(), summary),
+                ("instruments".into(), shared.metrics.snapshot_instruments()),
+            ]);
+            (200, render(&body))
         }
         ("POST", "/infer") => handle_infer(req, shared),
         ("POST", "/reload") => handle_reload(req, shared),
@@ -349,7 +364,7 @@ fn handle_infer(req: &Request, shared: &ServerShared) -> (u16, String) {
     let (input, timeout) = match parsed {
         Ok(p) => p,
         Err(msg) => {
-            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.bad_requests.inc();
             return (400, error_body(&msg));
         }
     };
@@ -373,7 +388,7 @@ fn handle_infer(req: &Request, shared: &ServerShared) -> (u16, String) {
         }
         Err(rejection) => {
             if matches!(rejection, Rejection::BadInput { .. }) {
-                shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.bad_requests.inc();
             }
             let status = match rejection {
                 Rejection::QueueFull { .. } => 429,
@@ -443,14 +458,14 @@ fn handle_reload(req: &Request, shared: &ServerShared) -> (u16, String) {
     let snapshot = match parsed {
         Ok(s) => s,
         Err(e) => {
-            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.bad_requests.inc();
             return (400, error_body(&format!("rejected snapshot: {e}")));
         }
     };
     match shared.registry.swap(snapshot, "reload") {
         Ok(info) => (200, serde_json::to_string(&info).expect("info serialize")),
         Err(e @ SwapError::Invalid(_)) => {
-            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.bad_requests.inc();
             (400, error_body(&e.to_string()))
         }
         Err(e @ SwapError::Incompatible { .. }) => (409, error_body(&e.to_string())),
@@ -485,15 +500,17 @@ fn status_text(status: u16) -> &'static str {
 fn write_response(
     stream: &mut TcpStream,
     status: u16,
+    content_type: &str,
     body: &str,
     close: bool,
 ) -> io::Result<()> {
     // One write for the whole response: head and body in separate
     // segments trip Nagle + delayed-ACK on loopback (~40ms stalls).
     let mut response = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         status,
         status_text(status),
+        content_type,
         body.len(),
         if close { "close" } else { "keep-alive" },
     );
@@ -591,7 +608,7 @@ mod tests {
             assert!(reply.contains(expect), "body {body} gave {reply}");
         }
         let m = server.metrics();
-        assert_eq!(m.bad_requests.load(Ordering::Relaxed), cases.len() as u64);
+        assert_eq!(m.bad_requests.get(), cases.len() as u64);
     }
 
     #[test]
@@ -599,9 +616,23 @@ mod tests {
         let server = start_server();
         let (status, body) = request(server.addr(), "GET", "/metrics", "");
         assert_eq!(status, 200);
-        for field in ["\"completed\":", "\"mean_batch_size\":", "\"latency_us\":"] {
-            assert!(body.contains(field), "missing {field} in {body}");
+        assert!(body.ends_with('\n'), "exposition must end with a newline");
+        for needle in [
+            "# TYPE snn_serve_requests_completed_total counter\n",
+            "# HELP snn_serve_request_latency_seconds ",
+            "# TYPE snn_serve_batch_size histogram\n",
+            "# TYPE snn_serve_queue_depth gauge\n",
+            // Legacy alias series stay for one release.
+            "\ncompleted 0\n",
+        ] {
+            assert!(body.contains(needle), "missing {needle:?} in {body}");
         }
+        let (status, json) = request(server.addr(), "GET", "/metrics.json", "");
+        assert_eq!(status, 200);
+        for field in ["\"summary\":", "\"mean_batch_size\":", "\"latency_us\":", "\"instruments\":", "\"queue_depth\""] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        serde_json::parse(&json).expect("metrics.json body parses");
         let (status, _) = request(server.addr(), "GET", "/nope", "");
         assert_eq!(status, 404);
         let (status, _) = request(server.addr(), "DELETE", "/infer", "");

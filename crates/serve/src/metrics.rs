@@ -1,61 +1,38 @@
-//! Serving counters and the `/metrics` report.
+//! Serving metrics on the `snn-obs` instrument spine.
 //!
-//! Hot-path counters are atomics (no locking on the request path);
-//! the latency window and per-layer spike aggregates sit behind short
-//! mutexes touched once per request / once per batch respectively.
+//! Each server instance owns a local [`snn_obs::Registry`] — tests
+//! spawn several servers per process, so instance isolation matters —
+//! and the exposition endpoints merge it with the process-wide
+//! [`snn_obs::global`] registry (kernel spans, training instruments).
+//!
+//! Hot-path counters are lock-free obs handles; only the per-layer
+//! firing aggregate sits behind a short mutex touched once per batch.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use serde::Serialize;
+use snn_obs::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 
 use crate::engine::RequestOutput;
 use crate::registry::ModelInfo;
 
-/// Capacity of the rolling latency window (recent requests).
-const LATENCY_WINDOW: usize = 4096;
-
-/// Rolling window of recent request latencies in microseconds.
-#[derive(Debug, Default)]
-struct LatencyWindow {
-    samples: Vec<u64>,
-    next: usize,
+/// Bucket bounds for the end-to-end request latency histogram,
+/// seconds: powers of two from 10µs to ~5s.
+fn latency_bounds() -> Vec<f64> {
+    let mut b = Vec::with_capacity(20);
+    let mut v = 1e-5;
+    for _ in 0..20 {
+        b.push(v);
+        v *= 2.0;
+    }
+    b
 }
 
-impl LatencyWindow {
-    fn record(&mut self, us: u64) {
-        if self.samples.len() < LATENCY_WINDOW {
-            self.samples.push(us);
-        } else {
-            self.samples[self.next] = us;
-            self.next = (self.next + 1) % LATENCY_WINDOW;
-        }
-    }
-
-    fn stats(&self) -> LatencyStats {
-        if self.samples.is_empty() {
-            return LatencyStats::default();
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let pick = |q: f64| {
-            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-            sorted[idx]
-        };
-        LatencyStats {
-            samples: sorted.len(),
-            p50_us: pick(0.50),
-            p95_us: pick(0.95),
-            p99_us: pick(0.99),
-            max_us: *sorted.last().expect("non-empty"),
-        }
-    }
-}
-
-/// Percentiles over the rolling latency window.
+/// Percentiles of the end-to-end request latency, microseconds,
+/// derived from `snn_serve_request_latency_seconds`.
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct LatencyStats {
-    /// Requests currently in the window.
+    /// Requests recorded.
     pub samples: usize,
     /// Median end-to-end latency (submit → reply), microseconds.
     pub p50_us: u64,
@@ -63,7 +40,7 @@ pub struct LatencyStats {
     pub p95_us: u64,
     /// 99th percentile latency, microseconds.
     pub p99_us: u64,
-    /// Worst latency in the window, microseconds.
+    /// Worst latency recorded, microseconds.
     pub max_us: u64,
 }
 
@@ -80,38 +57,117 @@ pub struct LayerRateAgg {
     pub rate: f64,
 }
 
-/// Shared serving counters.
-#[derive(Debug, Default)]
+/// Shared serving instruments, backed by a per-instance registry.
 pub struct Metrics {
+    registry: Registry,
     /// Requests accepted into the queue.
-    pub received: AtomicU64,
+    pub received: Arc<Counter>,
     /// Requests answered with an inference result.
-    pub completed: AtomicU64,
+    pub completed: Arc<Counter>,
     /// Submissions rejected because the queue was at capacity.
-    pub rejected_full: AtomicU64,
+    pub rejected_full: Arc<Counter>,
     /// Requests shed at dispatch because their deadline had lapsed.
-    pub rejected_deadline: AtomicU64,
+    pub rejected_deadline: Arc<Counter>,
     /// Requests drained during shutdown.
-    pub rejected_shutdown: AtomicU64,
+    pub rejected_shutdown: Arc<Counter>,
     /// HTTP requests that failed parsing/validation.
-    pub bad_requests: AtomicU64,
+    pub bad_requests: Arc<Counter>,
     /// Batched forward passes executed.
-    pub batches: AtomicU64,
+    pub batches: Arc<Counter>,
     /// Requests served across those batches.
-    pub batched_items: AtomicU64,
-    latencies: Mutex<LatencyWindow>,
+    pub batched_items: Arc<Counter>,
+    /// Jobs currently queued, sampled at enqueue/dequeue — never
+    /// derived from other counters, so it cannot go stale across
+    /// `/reload` or shutdown drains.
+    pub queue_depth: Arc<Gauge>,
+    latency: Arc<Histogram>,
+    batch_size: Arc<Histogram>,
+    firing_rate: Arc<Histogram>,
     layers: Mutex<Vec<LayerRateAgg>>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        let registry = Registry::new();
+        let received =
+            registry.counter("snn_serve_requests_received_total", "requests accepted into the queue");
+        let completed = registry
+            .counter("snn_serve_requests_completed_total", "requests answered with a result");
+        let rejected_full = registry
+            .counter("snn_serve_rejected_full_total", "submissions rejected at queue capacity");
+        let rejected_deadline = registry.counter(
+            "snn_serve_rejected_deadline_total",
+            "requests shed because their deadline lapsed in queue",
+        );
+        let rejected_shutdown = registry
+            .counter("snn_serve_rejected_shutdown_total", "requests drained during shutdown");
+        let bad_requests = registry
+            .counter("snn_serve_bad_requests_total", "HTTP requests that failed parsing/validation");
+        let batches =
+            registry.counter("snn_serve_batches_total", "batched forward passes executed");
+        let batched_items =
+            registry.counter("snn_serve_batched_items_total", "requests served across batches");
+        let queue_depth =
+            registry.gauge("snn_serve_queue_depth", "jobs currently waiting in the batch queue");
+        let latency = registry.histogram(
+            "snn_serve_request_latency_seconds",
+            "end-to-end request latency (submit to reply), seconds",
+            &latency_bounds(),
+        );
+        let batch_size = registry.histogram(
+            "snn_serve_batch_size",
+            "requests per executed batch",
+            &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
+        );
+        let firing_rate = registry.histogram(
+            "snn_serve_layer_firing_rate_ratio",
+            "per-layer firing rate of served requests",
+            &(1..=20).map(|i| i as f64 * 0.05).collect::<Vec<_>>(),
+        );
+        Metrics {
+            registry,
+            received,
+            completed,
+            rejected_full,
+            rejected_deadline,
+            rejected_shutdown,
+            bad_requests,
+            batches,
+            batched_items,
+            queue_depth,
+            latency,
+            batch_size,
+            firing_rate,
+            layers: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics")
+            .field("received", &self.received.get())
+            .field("completed", &self.completed.get())
+            .field("queue_depth", &self.queue_depth.get())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Metrics {
     /// Records one request's end-to-end latency.
     pub fn record_latency(&self, us: u64) {
-        self.latencies.lock().expect("metrics lock poisoned").record(us);
+        self.latency.record(us as f64 / 1e6);
     }
 
     /// Folds a completed batch's per-request firing statistics into
-    /// the cumulative per-layer aggregate.
+    /// the cumulative per-layer aggregate, and records the realized
+    /// batch size and every layer's firing rate into their
+    /// histograms.
     pub fn record_batch_outputs(&self, outputs: &[RequestOutput]) {
+        if outputs.is_empty() {
+            return;
+        }
+        self.batch_size.record(outputs.len() as f64);
         let mut agg = self.layers.lock().expect("metrics lock poisoned");
         for out in outputs {
             if agg.is_empty() {
@@ -125,6 +181,9 @@ impl Metrics {
             for (a, l) in agg.iter_mut().zip(&out.layers) {
                 a.spikes += l.spikes;
                 a.neuron_steps += l.neuron_steps;
+                if l.neuron_steps > 0.0 {
+                    self.firing_rate.record(l.rate);
+                }
             }
         }
         for a in agg.iter_mut() {
@@ -132,18 +191,31 @@ impl Metrics {
         }
     }
 
-    /// Snapshots every counter into a serializable report.
+    /// Derives the classic microsecond percentile report from the
+    /// latency histogram.
+    fn latency_stats(&self) -> LatencyStats {
+        let to_us = |s: f64| (s * 1e6).round() as u64;
+        LatencyStats {
+            samples: self.latency.count() as usize,
+            p50_us: to_us(self.latency.quantile(0.50)),
+            p95_us: to_us(self.latency.quantile(0.95)),
+            p99_us: to_us(self.latency.quantile(0.99)),
+            max_us: to_us(self.latency.max()),
+        }
+    }
+
+    /// Snapshots every instrument into a serializable report.
     pub fn snapshot(&self, model: ModelInfo) -> MetricsSnapshot {
-        let batches = self.batches.load(Ordering::Relaxed);
-        let batched_items = self.batched_items.load(Ordering::Relaxed);
+        let batches = self.batches.get();
+        let batched_items = self.batched_items.get();
         MetricsSnapshot {
             model,
-            received: self.received.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            rejected_full: self.rejected_full.load(Ordering::Relaxed),
-            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
-            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
-            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            received: self.received.get(),
+            completed: self.completed.get(),
+            rejected_full: self.rejected_full.get(),
+            rejected_deadline: self.rejected_deadline.get(),
+            rejected_shutdown: self.rejected_shutdown.get(),
+            bad_requests: self.bad_requests.get(),
             batches,
             batched_items,
             mean_batch_size: if batches > 0 {
@@ -151,13 +223,59 @@ impl Metrics {
             } else {
                 0.0
             },
-            latency_us: self.latencies.lock().expect("metrics lock poisoned").stats(),
+            queue_depth: self.queue_depth.get(),
+            latency_us: self.latency_stats(),
             layers: self.layers.lock().expect("metrics lock poisoned").clone(),
+            histograms: self.registry.histogram_snapshots(),
         }
+    }
+
+    /// Prometheus text exposition of this instance's instruments
+    /// followed by the process-wide global registry, with `# HELP`/`#
+    /// TYPE` per family and a trailing newline.
+    ///
+    /// The short pre-obs counter names (`received`, `completed`, …)
+    /// are kept as alias series for one release; scrapes keyed on
+    /// them keep working while dashboards migrate to the
+    /// `snn_serve_*` names.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = self.registry.render_prometheus();
+        for (alias, counter) in [
+            ("received", &self.received),
+            ("completed", &self.completed),
+            ("rejected_full", &self.rejected_full),
+            ("rejected_deadline", &self.rejected_deadline),
+            ("rejected_shutdown", &self.rejected_shutdown),
+            ("bad_requests", &self.bad_requests),
+            ("batches", &self.batches),
+            ("batched_items", &self.batched_items),
+        ] {
+            let _ = writeln!(out, "# HELP {alias} deprecated alias, see snn_serve_{alias}* family");
+            let _ = writeln!(out, "# TYPE {alias} counter");
+            let _ = writeln!(out, "{alias} {}", counter.get());
+        }
+        out.push_str(&snn_obs::global().render_prometheus());
+        out
+    }
+
+    /// Structured JSON form of the same merged exposition: this
+    /// instance's instruments followed by the global registry's, as a
+    /// [`serde::Value`] array.
+    pub fn snapshot_instruments(&self) -> serde::Value {
+        let mut items = match self.registry.snapshot_value() {
+            serde::Value::Array(items) => items,
+            other => vec![other],
+        };
+        if let serde::Value::Array(global_items) = snn_obs::global().snapshot_value() {
+            items.extend(global_items);
+        }
+        serde::Value::Array(items)
     }
 }
 
-/// Point-in-time copy of all serving counters (the `/metrics` body).
+/// Point-in-time copy of all serving counters (the `/metrics.json`
+/// summary body).
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct MetricsSnapshot {
     /// The model the counters describe.
@@ -180,10 +298,14 @@ pub struct MetricsSnapshot {
     pub batched_items: u64,
     /// `batched_items / batches` — the realized batching factor.
     pub mean_batch_size: f64,
-    /// Latency percentiles over the rolling window.
+    /// Jobs waiting in the batch queue right now.
+    pub queue_depth: f64,
+    /// Latency percentiles derived from the latency histogram.
     pub latency_us: LatencyStats,
     /// Cumulative per-layer firing rates.
     pub layers: Vec<LayerRateAgg>,
+    /// Full bucket snapshots of every instance histogram.
+    pub histograms: Vec<HistogramSnapshot>,
 }
 
 #[cfg(test)]
@@ -195,28 +317,23 @@ mod tests {
     }
 
     #[test]
-    fn latency_percentiles() {
+    fn latency_percentiles_from_histogram() {
         let m = Metrics::default();
         for us in 1..=100 {
             m.record_latency(us);
         }
         let s = m.snapshot(model());
         assert_eq!(s.latency_us.samples, 100);
-        // Index round((100-1) * 0.5) = 50 → the 51st sample.
-        assert_eq!(s.latency_us.p50_us, 51);
-        assert_eq!(s.latency_us.p95_us, 95);
+        // Bucketed estimates: the true p50 is ~50µs; the enclosing
+        // bucket is (40µs, 80µs], so the estimate must land there.
+        assert!(
+            (40..=80).contains(&s.latency_us.p50_us),
+            "p50 {}us outside its bucket",
+            s.latency_us.p50_us
+        );
+        assert!(s.latency_us.p95_us >= s.latency_us.p50_us);
+        assert!(s.latency_us.p99_us >= s.latency_us.p95_us);
         assert_eq!(s.latency_us.max_us, 100);
-    }
-
-    #[test]
-    fn window_wraps() {
-        let m = Metrics::default();
-        for us in 0..(LATENCY_WINDOW as u64 + 10) {
-            m.record_latency(us);
-        }
-        let s = m.snapshot(model());
-        assert_eq!(s.latency_us.samples, LATENCY_WINDOW);
-        assert_eq!(s.latency_us.max_us, LATENCY_WINDOW as u64 + 9);
     }
 
     #[test]
@@ -241,5 +358,64 @@ mod tests {
         assert_eq!(s.layers[0].spikes, 6.0);
         assert_eq!(s.layers[0].neuron_steps, 20.0);
         assert!((s.layers[0].rate - 0.3).abs() < 1e-12);
+        // Both requests' firing rates landed in the histogram, and the
+        // batch-size histogram saw one batch of 2.
+        let rate_snap = s
+            .histograms
+            .iter()
+            .find(|h| h.name == "snn_serve_layer_firing_rate_ratio")
+            .expect("firing-rate histogram present");
+        assert_eq!(rate_snap.count, 2);
+        let batch_snap = s
+            .histograms
+            .iter()
+            .find(|h| h.name == "snn_serve_batch_size")
+            .expect("batch-size histogram present");
+        assert_eq!(batch_snap.count, 1);
+        assert_eq!(batch_snap.max, 2.0);
+    }
+
+    #[test]
+    fn instances_are_isolated() {
+        let a = Metrics::default();
+        let b = Metrics::default();
+        a.received.add(5);
+        assert_eq!(a.received.get(), 5);
+        assert_eq!(b.received.get(), 0);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let m = Metrics::default();
+        m.received.add(3);
+        m.record_latency(1500);
+        let text = m.render_prometheus();
+        assert!(text.ends_with('\n'));
+        for needle in [
+            "# TYPE snn_serve_requests_received_total counter\n",
+            "snn_serve_requests_received_total 3\n",
+            "# TYPE snn_serve_request_latency_seconds histogram\n",
+            "snn_serve_request_latency_seconds_count 1\n",
+            "# TYPE snn_serve_queue_depth gauge\n",
+            // Legacy alias series.
+            "# TYPE received counter\n",
+            "received 3\n",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn required_histograms_are_exposed() {
+        let m = Metrics::default();
+        let names: Vec<String> =
+            m.snapshot(model()).histograms.into_iter().map(|h| h.name).collect();
+        for required in [
+            "snn_serve_request_latency_seconds",
+            "snn_serve_batch_size",
+            "snn_serve_layer_firing_rate_ratio",
+        ] {
+            assert!(names.iter().any(|n| n == required), "missing {required} in {names:?}");
+        }
     }
 }

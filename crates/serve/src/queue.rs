@@ -26,7 +26,6 @@
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -245,12 +244,16 @@ impl Batcher {
                 return Err(Rejection::ShuttingDown);
             }
             if st.jobs.len() >= self.cfg.capacity {
-                self.metrics.rejected_full.fetch_add(1, Ordering::Relaxed);
+                self.metrics.rejected_full.inc();
                 return Err(Rejection::QueueFull { capacity: self.cfg.capacity });
             }
             st.jobs.push_back(Job { input, deadline, enqueued: Instant::now(), tx });
+            // Sampled under the queue lock at every enqueue/dequeue,
+            // never derived, so the gauge cannot report a stale depth
+            // after a drain or `/reload`.
+            self.metrics.queue_depth.set(st.jobs.len() as f64);
         }
-        self.metrics.received.fetch_add(1, Ordering::Relaxed);
+        self.metrics.received.inc();
         self.shared.wake.notify_one();
         Ok(Ticket { rx })
     }
@@ -302,8 +305,9 @@ fn run_worker(
         }
         if st.shutdown {
             let drained: Vec<Job> = st.jobs.drain(..).collect();
+            metrics.queue_depth.set(st.jobs.len() as f64);
             drop(st);
-            metrics.rejected_shutdown.fetch_add(drained.len() as u64, Ordering::Relaxed);
+            metrics.rejected_shutdown.add(drained.len() as u64);
             for job in drained {
                 let _ = job.tx.send(Err(Rejection::ShuttingDown));
             }
@@ -332,6 +336,7 @@ fn run_worker(
         // submitters keep flowing while we compute.
         let n = st.jobs.len().min(cfg.max_batch);
         let taken: Vec<Job> = st.jobs.drain(..n).collect();
+        metrics.queue_depth.set(st.jobs.len() as f64);
         drop(st);
 
         // Phase 4: shed requests whose deadline lapsed in queue.
@@ -340,7 +345,7 @@ fn run_worker(
         for job in taken {
             match job.deadline {
                 Some(d) if now >= d => {
-                    metrics.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+                    metrics.rejected_deadline.inc();
                     let waited_us = (now - job.enqueued).as_micros() as u64;
                     let _ = job.tx.send(Err(Rejection::DeadlineExceeded { waited_us }));
                 }
@@ -368,14 +373,14 @@ fn run_worker(
         let outputs = engine.infer_batch(&inputs);
         let infer_us = started.elapsed().as_micros() as u64;
 
-        metrics.batches.fetch_add(1, Ordering::Relaxed);
-        metrics.batched_items.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        metrics.batches.inc();
+        metrics.batched_items.add(batch.len() as u64);
         metrics.record_batch_outputs(&outputs);
 
         let batch_size = batch.len();
         for (job, output) in batch.into_iter().zip(outputs) {
             let queue_us = (started - job.enqueued).as_micros() as u64;
-            metrics.completed.fetch_add(1, Ordering::Relaxed);
+            metrics.completed.inc();
             metrics.record_latency(job.enqueued.elapsed().as_micros() as u64);
             let _ = job.tx.send(Ok(InferReply {
                 output,
@@ -445,7 +450,7 @@ mod tests {
         let (_r, metrics, batcher) = setup(BatcherConfig::default());
         let err = batcher.submit(vec![0.0; 3], None).unwrap_err();
         assert_eq!(err, Rejection::BadInput { expected: 64, actual: 3 });
-        assert_eq!(metrics.received.load(Ordering::Relaxed), 0);
+        assert_eq!(metrics.received.get(), 0);
     }
 
     #[test]
@@ -471,8 +476,8 @@ mod tests {
         }
         let reply = healthy.wait().unwrap();
         assert_eq!(reply.output.counts.len(), 4);
-        assert_eq!(metrics.rejected_deadline.load(Ordering::Relaxed), 1);
-        assert_eq!(metrics.completed.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.rejected_deadline.get(), 1);
+        assert_eq!(metrics.completed.get(), 1);
     }
 
     #[test]
@@ -497,8 +502,8 @@ mod tests {
             let reply = t.wait().unwrap();
             assert_eq!(reply.batch_size, 4);
         }
-        assert_eq!(metrics.rejected_full.load(Ordering::Relaxed), 1);
-        assert_eq!(metrics.completed.load(Ordering::Relaxed), 4);
+        assert_eq!(metrics.rejected_full.get(), 1);
+        assert_eq!(metrics.completed.get(), 4);
     }
 
     #[test]
@@ -564,7 +569,7 @@ mod tests {
         match queued.wait() {
             Ok(reply) => assert_eq!(reply.output.counts.len(), 4),
             Err(Rejection::ShuttingDown) => {
-                assert_eq!(metrics.rejected_shutdown.load(Ordering::Relaxed), 1);
+                assert_eq!(metrics.rejected_shutdown.get(), 1);
             }
             Err(other) => panic!("unexpected rejection {other:?}"),
         }

@@ -9,10 +9,16 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, TensorError};
+use crate::kobs::DensityGauge;
 use crate::linalg::{self, gemm_into};
 use crate::par;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
+
+static CONV_INPUT_DENSITY: DensityGauge = DensityGauge::new(
+    "snn_tensor_conv2d_input_density_ratio",
+    "fraction of nonzero elements in the most recent conv2d forward input batch",
+);
 
 /// Static geometry of a 2-D convolution.
 ///
@@ -285,6 +291,8 @@ pub fn conv2d_forward_with(
 ) -> Result<Tensor> {
     check_batch_input(g, input)?;
     check_params(g, weight, bias)?;
+    let _span = snn_obs::span!("conv2d_fwd");
+    CONV_INPUT_DENSITY.record(input.as_slice());
     let n = input.shape().dim(0);
     let (oh, ow) = (g.out_h(), g.out_w());
     let item_in = g.in_channels * g.in_h * g.in_w;
@@ -406,6 +414,7 @@ pub fn conv2d_backward_with(
             op: "conv2d_backward grad_output",
         });
     }
+    let _span = snn_obs::span!("conv2d_bwd");
     let (oh, ow) = (g.out_h(), g.out_w());
     let n_cols = oh * ow;
     let item_in = g.in_channels * g.in_h * g.in_w;

@@ -37,6 +37,7 @@
 pub mod conv;
 mod error;
 mod init;
+mod kobs;
 pub mod linalg;
 pub mod par;
 pub mod pool;

@@ -27,9 +27,15 @@
 //!   `a * 1.0 == a`, exactly.
 
 use crate::error::{Result, TensorError};
+use crate::kobs::DensityGauge;
 use crate::par;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
+
+static MATMUL_LHS_DENSITY: DensityGauge = DensityGauge::new(
+    "snn_tensor_matmul_lhs_density_ratio",
+    "fraction of nonzero elements in the most recent matmul/matmul_nt left operand",
+);
 
 /// Computes `C = A · B` for row-major rank-2 tensors.
 ///
@@ -58,6 +64,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     if k != k2 {
         return Err(TensorError::GemmInnerDim { lhs_cols: k, rhs_rows: k2 });
     }
+    let _span = snn_obs::span!("matmul");
+    MATMUL_LHS_DENSITY.record(a.as_slice());
     let mut c = Tensor::zeros(Shape::d2(m, n));
     if m == 0 || n == 0 {
         return Ok(c);
@@ -86,6 +94,7 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     if k != k2 {
         return Err(TensorError::GemmInnerDim { lhs_cols: k, rhs_rows: k2 });
     }
+    let _span = snn_obs::span!("matmul_tn");
     let mut c = Tensor::zeros(Shape::d2(m, n));
     if m == 0 || n == 0 {
         return Ok(c);
@@ -129,6 +138,8 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     if k != k2 {
         return Err(TensorError::GemmInnerDim { lhs_cols: k, rhs_rows: k2 });
     }
+    let _span = snn_obs::span!("matmul_nt");
+    MATMUL_LHS_DENSITY.record(a.as_slice());
     let mut c = Tensor::zeros(Shape::d2(m, n));
     if m == 0 || n == 0 {
         return Ok(c);

@@ -232,6 +232,7 @@ pub fn for_each_block2_with<A, B, S, M, F>(
     }
     let min_granules = min_granules_per_worker.max(1);
     let workers = num_threads().min(granules / min_granules).max(1);
+    record_dispatch(workers);
     while scratch.len() < workers {
         scratch.push(make_scratch());
     }
@@ -259,6 +260,38 @@ pub fn for_each_block2_with<A, B, S, M, F>(
     });
 }
 
+/// Publishes pool activity into the global `snn-obs` registry: one
+/// counter increment per dispatch (split by parallel vs. serial
+/// fallback) and a gauge holding the most recent worker count. Costs
+/// one relaxed atomic add per *dispatch*, never per granule.
+fn record_dispatch(workers: usize) {
+    use std::sync::{Arc, OnceLock};
+    struct PoolObs {
+        parallel: Arc<snn_obs::Counter>,
+        serial: Arc<snn_obs::Counter>,
+        workers: Arc<snn_obs::Gauge>,
+    }
+    static OBS: OnceLock<PoolObs> = OnceLock::new();
+    let o = OBS.get_or_init(|| PoolObs {
+        parallel: snn_obs::global().counter(
+            "snn_tensor_par_parallel_dispatch_total",
+            "pool dispatches that ran on more than one worker",
+        ),
+        serial: snn_obs::global().counter(
+            "snn_tensor_par_serial_dispatch_total",
+            "pool dispatches that ran inline on the calling thread",
+        ),
+        workers: snn_obs::global()
+            .gauge("snn_tensor_par_workers", "worker count of the most recent pool dispatch"),
+    });
+    if workers > 1 {
+        o.parallel.inc();
+    } else {
+        o.serial.inc();
+    }
+    o.workers.set(workers as f64);
+}
+
 /// Applies `f` to every item on the worker pool and returns results
 /// in input order. Items are claimed dynamically (an atomic cursor),
 /// so unevenly sized tasks — design-space sweep points, whole
@@ -278,6 +311,7 @@ pub fn for_each_block2_with<A, B, S, M, F>(
 /// ```
 pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     let workers = num_threads().min(items.len());
+    record_dispatch(workers.max(1));
     if workers <= 1 {
         return items.iter().map(&f).collect();
     }

@@ -96,6 +96,7 @@ pub fn maxpool2d_forward(g: &Pool2dGeometry, input: &Tensor) -> Result<PoolForwa
     if input.shape() != expect {
         return Err(TensorError::ShapeMismatch { lhs: input.shape(), rhs: expect, op: "maxpool2d" });
     }
+    let _span = snn_obs::span!("maxpool");
     let (oh, ow) = (g.out_h(), g.out_w());
     let mut output = Tensor::zeros(Shape::d4(n, g.channels, oh, ow));
     let mut argmax = vec![0u32; output.len()];

@@ -57,6 +57,21 @@ case "$infer" in
   *) echo "ci.sh: unexpected /infer response: $infer" >&2; exit 1 ;;
 esac
 
+# Observability smoke test: scrape both metrics endpoints after real
+# traffic and validate them structurally — a malformed Prometheus
+# exposition or /metrics.json body fails the gate here, not at scrape
+# time in production.
+metrics_text="$(mktemp)"
+metrics_json="$(mktemp)"
+curl -sf --max-time 5 "http://$addr/metrics" >"$metrics_text"
+curl -sf --max-time 5 "http://$addr/metrics.json" >"$metrics_json"
+target/release/snn obs-check --text "$metrics_text" --json "$metrics_json" \
+  || { echo "ci.sh: obs-check rejected the metrics endpoints" >&2; exit 1; }
+grep -q '^# TYPE snn_serve_request_latency_seconds histogram$' "$metrics_text" \
+  || { echo "ci.sh: /metrics lacks the request latency histogram" >&2; exit 1; }
+rm -f "$metrics_text" "$metrics_json"
+echo "ci.sh: observability smoke test passed"
+
 kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
 trap - EXIT

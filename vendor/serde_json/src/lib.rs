@@ -51,6 +51,13 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Serializes a value to two-space-indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value_pretty(&value.to_value(), &mut out, 0);
+    Ok(out)
+}
+
 /// Parses JSON text and decodes it into `T`.
 pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
     let value = parse(text)?;
@@ -88,6 +95,45 @@ fn write_value(value: &Value, out: &mut String) {
             }
             out.push('}');
         }
+    }
+}
+
+fn write_value_pretty(value: &Value, out: &mut String, indent: usize) {
+    let pad = |out: &mut String, level: usize| {
+        out.push('\n');
+        for _ in 0..level {
+            out.push_str("  ");
+        }
+    };
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent + 1);
+                write_value_pretty(item, out, indent + 1);
+            }
+            pad(out, indent);
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push('{');
+            for (i, (key, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent + 1);
+                write_string(key, out);
+                out.push_str(": ");
+                write_value_pretty(val, out, indent + 1);
+            }
+            pad(out, indent);
+            out.push('}');
+        }
+        // Scalars and empty containers render as in compact form.
+        other => write_value(other, out),
     }
 }
 
@@ -396,6 +442,17 @@ mod tests {
         assert!(from_str::<Vec<u32>>("[1, 2").is_err());
         assert!(from_str::<bool>("truex").is_err());
         assert!(from_str::<f32>("").is_err());
+    }
+
+    #[test]
+    fn pretty_output_parses_back_identically() {
+        let value = parse(r#"{"name":"h","counts":[1,2],"empty":[],"nested":{"p50":0.5}}"#).unwrap();
+        let pretty = to_string_pretty(&value).unwrap();
+        assert!(pretty.contains("{\n  \"name\": \"h\""), "unexpected layout:\n{pretty}");
+        assert!(pretty.contains("\"empty\": []"), "empty arrays stay inline:\n{pretty}");
+        assert_eq!(parse(&pretty).unwrap(), value);
+        // Scalars stay single-line.
+        assert_eq!(to_string_pretty(&1.5f64).unwrap(), "1.5");
     }
 
     #[test]
