@@ -114,6 +114,10 @@ struct LifBench {
 
 #[derive(Serialize)]
 struct KernelReport {
+    /// Report layout version ([`snn_bench::BENCH_SCHEMA_VERSION`]).
+    schema_version: u32,
+    /// Commit the binary ran from, or `unknown`.
+    git_commit: String,
     host_parallelism: usize,
     reps: usize,
     conv2d_forward: ConvBench,
@@ -272,6 +276,8 @@ fn main() {
     println!("  4-thread speedup: {:.2}x\n", lif.scaling.speedup_4_threads);
 
     let report = KernelReport {
+        schema_version: snn_bench::BENCH_SCHEMA_VERSION,
+        git_commit: snn_bench::git_commit(),
         host_parallelism: host,
         reps,
         conv2d_forward: conv,

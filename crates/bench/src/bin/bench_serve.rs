@@ -162,6 +162,8 @@ fn main() {
     );
 
     let report = Report {
+        schema_version: snn_bench::BENCH_SCHEMA_VERSION,
+        git_commit: snn_bench::git_commit(),
         requests_per_phase: requests,
         clients,
         timesteps,
@@ -226,6 +228,10 @@ fn demo_snapshot() -> NetworkSnapshot {
 
 #[derive(Serialize)]
 struct Report {
+    /// Report layout version ([`snn_bench::BENCH_SCHEMA_VERSION`]).
+    schema_version: u32,
+    /// Commit the binary ran from, or `unknown`.
+    git_commit: String,
     requests_per_phase: usize,
     clients: usize,
     timesteps: usize,
@@ -316,6 +322,7 @@ fn run_phase(
         input_len,
         classes: 10,
         params: 0,
+        hash: String::new(),
     });
     Phase {
         name: name.into(),

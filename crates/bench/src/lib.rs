@@ -8,6 +8,28 @@ use std::path::PathBuf;
 
 use snn_dse::ExperimentProfile;
 
+/// Schema version stamped into every bench-report JSON. Bump whenever
+/// a report's field layout changes incompatibly, so downstream
+/// tooling comparing runs across commits can refuse mismatched files
+/// instead of misreading them.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
+/// The git commit the benchmark binary was run from, or `"unknown"`
+/// outside a git checkout (or when `git` itself is unavailable).
+///
+/// Best effort by design: provenance should never fail a bench run.
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
 /// Parses `--profile <micro|quick|bench|full>` from `std::env::args`
 /// (default: `bench`) and `--out <dir>` (default: `results/`).
 ///

@@ -3,11 +3,15 @@
 
 use std::collections::BTreeMap;
 
-/// Parsed command line: a subcommand plus `--key value` flags.
+/// Parsed command line: a subcommand, an optional action positional
+/// (e.g. `runs list`), plus `--key value` flags.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Args {
     /// The first positional argument.
     pub command: String,
+    /// An optional second positional (the action of commands like
+    /// `snn runs list`). Empty when absent.
+    pub action: String,
     flags: BTreeMap<String, String>,
 }
 
@@ -19,13 +23,23 @@ impl Args {
     /// via [`Args::has`] — so `snn profile --demo` works alongside
     /// `snn serve --demo 8`.
     ///
+    /// One bare positional may follow the subcommand before any flag
+    /// (the action of `snn runs list`); anything beyond that is an
+    /// error.
+    ///
     /// # Errors
     ///
     /// Returns a message if a stray positional argument appears after
-    /// the subcommand.
+    /// the action slot is taken or among the flags.
     pub fn parse(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         let mut argv = argv.peekable();
         let command = argv.next().unwrap_or_default();
+        let mut action = String::new();
+        if let Some(next) = argv.peek() {
+            if !next.starts_with("--") {
+                action = argv.next().expect("just peeked");
+            }
+        }
         let mut flags = BTreeMap::new();
         while let Some(arg) = argv.next() {
             let Some(key) = arg.strip_prefix("--") else {
@@ -37,7 +51,7 @@ impl Args {
             };
             flags.insert(key.to_string(), value);
         }
-        Ok(Args { command, flags })
+        Ok(Args { command, action, flags })
     }
 
     /// Whether the flag was given at all (with or without a value).
@@ -127,8 +141,18 @@ mod tests {
     }
 
     #[test]
+    fn one_action_positional_allowed() {
+        let a = args(&["runs", "list", "--store", "s"]).unwrap();
+        assert_eq!(a.command, "runs");
+        assert_eq!(a.action, "list");
+        assert_eq!(a.require("store").unwrap(), "s");
+        let b = args(&["train", "--out", "m.json"]).unwrap();
+        assert_eq!(b.action, "");
+    }
+
+    #[test]
     fn rejects_stray_positionals() {
-        assert!(args(&["x", "stray"]).is_err());
+        assert!(args(&["runs", "list", "extra"]).is_err());
         assert!(args(&["x", "--ok", "v", "stray"]).is_err());
     }
 

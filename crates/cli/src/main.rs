@@ -16,8 +16,9 @@ mod obscheck;
 use args::{parse_surrogate, Args};
 
 use snn_accel::{AcceleratorConfig, FpgaDevice};
-use snn_core::{evaluate, fit, LifConfig, NetworkSnapshot, SpikingNetwork};
+use snn_core::{evaluate, fit, LifConfig, NetworkSnapshot, SpikingNetwork, TrainCheckpoint, Trainer};
 use snn_dse::ExperimentProfile;
+use snn_store::{ArtifactRegistry, RunStore, VersionSpec};
 use snn_tensor::derive_seed;
 
 const USAGE: &str = "\
@@ -27,7 +28,11 @@ commands:
   train   train the paper topology on synthetic SVHN and save a snapshot
           --profile micro|quick|bench|full (quick)   --beta F (0.25)
           --theta F (1.0)   --surrogate FAMILY[:SCALE] (fast_sigmoid:0.25)
-          --out PATH (model.json)
+          --out PATH (model.json)   --epochs N (profile default)
+          --store DIR (durable run store; enables the flags below)
+          --run-id ID (run-<profile>)   --checkpoint-every N (1)
+          --resume (continue from the run's latest checkpoint)
+          --publish NAME (publish the snapshot to the artifact registry)
   eval    evaluate a saved snapshot
           --model PATH   --profile … (quick)
   map     map a saved snapshot onto the accelerator model
@@ -37,6 +42,8 @@ commands:
           --model PATH
   serve   serve a snapshot over HTTP with dynamic micro-batching
           --model PATH | --demo SIDE (in-memory demo net, SIDE x SIDE input)
+          | --store DIR --model-name NAME [--model-version latest|N]
+            (load a published artifact from the registry)
           --addr HOST:PORT (127.0.0.1:7878; port 0 picks a free port)
           --timesteps N (4)   --max-batch N (8)   --max-wait-us N (2000)
           --capacity N (64)   --timeout-ms N (2000; 0 disables)
@@ -47,6 +54,9 @@ commands:
   obs-check  validate observability artifacts (used by scripts/ci.sh)
           --text FILE (Prometheus exposition)   --json FILE (/metrics.json body)
           --trace FILE (SNN_TRACE trace_event output)
+  runs    inspect and maintain a durable run store
+          list --store DIR   (runs, checkpoints, published artifacts)
+          gc   --store DIR   (delete registry blobs no version references)
 ";
 
 fn main() {
@@ -62,6 +72,7 @@ fn main() {
         "serve" => cmd_serve(&args),
         "profile" => cmd_profile(&args),
         "obs-check" => cmd_obs_check(&args),
+        "runs" => cmd_runs(&args),
         "" | "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return;
@@ -104,16 +115,45 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         derive_seed(profile.seed, "weights"),
     )
     .map_err(|e| e.to_string())?;
+    let mut cfg = profile.train_config();
+    cfg.epochs = args.get_parsed("epochs", cfg.epochs)?;
     println!(
         "training {} parameters on {} samples ({} epochs, T={}, {} surrogate, β={beta}, θ={theta})",
         net.param_count(),
         train.len(),
-        profile.epochs,
+        cfg.epochs,
         profile.timesteps,
         surrogate,
     );
-    let cfg = profile.train_config();
-    let report = fit(&cfg, &mut net, &train)?;
+    let report = if let Some(store_dir) = args.opt("store") {
+        let store = RunStore::open(store_dir);
+        let default_run = format!("run-{}", profile.name);
+        let run_id = args.get("run-id", &default_run).to_string();
+        let every: usize = args.get_parsed("checkpoint-every", 1)?;
+        let mut trainer = Trainer::new(cfg).checkpoint_every(every);
+        if args.has("resume") {
+            match TrainCheckpoint::load_latest(&store, &run_id).map_err(|e| e.to_string())? {
+                Some(ckpt) => {
+                    println!(
+                        "resuming run `{run_id}` from checkpoint at epoch {}",
+                        ckpt.next_epoch
+                    );
+                    trainer = trainer.resume_from(ckpt);
+                }
+                None => println!("run `{run_id}` has no checkpoint; starting fresh"),
+            }
+        }
+        trainer.fit_with(&mut net, &train, |ckpt| {
+            ckpt.save(&store, &run_id).map(|_| ()).map_err(|e| e.to_string())
+        })?
+    } else {
+        for flag in ["run-id", "checkpoint-every", "resume", "publish"] {
+            if args.has(flag) {
+                return Err(format!("--{flag} requires --store"));
+            }
+        }
+        fit(&cfg, &mut net, &train)?
+    };
     for e in &report.epochs {
         println!(
             "  epoch {:>2}: loss {:.4}  acc {:.1}%  lr {:.5}",
@@ -130,11 +170,82 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         eval.profile.mean_firing_rate() * 100.0,
         report.wall_secs
     );
-    NetworkSnapshot::from_network(&net)
+    let snapshot = NetworkSnapshot::from_network(&net);
+    snapshot
         .save_json(out)
         .map_err(|e| format!("cannot write `{out}`: {e}"))?;
     println!("saved {out}");
+    if let Some(model_name) = args.opt("publish") {
+        let registry = ArtifactRegistry::open(args.require("store")?);
+        let meta = vec![
+            ("profile".to_string(), profile.name.to_string()),
+            ("surrogate".to_string(), surrogate.to_string()),
+            ("beta".to_string(), beta.to_string()),
+            ("theta".to_string(), theta.to_string()),
+            ("epochs".to_string(), cfg.epochs.to_string()),
+            ("test_accuracy".to_string(), format!("{:.4}", eval.accuracy)),
+        ];
+        let entry = registry.publish(model_name, &snapshot, meta).map_err(|e| e.to_string())?;
+        println!(
+            "published {} v{}  hash {}  ({} bytes)",
+            entry.name, entry.version, entry.hash, entry.bytes
+        );
+    }
     Ok(())
+}
+
+fn cmd_runs(args: &Args) -> Result<(), String> {
+    let store_dir = args.require("store")?;
+    let store = RunStore::open(store_dir);
+    match args.action.as_str() {
+        "list" => {
+            let runs = store.list_runs().map_err(|e| e.to_string())?;
+            if runs.is_empty() {
+                println!("no runs in `{store_dir}`");
+            } else {
+                println!("{:<24} {:>11} {:>12} {:>8}", "run", "checkpoints", "latest epoch", "journal");
+                for r in &runs {
+                    let latest =
+                        r.checkpoints.last().map_or_else(|| "-".into(), ToString::to_string);
+                    println!(
+                        "{:<24} {:>11} {:>12} {:>8}",
+                        r.run_id,
+                        r.checkpoints.len(),
+                        latest,
+                        if r.has_journal { "yes" } else { "no" }
+                    );
+                }
+            }
+            let registry = store.registry();
+            let models = registry.models().map_err(|e| e.to_string())?;
+            if models.is_empty() {
+                println!("no published artifacts");
+            } else {
+                println!("\n{:<24} {:>8} {:>18} {:>10}", "artifact", "version", "hash", "bytes");
+                for name in models {
+                    for version in registry.versions(&name).map_err(|e| e.to_string())? {
+                        let entry = registry
+                            .entry(&name, VersionSpec::Exact(version))
+                            .map_err(|e| e.to_string())?;
+                        println!(
+                            "{:<24} {:>8} {:>18} {:>10}",
+                            entry.name, entry.version, entry.hash, entry.bytes
+                        );
+                    }
+                }
+            }
+            Ok(())
+        }
+        "gc" => {
+            let removed = store.registry().gc().map_err(|e| e.to_string())?;
+            println!("removed {} unreferenced blob(s)", removed.len());
+            for hash in removed {
+                println!("  {hash}");
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown runs action `{other}` (expected list|gc)")),
+    }
 }
 
 fn cmd_eval(args: &Args) -> Result<(), String> {
@@ -209,6 +320,14 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("flag --demo: cannot parse `{side}` as an input side"))?;
         (demo_snapshot(side)?, format!("demo-{side}x{side}"))
+    } else if let Some(store_dir) = args.opt("store") {
+        let model_name = args.require("model-name")?;
+        let spec = VersionSpec::parse(args.get("model-version", "latest"))?;
+        let registry = ArtifactRegistry::open(store_dir);
+        let (entry, payload) = registry.load(model_name, spec).map_err(|e| e.to_string())?;
+        let snapshot: NetworkSnapshot = serde_json::from_str(&payload)
+            .map_err(|e| format!("artifact `{model_name}` is not a network snapshot: {e}"))?;
+        (snapshot, format!("{}@v{}", entry.name, entry.version))
     } else {
         (load_model(args)?, args.require("model")?.to_string())
     };

@@ -1,0 +1,145 @@
+//! Training checkpoints: everything `fit` needs to resume a run
+//! bitwise-identically to one that was never interrupted.
+//!
+//! The trainer's randomness is *positionally* derived — every epoch's
+//! shuffle seed is `derive_seed(seed, "epoch{e}")` and every batch's
+//! encoder seed is `derive_seed(seed, "enc{e}:{b}")` — so the epoch
+//! counter **is** the RNG stream position. A checkpoint therefore
+//! captures the full resume state with five fields: the config, the
+//! next epoch to run, the network weights, the optimizer buffers
+//! (including Adam's step counter), and the per-epoch history.
+//!
+//! Checkpoints persist through [`snn_store::RunStore`], which frames
+//! them with a CRC32 footer and writes them atomically: a crash
+//! mid-checkpoint leaves the previous checkpoint intact, and a
+//! damaged file surfaces as [`snn_store::StoreError::Corrupt`] rather
+//! than resuming from garbage.
+
+use serde::{Deserialize, Serialize};
+
+use snn_store::{RunStore, StoreError};
+
+use crate::network::SpikingNetwork;
+use crate::optim::OptimizerState;
+use crate::snapshot::NetworkSnapshot;
+use crate::trainer::{EpochStats, TrainConfig};
+
+/// Resume state captured at an epoch boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainCheckpoint {
+    /// The training configuration the run started with. A resume
+    /// must use an equal config — the seed derivations, schedule,
+    /// and batch geometry all hang off it.
+    pub config: TrainConfig,
+    /// The first epoch the resumed run should execute (equals the
+    /// number of completed epochs).
+    pub next_epoch: usize,
+    /// Network weights after `next_epoch` epochs.
+    pub network: NetworkSnapshot,
+    /// Optimizer buffers and step counter.
+    pub optimizer: OptimizerState,
+    /// Statistics of the completed epochs, in order.
+    pub history: Vec<EpochStats>,
+}
+
+impl TrainCheckpoint {
+    /// Whether the run this checkpoint describes has already finished
+    /// every configured epoch.
+    pub fn is_complete(&self) -> bool {
+        self.next_epoch >= self.config.epochs
+    }
+
+    /// Restores the network the checkpoint captured.
+    ///
+    /// # Errors
+    ///
+    /// Returns the snapshot validation message if the stored network
+    /// is structurally unsound.
+    pub fn restore_network(&self) -> Result<SpikingNetwork, String> {
+        self.network.clone().try_into_network().map_err(|e| e.to_string())
+    }
+
+    /// Persists the checkpoint under `run_id` at its epoch position.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] from the atomic write.
+    pub fn save(&self, store: &RunStore, run_id: &str) -> Result<std::path::PathBuf, StoreError> {
+        store.save_checkpoint(run_id, self.next_epoch, self)
+    }
+
+    /// Loads the checkpoint for a specific epoch of `run_id`.
+    ///
+    /// # Errors
+    ///
+    /// As [`snn_store::load_json`]: `NotFound`, `Io`, `Corrupt`, or
+    /// `Malformed`.
+    pub fn load(store: &RunStore, run_id: &str, epoch: usize) -> Result<Self, StoreError> {
+        store.load_checkpoint(run_id, epoch)
+    }
+
+    /// Loads the most recent checkpoint of `run_id`, if any exists.
+    ///
+    /// # Errors
+    ///
+    /// As [`TrainCheckpoint::load`].
+    pub fn load_latest(store: &RunStore, run_id: &str) -> Result<Option<Self>, StoreError> {
+        Ok(store.load_latest_checkpoint(run_id)?.map(|(_, ckpt)| ckpt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neuron::LifConfig;
+    use crate::optim::Optimizer;
+    use snn_tensor::Shape;
+
+    fn checkpoint() -> TrainCheckpoint {
+        let net = SpikingNetwork::paper_topology(
+            Shape::d3(1, 8, 8),
+            4,
+            LifConfig { theta: 0.5, ..LifConfig::paper_default() },
+            3,
+        )
+        .unwrap();
+        TrainCheckpoint {
+            config: TrainConfig { epochs: 4, ..TrainConfig::default() },
+            next_epoch: 2,
+            network: NetworkSnapshot::from_network(&net),
+            optimizer: Optimizer::new(crate::OptimizerKind::default(), 0.01).state(),
+            history: vec![],
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let root = std::env::temp_dir().join("snn_core_checkpoint_tests/roundtrip");
+        let _ = std::fs::remove_dir_all(&root);
+        let store = RunStore::open(&root);
+        let ckpt = checkpoint();
+        ckpt.save(&store, "r1").unwrap();
+        let back = TrainCheckpoint::load(&store, "r1", 2).unwrap();
+        assert_eq!(back, ckpt);
+        let latest = TrainCheckpoint::load_latest(&store, "r1").unwrap().unwrap();
+        assert_eq!(latest, ckpt);
+        assert!(TrainCheckpoint::load_latest(&store, "ghost").unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn completion_flag() {
+        let mut ckpt = checkpoint();
+        assert!(!ckpt.is_complete());
+        ckpt.next_epoch = 4;
+        assert!(ckpt.is_complete());
+    }
+
+    #[test]
+    fn restore_network_validates() {
+        let mut ckpt = checkpoint();
+        assert!(ckpt.restore_network().is_ok());
+        ckpt.network.layers.clear();
+        assert!(ckpt.restore_network().is_err());
+    }
+}

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 mod confusion;
 pub mod layer;
 mod loss;
@@ -65,10 +66,11 @@ pub use loss::Loss;
 pub use metrics::{evaluate, evaluate_temporal, EvalReport, SparsityProfile};
 pub use neuron::{LifConfig, ResetMode};
 pub use network::{BuildNetworkError, NetworkBuilder, SequenceOutput, SpikingNetwork};
-pub use optim::{clip_grad_norm, Optimizer, OptimizerKind};
+pub use checkpoint::TrainCheckpoint;
+pub use optim::{clip_grad_norm, Optimizer, OptimizerKind, OptimizerState, SlotSnapshot};
 pub use prune::{prune_snapshot, LayerPruneStats, PruneReport};
 pub use schedule::LrSchedule;
 pub use snapshot::{LayerSnapshot, NetworkSnapshot, SnapshotError};
 pub use surrogate::Surrogate;
 pub use trace::{trace_spikes, LayerTrace, SpikeTrace};
-pub use trainer::{fit, fit_temporal, EpochStats, TrainConfig, TrainReport};
+pub use trainer::{fit, fit_temporal, EpochStats, TrainConfig, Trainer, TrainReport};

@@ -377,17 +377,21 @@ fn validate_layer(ls: &LayerSnapshot, current: Shape) -> Result<Shape, SnapshotE
 impl NetworkSnapshot {
     /// Writes the snapshot as JSON, creating parent directories.
     ///
+    /// The write goes through `snn-store`'s atomic protocol (temp
+    /// file + fsync + rename), so a crash mid-save leaves either the
+    /// previous snapshot or the new one — never a truncated file. The
+    /// on-disk format stays plain JSON (no integrity footer): other
+    /// tools parse snapshots as bare JSON documents.
+    ///
     /// # Errors
     ///
     /// Propagates filesystem and serialization errors.
     pub fn save_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         let path = path.as_ref();
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
         let json = serde_json::to_string(self)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        std::fs::write(path, json)
+        snn_store::write_bytes_atomic(path, json.as_bytes())
+            .map_err(|e| std::io::Error::other(e.to_string()))
     }
 
     /// Reads and validates a snapshot from a JSON file written by

@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 use snn_data::{Dataset, SpikeEncoding};
 use snn_tensor::derive_seed;
 
+use crate::checkpoint::TrainCheckpoint;
 use crate::loss::Loss;
 use crate::network::SpikingNetwork;
 use crate::optim::{clip_grad_norm, Optimizer, OptimizerKind};
@@ -124,10 +125,197 @@ impl TrainReport {
     }
 }
 
+/// Builder for checkpointed training runs.
+///
+/// Wraps the plain [`fit`] loop with durable-run support: periodic
+/// [`TrainCheckpoint`] capture and resumption from a prior
+/// checkpoint. Because every epoch's shuffle and encoder seeds derive
+/// positionally from `config.seed` (see [`crate::checkpoint`]), a
+/// resumed run replays the exact RNG streams of the original and
+/// finishes **bitwise identical** to a run that was never
+/// interrupted.
+///
+/// # Examples
+///
+/// ```
+/// use snn_core::{LifConfig, SpikingNetwork, TrainConfig, Trainer};
+/// use snn_data::bars_dataset;
+/// use snn_tensor::Shape;
+///
+/// let ds = bars_dataset(32, 8, 1);
+/// let lif = LifConfig { theta: 0.5, beta: 0.5, ..LifConfig::paper_default() };
+/// let mut net = SpikingNetwork::paper_topology(Shape::d3(1, 8, 8), 4, lif, 3)
+///     .map_err(|e| e.to_string())?;
+/// let cfg = TrainConfig { epochs: 2, batch_size: 16, ..TrainConfig::default() };
+/// let report = Trainer::new(cfg)
+///     .checkpoint_every(1)
+///     .fit_with(&mut net, &ds, |ckpt| {
+///         // persist `ckpt` via snn_store::RunStore here
+///         assert!(ckpt.next_epoch >= 1);
+///         Ok(())
+///     })?;
+/// assert_eq!(report.epochs.len(), 2);
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+    checkpoint_every: usize,
+    resume: Option<TrainCheckpoint>,
+}
+
+impl Trainer {
+    /// Creates a trainer for `config` with checkpointing disabled.
+    pub fn new(config: TrainConfig) -> Self {
+        Trainer { config, checkpoint_every: 0, resume: None }
+    }
+
+    /// Captures a checkpoint every `every` epochs (and always at the
+    /// final epoch). `0` disables checkpointing.
+    #[must_use]
+    pub fn checkpoint_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Resumes from a previously captured checkpoint instead of
+    /// starting fresh. The network passed to `fit`/`fit_with` is
+    /// overwritten with the checkpointed weights.
+    #[must_use]
+    pub fn resume_from(mut self, checkpoint: TrainCheckpoint) -> Self {
+        self.resume = Some(checkpoint);
+        self
+    }
+
+    /// The trainer's configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Trains without a checkpoint sink (checkpoints, if enabled, are
+    /// still built but go nowhere — use [`Trainer::fit_with`] to
+    /// persist them).
+    ///
+    /// # Errors
+    ///
+    /// As [`Trainer::fit_with`].
+    pub fn fit(
+        &self,
+        network: &mut SpikingNetwork,
+        train: &Dataset,
+    ) -> Result<TrainReport, String> {
+        self.fit_with(network, train, |_| Ok(()))
+    }
+
+    /// Trains `network` on `train`, invoking `on_checkpoint` at every
+    /// checkpoint boundary. A sink error aborts the run and is
+    /// returned — the driver treats that as a crash, which is also
+    /// how the kill-and-resume tests simulate one deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message if the config is invalid, the
+    /// dataset is empty or mis-shaped, the resume checkpoint was
+    /// written by a different config, or the sink fails.
+    pub fn fit_with(
+        &self,
+        network: &mut SpikingNetwork,
+        train: &Dataset,
+        mut on_checkpoint: impl FnMut(&TrainCheckpoint) -> Result<(), String>,
+    ) -> Result<TrainReport, String> {
+        let config = &self.config;
+        config.validate()?;
+        let started = Instant::now();
+        let mut optimizer;
+        let mut start_epoch = 0usize;
+        let mut epochs: Vec<EpochStats> = Vec::with_capacity(config.epochs);
+        if let Some(ckpt) = &self.resume {
+            if ckpt.config != *config {
+                return Err(
+                    "resume checkpoint was written by a different training configuration; \
+                     refusing to resume (results would not match the original run)"
+                        .into(),
+                );
+            }
+            if ckpt.history.len() != ckpt.next_epoch {
+                return Err(format!(
+                    "resume checkpoint is inconsistent: {} epochs of history but next_epoch {}",
+                    ckpt.history.len(),
+                    ckpt.next_epoch
+                ));
+            }
+            *network = ckpt.restore_network()?;
+            optimizer = Optimizer::from_state(ckpt.optimizer.clone())?;
+            start_epoch = ckpt.next_epoch;
+            epochs = ckpt.history.clone();
+        } else {
+            optimizer = Optimizer::new(config.optimizer, config.base_lr);
+        }
+        if train.is_empty() {
+            return Err("training dataset is empty".into());
+        }
+        if train.item_shape() != network.input_item_shape() {
+            return Err(format!(
+                "dataset item shape {} disagrees with network input {}",
+                train.item_shape(),
+                network.input_item_shape()
+            ));
+        }
+        for epoch in start_epoch..config.epochs {
+            let _epoch_span = snn_obs::span!("epoch");
+            let epoch_started = Instant::now();
+            let lr = config.schedule.lr_at(config.base_lr, epoch, config.epochs);
+            optimizer.set_lr(lr);
+            let data = if config.shuffle {
+                train.shuffled(derive_seed(config.seed, &format!("epoch{epoch}")))
+            } else {
+                train.clone()
+            };
+            let mut loss_sum = 0.0f64;
+            let mut batch_count = 0usize;
+            let mut correct = 0usize;
+            let mut total = 0usize;
+            for (bi, (batch, labels)) in data.batches(config.batch_size).enumerate() {
+                let enc_seed = derive_seed(config.seed, &format!("enc{epoch}:{bi}"));
+                let frames = config.encoding.encode(&batch, config.timesteps, enc_seed);
+                let (loss, c) = train_batch(config, network, &mut optimizer, &frames, &labels);
+                loss_sum += loss;
+                batch_count += 1;
+                correct += c;
+                total += labels.len();
+            }
+            let stats = EpochStats {
+                epoch,
+                train_loss: loss_sum / batch_count.max(1) as f64,
+                train_accuracy: correct as f64 / total.max(1) as f64,
+                lr,
+            };
+            record_epoch(&stats, epoch_started.elapsed().as_secs_f64());
+            epochs.push(stats);
+            let done = epoch + 1;
+            if self.checkpoint_every > 0
+                && (done % self.checkpoint_every == 0 || done == config.epochs)
+            {
+                let ckpt = TrainCheckpoint {
+                    config: *config,
+                    next_epoch: done,
+                    network: crate::snapshot::NetworkSnapshot::from_network(network),
+                    optimizer: optimizer.state(),
+                    history: epochs.clone(),
+                };
+                on_checkpoint(&ckpt)
+                    .map_err(|e| format!("checkpoint sink failed after epoch {epoch}: {e}"))?;
+            }
+        }
+        Ok(TrainReport { epochs, wall_secs: started.elapsed().as_secs_f64() })
+    }
+}
+
 /// Trains `network` on `train` with BPTT + surrogate gradients.
 ///
 /// Deterministic for a fixed `(config, network seed, dataset)`
-/// triple.
+/// triple. Equivalent to [`Trainer::fit`] with checkpointing
+/// disabled.
 ///
 /// # Errors
 ///
@@ -138,53 +326,7 @@ pub fn fit(
     network: &mut SpikingNetwork,
     train: &Dataset,
 ) -> Result<TrainReport, String> {
-    config.validate()?;
-    if train.is_empty() {
-        return Err("training dataset is empty".into());
-    }
-    if train.item_shape() != network.input_item_shape() {
-        return Err(format!(
-            "dataset item shape {} disagrees with network input {}",
-            train.item_shape(),
-            network.input_item_shape()
-        ));
-    }
-    let started = Instant::now();
-    let mut optimizer = Optimizer::new(config.optimizer, config.base_lr);
-    let mut epochs = Vec::with_capacity(config.epochs);
-    for epoch in 0..config.epochs {
-        let _epoch_span = snn_obs::span!("epoch");
-        let epoch_started = Instant::now();
-        let lr = config.schedule.lr_at(config.base_lr, epoch, config.epochs);
-        optimizer.set_lr(lr);
-        let data = if config.shuffle {
-            train.shuffled(derive_seed(config.seed, &format!("epoch{epoch}")))
-        } else {
-            train.clone()
-        };
-        let mut loss_sum = 0.0f64;
-        let mut batch_count = 0usize;
-        let mut correct = 0usize;
-        let mut total = 0usize;
-        for (bi, (batch, labels)) in data.batches(config.batch_size).enumerate() {
-            let enc_seed = derive_seed(config.seed, &format!("enc{epoch}:{bi}"));
-            let frames = config.encoding.encode(&batch, config.timesteps, enc_seed);
-            let (loss, c) = train_batch(config, network, &mut optimizer, &frames, &labels);
-            loss_sum += loss;
-            batch_count += 1;
-            correct += c;
-            total += labels.len();
-        }
-        let stats = EpochStats {
-            epoch,
-            train_loss: loss_sum / batch_count.max(1) as f64,
-            train_accuracy: correct as f64 / total.max(1) as f64,
-            lr,
-        };
-        record_epoch(&stats, epoch_started.elapsed().as_secs_f64());
-        epochs.push(stats);
-    }
-    Ok(TrainReport { epochs, wall_secs: started.elapsed().as_secs_f64() })
+    Trainer::new(*config).fit(network, train)
 }
 
 /// Publishes one epoch's statistics into the global `snn-obs`
@@ -417,6 +559,112 @@ mod tests {
         let mut net = bars_net(0);
         let empty = Dataset::new(Vec::new(), 4);
         assert!(fit(&quick_cfg(), &mut net, &empty).is_err());
+    }
+
+    /// Serialized-snapshot equality is bitwise weight equality: the
+    /// vendored serde_json prints floats shortest-roundtrip, so two
+    /// snapshots serialize identically iff every f32 is bit-equal.
+    fn weights_json(net: &SpikingNetwork) -> String {
+        serde_json::to_string(&crate::NetworkSnapshot::from_network(net)).unwrap()
+    }
+
+    #[test]
+    fn resume_is_bitwise_identical_to_uninterrupted() {
+        let ds = bars_dataset(64, 8, 9);
+        let cfg = TrainConfig { epochs: 4, ..quick_cfg() };
+
+        // Reference: uninterrupted run.
+        let mut a = bars_net(5);
+        let ra = Trainer::new(cfg).fit(&mut a, &ds).unwrap();
+
+        // Crashed run: the sink aborts after persisting the epoch-2
+        // checkpoint, exactly like a SIGKILL between epochs.
+        let mut b = bars_net(5);
+        let mut captured: Option<TrainCheckpoint> = None;
+        let err = Trainer::new(cfg)
+            .checkpoint_every(2)
+            .fit_with(&mut b, &ds, |c| {
+                captured = Some(c.clone());
+                Err("simulated crash".into())
+            })
+            .unwrap_err();
+        assert!(err.contains("simulated crash"), "{err}");
+        let ckpt = captured.expect("checkpoint captured before crash");
+        assert_eq!(ckpt.next_epoch, 2);
+        assert_eq!(ckpt.history.len(), 2);
+        assert!(!ckpt.is_complete());
+
+        // Resume into a *differently seeded* fresh network: the
+        // checkpoint must fully overwrite it.
+        let mut c = bars_net(999);
+        let rc = Trainer::new(cfg).resume_from(ckpt).fit(&mut c, &ds).unwrap();
+
+        assert_eq!(weights_json(&a), weights_json(&c), "resumed weights diverged");
+        assert_eq!(ra.epochs.len(), rc.epochs.len());
+        for (ea, ec) in ra.epochs.iter().zip(&rc.epochs) {
+            assert_eq!(ea.train_loss, ec.train_loss, "epoch {} loss diverged", ea.epoch);
+            assert_eq!(ea.train_accuracy, ec.train_accuracy);
+            assert_eq!(ea.lr, ec.lr);
+        }
+    }
+
+    #[test]
+    fn final_epoch_always_checkpoints() {
+        let ds = bars_dataset(32, 8, 2);
+        let cfg = TrainConfig { epochs: 3, ..quick_cfg() };
+        let mut net = bars_net(1);
+        let mut boundaries = Vec::new();
+        // every=2 with 3 epochs: boundary at 2 and (forced) at 3.
+        Trainer::new(cfg)
+            .checkpoint_every(2)
+            .fit_with(&mut net, &ds, |c| {
+                boundaries.push(c.next_epoch);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(boundaries, vec![2, 3]);
+    }
+
+    #[test]
+    fn resume_rejects_config_mismatch() {
+        let ds = bars_dataset(32, 8, 2);
+        let cfg = TrainConfig { epochs: 2, ..quick_cfg() };
+        let mut net = bars_net(1);
+        let mut captured = None;
+        Trainer::new(cfg)
+            .checkpoint_every(1)
+            .fit_with(&mut net, &ds, |c| {
+                captured.get_or_insert_with(|| c.clone());
+                Ok(())
+            })
+            .unwrap();
+        let ckpt = captured.unwrap();
+        let other = TrainConfig { base_lr: 1e-4, ..cfg };
+        let mut fresh = bars_net(1);
+        let err = Trainer::new(other).resume_from(ckpt).fit(&mut fresh, &ds).unwrap_err();
+        assert!(err.contains("different training configuration"), "{err}");
+    }
+
+    #[test]
+    fn resume_from_complete_checkpoint_runs_no_epochs() {
+        let ds = bars_dataset(32, 8, 2);
+        let cfg = TrainConfig { epochs: 2, ..quick_cfg() };
+        let mut net = bars_net(1);
+        let mut last = None;
+        Trainer::new(cfg)
+            .checkpoint_every(1)
+            .fit_with(&mut net, &ds, |c| {
+                last = Some(c.clone());
+                Ok(())
+            })
+            .unwrap();
+        let ckpt = last.unwrap();
+        assert!(ckpt.is_complete());
+        let expected = weights_json(&net);
+        let mut fresh = bars_net(42);
+        let report = Trainer::new(cfg).resume_from(ckpt).fit(&mut fresh, &ds).unwrap();
+        assert_eq!(report.epochs.len(), 2, "history carried over");
+        assert_eq!(weights_json(&fresh), expected, "weights restored, not retrained");
     }
 }
 

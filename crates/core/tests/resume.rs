@@ -1,0 +1,78 @@
+//! Property test pinning the checkpoint/resume contract: for any
+//! crash point, a resumed run finishes bitwise-identical to one that
+//! was never interrupted.
+
+use proptest::prelude::*;
+
+use snn_core::{
+    LifConfig, NetworkSnapshot, SpikingNetwork, TrainCheckpoint, TrainConfig, Trainer,
+};
+use snn_data::bars_dataset;
+use snn_tensor::Shape;
+
+fn tiny_net(seed: u64) -> SpikingNetwork {
+    let lif = LifConfig { theta: 0.5, beta: 0.5, ..LifConfig::paper_default() };
+    SpikingNetwork::builder(Shape::d3(1, 8, 8), seed)
+        .flatten()
+        .unwrap()
+        .dense(4, lif)
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+/// Shortest-roundtrip float formatting makes serialized-snapshot
+/// equality a bitwise weight comparison.
+fn weights_json(net: &SpikingNetwork) -> String {
+    serde_json::to_string(&NetworkSnapshot::from_network(net)).unwrap()
+}
+
+proptest! {
+    // Each case trains twice; keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn resume_matches_uninterrupted_at_any_crash_point(
+        epochs in 2usize..5,
+        every in 1usize..3,
+        seed in 0u64..1000,
+        data_seed in 0u64..1000,
+    ) {
+        let ds = bars_dataset(32, 8, data_seed);
+        let cfg = TrainConfig {
+            epochs,
+            batch_size: 16,
+            timesteps: 3,
+            seed,
+            ..TrainConfig::default()
+        };
+
+        // Reference: uninterrupted.
+        let mut a = tiny_net(seed);
+        let ra = Trainer::new(cfg).fit(&mut a, &ds).unwrap();
+
+        // Crash at the first checkpoint boundary, then resume.
+        let mut b = tiny_net(seed);
+        let mut captured: Option<TrainCheckpoint> = None;
+        let crashed = Trainer::new(cfg)
+            .checkpoint_every(every)
+            .fit_with(&mut b, &ds, |c| {
+                captured = Some(c.clone());
+                Err("kill".into())
+            });
+        prop_assert!(crashed.is_err());
+        let ckpt = captured.expect("at least one checkpoint before the crash");
+        prop_assert_eq!(ckpt.next_epoch, every.min(epochs));
+
+        let mut resumed = tiny_net(seed.wrapping_add(1));
+        let rr = Trainer::new(cfg).resume_from(ckpt).fit(&mut resumed, &ds).unwrap();
+
+        prop_assert_eq!(weights_json(&a), weights_json(&resumed));
+        prop_assert_eq!(ra.epochs.len(), rr.epochs.len());
+        for (ea, er) in ra.epochs.iter().zip(&rr.epochs) {
+            prop_assert_eq!(ea.train_loss.to_bits(), er.train_loss.to_bits());
+            prop_assert_eq!(ea.train_accuracy.to_bits(), er.train_accuracy.to_bits());
+            prop_assert_eq!(ea.lr.to_bits(), er.lr.to_bits());
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Resumable sweeps: a crash-safe journal of completed sweep points.
+//!
+//! A sweep over the `(surrogate, scale, β, θ)` grid trains one model
+//! per point — minutes each — so a crash near the end of a long grid
+//! is expensive. [`SweepJournal`] wraps `snn-store`'s append-only
+//! [`Journal`]: every finished point is committed (with its full
+//! [`PointResult`]) before the sweep moves on, and a restarted sweep
+//! replays the journal and skips every point already present.
+//!
+//! Points are keyed by [`PointKey`], which stores the `f32`
+//! hyperparameters as **bit patterns** (`f32::to_bits`), so key
+//! equality is exact: no formatting round-trip, no epsilon, and two
+//! scales that differ in the last ulp are different points.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use snn_store::{Journal, JournalRecovery, StoreError};
+
+use crate::runner::{PointResult, RunError};
+
+/// Exact identity of one sweep point.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PointKey {
+    /// Surrogate family name (or a synthetic tag like `reference`).
+    pub surrogate: String,
+    /// Derivative scale factor, as IEEE-754 bits.
+    pub scale_bits: u32,
+    /// Membrane leak β, as IEEE-754 bits.
+    pub beta_bits: u32,
+    /// Firing threshold θ, as IEEE-754 bits.
+    pub theta_bits: u32,
+}
+
+impl PointKey {
+    /// Builds a key from the point's hyperparameters.
+    pub fn new(surrogate: &str, scale: f32, beta: f32, theta: f32) -> Self {
+        PointKey {
+            surrogate: surrogate.to_string(),
+            scale_bits: scale.to_bits(),
+            beta_bits: beta.to_bits(),
+            theta_bits: theta.to_bits(),
+        }
+    }
+
+    /// The scale factor the key encodes.
+    pub fn scale(&self) -> f32 {
+        f32::from_bits(self.scale_bits)
+    }
+
+    /// The β the key encodes.
+    pub fn beta(&self) -> f32 {
+        f32::from_bits(self.beta_bits)
+    }
+
+    /// The θ the key encodes.
+    pub fn theta(&self) -> f32 {
+        f32::from_bits(self.theta_bits)
+    }
+}
+
+/// One journal line: a completed point and its measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepEntry {
+    /// The point's identity.
+    pub key: PointKey,
+    /// Everything measured there.
+    pub result: PointResult,
+}
+
+/// A journal of completed sweep points, shared across the sweep's
+/// worker threads.
+#[derive(Debug)]
+pub struct SweepJournal {
+    journal: Journal,
+    completed: Mutex<HashMap<PointKey, PointResult>>,
+    recovery: JournalRecovery,
+    reused: AtomicUsize,
+    trained: AtomicUsize,
+}
+
+impl SweepJournal {
+    /// Opens (creating if absent) the journal at `path` and replays
+    /// completed points from previous attempts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] — notably
+    /// [`StoreError::Corrupt`] when an interior journal line is
+    /// damaged (a torn final line is recovered silently; see
+    /// [`JournalRecovery`]).
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let (journal, entries, recovery) = Journal::open::<SweepEntry>(path)?;
+        let completed = entries.into_iter().map(|e| (e.key, e.result)).collect();
+        Ok(SweepJournal {
+            journal,
+            completed: Mutex::new(completed),
+            recovery,
+            reused: AtomicUsize::new(0),
+            trained: AtomicUsize::new(0),
+        })
+    }
+
+    /// What replay found on open.
+    pub fn recovery(&self) -> JournalRecovery {
+        self.recovery
+    }
+
+    /// Points currently committed (replayed + appended this process).
+    pub fn completed_points(&self) -> usize {
+        self.completed.lock().expect("journal map poisoned").len()
+    }
+
+    /// Points answered from the journal instead of retraining, since
+    /// open.
+    pub fn reused(&self) -> usize {
+        self.reused.load(Ordering::Relaxed)
+    }
+
+    /// Points actually trained (and committed) since open.
+    pub fn trained(&self) -> usize {
+        self.trained.load(Ordering::Relaxed)
+    }
+
+    /// Returns the journaled result for `key`, or runs `train`,
+    /// commits its result, and returns it. The commit happens
+    /// *before* the result is returned: a crash after `run_or_reuse`
+    /// never loses the work.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `train`'s [`RunError`]; a journal append failure
+    /// surfaces as [`RunError::Store`].
+    pub fn run_or_reuse(
+        &self,
+        key: PointKey,
+        train: impl FnOnce() -> Result<PointResult, RunError>,
+    ) -> Result<PointResult, RunError> {
+        if let Some(hit) = self.completed.lock().expect("journal map poisoned").get(&key) {
+            self.reused.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        let result = train()?;
+        self.journal
+            .append(&SweepEntry { key: key.clone(), result: result.clone() })
+            .map_err(|e| RunError::Store(e.to_string()))?;
+        self.completed.lock().expect("journal map poisoned").insert(key, result.clone());
+        self.trained.fetch_add(1, Ordering::Relaxed);
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ExperimentProfile;
+    use crate::runner::run_point;
+    use snn_core::Surrogate;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("snn_dse_journal_tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("journal.jsonl")
+    }
+
+    #[test]
+    fn key_is_exact_over_bits() {
+        let a = PointKey::new("arctan", 2.0, 0.25, 1.0);
+        let b = PointKey::new("arctan", 2.0, 0.25, 1.0);
+        assert_eq!(a, b);
+        let c = PointKey::new("arctan", 2.0 + f32::EPSILON * 2.0, 0.25, 1.0);
+        assert_ne!(a, c);
+        assert_eq!(a.scale(), 2.0);
+        assert_eq!(a.beta(), 0.25);
+        assert_eq!(a.theta(), 1.0);
+    }
+
+    #[test]
+    fn second_attempt_retrains_nothing() {
+        let path = scratch("retrain-zero");
+        let p = ExperimentProfile::quick();
+        let (train, test) = p.datasets();
+        let run = |j: &SweepJournal, scale: f32| {
+            let key = PointKey::new("fast_sigmoid", scale, 0.25, 1.0);
+            j.run_or_reuse(key, || {
+                let lif = p.lif(Surrogate::FastSigmoid { k: scale }, 0.25, 1.0);
+                run_point(&p, lif, &train, &test)
+            })
+            .unwrap()
+        };
+
+        // First attempt trains both points.
+        {
+            let j = SweepJournal::open(&path).unwrap();
+            run(&j, 0.5);
+            run(&j, 4.0);
+            assert_eq!((j.trained(), j.reused()), (2, 0));
+        }
+
+        // Restart: everything comes from the journal, bit-for-bit.
+        let j = SweepJournal::open(&path).unwrap();
+        assert_eq!(j.completed_points(), 2);
+        let a = run(&j, 0.5);
+        let b = run(&j, 0.5); // in-process repeat also reuses
+        assert_eq!((j.trained(), j.reused()), (0, 2));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_points_do_not_alias() {
+        let path = scratch("no-alias");
+        let p = ExperimentProfile::quick();
+        let (train, test) = p.datasets();
+        let j = SweepJournal::open(&path).unwrap();
+        for (beta, theta) in [(0.25f32, 1.0f32), (0.25, 1.5), (0.5, 1.0)] {
+            let key = PointKey::new("fast_sigmoid", 0.25, beta, theta);
+            j.run_or_reuse(key, || {
+                let lif = p.lif(Surrogate::FastSigmoid { k: 0.25 }, beta, theta);
+                run_point(&p, lif, &train, &test)
+            })
+            .unwrap();
+        }
+        assert_eq!(j.trained(), 3, "three distinct points, three trainings");
+        assert_eq!(j.completed_points(), 3);
+    }
+}

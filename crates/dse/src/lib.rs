@@ -31,6 +31,7 @@
 pub mod ablations;
 mod chart;
 mod compare;
+mod journal;
 mod par;
 mod profile;
 mod report;
@@ -45,12 +46,14 @@ pub use ablations::{
 };
 pub use chart::{ascii_chart, ascii_heatmap};
 pub use compare::{comparison, ComparisonResult, ConfigSummary};
+pub use journal::{PointKey, SweepEntry, SweepJournal};
 pub use par::parallel_map;
 pub use profile::ExperimentProfile;
 pub use report::{fmt_f, fmt_pct, markdown_table, to_csv, write_csv};
 pub use runner::{run_point, PointResult, RunError};
 pub use search::{hw_search, HwSearchPoint, HwSearchResult, HwSearchSpace};
 pub use sweeps::{
-    beta_theta_sweep, prior_work_reference, surrogate_sweep, Fig1Result, Fig1Row, Fig2Result,
-    Fig2Row, PAPER_BETAS, PAPER_SCALES, PAPER_THETAS,
+    beta_theta_sweep, beta_theta_sweep_journaled, prior_work_reference, surrogate_sweep,
+    surrogate_sweep_journaled, Fig1Result, Fig1Row, Fig2Result, Fig2Row, PAPER_BETAS,
+    PAPER_SCALES, PAPER_THETAS,
 };

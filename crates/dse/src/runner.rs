@@ -53,6 +53,8 @@ pub enum RunError {
     Train(String),
     /// Hardware mapping failed.
     Map(MapError),
+    /// The sweep journal could not commit a finished point.
+    Store(String),
 }
 
 impl std::fmt::Display for RunError {
@@ -61,6 +63,7 @@ impl std::fmt::Display for RunError {
             RunError::Build(m) => write!(f, "network build failed: {m}"),
             RunError::Train(m) => write!(f, "training failed: {m}"),
             RunError::Map(e) => write!(f, "hardware mapping failed: {e}"),
+            RunError::Store(m) => write!(f, "sweep journal commit failed: {m}"),
         }
     }
 }

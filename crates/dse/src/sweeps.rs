@@ -12,9 +12,23 @@ use serde::{Deserialize, Serialize};
 use snn_core::Surrogate;
 use snn_data::Dataset;
 
+use crate::journal::{PointKey, SweepJournal};
 use crate::par::parallel_map;
 use crate::profile::ExperimentProfile;
 use crate::runner::{run_point, PointResult, RunError};
+
+/// Runs `train` through the journal when one is attached, otherwise
+/// directly.
+fn run_keyed(
+    journal: Option<&SweepJournal>,
+    key: PointKey,
+    train: impl FnOnce() -> Result<PointResult, RunError>,
+) -> Result<PointResult, RunError> {
+    match journal {
+        Some(j) => j.run_or_reuse(key, train),
+        None => train(),
+    }
+}
 
 /// The derivative scaling factors the paper sweeps in Figure 1
 /// (`0.5 … 32`, "beyond which the accuracy for the arctangent
@@ -105,14 +119,47 @@ pub fn surrogate_sweep(
     train: &Dataset,
     test: &Dataset,
 ) -> Result<Fig1Result, RunError> {
+    surrogate_sweep_impl(profile, scales, train, test, None)
+}
+
+/// [`surrogate_sweep`] with journaled resume: every finished point is
+/// committed to `journal` before the sweep proceeds, and points
+/// already committed (by this process or a crashed predecessor) are
+/// reused instead of retrained.
+///
+/// # Errors
+///
+/// As [`surrogate_sweep`], plus [`RunError::Store`] if a commit
+/// fails.
+pub fn surrogate_sweep_journaled(
+    profile: &ExperimentProfile,
+    scales: &[f32],
+    train: &Dataset,
+    test: &Dataset,
+    journal: &SweepJournal,
+) -> Result<Fig1Result, RunError> {
+    surrogate_sweep_impl(profile, scales, train, test, Some(journal))
+}
+
+fn surrogate_sweep_impl(
+    profile: &ExperimentProfile,
+    scales: &[f32],
+    train: &Dataset,
+    test: &Dataset,
+    journal: Option<&SweepJournal>,
+) -> Result<Fig1Result, RunError> {
     let mut points: Vec<(Surrogate, f32)> = Vec::new();
     for &s in scales {
         points.push((Surrogate::ArcTan { alpha: s }, s));
         points.push((Surrogate::FastSigmoid { k: s }, s));
     }
     let results = parallel_map(&points, |&(surr, scale)| {
-        let lif = profile.lif(surr, 0.25, 1.0);
-        run_point(profile, lif, train, test).map(|r| (surr, scale, r))
+        let key = PointKey::new(surr.name(), scale, 0.25, 1.0);
+        run_keyed(journal, key, || {
+            let lif = profile.lif(surr, 0.25, 1.0);
+            run_point(profile, lif, train, test)
+        })
+        .map(|r| (surr, scale, r))
     });
     let mut rows = Vec::with_capacity(results.len());
     for res in results {
@@ -126,7 +173,11 @@ pub fn surrogate_sweep(
             latency_us: r.latency_us(),
         });
     }
-    let reference = prior_work_reference(profile, train, test)?;
+    // The reference point is itself a training run; journal it under
+    // a synthetic family name so restarts skip it too.
+    let reference = run_keyed(journal, PointKey::new("reference", 2.0, 0.25, 1.0), || {
+        prior_work_reference(profile, train, test)
+    })?;
     Ok(Fig1Result {
         rows,
         reference_accuracy: reference.test_accuracy,
@@ -201,6 +252,38 @@ pub fn beta_theta_sweep(
     train: &Dataset,
     test: &Dataset,
 ) -> Result<Fig2Result, RunError> {
+    beta_theta_sweep_impl(profile, betas, thetas, k, train, test, None)
+}
+
+/// [`beta_theta_sweep`] with journaled resume (see
+/// [`surrogate_sweep_journaled`]).
+///
+/// # Errors
+///
+/// As [`beta_theta_sweep`], plus [`RunError::Store`] if a commit
+/// fails.
+pub fn beta_theta_sweep_journaled(
+    profile: &ExperimentProfile,
+    betas: &[f32],
+    thetas: &[f32],
+    k: f32,
+    train: &Dataset,
+    test: &Dataset,
+    journal: &SweepJournal,
+) -> Result<Fig2Result, RunError> {
+    beta_theta_sweep_impl(profile, betas, thetas, k, train, test, Some(journal))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn beta_theta_sweep_impl(
+    profile: &ExperimentProfile,
+    betas: &[f32],
+    thetas: &[f32],
+    k: f32,
+    train: &Dataset,
+    test: &Dataset,
+    journal: Option<&SweepJournal>,
+) -> Result<Fig2Result, RunError> {
     let mut points: Vec<(f32, f32)> = Vec::new();
     for &b in betas {
         for &t in thetas {
@@ -208,8 +291,12 @@ pub fn beta_theta_sweep(
         }
     }
     let results = parallel_map(&points, |&(beta, theta)| {
-        let lif = profile.lif(Surrogate::FastSigmoid { k }, beta, theta);
-        run_point(profile, lif, train, test).map(|r| (beta, theta, r))
+        let key = PointKey::new("fast_sigmoid", k, beta, theta);
+        run_keyed(journal, key, || {
+            let lif = profile.lif(Surrogate::FastSigmoid { k }, beta, theta);
+            run_point(profile, lif, train, test)
+        })
+        .map(|r| (beta, theta, r))
     });
     let mut rows = Vec::with_capacity(results.len());
     for res in results {
@@ -279,6 +366,61 @@ mod tests {
         assert!(r.at(0.9, 1.0).is_none());
         let best = r.best_accuracy();
         assert!(r.rows.iter().all(|row| row.accuracy <= best.accuracy));
+    }
+
+    #[test]
+    fn journaled_sweep_restart_retrains_zero_points() {
+        let dir = std::env::temp_dir().join("snn_dse_sweeps_tests/restart");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig1.jsonl");
+        let (p, train, test) = quick();
+
+        let j1 = SweepJournal::open(&path).unwrap();
+        let first = surrogate_sweep_journaled(&p, &[0.5, 4.0], &train, &test, &j1).unwrap();
+        // 2 scales × 2 families + the reference point.
+        assert_eq!(j1.trained(), 5);
+        assert_eq!(j1.reused(), 0);
+
+        // Restart: a fresh journal handle replays the file; the whole
+        // sweep resolves without training anything, with identical
+        // results.
+        let j2 = SweepJournal::open(&path).unwrap();
+        assert_eq!(j2.completed_points(), 5);
+        let second = surrogate_sweep_journaled(&p, &[0.5, 4.0], &train, &test, &j2).unwrap();
+        assert_eq!(j2.trained(), 0, "restart must not retrain completed points");
+        assert_eq!(j2.reused(), 5);
+        assert_eq!(second, first);
+
+        // Widening the sweep trains only the new points.
+        let j3 = SweepJournal::open(&path).unwrap();
+        let wider = surrogate_sweep_journaled(&p, &[0.5, 2.0, 4.0], &train, &test, &j3).unwrap();
+        assert_eq!(j3.trained(), 2, "only the scale-2.0 pair is new");
+        assert_eq!(wider.rows.len(), 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journaled_fig2_restart() {
+        let dir = std::env::temp_dir().join("snn_dse_sweeps_tests/restart-fig2");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig2.jsonl");
+        let (p, train, test) = quick();
+
+        let j1 = SweepJournal::open(&path).unwrap();
+        let first =
+            beta_theta_sweep_journaled(&p, &[0.25, 0.7], &[1.0], 0.25, &train, &test, &j1)
+                .unwrap();
+        assert_eq!(j1.trained(), 2);
+
+        let j2 = SweepJournal::open(&path).unwrap();
+        let second =
+            beta_theta_sweep_journaled(&p, &[0.25, 0.7], &[1.0], 0.25, &train, &test, &j2)
+                .unwrap();
+        assert_eq!((j2.trained(), j2.reused()), (0, 2));
+        assert_eq!(second, first);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

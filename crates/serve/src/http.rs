@@ -462,8 +462,25 @@ fn handle_reload(req: &Request, shared: &ServerShared) -> (u16, String) {
             return (400, error_body(&format!("rejected snapshot: {e}")));
         }
     };
+    let old_version = shared.registry.version();
     match shared.registry.swap(snapshot, "reload") {
-        Ok(info) => (200, serde_json::to_string(&info).expect("info serialize")),
+        Ok(info) => {
+            // Structured swap receipt: what was replaced, what now
+            // serves, and the new model's content hash (matching the
+            // artifact registry's identity).
+            let body = Value::Object(vec![
+                ("ok".into(), Value::Bool(true)),
+                ("old_version".into(), Value::Number(old_version as f64)),
+                ("new_version".into(), Value::Number(info.version as f64)),
+                ("model_hash".into(), Value::String(info.hash.clone())),
+                (
+                    "model".into(),
+                    serde_json::parse(&serde_json::to_string(&info).expect("info serialize"))
+                        .expect("info JSON reparses"),
+                ),
+            ]);
+            (200, render(&body))
+        }
         Err(e @ SwapError::Invalid(_)) => {
             shared.metrics.bad_requests.inc();
             (400, error_body(&e.to_string()))
@@ -645,7 +662,25 @@ mod tests {
         let good = serde_json::to_string(&snapshot(77)).unwrap();
         let (status, body) = request(server.addr(), "POST", "/reload", &good);
         assert_eq!(status, 200, "reply: {body}");
+        // Structured receipt: old/new version, the model's content
+        // hash, and the full info object.
+        assert!(body.contains("\"ok\":true"), "reply: {body}");
+        assert!(body.contains("\"old_version\":1"), "reply: {body}");
+        assert!(body.contains("\"new_version\":2"), "reply: {body}");
+        assert!(body.contains("\"model_hash\":\""), "reply: {body}");
         assert!(body.contains("\"version\":2"), "reply: {body}");
+        let parsed = serde_json::parse(&body).expect("reload receipt parses");
+        if let Value::Object(fields) = parsed {
+            let hash = fields.iter().find(|(k, _)| k == "model_hash").map(|(_, v)| v.clone());
+            match hash {
+                Some(Value::String(h)) => {
+                    assert_eq!(h.len(), 16, "fnv64 hex is 16 digits, got {h}");
+                }
+                other => panic!("model_hash missing or not a string: {other:?}"),
+            }
+        } else {
+            panic!("reload receipt is not an object");
+        }
 
         let (status, _) = request(server.addr(), "POST", "/reload", "{\"bad\":1}");
         assert_eq!(status, 400);

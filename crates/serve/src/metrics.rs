@@ -313,7 +313,14 @@ mod tests {
     use super::*;
 
     fn model() -> ModelInfo {
-        ModelInfo { name: "m".into(), version: 1, input_len: 4, classes: 2, params: 10 }
+        ModelInfo {
+            name: "m".into(),
+            version: 1,
+            input_len: 4,
+            classes: 2,
+            params: 10,
+            hash: "0123456789abcdef".into(),
+        }
     }
 
     #[test]

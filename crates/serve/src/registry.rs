@@ -27,6 +27,10 @@ pub struct ModelInfo {
     pub classes: usize,
     /// Trainable parameter count.
     pub params: usize,
+    /// Content hash (FNV-1a 64, hex) of the snapshot's serialized
+    /// form — the same identity `snn-store`'s artifact registry uses,
+    /// so operators can match a served model to a published artifact.
+    pub hash: String,
 }
 
 /// A validated snapshot plus its serving metadata.
@@ -100,12 +104,14 @@ impl ModelRegistry {
         // Validation already ran, so into_network cannot panic; a
         // throwaway network is the simplest source of derived counts.
         let net = snapshot.clone().into_network();
+        let json = serde_json::to_string(snapshot).expect("snapshots always serialize");
         ModelInfo {
             name,
             version,
             input_len: net.input_item_shape().len(),
             classes: net.classes(),
             params: net.param_count(),
+            hash: snn_store::fnv64_hex(json.as_bytes()),
         }
     }
 

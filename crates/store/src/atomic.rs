@@ -1,0 +1,339 @@
+//! Crash-safe file I/O: write-to-temp + fsync + rename, with a CRC32
+//! integrity footer verified on every load.
+//!
+//! # Atomicity protocol
+//!
+//! A write never touches the destination file in place:
+//!
+//! 1. serialize the payload and append the integrity footer;
+//! 2. write the bytes to a uniquely named temp file *in the same
+//!    directory* (rename across filesystems is not atomic);
+//! 3. `fsync` the temp file so its contents are on disk before the
+//!    rename can be;
+//! 4. `rename` over the destination — atomic on POSIX, so a reader
+//!    (or a crash) sees either the complete old file or the complete
+//!    new file, never a prefix;
+//! 5. `fsync` the parent directory so the rename itself survives a
+//!    power loss.
+//!
+//! # Integrity footer
+//!
+//! Framed files end with one newline-separated footer line:
+//!
+//! ```text
+//! <payload bytes>\n{"snn_store_footer":1,"crc32":"9ae0daaf","len":42}
+//! ```
+//!
+//! On load the footer is parsed, the declared length is checked
+//! against the bytes present, and the payload's CRC32 is recomputed
+//! and compared. Truncation (footer missing or unreadable) and bit
+//! flips (CRC mismatch) both surface as [`StoreError::Corrupt`] —
+//! never a panic, and never a silently short tensor.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::error::StoreError;
+use crate::hash::crc32;
+use crate::obs::store_obs;
+
+/// Marker key identifying the integrity footer line.
+const FOOTER_KEY: &str = "snn_store_footer";
+
+/// Writes `bytes` to `path` atomically (temp + fsync + rename),
+/// creating parent directories. No integrity footer is added — use
+/// [`save_json`] for framed store files; this raw form backs
+/// plain-format files like network snapshots that other tools parse
+/// as bare JSON.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on any filesystem failure.
+pub fn write_bytes_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), StoreError> {
+    let _span = snn_obs::span!("store_write");
+    let path = path.as_ref();
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => {
+            fs::create_dir_all(p).map_err(|e| StoreError::io(path, &e))?;
+            Some(p)
+        }
+        _ => None,
+    };
+    // Unique per process *and* per call: concurrent writers to the
+    // same destination each get their own temp file, and the last
+    // rename wins with both versions complete.
+    static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+    let unique = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| StoreError::Io {
+            path: path.display().to_string(),
+            message: "path has no file name".into(),
+        })?;
+    let tmp = path.with_file_name(format!(
+        ".{file_name}.tmp.{}.{unique}",
+        std::process::id()
+    ));
+    let result = (|| {
+        let mut f = fs::File::create(&tmp).map_err(|e| StoreError::io(&tmp, &e))?;
+        f.write_all(bytes).map_err(|e| StoreError::io(&tmp, &e))?;
+        f.sync_all().map_err(|e| StoreError::io(&tmp, &e))?;
+        fs::rename(&tmp, path).map_err(|e| StoreError::io(path, &e))?;
+        if let Some(parent) = parent {
+            // Durability of the rename itself; failure here is not
+            // fatal to correctness (the rename was still atomic), so
+            // sync errors on exotic filesystems are swallowed.
+            if let Ok(dir) = fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    } else {
+        store_obs().writes.inc();
+    }
+    result
+}
+
+/// Frames `payload` with the CRC32 integrity footer.
+pub(crate) fn encode_framed(payload: &[u8]) -> Vec<u8> {
+    let footer = format!(
+        "\n{{\"{FOOTER_KEY}\":1,\"crc32\":\"{:08x}\",\"len\":{}}}",
+        crc32(payload),
+        payload.len()
+    );
+    let mut out = Vec::with_capacity(payload.len() + footer.len());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(footer.as_bytes());
+    out
+}
+
+/// Splits framed `bytes` back into the verified payload.
+fn decode_framed<'a>(path: &Path, bytes: &'a [u8]) -> Result<&'a [u8], StoreError> {
+    let corrupt = |expected: Option<u32>, payload: &[u8], message: String| {
+        store_obs().corrupt.inc();
+        StoreError::Corrupt {
+            path: path.display().to_string(),
+            expected_crc: expected,
+            actual_crc: crc32(payload),
+            message,
+        }
+    };
+    let Some(split) = bytes.iter().rposition(|&b| b == b'\n') else {
+        return Err(corrupt(None, bytes, "integrity footer missing (file truncated?)".into()));
+    };
+    let (payload, footer_line) = (&bytes[..split], &bytes[split + 1..]);
+    let footer_text = std::str::from_utf8(footer_line)
+        .map_err(|_| corrupt(None, payload, "integrity footer is not UTF-8".into()))?;
+    let footer: Value = serde_json::parse(footer_text)
+        .map_err(|e| corrupt(None, payload, format!("integrity footer unreadable: {e}")))?;
+    let field = |name: &str| -> Option<Value> {
+        if let Value::Object(entries) = &footer {
+            entries.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone())
+        } else {
+            None
+        }
+    };
+    if field(FOOTER_KEY).is_none() {
+        return Err(corrupt(None, payload, "integrity footer marker missing".into()));
+    }
+    let declared_len = match field("len") {
+        Some(Value::Number(n)) if n >= 0.0 && n.fract() == 0.0 => n as usize,
+        _ => return Err(corrupt(None, payload, "integrity footer lacks a length".into())),
+    };
+    let expected_crc = match field("crc32") {
+        Some(Value::String(s)) => u32::from_str_radix(&s, 16)
+            .map_err(|_| corrupt(None, payload, "integrity footer CRC unreadable".into()))?,
+        _ => return Err(corrupt(None, payload, "integrity footer lacks a CRC".into())),
+    };
+    if payload.len() != declared_len {
+        return Err(corrupt(
+            Some(expected_crc),
+            payload,
+            format!("payload holds {} bytes but footer declares {declared_len}", payload.len()),
+        ));
+    }
+    let actual = crc32(payload);
+    if actual != expected_crc {
+        return Err(corrupt(Some(expected_crc), payload, "payload CRC mismatch".into()));
+    }
+    Ok(payload)
+}
+
+/// Serializes `value` as JSON, frames it with the integrity footer,
+/// and writes it atomically to `path`.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on filesystem failures and
+/// [`StoreError::Malformed`] if serialization itself fails.
+pub fn save_json<T: Serialize + ?Sized>(
+    path: impl AsRef<Path>,
+    value: &T,
+) -> Result<(), StoreError> {
+    let path = path.as_ref();
+    let json = serde_json::to_string(value).map_err(|e| StoreError::Malformed {
+        path: path.display().to_string(),
+        message: format!("cannot serialize: {e}"),
+    })?;
+    write_bytes_atomic(path, &encode_framed(json.as_bytes()))
+}
+
+/// Loads and verifies a framed JSON file written by [`save_json`],
+/// returning the decoded value.
+///
+/// # Errors
+///
+/// * [`StoreError::NotFound`] — the file does not exist.
+/// * [`StoreError::Io`] — any other filesystem failure.
+/// * [`StoreError::Corrupt`] — the footer is missing/unreadable, the
+///   declared length disagrees with the bytes present, or the CRC32
+///   does not match (truncation, bit flips).
+/// * [`StoreError::Malformed`] — the verified payload does not decode
+///   into `T`.
+pub fn load_json<T: Deserialize>(path: impl AsRef<Path>) -> Result<T, StoreError> {
+    let payload = load_verified_bytes(path.as_ref())?;
+    decode_payload(path.as_ref(), &payload)
+}
+
+/// Loads and verifies a framed file, returning the raw payload bytes.
+///
+/// # Errors
+///
+/// As [`load_json`], minus the decode step.
+pub fn load_verified_bytes(path: &Path) -> Result<Vec<u8>, StoreError> {
+    let _span = snn_obs::span!("store_read");
+    let bytes = fs::read(path).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            StoreError::NotFound { path: path.display().to_string() }
+        } else {
+            StoreError::io(path, &e)
+        }
+    })?;
+    let payload = decode_framed(path, &bytes)?;
+    store_obs().reads.inc();
+    Ok(payload.to_vec())
+}
+
+/// Decodes verified payload bytes into `T`.
+fn decode_payload<T: Deserialize>(path: &Path, payload: &[u8]) -> Result<T, StoreError> {
+    let text = std::str::from_utf8(payload).map_err(|_| StoreError::Malformed {
+        path: path.display().to_string(),
+        message: "payload is not UTF-8".into(),
+    })?;
+    serde_json::from_str(text).map_err(|e| StoreError::Malformed {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("snn_store_atomic_tests").join(name);
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_framed_json() {
+        let dir = scratch("roundtrip");
+        let path = dir.join("nested/deep/value.json");
+        let value = vec![1.5f32, -0.25, 3.0];
+        save_json(&path, &value).unwrap();
+        let back: Vec<f32> = load_json(&path).unwrap();
+        assert_eq!(back, value);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overwrite_replaces_whole_file() {
+        let dir = scratch("overwrite");
+        let path = dir.join("v.json");
+        save_json(&path, &vec![1u32; 1000]).unwrap();
+        save_json(&path, &vec![2u32; 3]).unwrap();
+        let back: Vec<u32> = load_json(&path).unwrap();
+        assert_eq!(back, vec![2, 2, 2]);
+        // No temp litter left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_file_is_corrupt_not_panic() {
+        let dir = scratch("truncate");
+        let path = dir.join("v.json");
+        save_json(&path, &vec![0.5f64; 64]).unwrap();
+        let full = fs::read(&path).unwrap();
+        for keep in [0, 1, full.len() / 2, full.len() - 1] {
+            fs::write(&path, &full[..keep]).unwrap();
+            let err = load_json::<Vec<f64>>(&path).unwrap_err();
+            assert!(
+                matches!(err, StoreError::Corrupt { .. }),
+                "keep={keep}: got {err:?}"
+            );
+            assert!(err.path().contains("v.json"));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_is_corrupt_with_both_crcs() {
+        let dir = scratch("bitflip");
+        let path = dir.join("v.json");
+        save_json(&path, &vec![1.0f32; 32]).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[4] ^= 0x20; // flip a payload bit
+        fs::write(&path, &bytes).unwrap();
+        match load_json::<Vec<f32>>(&path).unwrap_err() {
+            StoreError::Corrupt { expected_crc, actual_crc, path: p, .. } => {
+                let exp = expected_crc.expect("footer intact, expected CRC known");
+                assert_ne!(exp, actual_crc);
+                assert!(p.contains("v.json"));
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_not_found() {
+        let err = load_json::<Vec<f32>>("/nonexistent/snn-store/v.json").unwrap_err();
+        assert!(matches!(err, StoreError::NotFound { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn wrong_type_is_malformed() {
+        let dir = scratch("malformed");
+        let path = dir.join("v.json");
+        save_json(&path, &"a string").unwrap();
+        let err = load_json::<Vec<f32>>(&path).unwrap_err();
+        assert!(matches!(err, StoreError::Malformed { .. }), "{err:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plain_atomic_write_has_no_footer() {
+        let dir = scratch("plain");
+        let path = dir.join("plain.json");
+        write_bytes_atomic(&path, b"{\"k\":1}").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"{\"k\":1}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

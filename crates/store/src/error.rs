@@ -1,0 +1,129 @@
+//! Typed errors for every way persisted state can disappoint.
+//!
+//! Store files cross a trust boundary — they survive crashes, partial
+//! writes, disk corruption, and schema drift — so every defect maps
+//! onto a variant here instead of a panic. Callers can distinguish
+//! "the file is gone" ([`StoreError::Io`]) from "the file is there
+//! but its bytes are damaged" ([`StoreError::Corrupt`]) from "the
+//! bytes are intact but no longer decode" ([`StoreError::Malformed`]).
+
+use std::fmt;
+use std::path::Path;
+
+/// Error reading or writing the durable store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The underlying filesystem operation failed.
+    Io {
+        /// Path the operation targeted.
+        path: String,
+        /// The formatted OS error.
+        message: String,
+    },
+    /// The file's bytes fail integrity verification: the payload does
+    /// not match its CRC32 footer, or the footer itself is missing or
+    /// unreadable (the signature of a truncated or bit-flipped file).
+    Corrupt {
+        /// Path of the damaged file.
+        path: String,
+        /// CRC32 recorded in the integrity footer, when one could
+        /// still be read (`None` when truncation destroyed it).
+        expected_crc: Option<u32>,
+        /// CRC32 of the payload bytes actually found on disk.
+        actual_crc: u32,
+        /// What exactly failed verification.
+        message: String,
+    },
+    /// The payload passed integrity verification but does not decode
+    /// into the requested type (schema drift, wrong file kind).
+    Malformed {
+        /// Path of the undecodable file.
+        path: String,
+        /// The decode failure, formatted.
+        message: String,
+    },
+    /// The requested entry does not exist (missing run, unknown model
+    /// name or version, no checkpoints yet).
+    NotFound {
+        /// What was looked up.
+        path: String,
+    },
+}
+
+impl StoreError {
+    /// Builds an [`StoreError::Io`] from an OS error at `path`.
+    pub fn io(path: &Path, err: &std::io::Error) -> Self {
+        StoreError::Io { path: path.display().to_string(), message: err.to_string() }
+    }
+
+    /// The path the error refers to.
+    pub fn path(&self) -> &str {
+        match self {
+            StoreError::Io { path, .. }
+            | StoreError::Corrupt { path, .. }
+            | StoreError::Malformed { path, .. }
+            | StoreError::NotFound { path } => path,
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, message } => {
+                write!(f, "store I/O error at `{path}`: {message}")
+            }
+            StoreError::Corrupt { path, expected_crc, actual_crc, message } => {
+                match expected_crc {
+                    Some(exp) => write!(
+                        f,
+                        "corrupt store file `{path}`: {message} \
+                         (expected crc32 {exp:08x}, actual {actual_crc:08x})"
+                    ),
+                    None => write!(
+                        f,
+                        "corrupt store file `{path}`: {message} \
+                         (payload crc32 {actual_crc:08x}, no readable footer)"
+                    ),
+                }
+            }
+            StoreError::Malformed { path, message } => {
+                write!(f, "malformed store file `{path}`: {message}")
+            }
+            StoreError::NotFound { path } => write!(f, "store entry not found: {path}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_path_and_crcs() {
+        let e = StoreError::Corrupt {
+            path: "/tmp/x.json".into(),
+            expected_crc: Some(0xdead_beef),
+            actual_crc: 0x1234_5678,
+            message: "payload mismatch".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("/tmp/x.json"), "{s}");
+        assert!(s.contains("deadbeef"), "{s}");
+        assert!(s.contains("12345678"), "{s}");
+        assert_eq!(e.path(), "/tmp/x.json");
+    }
+
+    #[test]
+    fn truncated_footer_display() {
+        let e = StoreError::Corrupt {
+            path: "p".into(),
+            expected_crc: None,
+            actual_crc: 7,
+            message: "integrity footer missing".into(),
+        };
+        assert!(e.to_string().contains("no readable footer"));
+    }
+}

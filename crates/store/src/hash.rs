@@ -1,0 +1,90 @@
+//! Integrity and identity hashes.
+//!
+//! Two distinct jobs, two distinct functions:
+//!
+//! * [`crc32`] — IEEE 802.3 CRC-32, the *integrity* check appended to
+//!   every store file so truncation and bit flips are detected on
+//!   load. Fast, table-driven, catches all burst errors up to 32 bits.
+//! * [`fnv64`] — 64-bit FNV-1a, the *identity* hash used to
+//!   content-address model blobs in the artifact registry. Not
+//!   cryptographic (the store does not defend against adversarial
+//!   collisions, only accidents), but stable across platforms and
+//!   cheap enough to hash multi-megabyte snapshots on every publish.
+
+use std::sync::OnceLock;
+
+/// IEEE 802.3 CRC-32 (polynomial `0xEDB88320`, reflected) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 == 1 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// 64-bit FNV-1a hash of `bytes`, hex-encoded (16 lowercase digits).
+///
+/// This is the content address of a registry blob: two snapshots with
+/// the same serialized form share one blob on disk.
+pub fn fnv64_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv64(bytes))
+}
+
+/// 64-bit FNV-1a hash of `bytes`.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The canonical check value for the IEEE CRC-32.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flip() {
+        let data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let clean = crc32(&data);
+        for i in 0..data.len() {
+            let mut flipped = data.clone();
+            flipped[i] ^= 0x01;
+            assert_ne!(crc32(&flipped), clean, "flip at byte {i} undetected");
+        }
+    }
+
+    #[test]
+    fn fnv64_known_vectors() {
+        // FNV-1a 64 reference values.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64_hex(b"a"), "af63dc4c8601ec8c");
+    }
+
+    #[test]
+    fn fnv64_hex_is_16_digits() {
+        assert_eq!(fnv64_hex(b"payload").len(), 16);
+    }
+}

@@ -1,0 +1,269 @@
+//! Append-only JSONL journal with per-line CRC32 integrity.
+//!
+//! A journal records *completed units of work* (e.g. finished DSE
+//! sweep points) so a restarted process can skip them. The format is
+//! one JSON object per line:
+//!
+//! ```text
+//! {"crc32":"61cab01e","data":<entry JSON>}
+//! ```
+//!
+//! where the CRC covers the serialized `data` text. Appends go
+//! through `O_APPEND` + `fdatasync`, so concurrent appenders within a
+//! process interleave whole lines and a committed line survives a
+//! crash.
+//!
+//! Recovery semantics on open:
+//!
+//! * A damaged **final** line is a torn tail — the crash happened
+//!   mid-append, the unit of work never committed — so it is dropped
+//!   and reported via [`JournalRecovery::torn_tail`].
+//! * A damaged **interior** line means the file was corrupted after
+//!   the fact (bit rot, manual editing) and surfaces as
+//!   [`StoreError::Corrupt`]: silently skipping interior entries
+//!   would silently redo — or worse, silently *not* redo — work.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StoreError;
+use crate::hash::crc32;
+use crate::obs::store_obs;
+
+/// What `open` found and salvaged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JournalRecovery {
+    /// Committed entries successfully replayed.
+    pub entries: usize,
+    /// Whether a torn (incomplete) final line was discarded.
+    pub torn_tail: bool,
+}
+
+/// An open append-only journal.
+///
+/// Appends take `&self`: the file handle lives behind a mutex, so a
+/// journal can be shared across the sweep worker pool.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path` and replays
+    /// its committed entries.
+    ///
+    /// # Errors
+    ///
+    /// * [`StoreError::Io`] — the file cannot be opened or read.
+    /// * [`StoreError::Corrupt`] — an interior line fails CRC or does
+    ///   not parse (see the module docs for why the tail is exempt).
+    /// * [`StoreError::Malformed`] — a verified line does not decode
+    ///   into `T`.
+    pub fn open<T: Deserialize>(
+        path: impl AsRef<Path>,
+    ) -> Result<(Journal, Vec<T>, JournalRecovery), StoreError> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| StoreError::io(path, &e))?;
+            }
+        }
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(StoreError::io(path, &e)),
+        };
+        let mut entries = Vec::new();
+        let mut recovery = JournalRecovery::default();
+        let lines: Vec<&str> = text.split('\n').collect();
+        // A well-formed file ends in '\n', so the final split element
+        // is empty; anything else on it is a torn tail candidate.
+        for (i, line) in lines.iter().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let is_last = i + 1 == lines.len();
+            match Self::decode_line::<T>(path, line) {
+                Ok(entry) => entries.push(entry),
+                Err(StoreError::Corrupt { .. }) if is_last => {
+                    recovery.torn_tail = true;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        recovery.entries = entries.len();
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| StoreError::io(path, &e))?;
+        Ok((Journal { path: path.to_path_buf(), file: Mutex::new(file) }, entries, recovery))
+    }
+
+    /// Decodes one committed line, verifying its CRC.
+    fn decode_line<T: Deserialize>(path: &Path, line: &str) -> Result<T, StoreError> {
+        let corrupt = |message: String, actual: u32, expected: Option<u32>| {
+            store_obs().corrupt.inc();
+            StoreError::Corrupt {
+                path: path.display().to_string(),
+                expected_crc: expected,
+                actual_crc: actual,
+                message,
+            }
+        };
+        // The envelope is `{"crc32":"XXXXXXXX","data":...}` with the
+        // data text being exactly the remainder up to the closing
+        // brace; slicing it out (rather than re-serializing a parsed
+        // value) keeps the CRC over the very bytes that were written.
+        const PREFIX: &str = "{\"crc32\":\"";
+        let rest = line.strip_prefix(PREFIX).ok_or_else(|| {
+            corrupt("journal line lacks the CRC envelope".into(), crc32(line.as_bytes()), None)
+        })?;
+        let crc_hex = rest.get(..8).ok_or_else(|| {
+            corrupt("journal line CRC truncated".into(), crc32(line.as_bytes()), None)
+        })?;
+        let rest = &rest[8..];
+        let expected = u32::from_str_radix(crc_hex, 16).map_err(|_| {
+            corrupt("journal line CRC unreadable".into(), crc32(line.as_bytes()), None)
+        })?;
+        let data = rest
+            .strip_prefix("\",\"data\":")
+            .and_then(|r| r.strip_suffix('}'))
+            .ok_or_else(|| {
+                corrupt(
+                    "journal line envelope truncated".into(),
+                    crc32(line.as_bytes()),
+                    Some(expected),
+                )
+            })?;
+        let actual = crc32(data.as_bytes());
+        if actual != expected {
+            return Err(corrupt("journal line CRC mismatch".into(), actual, Some(expected)));
+        }
+        serde_json::from_str(data).map_err(|e| StoreError::Malformed {
+            path: path.display().to_string(),
+            message: format!("journal entry does not decode: {e}"),
+        })
+    }
+
+    /// Appends one entry and syncs it to disk before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the write or sync fails, and
+    /// [`StoreError::Malformed`] if the entry cannot serialize.
+    pub fn append<T: Serialize>(&self, entry: &T) -> Result<(), StoreError> {
+        let _span = snn_obs::span!("store_journal_append");
+        let data = serde_json::to_string(entry).map_err(|e| StoreError::Malformed {
+            path: self.path.display().to_string(),
+            message: format!("cannot serialize journal entry: {e}"),
+        })?;
+        let line = format!("{{\"crc32\":\"{:08x}\",\"data\":{data}}}\n", crc32(data.as_bytes()));
+        let file = self.file.lock().expect("journal mutex poisoned");
+        // One write_all call: O_APPEND makes the whole line land
+        // contiguously even with multiple appenders in-process.
+        (&*file)
+            .write_all(line.as_bytes())
+            .and_then(|()| file.sync_data())
+            .map_err(|e| StoreError::io(&self.path, &e))?;
+        store_obs().journal_appends.inc();
+        Ok(())
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("snn_store_journal_tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("journal.jsonl")
+    }
+
+    #[test]
+    fn append_then_reopen_replays() {
+        let path = scratch("replay");
+        {
+            let (j, entries, rec) = Journal::open::<(u32, String)>(&path).unwrap();
+            assert!(entries.is_empty());
+            assert_eq!(rec, JournalRecovery::default());
+            j.append(&(1u32, "a".to_string())).unwrap();
+            j.append(&(2u32, "b".to_string())).unwrap();
+        }
+        let (j, entries, rec) = Journal::open::<(u32, String)>(&path).unwrap();
+        assert_eq!(entries, vec![(1, "a".to_string()), (2, "b".to_string())]);
+        assert_eq!(rec.entries, 2);
+        assert!(!rec.torn_tail);
+        j.append(&(3u32, "c".to_string())).unwrap();
+        let (_, entries, _) = Journal::open::<(u32, String)>(&path).unwrap();
+        assert_eq!(entries.len(), 3);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let path = scratch("torn");
+        {
+            let (j, _, _) = Journal::open::<u32>(&path).unwrap();
+            j.append(&7u32).unwrap();
+            j.append(&8u32).unwrap();
+        }
+        // Simulate a crash mid-append: chop the last line in half.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.len() - 7;
+        std::fs::write(&path, &text[..cut]).unwrap();
+        let (_, entries, rec) = Journal::open::<u32>(&path).unwrap();
+        assert_eq!(entries, vec![7]);
+        assert!(rec.torn_tail);
+    }
+
+    #[test]
+    fn interior_corruption_is_typed_error() {
+        let path = scratch("interior");
+        {
+            let (j, _, _) = Journal::open::<u32>(&path).unwrap();
+            j.append(&1u32).unwrap();
+            j.append(&2u32).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a bit inside the first line's data region.
+        let first_line_end = bytes.iter().position(|&b| b == b'\n').unwrap();
+        bytes[first_line_end - 2] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Journal::open::<u32>(&path).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn concurrent_appends_all_commit() {
+        let path = scratch("concurrent");
+        let (j, _, _) = Journal::open::<u64>(&path).unwrap();
+        let j = std::sync::Arc::new(j);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let j = std::sync::Arc::clone(&j);
+                s.spawn(move || {
+                    for i in 0..8u64 {
+                        j.append(&(t * 100 + i)).unwrap();
+                    }
+                });
+            }
+        });
+        let (_, mut entries, rec) = Journal::open::<u64>(&path).unwrap();
+        entries.sort_unstable();
+        assert_eq!(entries.len(), 32);
+        assert!(!rec.torn_tail);
+        assert!(entries.windows(2).all(|w| w[0] != w[1]), "no line interleaving");
+    }
+}

@@ -1,0 +1,50 @@
+//! `snn-store` — durable, crash-safe persistence for the SNN
+//! workspace.
+//!
+//! Everything the workspace writes that must survive a crash goes
+//! through this crate:
+//!
+//! * [`write_bytes_atomic`] / [`save_json`] / [`load_json`] — the
+//!   atomic write protocol (temp file + fsync + rename + parent-dir
+//!   fsync) with a CRC32 integrity footer verified on load.
+//!   Truncation and bit flips surface as typed
+//!   [`StoreError::Corrupt`] values, never panics.
+//! * [`Journal`] — append-only JSONL with per-line CRCs; a torn final
+//!   line (crash mid-append) is dropped on replay, interior damage is
+//!   a hard error. Backs resumable DSE sweeps.
+//! * [`RunStore`] — per-run checkpoint files plus the journal,
+//!   payload-agnostic so `snn-core` can layer its `TrainCheckpoint`
+//!   on top without a dependency cycle.
+//! * [`ArtifactRegistry`] — content-hashed, monotonically versioned
+//!   model artifacts with key/value metadata, `latest` resolution,
+//!   and GC of unreferenced blobs.
+//!
+//! The crate depends only on the vendored `serde`/`serde_json` and
+//! `snn-obs` (for `snn_store_*` counters and span histograms), so any
+//! workspace crate can use it.
+//!
+//! # Store layout
+//!
+//! ```text
+//! <root>/
+//!   runs/<run id>/ckpt-<epoch>.json , journal.jsonl
+//!   registry/blobs/<hash>.json , models/<name>/v<N>.json
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod atomic;
+mod error;
+mod hash;
+mod journal;
+mod obs;
+mod registry;
+mod runs;
+
+pub use atomic::{load_json, load_verified_bytes, save_json, write_bytes_atomic};
+pub use error::StoreError;
+pub use hash::{crc32, fnv64, fnv64_hex};
+pub use journal::{Journal, JournalRecovery};
+pub use registry::{ArtifactRegistry, ModelEntry, VersionSpec};
+pub use runs::{RunStore, RunSummary};

@@ -1,0 +1,48 @@
+//! Store operation counters in the global `snn-obs` registry.
+//!
+//! Span histograms come for free from the `span!` guards at each
+//! operation (`snn_span_store_write_seconds`,
+//! `snn_span_store_read_seconds`, `snn_span_store_gc_seconds`,
+//! `snn_span_store_journal_append_seconds`); the counters here track
+//! totals that dashboards alert on.
+
+use std::sync::{Arc, OnceLock};
+
+use snn_obs::Counter;
+
+/// Shared handles to the `snn_store_*` counters.
+pub struct StoreObs {
+    /// Completed atomic writes (`snn_store_writes_total`).
+    pub writes: Arc<Counter>,
+    /// Verified reads (`snn_store_reads_total`).
+    pub reads: Arc<Counter>,
+    /// Integrity failures surfaced as `StoreError::Corrupt`
+    /// (`snn_store_corrupt_total`).
+    pub corrupt: Arc<Counter>,
+    /// Journal entries appended (`snn_store_journal_appends_total`).
+    pub journal_appends: Arc<Counter>,
+    /// Blobs removed by registry GC (`snn_store_gc_removed_total`).
+    pub gc_removed: Arc<Counter>,
+}
+
+/// Lazily registered singleton for the store's counters.
+pub fn store_obs() -> &'static StoreObs {
+    static OBS: OnceLock<StoreObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = snn_obs::global();
+        StoreObs {
+            writes: r.counter("snn_store_writes_total", "atomic store writes completed"),
+            reads: r.counter("snn_store_reads_total", "store reads that passed verification"),
+            corrupt: r.counter(
+                "snn_store_corrupt_total",
+                "store loads rejected for failing CRC32/footer verification",
+            ),
+            journal_appends: r
+                .counter("snn_store_journal_appends_total", "journal entries appended"),
+            gc_removed: r.counter(
+                "snn_store_gc_removed_total",
+                "unreferenced registry blobs deleted by garbage collection",
+            ),
+        }
+    })
+}

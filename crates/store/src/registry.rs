@@ -1,0 +1,444 @@
+//! Versioned, content-addressed model artifact registry.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! <store root>/registry/
+//!   blobs/<fnv64-hex>.json        # payload (framed, CRC32 footer)
+//!   models/<name>/v<NNNNNN>.json  # entry metadata (framed)
+//! ```
+//!
+//! Payloads (serialized model snapshots) are stored once per distinct
+//! content under their FNV-1a 64 hash; entries are small metadata
+//! files binding `(name, version)` to a blob hash plus free-form
+//! key/value metadata (train config, accuracy, firing rate …).
+//! Versions are monotonic per name: the next version is one past the
+//! highest present. `latest` resolves to that highest version.
+//!
+//! Deleting an entry can strand its blob; [`ArtifactRegistry::gc`]
+//! removes blobs no entry references. Everything is written through
+//! the atomic framed writer, so a crash mid-publish leaves either a
+//! complete entry or no entry — never a half-written one — and a blob
+//! without an entry is exactly what GC collects.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::atomic::{load_json, load_verified_bytes, save_json};
+use crate::error::StoreError;
+use crate::hash::fnv64_hex;
+use crate::obs::store_obs;
+
+/// One published model version.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelEntry {
+    /// Model name (registry key).
+    pub name: String,
+    /// Monotonic version within the name, starting at 1.
+    pub version: u64,
+    /// Content hash (FNV-1a 64, hex) of the payload blob.
+    pub hash: String,
+    /// Payload size in bytes (pre-framing).
+    pub bytes: usize,
+    /// Free-form metadata pairs (train config, accuracy, firing
+    /// rate, …) in insertion order.
+    pub meta: Vec<(String, String)>,
+}
+
+impl ModelEntry {
+    /// Looks up one metadata value.
+    pub fn meta_get(&self, key: &str) -> Option<&str> {
+        self.meta.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Which version of a model to load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VersionSpec {
+    /// The highest published version.
+    Latest,
+    /// An exact version number.
+    Exact(u64),
+}
+
+impl VersionSpec {
+    /// Parses `latest` or a version number.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for anything else.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        if text.eq_ignore_ascii_case("latest") {
+            return Ok(VersionSpec::Latest);
+        }
+        text.parse::<u64>()
+            .ok()
+            .filter(|&v| v > 0)
+            .map(VersionSpec::Exact)
+            .ok_or_else(|| format!("bad version `{text}` (expected `latest` or a number ≥ 1)"))
+    }
+}
+
+/// The filesystem-backed artifact registry.
+#[derive(Debug, Clone)]
+pub struct ArtifactRegistry {
+    root: PathBuf,
+}
+
+impl ArtifactRegistry {
+    /// Opens (without touching disk yet) the registry rooted at
+    /// `<root>/registry`.
+    pub fn open(store_root: impl AsRef<Path>) -> Self {
+        ArtifactRegistry { root: store_root.as_ref().join("registry") }
+    }
+
+    fn blobs_dir(&self) -> PathBuf {
+        self.root.join("blobs")
+    }
+
+    fn model_dir(&self, name: &str) -> PathBuf {
+        self.root.join("models").join(name)
+    }
+
+    fn entry_path(&self, name: &str, version: u64) -> PathBuf {
+        self.model_dir(name).join(format!("v{version:06}.json"))
+    }
+
+    fn blob_path(&self, hash: &str) -> PathBuf {
+        self.blobs_dir().join(format!("{hash}.json"))
+    }
+
+    /// Publishes `payload` under `name`, assigning the next version.
+    ///
+    /// The payload is serialized once; identical content reuses the
+    /// existing blob. Returns the new entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] from serialization or the writes.
+    pub fn publish<T: Serialize>(
+        &self,
+        name: &str,
+        payload: &T,
+        meta: Vec<(String, String)>,
+    ) -> Result<ModelEntry, StoreError> {
+        validate_name(name)?;
+        let json = serde_json::to_string(payload).map_err(|e| StoreError::Malformed {
+            path: self.root.display().to_string(),
+            message: format!("cannot serialize payload: {e}"),
+        })?;
+        let hash = fnv64_hex(json.as_bytes());
+        let blob = self.blob_path(&hash);
+        if !blob.exists() {
+            crate::atomic::write_bytes_atomic(&blob, &crate::atomic::encode_framed(json.as_bytes()))?;
+        }
+        let version = self.versions(name)?.last().copied().unwrap_or(0) + 1;
+        let entry = ModelEntry {
+            name: name.to_string(),
+            version,
+            hash,
+            bytes: json.len(),
+            meta,
+        };
+        save_json(self.entry_path(name, version), &entry)?;
+        Ok(entry)
+    }
+
+    /// All versions published under `name`, ascending. Empty when the
+    /// model does not exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the model directory exists but
+    /// cannot be read.
+    pub fn versions(&self, name: &str) -> Result<Vec<u64>, StoreError> {
+        let dir = self.model_dir(name);
+        let mut versions = Vec::new();
+        let entries = match fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(versions),
+            Err(e) => return Err(StoreError::io(&dir, &e)),
+        };
+        for entry in entries.flatten() {
+            let file = entry.file_name();
+            let file = file.to_string_lossy();
+            if let Some(v) = file.strip_prefix('v').and_then(|s| s.strip_suffix(".json")) {
+                if let Ok(v) = v.parse::<u64>() {
+                    versions.push(v);
+                }
+            }
+        }
+        versions.sort_unstable();
+        Ok(versions)
+    }
+
+    /// Model names with at least one published version, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the models directory exists but
+    /// cannot be read.
+    pub fn models(&self) -> Result<Vec<String>, StoreError> {
+        let dir = self.root.join("models");
+        let mut names = Vec::new();
+        let entries = match fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(names),
+            Err(e) => return Err(StoreError::io(&dir, &e)),
+        };
+        for entry in entries.flatten() {
+            if entry.path().is_dir() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// Resolves a version spec against the published versions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::NotFound`] if the name has no versions
+    /// or the exact version is absent.
+    pub fn resolve(&self, name: &str, spec: VersionSpec) -> Result<u64, StoreError> {
+        let versions = self.versions(name)?;
+        let not_found = |what: String| StoreError::NotFound { path: what };
+        match spec {
+            VersionSpec::Latest => versions
+                .last()
+                .copied()
+                .ok_or_else(|| not_found(format!("model `{name}` (no published versions)"))),
+            VersionSpec::Exact(v) => versions
+                .contains(&v)
+                .then_some(v)
+                .ok_or_else(|| not_found(format!("model `{name}` version {v}"))),
+        }
+    }
+
+    /// Loads an entry's metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] for unknown name/version; integrity
+    /// errors propagate from the framed loader.
+    pub fn entry(&self, name: &str, spec: VersionSpec) -> Result<ModelEntry, StoreError> {
+        let version = self.resolve(name, spec)?;
+        load_json(self.entry_path(name, version))
+    }
+
+    /// Loads an entry plus its payload JSON text, verifying the
+    /// blob's CRC footer *and* that its content hash still matches
+    /// the entry.
+    ///
+    /// # Errors
+    ///
+    /// As [`ArtifactRegistry::entry`], plus [`StoreError::Corrupt`]
+    /// if the blob's recomputed content hash disagrees with the entry
+    /// (the blob was swapped or damaged in a way that preserved its
+    /// own footer).
+    pub fn load(&self, name: &str, spec: VersionSpec) -> Result<(ModelEntry, String), StoreError> {
+        let entry: ModelEntry = self.entry(name, spec)?;
+        let blob_path = self.blob_path(&entry.hash);
+        let payload = load_verified_bytes(&blob_path)?;
+        let actual = fnv64_hex(&payload);
+        if actual != entry.hash {
+            store_obs().corrupt.inc();
+            return Err(StoreError::Corrupt {
+                path: blob_path.display().to_string(),
+                expected_crc: None,
+                actual_crc: crate::hash::crc32(&payload),
+                message: format!(
+                    "blob content hash {actual} disagrees with entry hash {}",
+                    entry.hash
+                ),
+            });
+        }
+        let text = String::from_utf8(payload).map_err(|_| StoreError::Malformed {
+            path: blob_path.display().to_string(),
+            message: "blob payload is not UTF-8".into(),
+        })?;
+        Ok((entry, text))
+    }
+
+    /// Deletes one published version's entry (its blob becomes
+    /// GC-able if nothing else references it).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if the version does not exist;
+    /// [`StoreError::Io`] if the unlink fails.
+    pub fn delete(&self, name: &str, spec: VersionSpec) -> Result<u64, StoreError> {
+        let version = self.resolve(name, spec)?;
+        let path = self.entry_path(name, version);
+        fs::remove_file(&path).map_err(|e| StoreError::io(&path, &e))?;
+        Ok(version)
+    }
+
+    /// Removes blobs referenced by no entry. Returns their hashes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on directory scan or unlink
+    /// failures; unreadable entries propagate their typed errors
+    /// (GC must never delete a blob because its entry failed to
+    /// parse).
+    pub fn gc(&self) -> Result<Vec<String>, StoreError> {
+        let _span = snn_obs::span!("store_gc");
+        let mut referenced = BTreeSet::new();
+        for name in self.models()? {
+            for version in self.versions(&name)? {
+                let entry: ModelEntry = load_json(self.entry_path(&name, version))?;
+                referenced.insert(entry.hash);
+            }
+        }
+        let blobs = self.blobs_dir();
+        let mut removed = Vec::new();
+        let entries = match fs::read_dir(&blobs) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(removed),
+            Err(e) => return Err(StoreError::io(&blobs, &e)),
+        };
+        for entry in entries.flatten() {
+            let file = entry.file_name();
+            let file = file.to_string_lossy();
+            let Some(hash) = file.strip_suffix(".json") else { continue };
+            if !referenced.contains(hash) {
+                let path = entry.path();
+                fs::remove_file(&path).map_err(|e| StoreError::io(&path, &e))?;
+                store_obs().gc_removed.inc();
+                removed.push(hash.to_string());
+            }
+        }
+        removed.sort();
+        Ok(removed)
+    }
+}
+
+/// Rejects names that would escape the registry directory or collide
+/// with the layout.
+fn validate_name(name: &str) -> Result<(), StoreError> {
+    let ok = !name.is_empty()
+        && name.len() <= 128
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        && !name.starts_with('.');
+    if ok {
+        Ok(())
+    } else {
+        Err(StoreError::Malformed {
+            path: name.to_string(),
+            message: "model names must be non-empty [A-Za-z0-9._-], not starting with `.`".into(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("snn_store_registry_tests").join(name);
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn meta() -> Vec<(String, String)> {
+        vec![("accuracy".into(), "0.91".into())]
+    }
+
+    #[test]
+    fn publish_versions_monotonically() {
+        let root = scratch("monotonic");
+        let reg = ArtifactRegistry::open(&root);
+        let e1 = reg.publish("m", &vec![1.0f32], meta()).unwrap();
+        let e2 = reg.publish("m", &vec![2.0f32], meta()).unwrap();
+        let e3 = reg.publish("m", &vec![1.0f32], meta()).unwrap();
+        assert_eq!((e1.version, e2.version, e3.version), (1, 2, 3));
+        // Identical content shares a blob.
+        assert_eq!(e1.hash, e3.hash);
+        assert_ne!(e1.hash, e2.hash);
+        assert_eq!(reg.versions("m").unwrap(), vec![1, 2, 3]);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn load_latest_and_exact() {
+        let root = scratch("load");
+        let reg = ArtifactRegistry::open(&root);
+        reg.publish("m", &vec![1.0f32], meta()).unwrap();
+        reg.publish("m", &vec![2.5f32], meta()).unwrap();
+        let (entry, json) = reg.load("m", VersionSpec::Latest).unwrap();
+        assert_eq!(entry.version, 2);
+        assert_eq!(json, "[2.5]");
+        assert_eq!(entry.meta_get("accuracy"), Some("0.91"));
+        let (entry, json) = reg.load("m", VersionSpec::Exact(1)).unwrap();
+        assert_eq!(entry.version, 1);
+        assert_eq!(json, "[1]");
+        assert!(matches!(
+            reg.load("m", VersionSpec::Exact(9)).unwrap_err(),
+            StoreError::NotFound { .. }
+        ));
+        assert!(matches!(
+            reg.load("ghost", VersionSpec::Latest).unwrap_err(),
+            StoreError::NotFound { .. }
+        ));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn gc_removes_only_unreferenced_blobs() {
+        let root = scratch("gc");
+        let reg = ArtifactRegistry::open(&root);
+        let e1 = reg.publish("m", &vec![1.0f32], vec![]).unwrap();
+        let e2 = reg.publish("m", &vec![2.0f32], vec![]).unwrap();
+        assert!(reg.gc().unwrap().is_empty(), "all blobs referenced");
+        reg.delete("m", VersionSpec::Exact(1)).unwrap();
+        let removed = reg.gc().unwrap();
+        assert_eq!(removed, vec![e1.hash.clone()]);
+        // v2 still loads after GC.
+        let (entry, _) = reg.load("m", VersionSpec::Latest).unwrap();
+        assert_eq!(entry.hash, e2.hash);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn tampered_blob_is_corrupt() {
+        let root = scratch("tamper");
+        let reg = ArtifactRegistry::open(&root);
+        let e = reg.publish("m", &vec![1.0f32, 2.0], vec![]).unwrap();
+        // Replace the blob with *differently framed but internally
+        // consistent* content: the CRC footer passes, the content
+        // hash must catch it.
+        let blob = reg.blob_path(&e.hash);
+        fs::write(&blob, crate::atomic::encode_framed(b"[9]")).unwrap();
+        let err = reg.load("m", VersionSpec::Latest).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err:?}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        let reg = ArtifactRegistry::open(scratch("names"));
+        for bad in ["", "../x", "a/b", ".hidden", "a b"] {
+            assert!(
+                matches!(reg.publish(bad, &1u32, vec![]), Err(StoreError::Malformed { .. })),
+                "name `{bad}` accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn version_spec_parses() {
+        assert_eq!(VersionSpec::parse("latest").unwrap(), VersionSpec::Latest);
+        assert_eq!(VersionSpec::parse("LATEST").unwrap(), VersionSpec::Latest);
+        assert_eq!(VersionSpec::parse("3").unwrap(), VersionSpec::Exact(3));
+        assert!(VersionSpec::parse("0").is_err());
+        assert!(VersionSpec::parse("nope").is_err());
+    }
+}

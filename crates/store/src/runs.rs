@@ -1,0 +1,268 @@
+//! Per-run storage: checkpoints and sweep journals under one root.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! <store root>/runs/<run id>/
+//!   ckpt-000003.json   # framed checkpoint at epoch boundary 3
+//!   journal.jsonl      # append-only completed-work journal
+//! ```
+//!
+//! The store is payload-agnostic: checkpoints are any `Serialize +
+//! Deserialize` type (the trainer's `TrainCheckpoint` lives in
+//! `snn-core`, which depends on this crate — not the other way
+//! around, keeping the durability layer free of model types).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::atomic::{load_json, save_json};
+use crate::error::StoreError;
+
+/// Checkpoint files are named `ckpt-<epoch, zero-padded>.json` so a
+/// lexicographic directory sort is also a numeric sort.
+fn checkpoint_file_name(epoch: usize) -> String {
+    format!("ckpt-{epoch:06}.json")
+}
+
+/// A filesystem-backed store of training runs.
+#[derive(Debug, Clone)]
+pub struct RunStore {
+    root: PathBuf,
+}
+
+/// Summary of one run directory, as listed by [`RunStore::list_runs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSummary {
+    /// The run's identifier (its directory name).
+    pub run_id: String,
+    /// Epochs with a checkpoint on disk, ascending.
+    pub checkpoints: Vec<usize>,
+    /// Whether the run has a sweep journal.
+    pub has_journal: bool,
+}
+
+impl RunStore {
+    /// Opens (without touching disk yet) the run store rooted at
+    /// `store_root`.
+    pub fn open(store_root: impl AsRef<Path>) -> Self {
+        RunStore { root: store_root.as_ref().to_path_buf() }
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Directory holding one run's files.
+    pub fn run_dir(&self, run_id: &str) -> PathBuf {
+        self.root.join("runs").join(run_id)
+    }
+
+    /// Path of the checkpoint for `epoch` in `run_id`.
+    pub fn checkpoint_path(&self, run_id: &str, epoch: usize) -> PathBuf {
+        self.run_dir(run_id).join(checkpoint_file_name(epoch))
+    }
+
+    /// Path of the run's append-only journal.
+    pub fn journal_path(&self, run_id: &str) -> PathBuf {
+        self.run_dir(run_id).join("journal.jsonl")
+    }
+
+    /// The artifact registry sharing this store's root.
+    pub fn registry(&self) -> crate::registry::ArtifactRegistry {
+        crate::registry::ArtifactRegistry::open(&self.root)
+    }
+
+    /// Saves a checkpoint payload for `epoch`, atomically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] from serialization or the write.
+    pub fn save_checkpoint<T: Serialize>(
+        &self,
+        run_id: &str,
+        epoch: usize,
+        payload: &T,
+    ) -> Result<PathBuf, StoreError> {
+        let path = self.checkpoint_path(run_id, epoch);
+        save_json(&path, payload)?;
+        Ok(path)
+    }
+
+    /// Loads and verifies the checkpoint for `epoch`.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::load_json`]: `NotFound`, `Io`, `Corrupt`, or
+    /// `Malformed`.
+    pub fn load_checkpoint<T: Deserialize>(
+        &self,
+        run_id: &str,
+        epoch: usize,
+    ) -> Result<T, StoreError> {
+        load_json(self.checkpoint_path(run_id, epoch))
+    }
+
+    /// Epochs with a checkpoint on disk for `run_id`, ascending.
+    /// Empty if the run directory does not exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the directory exists but cannot
+    /// be read.
+    pub fn checkpoint_epochs(&self, run_id: &str) -> Result<Vec<usize>, StoreError> {
+        let dir = self.run_dir(run_id);
+        let mut epochs = Vec::new();
+        let entries = match fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(epochs),
+            Err(e) => return Err(StoreError::io(&dir, &e)),
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(num) = name.strip_prefix("ckpt-").and_then(|s| s.strip_suffix(".json")) {
+                if let Ok(epoch) = num.parse::<usize>() {
+                    epochs.push(epoch);
+                }
+            }
+        }
+        epochs.sort_unstable();
+        Ok(epochs)
+    }
+
+    /// The highest checkpointed epoch for `run_id`, if any.
+    ///
+    /// # Errors
+    ///
+    /// As [`RunStore::checkpoint_epochs`].
+    pub fn latest_checkpoint(&self, run_id: &str) -> Result<Option<usize>, StoreError> {
+        Ok(self.checkpoint_epochs(run_id)?.last().copied())
+    }
+
+    /// Loads the latest checkpoint payload, if the run has one.
+    ///
+    /// # Errors
+    ///
+    /// As [`RunStore::load_checkpoint`].
+    pub fn load_latest_checkpoint<T: Deserialize>(
+        &self,
+        run_id: &str,
+    ) -> Result<Option<(usize, T)>, StoreError> {
+        match self.latest_checkpoint(run_id)? {
+            Some(epoch) => Ok(Some((epoch, self.load_checkpoint(run_id, epoch)?))),
+            None => Ok(None),
+        }
+    }
+
+    /// Summaries of every run in the store, sorted by run id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on directory scan failures.
+    pub fn list_runs(&self) -> Result<Vec<RunSummary>, StoreError> {
+        let dir = self.root.join("runs");
+        let mut runs = Vec::new();
+        let entries = match fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(runs),
+            Err(e) => return Err(StoreError::io(&dir, &e)),
+        };
+        for entry in entries.flatten() {
+            if !entry.path().is_dir() {
+                continue;
+            }
+            let run_id = entry.file_name().to_string_lossy().into_owned();
+            let checkpoints = self.checkpoint_epochs(&run_id)?;
+            let has_journal = self.journal_path(&run_id).exists();
+            runs.push(RunSummary { run_id, checkpoints, has_journal });
+        }
+        runs.sort_by(|a, b| a.run_id.cmp(&b.run_id));
+        Ok(runs)
+    }
+
+    /// Deletes checkpoints below the latest for `run_id`, keeping
+    /// `keep` most recent. Returns the removed epochs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if an unlink fails.
+    pub fn prune_checkpoints(&self, run_id: &str, keep: usize) -> Result<Vec<usize>, StoreError> {
+        let epochs = self.checkpoint_epochs(run_id)?;
+        let cut = epochs.len().saturating_sub(keep.max(1));
+        let mut removed = Vec::new();
+        for &epoch in &epochs[..cut] {
+            let path = self.checkpoint_path(run_id, epoch);
+            fs::remove_file(&path).map_err(|e| StoreError::io(&path, &e))?;
+            removed.push(epoch);
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("snn_store_runs_tests").join(name);
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn checkpoints_roundtrip_and_sort() {
+        let root = scratch("roundtrip");
+        let store = RunStore::open(&root);
+        store.save_checkpoint("r1", 3, &vec![3.0f32]).unwrap();
+        store.save_checkpoint("r1", 10, &vec![10.0f32]).unwrap();
+        store.save_checkpoint("r1", 1, &vec![1.0f32]).unwrap();
+        assert_eq!(store.checkpoint_epochs("r1").unwrap(), vec![1, 3, 10]);
+        assert_eq!(store.latest_checkpoint("r1").unwrap(), Some(10));
+        let (epoch, payload): (usize, Vec<f32>) =
+            store.load_latest_checkpoint("r1").unwrap().unwrap();
+        assert_eq!((epoch, payload), (10, vec![10.0f32]));
+        assert_eq!(store.latest_checkpoint("ghost").unwrap(), None);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn list_runs_reports_all() {
+        let root = scratch("list");
+        let store = RunStore::open(&root);
+        assert!(store.list_runs().unwrap().is_empty());
+        store.save_checkpoint("b", 2, &1u32).unwrap();
+        store.save_checkpoint("a", 1, &1u32).unwrap();
+        let (j, _, _) = crate::Journal::open::<u32>(store.journal_path("a")).unwrap();
+        j.append(&7u32).unwrap();
+        let runs = store.list_runs().unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].run_id, "a");
+        assert!(runs[0].has_journal);
+        assert_eq!(runs[0].checkpoints, vec![1]);
+        assert_eq!(runs[1].run_id, "b");
+        assert!(!runs[1].has_journal);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn prune_keeps_most_recent() {
+        let root = scratch("prune");
+        let store = RunStore::open(&root);
+        for epoch in [1, 2, 3, 4, 5] {
+            store.save_checkpoint("r", epoch, &(epoch as u32)).unwrap();
+        }
+        let removed = store.prune_checkpoints("r", 2).unwrap();
+        assert_eq!(removed, vec![1, 2, 3]);
+        assert_eq!(store.checkpoint_epochs("r").unwrap(), vec![4, 5]);
+        // keep=0 still retains the latest.
+        let removed = store.prune_checkpoints("r", 0).unwrap();
+        assert_eq!(removed, vec![4]);
+        assert_eq!(store.checkpoint_epochs("r").unwrap(), vec![5]);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,171 @@
+//! Corruption-injection tests: every damage pattern must surface as
+//! a typed `StoreError` — never a panic, never silently short data.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+use snn_store::{ArtifactRegistry, Journal, RunStore, StoreError, VersionSpec};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct FakeCheckpoint {
+    epoch: u32,
+    weights: Vec<f32>,
+    note: String,
+}
+
+fn checkpoint() -> FakeCheckpoint {
+    FakeCheckpoint {
+        epoch: 7,
+        weights: (0..256).map(|i| (i as f32) * 0.125 - 16.0).collect(),
+        note: "surrogate=fast_sigmoid scale=2.0".into(),
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("snn_store_corruption_tests").join(name);
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Truncating a checkpoint at every byte boundary must yield a typed
+/// error (Corrupt once the frame is damaged), never a panic and never
+/// a short weight vector.
+#[test]
+fn truncated_checkpoint_never_panics_never_short_reads() {
+    let root = scratch("ckpt-truncate");
+    let store = RunStore::open(&root);
+    let path = store.save_checkpoint("run-a", 7, &checkpoint()).unwrap();
+    let full = fs::read(&path).unwrap();
+
+    // Exhaustive over a stride of cut points plus the interesting
+    // edges (empty file, lost footer, lost final byte).
+    let mut cuts: Vec<usize> = (0..full.len()).step_by(97).collect();
+    cuts.extend([0, 1, full.len() - 1, full.len() / 2]);
+    for cut in cuts {
+        fs::write(&path, &full[..cut]).unwrap();
+        match store.load_checkpoint::<FakeCheckpoint>("run-a", 7) {
+            Ok(ok) => panic!("cut={cut}: truncated checkpoint loaded: {ok:?}"),
+            Err(StoreError::Corrupt { path: p, actual_crc: _, .. }) => {
+                assert!(p.contains("ckpt-000007.json"), "cut={cut}: path missing, got {p}");
+            }
+            // Cutting *inside the payload* such that the remaining
+            // bytes still end with a parseable footer is impossible:
+            // the footer carries the payload length. Any other typed
+            // error (e.g. Malformed) would mean the frame verified,
+            // which truncation cannot achieve.
+            Err(other) => panic!("cut={cut}: expected Corrupt, got {other:?}"),
+        }
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// Bit flips anywhere in the file must be rejected, and when the
+/// footer itself is intact the error must report both CRCs.
+#[test]
+fn bit_flipped_checkpoint_reports_both_crcs() {
+    let root = scratch("ckpt-bitflip");
+    let store = RunStore::open(&root);
+    let path = store.save_checkpoint("run-b", 3, &checkpoint()).unwrap();
+    let clean = fs::read(&path).unwrap();
+
+    for pos in (0..clean.len()).step_by(53) {
+        let mut bytes = clean.clone();
+        bytes[pos] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+        let err = store
+            .load_checkpoint::<FakeCheckpoint>("run-b", 3)
+            .expect_err("bit flip accepted");
+        assert!(
+            matches!(err, StoreError::Corrupt { .. }),
+            "flip at {pos}: expected Corrupt, got {err:?}"
+        );
+    }
+
+    // Flip squarely inside the payload: footer parses, CRCs disagree.
+    let mut bytes = clean.clone();
+    bytes[8] ^= 0x01;
+    fs::write(&path, &bytes).unwrap();
+    match store.load_checkpoint::<FakeCheckpoint>("run-b", 3).unwrap_err() {
+        StoreError::Corrupt { expected_crc: Some(exp), actual_crc, path: p, .. } => {
+            assert_ne!(exp, actual_crc, "CRCs must differ");
+            assert!(p.contains("ckpt-000003.json"));
+        }
+        other => panic!("expected Corrupt with expected CRC, got {other:?}"),
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// A corrupted registry entry (the version metadata file) is caught
+/// by its own frame; a swapped blob is caught by the content hash.
+#[test]
+fn registry_corruption_is_typed() {
+    let root = scratch("registry");
+    let reg = ArtifactRegistry::open(&root);
+    let entry = reg
+        .publish("lif-mnist", &checkpoint(), vec![("accuracy".into(), "0.93".into())])
+        .unwrap();
+
+    // Damage the entry file: truncate it.
+    let entry_path = root.join("registry/models/lif-mnist").join("v000001.json");
+    let full = fs::read(&entry_path).unwrap();
+    fs::write(&entry_path, &full[..full.len() / 2]).unwrap();
+    let err = reg.entry("lif-mnist", VersionSpec::Latest).unwrap_err();
+    assert!(matches!(err, StoreError::Corrupt { .. }), "{err:?}");
+
+    // Restore the entry, then bit-flip the blob payload.
+    fs::write(&entry_path, &full).unwrap();
+    let blob_path = root.join("registry/blobs").join(format!("{}.json", entry.hash));
+    let mut blob = fs::read(&blob_path).unwrap();
+    blob[3] ^= 0x40;
+    fs::write(&blob_path, &blob).unwrap();
+    let err = reg.load("lif-mnist", VersionSpec::Latest).unwrap_err();
+    assert!(matches!(err, StoreError::Corrupt { .. }), "{err:?}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// Journal: torn tail recovers, interior damage is fatal and typed.
+#[test]
+fn journal_corruption_semantics() {
+    let root = scratch("journal");
+    let store = RunStore::open(&root);
+    let jpath = store.journal_path("sweep-1");
+    {
+        let (j, _, _) = Journal::open::<FakeCheckpoint>(&jpath).unwrap();
+        for epoch in 0..4 {
+            j.append(&FakeCheckpoint { epoch, ..checkpoint() }).unwrap();
+        }
+    }
+    let clean = fs::read(&jpath).unwrap();
+
+    // Torn tail: drop half the final line → replay keeps 3, flags it.
+    fs::write(&jpath, &clean[..clean.len() - 20]).unwrap();
+    let (_, entries, rec) = Journal::open::<FakeCheckpoint>(&jpath).unwrap();
+    assert_eq!(entries.len(), 3);
+    assert!(rec.torn_tail);
+
+    // Interior damage: flip a bit in the second line.
+    let mut bytes = clean.clone();
+    let second_line = bytes.iter().position(|&b| b == b'\n').unwrap() + 30;
+    bytes[second_line] ^= 0x02;
+    fs::write(&jpath, &bytes).unwrap();
+    let err = Journal::open::<FakeCheckpoint>(&jpath).unwrap_err();
+    assert!(matches!(err, StoreError::Corrupt { .. }), "{err:?}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// StoreError values format both CRCs in hex for operators.
+#[test]
+fn corrupt_error_display_includes_crcs() {
+    let err = StoreError::Corrupt {
+        path: "/tmp/x.json".into(),
+        expected_crc: Some(0xDEAD_BEEF),
+        actual_crc: 0x0BAD_F00D,
+        message: "payload CRC mismatch".into(),
+    };
+    let text = err.to_string();
+    assert!(text.contains("deadbeef"), "{text}");
+    assert!(text.contains("0badf00d"), "{text}");
+    assert!(text.contains("/tmp/x.json"), "{text}");
+}

@@ -78,4 +78,45 @@ trap - EXIT
 rm -f "$serve_log"
 echo "ci.sh: serve smoke test passed ($addr)"
 
+# Crash-resume smoke test: SIGKILL a checkpointed training run
+# mid-epoch, resume it from the run store, and require the resumed
+# snapshot to be byte-identical to an uninterrupted run. This is the
+# real-process counterpart of the in-process kill tests in
+# tests/checkpoint_resume.rs.
+store_dir="$(mktemp -d)"
+train_log="$(mktemp)"
+trap 'rm -rf "$store_dir"; rm -f "$train_log"' EXIT
+
+target/release/snn train --profile micro --epochs 3 \
+  --out "$store_dir/ref.json" >/dev/null
+
+target/release/snn train --profile micro --epochs 3 \
+  --store "$store_dir/store" --run-id smoke --checkpoint-every 1 \
+  --out "$store_dir/crashed.json" >"$train_log" 2>&1 &
+train_pid=$!
+for _ in $(seq 600); do
+  [ -e "$store_dir/store/runs/smoke/ckpt-000001.json" ] && break
+  kill -0 "$train_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$train_pid" 2>/dev/null; then
+  kill -9 "$train_pid" 2>/dev/null || true
+fi
+wait "$train_pid" 2>/dev/null || true
+[ -e "$store_dir/store/runs/smoke/ckpt-000001.json" ] \
+  || { cat "$train_log"; echo "ci.sh: no checkpoint appeared before the kill" >&2; exit 1; }
+
+target/release/snn train --profile micro --epochs 3 \
+  --store "$store_dir/store" --run-id smoke --checkpoint-every 1 --resume \
+  --out "$store_dir/resumed.json" >/dev/null
+cmp -s "$store_dir/ref.json" "$store_dir/resumed.json" \
+  || { echo "ci.sh: resumed snapshot differs from the uninterrupted run" >&2; exit 1; }
+target/release/snn runs list --store "$store_dir/store" | grep -q '^smoke ' \
+  || { echo "ci.sh: snn runs list does not show the smoke run" >&2; exit 1; }
+
+rm -rf "$store_dir"
+rm -f "$train_log"
+trap - EXIT
+echo "ci.sh: crash-resume smoke test passed"
+
 echo "ci.sh: all gates passed"

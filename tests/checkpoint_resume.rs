@@ -1,0 +1,152 @@
+//! Cross-crate durability integration: a training run interrupted
+//! mid-flight and resumed from its `snn-store` checkpoint must end
+//! bitwise-identical to one that was never interrupted, and the
+//! artifact registry must round-trip published snapshots by version.
+
+use std::path::PathBuf;
+
+use snn_core::{NetworkSnapshot, SpikingNetwork, Surrogate, TrainCheckpoint, Trainer};
+use snn_dse::ExperimentProfile;
+use snn_store::{RunStore, VersionSpec};
+use snn_tensor::derive_seed;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("snn_repro_checkpoint_tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Serialized snapshot text: string equality is bitwise weight
+/// equality (the vendored serializer emits shortest-roundtrip floats).
+fn weights_json(net: &SpikingNetwork) -> String {
+    serde_json::to_string(&NetworkSnapshot::from_network(net)).expect("snapshot serializes")
+}
+
+#[test]
+fn crash_and_resume_matches_uninterrupted() {
+    let mut p = ExperimentProfile::micro();
+    p.epochs = 3;
+    let (train, _) = p.datasets();
+    let lif = p.lif(Surrogate::FastSigmoid { k: 0.25 }, 0.5, 1.0);
+    let cfg = p.train_config();
+    let net_with_seed = |seed: u64| {
+        SpikingNetwork::paper_topology(
+            p.input_shape(),
+            train.classes(),
+            lif,
+            derive_seed(seed, "weights"),
+        )
+        .expect("topology builds")
+    };
+
+    // Uninterrupted baseline.
+    let mut baseline = net_with_seed(p.seed);
+    let base_report = Trainer::new(cfg).fit(&mut baseline, &train).expect("baseline trains");
+
+    // Interrupted run: checkpoint every epoch, die right after the
+    // first checkpoint lands.
+    let root = scratch("crash_resume");
+    let store = RunStore::open(&root);
+    let mut crashed = net_with_seed(p.seed);
+    let err = Trainer::new(cfg)
+        .checkpoint_every(1)
+        .fit_with(&mut crashed, &train, |ckpt| {
+            ckpt.save(&store, "r1").map_err(|e| e.to_string())?;
+            if ckpt.next_epoch == 1 {
+                Err("simulated crash".into())
+            } else {
+                Ok(())
+            }
+        })
+        .expect_err("simulated crash aborts the run");
+    assert!(err.contains("simulated crash"), "unexpected error: {err}");
+
+    // Resume into a *differently* seeded network — the checkpoint
+    // must fully overwrite it.
+    let ckpt = TrainCheckpoint::load_latest(&store, "r1")
+        .expect("checkpoint loads")
+        .expect("checkpoint exists");
+    assert_eq!(ckpt.next_epoch, 1);
+    let mut resumed = net_with_seed(p.seed ^ 0xdead_beef);
+    let resumed_report = Trainer::new(cfg)
+        .checkpoint_every(1)
+        .resume_from(ckpt)
+        .fit_with(&mut resumed, &train, |ckpt| {
+            ckpt.save(&store, "r1").map(|_| ()).map_err(|e| e.to_string())
+        })
+        .expect("resume trains");
+
+    assert_eq!(
+        weights_json(&baseline),
+        weights_json(&resumed),
+        "resumed weights must be bitwise identical to the uninterrupted run"
+    );
+    assert_eq!(base_report.epochs.len(), resumed_report.epochs.len());
+    for (a, b) in base_report.epochs.iter().zip(&resumed_report.epochs) {
+        assert_eq!(a.epoch, b.epoch);
+        assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits());
+        assert_eq!(a.train_accuracy.to_bits(), b.train_accuracy.to_bits());
+        assert_eq!(a.lr.to_bits(), b.lr.to_bits());
+    }
+
+    // The store shows the run with per-epoch checkpoints and a
+    // complete final checkpoint.
+    let runs = store.list_runs().expect("store lists");
+    assert_eq!(runs.len(), 1);
+    assert_eq!(runs[0].run_id, "r1");
+    assert_eq!(runs[0].checkpoints, vec![1, 2, 3]);
+    let last = TrainCheckpoint::load_latest(&store, "r1")
+        .expect("latest loads")
+        .expect("latest exists");
+    assert!(last.is_complete());
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn registry_roundtrips_published_snapshots() {
+    let p = ExperimentProfile::micro();
+    let (train, _) = p.datasets();
+    let lif = p.lif(Surrogate::FastSigmoid { k: 0.25 }, 0.5, 1.0);
+    let make = |seed: u64| {
+        let net = SpikingNetwork::paper_topology(
+            p.input_shape(),
+            train.classes(),
+            lif,
+            derive_seed(seed, "weights"),
+        )
+        .expect("topology builds");
+        NetworkSnapshot::from_network(&net)
+    };
+
+    let root = scratch("registry_roundtrip");
+    let registry = RunStore::open(&root).registry();
+    let v1 = make(1);
+    let v2 = make(2);
+    let e1 = registry
+        .publish("svhn-cnn", &v1, vec![("seed".into(), "1".into())])
+        .expect("publish v1");
+    let e2 = registry
+        .publish("svhn-cnn", &v2, vec![("seed".into(), "2".into())])
+        .expect("publish v2");
+    assert_eq!((e1.version, e2.version), (1, 2));
+    assert_ne!(e1.hash, e2.hash, "different weights must hash differently");
+
+    // `latest` resolves to v2 and the payload parses back bit-equal.
+    let (entry, payload) =
+        registry.load("svhn-cnn", VersionSpec::Latest).expect("load latest");
+    assert_eq!(entry.version, 2);
+    let back: NetworkSnapshot = serde_json::from_str(&payload).expect("payload parses");
+    assert_eq!(back, v2);
+
+    // Deleting v1 orphans its blob; gc removes exactly that blob and
+    // v2 stays loadable.
+    registry.delete("svhn-cnn", VersionSpec::Exact(1)).expect("delete v1");
+    let removed = registry.gc().expect("gc runs");
+    assert_eq!(removed, vec![e1.hash]);
+    let (entry, _) = registry.load("svhn-cnn", VersionSpec::Latest).expect("v2 survives gc");
+    assert_eq!(entry.version, 2);
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -45,8 +45,14 @@ pub enum Value {
     Null,
     /// JSON boolean.
     Bool(bool),
-    /// JSON number. All workspace numerics fit f64 exactly.
+    /// JSON number within f64's exact integer range (or any float).
     Number(f64),
+    /// JSON integer outside ±2^53, which `f64` cannot hold exactly
+    /// (derived 64-bit RNG seeds in persisted train configs live
+    /// here). Integers inside that range always use [`Value::Number`],
+    /// so consumers matching on `Number` still see every value the
+    /// workspace emitted before this variant existed.
+    BigInt(i128),
     /// JSON string.
     String(String),
     /// JSON array.
@@ -78,7 +84,7 @@ impl Value {
         match self {
             Value::Null => "null",
             Value::Bool(_) => "bool",
-            Value::Number(_) => "number",
+            Value::Number(_) | Value::BigInt(_) => "number",
             Value::String(_) => "string",
             Value::Array(_) => "array",
             Value::Object(_) => "object",
@@ -156,17 +162,27 @@ pub fn field<'a>(
 
 // ---- primitive impls -------------------------------------------------
 
+/// Largest magnitude at which every integer is exactly representable
+/// as an `f64` (2^53). Integers beyond it travel as [`Value::BigInt`].
+const F64_EXACT_INT: i128 = 1 << 53;
+
 macro_rules! impl_serde_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn to_value(&self) -> Value {
-                Value::Number(*self as f64)
+                let wide = *self as i128;
+                if (-F64_EXACT_INT..=F64_EXACT_INT).contains(&wide) {
+                    Value::Number(wide as f64)
+                } else {
+                    Value::BigInt(wide)
+                }
             }
         }
         impl Deserialize for $t {
             fn from_value(value: &Value) -> Result<Self, Error> {
                 match value {
                     Value::Number(n) => Ok(*n as $t),
+                    Value::BigInt(i) => Ok(*i as $t),
                     other => Err(Error::expected(
                         "number",
                         stringify!($t),
@@ -191,6 +207,7 @@ macro_rules! impl_serde_float {
             fn from_value(value: &Value) -> Result<Self, Error> {
                 match value {
                     Value::Number(n) => Ok(*n as $t),
+                    Value::BigInt(i) => Ok(*i as $t),
                     // Non-finite floats serialize as null (the JSON
                     // convention upstream serde_json uses as well).
                     Value::Null => Ok(<$t>::NAN),
@@ -448,6 +465,19 @@ mod tests {
         let entries = vec![("a".to_string(), Value::Null)];
         assert!(field(&entries, "b", "Demo").is_err());
         assert!(field(&entries, "a", "Demo").is_ok());
+    }
+
+    #[test]
+    fn u64_beyond_f64_range_is_exact() {
+        for x in [u64::MAX, (1u64 << 53) + 1, 0x9e37_79b9_7f4a_7c15] {
+            assert!(matches!(x.to_value(), Value::BigInt(_)));
+            assert_eq!(u64::from_value(&x.to_value()).unwrap(), x);
+        }
+        // In-range integers keep the historical Number encoding.
+        assert!(matches!(7u64.to_value(), Value::Number(_)));
+        assert_eq!(i64::from_value(&i64::MIN.to_value()).unwrap(), i64::MIN);
+        // Floats accept a BigInt (a reader may hand either back).
+        assert_eq!(f64::from_value(&Value::BigInt(1 << 60)).unwrap(), (1u64 << 60) as f64);
     }
 
     #[test]

@@ -72,6 +72,7 @@ fn write_value(value: &Value, out: &mut String) {
         Value::Bool(true) => out.push_str("true"),
         Value::Bool(false) => out.push_str("false"),
         Value::Number(n) => write_number(*n, out),
+        Value::BigInt(i) => out.push_str(&i.to_string()),
         Value::String(s) => write_string(s, out),
         Value::Array(items) => {
             out.push('[');
@@ -396,6 +397,23 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .expect("number bytes are ASCII");
+        // Integer literals beyond f64's exact range (±2^53) keep full
+        // precision as `BigInt`; everything else — floats, and the
+        // integers the workspace has always emitted — stays `Number`
+        // so downstream matches on `Value::Number` are unaffected.
+        if !text.contains(['.', 'e', 'E']) {
+            // `-0` must stay a float so f32/f64 negative zero survives
+            // a write/parse cycle bit-for-bit.
+            if let Ok(i) = text.parse::<i128>() {
+                const F64_EXACT_INT: i128 = 1 << 53;
+                if i != 0 || !text.starts_with('-') {
+                    if (-F64_EXACT_INT..=F64_EXACT_INT).contains(&i) {
+                        return Ok(Value::Number(i as f64));
+                    }
+                    return Ok(Value::BigInt(i));
+                }
+            }
+        }
         text.parse::<f64>()
             .map(Value::Number)
             .map_err(|_| Error::new(format!("invalid JSON number `{text}`")))
@@ -416,6 +434,26 @@ mod tests {
         assert_eq!(n, -123456789);
         let b: bool = from_str("true").unwrap();
         assert!(b);
+    }
+
+    #[test]
+    fn large_integers_roundtrip_exactly() {
+        // A derived 64-bit RNG seed is uniform over u64 and rarely
+        // fits f64's exact range; persisted train configs depend on
+        // it surviving a JSON cycle bit-for-bit.
+        for seed in [u64::MAX, (1 << 53) + 1, 0x9e37_79b9_7f4a_7c15] {
+            let json = to_string(&seed).unwrap();
+            assert_eq!(json, seed.to_string(), "no float notation for {seed}");
+            let back: u64 = from_str(&json).unwrap();
+            assert_eq!(back, seed);
+        }
+        let n: i64 = from_str(&to_string(&i64::MIN).unwrap()).unwrap();
+        assert_eq!(n, i64::MIN);
+        // Small integers still parse as plain numbers…
+        assert!(matches!(parse("42").unwrap(), Value::Number(_)));
+        // …and negative zero stays a float.
+        let z: f32 = from_str(&to_string(&-0.0f32).unwrap()).unwrap();
+        assert_eq!(z.to_bits(), (-0.0f32).to_bits());
     }
 
     #[test]
