@@ -462,20 +462,22 @@ fn handle_reload(req: &Request, shared: &ServerShared) -> (u16, String) {
             return (400, error_body(&format!("rejected snapshot: {e}")));
         }
     };
-    let old_version = shared.registry.version();
     match shared.registry.swap(snapshot, "reload") {
-        Ok(info) => {
-            // Structured swap receipt: what was replaced, what now
-            // serves, and the new model's content hash (matching the
-            // artifact registry's identity).
+        Ok(receipt) => {
+            // Structured swap receipt: what was replaced (captured
+            // inside the swap's critical section, so racing reloads
+            // each report their own predecessor), what now serves, and
+            // the new model's content hash (matching the artifact
+            // registry's identity).
+            let info = &receipt.info;
             let body = Value::Object(vec![
                 ("ok".into(), Value::Bool(true)),
-                ("old_version".into(), Value::Number(old_version as f64)),
+                ("old_version".into(), Value::Number(receipt.replaced as f64)),
                 ("new_version".into(), Value::Number(info.version as f64)),
                 ("model_hash".into(), Value::String(info.hash.clone())),
                 (
                     "model".into(),
-                    serde_json::parse(&serde_json::to_string(&info).expect("info serialize"))
+                    serde_json::parse(&serde_json::to_string(info).expect("info serialize"))
                         .expect("info JSON reparses"),
                 ),
             ]);

@@ -65,4 +65,4 @@ pub use engine::{InferenceEngine, LayerFiring, RequestOutput};
 pub use http::{ServeError, Server, ServerConfig};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use queue::{Batcher, BatcherConfig, InferReply, Rejection, Ticket};
-pub use registry::{ModelInfo, ModelRegistry, SwapError};
+pub use registry::{ModelInfo, ModelRegistry, SwapError, SwapReceipt};

@@ -43,6 +43,17 @@ pub struct LoadedModel {
     pub info: ModelInfo,
 }
 
+/// Receipt of a successful swap, captured inside the swap's critical
+/// section so concurrent reloads each see the version *they* actually
+/// replaced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwapReceipt {
+    /// Version that was serving immediately before this swap.
+    pub replaced: u64,
+    /// Metadata of the now-serving model.
+    pub info: ModelInfo,
+}
+
 /// Error swapping a new snapshot into the registry.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SwapError {
@@ -145,7 +156,7 @@ impl ModelRegistry {
         &self,
         snapshot: NetworkSnapshot,
         name: impl Into<String>,
-    ) -> Result<ModelInfo, SwapError> {
+    ) -> Result<SwapReceipt, SwapError> {
         snapshot.validate().map_err(SwapError::Invalid)?;
         let mut slot = self.current.write().expect("registry lock poisoned");
         let cur = interface_of(&slot.snapshot);
@@ -156,13 +167,16 @@ impl ModelRegistry {
                 incoming: format!("input {:?} / {} classes", new.0, new.1),
             });
         }
-        let version = self.version.load(Ordering::Acquire) + 1;
+        // Read the outgoing version under the write lock: it is the
+        // version this swap actually replaces, even when reloads race.
+        let replaced = self.version.load(Ordering::Acquire);
+        let version = replaced + 1;
         let info = Self::info_for(&snapshot, name.into(), version);
         *slot = Arc::new(LoadedModel { snapshot, info: info.clone() });
         // Publish the version only after the slot holds the new model
         // so a worker that observes the bump always rebuilds from it.
         self.version.store(version, Ordering::Release);
-        Ok(info)
+        Ok(SwapReceipt { replaced, info })
     }
 }
 
@@ -194,7 +208,9 @@ mod tests {
         assert_eq!(reg.version(), 1);
         assert_eq!(reg.info().input_len, 64);
         let before = reg.current();
-        reg.swap(snap(2, 4), "b").unwrap();
+        let receipt = reg.swap(snap(2, 4), "b").unwrap();
+        assert_eq!(receipt.replaced, 1);
+        assert_eq!(receipt.info.version, 2);
         assert_eq!(reg.version(), 2);
         assert_eq!(reg.info().name, "b");
         let after = reg.current();

@@ -102,6 +102,73 @@ pub fn write_bytes_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), St
     result
 }
 
+/// Serializes `value` as framed JSON and writes it to `path` with
+/// *create-new* semantics: the framed bytes land in a synced temp file
+/// which is then `hard_link`ed to the destination, so the write is
+/// both atomic (a crash leaves a complete file or none) and exclusive
+/// (linking fails if `path` already exists). Returns `Ok(false)` —
+/// without touching the existing file — when the destination is
+/// already present, which is how callers detect a lost creation race.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on filesystem failures other than the
+/// destination existing, and [`StoreError::Malformed`] if
+/// serialization fails.
+pub fn save_json_new<T: Serialize + ?Sized>(
+    path: impl AsRef<Path>,
+    value: &T,
+) -> Result<bool, StoreError> {
+    let _span = snn_obs::span!("store_write");
+    let path = path.as_ref();
+    let json = serde_json::to_string(value).map_err(|e| StoreError::Malformed {
+        path: path.display().to_string(),
+        message: format!("cannot serialize: {e}"),
+    })?;
+    let bytes = encode_framed(json.as_bytes());
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => {
+            fs::create_dir_all(p).map_err(|e| StoreError::io(path, &e))?;
+            Some(p)
+        }
+        _ => None,
+    };
+    static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+    let unique = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| StoreError::Io {
+            path: path.display().to_string(),
+            message: "path has no file name".into(),
+        })?;
+    let tmp = path.with_file_name(format!(
+        ".{file_name}.tmp.{}.{unique}",
+        std::process::id()
+    ));
+    let result = (|| {
+        let mut f = fs::File::create(&tmp).map_err(|e| StoreError::io(&tmp, &e))?;
+        f.write_all(&bytes).map_err(|e| StoreError::io(&tmp, &e))?;
+        f.sync_all().map_err(|e| StoreError::io(&tmp, &e))?;
+        match fs::hard_link(&tmp, path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => return Ok(false),
+            Err(e) => return Err(StoreError::io(path, &e)),
+        }
+        if let Some(parent) = parent {
+            if let Ok(dir) = fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(true)
+    })();
+    let _ = fs::remove_file(&tmp);
+    if let Ok(true) = result {
+        store_obs().writes.inc();
+    }
+    result
+}
+
 /// Frames `payload` with the CRC32 integrity footer.
 pub(crate) fn encode_framed(payload: &[u8]) -> Vec<u8> {
     let footer = format!(

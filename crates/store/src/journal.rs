@@ -16,8 +16,11 @@
 //! Recovery semantics on open:
 //!
 //! * A damaged **final** line is a torn tail — the crash happened
-//!   mid-append, the unit of work never committed — so it is dropped
-//!   and reported via [`JournalRecovery::torn_tail`].
+//!   mid-append, the unit of work never committed — so the file is
+//!   truncated back to the committed prefix (otherwise the next
+//!   `O_APPEND` write would concatenate onto the torn fragment,
+//!   turning it into *interior* corruption on the following open)
+//!   and the drop is reported via [`JournalRecovery::torn_tail`].
 //! * A damaged **interior** line means the file was corrupted after
 //!   the fact (bit rot, manual editing) and surfaces as
 //!   [`StoreError::Corrupt`]: silently skipping interior entries
@@ -80,23 +83,41 @@ impl Journal {
         };
         let mut entries = Vec::new();
         let mut recovery = JournalRecovery::default();
-        let lines: Vec<&str> = text.split('\n').collect();
-        // A well-formed file ends in '\n', so the final split element
-        // is empty; anything else on it is a torn tail candidate.
-        for (i, line) in lines.iter().enumerate() {
+        // Byte offset where the torn tail (if any) begins; the file is
+        // truncated back to it before the append handle opens.
+        let mut truncate_to: Option<u64> = None;
+        let mut offset: usize = 0;
+        // A committed line ends in '\n'; only the final segment can
+        // lack one, and that is the torn tail candidate.
+        for segment in text.split_inclusive('\n') {
+            let start = offset;
+            offset += segment.len();
+            let line = segment.strip_suffix('\n').unwrap_or(segment);
             if line.is_empty() {
                 continue;
             }
-            let is_last = i + 1 == lines.len();
+            let is_torn_candidate = !segment.ends_with('\n');
             match Self::decode_line::<T>(path, line) {
                 Ok(entry) => entries.push(entry),
-                Err(StoreError::Corrupt { .. }) if is_last => {
+                Err(StoreError::Corrupt { .. }) if is_torn_candidate => {
                     recovery.torn_tail = true;
+                    truncate_to = Some(start as u64);
                 }
                 Err(e) => return Err(e),
             }
         }
         recovery.entries = entries.len();
+        if let Some(len) = truncate_to {
+            // Drop the torn fragment from the file itself: appends go
+            // through O_APPEND, so leaving it in place would merge the
+            // next entry onto it and corrupt the journal's interior.
+            let f = OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(|e| StoreError::io(path, &e))?;
+            f.set_len(len).map_err(|e| StoreError::io(path, &e))?;
+            f.sync_all().map_err(|e| StoreError::io(path, &e))?;
+        }
         let file = OpenOptions::new()
             .create(true)
             .append(true)
@@ -226,6 +247,32 @@ mod tests {
         let (_, entries, rec) = Journal::open::<u32>(&path).unwrap();
         assert_eq!(entries, vec![7]);
         assert!(rec.torn_tail);
+        // Recovery must have truncated the fragment from the file, not
+        // just dropped it from the replay.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'), "torn fragment left in file: {text:?}");
+    }
+
+    #[test]
+    fn append_after_torn_tail_recovery_stays_readable() {
+        let path = scratch("torn_then_append");
+        {
+            let (j, _, _) = Journal::open::<u32>(&path).unwrap();
+            j.append(&7u32).unwrap();
+            j.append(&8u32).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 5]).unwrap();
+        // First reopen recovers the torn tail and commits new work.
+        let (j, entries, rec) = Journal::open::<u32>(&path).unwrap();
+        assert_eq!(entries, vec![7]);
+        assert!(rec.torn_tail);
+        j.append(&9u32).unwrap();
+        // Second reopen must see a clean journal — the new entry must
+        // not have merged onto the torn fragment.
+        let (_, entries, rec) = Journal::open::<u32>(&path).unwrap();
+        assert_eq!(entries, vec![7, 9]);
+        assert!(!rec.torn_tail);
     }
 
     #[test]

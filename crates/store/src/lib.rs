@@ -10,8 +10,9 @@
 //!   Truncation and bit flips surface as typed
 //!   [`StoreError::Corrupt`] values, never panics.
 //! * [`Journal`] — append-only JSONL with per-line CRCs; a torn final
-//!   line (crash mid-append) is dropped on replay, interior damage is
-//!   a hard error. Backs resumable DSE sweeps.
+//!   line (crash mid-append) is truncated away on replay so later
+//!   appends start on a clean boundary, interior damage is a hard
+//!   error. Backs resumable DSE sweeps.
 //! * [`RunStore`] — per-run checkpoint files plus the journal,
 //!   payload-agnostic so `snn-core` can layer its `TrainCheckpoint`
 //!   on top without a dependency cycle.
@@ -42,7 +43,7 @@ mod obs;
 mod registry;
 mod runs;
 
-pub use atomic::{load_json, load_verified_bytes, save_json, write_bytes_atomic};
+pub use atomic::{load_json, load_verified_bytes, save_json, save_json_new, write_bytes_atomic};
 pub use error::StoreError;
 pub use hash::{crc32, fnv64, fnv64_hex};
 pub use journal::{Journal, JournalRecovery};

@@ -27,7 +27,7 @@ use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
-use crate::atomic::{load_json, load_verified_bytes, save_json};
+use crate::atomic::{load_json, load_verified_bytes};
 use crate::error::StoreError;
 use crate::hash::fnv64_hex;
 use crate::obs::store_obs;
@@ -114,7 +114,11 @@ impl ArtifactRegistry {
     /// Publishes `payload` under `name`, assigning the next version.
     ///
     /// The payload is serialized once; identical content reuses the
-    /// existing blob. Returns the new entry.
+    /// existing blob. Entry files are claimed with create-new
+    /// semantics, so concurrent publishers of the same name each get a
+    /// distinct version — a publisher that loses the race retries with
+    /// the next number rather than overwriting the winner's entry.
+    /// Returns the new entry.
     ///
     /// # Errors
     ///
@@ -135,16 +139,23 @@ impl ArtifactRegistry {
         if !blob.exists() {
             crate::atomic::write_bytes_atomic(&blob, &crate::atomic::encode_framed(json.as_bytes()))?;
         }
-        let version = self.versions(name)?.last().copied().unwrap_or(0) + 1;
-        let entry = ModelEntry {
-            name: name.to_string(),
-            version,
-            hash,
-            bytes: json.len(),
-            meta,
-        };
-        save_json(self.entry_path(name, version), &entry)?;
-        Ok(entry)
+        let mut version = self.versions(name)?.last().copied().unwrap_or(0) + 1;
+        loop {
+            let entry = ModelEntry {
+                name: name.to_string(),
+                version,
+                hash: hash.clone(),
+                bytes: json.len(),
+                meta: meta.clone(),
+            };
+            if crate::atomic::save_json_new(self.entry_path(name, version), &entry)? {
+                return Ok(entry);
+            }
+            // Another publisher claimed this version between the scan
+            // and the write; the next candidate is strictly higher, so
+            // the race converges.
+            version += 1;
+        }
     }
 
     /// All versions published under `name`, ascending. Empty when the
@@ -364,6 +375,27 @@ mod tests {
         assert_eq!(e1.hash, e3.hash);
         assert_ne!(e1.hash, e2.hash);
         assert_eq!(reg.versions("m").unwrap(), vec![1, 2, 3]);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn concurrent_publishes_get_distinct_versions() {
+        let root = scratch("concurrent");
+        let reg = ArtifactRegistry::open(&root);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let reg = reg.clone();
+                s.spawn(move || {
+                    for i in 0..4u32 {
+                        reg.publish("m", &(t * 100 + i), vec![]).unwrap();
+                    }
+                });
+            }
+        });
+        // Every publish must have landed on its own version — a lost
+        // race retries rather than overwriting the winner's entry.
+        let versions = reg.versions("m").unwrap();
+        assert_eq!(versions, (1..=16).collect::<Vec<u64>>());
         let _ = fs::remove_dir_all(&root);
     }
 
