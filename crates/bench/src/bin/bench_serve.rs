@@ -137,6 +137,7 @@ fn main() {
             max_wait: Duration::from_micros(100),
             capacity: 256,
             timesteps,
+            ..BatcherConfig::default()
         },
         None,
     );
@@ -147,6 +148,7 @@ fn main() {
             max_wait: Duration::from_micros(2000),
             capacity: 256,
             timesteps,
+            ..BatcherConfig::default()
         },
         None,
     );
@@ -157,6 +159,7 @@ fn main() {
             max_wait: Duration::from_micros(2000),
             capacity: 4,
             timesteps,
+            ..BatcherConfig::default()
         },
         Some(1),
     );

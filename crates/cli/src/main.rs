@@ -57,11 +57,27 @@ commands:
   runs    inspect and maintain a durable run store
           list --store DIR   (runs, checkpoints, published artifacts)
           gc   --store DIR   (delete registry blobs no version references)
+  chaos   fault-injection drill: supervised training (checkpoint →
+          rollback → resume) then serving (worker panic → typed 503 →
+          self-heal), all under an injected fault plan
+          --plan SPEC (io_err@store:0.05,panic@serve.worker:1)
+          --seed N (7)   --epochs N (70)
+
+environment:
+  SNN_FAULTS=SPEC, SNN_FAULT_SEED=N   inject the same deterministic
+          fault plan into any command (rules: kind@site[:trigger],
+          kind io_err|nan|panic; trigger probability or Nth occurrence)
 ";
 
 fn main() {
     let args = match Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
+        Err(e) => die(&e),
+    };
+    // `SNN_FAULTS` arms deterministic fault injection for the whole
+    // command; unset, this is a no-op and the plan stack stays empty.
+    let _fault_guard = match snn_fault::FaultPlan::from_env() {
+        Ok(plan) => plan.map(|p| snn_fault::install(std::sync::Arc::new(p))),
         Err(e) => die(&e),
     };
     let result = match args.command.as_str() {
@@ -73,6 +89,7 @@ fn main() {
         "profile" => cmd_profile(&args),
         "obs-check" => cmd_obs_check(&args),
         "runs" => cmd_runs(&args),
+        "chaos" => cmd_chaos(&args),
         "" | "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return;
@@ -350,6 +367,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             max_wait: Duration::from_micros(max_wait_us),
             capacity,
             timesteps,
+            ..BatcherConfig::default()
         },
         default_timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
     };
@@ -362,6 +380,177 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     println!("listening on {}", server.addr());
     server.join();
     Ok(())
+}
+
+/// Fault-injection drill: run the full self-healing loop — supervised
+/// training with checkpoint rollback, then serving with worker-panic
+/// recovery — under a caller-supplied fault plan, and fail loudly if
+/// any stage hangs or never heals. `scripts/ci.sh` runs this as the
+/// chaos smoke.
+fn cmd_chaos(args: &Args) -> Result<(), String> {
+    use snn_core::{SupervisorPolicy, TrainConfig, TrainSupervisor};
+    use snn_serve::{BatcherConfig, ModelRegistry, Server, ServerConfig};
+    use std::time::Duration;
+
+    let spec = args.get("plan", "io_err@store:0.05,panic@serve.worker:1");
+    let seed: u64 = args.get_parsed("seed", 7)?;
+    let plan = snn_fault::FaultPlan::parse(spec, seed)?;
+    let _guard = snn_fault::install(std::sync::Arc::new(plan));
+    println!("chaos: plan `{spec}` (seed {seed})");
+
+    // Stage 1: supervised training against a scratch run store. The
+    // supervisor must absorb whatever the plan throws (NaN losses,
+    // failed checkpoint writes) by rolling back and retrying.
+    let store_dir = std::env::temp_dir().join(format!("snn-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    std::fs::create_dir_all(&store_dir).map_err(|e| e.to_string())?;
+    let store = RunStore::open(&store_dir);
+    let ds = snn_data::bars_dataset(32, 8, seed);
+    let lif = LifConfig { theta: 0.5, beta: 0.5, ..LifConfig::paper_default() };
+    let mut net = SpikingNetwork::builder(snn_tensor::Shape::d3(1, 8, 8), seed)
+        .flatten()
+        .map_err(|e| e.to_string())?
+        .dense(4, lif)
+        .map_err(|e| e.to_string())?
+        .build()
+        .map_err(|e| e.to_string())?;
+    // 70 epochs puts ~70 checkpoint-write draws in front of the CI
+    // plan's io_err@store:0.05 rule, whose seed-7 stream first fires
+    // on draw 62 — so the stock drill always exercises a full
+    // persist-failure → rollback → resume cycle while staying a
+    // sub-second job on one core.
+    let epochs: usize = args.get_parsed("epochs", 70)?;
+    let cfg = TrainConfig {
+        epochs,
+        batch_size: 16,
+        timesteps: 3,
+        seed,
+        ..TrainConfig::default()
+    };
+    let out = TrainSupervisor::new(cfg)
+        .policy(SupervisorPolicy {
+            max_retries: 8,
+            backoff_base: Duration::from_millis(1),
+            ..SupervisorPolicy::default()
+        })
+        .with_store(store, "chaos")
+        .run(&mut net, &ds)
+        .map_err(|e| format!("supervised training did not survive the plan: {e}"))?;
+    println!(
+        "chaos: train ok — {} epochs in {} attempt(s), {} recovery(ies)",
+        out.report.epochs.len(),
+        out.attempts,
+        out.recoveries.len()
+    );
+    for r in &out.recoveries {
+        println!("  recovery {}: rolled back to epoch {} ({})", r.attempt, r.rollback_epoch, r.issue);
+    }
+
+    // Stage 2: serve a demo model through the same plan. Every request
+    // must resolve — 200 or a typed shed status — a hang fails the
+    // drill. A short breaker cooldown lets the circuit re-close within
+    // the drill's budget. Injected panics are expected and caught by
+    // the worker; keep their backtraces out of the drill transcript
+    // while leaving genuine panics loud.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if msg.starts_with("injected fault at ") {
+            eprintln!("chaos: worker hit `{msg}` (caught; worker restarting)");
+        } else {
+            default_hook(info);
+        }
+    }));
+    let registry = std::sync::Arc::new(
+        ModelRegistry::new(demo_snapshot(8)?, "chaos-demo").map_err(|e| e.to_string())?,
+    );
+    let scfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        batcher: BatcherConfig {
+            timesteps: 2,
+            breaker_cooldown: Duration::from_millis(50),
+            ..BatcherConfig::default()
+        },
+        default_timeout: Some(Duration::from_millis(2000)),
+    };
+    let mut server = Server::start(registry, scfg).map_err(|e| e.to_string())?;
+    let addr = server.addr();
+    let values: Vec<String> = (0..64).map(|i| format!("{}", (i % 7) as f32 / 7.0)).collect();
+    let body = format!("{{\"input\":[{}]}}", values.join(","));
+    let (mut served, mut shed) = (0u32, 0u32);
+    for i in 0..12 {
+        let (status, reply) = http_once(addr, "POST", "/infer", &body)
+            .map_err(|e| format!("request {i} hung or broke transport: {e}"))?;
+        match status {
+            200 => served += 1,
+            429 | 503 | 504 => {
+                shed += 1;
+                println!("  request {i:>2}: shed with {status}");
+                // Give an open circuit its cooldown before retrying.
+                std::thread::sleep(Duration::from_millis(60));
+            }
+            other => {
+                server.shutdown();
+                return Err(format!("request {i} got unexpected status {other}: {reply}"));
+            }
+        }
+    }
+    println!("chaos: serve ok — {served} served, {shed} shed (typed), 0 hung");
+    if served == 0 {
+        server.shutdown();
+        return Err("serving never recovered: all 12 requests were shed".into());
+    }
+
+    // Stage 3: the instance must have healed.
+    let (hstatus, health) = http_once(addr, "GET", "/healthz", "")?;
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&store_dir);
+    if hstatus != 200 || !health.contains("\"status\":\"ok\"") {
+        return Err(format!("healthz did not recover: {hstatus} {health}"));
+    }
+    println!(
+        "chaos: snn_fault_injected_total={} snn_recovery_total={} healthz=ok",
+        snn_fault::injected_total(),
+        snn_fault::recovery_total()
+    );
+    Ok(())
+}
+
+/// One-shot HTTP request with a hard 10s client timeout, so a wedged
+/// server turns into an error instead of a hung drill.
+fn http_once(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<(u16, String), String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: chaos\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).map_err(|e| e.to_string())?;
+    let mut response = Vec::new();
+    stream
+        .read_to_end(&mut response)
+        .map_err(|e| format!("no reply within 10s: {e}"))?;
+    let text = String::from_utf8_lossy(&response).to_string();
+    let (head, rest) = text.split_once("\r\n\r\n").ok_or("truncated response")?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or("bad status line")?;
+    Ok((status, rest.to_string()))
 }
 
 /// An untrained paper-shaped toy model so the server can be exercised

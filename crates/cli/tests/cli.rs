@@ -148,3 +148,33 @@ fn obs_check_rejects_malformed_exposition() {
     let (code, _stdout, _stderr) = snn(&["obs-check"]);
     assert_ne!(code, 0, "obs-check with no inputs must fail");
 }
+
+#[test]
+fn chaos_rejects_malformed_plan() {
+    assert_clean_error(
+        &["chaos", "--plan", "meteor@store:0.5"],
+        "unknown kind",
+    );
+}
+
+#[test]
+fn chaos_drill_recovers_and_reports() {
+    // A short drill: no store faults, one injected worker panic. The
+    // command must exit 0, count the recovery, and end healthy.
+    let (code, stdout, stderr) = snn(&[
+        "chaos",
+        "--plan",
+        "panic@serve.worker:1",
+        "--seed",
+        "7",
+        "--epochs",
+        "2",
+    ]);
+    assert_eq!(code, 0, "chaos drill failed\nstdout: {stdout}\nstderr: {stderr}");
+    assert!(
+        stdout.contains("snn_recovery_total=1"),
+        "drill should count the worker-panic recovery: {stdout}"
+    );
+    assert!(stdout.contains("healthz=ok"), "drill should end healthy: {stdout}");
+    assert!(stdout.contains("0 hung"), "no request may hang: {stdout}");
+}

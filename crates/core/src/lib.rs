@@ -56,6 +56,7 @@ mod optim;
 mod prune;
 mod schedule;
 mod snapshot;
+pub mod supervisor;
 mod surrogate;
 mod trace;
 mod trainer;
@@ -71,6 +72,9 @@ pub use optim::{clip_grad_norm, Optimizer, OptimizerKind, OptimizerState, SlotSn
 pub use prune::{prune_snapshot, LayerPruneStats, PruneReport};
 pub use schedule::LrSchedule;
 pub use snapshot::{LayerSnapshot, NetworkSnapshot, SnapshotError};
+pub use supervisor::{
+    FiringProbe, HealthIssue, RecoveryEvent, SupervisedReport, SupervisorPolicy, TrainSupervisor,
+};
 pub use surrogate::Surrogate;
 pub use trace::{trace_spikes, LayerTrace, SpikeTrace};
 pub use trainer::{fit, fit_temporal, EpochStats, TrainConfig, Trainer, TrainReport};

@@ -1,0 +1,645 @@
+//! Self-healing training: detect divergence, roll back, retry.
+//!
+//! Surrogate-gradient training has well-documented failure modes —
+//! exploding gradients at large surrogate scale factors (the regime
+//! where the paper's arctangent collapses above scale 32), NaN losses
+//! from numeric blow-ups, and dead or saturated firing regimes where
+//! learning silently stalls. A long sweep should not die on the first
+//! one.
+//!
+//! [`TrainSupervisor`] wraps [`Trainer`] with a recovery loop:
+//!
+//! 1. Every checkpoint boundary runs a health check (NaN/Inf loss,
+//!    windowed loss spike vs. the best epoch so far, and an optional
+//!    firing-rate probe).
+//! 2. A healthy checkpoint becomes the new rollback target (and, when
+//!    a [`RunStore`] is attached, is persisted durably — a failed
+//!    persist is itself a recoverable issue).
+//! 3. An unhealthy checkpoint aborts the attempt; the supervisor
+//!    rolls back to the last good checkpoint, sleeps a bounded
+//!    exponential backoff, optionally damps the learning rate, and
+//!    retries — up to [`SupervisorPolicy::max_retries`] times.
+//!
+//! Every recovery is journaled (`recovery.jsonl` in the run
+//! directory, CRC-per-line) and counted on the workspace-wide
+//! `snn_recovery_total` metric.
+//!
+//! Because the trainer's RNG streams are positional (the epoch
+//! counter is the stream position — see [`crate::checkpoint`]), a
+//! rollback-and-retry with unchanged hyperparameters that then
+//! succeeds is **bitwise identical** to a run that never failed: the
+//! retry replays the exact shuffle and encoder streams the failed
+//! attempt consumed.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use snn_data::Dataset;
+use snn_store::{Journal, RunStore};
+
+use crate::checkpoint::TrainCheckpoint;
+use crate::metrics::evaluate;
+use crate::network::SpikingNetwork;
+use crate::optim::Optimizer;
+use crate::snapshot::NetworkSnapshot;
+use crate::trainer::{TrainConfig, Trainer, TrainReport};
+
+/// Optional firing-rate health probe run at each checkpoint.
+///
+/// Evaluates the checkpointed weights (a restored copy — the training
+/// network and its RNG position are untouched) on the first `samples`
+/// items of the training set and flags mean firing rates outside
+/// `[min_rate, max_rate]`: a dead network (nothing spikes, nothing
+/// learns) or a saturated one (everything spikes, sparsity lost).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiringProbe {
+    /// Below this mean firing rate the network counts as dead.
+    pub min_rate: f64,
+    /// Above this mean firing rate the network counts as saturated.
+    pub max_rate: f64,
+    /// Training-set prefix size the probe evaluates.
+    pub samples: usize,
+}
+
+impl Default for FiringProbe {
+    fn default() -> Self {
+        FiringProbe { min_rate: 1e-4, max_rate: 0.9, samples: 32 }
+    }
+}
+
+/// Recovery-loop tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorPolicy {
+    /// Recovery attempts before giving up (total attempts = 1 + this).
+    pub max_retries: usize,
+    /// First backoff sleep; doubles per retry.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_cap: Duration,
+    /// An epoch's loss exceeding `best * divergence_factor` (and the
+    /// absolute margin) counts as divergence.
+    pub divergence_factor: f64,
+    /// Loss must also exceed `best + divergence_margin`, so a tiny
+    /// loss jittering near zero is not flagged.
+    pub divergence_margin: f64,
+    /// Epochs of history required before divergence checks arm.
+    pub divergence_window: usize,
+    /// Multiply the learning rate by this on every recovery (e.g.
+    /// `0.5`). `None` retries with unchanged hyperparameters, which
+    /// preserves bitwise identity with an uninterrupted run.
+    pub lr_damping: Option<f32>,
+    /// Optional dead/saturated firing-rate probe.
+    pub firing_probe: Option<FiringProbe>,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy {
+            max_retries: 3,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            divergence_factor: 4.0,
+            divergence_margin: 1.0,
+            divergence_window: 3,
+            lr_damping: None,
+            firing_probe: None,
+        }
+    }
+}
+
+/// Why a checkpoint failed its health check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HealthIssue {
+    /// The epoch's mean loss is NaN or infinite.
+    NonFiniteLoss {
+        /// 0-based epoch whose loss went non-finite.
+        epoch: usize,
+        /// The offending loss value.
+        loss: f64,
+    },
+    /// The epoch's loss spiked far above the best epoch so far.
+    Divergence {
+        /// 0-based epoch whose loss spiked.
+        epoch: usize,
+        /// The spiked loss.
+        loss: f64,
+        /// Best (lowest) finite loss of the preceding epochs.
+        best: f64,
+    },
+    /// The firing-rate probe found a dead or saturated network.
+    FiringRate {
+        /// 0-based epoch the probe ran after.
+        epoch: usize,
+        /// Measured mean firing rate.
+        rate: f64,
+    },
+    /// Persisting a healthy checkpoint to the run store failed.
+    PersistFailed {
+        /// Epoch count of the checkpoint that failed to persist.
+        epoch: usize,
+        /// The store error.
+        message: String,
+    },
+}
+
+impl fmt::Display for HealthIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HealthIssue::NonFiniteLoss { epoch, loss } => {
+                write!(f, "non-finite loss {loss} at epoch {epoch}")
+            }
+            HealthIssue::Divergence { epoch, loss, best } => {
+                write!(f, "loss diverged at epoch {epoch}: {loss} vs best {best}")
+            }
+            HealthIssue::FiringRate { epoch, rate } => {
+                write!(f, "firing rate {rate:.6} out of healthy range after epoch {epoch}")
+            }
+            HealthIssue::PersistFailed { epoch, message } => {
+                write!(f, "checkpoint persist failed after {epoch} epochs: {message}")
+            }
+        }
+    }
+}
+
+/// One journaled rollback-and-retry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryEvent {
+    /// 1-based recovery ordinal within the supervised run.
+    pub attempt: usize,
+    /// Epoch count of the checkpoint rolled back to (0 = the
+    /// bootstrap state before any training).
+    pub rollback_epoch: usize,
+    /// Human-readable health issue that triggered the rollback.
+    pub issue: String,
+    /// Learning rate the retry will use (differs from the original
+    /// only under [`SupervisorPolicy::lr_damping`]).
+    pub lr: f32,
+}
+
+/// What a supervised run produced, including its recovery history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisedReport {
+    /// The successful attempt's training report.
+    pub report: TrainReport,
+    /// Every rollback taken on the way, in order.
+    pub recoveries: Vec<RecoveryEvent>,
+    /// Total attempts, including the successful one.
+    pub attempts: usize,
+}
+
+/// Supervised, self-healing wrapper around [`Trainer`].
+///
+/// # Examples
+///
+/// ```
+/// use snn_core::{LifConfig, SpikingNetwork, TrainConfig, TrainSupervisor};
+/// use snn_data::bars_dataset;
+/// use snn_tensor::Shape;
+///
+/// let ds = bars_dataset(32, 8, 1);
+/// let lif = LifConfig { theta: 0.5, beta: 0.5, ..LifConfig::paper_default() };
+/// let mut net = SpikingNetwork::paper_topology(Shape::d3(1, 8, 8), 4, lif, 3)
+///     .map_err(|e| e.to_string())?;
+/// let cfg = TrainConfig { epochs: 2, batch_size: 16, ..TrainConfig::default() };
+/// let out = TrainSupervisor::new(cfg).run(&mut net, &ds)?;
+/// assert_eq!(out.report.epochs.len(), 2);
+/// assert!(out.recoveries.is_empty(), "healthy run needs no recoveries");
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug)]
+pub struct TrainSupervisor {
+    config: TrainConfig,
+    policy: SupervisorPolicy,
+    checkpoint_every: usize,
+    store: Option<(RunStore, String)>,
+}
+
+impl TrainSupervisor {
+    /// Creates a supervisor with the default policy, checkpointing
+    /// (and health-checking) every epoch.
+    pub fn new(config: TrainConfig) -> Self {
+        TrainSupervisor { config, policy: SupervisorPolicy::default(), checkpoint_every: 1, store: None }
+    }
+
+    /// Replaces the recovery policy.
+    #[must_use]
+    pub fn policy(mut self, policy: SupervisorPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Health-checks (and persists, when a store is attached) every
+    /// `every` epochs. Coerced to at least 1: a supervisor without
+    /// checkpoints has nothing to roll back to.
+    #[must_use]
+    pub fn checkpoint_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = every.max(1);
+        self
+    }
+
+    /// Persists healthy checkpoints under `run_id` in `store` and
+    /// journals recovery events to `<run dir>/recovery.jsonl`.
+    #[must_use]
+    pub fn with_store(mut self, store: RunStore, run_id: impl Into<String>) -> Self {
+        self.store = Some((store, run_id.into()));
+        self
+    }
+
+    /// The supervised training configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Trains `network` under supervision.
+    ///
+    /// On success the network holds the final weights of the
+    /// successful attempt. When every recovery retried with unchanged
+    /// hyperparameters (no [`SupervisorPolicy::lr_damping`]), those
+    /// weights are bitwise identical to an uninterrupted run's.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying training error for non-health failures
+    /// (invalid config, mis-shaped dataset), or a "giving up" message
+    /// naming the last [`HealthIssue`] once `max_retries` recoveries
+    /// are exhausted.
+    pub fn run(
+        &self,
+        network: &mut SpikingNetwork,
+        train: &Dataset,
+    ) -> Result<SupervisedReport, String> {
+        self.config.validate()?;
+        let mut cfg = self.config;
+        let mut recoveries: Vec<RecoveryEvent> = Vec::new();
+        // Recovery journaling is best-effort: a broken journal must
+        // not take down the run it exists to describe.
+        let recovery_journal = self.store.as_ref().and_then(|(store, run_id)| {
+            let path = store.run_dir(run_id).join("recovery.jsonl");
+            Journal::open::<RecoveryEvent>(&path).ok().map(|(j, _, _)| j)
+        });
+        // Bootstrap rollback target: the untrained state, so even a
+        // first-epoch failure has somewhere to return to.
+        let mut last_good = TrainCheckpoint {
+            config: cfg,
+            next_epoch: 0,
+            network: NetworkSnapshot::from_network(network),
+            optimizer: Optimizer::new(cfg.optimizer, cfg.base_lr).state(),
+            history: Vec::new(),
+        };
+        for attempt in 0..=self.policy.max_retries {
+            let issue: RefCell<Option<HealthIssue>> = RefCell::new(None);
+            let trainer = Trainer::new(cfg)
+                .checkpoint_every(self.checkpoint_every)
+                .resume_from(last_good.clone());
+            let result = trainer.fit_with(network, train, |ckpt| {
+                if let Some(found) = self.health_check(ckpt, train) {
+                    let msg = found.to_string();
+                    *issue.borrow_mut() = Some(found);
+                    return Err(msg);
+                }
+                if let Some((store, run_id)) = &self.store {
+                    if let Err(e) = ckpt.save(store, run_id) {
+                        let found = HealthIssue::PersistFailed {
+                            epoch: ckpt.next_epoch,
+                            message: e.to_string(),
+                        };
+                        let msg = found.to_string();
+                        *issue.borrow_mut() = Some(found);
+                        return Err(msg);
+                    }
+                }
+                last_good = ckpt.clone();
+                Ok(())
+            });
+            match result {
+                Ok(report) => {
+                    return Ok(SupervisedReport { report, recoveries, attempts: attempt + 1 })
+                }
+                Err(message) => {
+                    let Some(found) = issue.borrow_mut().take() else {
+                        // Not a health failure — a real error the
+                        // supervisor has no business retrying.
+                        return Err(message);
+                    };
+                    if attempt == self.policy.max_retries {
+                        return Err(format!(
+                            "supervisor: giving up after {} recoveries; last issue: {found}",
+                            self.policy.max_retries
+                        ));
+                    }
+                    snn_fault::record_recovery();
+                    if let Some(damp) = self.policy.lr_damping {
+                        cfg.base_lr *= damp;
+                        // The rollback checkpoint must carry the
+                        // damped config, or the resume config-equality
+                        // check would (correctly) refuse it.
+                        last_good.config = cfg;
+                    }
+                    let event = RecoveryEvent {
+                        attempt: attempt + 1,
+                        rollback_epoch: last_good.next_epoch,
+                        issue: found.to_string(),
+                        lr: cfg.base_lr,
+                    };
+                    if let Some(journal) = &recovery_journal {
+                        let _ = journal.append(&event);
+                    }
+                    recoveries.push(event);
+                    std::thread::sleep(self.backoff(attempt));
+                }
+            }
+        }
+        unreachable!("the final attempt either returns its report or gives up")
+    }
+
+    /// Exponential backoff for the sleep *after* `attempt` failed.
+    fn backoff(&self, attempt: usize) -> Duration {
+        let doublings = u32::try_from(attempt.min(16)).unwrap_or(16);
+        self.policy
+            .backoff_base
+            .saturating_mul(1u32 << doublings)
+            .min(self.policy.backoff_cap)
+    }
+
+    /// Checks the newest epoch of `ckpt` against the policy. `None`
+    /// means healthy.
+    fn health_check(&self, ckpt: &TrainCheckpoint, train: &Dataset) -> Option<HealthIssue> {
+        let last = ckpt.history.last()?;
+        if !last.train_loss.is_finite() {
+            return Some(HealthIssue::NonFiniteLoss { epoch: last.epoch, loss: last.train_loss });
+        }
+        if ckpt.history.len() > self.policy.divergence_window {
+            let best = ckpt.history[..ckpt.history.len() - 1]
+                .iter()
+                .map(|e| e.train_loss)
+                .filter(|l| l.is_finite())
+                .fold(f64::INFINITY, f64::min);
+            if best.is_finite()
+                && last.train_loss > best * self.policy.divergence_factor
+                && last.train_loss > best + self.policy.divergence_margin
+            {
+                return Some(HealthIssue::Divergence {
+                    epoch: last.epoch,
+                    loss: last.train_loss,
+                    best,
+                });
+            }
+        }
+        if let Some(probe) = &self.policy.firing_probe {
+            // Probe a restored copy: the live training network (and
+            // its RNG position) must stay untouched or supervision
+            // would perturb the run it guards.
+            let mut copy = match ckpt.restore_network() {
+                Ok(net) => net,
+                Err(e) => {
+                    return Some(HealthIssue::PersistFailed {
+                        epoch: ckpt.next_epoch,
+                        message: format!("checkpoint no longer restores: {e}"),
+                    })
+                }
+            };
+            let subset = train.take(probe.samples.clamp(1, train.len()));
+            let eval = evaluate(
+                &mut copy,
+                &subset,
+                ckpt.config.encoding,
+                ckpt.config.timesteps,
+                ckpt.config.batch_size,
+                0,
+            );
+            let rate = eval.profile.mean_firing_rate();
+            if rate < probe.min_rate || rate > probe.max_rate {
+                return Some(HealthIssue::FiringRate { epoch: ckpt.next_epoch - 1, rate });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neuron::LifConfig;
+    use crate::trainer::EpochStats;
+    use snn_data::bars_dataset;
+    use snn_tensor::Shape;
+    use std::sync::Arc;
+
+    fn bars_net(seed: u64) -> SpikingNetwork {
+        let lif = LifConfig { theta: 0.5, beta: 0.5, ..LifConfig::paper_default() };
+        SpikingNetwork::builder(Shape::d3(1, 8, 8), seed)
+            .conv(8, 3, 1, 1, lif)
+            .unwrap()
+            .maxpool(2)
+            .unwrap()
+            .flatten()
+            .unwrap()
+            .dense(4, lif)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn quick_cfg(epochs: usize) -> TrainConfig {
+        TrainConfig { epochs, batch_size: 16, timesteps: 4, ..TrainConfig::default() }
+    }
+
+    fn fast_policy() -> SupervisorPolicy {
+        SupervisorPolicy {
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            ..SupervisorPolicy::default()
+        }
+    }
+
+    fn weights_json(net: &SpikingNetwork) -> String {
+        serde_json::to_string(&crate::NetworkSnapshot::from_network(net)).unwrap()
+    }
+
+    #[test]
+    fn healthy_run_matches_unsupervised_fit() {
+        let ds = bars_dataset(64, 8, 9);
+        let cfg = quick_cfg(2);
+        let mut plain = bars_net(5);
+        Trainer::new(cfg).fit(&mut plain, &ds).unwrap();
+        let mut supervised = bars_net(5);
+        let out = TrainSupervisor::new(cfg)
+            .policy(fast_policy())
+            .run(&mut supervised, &ds)
+            .unwrap();
+        assert_eq!(out.attempts, 1);
+        assert!(out.recoveries.is_empty());
+        assert_eq!(weights_json(&plain), weights_json(&supervised));
+    }
+
+    #[test]
+    fn injected_nan_rolls_back_and_matches_clean_run() {
+        let ds = bars_dataset(64, 8, 9);
+        let cfg = quick_cfg(3);
+        // Reference: clean, unsupervised run.
+        let mut clean = bars_net(5);
+        Trainer::new(cfg).fit(&mut clean, &ds).unwrap();
+        // 64 samples / batch 16 = 4 batches per epoch; the 6th
+        // train_batch call lands in epoch 1.
+        let plan = Arc::new(snn_fault::FaultPlan::parse("nan@grad:6", 0).unwrap());
+        let _g = snn_fault::install(plan);
+        let mut supervised = bars_net(5);
+        let out = TrainSupervisor::new(cfg)
+            .policy(fast_policy())
+            .run(&mut supervised, &ds)
+            .unwrap();
+        assert_eq!(out.attempts, 2);
+        assert_eq!(out.recoveries.len(), 1);
+        assert_eq!(out.recoveries[0].rollback_epoch, 1, "epoch 0 was healthy");
+        assert!(out.recoveries[0].issue.contains("non-finite loss"));
+        assert_eq!(
+            weights_json(&clean),
+            weights_json(&supervised),
+            "rollback + replay with unchanged hyperparameters must be bitwise identical"
+        );
+        assert_eq!(out.report.epochs.len(), 3);
+        assert!(out.report.epochs.iter().all(|e| e.train_loss.is_finite()));
+    }
+
+    #[test]
+    fn first_epoch_failure_rolls_back_to_bootstrap() {
+        let ds = bars_dataset(32, 8, 3);
+        let cfg = quick_cfg(2);
+        let mut clean = bars_net(7);
+        Trainer::new(cfg).fit(&mut clean, &ds).unwrap();
+        let plan = Arc::new(snn_fault::FaultPlan::parse("nan@grad:1", 0).unwrap());
+        let _g = snn_fault::install(plan);
+        let mut supervised = bars_net(7);
+        let out = TrainSupervisor::new(cfg)
+            .policy(fast_policy())
+            .run(&mut supervised, &ds)
+            .unwrap();
+        assert_eq!(out.recoveries.len(), 1);
+        assert_eq!(out.recoveries[0].rollback_epoch, 0, "nothing was good yet");
+        assert_eq!(weights_json(&clean), weights_json(&supervised));
+    }
+
+    #[test]
+    fn gives_up_after_max_retries_with_typed_message() {
+        let ds = bars_dataset(32, 8, 3);
+        let cfg = quick_cfg(2);
+        // Near-certain NaN on every batch: every retry fails too.
+        let plan = Arc::new(snn_fault::FaultPlan::parse("nan@grad:0.999999", 1).unwrap());
+        let _g = snn_fault::install(plan);
+        let mut net = bars_net(7);
+        let err = TrainSupervisor::new(cfg)
+            .policy(SupervisorPolicy { max_retries: 1, ..fast_policy() })
+            .run(&mut net, &ds)
+            .unwrap_err();
+        assert!(err.contains("giving up after 1 recoveries"), "{err}");
+        assert!(err.contains("non-finite loss"), "{err}");
+    }
+
+    #[test]
+    fn non_health_errors_are_not_retried() {
+        let ds = bars_dataset(32, 8, 3);
+        let bad = TrainConfig { epochs: 0, ..quick_cfg(1) };
+        let mut net = bars_net(1);
+        let err = TrainSupervisor::new(bad).run(&mut net, &ds).unwrap_err();
+        assert!(err.contains("epochs must be nonzero"), "{err}");
+    }
+
+    #[test]
+    fn lr_damping_applies_per_recovery_and_resume_accepts_it() {
+        let ds = bars_dataset(64, 8, 9);
+        let cfg = quick_cfg(3);
+        let plan = Arc::new(snn_fault::FaultPlan::parse("nan@grad:6", 0).unwrap());
+        let _g = snn_fault::install(plan);
+        let mut net = bars_net(5);
+        let out = TrainSupervisor::new(cfg)
+            .policy(SupervisorPolicy { lr_damping: Some(0.5), ..fast_policy() })
+            .run(&mut net, &ds)
+            .unwrap();
+        assert_eq!(out.recoveries.len(), 1);
+        assert_eq!(out.recoveries[0].lr, cfg.base_lr * 0.5);
+        // Damped retries complete; epochs after the rollback ran at
+        // the damped rate.
+        assert_eq!(out.report.epochs.len(), 3);
+        assert!(out.report.epochs.last().unwrap().lr <= cfg.base_lr * 0.5);
+    }
+
+    #[test]
+    fn persist_failure_is_recoverable_and_checkpoints_land() {
+        let root = std::env::temp_dir().join("snn_core_supervisor_tests/persist");
+        let _ = std::fs::remove_dir_all(&root);
+        let ds = bars_dataset(64, 8, 9);
+        let cfg = quick_cfg(3);
+        let mut clean = bars_net(5);
+        Trainer::new(cfg).fit(&mut clean, &ds).unwrap();
+        // The second checkpoint write fails once; the retry rewrites
+        // it. (The recovery journal lives on store.journal, a
+        // different site, so it stays unaffected.)
+        let plan = Arc::new(snn_fault::FaultPlan::parse("io_err@store.write:2", 0).unwrap());
+        let _g = snn_fault::install(plan);
+        let mut net = bars_net(5);
+        let out = TrainSupervisor::new(cfg)
+            .policy(fast_policy())
+            .with_store(RunStore::open(&root), "r1")
+            .run(&mut net, &ds)
+            .unwrap();
+        assert_eq!(out.recoveries.len(), 1);
+        assert!(out.recoveries[0].issue.contains("persist failed"), "{:?}", out.recoveries);
+        assert_eq!(weights_json(&clean), weights_json(&net));
+        let store = RunStore::open(&root);
+        assert_eq!(store.checkpoint_epochs("r1").unwrap(), vec![1, 2, 3]);
+        // The recovery event was journaled durably.
+        let path = store.run_dir("r1").join("recovery.jsonl");
+        let (_, events, _) = Journal::open::<RecoveryEvent>(&path).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].rollback_epoch, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn divergence_and_probe_checks_fire() {
+        let sup = TrainSupervisor::new(quick_cfg(8)).policy(SupervisorPolicy {
+            divergence_window: 2,
+            ..SupervisorPolicy::default()
+        });
+        let ds = bars_dataset(16, 8, 1);
+        let stats = |epoch: usize, loss: f64| EpochStats {
+            epoch,
+            train_loss: loss,
+            train_accuracy: 0.5,
+            lr: 0.005,
+        };
+        let net = bars_net(1);
+        let mut ckpt = TrainCheckpoint {
+            config: *sup.config(),
+            next_epoch: 3,
+            network: NetworkSnapshot::from_network(&net),
+            optimizer: Optimizer::new(OptimizerKind::default(), 0.005).state(),
+            history: vec![stats(0, 1.2), stats(1, 0.8), stats(2, 6.0)],
+        };
+        match sup.health_check(&ckpt, &ds) {
+            Some(HealthIssue::Divergence { best, .. }) => assert_eq!(best, 0.8),
+            other => panic!("expected divergence, got {other:?}"),
+        }
+        // Same spike inside the window: not armed yet.
+        ckpt.history = vec![stats(0, 1.2), stats(1, 6.0)];
+        ckpt.next_epoch = 2;
+        assert_eq!(sup.health_check(&ckpt, &ds), None);
+        // A saturated-range probe on an untrained net flags it: with
+        // max_rate below any real activity the probe must trip.
+        let sup = TrainSupervisor::new(quick_cfg(8)).policy(SupervisorPolicy {
+            firing_probe: Some(FiringProbe { min_rate: 0.0, max_rate: 0.0, samples: 8 }),
+            ..SupervisorPolicy::default()
+        });
+        ckpt.history = vec![stats(0, 1.2)];
+        ckpt.next_epoch = 1;
+        match sup.health_check(&ckpt, &ds) {
+            Some(HealthIssue::FiringRate { rate, .. }) => assert!(rate > 0.0),
+            other => panic!("expected firing-rate issue, got {other:?}"),
+        }
+    }
+
+    use crate::optim::OptimizerKind;
+}

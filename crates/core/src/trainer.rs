@@ -377,6 +377,10 @@ fn train_batch(
 ) -> (f64, usize) {
     let out = network.run_sequence(frames, true);
     let (loss, grad_counts) = config.loss.forward(&out.counts, labels, frames.len());
+    // Fault-injection checkpoint: a `nan@grad` rule poisons this
+    // batch's loss, modelling a surrogate-gradient blow-up. Inert
+    // (a thread-local emptiness check) when no plan is installed.
+    let loss = if snn_fault::inject_nan("grad") { f64::NAN } else { loss };
     let correct = labels
         .iter()
         .enumerate()

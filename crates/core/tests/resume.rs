@@ -5,7 +5,8 @@
 use proptest::prelude::*;
 
 use snn_core::{
-    LifConfig, NetworkSnapshot, SpikingNetwork, TrainCheckpoint, TrainConfig, Trainer,
+    LifConfig, NetworkSnapshot, SpikingNetwork, SupervisorPolicy, TrainCheckpoint, TrainConfig,
+    TrainSupervisor, Trainer,
 };
 use snn_data::bars_dataset;
 use snn_tensor::Shape;
@@ -25,6 +26,58 @@ fn tiny_net(seed: u64) -> SpikingNetwork {
 /// equality a bitwise weight comparison.
 fn weights_json(net: &SpikingNetwork) -> String {
     serde_json::to_string(&NetworkSnapshot::from_network(net)).unwrap()
+}
+
+/// Supervised rollback determinism: a run that hits an injected NaN
+/// at epoch k, rolls back to the last good checkpoint, and resumes
+/// with unchanged hyperparameters must finish bitwise-identical to a
+/// run that never faulted. The trainer's positional RNG derivation is
+/// what makes this hold — the retry replays the exact shuffle and
+/// encoder streams the poisoned attempt consumed.
+#[test]
+fn supervised_nan_rollback_is_bitwise_identical_to_uninterrupted() {
+    let ds = bars_dataset(32, 8, 17);
+    let cfg = TrainConfig {
+        epochs: 4,
+        batch_size: 16,
+        timesteps: 3,
+        seed: 11,
+        ..TrainConfig::default()
+    };
+
+    // Reference: clean, unsupervised run.
+    let mut clean = tiny_net(11);
+    let r_clean = Trainer::new(cfg).fit(&mut clean, &ds).unwrap();
+
+    // 32 samples / batch 16 = 2 batches per epoch; the 5th batch is
+    // the first of epoch 2 (0-based), so epochs 0-1 checkpoint
+    // healthy and epoch 2 poisons, rolls back, and replays.
+    let plan =
+        std::sync::Arc::new(snn_fault::FaultPlan::parse("nan@grad:epoch5", 0).unwrap());
+    let _guard = snn_fault::install(plan);
+    let mut supervised = tiny_net(11);
+    let out = TrainSupervisor::new(cfg)
+        .policy(SupervisorPolicy {
+            backoff_base: std::time::Duration::from_millis(1),
+            ..SupervisorPolicy::default()
+        })
+        .run(&mut supervised, &ds)
+        .unwrap();
+
+    assert_eq!(out.attempts, 2, "exactly one rollback");
+    assert_eq!(out.recoveries.len(), 1);
+    assert_eq!(out.recoveries[0].rollback_epoch, 2);
+    assert_eq!(
+        weights_json(&clean),
+        weights_json(&supervised),
+        "supervised recovery diverged from the uninterrupted run"
+    );
+    assert_eq!(r_clean.epochs.len(), out.report.epochs.len());
+    for (ec, es) in r_clean.epochs.iter().zip(&out.report.epochs) {
+        assert_eq!(ec.train_loss.to_bits(), es.train_loss.to_bits());
+        assert_eq!(ec.train_accuracy.to_bits(), es.train_accuracy.to_bits());
+        assert_eq!(ec.lr.to_bits(), es.lr.to_bits());
+    }
 }
 
 proptest! {

@@ -72,20 +72,41 @@ pub struct SweepEntry {
     pub result: PointResult,
 }
 
+/// One quarantine-journal line: a point that diverged and must not be
+/// retried by restarted sweeps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantineEntry {
+    /// The point's identity.
+    pub key: PointKey,
+    /// Why it was quarantined (the divergence message).
+    pub reason: String,
+}
+
 /// A journal of completed sweep points, shared across the sweep's
 /// worker threads.
+///
+/// Besides the result journal, a sibling *quarantine* journal
+/// (`<stem>.quarantine.jsonl`) records points whose training
+/// diverged: [`SweepJournal::run_or_reuse`] converts a
+/// [`RunError::Diverged`] into a committed quarantine entry and
+/// returns [`RunError::Quarantined`], so one exploding `(β, θ)` cell
+/// neither kills the sweep nor gets expensively retrained on every
+/// restart.
 #[derive(Debug)]
 pub struct SweepJournal {
     journal: Journal,
+    quarantine_journal: Journal,
     completed: Mutex<HashMap<PointKey, PointResult>>,
+    quarantined: Mutex<HashMap<PointKey, String>>,
     recovery: JournalRecovery,
     reused: AtomicUsize,
     trained: AtomicUsize,
 }
 
 impl SweepJournal {
-    /// Opens (creating if absent) the journal at `path` and replays
-    /// completed points from previous attempts.
+    /// Opens (creating if absent) the journal at `path` — and its
+    /// quarantine sibling — and replays completed points from
+    /// previous attempts.
     ///
     /// # Errors
     ///
@@ -94,11 +115,21 @@ impl SweepJournal {
     /// damaged (a torn final line is recovered silently; see
     /// [`JournalRecovery`]).
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let path = path.as_ref();
         let (journal, entries, recovery) = Journal::open::<SweepEntry>(path)?;
         let completed = entries.into_iter().map(|e| (e.key, e.result)).collect();
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("journal");
+        let qpath = path.with_file_name(format!("{stem}.quarantine.jsonl"));
+        let (quarantine_journal, qentries, _) = Journal::open::<QuarantineEntry>(&qpath)?;
+        let quarantined = qentries.into_iter().map(|e| (e.key, e.reason)).collect();
         Ok(SweepJournal {
             journal,
+            quarantine_journal,
             completed: Mutex::new(completed),
+            quarantined: Mutex::new(quarantined),
             recovery,
             reused: AtomicUsize::new(0),
             trained: AtomicUsize::new(0),
@@ -126,10 +157,26 @@ impl SweepJournal {
         self.trained.load(Ordering::Relaxed)
     }
 
+    /// Points currently quarantined (replayed + added this process).
+    pub fn quarantined_points(&self) -> usize {
+        self.quarantined.lock().expect("quarantine map poisoned").len()
+    }
+
+    /// The quarantine reason for `key`, if it is quarantined.
+    pub fn is_quarantined(&self, key: &PointKey) -> Option<String> {
+        self.quarantined.lock().expect("quarantine map poisoned").get(key).cloned()
+    }
+
     /// Returns the journaled result for `key`, or runs `train`,
     /// commits its result, and returns it. The commit happens
     /// *before* the result is returned: a crash after `run_or_reuse`
     /// never loses the work.
+    ///
+    /// A quarantined `key` returns [`RunError::Quarantined`] without
+    /// running `train`; a `train` that reports [`RunError::Diverged`]
+    /// is committed to the quarantine journal (counting one
+    /// `snn_recovery_total` action) and likewise surfaces as
+    /// `Quarantined`.
     ///
     /// # Errors
     ///
@@ -144,7 +191,27 @@ impl SweepJournal {
             self.reused.fetch_add(1, Ordering::Relaxed);
             return Ok(hit.clone());
         }
-        let result = train()?;
+        if let Some(reason) = self.is_quarantined(&key) {
+            return Err(RunError::Quarantined(reason));
+        }
+        let result = match train() {
+            Ok(r) => r,
+            Err(RunError::Diverged(reason)) => {
+                // Commit the quarantine *before* reporting it, for the
+                // same crash-safety reason results commit first: a
+                // restarted sweep must not re-pay for the divergence.
+                self.quarantine_journal
+                    .append(&QuarantineEntry { key: key.clone(), reason: reason.clone() })
+                    .map_err(|e| RunError::Store(e.to_string()))?;
+                self.quarantined
+                    .lock()
+                    .expect("quarantine map poisoned")
+                    .insert(key, reason.clone());
+                snn_fault::record_recovery();
+                return Err(RunError::Quarantined(reason));
+            }
+            Err(e) => return Err(e),
+        };
         self.journal
             .append(&SweepEntry { key: key.clone(), result: result.clone() })
             .map_err(|e| RunError::Store(e.to_string()))?;
@@ -209,6 +276,57 @@ mod tests {
         let b = run(&j, 0.5); // in-process repeat also reuses
         assert_eq!((j.trained(), j.reused()), (0, 2));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn diverged_point_is_quarantined_and_never_retried() {
+        let path = scratch("quarantine");
+        let key = PointKey::new("fast_sigmoid", 99.0, 0.25, 1.0);
+
+        let j = SweepJournal::open(&path).unwrap();
+        let r = j.run_or_reuse(key.clone(), || {
+            Err(RunError::Diverged("final loss NaN (synthetic)".into()))
+        });
+        assert!(matches!(r, Err(RunError::Quarantined(_))), "got {r:?}");
+        assert_eq!(j.quarantined_points(), 1);
+        assert_eq!((j.trained(), j.reused()), (0, 0), "quarantine is neither");
+
+        // In-process repeat: the closure must not run again.
+        let r2 = j.run_or_reuse(key.clone(), || panic!("must not retrain a quarantined point"));
+        assert!(matches!(r2, Err(RunError::Quarantined(_))));
+
+        // Restart: the quarantine journal replays, still skipping it.
+        let j2 = SweepJournal::open(&path).unwrap();
+        assert_eq!(j2.quarantined_points(), 1);
+        assert_eq!(
+            j2.is_quarantined(&key).as_deref(),
+            Some("final loss NaN (synthetic)")
+        );
+        let r3 =
+            j2.run_or_reuse(key, || panic!("must not retrain a quarantined point on restart"));
+        assert!(matches!(r3, Err(RunError::Quarantined(_))));
+        assert_eq!((j2.trained(), j2.reused()), (0, 0));
+    }
+
+    #[test]
+    fn quarantine_does_not_disturb_healthy_points() {
+        let path = scratch("quarantine-healthy");
+        let p = ExperimentProfile::quick();
+        let (train, test) = p.datasets();
+        let j = SweepJournal::open(&path).unwrap();
+
+        let bad = PointKey::new("fast_sigmoid", 77.0, 0.25, 1.0);
+        let _ = j.run_or_reuse(bad, || Err(RunError::Diverged("boom".into())));
+
+        let good = PointKey::new("fast_sigmoid", 0.5, 0.25, 1.0);
+        j.run_or_reuse(good.clone(), || {
+            let lif = p.lif(Surrogate::FastSigmoid { k: 0.5 }, 0.25, 1.0);
+            run_point(&p, lif, &train, &test)
+        })
+        .unwrap();
+        j.run_or_reuse(good, || panic!("already committed")).unwrap();
+        assert_eq!((j.trained(), j.reused(), j.quarantined_points()), (1, 1, 1));
+        assert_eq!(j.completed_points(), 1);
     }
 
     #[test]

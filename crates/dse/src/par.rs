@@ -24,7 +24,14 @@
 /// assert_eq!(squares, vec![1, 4, 9, 16]);
 /// ```
 pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    snn_tensor::par::parallel_map(items, f)
+    // The fault plan is thread-local; re-install the caller's plan in
+    // whichever pool worker picks the item up so `SNN_FAULTS` rules
+    // fire identically whether the sweep runs sequential or parallel.
+    let plan = snn_fault::current();
+    snn_tensor::par::parallel_map(items, move |item| {
+        let _guard = plan.clone().map(snn_fault::install);
+        f(item)
+    })
 }
 
 #[cfg(test)]

@@ -55,6 +55,12 @@ pub enum RunError {
     Map(MapError),
     /// The sweep journal could not commit a finished point.
     Store(String),
+    /// Training completed but produced non-finite measurements
+    /// (NaN/Inf loss, accuracy, or firing rate) — the point diverged.
+    Diverged(String),
+    /// The point is quarantined in the sweep journal from a previous
+    /// divergence; journaled sweeps skip it instead of retrying.
+    Quarantined(String),
 }
 
 impl std::fmt::Display for RunError {
@@ -64,6 +70,8 @@ impl std::fmt::Display for RunError {
             RunError::Train(m) => write!(f, "training failed: {m}"),
             RunError::Map(e) => write!(f, "hardware mapping failed: {e}"),
             RunError::Store(m) => write!(f, "sweep journal commit failed: {m}"),
+            RunError::Diverged(m) => write!(f, "training diverged: {m}"),
+            RunError::Quarantined(m) => write!(f, "point quarantined: {m}"),
         }
     }
 }
@@ -108,6 +116,16 @@ pub fn run_point(
     .map_err(|e| RunError::Build(e.to_string()))?;
     let cfg = profile.train_config();
     let report = fit(&cfg, &mut net, train_ds).map_err(RunError::Train)?;
+    if !report.final_train_loss().is_finite() || !report.final_train_accuracy().is_finite() {
+        return Err(RunError::Diverged(format!(
+            "final loss {} / accuracy {} non-finite (surrogate={:?} beta={} theta={})",
+            report.final_train_loss(),
+            report.final_train_accuracy(),
+            lif.surrogate,
+            lif.beta,
+            lif.theta,
+        )));
+    }
     let eval = evaluate(
         &mut net,
         test_ds,
@@ -116,6 +134,16 @@ pub fn run_point(
         profile.batch_size,
         derive_seed(profile.seed, "eval"),
     );
+    if !eval.accuracy.is_finite() || !eval.profile.mean_firing_rate().is_finite() {
+        return Err(RunError::Diverged(format!(
+            "test accuracy {} / firing rate {} non-finite (surrogate={:?} beta={} theta={})",
+            eval.accuracy,
+            eval.profile.mean_firing_rate(),
+            lif.surrogate,
+            lif.beta,
+            lif.theta,
+        )));
+    }
     let snapshot = NetworkSnapshot::from_network(&net);
     let accel = AcceleratorConfig::sparsity_aware().map(&snapshot, &eval.profile)?;
     let baseline_accel = AcceleratorConfig::dense_baseline().map(&snapshot, &eval.profile)?;

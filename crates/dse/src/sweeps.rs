@@ -125,7 +125,9 @@ pub fn surrogate_sweep(
 /// [`surrogate_sweep`] with journaled resume: every finished point is
 /// committed to `journal` before the sweep proceeds, and points
 /// already committed (by this process or a crashed predecessor) are
-/// reused instead of retrained.
+/// reused instead of retrained. Points the journal has quarantined
+/// (diverged training) are dropped from the figure instead of
+/// failing the sweep.
 ///
 /// # Errors
 ///
@@ -163,7 +165,13 @@ fn surrogate_sweep_impl(
     });
     let mut rows = Vec::with_capacity(results.len());
     for res in results {
-        let (surr, scale, r) = res?;
+        // A quarantined cell is a recorded casualty, not a sweep
+        // failure: drop the row and keep the rest of the figure.
+        let (surr, scale, r) = match res {
+            Ok(v) => v,
+            Err(RunError::Quarantined(_)) => continue,
+            Err(e) => return Err(e),
+        };
         rows.push(Fig1Row {
             surrogate: surr.name().to_string(),
             scale,
@@ -300,7 +308,11 @@ fn beta_theta_sweep_impl(
     });
     let mut rows = Vec::with_capacity(results.len());
     for res in results {
-        let (beta, theta, r) = res?;
+        let (beta, theta, r) = match res {
+            Ok(v) => v,
+            Err(RunError::Quarantined(_)) => continue,
+            Err(e) => return Err(e),
+        };
         rows.push(Fig2Row {
             beta,
             theta,

@@ -1,0 +1,471 @@
+//! # snn-fault
+//!
+//! Deterministic, hermetic fault injection for the SNN workspace.
+//!
+//! Production failures — a full disk mid-checkpoint, a NaN loss three
+//! epochs into a sweep cell, a panic inside the serve worker — are
+//! rare and unrepeatable exactly when you need to debug the recovery
+//! path. This crate makes them *cheap and reproducible*: a seeded
+//! [`FaultPlan`] describes which injection sites misbehave and when,
+//! and the same plan with the same seed replays the same faults on
+//! every run.
+//!
+//! ## Plan grammar
+//!
+//! A plan is a comma-separated list of rules, each
+//! `kind@site[:trigger]`:
+//!
+//! ```text
+//! SNN_FAULTS=io_err@store.write:0.01,nan@grad:epoch3,panic@serve.worker:req42
+//! ```
+//!
+//! * `kind` — `io_err` (the site reports an I/O error), `nan` (the
+//!   site poisons a float to NaN), or `panic` (the site panics).
+//! * `site` — a dotted injection-point name. A rule site matches a
+//!   checkpoint site exactly or by dot-prefix: `store` matches
+//!   `store.write`, `store.read`, and `store.journal`.
+//! * `trigger` — either a probability in `(0, 1)` (e.g. `0.05`,
+//!   evaluated deterministically from the plan seed and the per-rule
+//!   invocation counter) or an occurrence ordinal (fire exactly once,
+//!   on the Nth matching invocation; a leading alphabetic tag is
+//!   ignored, so `epoch3`, `req42`, and plain `3` all work). Omitted
+//!   means "first invocation" (`1`).
+//!
+//! ## Activation model
+//!
+//! Plans are **thread-scoped**, not global: [`install`] pushes a plan
+//! onto the calling thread's stack and returns a [`FaultGuard`] that
+//! pops it on drop. Code that hands work to other threads (the serve
+//! batcher, the DSE worker pool) captures [`current`] and re-installs
+//! it on the worker side. This keeps `cargo test`'s parallel test
+//! threads isolated from each other and makes "faults disabled" the
+//! default everywhere.
+//!
+//! Injection checkpoints ([`inject_io_error`], [`inject_nan`],
+//! [`inject_panic`]) are near-zero-cost when no plan is installed: a
+//! thread-local emptiness check and an early return.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use snn_obs::Counter;
+
+/// What an injection checkpoint does when its rule fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The site reports a synthetic `std::io::Error`.
+    IoErr,
+    /// The site poisons a floating-point value to NaN.
+    Nan,
+    /// The site panics (callers are expected to catch and recover).
+    Panic,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::IoErr => write!(f, "io_err"),
+            FaultKind::Nan => write!(f, "nan"),
+            FaultKind::Panic => write!(f, "panic"),
+        }
+    }
+}
+
+/// When a rule fires, relative to its own matching-invocation count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Trigger {
+    /// Fire on each matching invocation with this probability,
+    /// derived deterministically from the plan seed.
+    Probability(f64),
+    /// Fire exactly once, on the Nth matching invocation (1-based).
+    Occurrence(u64),
+}
+
+/// One parsed `kind@site:trigger` rule plus its invocation counter.
+#[derive(Debug)]
+struct Rule {
+    kind: FaultKind,
+    site: String,
+    trigger: Trigger,
+    /// Matching invocations seen so far (drives both trigger forms).
+    hits: AtomicU64,
+}
+
+impl Rule {
+    /// Whether `site` falls under this rule's site prefix.
+    fn matches(&self, site: &str) -> bool {
+        site == self.site
+            || (site.len() > self.site.len()
+                && site.as_bytes()[self.site.len()] == b'.'
+                && site.starts_with(self.site.as_str()))
+    }
+
+    /// Counts one matching invocation and decides whether it fires.
+    fn fire(&self, seed: u64, index: u64) -> bool {
+        let n = self.hits.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.trigger {
+            Trigger::Occurrence(k) => n == k,
+            Trigger::Probability(p) => unit_float(seed, index, n) < p,
+        }
+    }
+}
+
+/// A deterministic mix of (seed, rule, invocation) into `[0, 1)`
+/// (SplitMix64 finalizer).
+fn unit_float(seed: u64, index: u64, n: u64) -> f64 {
+    let mut z = seed
+        .wrapping_add(index.wrapping_mul(0x9e3779b97f4a7c15))
+        .wrapping_add(n.wrapping_mul(0xbf58476d1ce4e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A parsed, seeded set of fault rules. Immutable once parsed; the
+/// per-rule counters make firing decisions deterministic given the
+/// sequence of checkpoint invocations on the installed threads.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<Rule>,
+}
+
+impl FaultPlan {
+    /// Parses a comma-separated plan (see the crate docs for the
+    /// grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending rule.
+    pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, String> {
+        let mut rules = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            rules.push(Self::parse_rule(part)?);
+        }
+        if rules.is_empty() {
+            return Err(format!("fault plan {spec:?} contains no rules"));
+        }
+        Ok(FaultPlan { seed, rules })
+    }
+
+    fn parse_rule(part: &str) -> Result<Rule, String> {
+        let (kind_txt, rest) = part
+            .split_once('@')
+            .ok_or_else(|| format!("fault rule {part:?} lacks '@site' (kind@site:trigger)"))?;
+        let kind = match kind_txt {
+            "io_err" => FaultKind::IoErr,
+            "nan" => FaultKind::Nan,
+            "panic" => FaultKind::Panic,
+            other => {
+                return Err(format!(
+                    "fault rule {part:?}: unknown kind {other:?} (want io_err|nan|panic)"
+                ))
+            }
+        };
+        let (site, trigger_txt) = match rest.split_once(':') {
+            Some((s, t)) => (s, Some(t)),
+            None => (rest, None),
+        };
+        if site.is_empty() {
+            return Err(format!("fault rule {part:?} has an empty site"));
+        }
+        let trigger = match trigger_txt {
+            None | Some("") => Trigger::Occurrence(1),
+            Some(t) => Self::parse_trigger(part, t)?,
+        };
+        Ok(Rule { kind, site: site.to_string(), trigger, hits: AtomicU64::new(0) })
+    }
+
+    fn parse_trigger(part: &str, txt: &str) -> Result<Trigger, String> {
+        // `epoch3` / `req42` / `3` — an occurrence ordinal with an
+        // optional alphabetic tag, which exists purely for plan
+        // readability.
+        let digits = txt.trim_start_matches(|c: char| c.is_ascii_alphabetic() || c == '_');
+        if digits != txt || !digits.is_empty() {
+            if let Ok(n) = digits.parse::<u64>() {
+                if n == 0 {
+                    return Err(format!(
+                        "fault rule {part:?}: occurrence trigger must be >= 1"
+                    ));
+                }
+                return Ok(Trigger::Occurrence(n));
+            }
+        }
+        match txt.parse::<f64>() {
+            Ok(p) if p > 0.0 && p < 1.0 => Ok(Trigger::Probability(p)),
+            _ => Err(format!(
+                "fault rule {part:?}: trigger {txt:?} is neither an occurrence \
+                 (e.g. epoch3, 42) nor a probability in (0, 1)"
+            )),
+        }
+    }
+
+    /// Builds a plan from the `SNN_FAULTS` / `SNN_FAULT_SEED`
+    /// environment variables. `Ok(None)` when `SNN_FAULTS` is unset
+    /// or empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FaultPlan::parse`] errors, plus a message if
+    /// `SNN_FAULT_SEED` is set but not a `u64`.
+    pub fn from_env() -> Result<Option<FaultPlan>, String> {
+        let spec = match std::env::var("SNN_FAULTS") {
+            Ok(s) if !s.trim().is_empty() => s,
+            _ => return Ok(None),
+        };
+        let seed = match std::env::var("SNN_FAULT_SEED") {
+            Ok(s) => s
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| format!("SNN_FAULT_SEED {s:?} is not an unsigned integer"))?,
+            Err(_) => 0,
+        };
+        FaultPlan::parse(&spec, seed).map(Some)
+    }
+
+    /// Number of rules in the plan.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the plan has no rules (unreachable via `parse`, which
+    /// rejects empty plans, but required alongside `len`).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Counts this invocation against every matching rule of `kind`
+    /// and reports whether any fired.
+    fn check(&self, kind: FaultKind, site: &str) -> bool {
+        let mut fired = false;
+        for (i, rule) in self.rules.iter().enumerate() {
+            if rule.kind == kind && rule.matches(site) && rule.fire(self.seed, i as u64) {
+                fired = true;
+            }
+        }
+        if fired {
+            fault_obs().injected.inc();
+        }
+        fired
+    }
+}
+
+thread_local! {
+    /// Stack of active plans for this thread; checkpoints consult the
+    /// top. A stack (not a slot) lets tests nest scoped plans.
+    static ACTIVE: RefCell<Vec<Arc<FaultPlan>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Uninstalls its plan from the thread's stack when dropped.
+#[must_use = "dropping the guard immediately uninstalls the plan"]
+pub struct FaultGuard {
+    _private: (),
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|a| {
+            a.borrow_mut().pop();
+        });
+    }
+}
+
+/// Activates `plan` on the calling thread until the returned guard is
+/// dropped. Nested installs shadow outer ones.
+pub fn install(plan: Arc<FaultPlan>) -> FaultGuard {
+    ACTIVE.with(|a| a.borrow_mut().push(plan));
+    FaultGuard { _private: () }
+}
+
+/// The plan active on this thread, if any. Thread-pool dispatchers
+/// capture this and [`install`] it on their worker threads so a plan
+/// follows the work it was installed around.
+pub fn current() -> Option<Arc<FaultPlan>> {
+    ACTIVE.with(|a| a.borrow().last().cloned())
+}
+
+/// Cheap "is any plan active on this thread" check — the fast path of
+/// every injection checkpoint.
+pub fn active() -> bool {
+    ACTIVE.with(|a| !a.borrow().is_empty())
+}
+
+/// Injection checkpoint for I/O paths: `Some(error)` when an `io_err`
+/// rule matching `site` fires, `None` otherwise (including when no
+/// plan is installed).
+pub fn inject_io_error(site: &str) -> Option<std::io::Error> {
+    let plan = current()?;
+    if plan.check(FaultKind::IoErr, site) {
+        Some(std::io::Error::other(format!("injected fault at {site}")))
+    } else {
+        None
+    }
+}
+
+/// Injection checkpoint for numeric paths: `true` when a `nan` rule
+/// matching `site` fires and the caller should poison its value.
+pub fn inject_nan(site: &str) -> bool {
+    match current() {
+        Some(plan) => plan.check(FaultKind::Nan, site),
+        None => false,
+    }
+}
+
+/// Injection checkpoint for supervised regions: panics when a `panic`
+/// rule matching `site` fires. Callers sit under `catch_unwind`.
+pub fn inject_panic(site: &str) {
+    if let Some(plan) = current() {
+        if plan.check(FaultKind::Panic, site) {
+            panic!("injected fault at {site}");
+        }
+    }
+}
+
+/// Handles to the workspace-wide fault/recovery counters.
+struct FaultObs {
+    injected: Arc<Counter>,
+    recoveries: Arc<Counter>,
+}
+
+fn fault_obs() -> &'static FaultObs {
+    static OBS: OnceLock<FaultObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = snn_obs::global();
+        FaultObs {
+            injected: r.counter("snn_fault_injected_total", "faults fired by the active plan"),
+            recoveries: r.counter(
+                "snn_recovery_total",
+                "recovery actions taken by supervisors (rollbacks, worker restarts, quarantines)",
+            ),
+        }
+    })
+}
+
+/// Records one recovery action (training rollback, serve worker
+/// restart, sweep-point quarantine) on `snn_recovery_total`.
+pub fn record_recovery() {
+    fault_obs().recoveries.inc();
+}
+
+/// Total faults fired so far (`snn_fault_injected_total`).
+pub fn injected_total() -> u64 {
+    fault_obs().injected.get()
+}
+
+/// Total recovery actions recorded so far (`snn_recovery_total`).
+pub fn recovery_total() -> u64 {
+    fault_obs().recoveries.get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_readme_plan() {
+        let plan = FaultPlan::parse(
+            "io_err@store.write:0.01,nan@grad:epoch3,panic@serve.worker:req42",
+            7,
+        )
+        .unwrap();
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.rules[0].kind, FaultKind::IoErr);
+        assert_eq!(plan.rules[0].trigger, Trigger::Probability(0.01));
+        assert_eq!(plan.rules[1].trigger, Trigger::Occurrence(3));
+        assert_eq!(plan.rules[2].site, "serve.worker");
+        assert_eq!(plan.rules[2].trigger, Trigger::Occurrence(42));
+    }
+
+    #[test]
+    fn rejects_malformed_rules() {
+        assert!(FaultPlan::parse("", 0).is_err());
+        assert!(FaultPlan::parse("explode@store:1", 0).is_err());
+        assert!(FaultPlan::parse("io_err@:1", 0).is_err());
+        assert!(FaultPlan::parse("io_err@store:1.5", 0).is_err());
+        assert!(FaultPlan::parse("io_err@store:epoch0", 0).is_err());
+        assert!(FaultPlan::parse("io_err store", 0).is_err());
+    }
+
+    #[test]
+    fn missing_trigger_means_first_invocation() {
+        let plan = Arc::new(FaultPlan::parse("nan@grad", 0).unwrap());
+        let _g = install(Arc::clone(&plan));
+        assert!(inject_nan("grad"));
+        assert!(!inject_nan("grad"), "occurrence triggers fire exactly once");
+    }
+
+    #[test]
+    fn site_prefix_matches_dotted_children_only() {
+        let plan = Arc::new(FaultPlan::parse("io_err@store:2", 0).unwrap());
+        let _g = install(plan);
+        assert!(inject_io_error("storefront").is_none(), "no prefix match without a dot");
+        assert!(inject_io_error("store.write").is_none(), "first hit, trigger is 2");
+        assert!(inject_io_error("store.read").is_some(), "second hit fires");
+        assert!(inject_io_error("store.write").is_none(), "occurrence is one-shot");
+    }
+
+    #[test]
+    fn occurrence_counts_only_matching_kind_and_site() {
+        let plan = Arc::new(FaultPlan::parse("nan@grad:2,panic@serve.worker:1", 0).unwrap());
+        let _g = install(plan);
+        inject_io_error("grad"); // wrong kind: must not advance the nan rule
+        assert!(!inject_nan("loss"), "wrong site");
+        assert!(!inject_nan("grad"), "first matching hit");
+        assert!(inject_nan("grad"), "second matching hit fires");
+    }
+
+    #[test]
+    fn probability_stream_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let plan = Arc::new(FaultPlan::parse("io_err@store:0.3", seed).unwrap());
+            let _g = install(plan);
+            (0..64).map(|_| inject_io_error("store.write").is_some()).collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same faults");
+        assert_ne!(run(7), run(8), "different seed, different faults");
+        let fired = run(7).iter().filter(|&&b| b).count();
+        assert!((5..=30).contains(&fired), "p=0.3 over 64 draws fired {fired} times");
+    }
+
+    #[test]
+    fn no_plan_means_no_faults() {
+        assert!(!active());
+        assert!(inject_io_error("store.write").is_none());
+        assert!(!inject_nan("grad"));
+        inject_panic("serve.worker"); // must not panic
+    }
+
+    #[test]
+    fn guard_scopes_the_plan_and_nesting_shadows() {
+        let outer = Arc::new(FaultPlan::parse("nan@grad:0.999999", 1).unwrap());
+        let _g = install(outer);
+        assert!(active());
+        {
+            let inner = Arc::new(FaultPlan::parse("io_err@store:1", 2).unwrap());
+            let _g2 = install(inner);
+            // The inner plan shadows the outer: nan@grad is inert.
+            assert!(!inject_nan("grad"));
+            assert!(inject_io_error("store.write").is_some());
+        }
+        assert!(inject_nan("grad"), "outer plan active again after inner guard drops");
+    }
+
+    #[test]
+    fn injected_panic_unwinds_with_site_message() {
+        let plan = Arc::new(FaultPlan::parse("panic@serve.worker:1", 0).unwrap());
+        let _g = install(plan);
+        let err = std::panic::catch_unwind(|| inject_panic("serve.worker")).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("serve.worker"), "panic payload names the site: {msg}");
+    }
+}

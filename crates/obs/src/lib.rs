@@ -25,6 +25,13 @@
 //! `snn_core_train_loss` — and counters end in `_total`. See
 //! [`crate::registry`] for details.
 //!
+//! Cross-cutting reliability counters drop the crate segment because
+//! they aggregate events from every layer: `snn_fault_injected_total`
+//! and `snn_recovery_total` (maintained by the `snn-fault` crate)
+//! count injected faults and completed self-healing recoveries
+//! process-wide, wherever they happen — store writes, the training
+//! supervisor, sweep quarantine, or the serve worker.
+//!
 //! # Cost model
 //!
 //! With tracing and profiling off, a span costs two `Instant::now()`

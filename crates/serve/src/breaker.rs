@@ -1,0 +1,188 @@
+//! Circuit breaker over the batch worker.
+//!
+//! Worker panics are caught and the worker restarts, but a model (or
+//! an injected fault plan) that panics on *every* batch would turn the
+//! server into a crash loop that burns a rebuild per request. The
+//! [`CircuitBreaker`] bounds that: after `threshold` consecutive
+//! failures the circuit opens and submissions are shed immediately
+//! with [`crate::Rejection::CircuitOpen`]; after `cooldown` one probe
+//! request is admitted (half-open), and its outcome decides whether
+//! the circuit closes again or re-opens for another cooldown.
+//!
+//! The state machine is deliberately classic:
+//!
+//! ```text
+//!            failure × threshold                cooldown elapses
+//! Closed ───────────────────────▶ Open ───────────────────────▶ HalfOpen
+//!   ▲                              ▲                               │
+//!   │            probe succeeds    │        probe fails            │
+//!   └──────────────────────────────┴───────────────────────────────┘
+//! ```
+//!
+//! `/healthz` reports `degraded` whenever the circuit is not closed,
+//! and the `snn_serve_circuit_state` gauge exposes the state as
+//! 0 (closed) / 1 (half-open) / 2 (open).
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Observable state of the breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitState {
+    /// Healthy: everything is admitted.
+    Closed,
+    /// Cooling down after a probe was admitted; its outcome is pending.
+    HalfOpen,
+    /// Shedding: recent consecutive failures exceeded the threshold.
+    Open,
+}
+
+impl CircuitState {
+    /// The `snn_serve_circuit_state` gauge encoding.
+    pub fn as_gauge(self) -> f64 {
+        match self {
+            CircuitState::Closed => 0.0,
+            CircuitState::HalfOpen => 1.0,
+            CircuitState::Open => 2.0,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Inner {
+    Closed { fails: u32 },
+    Open { since: Instant },
+    HalfOpen,
+}
+
+/// Consecutive-failure circuit breaker (see module docs).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// Builds a closed breaker that opens after `threshold`
+    /// consecutive failures and probes every `cooldown` thereafter.
+    /// A `threshold` of 0 is coerced to 1.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            inner: Mutex::new(Inner::Closed { fails: 0 }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panic between lock and unlock leaves consistent data (every
+        // transition is a single assignment), so poisoning is noise.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Whether a new request may enter. While open, returns `false`
+    /// until `cooldown` has elapsed; the first call after that flips
+    /// the circuit to half-open and is admitted as the probe — callers
+    /// racing behind it keep getting `false` until the probe resolves.
+    pub fn admit(&self) -> bool {
+        let mut inner = self.lock();
+        match *inner {
+            Inner::Closed { .. } => true,
+            Inner::HalfOpen => false,
+            Inner::Open { since } => {
+                if since.elapsed() >= self.cooldown {
+                    *inner = Inner::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful batch: closes the circuit and clears the
+    /// failure streak.
+    pub fn on_success(&self) {
+        *self.lock() = Inner::Closed { fails: 0 };
+    }
+
+    /// Records a failed batch: extends the failure streak, opening the
+    /// circuit at `threshold`; a failed half-open probe re-opens
+    /// immediately.
+    pub fn on_failure(&self) {
+        let mut inner = self.lock();
+        *inner = match *inner {
+            Inner::Closed { fails } if fails + 1 < self.threshold => {
+                Inner::Closed { fails: fails + 1 }
+            }
+            _ => Inner::Open { since: Instant::now() },
+        };
+    }
+
+    /// The current state (transition-free: an elapsed cooldown still
+    /// reads `Open` until an [`CircuitBreaker::admit`] call probes it).
+    pub fn state(&self) -> CircuitState {
+        match *self.lock() {
+            Inner::Closed { .. } => CircuitState::Closed,
+            Inner::HalfOpen => CircuitState::HalfOpen,
+            Inner::Open { .. } => CircuitState::Open,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let b = CircuitBreaker::new(3, Duration::from_secs(60));
+        assert!(b.admit());
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state(), CircuitState::Closed, "2 of 3 failures");
+        b.on_failure();
+        assert_eq!(b.state(), CircuitState::Open);
+        assert!(!b.admit(), "open circuit sheds before cooldown");
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let b = CircuitBreaker::new(2, Duration::from_secs(60));
+        b.on_failure();
+        b.on_success();
+        b.on_failure();
+        assert_eq!(b.state(), CircuitState::Closed, "streak was reset");
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(0));
+        b.on_failure();
+        assert_eq!(b.state(), CircuitState::Open);
+        // Zero cooldown: the next admit is the probe.
+        assert!(b.admit(), "probe after cooldown");
+        assert_eq!(b.state(), CircuitState::HalfOpen);
+        assert!(!b.admit(), "only one probe in flight");
+        b.on_success();
+        assert_eq!(b.state(), CircuitState::Closed);
+        assert!(b.admit());
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(0));
+        b.on_failure();
+        assert!(b.admit());
+        b.on_failure();
+        assert_eq!(b.state(), CircuitState::Open);
+    }
+
+    #[test]
+    fn gauge_encoding_is_stable() {
+        assert_eq!(CircuitState::Closed.as_gauge(), 0.0);
+        assert_eq!(CircuitState::HalfOpen.as_gauge(), 1.0);
+        assert_eq!(CircuitState::Open.as_gauge(), 2.0);
+    }
+}

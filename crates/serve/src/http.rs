@@ -32,6 +32,7 @@ use std::time::{Duration, Instant};
 
 use serde::{Serialize, Value};
 
+use crate::breaker::CircuitState;
 use crate::metrics::Metrics;
 use crate::queue::{Batcher, BatcherConfig, Rejection};
 use crate::registry::{ModelRegistry, SwapError};
@@ -46,6 +47,12 @@ const MAX_BODY: usize = 8 * 1024 * 1024;
 const READ_TIMEOUT: Duration = Duration::from_millis(250);
 /// Idle keep-alive connections are closed after this long.
 const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Slack added on top of an `/infer` request's queue deadline before
+/// the connection thread gives up on the engine entirely and answers
+/// `503`. The deadline bounds *queue* wait; this grace bounds the
+/// forward pass behind it, so a wedged worker can never hang a
+/// request forever.
+const ENGINE_GRACE: Duration = Duration::from_secs(2);
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -195,7 +202,23 @@ struct Request {
     method: String,
     path: String,
     close: bool,
+    content_type: Option<String>,
     body: Vec<u8>,
+}
+
+impl Request {
+    /// `Some(reason)` if a declared `Content-Type` is not JSON. POSTs
+    /// without the header are accepted (curl-without-`-H` ergonomics);
+    /// a *wrong* declaration is a client bug worth a typed `400`.
+    fn content_type_error(&self) -> Option<String> {
+        let ct = self.content_type.as_deref()?;
+        let essence = ct.split(';').next().unwrap_or(ct).trim();
+        if essence.eq_ignore_ascii_case("application/json") {
+            None
+        } else {
+            Some(format!("unsupported content-type `{essence}`; use application/json"))
+        }
+    }
 }
 
 fn handle_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
@@ -210,13 +233,20 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
         let req = match read_request(&mut stream, &mut buf, &shared.shutdown) {
             Ok(Some(req)) => req,
             Ok(None) => return, // clean close / idle timeout / shutdown
-            Err(_) => {
+            Err(e) => {
                 shared.metrics.bad_requests.inc();
+                // An oversized declared body earns its own status; the
+                // connection still closes without reading the payload.
+                let (status, msg) = if e.kind() == ErrorKind::FileTooLarge {
+                    (413, format!("request body too large (limit {MAX_BODY} bytes)"))
+                } else {
+                    (400, "malformed HTTP request".to_string())
+                };
                 let _ = write_response(
                     &mut stream,
-                    400,
+                    status,
                     "application/json",
-                    &error_body("malformed HTTP request"),
+                    &error_body(&msg),
                     true,
                 );
                 return;
@@ -289,6 +319,7 @@ fn read_request(
 
     let mut content_length = 0usize;
     let mut close = false;
+    let mut content_type = None;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else { continue };
         let value = value.trim();
@@ -298,10 +329,12 @@ fn read_request(
                 .map_err(|_| io::Error::new(ErrorKind::InvalidData, "bad content-length"))?;
         } else if name.eq_ignore_ascii_case("connection") {
             close = value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("content-type") {
+            content_type = Some(value.to_string());
         }
     }
     if content_length > MAX_BODY {
-        return Err(io::Error::new(ErrorKind::InvalidData, "request body too large"));
+        return Err(io::Error::new(ErrorKind::FileTooLarge, "request body too large"));
     }
 
     // Phase 2: the body is `content_length` bytes after the head.
@@ -322,7 +355,7 @@ fn read_request(
     // Keep any pipelined bytes for the next request on this
     // connection.
     buf.drain(..body_start + content_length);
-    Ok(Some(Request { method, path, close, body }))
+    Ok(Some(Request { method, path, close, content_type, body }))
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -333,8 +366,18 @@ fn route(req: &Request, shared: &ServerShared) -> (u16, String) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             let info = shared.registry.info();
+            // `degraded` (still HTTP 200 — the process is alive and
+            // will self-heal) whenever the circuit is not closed.
+            let circuit = shared.batcher.circuit_state();
+            let status = if circuit == CircuitState::Closed { "ok" } else { "degraded" };
+            let circuit_name = match circuit {
+                CircuitState::Closed => "closed",
+                CircuitState::HalfOpen => "half-open",
+                CircuitState::Open => "open",
+            };
             let body = Value::Object(vec![
-                ("status".into(), Value::String("ok".into())),
+                ("status".into(), Value::String(status.into())),
+                ("circuit".into(), Value::String(circuit_name.into())),
                 ("model".into(), Value::String(info.name)),
                 ("version".into(), Value::Number(info.version as f64)),
             ]);
@@ -358,6 +401,10 @@ fn route(req: &Request, shared: &ServerShared) -> (u16, String) {
 }
 
 fn handle_infer(req: &Request, shared: &ServerShared) -> (u16, String) {
+    if let Some(msg) = req.content_type_error() {
+        shared.metrics.bad_requests.inc();
+        return (400, error_body(&msg));
+    }
     let parsed = std::str::from_utf8(&req.body)
         .map_err(|_| "body is not UTF-8".to_string())
         .and_then(|text| parse_infer_body(text, shared.batcher.input_len()));
@@ -368,11 +415,29 @@ fn handle_infer(req: &Request, shared: &ServerShared) -> (u16, String) {
             return (400, error_body(&msg));
         }
     };
-    let deadline = timeout
-        .or(shared.default_timeout)
-        .map(|d| Instant::now() + d);
-    let submitted = shared.batcher.submit(input, deadline);
-    let waited = submitted.and_then(|ticket| ticket.wait());
+    let budget = timeout.or(shared.default_timeout);
+    let deadline = budget.map(|d| Instant::now() + d);
+    let waited = match shared.batcher.submit(input, deadline) {
+        Err(rejection) => Err(rejection),
+        // The queue deadline plus grace bounds the whole round trip;
+        // a reply that never comes (wedged engine) turns into a typed
+        // 503 instead of a hung connection.
+        Ok(ticket) => match budget {
+            Some(d) => match ticket.wait_timeout(d + ENGINE_GRACE) {
+                Some(result) => result,
+                None => {
+                    return (
+                        503,
+                        error_body(&format!(
+                            "engine timed out after {}ms; request abandoned",
+                            (d + ENGINE_GRACE).as_millis()
+                        )),
+                    );
+                }
+            },
+            None => ticket.wait(),
+        },
+    };
     match waited {
         Ok(reply) => {
             let mut entries = match reply.output.to_value() {
@@ -394,7 +459,9 @@ fn handle_infer(req: &Request, shared: &ServerShared) -> (u16, String) {
                 Rejection::QueueFull { .. } => 429,
                 Rejection::DeadlineExceeded { .. } => 504,
                 Rejection::BadInput { .. } => 400,
-                Rejection::ShuttingDown => 503,
+                Rejection::ShuttingDown
+                | Rejection::WorkerPanic
+                | Rejection::CircuitOpen => 503,
             };
             (status, error_body(&rejection.to_string()))
         }
@@ -452,6 +519,10 @@ fn parse_infer_body(
 }
 
 fn handle_reload(req: &Request, shared: &ServerShared) -> (u16, String) {
+    if let Some(msg) = req.content_type_error() {
+        shared.metrics.bad_requests.inc();
+        return (400, error_body(&msg));
+    }
     let parsed = std::str::from_utf8(&req.body)
         .map_err(|_| SnapshotError::Malformed("body is not UTF-8".into()))
         .and_then(NetworkSnapshot::from_json);
@@ -509,6 +580,7 @@ fn status_text(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
+        413 => "Payload Too Large",
         429 => "Too Many Requests",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
@@ -590,6 +662,23 @@ mod tests {
         (status, body.to_string())
     }
 
+    /// Sends raw bytes and returns (status, full response text).
+    /// Unlike [`request`], makes no attempt to be a well-formed
+    /// client — that is the point.
+    fn raw_request(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw).unwrap();
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).unwrap();
+        let text = String::from_utf8_lossy(&response).to_string();
+        let status = text
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        (status, text)
+    }
+
     #[test]
     fn healthz_reports_model() {
         let server = start_server();
@@ -628,6 +717,114 @@ mod tests {
         }
         let m = server.metrics();
         assert_eq!(m.bad_requests.get(), cases.len() as u64);
+    }
+
+    #[test]
+    fn oversized_declared_body_gets_413_without_reading_it() {
+        let server = start_server();
+        // 9MiB declared, zero bytes sent: the server must answer from
+        // the headers alone instead of buffering toward OOM.
+        let head = format!(
+            "POST /infer HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            9 * 1024 * 1024
+        );
+        let (status, text) = raw_request(server.addr(), head.as_bytes());
+        assert_eq!(status, 413, "response: {text}");
+        assert!(text.contains("too large"), "response: {text}");
+        // The instance is still healthy afterwards.
+        let (status, _) = request(server.addr(), "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        assert_eq!(server.metrics().bad_requests.get(), 1);
+    }
+
+    #[test]
+    fn truncated_body_and_mid_body_drop_do_not_wedge_the_server() {
+        let server = start_server();
+        // Declares 50 bytes, sends 10, then drops the connection. The
+        // read loop must diagnose the EOF instead of waiting forever.
+        {
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            stream
+                .write_all(
+                    b"POST /infer HTTP/1.1\r\nHost: t\r\nContent-Length: 50\r\n\r\n{\"input\":[",
+                )
+                .unwrap();
+            drop(stream);
+        }
+        // Truncated *JSON* with an honest Content-Length parses as a
+        // body and earns a typed 400.
+        let (status, reply) = request(server.addr(), "POST", "/infer", "{\"input\":[1,2,");
+        assert_eq!(status, 400, "reply: {reply}");
+        assert!(reply.contains("invalid JSON"), "reply: {reply}");
+        // Both abuses left the server serving.
+        let (status, body) = request(server.addr(), "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""), "body: {body}");
+    }
+
+    #[test]
+    fn wrong_content_type_is_rejected_with_400() {
+        let server = start_server();
+        let body = "{\"input\":[]}";
+        for path in ["/infer", "/reload"] {
+            let raw = format!(
+                "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            );
+            let (status, text) = raw_request(server.addr(), raw.as_bytes());
+            assert_eq!(status, 400, "{path} response: {text}");
+            assert!(text.contains("unsupported content-type"), "{path} response: {text}");
+        }
+        // A correct declaration (with parameters) is accepted — the
+        // request then fails validation for its own reasons, not the
+        // header.
+        let raw = format!(
+            "POST /infer HTTP/1.1\r\nHost: t\r\nContent-Type: application/json; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let (status, text) = raw_request(server.addr(), raw.as_bytes());
+        assert_eq!(status, 400, "response: {text}");
+        assert!(text.contains("expected 64 values"), "response: {text}");
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_503_and_healthz_degrades_then_recovers() {
+        // Threshold 1 so the single injected panic opens the circuit.
+        let plan = Arc::new(
+            snn_fault::FaultPlan::parse("panic@serve.worker:1", 0).unwrap(),
+        );
+        let _guard = snn_fault::install(plan);
+        let registry = Arc::new(ModelRegistry::new(snapshot(11), "demo").unwrap());
+        let cfg = ServerConfig {
+            batcher: BatcherConfig {
+                timesteps: 2,
+                breaker_threshold: 1,
+                breaker_cooldown: Duration::from_millis(50),
+                ..BatcherConfig::default()
+            },
+            ..ServerConfig::default()
+        };
+        let server = Server::start(registry, cfg).unwrap();
+        let input: Vec<String> = (0..64).map(|i| format!("{}", (i % 5) as f32 / 5.0)).collect();
+        let body = format!("{{\"input\":[{}]}}", input.join(","));
+
+        let (status, reply) = request(server.addr(), "POST", "/infer", &body);
+        assert_eq!(status, 503, "reply: {reply}");
+        assert!(reply.contains("panicked"), "reply: {reply}");
+
+        let (status, health) = request(server.addr(), "GET", "/healthz", "");
+        assert_eq!(status, 200, "liveness stays 200 while degraded");
+        assert!(health.contains("\"status\":\"degraded\""), "health: {health}");
+        assert!(health.contains("\"circuit\":\"open\""), "health: {health}");
+
+        // After the cooldown the half-open probe succeeds (the
+        // occurrence rule already fired) and service self-heals.
+        std::thread::sleep(Duration::from_millis(60));
+        let (status, reply) = request(server.addr(), "POST", "/infer", &body);
+        assert_eq!(status, 200, "probe reply: {reply}");
+        let (_, health) = request(server.addr(), "GET", "/healthz", "");
+        assert!(health.contains("\"status\":\"ok\""), "health: {health}");
+        assert_eq!(server.metrics().worker_panics.get(), 1);
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //! * [`registry`] — [`ModelRegistry`]: the serving snapshot behind an
 //!   `Arc` swap, so `/reload` replaces the model atomically while
 //!   requests are in flight.
+//! * [`breaker`] — [`CircuitBreaker`]: worker panics are caught and
+//!   the worker restarts (pending requests get a typed rejection,
+//!   never a hang); repeated failures open the circuit, shedding load
+//!   until a half-open probe succeeds. `/healthz` reports `degraded`
+//!   while the circuit is not closed.
 //! * [`http`] — [`Server`]: a minimal hermetic HTTP/1.1 front end on
 //!   `std::net::TcpListener` with `/infer`, `/healthz`, `/metrics`,
 //!   and `/reload`.
@@ -55,12 +60,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod breaker;
 pub mod engine;
 pub mod http;
 pub mod metrics;
 pub mod queue;
 pub mod registry;
 
+pub use breaker::{CircuitBreaker, CircuitState};
 pub use engine::{InferenceEngine, LayerFiring, RequestOutput};
 pub use http::{ServeError, Server, ServerConfig};
 pub use metrics::{Metrics, MetricsSnapshot};

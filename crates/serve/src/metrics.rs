@@ -72,6 +72,12 @@ pub struct Metrics {
     pub rejected_shutdown: Arc<Counter>,
     /// HTTP requests that failed parsing/validation.
     pub bad_requests: Arc<Counter>,
+    /// Batch-worker panics caught and recovered (each one fails its
+    /// batch with [`crate::Rejection::WorkerPanic`] and discards the
+    /// engine for rebuild).
+    pub worker_panics: Arc<Counter>,
+    /// Circuit-breaker state: 0 closed, 1 half-open, 2 open.
+    pub circuit_state: Arc<Gauge>,
     /// Batched forward passes executed.
     pub batches: Arc<Counter>,
     /// Requests served across those batches.
@@ -88,6 +94,11 @@ pub struct Metrics {
 
 impl Default for Metrics {
     fn default() -> Self {
+        // Touch the process-wide fault/recovery counters so
+        // `snn_fault_injected_total` / `snn_recovery_total` exist in
+        // the global registry (and thus every scrape) from the first
+        // request, not only after the first fault.
+        let _ = snn_fault::injected_total();
         let registry = Registry::new();
         let received =
             registry.counter("snn_serve_requests_received_total", "requests accepted into the queue");
@@ -103,6 +114,14 @@ impl Default for Metrics {
             .counter("snn_serve_rejected_shutdown_total", "requests drained during shutdown");
         let bad_requests = registry
             .counter("snn_serve_bad_requests_total", "HTTP requests that failed parsing/validation");
+        let worker_panics = registry.counter(
+            "snn_serve_worker_panics_total",
+            "batch-worker panics caught; each failed one batch and restarted the engine",
+        );
+        let circuit_state = registry.gauge(
+            "snn_serve_circuit_state",
+            "circuit-breaker state: 0 closed, 1 half-open, 2 open",
+        );
         let batches =
             registry.counter("snn_serve_batches_total", "batched forward passes executed");
         let batched_items =
@@ -132,6 +151,8 @@ impl Default for Metrics {
             rejected_deadline,
             rejected_shutdown,
             bad_requests,
+            worker_panics,
+            circuit_state,
             batches,
             batched_items,
             queue_depth,
@@ -168,7 +189,9 @@ impl Metrics {
             return;
         }
         self.batch_size.record(outputs.len() as f64);
-        let mut agg = self.layers.lock().expect("metrics lock poisoned");
+        // Recover from poisoning: the aggregate stays consistent per
+        // entry, and metrics must never wedge the serving path.
+        let mut agg = self.layers.lock().unwrap_or_else(|p| p.into_inner());
         for out in outputs {
             if agg.is_empty() {
                 agg.extend(out.layers.iter().map(|l| LayerRateAgg {
@@ -216,6 +239,8 @@ impl Metrics {
             rejected_deadline: self.rejected_deadline.get(),
             rejected_shutdown: self.rejected_shutdown.get(),
             bad_requests: self.bad_requests.get(),
+            worker_panics: self.worker_panics.get(),
+            circuit_state: self.circuit_state.get(),
             batches,
             batched_items,
             mean_batch_size: if batches > 0 {
@@ -225,7 +250,7 @@ impl Metrics {
             },
             queue_depth: self.queue_depth.get(),
             latency_us: self.latency_stats(),
-            layers: self.layers.lock().expect("metrics lock poisoned").clone(),
+            layers: self.layers.lock().unwrap_or_else(|p| p.into_inner()).clone(),
             histograms: self.registry.histogram_snapshots(),
         }
     }
@@ -255,6 +280,9 @@ impl Metrics {
             let _ = writeln!(out, "# TYPE {alias} counter");
             let _ = writeln!(out, "{alias} {}", counter.get());
         }
+        // The process-wide `snn_fault_injected_total` /
+        // `snn_recovery_total` counters ride in with the global
+        // registry below — snn-fault registers them there.
         out.push_str(&snn_obs::global().render_prometheus());
         out
     }
@@ -292,6 +320,11 @@ pub struct MetricsSnapshot {
     pub rejected_shutdown: u64,
     /// Malformed HTTP requests.
     pub bad_requests: u64,
+    /// Batch-worker panics caught and recovered.
+    pub worker_panics: u64,
+    /// Circuit-breaker state at snapshot time (0 closed, 1 half-open,
+    /// 2 open).
+    pub circuit_state: f64,
     /// Batched forward passes executed.
     pub batches: u64,
     /// Requests served across those batches.

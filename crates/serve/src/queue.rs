@@ -26,10 +26,12 @@
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use crate::breaker::{CircuitBreaker, CircuitState};
 use crate::engine::{InferenceEngine, RequestOutput};
 use crate::metrics::Metrics;
 use crate::registry::ModelRegistry;
@@ -48,6 +50,13 @@ pub struct BatcherConfig {
     pub capacity: usize,
     /// Timesteps each input is presented for.
     pub timesteps: usize,
+    /// Consecutive worker failures (panicked batches) before the
+    /// circuit opens and submissions are shed with
+    /// [`Rejection::CircuitOpen`].
+    pub breaker_threshold: u32,
+    /// How long an open circuit sheds before admitting one half-open
+    /// probe request.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for BatcherConfig {
@@ -57,6 +66,8 @@ impl Default for BatcherConfig {
             max_wait: Duration::from_micros(2000),
             capacity: 64,
             timesteps: 4,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(250),
         }
     }
 }
@@ -83,6 +94,13 @@ pub enum Rejection {
     },
     /// The batcher is shutting down.
     ShuttingDown,
+    /// The worker panicked while serving this request's batch. The
+    /// worker survives (the panic is caught and the engine rebuilt),
+    /// but this batch's results are lost.
+    WorkerPanic,
+    /// The circuit breaker is open after repeated worker failures;
+    /// the request was shed without queueing.
+    CircuitOpen,
 }
 
 impl fmt::Display for Rejection {
@@ -98,6 +116,12 @@ impl fmt::Display for Rejection {
                 write!(f, "bad input: expected {expected} values, got {actual}")
             }
             Rejection::ShuttingDown => write!(f, "server shutting down"),
+            Rejection::WorkerPanic => {
+                write!(f, "batch worker panicked while serving this request; worker restarted")
+            }
+            Rejection::CircuitOpen => {
+                write!(f, "circuit open: shedding requests after repeated worker failures")
+            }
         }
     }
 }
@@ -167,6 +191,16 @@ struct Shared {
     wake: Condvar,
 }
 
+impl Shared {
+    /// Locks the queue, recovering from poisoning: every critical
+    /// section leaves `QueueState` consistent (single push/drain/flag
+    /// writes), so a panic elsewhere must not wedge the whole server
+    /// behind a poisoned mutex.
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
 /// The dynamic micro-batching queue: accepts requests from any
 /// thread, serves them from one worker-owned engine.
 pub struct Batcher {
@@ -175,6 +209,7 @@ pub struct Batcher {
     cfg: BatcherConfig,
     input_len: usize,
     metrics: Arc<Metrics>,
+    breaker: Arc<CircuitBreaker>,
 }
 
 impl Batcher {
@@ -197,18 +232,25 @@ impl Batcher {
             state: Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
             wake: Condvar::new(),
         });
+        let breaker =
+            Arc::new(CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown));
         let worker = {
             let shared = Arc::clone(&shared);
             let cfg = cfg.clone();
             let metrics = Arc::clone(&metrics);
+            let breaker = Arc::clone(&breaker);
+            // The fault plan is thread-local; carry the submitter's
+            // plan into the worker so `serve.worker` rules fire there.
+            let plan = snn_fault::current();
             thread::Builder::new()
                 .name("snn-serve-batcher".into())
                 .spawn(move || {
-                    run_worker(shared, registry, cfg, metrics, engine, engine_version)
+                    let _fault_guard = plan.map(snn_fault::install);
+                    run_worker(shared, registry, cfg, metrics, breaker, engine, engine_version)
                 })
                 .expect("spawning batch worker")
         };
-        Ok(Batcher { shared, worker: Some(worker), cfg, input_len, metrics })
+        Ok(Batcher { shared, worker: Some(worker), cfg, input_len, metrics, breaker })
     }
 
     /// Flattened input length the served model requires. Hot-swaps
@@ -223,12 +265,18 @@ impl Batcher {
         &self.cfg
     }
 
+    /// The circuit breaker's current state. `/healthz` reports
+    /// `degraded` whenever this is not [`CircuitState::Closed`].
+    pub fn circuit_state(&self) -> CircuitState {
+        self.breaker.state()
+    }
+
     /// Enqueues one request.
     ///
     /// # Errors
     ///
     /// Rejects immediately (without queueing) on wrong input length,
-    /// a full queue, or shutdown.
+    /// an open circuit, a full queue, or shutdown.
     pub fn submit(
         &self,
         input: Vec<f32>,
@@ -237,9 +285,14 @@ impl Batcher {
         if input.len() != self.input_len {
             return Err(Rejection::BadInput { expected: self.input_len, actual: input.len() });
         }
+        if !self.breaker.admit() {
+            self.metrics.circuit_state.set(self.breaker.state().as_gauge());
+            return Err(Rejection::CircuitOpen);
+        }
+        self.metrics.circuit_state.set(self.breaker.state().as_gauge());
         let (tx, rx) = mpsc::channel();
         {
-            let mut st = self.shared.state.lock().expect("queue lock poisoned");
+            let mut st = self.shared.lock();
             if st.shutdown {
                 return Err(Rejection::ShuttingDown);
             }
@@ -265,7 +318,7 @@ impl Batcher {
     /// [`Drop`] joins the worker.
     pub fn request_shutdown(&self) {
         {
-            let mut st = self.shared.state.lock().expect("queue lock poisoned");
+            let mut st = self.shared.lock();
             st.shutdown = true;
         }
         self.shared.wake.notify_all();
@@ -294,14 +347,19 @@ fn run_worker(
     registry: Arc<ModelRegistry>,
     cfg: BatcherConfig,
     metrics: Arc<Metrics>,
-    mut engine: InferenceEngine,
+    breaker: Arc<CircuitBreaker>,
+    engine: InferenceEngine,
     mut engine_version: u64,
 ) {
+    // `None` after a caught panic: the engine's scratch state may be
+    // torn mid-forward-pass, so the next batch rebuilds from the
+    // registry instead of trusting it.
+    let mut engine = Some(engine);
     loop {
         // Phase 1: sleep until there is work (or shutdown).
-        let mut st = shared.state.lock().expect("queue lock poisoned");
+        let mut st = shared.lock();
         while st.jobs.is_empty() && !st.shutdown {
-            st = shared.wake.wait(st).expect("queue lock poisoned");
+            st = shared.wake.wait(st).unwrap_or_else(|p| p.into_inner());
         }
         if st.shutdown {
             let drained: Vec<Job> = st.jobs.drain(..).collect();
@@ -328,7 +386,7 @@ fn run_worker(
             let (guard, _timeout) = shared
                 .wake
                 .wait_timeout(st, batch_deadline - now)
-                .expect("queue lock poisoned");
+                .unwrap_or_else(|p| p.into_inner());
             st = guard;
         }
 
@@ -356,22 +414,54 @@ fn run_worker(
             continue;
         }
 
-        // Phase 5: if the model was hot-swapped, rebuild the engine so
-        // this batch (and the response metadata) reflect it. The
-        // registry only admits validated snapshots with an unchanged
-        // interface, so this cannot fail.
-        let current_version = registry.version();
-        if current_version != engine_version {
-            engine = InferenceEngine::new(registry.current().snapshot.clone(), cfg.timesteps)
-                .expect("registry admits only validated snapshots");
-            engine_version = current_version;
-        }
-
-        // Phase 6: one forward pass for the whole batch.
+        // Phases 5+6 run under `catch_unwind`: a panic anywhere in
+        // rebuild or inference (including an injected
+        // `panic@serve.worker` fault) must cost one batch, not the
+        // worker thread — a dead worker would hang every future ticket.
         let inputs: Vec<Vec<f32>> = batch.iter().map(|j| j.input.clone()).collect();
-        let started = Instant::now();
-        let outputs = engine.infer_batch(&inputs);
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            snn_fault::inject_panic("serve.worker");
+
+            // Phase 5: if the model was hot-swapped (or the engine was
+            // discarded after a panic), rebuild so a batch never mixes
+            // models. The registry only admits validated snapshots
+            // with an unchanged interface, so this cannot fail.
+            let current_version = registry.version();
+            if engine.is_none() || current_version != engine_version {
+                engine = Some(
+                    InferenceEngine::new(registry.current().snapshot.clone(), cfg.timesteps)
+                        .expect("registry admits only validated snapshots"),
+                );
+                engine_version = current_version;
+            }
+
+            // Phase 6: one forward pass for the whole batch.
+            let started = Instant::now();
+            let outputs =
+                engine.as_mut().expect("engine rebuilt above").infer_batch(&inputs);
+            (outputs, started)
+        }));
+        let (outputs, started) = match attempt {
+            Ok(ok) => ok,
+            Err(_) => {
+                // The worker survives; the batch does not. Shed every
+                // job with a typed rejection (no ticket may hang),
+                // count the recovery, and let the breaker decide
+                // whether to keep admitting.
+                engine = None;
+                metrics.worker_panics.inc();
+                breaker.on_failure();
+                metrics.circuit_state.set(breaker.state().as_gauge());
+                snn_fault::record_recovery();
+                for job in batch {
+                    let _ = job.tx.send(Err(Rejection::WorkerPanic));
+                }
+                continue;
+            }
+        };
         let infer_us = started.elapsed().as_micros() as u64;
+        breaker.on_success();
+        metrics.circuit_state.set(breaker.state().as_gauge());
 
         metrics.batches.inc();
         metrics.batched_items.add(batch.len() as u64);
@@ -462,6 +552,7 @@ mod tests {
             max_wait: Duration::from_millis(150),
             capacity: 8,
             timesteps: 2,
+            ..BatcherConfig::default()
         };
         let (_r, metrics, batcher) = setup(cfg);
         let doomed = batcher
@@ -490,6 +581,7 @@ mod tests {
             max_wait: Duration::from_millis(250),
             capacity: 4,
             timesteps: 2,
+            ..BatcherConfig::default()
         };
         let (_r, metrics, batcher) = setup(cfg);
         let tickets: Vec<Ticket> =
@@ -513,6 +605,7 @@ mod tests {
             max_wait: Duration::from_millis(150),
             capacity: 8,
             timesteps: 4,
+            ..BatcherConfig::default()
         };
         let (_r, _m, batcher) = setup(cfg);
         let items: Vec<Vec<f32>> = (0..4).map(input).collect();
@@ -541,6 +634,7 @@ mod tests {
             max_wait: Duration::from_micros(100),
             capacity: 8,
             timesteps: 2,
+            ..BatcherConfig::default()
         });
         let before = batcher.submit(input(3), None).unwrap().wait().unwrap();
         assert_eq!(before.model_version, 1);
@@ -554,12 +648,77 @@ mod tests {
     }
 
     #[test]
+    fn worker_panic_fails_batch_typed_and_worker_survives() {
+        // One injected panic: the batch it hits is lost (typed, not
+        // hung), the worker catches it, rebuilds the engine, and the
+        // next request is served normally.
+        let plan =
+            Arc::new(snn_fault::FaultPlan::parse("panic@serve.worker:1", 0).unwrap());
+        let _guard = snn_fault::install(plan);
+        let (_r, metrics, batcher) =
+            setup(BatcherConfig { timesteps: 2, ..BatcherConfig::default() });
+        let err = batcher.submit(input(1), None).unwrap().wait().unwrap_err();
+        assert_eq!(err, Rejection::WorkerPanic);
+        assert_eq!(metrics.worker_panics.get(), 1);
+        // Default threshold is 3: one failure keeps the circuit closed.
+        assert_eq!(batcher.circuit_state(), CircuitState::Closed);
+        let reply = batcher.submit(input(2), None).unwrap().wait().unwrap();
+        assert_eq!(reply.output.counts.len(), 4);
+        assert_eq!(metrics.completed.get(), 1);
+    }
+
+    #[test]
+    fn panicked_batch_matches_clean_engine_after_rebuild() {
+        // The rebuilt engine must serve bitwise-identical answers: a
+        // panic discards scratch state, not the model.
+        let plan =
+            Arc::new(snn_fault::FaultPlan::parse("panic@serve.worker:1", 0).unwrap());
+        let _guard = snn_fault::install(plan);
+        let (_r, _m, batcher) =
+            setup(BatcherConfig { timesteps: 4, ..BatcherConfig::default() });
+        let _ = batcher.submit(input(1), None).unwrap().wait().unwrap_err();
+        let reply = batcher.submit(input(5), None).unwrap().wait().unwrap();
+        let mut engine = InferenceEngine::new(snapshot(11), 4).unwrap();
+        let solo = engine.infer_one(input(5));
+        assert_eq!(reply.output, solo);
+    }
+
+    #[test]
+    fn circuit_opens_after_threshold_and_probe_recloses() {
+        let plan =
+            Arc::new(snn_fault::FaultPlan::parse("panic@serve.worker:1", 0).unwrap());
+        let _guard = snn_fault::install(plan);
+        let cfg = BatcherConfig {
+            breaker_threshold: 1,
+            breaker_cooldown: Duration::from_millis(50),
+            timesteps: 2,
+            ..BatcherConfig::default()
+        };
+        let (_r, metrics, batcher) = setup(cfg);
+        let err = batcher.submit(input(1), None).unwrap().wait().unwrap_err();
+        assert_eq!(err, Rejection::WorkerPanic);
+        assert_eq!(batcher.circuit_state(), CircuitState::Open);
+        assert_eq!(metrics.circuit_state.get(), CircuitState::Open.as_gauge());
+        // While open, submissions shed before queueing.
+        assert_eq!(batcher.submit(input(2), None).unwrap_err(), Rejection::CircuitOpen);
+        std::thread::sleep(Duration::from_millis(60));
+        // First submit after cooldown is the half-open probe; the
+        // occurrence rule already fired, so the probe succeeds and the
+        // circuit closes.
+        let reply = batcher.submit(input(3), None).unwrap().wait().unwrap();
+        assert_eq!(reply.output.counts.len(), 4);
+        assert_eq!(batcher.circuit_state(), CircuitState::Closed);
+        assert_eq!(metrics.circuit_state.get(), CircuitState::Closed.as_gauge());
+    }
+
+    #[test]
     fn shutdown_rejects_queued_and_new_work() {
         let cfg = BatcherConfig {
             max_batch: 16,
             max_wait: Duration::from_millis(500),
             capacity: 16,
             timesteps: 2,
+            ..BatcherConfig::default()
         };
         let (_r, metrics, mut batcher) = setup(cfg);
         let queued = batcher.submit(input(1), None).unwrap();

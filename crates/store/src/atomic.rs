@@ -56,6 +56,9 @@ const FOOTER_KEY: &str = "snn_store_footer";
 pub fn write_bytes_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), StoreError> {
     let _span = snn_obs::span!("store_write");
     let path = path.as_ref();
+    if let Some(e) = snn_fault::inject_io_error("store.write") {
+        return Err(StoreError::io(path, &e));
+    }
     let parent = match path.parent() {
         Some(p) if !p.as_os_str().is_empty() => {
             fs::create_dir_all(p).map_err(|e| StoreError::io(path, &e))?;
@@ -121,6 +124,9 @@ pub fn save_json_new<T: Serialize + ?Sized>(
 ) -> Result<bool, StoreError> {
     let _span = snn_obs::span!("store_write");
     let path = path.as_ref();
+    if let Some(e) = snn_fault::inject_io_error("store.write") {
+        return Err(StoreError::io(path, &e));
+    }
     let json = serde_json::to_string(value).map_err(|e| StoreError::Malformed {
         path: path.display().to_string(),
         message: format!("cannot serialize: {e}"),
@@ -277,6 +283,9 @@ pub fn load_json<T: Deserialize>(path: impl AsRef<Path>) -> Result<T, StoreError
 /// As [`load_json`], minus the decode step.
 pub fn load_verified_bytes(path: &Path) -> Result<Vec<u8>, StoreError> {
     let _span = snn_obs::span!("store_read");
+    if let Some(e) = snn_fault::inject_io_error("store.read") {
+        return Err(StoreError::io(path, &e));
+    }
     let bytes = fs::read(path).map_err(|e| {
         if e.kind() == std::io::ErrorKind::NotFound {
             StoreError::NotFound { path: path.display().to_string() }

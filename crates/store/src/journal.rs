@@ -46,6 +46,34 @@ pub struct JournalRecovery {
     pub torn_tail: bool,
 }
 
+/// When appended lines are pushed to stable storage.
+///
+/// `Always` is the right default for journals whose entries gate
+/// expensive redo (sweep points, recovery events): a committed line
+/// must survive a crash. `EveryN` batches the `fdatasync` for
+/// high-rate, low-value streams; `Never` leaves flushing to the OS.
+/// Unsynced lines lost in a crash replay as a torn tail at worst —
+/// the CRC-per-line format is policy-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every append (the default).
+    #[default]
+    Always,
+    /// `fdatasync` once per N appends (and on [`Journal::sync`] /
+    /// drop). `EveryN(1)` behaves like `Always`; `EveryN(0)` is
+    /// treated as `EveryN(1)`.
+    EveryN(u32),
+    /// Never sync explicitly; durability rides on the OS page cache.
+    Never,
+}
+
+/// File handle plus the count of appends not yet synced.
+#[derive(Debug)]
+struct JournalInner {
+    file: File,
+    pending: u32,
+}
+
 /// An open append-only journal.
 ///
 /// Appends take `&self`: the file handle lives behind a mutex, so a
@@ -53,12 +81,14 @@ pub struct JournalRecovery {
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
-    file: Mutex<File>,
+    policy: FsyncPolicy,
+    inner: Mutex<JournalInner>,
 }
 
 impl Journal {
     /// Opens (creating if absent) the journal at `path` and replays
-    /// its committed entries.
+    /// its committed entries, syncing every append
+    /// ([`FsyncPolicy::Always`]).
     ///
     /// # Errors
     ///
@@ -70,15 +100,27 @@ impl Journal {
     pub fn open<T: Deserialize>(
         path: impl AsRef<Path>,
     ) -> Result<(Journal, Vec<T>, JournalRecovery), StoreError> {
+        Self::open_with(path, FsyncPolicy::Always)
+    }
+
+    /// Like [`Journal::open`] but with an explicit [`FsyncPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Journal::open`].
+    pub fn open_with<T: Deserialize>(
+        path: impl AsRef<Path>,
+        policy: FsyncPolicy,
+    ) -> Result<(Journal, Vec<T>, JournalRecovery), StoreError> {
         let path = path.as_ref();
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent).map_err(|e| StoreError::io(path, &e))?;
             }
         }
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        let (text, existed) = match std::fs::read_to_string(path) {
+            Ok(t) => (t, true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => (String::new(), false),
             Err(e) => return Err(StoreError::io(path, &e)),
         };
         let mut entries = Vec::new();
@@ -123,7 +165,19 @@ impl Journal {
             .append(true)
             .open(path)
             .map_err(|e| StoreError::io(path, &e))?;
-        Ok((Journal { path: path.to_path_buf(), file: Mutex::new(file) }, entries, recovery))
+        if !existed {
+            // The journal file itself was just created; fsync the
+            // parent directory so the *name* survives a power loss
+            // (same durability rule as the atomic-write rename; sync
+            // errors on exotic filesystems are likewise swallowed).
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                if let Ok(dir) = File::open(parent) {
+                    let _ = dir.sync_all();
+                }
+            }
+        }
+        let inner = Mutex::new(JournalInner { file, pending: 0 });
+        Ok((Journal { path: path.to_path_buf(), policy, inner }, entries, recovery))
     }
 
     /// Decodes one committed line, verifying its CRC.
@@ -172,7 +226,7 @@ impl Journal {
         })
     }
 
-    /// Appends one entry and syncs it to disk before returning.
+    /// Appends one entry, syncing per the journal's [`FsyncPolicy`].
     ///
     /// # Errors
     ///
@@ -180,25 +234,75 @@ impl Journal {
     /// [`StoreError::Malformed`] if the entry cannot serialize.
     pub fn append<T: Serialize>(&self, entry: &T) -> Result<(), StoreError> {
         let _span = snn_obs::span!("store_journal_append");
+        if let Some(e) = snn_fault::inject_io_error("store.journal") {
+            return Err(StoreError::io(&self.path, &e));
+        }
         let data = serde_json::to_string(entry).map_err(|e| StoreError::Malformed {
             path: self.path.display().to_string(),
             message: format!("cannot serialize journal entry: {e}"),
         })?;
         let line = format!("{{\"crc32\":\"{:08x}\",\"data\":{data}}}\n", crc32(data.as_bytes()));
-        let file = self.file.lock().expect("journal mutex poisoned");
+        let mut inner = self.inner.lock().expect("journal mutex poisoned");
         // One write_all call: O_APPEND makes the whole line land
         // contiguously even with multiple appenders in-process.
-        (&*file)
+        inner
+            .file
             .write_all(line.as_bytes())
-            .and_then(|()| file.sync_data())
             .map_err(|e| StoreError::io(&self.path, &e))?;
+        let sync_now = match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Never => {
+                inner.pending = inner.pending.saturating_add(1);
+                false
+            }
+            FsyncPolicy::EveryN(n) => {
+                inner.pending += 1;
+                inner.pending >= n.max(1)
+            }
+        };
+        if sync_now {
+            inner.file.sync_data().map_err(|e| StoreError::io(&self.path, &e))?;
+            inner.pending = 0;
+        }
         store_obs().journal_appends.inc();
+        Ok(())
+    }
+
+    /// Forces any unsynced appends to stable storage, regardless of
+    /// policy. A no-op when nothing is pending (always the case under
+    /// `Always`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the sync fails.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock().expect("journal mutex poisoned");
+        if inner.pending > 0 {
+            inner.file.sync_data().map_err(|e| StoreError::io(&self.path, &e))?;
+            inner.pending = 0;
+        }
         Ok(())
     }
 
     /// The journal's file path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        // Best-effort flush of appends deferred by `EveryN` on clean
+        // shutdown; errors are unreportable here and the format
+        // tolerates a lost tail anyway. `Never` means never — its
+        // durability contract is the OS page cache alone.
+        if matches!(self.policy, FsyncPolicy::EveryN(_)) {
+            if let Ok(inner) = self.inner.lock() {
+                if inner.pending > 0 {
+                    let _ = inner.file.sync_data();
+                }
+            }
+        }
     }
 }
 
@@ -290,6 +394,52 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let err = Journal::open::<u32>(&path).unwrap_err();
         assert!(matches!(err, StoreError::Corrupt { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn every_n_policy_defers_then_flushes_on_sync() {
+        let path = scratch("every_n");
+        let (j, _, _) = Journal::open_with::<u32>(&path, FsyncPolicy::EveryN(3)).unwrap();
+        j.append(&1u32).unwrap();
+        j.append(&2u32).unwrap();
+        assert_eq!(j.inner.lock().unwrap().pending, 2);
+        j.append(&3u32).unwrap();
+        assert_eq!(j.inner.lock().unwrap().pending, 0, "third append hits the sync boundary");
+        j.append(&4u32).unwrap();
+        j.sync().unwrap();
+        assert_eq!(j.inner.lock().unwrap().pending, 0);
+        drop(j);
+        let (_, entries, rec) = Journal::open::<u32>(&path).unwrap();
+        assert_eq!(entries, vec![1, 2, 3, 4]);
+        assert!(!rec.torn_tail);
+    }
+
+    #[test]
+    fn never_policy_still_commits_lines_to_the_file() {
+        let path = scratch("never");
+        let (j, _, _) = Journal::open_with::<u32>(&path, FsyncPolicy::Never).unwrap();
+        j.append(&1u32).unwrap();
+        j.append(&2u32).unwrap();
+        j.sync().unwrap(); // explicit sync works even under Never
+        drop(j);
+        let (_, entries, _) = Journal::open::<u32>(&path).unwrap();
+        assert_eq!(entries, vec![1, 2]);
+    }
+
+    #[test]
+    fn injected_io_fault_surfaces_as_typed_store_error() {
+        let path = scratch("fault");
+        let (j, _, _) = Journal::open::<u32>(&path).unwrap();
+        let plan =
+            std::sync::Arc::new(snn_fault::FaultPlan::parse("io_err@store.journal:2", 0).unwrap());
+        let _g = snn_fault::install(plan);
+        j.append(&1u32).unwrap();
+        let err = j.append(&2u32).unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }), "{err:?}");
+        j.append(&3u32).unwrap();
+        drop(j);
+        let (_, entries, _) = Journal::open::<u32>(&path).unwrap();
+        assert_eq!(entries, vec![1, 3], "the failed append committed nothing");
     }
 
     #[test]

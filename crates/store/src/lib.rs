@@ -46,6 +46,6 @@ mod runs;
 pub use atomic::{load_json, load_verified_bytes, save_json, save_json_new, write_bytes_atomic};
 pub use error::StoreError;
 pub use hash::{crc32, fnv64, fnv64_hex};
-pub use journal::{Journal, JournalRecovery};
+pub use journal::{FsyncPolicy, Journal, JournalRecovery};
 pub use registry::{ArtifactRegistry, ModelEntry, VersionSpec};
 pub use runs::{RunStore, RunSummary};

@@ -44,14 +44,17 @@ for _ in $(seq 50); do
 done
 [ -n "$addr" ] || { cat "$serve_log"; echo "ci.sh: serve never reported its address" >&2; exit 1; }
 
-health="$(curl -sf --max-time 5 "http://$addr/healthz")"
+health="$(curl -sf --max-time 5 "http://$addr/healthz")" \
+  || { cat "$serve_log"; echo "ci.sh: /healthz request failed" >&2; exit 1; }
 case "$health" in
   *'"status":"ok"'*) ;;
   *) echo "ci.sh: unexpected /healthz response: $health" >&2; exit 1 ;;
 esac
 
 input="$(seq 64 | sed 's/.*/0.5/' | paste -sd,)"
-infer="$(curl -sf --max-time 5 -X POST "http://$addr/infer" -d "{\"input\":[$input]}")"
+infer="$(curl -sf --max-time 5 -X POST "http://$addr/infer" \
+  -H 'Content-Type: application/json' -d "{\"input\":[$input]}")" \
+  || { cat "$serve_log"; echo "ci.sh: /infer request failed" >&2; exit 1; }
 case "$infer" in
   *'"class":'*'"layers":'*) ;;
   *) echo "ci.sh: unexpected /infer response: $infer" >&2; exit 1 ;;
@@ -118,5 +121,26 @@ rm -rf "$store_dir"
 rm -f "$train_log"
 trap - EXIT
 echo "ci.sh: crash-resume smoke test passed"
+
+# Chaos smoke test: run the fault-injection drill — supervised
+# training must absorb an injected checkpoint-write failure
+# (checkpoint → rollback → resume) and the model server must recover
+# from an injected worker panic (typed 503, no hung requests, healthz
+# back to ok) — and require both recoveries to be counted.
+chaos_log="$(mktemp)"
+trap 'rm -f "$chaos_log"' EXIT
+target/release/snn chaos --plan io_err@store:0.05,panic@serve.worker:1 --seed 7 \
+  >"$chaos_log" 2>&1 \
+  || { cat "$chaos_log"; echo "ci.sh: chaos drill failed" >&2; exit 1; }
+recoveries="$(sed -n 's/.*snn_recovery_total=\([0-9]*\).*/\1/p' "$chaos_log")"
+[ -n "$recoveries" ] && [ "$recoveries" -gt 0 ] \
+  || { cat "$chaos_log"; echo "ci.sh: chaos drill recorded no recoveries" >&2; exit 1; }
+grep -q 'healthz=ok' "$chaos_log" \
+  || { cat "$chaos_log"; echo "ci.sh: chaos drill did not end healthy" >&2; exit 1; }
+grep -q 'rolled back to epoch' "$chaos_log" \
+  || { cat "$chaos_log"; echo "ci.sh: chaos drill never exercised a training rollback" >&2; exit 1; }
+rm -f "$chaos_log"
+trap - EXIT
+echo "ci.sh: chaos smoke test passed ($recoveries recoveries)"
 
 echo "ci.sh: all gates passed"
