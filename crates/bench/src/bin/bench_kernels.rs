@@ -1,29 +1,49 @@
-//! Kernel-scaling benchmark for the thread-parallel, sparsity-aware
-//! compute backend.
+//! Kernel-scaling and density-sweep benchmark for the
+//! thread-parallel, sparsity-aware compute backend.
 //!
 //! ```text
 //! cargo run --release -p snn-bench --bin bench_kernels \
-//!     [-- --reps N --out FILE --json-pretty]
+//!     [-- --reps N --out FILE --json-pretty --smoke]
 //! ```
 //!
-//! Times the three hot-path kernels — `conv2d_forward`, the
-//! dense-layer GEMM (`matmul_nt`), and the elementwise LIF step — at
-//! 1/2/4/8 threads, on dense real-valued operands and on 90%-sparse
-//! binary spike operands, and writes the results to
-//! `BENCH_kernels.json` (at the workspace root when run via cargo).
+//! Two sections:
 //!
-//! Thread counts are forced with [`par::set_num_threads`], overriding
-//! `SNN_NUM_THREADS`. `host_parallelism` records how many hardware
-//! threads the machine actually has: scaling numbers measured with
-//! more workers than cores show scheduling overhead, not speedup.
+//! * **Thread scaling** — times the three hot-path kernels
+//!   (`conv2d_forward`, the dense-layer GEMM `matmul_nt`, the
+//!   elementwise LIF step) at 1/2/4/8 threads, on dense real-valued
+//!   operands and on 90%-sparse binary spike operands. Thread counts
+//!   are forced with [`par::set_num_threads`], overriding
+//!   `SNN_NUM_THREADS`; rows where the requested worker count exceeds
+//!   the host's hardware threads are flagged `host_limited` — those
+//!   timings show scheduling overhead, not speedup.
+//! * **Density sweep** — times the event-driven datapath against the
+//!   dense route at input sparsities 50/75/90/95/99%, serially, for
+//!   conv2d (dispatcher-forced routes), the spike-gather GEMM, the
+//!   masked LIF step, and an end-to-end network forward pass
+//!   (adaptive dispatch vs pinned dense). This is the figure backing
+//!   the "inference cost scales with firing rate" claim.
+//!
+//! `--smoke` shrinks every shape and the default rep count so the
+//! whole run finishes in seconds; CI uses it to regression-gate the
+//! event route's speedup without paying for the full sweep.
+//!
+//! Results land in `BENCH_kernels.json` (workspace root when run via
+//! cargo), stamped with the schema version and git commit.
 
 use std::time::Instant;
 
 use serde::Serialize;
-use snn_tensor::conv::{conv2d_forward_with, Conv2dGeometry, ConvScratch};
+use snn_core::neuron::{lif_step, lif_step_masked, LifState};
+use snn_core::{LifConfig, SpikingNetwork, Surrogate};
+use snn_tensor::conv::{conv2d_forward_routed, conv2d_forward_with, Conv2dGeometry, ConvScratch};
+use snn_tensor::dispatch::{set_event_density_threshold, ConvRoute};
+use snn_tensor::spike::TouchMask;
 use snn_tensor::{linalg, par, Shape, Tensor};
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Input sparsities (zero fraction, %) swept by the density section.
+const SWEEP_SPARSITIES: [u64; 5] = [50, 75, 90, 95, 99];
 
 fn lcg_tensor(shape: Shape, seed: u64, scale: f32) -> Tensor {
     let mut rng = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
@@ -42,42 +62,154 @@ fn spike_tensor(shape: Shape, seed: u64, density_pct: u64) -> Tensor {
     })
 }
 
-/// Median wall-clock seconds over `reps` runs (one warmup discarded).
-fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+fn measured_density(t: &Tensor) -> f64 {
+    t.as_slice().iter().filter(|&&v| v != 0.0).count() as f64 / t.len() as f64
+}
+
+/// Best (minimum) wall-clock seconds over `reps` runs, one warmup
+/// discarded. Interference — scheduler preemption, page-fault storms
+/// from allocator state left by earlier sections — only ever *adds*
+/// time, so the minimum is the most repeatable estimator of a
+/// kernel's intrinsic cost on a shared host.
+fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
     f();
-    let mut samples: Vec<f64> = (0..reps)
+    (0..reps)
         .map(|_| {
             let t0 = Instant::now();
             f();
             t0.elapsed().as_secs_f64()
         })
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    samples[samples.len() / 2]
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Best serial seconds: pins one worker for the duration of `f`.
+fn time_serial(reps: usize, f: impl FnMut()) -> f64 {
+    par::set_num_threads(1);
+    let s = time_best(reps, f);
+    par::set_num_threads(0);
+    s
 }
 
 #[derive(Serialize)]
 struct ScalingResult {
     threads: Vec<usize>,
     seconds: Vec<f64>,
+    /// Per-row: the requested worker count exceeds the host's
+    /// hardware threads, so the timing measures scheduling overhead
+    /// rather than parallel speedup.
+    host_limited: Vec<bool>,
     /// Serial time divided by 4-thread time.
     speedup_4_threads: f64,
 }
 
-fn scale_over_threads(reps: usize, mut f: impl FnMut()) -> ScalingResult {
+fn scale_over_threads(reps: usize, host: usize, mut f: impl FnMut()) -> ScalingResult {
     let seconds: Vec<f64> = THREADS
         .iter()
         .map(|&t| {
             par::set_num_threads(t);
-            time_median(reps, &mut f)
+            time_best(reps, &mut f)
         })
         .collect();
     par::set_num_threads(0); // restore auto detection
     ScalingResult {
         threads: THREADS.to_vec(),
         seconds: seconds.clone(),
+        host_limited: THREADS.iter().map(|&t| t > host).collect(),
         speedup_4_threads: seconds[0] / seconds[2],
     }
+}
+
+/// One density-sweep row: dense route vs event route, both serial.
+#[derive(Serialize)]
+struct SweepPoint {
+    /// Nominal zero fraction of the input, %.
+    sparsity_pct: u64,
+    /// Measured nonzero fraction of the generated input.
+    input_density: f64,
+    /// Dense-route best-of-reps seconds (serial).
+    dense_seconds: f64,
+    /// Event-route best-of-reps seconds (serial).
+    event_seconds: f64,
+    /// `dense_seconds / event_seconds`.
+    event_speedup: f64,
+}
+
+/// Conv sweep row. Three datapaths on the same sparsity pattern:
+/// the classic dense pipeline, the routed dense pipeline (which
+/// already exploits binary sparsity via the spike-gather GEMM), and
+/// the event-driven scatter route.
+#[derive(Serialize)]
+struct ConvSweepPoint {
+    /// Nominal zero fraction of the input, %.
+    sparsity_pct: u64,
+    /// Measured nonzero fraction of the binary input.
+    input_density: f64,
+    /// im2col + dense GEMM, serial — timed on an analog-valued input
+    /// with the identical sparsity pattern, where the binary-only
+    /// spike-gather acceleration cannot engage. The density-blind
+    /// baseline every speedup is quoted against.
+    dense_seconds: f64,
+    /// The routed dense path on the binary input (im2col + measured-
+    /// density spike-gather GEMM), serial.
+    spike_gemm_seconds: f64,
+    /// The event-driven scatter route, serial.
+    event_seconds: f64,
+    /// `dense_seconds / event_seconds`.
+    event_speedup: f64,
+    /// `spike_gemm_seconds / event_seconds` — the gain over the best
+    /// non-event route, i.e. what the dispatcher actually buys.
+    event_vs_spike_gemm: f64,
+}
+
+#[derive(Serialize)]
+struct ConvDensitySweep {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    image: usize,
+    batch: usize,
+    points: Vec<ConvSweepPoint>,
+}
+
+#[derive(Serialize)]
+struct GemmDensitySweep {
+    m: usize,
+    k: usize,
+    n: usize,
+    /// `event_seconds` here is the spike-gather GEMM on binary input;
+    /// `dense_seconds` is the same shape on dense analog input.
+    points: Vec<SweepPoint>,
+}
+
+#[derive(Serialize)]
+struct LifDensitySweep {
+    items: usize,
+    channels: usize,
+    plane: usize,
+    /// `event_seconds` is `lif_step_masked` under a touch mask
+    /// matching the input's spatial support; `dense_seconds` is the
+    /// unmasked `lif_step` on the same input.
+    points: Vec<SweepPoint>,
+}
+
+#[derive(Serialize)]
+struct ForwardDensitySweep {
+    batch: usize,
+    timesteps: usize,
+    topology: String,
+    /// `dense_seconds` pins the dispatcher to the dense route;
+    /// `event_seconds` lets it adapt per layer per timestep (the
+    /// production configuration).
+    points: Vec<SweepPoint>,
+}
+
+#[derive(Serialize)]
+struct DensitySweep {
+    sparsities_pct: Vec<u64>,
+    conv2d: ConvDensitySweep,
+    gemm_nt: GemmDensitySweep,
+    lif_step: LifDensitySweep,
+    forward: ForwardDensitySweep,
 }
 
 #[derive(Serialize)]
@@ -90,7 +222,7 @@ struct ConvBench {
     dense: ScalingResult,
     sparse90: ScalingResult,
     /// Dense-input serial time over 90%-sparse serial time: the gain
-    /// from the spike-gather GEMM path alone.
+    /// from the sparsity-aware routing alone.
     sparse_path_speedup_serial: f64,
 }
 
@@ -120,27 +252,56 @@ struct KernelReport {
     git_commit: String,
     host_parallelism: usize,
     reps: usize,
+    /// True when the run used `--smoke` shapes; smoke numbers are for
+    /// regression gating, not for quoting.
+    smoke: bool,
     conv2d_forward: ConvBench,
     gemm_nt: GemmBench,
     lif_step: LifBench,
+    density_sweep: DensitySweep,
     /// Snapshots of the global `snn_span_*` histograms the kernels
     /// recorded into while being timed — per-call latency
-    /// distributions (p50/p95/p99) to set against the medians above.
+    /// distributions (p50/p95/p99) to set against the timings above.
     span_histograms: Vec<snn_obs::HistogramSnapshot>,
 }
 
-fn bench_conv(reps: usize) -> ConvBench {
-    let (cin, cout, img, batch) = (16usize, 32usize, 16usize, 16usize);
+/// Shape set for one run; `--smoke` swaps in the small variant.
+struct Sizes {
+    conv: (usize, usize, usize, usize), // cin, cout, img, batch
+    gemm: (usize, usize, usize),        // m, k, n
+    lif: (usize, usize, usize),         // items, channels, plane-side
+    fwd: (usize, usize, usize, usize),  // in_ch, img, filters, timesteps
+    fwd_batch: usize,
+}
+
+const FULL: Sizes = Sizes {
+    conv: (16, 32, 16, 16),
+    gemm: (256, 512, 256),
+    lif: (64, 32, 16),
+    fwd: (2, 16, 16, 8),
+    fwd_batch: 8,
+};
+
+const SMOKE: Sizes = Sizes {
+    conv: (8, 16, 12, 4),
+    gemm: (64, 128, 64),
+    lif: (8, 16, 8),
+    fwd: (2, 8, 8, 4),
+    fwd_batch: 2,
+};
+
+fn bench_conv(reps: usize, host: usize, sz: &Sizes) -> ConvBench {
+    let (cin, cout, img, batch) = sz.conv;
     let g = Conv2dGeometry::new(cin, cout, 3, 1, 1, img, img).expect("valid geometry");
     let w = lcg_tensor(g.weight_shape(), 11, 0.3);
     let b = lcg_tensor(Shape::d1(cout), 13, 0.1);
     let x_dense = lcg_tensor(Shape::d4(batch, cin, img, img), 17, 1.0);
     let x_sparse = spike_tensor(Shape::d4(batch, cin, img, img), 19, 10);
     let mut scratch = ConvScratch::new();
-    let dense = scale_over_threads(reps, || {
+    let dense = scale_over_threads(reps, host, || {
         let _ = conv2d_forward_with(&g, &x_dense, &w, &b, &mut scratch).expect("valid shapes");
     });
-    let sparse90 = scale_over_threads(reps, || {
+    let sparse90 = scale_over_threads(reps, host, || {
         let _ = conv2d_forward_with(&g, &x_sparse, &w, &b, &mut scratch).expect("valid shapes");
     });
     let sparse_path_speedup_serial = dense.seconds[0] / sparse90.seconds[0];
@@ -156,48 +317,264 @@ fn bench_conv(reps: usize) -> ConvBench {
     }
 }
 
-fn bench_gemm(reps: usize) -> GemmBench {
+fn bench_gemm(reps: usize, host: usize, sz: &Sizes) -> GemmBench {
     // Dense-layer forward shape: [batch·something, in] × [out, in]ᵀ.
-    let (m, k, n) = (256usize, 512usize, 256usize);
+    let (m, k, n) = sz.gemm;
     let a_dense = lcg_tensor(Shape::d2(m, k), 23, 1.0);
     let a_sparse = spike_tensor(Shape::d2(m, k), 29, 10);
     let b = lcg_tensor(Shape::d2(n, k), 31, 0.3);
-    let dense = scale_over_threads(reps, || {
+    let dense = scale_over_threads(reps, host, || {
         let _ = linalg::matmul_nt(&a_dense, &b).expect("valid shapes");
     });
-    let sparse90 = scale_over_threads(reps, || {
+    let sparse90 = scale_over_threads(reps, host, || {
         let _ = linalg::matmul_nt(&a_sparse, &b).expect("valid shapes");
     });
     let sparse_path_speedup_serial = dense.seconds[0] / sparse90.seconds[0];
     GemmBench { m, k, n, dense, sparse90, sparse_path_speedup_serial }
 }
 
-fn bench_lif(reps: usize) -> LifBench {
-    use snn_core::neuron::{lif_step, LifState};
-    use snn_core::{LifConfig, Surrogate};
-    let cfg = LifConfig {
+fn lif_config() -> LifConfig {
+    LifConfig {
         beta: 0.9,
         theta: 0.5,
         surrogate: Surrogate::FastSigmoid { k: 2.0 },
         ..LifConfig::paper_default()
-    };
-    let shape = Shape::d2(64, 32 * 16 * 16);
+    }
+}
+
+fn bench_lif(reps: usize, host: usize, sz: &Sizes) -> LifBench {
+    let (items, channels, side) = sz.lif;
+    let cfg = lif_config();
+    let shape = Shape::d2(items, channels * side * side);
     let input = lcg_tensor(shape, 37, 1.0);
     let state = LifState {
         membrane: lcg_tensor(shape, 41, 0.6),
         prev_spikes: lcg_tensor(shape, 43, 1.0).map(|v| f32::from(v > 0.0)),
     };
-    let scaling = scale_over_threads(reps, || {
+    let scaling = scale_over_threads(reps, host, || {
         let _ = lif_step(&cfg, &state, &input);
     });
     LifBench { elements: input.len(), scaling }
 }
 
+/// Conv density sweep: dense GEMM baseline, routed dense
+/// (spike-gather), and dispatcher-forced event route, serial.
+fn sweep_conv(reps: usize, sz: &Sizes) -> ConvDensitySweep {
+    let (cin, cout, img, batch) = sz.conv;
+    let g = Conv2dGeometry::new(cin, cout, 3, 1, 1, img, img).expect("valid geometry");
+    let w = lcg_tensor(g.weight_shape(), 11, 0.3);
+    let b = lcg_tensor(Shape::d1(cout), 13, 0.1);
+    let mut scratch = ConvScratch::new();
+    let points = SWEEP_SPARSITIES
+        .iter()
+        .map(|&sp| {
+            let x = spike_tensor(Shape::d4(batch, cin, img, img), 19 + sp, 100 - sp);
+            // The same sparsity pattern with non-binary values: the
+            // spike-gather GEMM (binary-only) cannot engage, so this
+            // times the density-blind dense pipeline.
+            let x_analog = x.map(|v| v * 0.7);
+            set_event_density_threshold(-1.0);
+            let dense_seconds = time_serial(reps, || {
+                let (_, r) =
+                    conv2d_forward_routed(&g, &x_analog, &w, &b, &mut scratch).expect("shapes");
+                assert_eq!(r, ConvRoute::Dense);
+            });
+            let spike_gemm_seconds = time_serial(reps, || {
+                let (_, r) = conv2d_forward_routed(&g, &x, &w, &b, &mut scratch).expect("shapes");
+                assert_eq!(r, ConvRoute::Dense);
+            });
+            set_event_density_threshold(1.0);
+            let event_seconds = time_serial(reps, || {
+                let (_, r) = conv2d_forward_routed(&g, &x, &w, &b, &mut scratch).expect("shapes");
+                assert_eq!(r, ConvRoute::Event);
+            });
+            set_event_density_threshold(f32::NAN); // back to env/default
+            ConvSweepPoint {
+                sparsity_pct: sp,
+                input_density: measured_density(&x),
+                dense_seconds,
+                spike_gemm_seconds,
+                event_seconds,
+                event_speedup: dense_seconds / event_seconds,
+                event_vs_spike_gemm: spike_gemm_seconds / event_seconds,
+            }
+        })
+        .collect();
+    ConvDensitySweep {
+        in_channels: cin,
+        out_channels: cout,
+        kernel: 3,
+        image: img,
+        batch,
+        points,
+    }
+}
+
+/// GEMM density sweep: binary LHS at each density (spike-gather path)
+/// against a dense analog LHS of the same shape, serial.
+fn sweep_gemm(reps: usize, sz: &Sizes) -> GemmDensitySweep {
+    let (m, k, n) = sz.gemm;
+    let a_dense = lcg_tensor(Shape::d2(m, k), 23, 1.0);
+    let b = lcg_tensor(Shape::d2(n, k), 31, 0.3);
+    let dense_seconds = time_serial(reps, || {
+        let _ = linalg::matmul_nt(&a_dense, &b).expect("valid shapes");
+    });
+    let points = SWEEP_SPARSITIES
+        .iter()
+        .map(|&sp| {
+            let a = spike_tensor(Shape::d2(m, k), 29 + sp, 100 - sp);
+            let event_seconds = time_serial(reps, || {
+                let _ = linalg::matmul_nt(&a, &b).expect("valid shapes");
+            });
+            SweepPoint {
+                sparsity_pct: sp,
+                input_density: measured_density(&a),
+                dense_seconds,
+                event_seconds,
+                event_speedup: dense_seconds / event_seconds,
+            }
+        })
+        .collect();
+    GemmDensitySweep { m, k, n, points }
+}
+
+/// LIF density sweep: the masked step under a touch mask matching the
+/// input's spatial support vs the unmasked step on the same input.
+fn sweep_lif(reps: usize, sz: &Sizes) -> LifDensitySweep {
+    let (items, channels, side) = sz.lif;
+    let plane = side * side;
+    let cfg = lif_config();
+    let shape = Shape::d2(items, channels * plane);
+    let state = LifState {
+        membrane: lcg_tensor(shape, 41, 0.6),
+        prev_spikes: lcg_tensor(shape, 43, 1.0).map(|v| f32::from(v > 0.0)),
+    };
+    let bias = Tensor::zeros(Shape::d1(channels));
+    let points = SWEEP_SPARSITIES
+        .iter()
+        .map(|&sp| {
+            // Spatial support at the target density, shared by every
+            // channel — the shape of an event-route conv output.
+            let marked = spike_tensor(Shape::d2(items, plane), 53 + sp, 100 - sp);
+            let raw = lcg_tensor(shape, 59, 1.0);
+            let input = Tensor::from_fn(shape, |i| {
+                let f = i % (channels * plane);
+                let pos = f % plane;
+                let item = i / (channels * plane);
+                raw.as_slice()[i] * marked.as_slice()[item * plane + pos]
+            });
+            let mut touch = TouchMask::new();
+            touch.build_from_nonzero(input.as_slice(), items, channels, plane);
+            let dense_seconds = time_serial(reps, || {
+                let _ = lif_step(&cfg, &state, &input);
+            });
+            let event_seconds = time_serial(reps, || {
+                let _ = lif_step_masked(&cfg, &state, &input, &touch, &bias);
+            });
+            SweepPoint {
+                sparsity_pct: sp,
+                input_density: measured_density(&input),
+                dense_seconds,
+                event_seconds,
+                event_speedup: dense_seconds / event_seconds,
+            }
+        })
+        .collect();
+    LifDensitySweep { items, channels, plane, points }
+}
+
+/// End-to-end forward sweep: a small conv network over `timesteps`
+/// frames, adaptive dispatch (production default) vs pinned dense.
+fn sweep_forward(reps: usize, sz: &Sizes) -> ForwardDensitySweep {
+    let (in_ch, img, filters, timesteps) = sz.fwd;
+    let batch = sz.fwd_batch;
+    let lif = lif_config();
+    let mut net = SpikingNetwork::builder(Shape::d3(in_ch, img, img), 17)
+        .conv(filters, 3, 1, 1, lif)
+        .expect("valid conv")
+        .conv(filters, 3, 1, 1, lif)
+        .expect("valid conv")
+        .flatten()
+        .expect("flatten")
+        .dense(10, lif)
+        .expect("valid dense")
+        .build()
+        .expect("valid network");
+    let topology = format!("{in_ch}x{img}x{img} -> {filters}C3 -> {filters}C3 -> fc10");
+    let points = SWEEP_SPARSITIES
+        .iter()
+        .map(|&sp| {
+            let frames: Vec<Tensor> = (0..timesteps)
+                .map(|t| spike_tensor(Shape::d4(batch, in_ch, img, img), 61 + sp + t as u64, 100 - sp))
+                .collect();
+            let density = frames.iter().map(measured_density).sum::<f64>() / timesteps as f64;
+            set_event_density_threshold(-1.0);
+            let dense_seconds = time_serial(reps, || {
+                let _ = net.run_inference(&frames);
+            });
+            set_event_density_threshold(f32::NAN); // adaptive default
+            let event_seconds = time_serial(reps, || {
+                let _ = net.run_inference(&frames);
+            });
+            SweepPoint {
+                sparsity_pct: sp,
+                input_density: density,
+                dense_seconds,
+                event_seconds,
+                event_speedup: dense_seconds / event_seconds,
+            }
+        })
+        .collect();
+    ForwardDensitySweep { batch, timesteps, topology, points }
+}
+
+fn print_scaling(label: &str, r: &ScalingResult) {
+    for ((t, s), limited) in r.threads.iter().zip(&r.seconds).zip(&r.host_limited) {
+        let mark = if *limited { "  (host-limited)" } else { "" };
+        println!("  {label} {t} thread(s): {:>9.3} ms{mark}", s * 1e3);
+    }
+}
+
+fn print_conv_sweep(title: &str, points: &[ConvSweepPoint]) {
+    println!("{title}:");
+    println!("  sparsity   density   dense ms   gather ms   event ms   vs dense   vs gather");
+    for p in points {
+        println!(
+            "  {:>7}%   {:>6.3}   {:>8.3}   {:>9.3}   {:>8.3}   {:>7.2}x   {:>8.2}x",
+            p.sparsity_pct,
+            p.input_density,
+            p.dense_seconds * 1e3,
+            p.spike_gemm_seconds * 1e3,
+            p.event_seconds * 1e3,
+            p.event_speedup,
+            p.event_vs_spike_gemm
+        );
+    }
+    println!();
+}
+
+fn print_sweep(title: &str, points: &[SweepPoint]) {
+    println!("{title}:");
+    println!("  sparsity   density   dense ms   event ms   speedup");
+    for p in points {
+        println!(
+            "  {:>7}%   {:>6.3}   {:>8.3}   {:>8.3}   {:>6.2}x",
+            p.sparsity_pct,
+            p.input_density,
+            p.dense_seconds * 1e3,
+            p.event_seconds * 1e3,
+            p.event_speedup
+        );
+    }
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let mut reps = 30usize;
+    let mut reps: Option<usize> = None;
     let mut out = String::from("BENCH_kernels.json");
     let mut pretty = false;
+    let mut smoke = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -205,15 +582,20 @@ fn main() {
                 pretty = true;
                 i += 1;
             }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
             "--reps" => {
-                reps = args
-                    .get(i + 1)
-                    .and_then(|s| s.parse().ok())
-                    .filter(|&r| r > 0)
-                    .unwrap_or_else(|| {
-                        eprintln!("error: --reps requires a positive integer");
-                        std::process::exit(2);
-                    });
+                reps = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&r| r > 0)
+                        .unwrap_or_else(|| {
+                            eprintln!("error: --reps requires a positive integer");
+                            std::process::exit(2);
+                        }),
+                );
                 i += 2;
             }
             "--out" => {
@@ -225,27 +607,28 @@ fn main() {
             }
             other => {
                 eprintln!("error: unknown argument `{other}`");
-                eprintln!("usage: bench_kernels [--reps N] [--out FILE] [--json-pretty]");
+                eprintln!("usage: bench_kernels [--reps N] [--out FILE] [--json-pretty] [--smoke]");
                 std::process::exit(2);
             }
         }
     }
+    let reps = reps.unwrap_or(if smoke { 5 } else { 30 });
+    let sizes = if smoke { SMOKE } else { FULL };
 
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("=== kernel scaling: serial vs 2/4/8 threads, dense vs 90% sparse ===");
-    println!("host parallelism: {host} hardware threads, {reps} reps per point\n");
+    println!(
+        "host parallelism: {host} hardware threads, {reps} reps per point{}\n",
+        if smoke { " (smoke shapes)" } else { "" }
+    );
 
-    let conv = bench_conv(reps);
+    let conv = bench_conv(reps, host, &sizes);
     println!(
         "conv2d_forward {}x{}x{}x{} (batch {}):",
         conv.in_channels, conv.image, conv.image, conv.out_channels, conv.batch
     );
-    for (t, s) in conv.dense.threads.iter().zip(&conv.dense.seconds) {
-        println!("  dense    {t} thread(s): {:>9.3} ms", s * 1e3);
-    }
-    for (t, s) in conv.sparse90.threads.iter().zip(&conv.sparse90.seconds) {
-        println!("  sparse90 {t} thread(s): {:>9.3} ms", s * 1e3);
-    }
+    print_scaling("dense   ", &conv.dense);
+    print_scaling("sparse90", &conv.sparse90);
     println!(
         "  4-thread speedup: dense {:.2}x, sparse {:.2}x; sparse-path gain (serial): {:.2}x\n",
         conv.dense.speedup_4_threads,
@@ -253,14 +636,10 @@ fn main() {
         conv.sparse_path_speedup_serial
     );
 
-    let gemm = bench_gemm(reps);
+    let gemm = bench_gemm(reps, host, &sizes);
     println!("matmul_nt {}x{} * ({}x{})T:", gemm.m, gemm.k, gemm.n, gemm.k);
-    for (t, s) in gemm.dense.threads.iter().zip(&gemm.dense.seconds) {
-        println!("  dense    {t} thread(s): {:>9.3} ms", s * 1e3);
-    }
-    for (t, s) in gemm.sparse90.threads.iter().zip(&gemm.sparse90.seconds) {
-        println!("  sparse90 {t} thread(s): {:>9.3} ms", s * 1e3);
-    }
+    print_scaling("dense   ", &gemm.dense);
+    print_scaling("sparse90", &gemm.sparse90);
     println!(
         "  4-thread speedup: dense {:.2}x, sparse {:.2}x; sparse-path gain (serial): {:.2}x\n",
         gemm.dense.speedup_4_threads,
@@ -268,21 +647,41 @@ fn main() {
         gemm.sparse_path_speedup_serial
     );
 
-    let lif = bench_lif(reps);
+    let lif = bench_lif(reps, host, &sizes);
     println!("lif_step over {} elements:", lif.elements);
-    for (t, s) in lif.scaling.threads.iter().zip(&lif.scaling.seconds) {
-        println!("  {t} thread(s): {:>9.3} ms", s * 1e3);
-    }
+    print_scaling("", &lif.scaling);
     println!("  4-thread speedup: {:.2}x\n", lif.scaling.speedup_4_threads);
+
+    println!("=== density sweep: event-driven vs dense routes, serial ===\n");
+    let conv_sweep = sweep_conv(reps, &sizes);
+    print_conv_sweep(
+        "conv2d (event-driven vs dense GEMM vs spike-gather im2col routes)",
+        &conv_sweep.points,
+    );
+    let gemm_sweep = sweep_gemm(reps, &sizes);
+    print_sweep("gemm_nt (spike-gather vs dense analog LHS)", &gemm_sweep.points);
+    let lif_sweep = sweep_lif(reps, &sizes);
+    print_sweep("lif_step (masked vs unmasked)", &lif_sweep.points);
+    let fwd_sweep = sweep_forward(reps, &sizes);
+    println!("forward topology: {} (T={})", fwd_sweep.topology, fwd_sweep.timesteps);
+    print_sweep("network forward (adaptive dispatch vs pinned dense)", &fwd_sweep.points);
 
     let report = KernelReport {
         schema_version: snn_bench::BENCH_SCHEMA_VERSION,
         git_commit: snn_bench::git_commit(),
         host_parallelism: host,
         reps,
+        smoke,
         conv2d_forward: conv,
         gemm_nt: gemm,
         lif_step: lif,
+        density_sweep: DensitySweep {
+            sparsities_pct: SWEEP_SPARSITIES.to_vec(),
+            conv2d: conv_sweep,
+            gemm_nt: gemm_sweep,
+            lif_step: lif_sweep,
+            forward: fwd_sweep,
+        },
         span_histograms: snn_obs::global().histogram_snapshots(),
     };
     let json = if pretty {

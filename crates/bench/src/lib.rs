@@ -12,7 +12,12 @@ use snn_dse::ExperimentProfile;
 /// a report's field layout changes incompatibly, so downstream
 /// tooling comparing runs across commits can refuse mismatched files
 /// instead of misreading them.
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: kernel reports gain the `density_sweep` section (event-driven
+/// vs dense routes across input sparsities) and thread-scaling rows
+/// carry `host_limited` flags marking thread counts beyond the host's
+/// hardware parallelism.
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// The git commit the benchmark binary was run from, or `"unknown"`
 /// outside a git checkout (or when `git` itself is unavailable).

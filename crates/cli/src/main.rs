@@ -54,6 +54,8 @@ commands:
   obs-check  validate observability artifacts (used by scripts/ci.sh)
           --text FILE (Prometheus exposition)   --json FILE (/metrics.json body)
           --trace FILE (SNN_TRACE trace_event output)
+          --bench FILE (BENCH_kernels.json)   --min-conv-event-speedup X
+                (fail if the 90%-sparsity event conv2d speedup is below X)
   runs    inspect and maintain a durable run store
           list --store DIR   (runs, checkpoints, published artifacts)
           gc   --store DIR   (delete registry blobs no version references)
@@ -654,8 +656,21 @@ fn cmd_obs_check(args: &Args) -> Result<(), String> {
         println!("{path}: ok (chrome trace, {events} duration events)");
         checked += 1;
     }
+    if let Some(path) = args.opt("bench") {
+        let min = args
+            .opt("min-conv-event-speedup")
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| format!("--min-conv-event-speedup: not a number: `{v}`"))
+            })
+            .transpose()?;
+        let summary = obscheck::check_bench_kernels(&read(path)?, min)
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: ok ({summary})");
+        checked += 1;
+    }
     if checked == 0 {
-        return Err("obs-check needs at least one of --text, --json, --trace".into());
+        return Err("obs-check needs at least one of --text, --json, --trace, --bench".into());
     }
     Ok(())
 }

@@ -191,6 +191,121 @@ pub fn check_trace(text: &str) -> Result<usize, String> {
     Ok(complete_events)
 }
 
+/// Expected `schema_version` of `BENCH_kernels.json`. Kept in sync
+/// with `snn_bench::BENCH_SCHEMA_VERSION` by hand — the CLI stays
+/// below the bench crate in the dependency order, and a version drift
+/// is exactly what this check exists to catch.
+pub const BENCH_KERNELS_SCHEMA: f64 = 3.0;
+
+/// Validates a `BENCH_kernels.json` report and (optionally) gates on
+/// the event-driven conv2d speedup.
+///
+/// Structural checks: parseable JSON object, `schema_version` equal to
+/// [`BENCH_KERNELS_SCHEMA`], a non-empty `git_commit`, and a
+/// `density_sweep` section whose `conv2d`, `gemm_nt`, `lif_step`, and
+/// `forward` sweeps each carry one point per entry of
+/// `sparsities_pct`, with finite timings and speedups.
+///
+/// If `min_conv_event_speedup` is given, the conv2d sweep's
+/// 90%-sparsity point must show at least that `event_speedup` over
+/// the dense route (the regression gate ci.sh runs on smoke numbers).
+///
+/// Returns a one-line summary for logging.
+///
+/// # Errors
+///
+/// Returns a message describing the first problem found.
+pub fn check_bench_kernels(
+    text: &str,
+    min_conv_event_speedup: Option<f64>,
+) -> Result<String, String> {
+    let value = serde_json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let Some(fields) = value.as_object() else {
+        return Err("top level is not an object".into());
+    };
+    let get = |obj: &'_ [(String, serde::Value)], k: &str| {
+        obj.iter().find(|(name, _)| name == k).map(|(_, v)| v.clone())
+    };
+    match get(fields, "schema_version") {
+        Some(serde::Value::Number(v)) if v == BENCH_KERNELS_SCHEMA => {}
+        Some(serde::Value::Number(v)) => {
+            return Err(format!("schema_version {v} (expected {BENCH_KERNELS_SCHEMA})"));
+        }
+        _ => return Err("missing numeric `schema_version`".into()),
+    }
+    let commit = match get(fields, "git_commit") {
+        Some(serde::Value::String(s)) if !s.is_empty() => s,
+        _ => return Err("missing or empty `git_commit`".into()),
+    };
+    let Some(serde::Value::Object(sweep)) = get(fields, "density_sweep") else {
+        return Err("missing `density_sweep` object".into());
+    };
+    let Some(serde::Value::Array(sparsities)) = get(&sweep, "sparsities_pct") else {
+        return Err("density_sweep lacks `sparsities_pct`".into());
+    };
+    if sparsities.is_empty() {
+        return Err("density_sweep.sparsities_pct is empty".into());
+    }
+    let mut conv_90_speedup = None;
+    for section in ["conv2d", "gemm_nt", "lif_step", "forward"] {
+        let Some(serde::Value::Object(sec)) = get(&sweep, section) else {
+            return Err(format!("density_sweep lacks `{section}`"));
+        };
+        let Some(serde::Value::Array(points)) = get(&sec, "points") else {
+            return Err(format!("density_sweep.{section} lacks `points`"));
+        };
+        if points.len() != sparsities.len() {
+            return Err(format!(
+                "density_sweep.{section} has {} points for {} sparsities",
+                points.len(),
+                sparsities.len()
+            ));
+        }
+        for (i, point) in points.iter().enumerate() {
+            let Some(p) = point.as_object() else {
+                return Err(format!("density_sweep.{section}.points[{i}] is not an object"));
+            };
+            for required in ["sparsity_pct", "input_density", "dense_seconds", "event_seconds"] {
+                match get(p, required) {
+                    Some(serde::Value::Number(v)) if v.is_finite() => {}
+                    _ => {
+                        return Err(format!(
+                            "density_sweep.{section}.points[{i}] lacks finite `{required}`"
+                        ));
+                    }
+                }
+            }
+            if section == "conv2d" {
+                if let (
+                    Some(serde::Value::Number(sp)),
+                    Some(serde::Value::Number(speedup)),
+                ) = (get(p, "sparsity_pct"), get(p, "event_speedup"))
+                {
+                    if sp == 90.0 {
+                        conv_90_speedup = Some(speedup);
+                    }
+                }
+            }
+        }
+    }
+    let conv_90 = conv_90_speedup
+        .ok_or_else(|| "conv2d sweep has no 90%-sparsity point with `event_speedup`".to_string())?;
+    if !conv_90.is_finite() {
+        return Err(format!("conv2d event_speedup at 90% sparsity is not finite: {conv_90}"));
+    }
+    if let Some(min) = min_conv_event_speedup {
+        if conv_90 < min {
+            return Err(format!(
+                "event conv2d speedup at 90% sparsity is {conv_90:.2}x, below the {min:.2}x gate"
+            ));
+        }
+    }
+    Ok(format!(
+        "schema {BENCH_KERNELS_SCHEMA}, commit {}, conv2d event speedup {conv_90:.2}x at 90% sparsity",
+        &commit[..commit.len().min(12)]
+    ))
+}
+
 fn valid_name(name: &str) -> bool {
     !name.is_empty()
         && name
@@ -257,6 +372,39 @@ mod tests {
         assert!(check_metrics_json("{\"summary\":{}}").is_err());
         assert!(check_metrics_json("{\"summary\":{},\"instruments\":[]}").is_err());
         assert!(check_metrics_json("not json").is_err());
+    }
+
+    fn bench_report(schema: &str, speedup_90: &str) -> String {
+        let point = |sp: &str, speedup: &str| {
+            format!(
+                "{{\"sparsity_pct\":{sp},\"input_density\":0.1,\"dense_seconds\":0.003,\
+                 \"event_seconds\":0.001,\"event_speedup\":{speedup}}}"
+            )
+        };
+        let points = format!("[{},{}]", point("50", "1.1"), point("90", speedup_90));
+        let section = |name: &str| format!("\"{name}\":{{\"points\":{points}}}");
+        format!(
+            "{{\"schema_version\":{schema},\"git_commit\":\"abc123\",\"density_sweep\":{{\
+             \"sparsities_pct\":[50,90],{},{},{},{}}}}}",
+            section("conv2d"),
+            section("gemm_nt"),
+            section("lif_step"),
+            section("forward")
+        )
+    }
+
+    #[test]
+    fn validates_bench_kernels_report() {
+        let good = bench_report("3", "2.5");
+        let summary = check_bench_kernels(&good, None).unwrap();
+        assert!(summary.contains("2.50x"), "summary was `{summary}`");
+        check_bench_kernels(&good, Some(1.5)).unwrap();
+        assert!(check_bench_kernels(&good, Some(3.0)).is_err(), "below gate");
+        assert!(check_bench_kernels(&bench_report("2", "2.5"), None).is_err(), "old schema");
+        assert!(check_bench_kernels("not json", None).is_err());
+        assert!(check_bench_kernels("{}", None).is_err(), "missing everything");
+        let no_90 = bench_report("3", "2.5").replace("\"sparsity_pct\":90", "\"sparsity_pct\":91");
+        assert!(check_bench_kernels(&no_90, None).is_err(), "no 90% point");
     }
 
     #[test]

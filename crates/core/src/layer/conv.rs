@@ -1,9 +1,10 @@
 //! Convolutional spiking layer: `conv2d → LIF`.
 
-use snn_tensor::conv::{conv2d_backward_with, conv2d_forward_with, Conv2dGeometry, ConvScratch};
+use snn_tensor::conv::{conv2d_backward_with, conv2d_forward_routed, Conv2dGeometry, ConvScratch};
+use snn_tensor::dispatch::ConvRoute;
 use snn_tensor::{Init, Shape, Tensor};
 
-use crate::neuron::{lif_backward_step, lif_step, LifConfig, LifState};
+use crate::neuron::{lif_backward_step, lif_step, lif_step_masked, LifConfig, LifState};
 
 use super::{LayerActivity, ParamMut};
 
@@ -92,14 +93,24 @@ impl SpikingConv2d {
     pub(crate) fn forward_step(&mut self, input: &Tensor) -> Tensor {
         let batch = input.shape().dim(0);
         let out_shape = Shape::d4(batch, self.geom.out_channels, self.geom.out_h(), self.geom.out_w());
-        let current =
-            conv2d_forward_with(&self.geom, input, &self.weight, &self.bias, &mut self.scratch)
+        let (current, route) =
+            conv2d_forward_routed(&self.geom, input, &self.weight, &self.bias, &mut self.scratch)
                 .expect("conv geometry validated at construction");
         let state = self
             .state
             .get_or_insert_with(|| LifState::new(out_shape));
         assert_eq!(state.membrane.shape(), out_shape, "batch size changed mid-sequence");
-        let (u, s) = lif_step(&self.lif, state, &current);
+        // On the event route the conv's touch mask bounds the neurons
+        // with synaptic input, so the LIF step can skip the rest —
+        // unless most channels carry a nonzero bias, in which case the
+        // masked fix-up pass would redo nearly all the work anyway.
+        // Both LIF variants are bitwise identical (see `lif_step_masked`).
+        let zero_bias = self.bias.as_slice().iter().filter(|&&b| b == 0.0).count();
+        let (u, s) = if route == ConvRoute::Event && 2 * zero_bias >= self.geom.out_channels {
+            lif_step_masked(&self.lif, state, &current, self.scratch.touch(), &self.bias)
+        } else {
+            lif_step(&self.lif, state, &current)
+        };
         self.total_spikes += s.sum();
         self.neuron_steps += s.len() as f64;
         // Tensors are copy-on-write, so caching clones of the spike and

@@ -13,6 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use snn_tensor::spike::TouchMask;
 use snn_tensor::{par, Tensor};
 
 use crate::surrogate::Surrogate;
@@ -179,6 +180,170 @@ pub fn lif_step(cfg: &LifConfig, state: &LifState, input: &Tensor) -> (Tensor, T
         });
     }
     (u, s)
+}
+
+/// Event-driven LIF timestep: [`lif_step`] restricted to the neurons
+/// that actually received synaptic input.
+///
+/// The input current of a conv layer on the event route is zero
+/// everywhere outside the positions its [`TouchMask`] marks (plus
+/// whole channels whose bias is nonzero). This variant exploits
+/// that:
+///
+/// 1. **Decay pass** — a vectorized sweep over *all* neurons computes
+///    the input-free recurrence. The reset/decay expression is
+///    written with a literal `+ 0.0` where the dense kernel adds the
+///    input, because the dense kernel's zero current is exactly
+///    `+0.0` (a `+0.0`-seeded accumulation never yields `-0.0`), and
+///    e.g. `β·u + 0.0 − s·θ` can differ bitwise from `β·u − s·θ`
+///    when `β·u` is `-0.0`. With the literal term the two
+///    expressions are the same IEEE-754 expression, hence identical.
+/// 2. **Synaptic pass** — only touched positions (and every position
+///    of nonzero-bias channels) are recomputed with the full
+///    expression including the input current.
+///
+/// Both run fused in one sweep per batch item, so an item's membrane
+/// block is still cache-hot when its fix-ups land.
+///
+/// The result is bitwise identical to [`lif_step`] whenever `touch`
+/// covers every position where `input` is nonzero in a zero-bias
+/// channel — which the event-route convolution guarantees by
+/// construction. The synaptic work scales with the touched count, so
+/// LIF cost falls with firing rate instead of staying flat.
+///
+/// `bias` is the per-channel bias of the preceding convolution
+/// (`input` is `[items, channels, plane]` flattened, `touch` is
+/// `[items, plane]`).
+///
+/// # Panics
+///
+/// Panics if the tensor shapes disagree with each other or with the
+/// mask/bias decomposition.
+pub fn lif_step_masked(
+    cfg: &LifConfig,
+    state: &LifState,
+    input: &Tensor,
+    touch: &TouchMask,
+    bias: &Tensor,
+) -> (Tensor, Tensor) {
+    assert_eq!(state.membrane.shape(), input.shape(), "LIF state/input shape mismatch");
+    let (items, plane) = (touch.items(), touch.plane());
+    let channels = bias.len();
+    assert_eq!(
+        input.len(),
+        items * channels * plane,
+        "touch mask [{items}, {plane}] and {channels} bias channels do not tile the input"
+    );
+    let _span = snn_obs::span!("lif_step_masked");
+    record_masked_step();
+    let u_prev = state.membrane.as_slice();
+    let s_prev = state.prev_spikes.as_slice();
+    let in_v = input.as_slice();
+    let bv = bias.as_slice();
+    let mut u = Tensor::zeros(input.shape());
+    let mut s = Tensor::zeros(input.shape());
+    if in_v.is_empty() {
+        return (u, s);
+    }
+    let item_elems = channels * plane;
+    {
+        let uv = u.as_mut_slice();
+        let sv = s.as_mut_slice();
+        // One fused pass per item: the input-free decay sweep, then
+        // the full-recurrence fix-up at touched positions while the
+        // item's membrane block is still cache-hot. Each element is
+        // recomputed independently from the *previous* state, so
+        // fix-up order cannot affect results; items split across
+        // workers like any other batch dimension. Each worker gathers
+        // an item's touched positions into an index list once and
+        // replays it across channels — one mask scan per item, not
+        // one per (item, channel), which is what makes the fix-up
+        // cost scale with the touched count instead of the layer
+        // size.
+        let mut index_pool: Vec<Vec<u32>> = Vec::new();
+        par::for_each_block2_with(
+            uv,
+            item_elems,
+            sv,
+            item_elems,
+            par::min_granules_for(5 * item_elems),
+            &mut index_pool,
+            Vec::new,
+            |idx: &mut Vec<u32>, item0, ublock, sblock| {
+                let fix = |ub: &mut [f32], sb: &mut [f32], local: usize, global: usize| {
+                    let decayed = match cfg.reset {
+                        ResetMode::Subtract => {
+                            cfg.beta * u_prev[global] + in_v[global] - s_prev[global] * cfg.theta
+                        }
+                        ResetMode::Zero => {
+                            cfg.beta * u_prev[global] * (1.0 - s_prev[global]) + in_v[global]
+                        }
+                    };
+                    ub[local] = decayed;
+                    sb[local] = if decayed > cfg.theta { 1.0 } else { 0.0 };
+                };
+                for li in 0..ublock.len() / item_elems {
+                    let lbase = li * item_elems;
+                    let ibase = (item0 + li) * item_elems;
+                    // Input-free decay (see the doc comment on the
+                    // literal `+ 0.0`). Slice-and-zip so the sweep
+                    // stays bounds-check-free and vectorizable.
+                    {
+                        let ub = &mut ublock[lbase..lbase + item_elems];
+                        let sb = &mut sblock[lbase..lbase + item_elems];
+                        let up = &u_prev[ibase..ibase + item_elems];
+                        let sp = &s_prev[ibase..ibase + item_elems];
+                        for ((uval, sval), (&upv, &spv)) in
+                            ub.iter_mut().zip(sb.iter_mut()).zip(up.iter().zip(sp.iter()))
+                        {
+                            let decayed = match cfg.reset {
+                                ResetMode::Subtract => cfg.beta * upv + 0.0 - spv * cfg.theta,
+                                ResetMode::Zero => cfg.beta * upv * (1.0 - spv) + 0.0,
+                            };
+                            *uval = decayed;
+                            *sval = if decayed > cfg.theta { 1.0 } else { 0.0 };
+                        }
+                    }
+                    let tb = touch.item(item0 + li);
+                    idx.clear();
+                    idx.extend(
+                        tb.iter().enumerate().filter(|&(_, &t)| t != 0).map(|(p, _)| p as u32),
+                    );
+                    for (c, &b) in bv.iter().enumerate() {
+                        let local = lbase + c * plane;
+                        let global = ibase + c * plane;
+                        if b != 0.0 {
+                            // Bias drives every neuron in the channel.
+                            for pos in 0..plane {
+                                fix(ublock, sblock, local + pos, global + pos);
+                            }
+                        } else {
+                            for &pos in idx.iter() {
+                                fix(ublock, sblock, local + pos as usize, global + pos as usize);
+                            }
+                        }
+                    }
+                }
+            },
+        );
+    }
+    (u, s)
+}
+
+/// Counts masked LIF steps in the global registry so the event
+/// datapath's reach is visible in `/metrics` next to the conv route
+/// counters.
+fn record_masked_step() {
+    use std::sync::{Arc, OnceLock};
+    static MASKED: OnceLock<Arc<snn_obs::Counter>> = OnceLock::new();
+    MASKED
+        .get_or_init(|| {
+            snn_obs::global().counter(
+                "snn_core_lif_masked_steps_total",
+                "LIF timesteps that used event-driven (masked) synaptic accumulation",
+            )
+        })
+        .inc();
 }
 
 /// One BPTT backward timestep for a LIF population.

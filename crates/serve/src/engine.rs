@@ -51,6 +51,10 @@ pub struct RequestOutput {
     /// Firing rate across all spiking layers, weighted by
     /// neuron-steps.
     pub mean_rate: f64,
+    /// Fraction of nonzero elements in the submitted input — the
+    /// density the event-driven conv dispatcher routes on, reported
+    /// per request so clients can see how sparse their traffic is.
+    pub input_density: f64,
 }
 
 /// Static per-layer bookkeeping captured once at engine build.
@@ -138,8 +142,11 @@ impl InferenceEngine {
         assert!(n > 0, "infer_batch requires at least one item");
         let item_len = self.input_len();
         let mut data = Vec::with_capacity(n * item_len);
+        let mut densities = Vec::with_capacity(n);
         for item in items {
             assert_eq!(item.len(), item_len, "input length validated at submit");
+            let nnz = item.iter().filter(|&&v| v != 0.0).count();
+            densities.push(nnz as f64 / item_len as f64);
             data.extend_from_slice(item);
         }
         let mut dims = vec![n];
@@ -198,6 +205,7 @@ impl InferenceEngine {
                     timesteps: self.timesteps,
                     layers,
                     mean_rate: if total_ns > 0.0 { total_s / total_ns } else { 0.0 },
+                    input_density: densities[i],
                 }
             })
             .collect()
@@ -264,6 +272,12 @@ mod tests {
             assert_eq!(l.neuron_steps, expected_steps as f64);
         }
         assert!(out.mean_rate >= 0.0 && out.mean_rate <= 1.0);
+        // The LCG input is dense; a zeroed tail shows up in the
+        // reported density exactly.
+        assert_eq!(out.input_density, 1.0);
+        let mut half = input(1);
+        half.iter_mut().skip(32).for_each(|v| *v = 0.0);
+        assert_eq!(e.infer_one(half).input_density, 0.5);
     }
 
     #[test]

@@ -391,6 +391,7 @@ mod tests {
                 rate: 0.3,
             }],
             mean_rate: 0.3,
+            input_density: 0.5,
         };
         m.record_batch_outputs(&[out.clone(), out]);
         let s = m.snapshot(model());

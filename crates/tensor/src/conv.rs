@@ -1,18 +1,38 @@
-//! 2-D convolution kernels (im2col-based) with hand-written backward
-//! passes.
+//! 2-D convolution kernels with hand-written backward passes.
 //!
 //! Weights are stored as rank-2 `[out_channels, in_channels*kh*kw]`
-//! matrices so forward convolution is a single GEMM per batch item:
-//! `Y_n = W · im2col(X_n)`. The backward pass uses the transposed
-//! products from [`crate::linalg`] plus `col2im` scatter.
+//! matrices. The forward pass has two routes, chosen per call by the
+//! sparsity-adaptive dispatcher ([`crate::dispatch`]) from the
+//! *measured* input density:
+//!
+//! * **Dense** — im2col then one GEMM per batch item:
+//!   `Y_n = W · im2col(X_n)` (with the spike-gather GEMM when the
+//!   im2col matrix is binary and at most half nonzero).
+//! * **Event** — no im2col at all: the input's active positions (a
+//!   compressed [`crate::spike::SpikeTensor`]) each scatter their
+//!   kernel taps into the output, so the work scales with the firing
+//!   rate instead of the tensor volume.
+//!
+//! Both routes are bitwise identical: for every output element the
+//! event route delivers exactly the nonzero terms of the dense GEMM's
+//! ascending-`p` accumulation, in the same order (active positions
+//! are scanned in item memory order, which for any fixed output
+//! element is ascending im2col-row order), and the skipped terms are
+//! exact zeros that cannot move a `+0.0`-seeded IEEE-754 accumulator
+//! (see [`crate::linalg`] on exactness).
+//!
+//! The backward pass uses the transposed products from
+//! [`crate::linalg`] plus `col2im` scatter.
 
 use serde::{Deserialize, Serialize};
 
+use crate::dispatch::{self, ConvRoute};
 use crate::error::{Result, TensorError};
 use crate::kobs::DensityGauge;
 use crate::linalg::{self, gemm_into};
 use crate::par;
 use crate::shape::Shape;
+use crate::spike::{SpikeScan, SpikeTensor, TouchMask};
 use crate::tensor::Tensor;
 
 static CONV_INPUT_DENSITY: DensityGauge = DensityGauge::new(
@@ -223,12 +243,30 @@ pub fn col2im(g: &Conv2dGeometry, cols: &[f32], grad_input: &mut [f32]) {
 pub struct ConvScratch {
     /// One buffer set per worker thread, grown on demand.
     bufs: Vec<ConvBufs>,
+    /// Compressed index of the whole input batch; the build scan is
+    /// also the dispatcher's density measurement.
+    input_spikes: SpikeTensor,
+    /// Output positions the most recent event-route forward wrote;
+    /// valid only when [`conv2d_forward_routed`] returned
+    /// [`ConvRoute::Event`].
+    touch: TouchMask,
 }
 
 impl ConvScratch {
     /// Empty scratch; buffers are allocated lazily per worker.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Touch mask of the most recent [`conv2d_forward_routed`] call.
+    ///
+    /// Meaningful only when that call returned [`ConvRoute::Event`]:
+    /// every output spatial position receiving any synaptic input is
+    /// marked, per batch item, so a following masked LIF step can
+    /// skip the rest. After a [`ConvRoute::Dense`] forward the mask
+    /// is stale.
+    pub fn touch(&self) -> &TouchMask {
+        &self.touch
     }
 }
 
@@ -237,15 +275,33 @@ struct ConvBufs {
     cols: Vec<f32>,
     col_grad: Vec<f32>,
     spikes: linalg::SpikeIndex,
+    /// Event-route tap list: `(im2col_row, out_position)` pairs for
+    /// one item's active pixels, shared across all output channels.
+    taps: Vec<(u32, u32)>,
+    /// CSR starts into `pos_rows`, length `plane + 1`: the event
+    /// route's taps regrouped by output position.
+    pos_ptr: Vec<u32>,
+    /// Weight rows feeding each output position, in original (i.e.
+    /// ascending-row) tap order.
+    pos_rows: Vec<u32>,
+    /// Weight tile for the event route: a channel group's rows
+    /// interleaved `[row][lane]` so the gather loop loads one
+    /// contiguous lane group per weight row.
+    wt_quad: Vec<f32>,
 }
 
 /// Density bound for routing an im2col matrix through the sparse
-/// spike GEMM: above half nonzero, the dense kernel's contiguous
-/// sweeps win. Path choice depends only on the data, never on the
-/// thread count, so results stay deterministic (and the two paths
-/// agree bitwise regardless — see [`linalg::gemm_spike_into`]).
-fn spike_nnz_bound(col_elems: usize) -> usize {
-    col_elems / 2
+/// spike GEMM. The scalar row-gather only beats the dense kernel's
+/// vectorized contiguous sweeps once most of the arithmetic is
+/// skippable: measured on the `bench_kernels` shapes the crossover
+/// sits near 1/8 nonzero (at 1/4 the gather is ~1.7× *slower* than
+/// the dense GEMM). The bound is applied to the *measured* batch
+/// density from the dispatcher scan (not a per-item guess), so path
+/// choice depends only on the data, never on the thread count, and
+/// results stay deterministic (the two paths agree bitwise regardless
+/// — see [`linalg::gemm_spike_into`]).
+fn im2col_sparse_wins(scan: &SpikeScan) -> bool {
+    scan.binary && 8 * scan.nnz <= scan.len
 }
 
 /// Forward convolution on a `[N, C, H, W]` batch.
@@ -271,12 +327,9 @@ pub fn conv2d_forward(
 
 /// [`conv2d_forward`] with caller-owned scratch buffers.
 ///
-/// Batch items are independent, so they are split across the worker
-/// pool (each worker uses its own im2col buffer from `scratch`).
-/// Binary, mostly-zero inputs — spike trains after the first layer —
-/// are routed through [`linalg::gemm_spike_into`]. Both choices are
-/// bitwise neutral: see [`crate::par`] and [`crate::linalg`] on
-/// exactness.
+/// Delegates to [`conv2d_forward_routed`] and discards the route
+/// taken; callers that feed a masked LIF step should use the routed
+/// entry point directly.
 ///
 /// # Errors
 ///
@@ -289,10 +342,39 @@ pub fn conv2d_forward_with(
     bias: &Tensor,
     scratch: &mut ConvScratch,
 ) -> Result<Tensor> {
+    conv2d_forward_routed(g, input, weight, bias, scratch).map(|(out, _)| out)
+}
+
+/// Forward convolution with sparsity-adaptive routing.
+///
+/// One linear scan of the input batch measures its exact density and
+/// (when binary and at most the dispatcher threshold nonzero) builds
+/// the compressed [`SpikeTensor`] in `scratch`. Dense inputs, or
+/// binary inputs above the threshold, take the im2col + GEMM route;
+/// sparse binary inputs take the event-driven scatter route, which
+/// never materializes im2col and whose work scales with the spike
+/// count. Batch items are independent and split across the worker
+/// pool on both routes; route choice depends only on the data and
+/// the configured threshold, never on the thread count, and both
+/// routes agree bitwise (module docs).
+///
+/// On [`ConvRoute::Event`], [`ConvScratch::touch`] holds the output
+/// positions that received any synaptic input.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] if input/weight/bias shapes disagree with
+/// the geometry.
+pub fn conv2d_forward_routed(
+    g: &Conv2dGeometry,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    scratch: &mut ConvScratch,
+) -> Result<(Tensor, ConvRoute)> {
     check_batch_input(g, input)?;
     check_params(g, weight, bias)?;
     let _span = snn_obs::span!("conv2d_fwd");
-    CONV_INPUT_DENSITY.record(input.as_slice());
     let n = input.shape().dim(0);
     let (oh, ow) = (g.out_h(), g.out_w());
     let item_in = g.in_channels * g.in_h * g.in_w;
@@ -300,12 +382,64 @@ pub fn conv2d_forward_with(
     let col_elems = g.col_rows() * g.col_cols();
     let mut out = Tensor::zeros(Shape::d4(n, g.out_channels, oh, ow));
     if n == 0 || item_out == 0 {
-        return Ok(out);
+        return Ok((out, ConvRoute::Dense));
     }
     let (iv, wv, bv) = (input.as_slice(), weight.as_slice(), bias.as_slice());
     // Copy bias to a local so the borrow checker lets us write `out`.
     let bias_local: Vec<f32> = bv.to_vec();
+
+    // Dispatch: one scan measures the exact batch density and builds
+    // the compressed index when the event route is in play.
+    let threshold = dispatch::event_density_threshold();
+    let event_enabled = threshold >= 0.0;
+    let event_bound = if event_enabled {
+        (threshold as f64 * (n * item_in) as f64) as usize
+    } else {
+        0
+    };
+    let scan = scratch.input_spikes.build(iv, n, item_in, event_bound);
+    CONV_INPUT_DENSITY.set_ratio(scan.density());
+    let route = if event_enabled && scan.compressed { ConvRoute::Event } else { ConvRoute::Dense };
+    dispatch::record_conv_route(route);
+
     let ov = out.as_mut_slice();
+    if route == ConvRoute::Event {
+        // Per-item event work: each spike fans out to at most
+        // `spike_fanout` output accumulations.
+        let event_macs = (scan.nnz as f64 / n as f64 * g.spike_fanout()) as usize;
+        let min_items = par::min_granules_for(2 * event_macs);
+        let plane = oh * ow;
+        let spikes = &scratch.input_spikes;
+        let touched = scratch.touch.reset_bytes(n, plane);
+        par::for_each_block2_with(
+            ov,
+            item_out,
+            touched,
+            plane,
+            min_items,
+            &mut scratch.bufs,
+            ConvBufs::default,
+            |bufs, item0, block, tblock| {
+                for (i, out_item) in block.chunks_exact_mut(item_out).enumerate() {
+                    conv_event_item(
+                        g,
+                        spikes.item(item0 + i),
+                        wv,
+                        out_item,
+                        &mut bufs.taps,
+                        &mut bufs.pos_ptr,
+                        &mut bufs.pos_rows,
+                        &mut bufs.wt_quad,
+                        &mut tblock[i * plane..(i + 1) * plane],
+                    );
+                    add_item_bias(&bias_local, out_item, plane);
+                }
+            },
+        );
+        return Ok((out, ConvRoute::Event));
+    }
+
+    let sparse_gemm = im2col_sparse_wins(&scan);
     let min_items = par::min_granules_for(2 * g.dense_macs() as usize);
     par::for_each_block_with(
         ov,
@@ -318,12 +452,12 @@ pub fn conv2d_forward_with(
             for (i, out_item) in block.chunks_exact_mut(item_out).enumerate() {
                 let item = item0 + i;
                 im2col(g, &iv[item * item_in..(item + 1) * item_in], &mut bufs.cols);
-                let sparse = bufs.spikes.build(
-                    &bufs.cols,
-                    g.col_rows(),
-                    g.col_cols(),
-                    spike_nnz_bound(col_elems),
-                );
+                // A binary input stays binary through im2col, so the
+                // per-item build below can only fail if the measured
+                // decision was computed on different data (it isn't);
+                // the else-branch is defensive.
+                let sparse = sparse_gemm
+                    && bufs.spikes.build(&bufs.cols, g.col_rows(), g.col_cols(), col_elems);
                 if sparse {
                     linalg::gemm_spike_into(
                         wv,
@@ -336,17 +470,197 @@ pub fn conv2d_forward_with(
                 } else {
                     gemm_into(wv, &bufs.cols, out_item, g.out_channels, g.col_rows(), g.col_cols());
                 }
-                for (oc, &b) in bias_local.iter().enumerate() {
-                    if b != 0.0 {
-                        for v in &mut out_item[oc * oh * ow..(oc + 1) * oh * ow] {
-                            *v += b;
-                        }
-                    }
-                }
+                add_item_bias(&bias_local, out_item, plane_of(g));
             }
         },
     );
-    Ok(out)
+    Ok((out, ConvRoute::Dense))
+}
+
+fn plane_of(g: &Conv2dGeometry) -> usize {
+    g.out_h() * g.out_w()
+}
+
+/// Adds the per-channel bias to one output item, exactly as the
+/// serial reference does: after all synaptic contributions, skipping
+/// exact-zero biases (adding `±0.0` to any value is bitwise inert on
+/// the `+0.0`-seeded accumulators both routes produce).
+fn add_item_bias(bias: &[f32], out_item: &mut [f32], plane: usize) {
+    for (oc, &b) in bias.iter().enumerate() {
+        if b != 0.0 {
+            for v in &mut out_item[oc * plane..(oc + 1) * plane] {
+                *v += b;
+            }
+        }
+    }
+}
+
+/// Event-driven convolution of one batch item.
+///
+/// Phase 1 walks the item's active positions in memory order and
+/// materializes the tap list: for each active pixel `(c, iy, ix)`,
+/// every kernel offset `(ky, kx)` that lands on a valid output
+/// position contributes the pair `(row, out_pos)` with
+/// `row = (c·k + ky)·k + kx` (the im2col row whose weight multiplies
+/// this pixel) and `out_pos = oy·ow + ox`. The taps are then
+/// counting-sorted into per-position row lists (CSR over `out_pos`),
+/// and phase 2 gathers: for each touched output position, the active
+/// rows' weights are summed into registers and stored once (the
+/// `× 1.0` spike factor is elided, exactly). Output channels are
+/// processed eight at a time against a `[row][lane]`-interleaved
+/// weight tile, so every weight row costs one contiguous 8-lane load
+/// and the eight accumulation chains stay independent.
+///
+/// **Ordering:** for any fixed output element, ascending pixel order
+/// maps to ascending `row` order (for fixed `oy`, `ky = iy + pad −
+/// oy·stride` grows with `iy`; likewise `kx` with `ix`; the channel
+/// is the major key of both orders) — and a `(row, out_pos)` pair is
+/// unique, since `row` and `out_pos` together determine the input
+/// pixel. The stable counting sort by `out_pos` therefore hands each
+/// output element its nonzero terms in exactly the dense GEMM's
+/// ascending-`p` accumulation order — the same sequence of f32
+/// additions from the same `+0.0` start — and the result is bitwise
+/// identical (register vs in-memory accumulation rounds identically).
+///
+/// `touched` (one byte per output spatial position, zeroed by the
+/// caller) is marked at every written position — identical for all
+/// output channels, since taps are channel-independent.
+#[allow(clippy::too_many_arguments)]
+fn conv_event_item(
+    g: &Conv2dGeometry,
+    active: &[u32],
+    wv: &[f32],
+    out_item: &mut [f32],
+    taps: &mut Vec<(u32, u32)>,
+    pos_ptr: &mut Vec<u32>,
+    pos_rows: &mut Vec<u32>,
+    wt_quad: &mut Vec<f32>,
+    touched: &mut [u8],
+) {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let plane = oh * ow;
+    let k = g.kernel;
+    let plane_in = g.in_h * g.in_w;
+    let col_rows = g.col_rows();
+    taps.clear();
+    for &p in active {
+        let p = p as usize;
+        let c = p / plane_in;
+        let rem = p % plane_in;
+        let iy = rem / g.in_w;
+        let ix = rem % g.in_w;
+        // oy·stride + ky = iy + padding (and likewise for x), so a
+        // kernel offset is valid iff the difference is a non-negative
+        // multiple of the stride landing inside the output.
+        for ky in 0..k {
+            if iy + g.padding < ky {
+                break; // larger ky only grows the deficit
+            }
+            let oy_off = iy + g.padding - ky;
+            if !oy_off.is_multiple_of(g.stride) {
+                continue;
+            }
+            let oy = oy_off / g.stride;
+            if oy >= oh {
+                continue; // too close to the top for this small ky
+            }
+            for kx in 0..k {
+                if ix + g.padding < kx {
+                    break;
+                }
+                let ox_off = ix + g.padding - kx;
+                if !ox_off.is_multiple_of(g.stride) {
+                    continue;
+                }
+                let ox = ox_off / g.stride;
+                if ox >= ow {
+                    continue;
+                }
+                let row = (c * k + ky) * k + kx;
+                let opos = oy * ow + ox;
+                taps.push((row as u32, opos as u32));
+                touched[opos] = 1;
+            }
+        }
+    }
+    // Phase 1.5: counting-sort the taps by output position. The sort
+    // is stable, so each position's row list stays in original — i.e.
+    // ascending-row — order. After the cursor fill, `pos_ptr[p]` has
+    // advanced to the end of position `p`; one backward shift
+    // restores the starts.
+    pos_ptr.clear();
+    pos_ptr.resize(plane + 1, 0);
+    for &(_, opos) in taps.iter() {
+        pos_ptr[opos as usize + 1] += 1;
+    }
+    for p in 0..plane {
+        pos_ptr[p + 1] += pos_ptr[p];
+    }
+    pos_rows.clear();
+    pos_rows.resize(taps.len(), 0);
+    for &(row, opos) in taps.iter() {
+        let cursor = &mut pos_ptr[opos as usize];
+        pos_rows[*cursor as usize] = row;
+        *cursor += 1;
+    }
+    for p in (1..=plane).rev() {
+        pos_ptr[p] = pos_ptr[p - 1];
+    }
+    pos_ptr[0] = 0;
+
+    // Phase 2: per-position gather, `LANES` output channels per
+    // sweep. The group's weight rows are interleaved `[row][lane]` so
+    // each active row is one contiguous load, and the accumulators
+    // live in registers until the single store. Each lane's sum is a
+    // serial dependency chain (the add order is the bitwise
+    // contract), so wide groups are what buy instruction-level
+    // parallelism: eight independent chains keep the FP adders busy
+    // where one would stall on latency.
+    const LANES: usize = 8;
+    let mut groups = out_item.chunks_exact_mut(LANES * plane);
+    let mut oc = 0usize;
+    for group in groups.by_ref() {
+        wt_quad.clear();
+        wt_quad.resize(LANES * col_rows, 0.0);
+        for lane in 0..LANES {
+            let w = &wv[(oc + lane) * col_rows..(oc + lane + 1) * col_rows];
+            for (row, &val) in w.iter().enumerate() {
+                wt_quad[row * LANES + lane] = val;
+            }
+        }
+        for p in 0..plane {
+            let (s, e) = (pos_ptr[p] as usize, pos_ptr[p + 1] as usize);
+            if s == e {
+                continue;
+            }
+            let mut acc = [0.0f32; LANES];
+            for &row in &pos_rows[s..e] {
+                let w = &wt_quad[row as usize * LANES..row as usize * LANES + LANES];
+                for (a, &wl) in acc.iter_mut().zip(w) {
+                    *a += wl;
+                }
+            }
+            for (lane, &a) in acc.iter().enumerate() {
+                group[lane * plane + p] = a;
+            }
+        }
+        oc += LANES;
+    }
+    for oplane in groups.into_remainder().chunks_exact_mut(plane) {
+        let w0 = &wv[oc * col_rows..(oc + 1) * col_rows];
+        for (p, slot) in oplane.iter_mut().enumerate() {
+            let (s, e) = (pos_ptr[p] as usize, pos_ptr[p + 1] as usize);
+            if s == e {
+                continue;
+            }
+            let mut acc = 0.0f32;
+            for &row in &pos_rows[s..e] {
+                acc += w0[row as usize];
+            }
+            *slot = acc;
+        }
+        oc += 1;
+    }
 }
 
 /// Gradients of a 2-D convolution.
@@ -431,6 +745,11 @@ pub fn conv2d_backward_with(
     }
 
     let (iv, wv, gov) = (input.as_slice(), weight.as_slice(), grad_output.as_slice());
+    // Measured sparse-route decision, same as the forward pass: one
+    // scan of the cached forward input (max_nnz = 0: only the
+    // measurement is needed, not the index).
+    let scan = scratch.input_spikes.build(iv, n, item_in, 0);
+    let sparse_gemm = im2col_sparse_wins(&scan);
     // Per-item partials for dW and db: [wlen | out_channels] per
     // item. The serial kernel already computes each item's
     // contribution as a standalone dot product before adding it, so
@@ -458,12 +777,8 @@ pub fn conv2d_backward_with(
                 let x = &iv[item * item_in..(item + 1) * item_in];
                 let dy = &gov[item * item_out..(item + 1) * item_out];
                 im2col(g, x, &mut bufs.cols);
-                let sparse = bufs.spikes.build(
-                    &bufs.cols,
-                    col_rows,
-                    n_cols,
-                    spike_nnz_bound(col_elems),
-                );
+                let sparse = sparse_gemm
+                    && bufs.spikes.build(&bufs.cols, col_rows, n_cols, col_elems);
                 let (dw_part, db_part) =
                     part_block[i * part_len..(i + 1) * part_len].split_at_mut(wlen);
 

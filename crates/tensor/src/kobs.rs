@@ -33,6 +33,15 @@ impl DensityGauge {
         DensityGauge { name, help, calls: AtomicU64::new(0), cell: OnceLock::new() }
     }
 
+    /// Sets the gauge to an already-measured density ratio, with no
+    /// scan and no sampling. Used by kernels whose dispatch logic
+    /// scans the operand anyway (the routed conv2d), where the exact
+    /// reading is free.
+    pub(crate) fn set_ratio(&self, ratio: f64) {
+        let g = self.cell.get_or_init(|| snn_obs::global().gauge(self.name, self.help));
+        g.set(ratio);
+    }
+
     /// Sets the gauge to `nnz(data) / len(data)` on sampled calls.
     /// Empty slices leave the gauge untouched.
     pub(crate) fn record(&self, data: &[f32]) {

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 pub mod conv;
+pub mod dispatch;
 mod error;
 mod init;
 mod kobs;
@@ -42,6 +43,7 @@ pub mod linalg;
 pub mod par;
 pub mod pool;
 mod shape;
+pub mod spike;
 mod stats;
 mod tensor;
 

@@ -143,4 +143,20 @@ rm -f "$chaos_log"
 trap - EXIT
 echo "ci.sh: chaos smoke test passed ($recoveries recoveries)"
 
+# Event-datapath bench smoke test: run the kernel benchmark on smoke
+# shapes, validate the report structurally (schema version, provenance,
+# density-sweep layout), and gate on the event-driven conv2d kernel
+# beating the dense route by at least 1.5x at 90% input sparsity
+# (serial). The full-size canonical run shows >3x there; 1.5x on the
+# smaller smoke shapes is the regression alarm, not the headline.
+bench_json="$(mktemp)"
+trap 'rm -f "$bench_json"' EXIT
+target/release/bench_kernels --smoke --out "$bench_json" >/dev/null \
+  || { echo "ci.sh: bench_kernels --smoke failed" >&2; exit 1; }
+target/release/snn obs-check --bench "$bench_json" --min-conv-event-speedup 1.5 \
+  || { echo "ci.sh: obs-check rejected the kernel bench report" >&2; exit 1; }
+rm -f "$bench_json"
+trap - EXIT
+echo "ci.sh: event-datapath bench smoke test passed"
+
 echo "ci.sh: all gates passed"
