@@ -37,6 +37,7 @@ use snn_core::neuron::{lif_step, lif_step_masked, LifState};
 use snn_core::{LifConfig, SpikingNetwork, Surrogate};
 use snn_tensor::conv::{conv2d_forward_routed, conv2d_forward_with, Conv2dGeometry, ConvScratch};
 use snn_tensor::dispatch::{set_event_density_threshold, ConvRoute};
+use snn_tensor::qmat::{qconv2d_forward_routed, qgemm_into, transpose_i8, QConvScratch};
 use snn_tensor::spike::TouchMask;
 use snn_tensor::{linalg, par, Shape, Tensor};
 
@@ -64,6 +65,30 @@ fn spike_tensor(shape: Shape, seed: u64, density_pct: u64) -> Tensor {
 
 fn measured_density(t: &Tensor) -> f64 {
     t.as_slice().iter().filter(|&&v| v != 0.0).count() as f64 / t.len() as f64
+}
+
+/// Pseudorandom symmetric `i8` weights in `[-109, 109]` — the shape a
+/// per-channel 8-bit quantizer emits (occasional exact zeros included).
+fn lcg_i8(len: usize, seed: u64) -> Vec<i8> {
+    let mut rng = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+    (0..len)
+        .map(|_| {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (((rng >> 33) % 219) as i64 - 109) as i8
+        })
+        .collect()
+}
+
+/// Dense level-coded `u8` activations in `1..=255` (first-layer
+/// regime: every lane occupied, no sparsity shortcut available).
+fn level_u8(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+    (0..len)
+        .map(|_| {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (((rng >> 33) % 255) + 1) as u8
+        })
+        .collect()
 }
 
 /// Best (minimum) wall-clock seconds over `reps` runs, one warmup
@@ -203,10 +228,64 @@ struct ForwardDensitySweep {
     points: Vec<SweepPoint>,
 }
 
+/// One int8 conv sweep row: the integer dense and event routes on a
+/// binary input, with the f32 dense route on the same pattern as
+/// baseline. All serial.
+#[derive(Serialize)]
+struct Int8ConvSweepPoint {
+    /// Nominal zero fraction of the input, %.
+    sparsity_pct: u64,
+    /// Measured nonzero fraction of the binary input.
+    input_density: f64,
+    /// f32 im2col + dense GEMM on an analog input with the identical
+    /// sparsity pattern (density-blind baseline).
+    f32_dense_seconds: f64,
+    /// int8 dense route: u8 im2col + integer GEMM, forced.
+    dense_seconds: f64,
+    /// int8 event route: per-active-pixel scatter, forced.
+    event_seconds: f64,
+    /// `dense_seconds / event_seconds` within the integer datapath.
+    event_speedup: f64,
+    /// `f32_dense_seconds / dense_seconds` — what 8-bit arithmetic
+    /// alone buys on the dense route.
+    int8_dense_vs_f32: f64,
+    /// `f32_dense_seconds / event_seconds` — the full quantized
+    /// event-route gain over the f32 baseline.
+    int8_event_vs_f32: f64,
+}
+
+#[derive(Serialize)]
+struct Int8ConvDensitySweep {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    image: usize,
+    batch: usize,
+    points: Vec<Int8ConvSweepPoint>,
+}
+
+/// Dense integer GEMM against the f32 dense GEMM at the same
+/// `m`/`k`/`n` (identical multiply count), both serial, dense
+/// operands on both sides — the pure arithmetic/bandwidth comparison
+/// the `--min-int8-speedup` gate runs on.
+#[derive(Serialize)]
+struct Int8GemmBench {
+    m: usize,
+    k: usize,
+    n: usize,
+    /// f32 `matmul_nt` on dense analog operands, serial best-of-reps.
+    f32_seconds: f64,
+    /// `qgemm_into` (i8 weights × dense level-coded u8), serial.
+    int8_seconds: f64,
+    /// `f32_seconds / int8_seconds`.
+    int8_speedup: f64,
+}
+
 #[derive(Serialize)]
 struct DensitySweep {
     sparsities_pct: Vec<u64>,
     conv2d: ConvDensitySweep,
+    conv2d_int8: Int8ConvDensitySweep,
     gemm_nt: GemmDensitySweep,
     lif_step: LifDensitySweep,
     forward: ForwardDensitySweep,
@@ -257,6 +336,9 @@ struct KernelReport {
     smoke: bool,
     conv2d_forward: ConvBench,
     gemm_nt: GemmBench,
+    /// Quantized GEMM against the f32 dense GEMM — the row the
+    /// `--min-int8-speedup` obs-check gate reads.
+    int8_gemm: Int8GemmBench,
     lif_step: LifBench,
     density_sweep: DensitySweep,
     /// Snapshots of the global `snn_span_*` histograms the kernels
@@ -408,6 +490,84 @@ fn sweep_conv(reps: usize, sz: &Sizes) -> ConvDensitySweep {
         batch,
         points,
     }
+}
+
+/// Int8 conv density sweep: the quantized datapath's dense and event
+/// routes (dispatcher-forced) on binary `u8` inputs, with the f32
+/// dense route on the same sparsity pattern as the baseline.
+fn sweep_conv_int8(reps: usize, sz: &Sizes) -> Int8ConvDensitySweep {
+    let (cin, cout, img, batch) = sz.conv;
+    let g = Conv2dGeometry::new(cin, cout, 3, 1, 1, img, img).expect("valid geometry");
+    let rows = g.col_rows();
+    let plane = g.out_h() * g.out_w();
+    let w_f32 = lcg_tensor(g.weight_shape(), 11, 0.3);
+    let b_f32 = lcg_tensor(Shape::d1(cout), 13, 0.1);
+    let w = lcg_i8(cout * rows, 67);
+    let wt = transpose_i8(&w, cout, rows);
+    let mut scratch = ConvScratch::new();
+    let mut qscratch = QConvScratch::new();
+    let mut acc = vec![0i32; batch * cout * plane];
+    let points = SWEEP_SPARSITIES
+        .iter()
+        .map(|&sp| {
+            let x = spike_tensor(Shape::d4(batch, cin, img, img), 19 + sp, 100 - sp);
+            let x_analog = x.map(|v| v * 0.7);
+            let xq: Vec<u8> = x.as_slice().iter().map(|&v| u8::from(v != 0.0)).collect();
+            set_event_density_threshold(-1.0);
+            let f32_dense_seconds = time_serial(reps, || {
+                let (_, r) =
+                    conv2d_forward_routed(&g, &x_analog, &w_f32, &b_f32, &mut scratch)
+                        .expect("shapes");
+                assert_eq!(r, ConvRoute::Dense);
+            });
+            let dense_seconds = time_serial(reps, || {
+                let r = qconv2d_forward_routed(&g, &xq, batch, &w, &wt, &mut acc, &mut qscratch);
+                assert_eq!(r, ConvRoute::Dense);
+            });
+            set_event_density_threshold(1.0);
+            let event_seconds = time_serial(reps, || {
+                let r = qconv2d_forward_routed(&g, &xq, batch, &w, &wt, &mut acc, &mut qscratch);
+                assert_eq!(r, ConvRoute::Event);
+            });
+            set_event_density_threshold(f32::NAN); // back to env/default
+            Int8ConvSweepPoint {
+                sparsity_pct: sp,
+                input_density: measured_density(&x),
+                f32_dense_seconds,
+                dense_seconds,
+                event_seconds,
+                event_speedup: dense_seconds / event_seconds,
+                int8_dense_vs_f32: f32_dense_seconds / dense_seconds,
+                int8_event_vs_f32: f32_dense_seconds / event_seconds,
+            }
+        })
+        .collect();
+    Int8ConvDensitySweep {
+        in_channels: cin,
+        out_channels: cout,
+        kernel: 3,
+        image: img,
+        batch,
+        points,
+    }
+}
+
+/// Dense int8 GEMM vs dense f32 GEMM, same multiply count, serial.
+fn bench_int8_gemm(reps: usize, sz: &Sizes) -> Int8GemmBench {
+    let (m, k, n) = sz.gemm;
+    let a_dense = lcg_tensor(Shape::d2(m, k), 23, 1.0);
+    let b = lcg_tensor(Shape::d2(n, k), 31, 0.3);
+    let f32_seconds = time_serial(reps, || {
+        let _ = linalg::matmul_nt(&a_dense, &b).expect("valid shapes");
+    });
+    let w = lcg_i8(m * k, 71);
+    let x = level_u8(k * n, 73);
+    let mut acc = vec![0i32; m * n];
+    let int8_seconds = time_serial(reps, || {
+        acc.fill(0);
+        qgemm_into(&w, &x, &mut acc, m, k, n);
+    });
+    Int8GemmBench { m, k, n, f32_seconds, int8_seconds, int8_speedup: f32_seconds / int8_seconds }
 }
 
 /// GEMM density sweep: binary LHS at each density (spike-gather path)
@@ -647,6 +807,18 @@ fn main() {
         gemm.sparse_path_speedup_serial
     );
 
+    let int8_gemm = bench_int8_gemm(reps, &sizes);
+    println!(
+        "int8 gemm {}x{} * {}x{} (dense operands, serial):",
+        int8_gemm.m, int8_gemm.k, int8_gemm.k, int8_gemm.n
+    );
+    println!(
+        "  f32 {:>9.3} ms   int8 {:>9.3} ms   int8 speedup {:.2}x\n",
+        int8_gemm.f32_seconds * 1e3,
+        int8_gemm.int8_seconds * 1e3,
+        int8_gemm.int8_speedup
+    );
+
     let lif = bench_lif(reps, host, &sizes);
     println!("lif_step over {} elements:", lif.elements);
     print_scaling("", &lif.scaling);
@@ -658,6 +830,22 @@ fn main() {
         "conv2d (event-driven vs dense GEMM vs spike-gather im2col routes)",
         &conv_sweep.points,
     );
+    let int8_conv_sweep = sweep_conv_int8(reps, &sizes);
+    println!("conv2d int8 (integer dense vs event routes, f32 dense baseline):");
+    println!("  sparsity   density   f32 ms   int8 ms   event ms   event gain   vs f32");
+    for p in &int8_conv_sweep.points {
+        println!(
+            "  {:>7}%   {:>6.3}   {:>6.3}   {:>7.3}   {:>8.3}   {:>9.2}x   {:>5.2}x",
+            p.sparsity_pct,
+            p.input_density,
+            p.f32_dense_seconds * 1e3,
+            p.dense_seconds * 1e3,
+            p.event_seconds * 1e3,
+            p.event_speedup,
+            p.int8_event_vs_f32
+        );
+    }
+    println!();
     let gemm_sweep = sweep_gemm(reps, &sizes);
     print_sweep("gemm_nt (spike-gather vs dense analog LHS)", &gemm_sweep.points);
     let lif_sweep = sweep_lif(reps, &sizes);
@@ -674,10 +862,12 @@ fn main() {
         smoke,
         conv2d_forward: conv,
         gemm_nt: gemm,
+        int8_gemm,
         lif_step: lif,
         density_sweep: DensitySweep {
             sparsities_pct: SWEEP_SPARSITIES.to_vec(),
             conv2d: conv_sweep,
+            conv2d_int8: int8_conv_sweep,
             gemm_nt: gemm_sweep,
             lif_step: lif_sweep,
             forward: fwd_sweep,

@@ -15,7 +15,12 @@
 //!    passes. On a single-core host this is the whole throughput
 //!    story: the speedup comes from amortizing per-pass work across
 //!    the batch, not from parallelism.
-//! 3. `overload` — a deliberately tiny queue (capacity 4) with short
+//! 3. `batched-int8` — the batched configuration serving the INT8
+//!    quantized twin of the same model: the full integer datapath
+//!    (u8 activations, i8 weights, fixed-point membranes) behind the
+//!    same HTTP front end, so the f32-vs-int8 comparison includes
+//!    every serving overhead, not just kernel time.
+//! 4. `overload` — a deliberately tiny queue (capacity 4) with short
 //!    request deadlines under the same client pressure: shows the
 //!    server shedding load with typed `429`/`504` rejections instead
 //!    of queueing without bound.
@@ -33,7 +38,8 @@ use std::time::{Duration, Instant};
 
 use serde::Serialize;
 use snn_core::{LifConfig, NetworkSnapshot, SpikingNetwork};
-use snn_serve::{BatcherConfig, ModelRegistry, Server, ServerConfig};
+use snn_quant::{calibrate, quantize_snapshot, QuantizedSnapshot};
+use snn_serve::{BatcherConfig, ModelRegistry, ServedModel, Server, ServerConfig};
 use snn_tensor::Shape;
 
 const USAGE: &str =
@@ -98,6 +104,8 @@ fn main() {
     );
 
     let snapshot = demo_snapshot();
+    let f32_model = ServedModel::from(snapshot.clone());
+    let int8_model = ServedModel::from(quantized_artifact(&snapshot));
     let input_len = 8 * 8;
     let timesteps = 8;
 
@@ -105,12 +113,14 @@ fn main() {
     // on a single-core host, scheduler noise between closed-loop
     // client threads is the dominant source of variance, and one rep
     // can swing either way.
-    let serve_phase = |name: &str, batcher: BatcherConfig, timeout_ms: Option<u64>| {
+    let serve_phase = |name: &str,
+                       model: &ServedModel,
+                       batcher: BatcherConfig,
+                       timeout_ms: Option<u64>| {
         let mut runs: Vec<Phase> = (0..reps)
             .map(|_| {
                 let registry = Arc::new(
-                    ModelRegistry::new(snapshot.clone(), "bench")
-                        .expect("demo snapshot is valid"),
+                    ModelRegistry::new(model.clone(), "bench").expect("demo model is valid"),
                 );
                 let cfg = ServerConfig {
                     addr: "127.0.0.1:0".into(),
@@ -118,8 +128,16 @@ fn main() {
                     default_timeout: Some(Duration::from_secs(30)),
                 };
                 let mut server = Server::start(registry, cfg).expect("server starts");
-                let phase =
-                    run_phase(name, &server, &batcher, input_len, requests, clients, timeout_ms);
+                let phase = run_phase(
+                    name,
+                    model.dtype(),
+                    &server,
+                    &batcher,
+                    input_len,
+                    requests,
+                    clients,
+                    timeout_ms,
+                );
                 server.shutdown();
                 phase
             })
@@ -130,8 +148,16 @@ fn main() {
         runs.swap_remove(runs.len() / 2)
     };
 
+    let batched_cfg = BatcherConfig {
+        max_batch: 8,
+        max_wait: Duration::from_micros(2000),
+        capacity: 256,
+        timesteps,
+        ..BatcherConfig::default()
+    };
     let unbatched = serve_phase(
         "unbatched",
+        &f32_model,
         BatcherConfig {
             max_batch: 1,
             max_wait: Duration::from_micros(100),
@@ -141,19 +167,11 @@ fn main() {
         },
         None,
     );
-    let batched = serve_phase(
-        "batched",
-        BatcherConfig {
-            max_batch: 8,
-            max_wait: Duration::from_micros(2000),
-            capacity: 256,
-            timesteps,
-            ..BatcherConfig::default()
-        },
-        None,
-    );
+    let batched = serve_phase("batched", &f32_model, batched_cfg.clone(), None);
+    let batched_int8 = serve_phase("batched-int8", &int8_model, batched_cfg, None);
     let overload = serve_phase(
         "overload",
+        &f32_model,
         BatcherConfig {
             max_batch: 4,
             max_wait: Duration::from_micros(2000),
@@ -173,13 +191,15 @@ fn main() {
         input_len,
         host_parallelism: thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         batched_speedup: batched.throughput_rps / unbatched.throughput_rps,
-        phases: vec![unbatched, batched, overload],
+        int8_vs_f32_batched: batched_int8.throughput_rps / batched.throughput_rps,
+        phases: vec![unbatched, batched, batched_int8, overload],
     };
     for p in &report.phases {
         println!(
-            "{:<10} max_batch {:>2}  {:>7.1} req/s  p50 {:>6}us  p95 {:>6}us  p99 {:>6}us  \
+            "{:<12} [{:<4}] max_batch {:>2}  {:>7.1} req/s  p50 {:>6}us  p95 {:>6}us  p99 {:>6}us  \
              mean batch {:>4.1}  429s {:>3}  504s {:>3}",
             p.name,
+            p.dtype,
             p.max_batch,
             p.throughput_rps,
             p.latency_us.p50,
@@ -191,6 +211,7 @@ fn main() {
         );
     }
     println!("batched speedup over unbatched: {:.2}x", report.batched_speedup);
+    println!("int8 vs f32 batched throughput: {:.2}x", report.int8_vs_f32_batched);
 
     let json = if pretty {
         serde_json::to_string_pretty(&report).expect("report serializes")
@@ -229,6 +250,27 @@ fn demo_snapshot() -> NetworkSnapshot {
     NetworkSnapshot::from_network(&net)
 }
 
+/// The INT8 twin of [`demo_snapshot`]: calibrated on a deterministic
+/// spread of synthetic frames covering the input range, then quantized
+/// to 8-bit weights. Serving this artifact exercises the full integer
+/// datapath end to end.
+fn quantized_artifact(snap: &NetworkSnapshot) -> QuantizedSnapshot {
+    let input_len = 8 * 8;
+    let items: Vec<Vec<f32>> = (0..8u64)
+        .map(|s| {
+            let mut x = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (0..input_len)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((x >> 33) as f32) / (u32::MAX as f32)
+                })
+                .collect()
+        })
+        .collect();
+    let cal = calibrate(snap, &items, 8).expect("calibration on the demo model succeeds");
+    quantize_snapshot(snap, &cal, 8).expect("8-bit quantization of the demo model succeeds")
+}
+
 #[derive(Serialize)]
 struct Report {
     /// Report layout version ([`snn_bench::BENCH_SCHEMA_VERSION`]).
@@ -243,12 +285,18 @@ struct Report {
     /// `batched.throughput_rps / unbatched.throughput_rps` at the same
     /// offered load — the headline number.
     batched_speedup: f64,
+    /// `batched-int8.throughput_rps / batched.throughput_rps`: the
+    /// quantized engine's end-to-end serving throughput relative to
+    /// f32 at the identical batcher configuration (schema v4).
+    int8_vs_f32_batched: f64,
     phases: Vec<Phase>,
 }
 
 #[derive(Serialize)]
 struct Phase {
     name: String,
+    /// Engine the phase ran on: `f32` or `int8`.
+    dtype: String,
     max_batch: usize,
     queue_capacity: usize,
     offered: usize,
@@ -284,8 +332,10 @@ struct LayerRate {
     rate: f64,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_phase(
     name: &str,
+    dtype: &str,
     server: &Server,
     cfg: &BatcherConfig,
     input_len: usize,
@@ -326,9 +376,12 @@ fn run_phase(
         classes: 10,
         params: 0,
         hash: String::new(),
+        dtype: dtype.into(),
+        quant: None,
     });
     Phase {
         name: name.into(),
+        dtype: dtype.into(),
         max_batch: cfg.max_batch,
         queue_capacity: cfg.capacity,
         offered,

@@ -17,7 +17,13 @@ use snn_dse::ExperimentProfile;
 /// vs dense routes across input sparsities) and thread-scaling rows
 /// carry `host_limited` flags marking thread counts beyond the host's
 /// hardware parallelism.
-pub const BENCH_SCHEMA_VERSION: u32 = 3;
+///
+/// v4: kernel reports gain the quantized datapath — a top-level
+/// `int8_gemm` comparison against the f32 dense GEMM and a
+/// `density_sweep.conv2d_int8` sweep (integer dense vs event routes,
+/// with the f32 dense route as baseline); serve reports gain an
+/// `int8` phase and the `int8_vs_f32_batched` throughput ratio.
+pub const BENCH_SCHEMA_VERSION: u32 = 4;
 
 /// The git commit the benchmark binary was run from, or `"unknown"`
 /// outside a git checkout (or when `git` itself is unavailable).

@@ -40,10 +40,20 @@ commands:
           --dataflow event|dense (event)   --device kintex|artix (kintex)
   info    print a saved snapshot's layer table
           --model PATH
+  quantize  post-training-quantize an f32 snapshot to an INT8 artifact
+          --model PATH | --store DIR --model-name NAME
+            [--model-version latest|N] (f32 source)
+          --profile … (quick; calibration + accuracy datasets)
+          --bits N (8; weight bits, 2..=8)   --timesteps N (profile default)
+          --calibration-samples N (32)   --out PATH (write artifact JSON)
+          --publish NAME (with --store: publish to the artifact registry)
+          --sweep-bits LIST (e.g. 2,4,6,8: accuracy-vs-bitwidth table)
   serve   serve a snapshot over HTTP with dynamic micro-batching
           --model PATH | --demo SIDE (in-memory demo net, SIDE x SIDE input)
           | --store DIR --model-name NAME [--model-version latest|N]
             (load a published artifact from the registry)
+          f32 and INT8 artifacts both serve; the engine follows the
+          artifact's dtype
           --addr HOST:PORT (127.0.0.1:7878; port 0 picks a free port)
           --timesteps N (4)   --max-batch N (8)   --max-wait-us N (2000)
           --capacity N (64)   --timeout-ms N (2000; 0 disables)
@@ -56,6 +66,8 @@ commands:
           --trace FILE (SNN_TRACE trace_event output)
           --bench FILE (BENCH_kernels.json)   --min-conv-event-speedup X
                 (fail if the 90%-sparsity event conv2d speedup is below X)
+          --min-int8-speedup X (fail if the int8 GEMM speedup over the
+                f32 dense GEMM is below X)
   runs    inspect and maintain a durable run store
           list --store DIR   (runs, checkpoints, published artifacts)
           gc   --store DIR   (delete registry blobs no version references)
@@ -84,6 +96,7 @@ fn main() {
     };
     let result = match args.command.as_str() {
         "train" => cmd_train(&args),
+        "quantize" => cmd_quantize(&args),
         "eval" => cmd_eval(&args),
         "map" => cmd_map(&args),
         "info" => cmd_info(&args),
@@ -213,6 +226,137 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Post-training quantization: load an f32 snapshot (file or
+/// registry), calibrate activation ranges on the profile's train
+/// split, emit an INT8 artifact, and report both engines' accuracy on
+/// the test split under direct coding — the presentation the serve
+/// path uses, so the printed numbers transfer to `/infer` unchanged.
+fn cmd_quantize(args: &Args) -> Result<(), String> {
+    use snn_quant::{calibrate, quantize_snapshot, QuantNetwork};
+
+    let (snapshot, source) = if let Some(model_name) = args.opt("model-name") {
+        let store_dir = args.require("store")?;
+        let spec = VersionSpec::parse(args.get("model-version", "latest"))?;
+        let registry = ArtifactRegistry::open(store_dir);
+        let (entry, payload) = registry.load(model_name, spec).map_err(|e| e.to_string())?;
+        let snapshot: NetworkSnapshot = serde_json::from_str(&payload)
+            .map_err(|e| format!("artifact `{model_name}` is not an f32 network snapshot: {e}"))?;
+        (snapshot, format!("{}@v{}", entry.name, entry.version))
+    } else {
+        (load_model(args)?, args.require("model")?.to_string())
+    };
+    snapshot.validate().map_err(|e| format!("source snapshot: {e}"))?;
+
+    let profile = profile_from(args)?;
+    let bits: u32 = args.get_parsed("bits", 8)?;
+    let timesteps: usize = args.get_parsed("timesteps", profile.timesteps)?;
+    let cal_samples: usize = args.get_parsed("calibration-samples", 32)?;
+    if cal_samples == 0 {
+        return Err("--calibration-samples must be at least 1".into());
+    }
+    let (train, test) = profile.datasets();
+    let input_len: usize = snapshot.input_item_dims.iter().product();
+    if test.item_shape().dims().iter().product::<usize>() != input_len {
+        return Err(format!(
+            "model expects {input_len} inputs but profile `{}` provides {}",
+            profile.name,
+            test.item_shape()
+        ));
+    }
+
+    let flatten = |ds: &snn_data::Dataset| -> (Vec<Vec<f32>>, Vec<usize>) {
+        (0..ds.len())
+            .map(|i| {
+                let (t, label) = ds.item(i);
+                (t.as_slice().to_vec(), label)
+            })
+            .unzip()
+    };
+    let (cal_items, _) = flatten(&train.take(cal_samples.min(train.len())));
+    let cal = calibrate(&snapshot, &cal_items, timesteps).map_err(|e| e.to_string())?;
+    let artifact = quantize_snapshot(&snapshot, &cal, bits).map_err(|e| e.to_string())?;
+    println!(
+        "quantized {source}: {bits}-bit weights, {} stages, {} parameters ({} calibration items)",
+        artifact.stages.len(),
+        artifact.param_count(),
+        cal_items.len()
+    );
+
+    let f32_eval = evaluate(
+        &mut snapshot.clone().into_network(),
+        &test,
+        snn_data::SpikeEncoding::Direct,
+        timesteps,
+        profile.batch_size,
+        0,
+    );
+    let (test_items, test_labels) = flatten(&test);
+    let mut qnet = QuantNetwork::from_snapshot(&artifact).map_err(|e| e.to_string())?;
+    let int8_accuracy = qnet
+        .evaluate_accuracy(&test_items, &test_labels, timesteps)
+        .map_err(|e| e.to_string())?;
+    // ci.sh parses this line; keep the `f32=`/`int8=` keys stable.
+    println!(
+        "accuracy f32={:.4} int8={:.4} delta={:+.4} (direct coding, T={timesteps}, {} test items)",
+        f32_eval.accuracy,
+        int8_accuracy,
+        int8_accuracy - f32_eval.accuracy,
+        test.len()
+    );
+
+    if let Some(spec) = args.opt("sweep-bits") {
+        let widths: Vec<u32> = spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<u32>()
+                    .map_err(|_| format!("--sweep-bits: not a bit width: `{s}`"))
+            })
+            .collect::<Result<_, _>>()?;
+        let sweep = snn_dse::bitwidth_sweep(&snapshot, &cal_items, &test, timesteps, &widths)?;
+        println!("\nbits  accuracy    delta");
+        for p in &sweep.points {
+            println!("{:>4}  {:>8.4}  {:>+8.4}", p.bits, p.accuracy, p.delta);
+        }
+        match sweep.narrowest_within(0.02) {
+            Some(p) => println!(
+                "narrowest width within 2% of f32 ({:.4}): {} bits",
+                sweep.f32_accuracy, p.bits
+            ),
+            None => println!("no swept width stays within 2% of f32 ({:.4})", sweep.f32_accuracy),
+        }
+    }
+
+    let mut persisted = false;
+    if let Some(out) = args.opt("out") {
+        artifact.save_json(out).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+        println!("saved {out}");
+        persisted = true;
+    }
+    if let Some(publish_name) = args.opt("publish") {
+        let registry = ArtifactRegistry::open(args.require("store")?);
+        let meta = vec![
+            ("dtype".to_string(), "int8".to_string()),
+            ("format".to_string(), snn_quant::QUANT_FORMAT.to_string()),
+            ("bits".to_string(), bits.to_string()),
+            ("source".to_string(), source.clone()),
+            ("profile".to_string(), profile.name.to_string()),
+            ("f32_accuracy".to_string(), format!("{:.4}", f32_eval.accuracy)),
+            ("int8_accuracy".to_string(), format!("{int8_accuracy:.4}")),
+        ];
+        let entry = registry.publish(publish_name, &artifact, meta).map_err(|e| e.to_string())?;
+        println!(
+            "published {} v{}  hash {}  ({} bytes)",
+            entry.name, entry.version, entry.hash, entry.bytes
+        );
+        persisted = true;
+    }
+    if !persisted {
+        println!("note: artifact not persisted (pass --out PATH and/or --store DIR --publish NAME)");
+    }
+    Ok(())
+}
+
 fn cmd_runs(args: &Args) -> Result<(), String> {
     let store_dir = args.require("store")?;
     let store = RunStore::open(store_dir);
@@ -331,24 +475,31 @@ fn cmd_map(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
-    use snn_serve::{BatcherConfig, ModelRegistry, Server, ServerConfig};
+    use snn_serve::{BatcherConfig, ModelRegistry, ServedModel, Server, ServerConfig};
     use std::time::Duration;
 
-    let (snapshot, name) = if let Some(side) = args.opt("demo") {
+    let (model, name) = if let Some(side) = args.opt("demo") {
         let side: usize = side
             .parse()
             .map_err(|_| format!("flag --demo: cannot parse `{side}` as an input side"))?;
-        (demo_snapshot(side)?, format!("demo-{side}x{side}"))
+        (ServedModel::from(demo_snapshot(side)?), format!("demo-{side}x{side}"))
     } else if let Some(store_dir) = args.opt("store") {
         let model_name = args.require("model-name")?;
         let spec = VersionSpec::parse(args.get("model-version", "latest"))?;
         let registry = ArtifactRegistry::open(store_dir);
         let (entry, payload) = registry.load(model_name, spec).map_err(|e| e.to_string())?;
-        let snapshot: NetworkSnapshot = serde_json::from_str(&payload)
-            .map_err(|e| format!("artifact `{model_name}` is not a network snapshot: {e}"))?;
-        (snapshot, format!("{}@v{}", entry.name, entry.version))
+        // The payload's key shape names its dtype: f32 snapshots and
+        // INT8 quantized artifacts both load, each onto its own engine.
+        let model = ServedModel::from_json(&payload)
+            .map_err(|e| format!("artifact `{model_name}` is not a servable model: {e}"))?;
+        (model, format!("{}@v{}", entry.name, entry.version))
     } else {
-        (load_model(args)?, args.require("model")?.to_string())
+        let path = args.require("model")?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot load `{path}`: {e}"))?;
+        let model =
+            ServedModel::from_json(&text).map_err(|e| format!("cannot load `{path}`: {e}"))?;
+        (model, path.to_string())
     };
     let timesteps: usize = args.get_parsed("timesteps", 4)?;
     let max_batch: usize = args.get_parsed("max-batch", 8)?;
@@ -360,7 +511,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     }
 
     let registry =
-        std::sync::Arc::new(ModelRegistry::new(snapshot, name).map_err(|e| e.to_string())?);
+        std::sync::Arc::new(ModelRegistry::new(model, name).map_err(|e| e.to_string())?);
     let info = registry.info();
     let cfg = ServerConfig {
         addr: args.get("addr", "127.0.0.1:7878").to_string(),
@@ -375,8 +526,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     };
     let mut server = Server::start(registry, cfg).map_err(|e| e.to_string())?;
     println!(
-        "serving {} ({} inputs, {} classes, {} parameters, T={timesteps})",
-        info.name, info.input_len, info.classes, info.params
+        "serving {} [{}] ({} inputs, {} classes, {} parameters, T={timesteps})",
+        info.name, info.dtype, info.input_len, info.classes, info.params
     );
     // ci.sh and other harnesses parse this line for the ephemeral port.
     println!("listening on {}", server.addr());
@@ -664,7 +815,13 @@ fn cmd_obs_check(args: &Args) -> Result<(), String> {
                     .map_err(|_| format!("--min-conv-event-speedup: not a number: `{v}`"))
             })
             .transpose()?;
-        let summary = obscheck::check_bench_kernels(&read(path)?, min)
+        let min_int8 = args
+            .opt("min-int8-speedup")
+            .map(|v| {
+                v.parse::<f64>().map_err(|_| format!("--min-int8-speedup: not a number: `{v}`"))
+            })
+            .transpose()?;
+        let summary = obscheck::check_bench_kernels(&read(path)?, min, min_int8)
             .map_err(|e| format!("{path}: {e}"))?;
         println!("{path}: ok ({summary})");
         checked += 1;

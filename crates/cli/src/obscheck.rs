@@ -195,20 +195,24 @@ pub fn check_trace(text: &str) -> Result<usize, String> {
 /// with `snn_bench::BENCH_SCHEMA_VERSION` by hand — the CLI stays
 /// below the bench crate in the dependency order, and a version drift
 /// is exactly what this check exists to catch.
-pub const BENCH_KERNELS_SCHEMA: f64 = 3.0;
+pub const BENCH_KERNELS_SCHEMA: f64 = 4.0;
 
 /// Validates a `BENCH_kernels.json` report and (optionally) gates on
-/// the event-driven conv2d speedup.
+/// the event-driven conv2d speedup and the int8 GEMM speedup.
 ///
 /// Structural checks: parseable JSON object, `schema_version` equal to
-/// [`BENCH_KERNELS_SCHEMA`], a non-empty `git_commit`, and a
-/// `density_sweep` section whose `conv2d`, `gemm_nt`, `lif_step`, and
-/// `forward` sweeps each carry one point per entry of
-/// `sparsities_pct`, with finite timings and speedups.
+/// [`BENCH_KERNELS_SCHEMA`], a non-empty `git_commit`, an `int8_gemm`
+/// section with finite timings and a finite `int8_speedup`, and a
+/// `density_sweep` section whose `conv2d`, `conv2d_int8`, `gemm_nt`,
+/// `lif_step`, and `forward` sweeps each carry one point per entry of
+/// `sparsities_pct`, with finite timings and speedups (the int8 conv
+/// rows additionally need a finite `f32_dense_seconds` baseline).
 ///
 /// If `min_conv_event_speedup` is given, the conv2d sweep's
 /// 90%-sparsity point must show at least that `event_speedup` over
-/// the dense route (the regression gate ci.sh runs on smoke numbers).
+/// the dense route. If `min_int8_speedup` is given, `int8_gemm`'s
+/// `int8_speedup` over the f32 dense GEMM must meet it. Both are the
+/// regression gates ci.sh runs on smoke numbers.
 ///
 /// Returns a one-line summary for logging.
 ///
@@ -218,6 +222,7 @@ pub const BENCH_KERNELS_SCHEMA: f64 = 3.0;
 pub fn check_bench_kernels(
     text: &str,
     min_conv_event_speedup: Option<f64>,
+    min_int8_speedup: Option<f64>,
 ) -> Result<String, String> {
     let value = serde_json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
     let Some(fields) = value.as_object() else {
@@ -237,6 +242,20 @@ pub fn check_bench_kernels(
         Some(serde::Value::String(s)) if !s.is_empty() => s,
         _ => return Err("missing or empty `git_commit`".into()),
     };
+    let Some(serde::Value::Object(int8)) = get(fields, "int8_gemm") else {
+        return Err("missing `int8_gemm` object".into());
+    };
+    let mut int8_speedup = f64::NAN;
+    for required in ["f32_seconds", "int8_seconds", "int8_speedup"] {
+        match get(&int8, required) {
+            Some(serde::Value::Number(v)) if v.is_finite() => {
+                if required == "int8_speedup" {
+                    int8_speedup = v;
+                }
+            }
+            _ => return Err(format!("int8_gemm lacks finite `{required}`")),
+        }
+    }
     let Some(serde::Value::Object(sweep)) = get(fields, "density_sweep") else {
         return Err("missing `density_sweep` object".into());
     };
@@ -247,7 +266,7 @@ pub fn check_bench_kernels(
         return Err("density_sweep.sparsities_pct is empty".into());
     }
     let mut conv_90_speedup = None;
-    for section in ["conv2d", "gemm_nt", "lif_step", "forward"] {
+    for section in ["conv2d", "conv2d_int8", "gemm_nt", "lif_step", "forward"] {
         let Some(serde::Value::Object(sec)) = get(&sweep, section) else {
             return Err(format!("density_sweep lacks `{section}`"));
         };
@@ -265,7 +284,12 @@ pub fn check_bench_kernels(
             let Some(p) = point.as_object() else {
                 return Err(format!("density_sweep.{section}.points[{i}] is not an object"));
             };
-            for required in ["sparsity_pct", "input_density", "dense_seconds", "event_seconds"] {
+            let mut required =
+                vec!["sparsity_pct", "input_density", "dense_seconds", "event_seconds"];
+            if section == "conv2d_int8" {
+                required.push("f32_dense_seconds");
+            }
+            for required in required {
                 match get(p, required) {
                     Some(serde::Value::Number(v)) if v.is_finite() => {}
                     _ => {
@@ -300,8 +324,16 @@ pub fn check_bench_kernels(
             ));
         }
     }
+    if let Some(min) = min_int8_speedup {
+        if int8_speedup < min {
+            return Err(format!(
+                "int8 GEMM speedup over f32 is {int8_speedup:.2}x, below the {min:.2}x gate"
+            ));
+        }
+    }
     Ok(format!(
-        "schema {BENCH_KERNELS_SCHEMA}, commit {}, conv2d event speedup {conv_90:.2}x at 90% sparsity",
+        "schema {BENCH_KERNELS_SCHEMA}, commit {}, conv2d event speedup {conv_90:.2}x at 90% \
+         sparsity, int8 GEMM {int8_speedup:.2}x over f32",
         &commit[..commit.len().min(12)]
     ))
 }
@@ -374,37 +406,67 @@ mod tests {
         assert!(check_metrics_json("not json").is_err());
     }
 
-    fn bench_report(schema: &str, speedup_90: &str) -> String {
+    fn bench_report_gated(schema: &str, speedup_90: &str, int8_speedup: &str) -> String {
         let point = |sp: &str, speedup: &str| {
             format!(
                 "{{\"sparsity_pct\":{sp},\"input_density\":0.1,\"dense_seconds\":0.003,\
-                 \"event_seconds\":0.001,\"event_speedup\":{speedup}}}"
+                 \"event_seconds\":0.001,\"event_speedup\":{speedup},\
+                 \"f32_dense_seconds\":0.002}}"
             )
         };
         let points = format!("[{},{}]", point("50", "1.1"), point("90", speedup_90));
         let section = |name: &str| format!("\"{name}\":{{\"points\":{points}}}");
         format!(
-            "{{\"schema_version\":{schema},\"git_commit\":\"abc123\",\"density_sweep\":{{\
-             \"sparsities_pct\":[50,90],{},{},{},{}}}}}",
+            "{{\"schema_version\":{schema},\"git_commit\":\"abc123\",\
+             \"int8_gemm\":{{\"m\":64,\"k\":128,\"n\":64,\"f32_seconds\":0.003,\
+             \"int8_seconds\":0.002,\"int8_speedup\":{int8_speedup}}},\
+             \"density_sweep\":{{\
+             \"sparsities_pct\":[50,90],{},{},{},{},{}}}}}",
             section("conv2d"),
+            section("conv2d_int8"),
             section("gemm_nt"),
             section("lif_step"),
             section("forward")
         )
     }
 
+    fn bench_report(schema: &str, speedup_90: &str) -> String {
+        bench_report_gated(schema, speedup_90, "1.5")
+    }
+
     #[test]
     fn validates_bench_kernels_report() {
-        let good = bench_report("3", "2.5");
-        let summary = check_bench_kernels(&good, None).unwrap();
+        let good = bench_report("4", "2.5");
+        let summary = check_bench_kernels(&good, None, None).unwrap();
         assert!(summary.contains("2.50x"), "summary was `{summary}`");
-        check_bench_kernels(&good, Some(1.5)).unwrap();
-        assert!(check_bench_kernels(&good, Some(3.0)).is_err(), "below gate");
-        assert!(check_bench_kernels(&bench_report("2", "2.5"), None).is_err(), "old schema");
-        assert!(check_bench_kernels("not json", None).is_err());
-        assert!(check_bench_kernels("{}", None).is_err(), "missing everything");
-        let no_90 = bench_report("3", "2.5").replace("\"sparsity_pct\":90", "\"sparsity_pct\":91");
-        assert!(check_bench_kernels(&no_90, None).is_err(), "no 90% point");
+        check_bench_kernels(&good, Some(1.5), None).unwrap();
+        assert!(check_bench_kernels(&good, Some(3.0), None).is_err(), "below gate");
+        assert!(check_bench_kernels(&bench_report("3", "2.5"), None, None).is_err(), "old schema");
+        assert!(check_bench_kernels("not json", None, None).is_err());
+        assert!(check_bench_kernels("{}", None, None).is_err(), "missing everything");
+        let no_90 = bench_report("4", "2.5").replace("\"sparsity_pct\":90", "\"sparsity_pct\":91");
+        assert!(check_bench_kernels(&no_90, None, None).is_err(), "no 90% point");
+    }
+
+    #[test]
+    fn gates_and_validates_int8_rows() {
+        let good = bench_report_gated("4", "2.5", "1.35");
+        let summary = check_bench_kernels(&good, None, Some(1.2)).unwrap();
+        assert!(summary.contains("1.35x"), "summary was `{summary}`");
+        assert!(
+            check_bench_kernels(&good, None, Some(1.4)).is_err(),
+            "int8 speedup below the gate must fail"
+        );
+        let no_int8 = good.replace("\"int8_gemm\"", "\"int8_gemm_gone\"");
+        assert!(check_bench_kernels(&no_int8, None, None).is_err(), "missing int8_gemm");
+        let no_int8_conv = good.replace("\"conv2d_int8\"", "\"conv2d_int9\"");
+        assert!(check_bench_kernels(&no_int8_conv, None, None).is_err(), "missing conv2d_int8");
+        let bad_baseline =
+            good.replace("\"f32_dense_seconds\":0.002", "\"f32_dense_seconds\":\"fast\"");
+        assert!(
+            check_bench_kernels(&bad_baseline, None, None).is_err(),
+            "non-numeric f32 baseline in the int8 conv rows must fail"
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablations;
+mod bitwidth;
 mod chart;
 mod compare;
 mod journal;
@@ -44,6 +45,7 @@ pub use ablations::{
     encoding_ablation, pruning_ablation, reset_mode_ablation, surrogate_family_ablation,
     timestep_ablation, AblationRow,
 };
+pub use bitwidth::{bitwidth_sweep, BitwidthPoint, BitwidthResult};
 pub use chart::{ascii_chart, ascii_heatmap};
 pub use compare::{comparison, ComparisonResult, ConfigSummary};
 pub use journal::{PointKey, SweepEntry, SweepJournal};

@@ -1,0 +1,71 @@
+//! Typed failure modes for quantization, calibration, and the
+//! integer inference runtime.
+
+use std::fmt;
+
+/// Everything that can go wrong between an f32 snapshot and a running
+/// integer network.
+///
+/// Mirrors the shape of [`snn_core::SnapshotError`] so serve-side
+/// adapters can map variants one-to-one; the distinction that matters
+/// operationally is that *none* of these are panics — a malformed or
+/// out-of-range artifact always surfaces as a value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantError {
+    /// The artifact text is not a valid quantized snapshot (bad JSON,
+    /// missing fields, wrong `format` tag).
+    Malformed(String),
+    /// A structurally valid artifact asks for something this build
+    /// does not implement (e.g. a bit width outside 2..=8).
+    Unsupported(String),
+    /// One stage is internally inconsistent (weight/scale/rescale
+    /// length mismatches, invalid geometry, non-finite scales).
+    Stage {
+        /// Index and name of the offending stage, e.g. `"2 (conv1)"`.
+        stage: String,
+        /// What is wrong with it.
+        message: String,
+    },
+    /// The stages do not compose into a network matching the declared
+    /// input dims / class count.
+    Structure(String),
+    /// The calibrated dynamic range cannot be represented: no Q-format
+    /// with acceptable headroom exists for a stage, or a rescale
+    /// multiplier falls outside `i32`.
+    Overflow {
+        /// Index and name of the offending stage.
+        stage: String,
+        /// The range that failed to fit.
+        message: String,
+    },
+    /// Calibration input was unusable (empty split, wrong item length,
+    /// non-finite values).
+    Calibration(String),
+    /// Reading or writing an artifact file failed.
+    Io {
+        /// Path involved.
+        path: String,
+        /// OS error text.
+        message: String,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::Malformed(m) => write!(f, "malformed quantized artifact: {m}"),
+            QuantError::Unsupported(m) => write!(f, "unsupported quantization request: {m}"),
+            QuantError::Stage { stage, message } => {
+                write!(f, "quantized stage {stage}: {message}")
+            }
+            QuantError::Structure(m) => write!(f, "quantized network structure: {m}"),
+            QuantError::Overflow { stage, message } => {
+                write!(f, "quantization overflow at stage {stage}: {message}")
+            }
+            QuantError::Calibration(m) => write!(f, "calibration failed: {m}"),
+            QuantError::Io { path, message } => write!(f, "quant artifact I/O on {path}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}

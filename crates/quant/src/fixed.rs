@@ -1,0 +1,291 @@
+//! Fixed-point arithmetic for the integer LIF datapath.
+//!
+//! Two pieces: [`Rescale`], the multiply+shift requantizer that turns
+//! raw `i32` accumulator sums into Q-format membrane current, and
+//! [`FixedLif`], the LIF step parameters with `beta` as an integer
+//! multiply + shift. Neither touches f32 at inference time: all f32 →
+//! fixed conversion happens once, at quantization time.
+
+use serde::{Deserialize, Serialize};
+use snn_core::{LifConfig, ResetMode};
+
+use crate::error::QuantError;
+use crate::qtensor::saturate_i32;
+
+/// Fractional bits of the `beta` multiplier (Q15: `beta ≈
+/// beta_mult / 2^15`). One fixed choice for every artifact keeps leak
+/// precision uniform and the artifact simpler; with `beta ∈ [0, 1]`
+/// the multiplier always fits 16 bits.
+pub const BETA_FRAC_BITS: u32 = 15;
+
+/// A positive real factor `r` encoded as `mult / 2^shift`, applied to
+/// `i32` accumulators with rounding and a single saturating cast.
+///
+/// `mult` is normalized into `[2^22, 2^23)` whenever `shift > 0`
+/// allows it, giving ~7 significant decimal digits — far below the
+/// error introduced by 8-bit weights themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rescale {
+    /// Fixed-point multiplier, `0 <= mult <= i32::MAX`.
+    pub mult: i32,
+    /// Right shift applied after the widening multiply, `<= 62`.
+    pub shift: u32,
+}
+
+impl Rescale {
+    /// Encodes a nonnegative finite real factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::Malformed`] for negative or non-finite
+    /// input and [`QuantError::Overflow`]-shaped messages (via
+    /// `Malformed`) when `r` exceeds what a 31-bit multiplier with
+    /// zero shift can express (`r > i32::MAX`).
+    pub fn from_real(r: f64) -> Result<Self, QuantError> {
+        if !r.is_finite() || r < 0.0 {
+            return Err(QuantError::Malformed(format!("rescale factor {r} must be finite and >= 0")));
+        }
+        if r == 0.0 {
+            return Ok(Rescale { mult: 0, shift: 0 });
+        }
+        // Find the shift that lands round(r * 2^shift) in [2^22, 2^23).
+        let mut shift: i64 = 22 - r.log2().ceil() as i64;
+        shift = shift.clamp(0, 62);
+        let mut mult = (r * (1u64 << shift) as f64).round();
+        // log2 rounding can leave us one octave off; renormalize.
+        while mult >= (1 << 23) as f64 && shift > 0 {
+            shift -= 1;
+            mult = (r * (1u64 << shift) as f64).round();
+        }
+        while mult < (1 << 22) as f64 && shift < 62 {
+            shift += 1;
+            mult = (r * (1u64 << shift) as f64).round();
+        }
+        if mult > i32::MAX as f64 {
+            return Err(QuantError::Malformed(format!(
+                "rescale factor {r} exceeds the i32 multiplier range"
+            )));
+        }
+        Ok(Rescale { mult: mult as i32, shift: shift as u32 })
+    }
+
+    /// Applies the factor: `sat_i32(round(acc * mult / 2^shift))`.
+    ///
+    /// The widening product of two `i32`s plus the rounding term fits
+    /// `i64` exactly, so the only lossy operation is the final
+    /// saturating narrow.
+    pub fn apply(&self, acc: i32) -> i32 {
+        let wide = acc as i64 * self.mult as i64;
+        let rounded = if self.shift == 0 {
+            wide
+        } else {
+            // Round half away from zero so +x and -x rescale to
+            // mirrored values; plain `+ half` would bias negatives
+            // toward +inf by one ulp.
+            let half = 1i64 << (self.shift - 1);
+            if wide >= 0 { (wide + half) >> self.shift } else { -((-wide + half) >> self.shift) }
+        };
+        saturate_i32(rounded)
+    }
+
+    /// The real factor this encodes (for diagnostics and tests).
+    pub fn real(&self) -> f64 {
+        self.mult as f64 / (1u64 << self.shift) as f64
+    }
+
+    /// Validation for untrusted artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `mult` is negative or `shift > 62`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mult < 0 {
+            return Err(format!("negative rescale multiplier {}", self.mult));
+        }
+        if self.shift > 62 {
+            return Err(format!("rescale shift {} exceeds 62", self.shift));
+        }
+        Ok(())
+    }
+}
+
+/// LIF parameters in fixed point: membrane potential and threshold in
+/// Q`frac_bits`, leak as a Q15 multiply + shift.
+///
+/// The step mirrors [`snn_core::neuron::lif_step`] exactly in
+/// structure:
+///
+/// * `Subtract`: `u = leak(u_prev) + I - s_prev * theta_q`
+/// * `Zero`:     `u = (s_prev ? 0 : leak(u_prev)) + I`
+/// * spike iff `u > theta_q`
+///
+/// with `leak(m) = round(m * beta_mult / 2^beta_shift)` and every sum
+/// taken in `i64` before one saturating narrow to `i32`. All
+/// operations are elementwise integer arithmetic — no ordering or
+/// thread-count sensitivity exists.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FixedLif {
+    /// Fractional bits of the membrane potential and threshold
+    /// (Q-format `Q(31-frac_bits).frac_bits`).
+    pub frac_bits: u32,
+    /// Leak multiplier, `round(beta * 2^beta_shift)`.
+    pub beta_mult: i32,
+    /// Leak shift; always [`BETA_FRAC_BITS`] for artifacts written by
+    /// this crate, carried explicitly for forward compatibility.
+    pub beta_shift: u32,
+    /// Threshold in Q`frac_bits`.
+    pub theta_q: i32,
+    /// Reset semantics, shared with the f32 configuration.
+    pub reset: ResetMode,
+}
+
+impl FixedLif {
+    /// Converts a validated f32 LIF configuration at a chosen
+    /// Q-format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::Malformed`] if the configuration fails
+    /// its own validation, or if `theta` does not fit Q`frac_bits`.
+    pub fn from_config(cfg: &LifConfig, frac_bits: u32) -> Result<Self, QuantError> {
+        cfg.validate().map_err(QuantError::Malformed)?;
+        if frac_bits > 30 {
+            return Err(QuantError::Malformed(format!("frac_bits {frac_bits} exceeds 30")));
+        }
+        let theta_q = (cfg.theta as f64 * (1u64 << frac_bits) as f64).round();
+        if theta_q > i32::MAX as f64 || theta_q < 1.0 {
+            return Err(QuantError::Malformed(format!(
+                "theta {} does not fit Q{frac_bits}",
+                cfg.theta
+            )));
+        }
+        Ok(FixedLif {
+            frac_bits,
+            beta_mult: (cfg.beta as f64 * (1u64 << BETA_FRAC_BITS) as f64).round() as i32,
+            beta_shift: BETA_FRAC_BITS,
+            theta_q: theta_q as i32,
+            reset: cfg.reset,
+        })
+    }
+
+    /// The leak `round(m * beta / 1)` in pure integer arithmetic.
+    ///
+    /// Rounds half away from zero (matching [`Rescale::apply`]) so
+    /// decay is symmetric around zero.
+    pub fn leak(&self, m: i32) -> i32 {
+        let wide = m as i64 * self.beta_mult as i64;
+        let r = if self.beta_shift == 0 {
+            wide
+        } else {
+            let half = 1i64 << (self.beta_shift - 1);
+            if wide >= 0 { (wide + half) >> self.beta_shift } else { -((-wide + half) >> self.beta_shift) }
+        };
+        saturate_i32(r)
+    }
+
+    /// One membrane update: previous potential, previous output
+    /// spike, and the Q`frac_bits` input current (already including
+    /// any bias). Returns `(new_potential, spike)`.
+    pub fn step(&self, m_prev: i32, spiked_prev: bool, current_q: i64) -> (i32, bool) {
+        let decayed = match self.reset {
+            ResetMode::Subtract => {
+                let reset = if spiked_prev { self.theta_q as i64 } else { 0 };
+                self.leak(m_prev) as i64 + current_q - reset
+            }
+            ResetMode::Zero => {
+                let kept = if spiked_prev { 0 } else { self.leak(m_prev) as i64 };
+                kept + current_q
+            }
+        };
+        let u = saturate_i32(decayed);
+        (u, u > self.theta_q)
+    }
+
+    /// Validation for untrusted artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for out-of-range fields: `frac_bits > 30`,
+    /// `beta_shift > 30`, a leak multiplier outside `[0, 2^beta_shift]`
+    /// (beta must stay in `[0, 1]`), or a non-positive threshold.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.frac_bits > 30 {
+            return Err(format!("frac_bits {} exceeds 30", self.frac_bits));
+        }
+        if self.beta_shift > 30 {
+            return Err(format!("beta_shift {} exceeds 30", self.beta_shift));
+        }
+        if self.beta_mult < 0 || self.beta_mult as i64 > 1i64 << self.beta_shift {
+            return Err(format!(
+                "beta multiplier {} outside [0, 2^{}]",
+                self.beta_mult, self.beta_shift
+            ));
+        }
+        if self.theta_q <= 0 {
+            return Err(format!("threshold {} must be positive", self.theta_q));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rescale_encodes_and_applies() {
+        for &r in &[1.0, 0.5, 3.25, 1e-6, 0.001953125, 123456.0] {
+            let rs = Rescale::from_real(r).unwrap();
+            rs.validate().unwrap();
+            let rel = (rs.real() - r).abs() / r;
+            assert!(rel < 1e-6, "factor {r}: encoded {} off by {rel}", rs.real());
+            let got = rs.apply(1000);
+            let want = (1000.0 * r).round();
+            assert!(
+                (got as f64 - want).abs() <= 1.0,
+                "apply(1000) * {r}: {got} vs {want}"
+            );
+            // Symmetric rounding: negating the accumulator negates
+            // the result.
+            assert_eq!(rs.apply(-1000), -got);
+        }
+        assert_eq!(Rescale::from_real(0.0).unwrap().apply(12345), 0);
+        assert!(Rescale::from_real(f64::NAN).is_err());
+        assert!(Rescale::from_real(-1.0).is_err());
+        assert!(Rescale::from_real(3e9).is_err(), "beyond i32 multiplier range");
+    }
+
+    #[test]
+    fn rescale_saturates_near_overflow() {
+        let rs = Rescale::from_real(1024.0).unwrap();
+        assert_eq!(rs.apply(i32::MAX), i32::MAX, "large positive saturates, not wraps");
+        assert_eq!(rs.apply(i32::MIN), i32::MIN, "large negative saturates, not wraps");
+    }
+
+    #[test]
+    fn fixed_step_matches_f32_reference_one_step() {
+        let cfg = LifConfig::paper_default();
+        let f = 16u32;
+        let fx = FixedLif::from_config(&cfg, f).unwrap();
+        fx.validate().unwrap();
+        let scale = (1u64 << f) as f32;
+        let u0 = 0.8f32;
+        let current = 0.6f32;
+        let (uq, sq) = fx.step((u0 * scale).round() as i32, false, (current * scale).round() as i64);
+        let uf = cfg.beta * u0 + current;
+        assert!((uq as f32 / scale - uf).abs() < 1e-3);
+        assert_eq!(sq, uf > cfg.theta);
+        // Subtract reset after a spike.
+        let (uq2, _) = fx.step(uq, true, (current * scale).round() as i64);
+        let uf2 = cfg.beta * uf + current - cfg.theta;
+        assert!((uq2 as f32 / scale - uf2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_reset_zeroes_membrane() {
+        let cfg = LifConfig { reset: ResetMode::Zero, ..LifConfig::paper_default() };
+        let fx = FixedLif::from_config(&cfg, 16).unwrap();
+        let (u, _) = fx.step(1 << 20, true, 0);
+        assert_eq!(u, 0, "hard reset discards the leaked membrane entirely");
+    }
+}

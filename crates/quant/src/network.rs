@@ -1,0 +1,488 @@
+//! The integer-only inference runtime for quantized artifacts.
+//!
+//! [`QuantNetwork`] executes a validated [`QuantizedSnapshot`]:
+//! activations are `u8` (level-coded input on the first layer, binary
+//! spikes after), weights `i8`, accumulators `i32`, membranes
+//! Q-format `i32`. The input is quantized **once per request**; after
+//! that the hot loop performs no f32 arithmetic at all — the multiply
+//! path is integer end-to-end, so there is no silent f32 fallback to
+//! mask quantization error or break cross-platform determinism.
+//!
+//! Every kernel in the loop is exact integer arithmetic with
+//! order-independent sums, so outputs are bit-identical across thread
+//! counts and across the dense/event convolution routes.
+
+use snn_tensor::conv::Conv2dGeometry;
+use snn_tensor::par;
+use snn_tensor::pool::Pool2dGeometry;
+use snn_tensor::qmat::{qconv2d_forward_routed, qlinear_into, transpose_i8, QConvScratch};
+
+use crate::error::QuantError;
+use crate::fixed::{FixedLif, Rescale};
+use crate::snapshot::{QuantStage, QuantizedSnapshot};
+
+/// Static description of one runtime stage (for engines that report
+/// per-layer firing statistics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageMeta {
+    /// Layer name from the artifact.
+    pub name: String,
+    /// Activation values per batch item at this stage's output.
+    pub item_len: usize,
+    /// Whether the stage emits spikes (conv/dense).
+    pub spiking: bool,
+}
+
+/// One executable stage: quantized parameters plus reusable batch
+/// state.
+enum RunStage {
+    Conv {
+        geom: Conv2dGeometry,
+        w: Vec<i8>,
+        wt: Vec<i8>,
+        bias_q: Vec<i32>,
+        rescale: Vec<Rescale>,
+        lif: FixedLif,
+        scratch: QConvScratch,
+        acc: Vec<i32>,
+        mem: Vec<i32>,
+    },
+    Dense {
+        wt: Vec<i8>,
+        in_len: usize,
+        out_n: usize,
+        bias_q: Vec<i32>,
+        rescale: Vec<Rescale>,
+        lif: FixedLif,
+        acc: Vec<i32>,
+        mem: Vec<i32>,
+    },
+    Pool {
+        geom: Pool2dGeometry,
+    },
+    Flatten,
+}
+
+/// An executable quantized network.
+///
+/// Owns all scratch and state buffers; like the f32 serve engine it
+/// is intended for single-owner use (one engine per worker), not
+/// shared access.
+pub struct QuantNetwork {
+    input_item_dims: Vec<usize>,
+    classes: usize,
+    input_max: f32,
+    input_levels: i32,
+    bits: u32,
+    stages: Vec<RunStage>,
+    meta: Vec<StageMeta>,
+    /// Per-stage output activations, `[n, item_len]` each; kept
+    /// outside [`RunStage`] so stage `i` can read stage `i-1`'s
+    /// output while writing its own. The previous timestep's content
+    /// doubles as the LIF reset's "previous spikes".
+    outs: Vec<Vec<u8>>,
+    qinput: Vec<u8>,
+}
+
+impl QuantNetwork {
+    /// Builds the runtime from a validated artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever [`QuantizedSnapshot::validate`] finds.
+    pub fn from_snapshot(snap: &QuantizedSnapshot) -> Result<Self, QuantError> {
+        snap.validate()?;
+        let mut stages = Vec::with_capacity(snap.stages.len());
+        let mut meta = Vec::with_capacity(snap.stages.len());
+        for stage in &snap.stages {
+            match stage {
+                QuantStage::Conv { name, geom, weight, bias_q, rescale, lif } => {
+                    let wt = transpose_i8(&weight.values, weight.channels, weight.per_channel);
+                    meta.push(StageMeta {
+                        name: name.clone(),
+                        item_len: geom.out_channels * geom.out_h() * geom.out_w(),
+                        spiking: true,
+                    });
+                    stages.push(RunStage::Conv {
+                        geom: *geom,
+                        w: weight.values.clone(),
+                        wt,
+                        bias_q: bias_q.clone(),
+                        rescale: rescale.clone(),
+                        lif: *lif,
+                        scratch: QConvScratch::new(),
+                        acc: Vec::new(),
+                        mem: Vec::new(),
+                    });
+                }
+                QuantStage::Dense { name, weight, bias_q, rescale, lif } => {
+                    let wt = transpose_i8(&weight.values, weight.channels, weight.per_channel);
+                    meta.push(StageMeta {
+                        name: name.clone(),
+                        item_len: weight.channels,
+                        spiking: true,
+                    });
+                    stages.push(RunStage::Dense {
+                        wt,
+                        in_len: weight.per_channel,
+                        out_n: weight.channels,
+                        bias_q: bias_q.clone(),
+                        rescale: rescale.clone(),
+                        lif: *lif,
+                        acc: Vec::new(),
+                        mem: Vec::new(),
+                    });
+                }
+                QuantStage::Pool { name, geom } => {
+                    meta.push(StageMeta {
+                        name: name.clone(),
+                        item_len: geom.channels * geom.out_h() * geom.out_w(),
+                        spiking: false,
+                    });
+                    stages.push(RunStage::Pool { geom: *geom });
+                }
+                QuantStage::Flatten { name, len } => {
+                    meta.push(StageMeta { name: name.clone(), item_len: *len, spiking: false });
+                    stages.push(RunStage::Flatten);
+                }
+            }
+        }
+        let outs = vec![Vec::new(); stages.len()];
+        Ok(QuantNetwork {
+            input_item_dims: snap.input_item_dims.clone(),
+            classes: snap.classes,
+            input_max: snap.input_max,
+            input_levels: snap.input_levels,
+            bits: snap.bits,
+            stages,
+            meta,
+            outs,
+            qinput: Vec::new(),
+        })
+    }
+
+    /// Flat input length per item.
+    pub fn input_len(&self) -> usize {
+        self.input_item_dims.iter().product()
+    }
+
+    /// Output class count.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Weight bit width of the underlying artifact.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Static stage descriptions, in execution order.
+    pub fn stage_meta(&self) -> &[StageMeta] {
+        &self.meta
+    }
+
+    /// Runs `items` for `timesteps` and returns per-item spike counts
+    /// `[n, classes]`, invoking `observer(stage_index, name,
+    /// activations, n)` after every stage of every timestep (the
+    /// activation slice is `[n, item_len]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::Calibration`]-style input errors for
+    /// wrong item lengths or non-finite values; inference itself
+    /// cannot fail.
+    pub fn infer_batch_observed(
+        &mut self,
+        items: &[Vec<f32>],
+        timesteps: usize,
+        mut observer: impl FnMut(usize, &str, &[u8], usize),
+    ) -> Result<Vec<u32>, QuantError> {
+        let n = items.len();
+        let item_len = self.input_len();
+        if timesteps == 0 {
+            return Err(QuantError::Calibration("zero timesteps".into()));
+        }
+        self.quantize_input(items, item_len)?;
+        // Reset batch state: membranes to zero, previous spikes (the
+        // stage output buffers) to zero.
+        for (stage, (out, meta)) in
+            self.stages.iter_mut().zip(self.outs.iter_mut().zip(self.meta.iter()))
+        {
+            out.clear();
+            out.resize(n * meta.item_len, 0);
+            match stage {
+                RunStage::Conv { mem, acc, .. } | RunStage::Dense { mem, acc, .. } => {
+                    mem.clear();
+                    mem.resize(n * meta.item_len, 0);
+                    acc.clear();
+                    acc.resize(n * meta.item_len, 0);
+                }
+                _ => {}
+            }
+        }
+        let mut counts = vec![0u32; n * self.classes];
+        let last = self.stages.len() - 1;
+        for _t in 0..timesteps {
+            for i in 0..self.stages.len() {
+                let (done, rest) = self.outs.split_at_mut(i);
+                let x: &[u8] = if i == 0 { &self.qinput } else { &done[i - 1] };
+                let out = &mut rest[0];
+                match &mut self.stages[i] {
+                    RunStage::Conv { geom, w, wt, bias_q, rescale, lif, scratch, acc, mem } => {
+                        qconv2d_forward_routed(geom, x, n, w, wt, acc, scratch);
+                        let plane = geom.out_h() * geom.out_w();
+                        lif_pass(acc, mem, out, bias_q, rescale, lif, plane);
+                    }
+                    RunStage::Dense { wt, in_len, out_n, bias_q, rescale, lif, acc, mem } => {
+                        qlinear_into(x, wt, acc, n, *in_len, *out_n);
+                        lif_pass(acc, mem, out, bias_q, rescale, lif, 1);
+                    }
+                    RunStage::Pool { geom } => pool_pass(geom, x, out, n),
+                    RunStage::Flatten => out.copy_from_slice(x),
+                }
+                observer(i, &self.meta[i].name, out, n);
+                if i == last {
+                    for (c, &s) in counts.iter_mut().zip(out.iter()) {
+                        *c += s as u32;
+                    }
+                }
+            }
+        }
+        Ok(counts)
+    }
+
+    /// [`QuantNetwork::infer_batch_observed`] without the observer.
+    ///
+    /// # Errors
+    ///
+    /// As [`QuantNetwork::infer_batch_observed`].
+    pub fn infer_batch(
+        &mut self,
+        items: &[Vec<f32>],
+        timesteps: usize,
+    ) -> Result<Vec<u32>, QuantError> {
+        self.infer_batch_observed(items, timesteps, |_, _, _, _| {})
+    }
+
+    /// Classification accuracy over a labeled set, batched
+    /// internally.
+    ///
+    /// # Errors
+    ///
+    /// Input errors as [`QuantNetwork::infer_batch_observed`], plus a
+    /// labels/items length mismatch.
+    pub fn evaluate_accuracy(
+        &mut self,
+        items: &[Vec<f32>],
+        labels: &[usize],
+        timesteps: usize,
+    ) -> Result<f64, QuantError> {
+        if items.len() != labels.len() {
+            return Err(QuantError::Calibration(format!(
+                "{} items but {} labels",
+                items.len(),
+                labels.len()
+            )));
+        }
+        if items.is_empty() {
+            return Err(QuantError::Calibration("empty evaluation set".into()));
+        }
+        let classes = self.classes;
+        let mut correct = 0usize;
+        for (chunk, lchunk) in items.chunks(32).zip(labels.chunks(32)) {
+            let counts = self.infer_batch(chunk, timesteps)?;
+            for (row, &label) in lchunk.iter().enumerate() {
+                if classify_counts(&counts[row * classes..(row + 1) * classes]) == label {
+                    correct += 1;
+                }
+            }
+        }
+        Ok(correct as f64 / items.len() as f64)
+    }
+
+    /// Quantizes the f32 input batch to `[0, input_levels]` u8 with
+    /// the calibrated step (values clamp into `[0, input_max]` — the
+    /// documented input saturation semantics).
+    fn quantize_input(&mut self, items: &[Vec<f32>], item_len: usize) -> Result<(), QuantError> {
+        self.qinput.clear();
+        self.qinput.reserve(items.len() * item_len);
+        let inv_step = self.input_levels as f32 / self.input_max;
+        for (i, item) in items.iter().enumerate() {
+            if item.len() != item_len {
+                return Err(QuantError::Calibration(format!(
+                    "item {i} has {} values, the network expects {item_len}",
+                    item.len()
+                )));
+            }
+            for &v in item {
+                if !v.is_finite() {
+                    return Err(QuantError::Calibration(format!(
+                        "item {i} contains non-finite value {v}"
+                    )));
+                }
+                let q = (v * inv_step).round();
+                self.qinput.push(q.clamp(0.0, self.input_levels as f32) as u8);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Argmax with lowest-index tie-breaking (matches the f32 engine's
+/// `Tensor::argmax_row` semantics).
+pub fn classify_counts(counts: &[u32]) -> usize {
+    let mut best = 0usize;
+    for (i, &c) in counts.iter().enumerate() {
+        if c > counts[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Rescale + bias + fixed-point LIF over one stage's accumulators.
+///
+/// Elementwise (each neuron touches only its own accumulator,
+/// membrane, and previous spike), so parallel chunking is bit-exact
+/// with the serial loop. `out` enters holding the previous timestep's
+/// spikes and leaves holding this timestep's.
+fn lif_pass(
+    acc: &[i32],
+    mem: &mut [i32],
+    out: &mut [u8],
+    bias_q: &[i32],
+    rescale: &[Rescale],
+    lif: &FixedLif,
+    plane: usize,
+) {
+    let item_len = bias_q.len() * plane;
+    par::for_each_block2(mem, 1, out, 1, par::min_granules_for(12), |i0, mblock, oblock| {
+        for (j, (m, s)) in mblock.iter_mut().zip(oblock.iter_mut()).enumerate() {
+            let idx = i0 + j;
+            let oc = (idx % item_len) / plane;
+            let current = rescale[oc].apply(acc[idx]) as i64 + bias_q[oc] as i64;
+            let (m_new, spike) = lif.step(*m, *s != 0, current);
+            *m = m_new;
+            *s = spike as u8;
+        }
+    });
+}
+
+/// Integer max pooling over `[n, C, H, W]` u8 activations: an OR for
+/// binary spikes, an exact max for level-coded values — identical to
+/// f32 max pooling in either case.
+fn pool_pass(g: &Pool2dGeometry, x: &[u8], out: &mut [u8], n: usize) {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let item_in = g.channels * g.in_h * g.in_w;
+    let item_out = g.channels * oh * ow;
+    for item in 0..n {
+        let xi = &x[item * item_in..(item + 1) * item_in];
+        let oi = &mut out[item * item_out..(item + 1) * item_out];
+        for c in 0..g.channels {
+            let chan = &xi[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = 0u8;
+                    for ky in 0..g.kernel {
+                        let iy = oy * g.stride + ky;
+                        for kx in 0..g.kernel {
+                            let v = chan[iy * g.in_w + ox * g.stride + kx];
+                            best = best.max(v);
+                        }
+                    }
+                    oi[(c * oh + oy) * ow + ox] = best;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::calibrate;
+    use crate::snapshot::quantize_snapshot;
+    use snn_core::{LifConfig, NetworkSnapshot, SpikingNetwork};
+    use snn_tensor::dispatch::with_event_density_threshold;
+
+    fn build() -> (QuantNetwork, Vec<Vec<f32>>) {
+        let net = SpikingNetwork::builder(snn_tensor::Shape::d3(1, 8, 8), 5)
+            .conv(3, 3, 1, 1, LifConfig::paper_default())
+            .unwrap()
+            .maxpool(2)
+            .unwrap()
+            .flatten()
+            .unwrap()
+            .dense(4, LifConfig::paper_default())
+            .unwrap()
+            .build()
+            .expect("network");
+        let snap = NetworkSnapshot::from_network(&net);
+        let items: Vec<Vec<f32>> = (0..6)
+            .map(|i| (0..64).map(|j| ((i * 64 + j) % 9) as f32 / 8.0).collect())
+            .collect();
+        let cal = calibrate(&snap, &items, 4).unwrap();
+        let q = quantize_snapshot(&snap, &cal, 8).unwrap();
+        (QuantNetwork::from_snapshot(&q).unwrap(), items)
+    }
+
+    #[test]
+    fn routes_agree_bitwise() {
+        let (mut net, items) = build();
+        let dense = with_event_density_threshold(-1.0, || {
+            net.infer_batch(&items, 4).unwrap()
+        });
+        let event = with_event_density_threshold(1.0, || {
+            net.infer_batch(&items, 4).unwrap()
+        });
+        assert_eq!(dense, event, "dense and event routes must be bit-identical");
+    }
+
+    #[test]
+    fn thread_counts_agree_bitwise() {
+        let (mut net, items) = build();
+        let one = par::with_num_threads(1, || net.infer_batch(&items, 4).unwrap());
+        let four = par::with_num_threads(4, || net.infer_batch(&items, 4).unwrap());
+        assert_eq!(one, four, "outputs must not depend on the worker count");
+    }
+
+    #[test]
+    fn batch_equals_serial() {
+        let (mut net, items) = build();
+        let batched = net.infer_batch(&items, 3).unwrap();
+        for (i, item) in items.iter().enumerate() {
+            let single = net.infer_batch(std::slice::from_ref(item), 3).unwrap();
+            assert_eq!(&batched[i * 4..(i + 1) * 4], &single[..], "item {i}");
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_stage_and_spikes_stay_binary() {
+        let (mut net, items) = build();
+        let mut seen = Vec::new();
+        net.infer_batch_observed(&items[..2], 2, |i, name, acts, n| {
+            seen.push((i, name.to_string()));
+            assert_eq!(acts.len() % n, 0);
+            assert!(acts.iter().all(|&v| v <= 1), "post-conv activations must be binary spikes");
+        })
+        .unwrap();
+        assert_eq!(seen.len(), 2 * net.stage_meta().len());
+    }
+
+    #[test]
+    fn input_errors_are_typed() {
+        let (mut net, _) = build();
+        let short = vec![vec![0.0f32; 3]];
+        assert!(matches!(net.infer_batch(&short, 2), Err(QuantError::Calibration(_))));
+        let nan = vec![vec![f32::NAN; 64]];
+        assert!(matches!(net.infer_batch(&nan, 2), Err(QuantError::Calibration(_))));
+        let ok = vec![vec![0.4f32; 64]];
+        assert!(matches!(net.infer_batch(&ok, 0), Err(QuantError::Calibration(_))));
+    }
+
+    #[test]
+    fn classify_ties_break_low() {
+        assert_eq!(classify_counts(&[3, 5, 5, 1]), 1);
+        assert_eq!(classify_counts(&[0, 0, 0]), 0);
+    }
+}

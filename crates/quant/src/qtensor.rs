@@ -1,0 +1,265 @@
+//! Per-output-channel symmetric integer tensors.
+//!
+//! Weights quantize to `i8` with one positive scale per output
+//! channel; values are clamped to `[-QMAX, +QMAX]` (never
+//! `i8::MIN`), so negation and absolute value can never overflow and
+//! the representable range is symmetric — the i8::MIN asymmetry is
+//! excluded by construction, not by runtime checks. Zero points are
+//! carried explicitly in the artifact (all zero under the symmetric
+//! scheme) so the format does not need to change if an asymmetric
+//! activation scheme is added later.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::QuantError;
+
+/// Largest magnitude a quantized weight may take. `i8` spans
+/// `[-128, 127]`; restricting to `±127` keeps the code symmetric.
+pub const QMAX_I8: i32 = 127;
+
+/// Saturating cast to the symmetric i8 range `[-127, 127]`.
+///
+/// Deliberately never produces `i8::MIN`: the quantized datapath
+/// assumes `-q` is always representable.
+pub fn saturate_i8(v: i32) -> i8 {
+    v.clamp(-QMAX_I8, QMAX_I8) as i8
+}
+
+/// Saturating cast from a 64-bit intermediate to `i32`.
+///
+/// This is the *only* place wide accumulator values narrow: products
+/// and sums are computed exactly (or with defined wrapping) in wide
+/// integers, and saturation happens once, at the final cast.
+pub fn saturate_i32(v: i64) -> i32 {
+    v.clamp(i32::MIN as i64, i32::MAX as i64) as i32
+}
+
+/// An integer tensor with per-output-channel quantization parameters.
+///
+/// Layout is row-major `[channels, per_channel]`: channel `c` owns
+/// `values[c*per_channel .. (c+1)*per_channel]`, quantized as
+/// `real ≈ values[i] as f32 * scales[c]` (symmetric scheme, so
+/// `zero_points[c] == 0` for every channel today).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedTensor {
+    /// Number of output channels (rows); one scale per channel.
+    pub channels: usize,
+    /// Values per channel (row length).
+    pub per_channel: usize,
+    /// Quantized values, `channels * per_channel` of them, each in
+    /// `[-127, 127]`.
+    pub values: Vec<i8>,
+    /// Positive, finite scale per channel.
+    pub scales: Vec<f32>,
+    /// Zero point per channel; always 0 under the symmetric scheme,
+    /// stored explicitly so readers can reject asymmetric artifacts
+    /// from a future writer instead of mis-decoding them.
+    pub zero_points: Vec<i8>,
+}
+
+impl QuantizedTensor {
+    /// Quantizes an f32 matrix `[channels, per_channel]` with one
+    /// symmetric scale per channel.
+    ///
+    /// `bits` selects the effective weight range
+    /// `±(2^(bits-1) - 1)`; values are still *stored* as `i8`, so
+    /// `bits` may be at most 8. An all-zero channel gets scale 1.0
+    /// (any positive scale represents it exactly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::Unsupported`] for `bits` outside
+    /// `2..=8`, [`QuantError::Stage`]-shaped messages via
+    /// [`QuantError::Structure`] for length mismatches, and
+    /// [`QuantError::Structure`] for non-finite inputs.
+    pub fn quantize(
+        values: &[f32],
+        channels: usize,
+        per_channel: usize,
+        bits: u32,
+    ) -> Result<Self, QuantError> {
+        let qmax = weight_qmax(bits)?;
+        if values.len() != channels * per_channel {
+            return Err(QuantError::Structure(format!(
+                "quantize: {} values cannot form [{channels}, {per_channel}]",
+                values.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(values.len());
+        let mut scales = Vec::with_capacity(channels);
+        for c in 0..channels {
+            let row = &values[c * per_channel..(c + 1) * per_channel];
+            let mut max_abs = 0f32;
+            for &v in row {
+                if !v.is_finite() {
+                    return Err(QuantError::Structure(format!(
+                        "quantize: non-finite weight {v} in channel {c}"
+                    )));
+                }
+                max_abs = max_abs.max(v.abs());
+            }
+            let scale = if max_abs > 0.0 { max_abs / qmax as f32 } else { 1.0 };
+            for &v in row {
+                // Round-to-nearest then saturate; the clamp also
+                // covers rounding edge cases like max_abs/scale
+                // landing on qmax + 0.5.
+                let q = (v / scale).round() as i32;
+                out.push(q.clamp(-qmax, qmax) as i8);
+            }
+            scales.push(scale);
+        }
+        Ok(QuantizedTensor {
+            channels,
+            per_channel,
+            values: out,
+            scales,
+            zero_points: vec![0i8; channels],
+        })
+    }
+
+    /// Reconstructs the f32 values (`values[i] * scales[c]`).
+    pub fn dequantize(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.values.len());
+        for c in 0..self.channels {
+            let s = self.scales[c];
+            for &q in self.channel(c) {
+                out.push(q as f32 * s);
+            }
+        }
+        out
+    }
+
+    /// The quantized row for output channel `c`.
+    pub fn channel(&self, c: usize) -> &[i8] {
+        &self.values[c * self.per_channel..(c + 1) * self.per_channel]
+    }
+
+    /// Structural validation for untrusted (deserialized) tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the defect: length mismatches,
+    /// non-positive/non-finite scales, values outside `±127`, or a
+    /// nonzero zero point (asymmetric artifacts are not supported).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0 || self.per_channel == 0 {
+            return Err(format!(
+                "empty quantized tensor [{}, {}]",
+                self.channels, self.per_channel
+            ));
+        }
+        let expect = self
+            .channels
+            .checked_mul(self.per_channel)
+            .ok_or_else(|| "tensor size overflows usize".to_string())?;
+        if self.values.len() != expect {
+            return Err(format!("{} values for [{}, {}]", self.values.len(), self.channels, self.per_channel));
+        }
+        if self.scales.len() != self.channels {
+            return Err(format!("{} scales for {} channels", self.scales.len(), self.channels));
+        }
+        if self.zero_points.len() != self.channels {
+            return Err(format!(
+                "{} zero points for {} channels",
+                self.zero_points.len(),
+                self.channels
+            ));
+        }
+        for (c, &s) in self.scales.iter().enumerate() {
+            if !s.is_finite() || s <= 0.0 {
+                return Err(format!("channel {c} scale {s} is not a positive finite number"));
+            }
+        }
+        if let Some(&z) = self.zero_points.iter().find(|&&z| z != 0) {
+            return Err(format!("nonzero zero point {z}: only symmetric artifacts are supported"));
+        }
+        if self.values.iter().any(|&q| (q as i32).abs() > QMAX_I8) {
+            return Err("quantized value outside the symmetric range [-127, 127]".into());
+        }
+        Ok(())
+    }
+}
+
+/// The largest quantized magnitude for a weight bit width.
+///
+/// # Errors
+///
+/// Returns [`QuantError::Unsupported`] outside `2..=8` (1-bit has no
+/// nonzero symmetric range; more than 8 does not fit the `i8`
+/// container).
+pub fn weight_qmax(bits: u32) -> Result<i32, QuantError> {
+    if !(2..=8).contains(&bits) {
+        return Err(QuantError::Unsupported(format!(
+            "bit width {bits} outside the supported range 2..=8"
+        )));
+    }
+    Ok((1i32 << (bits - 1)) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturating_casts_are_symmetric() {
+        assert_eq!(saturate_i8(i32::MIN), -127);
+        assert_eq!(saturate_i8(i32::MAX), 127);
+        assert_eq!(saturate_i8(-128), -127, "i8::MIN is never produced");
+        assert_eq!(saturate_i8(-127), -127);
+        assert_eq!(saturate_i8(42), 42);
+        assert_eq!(saturate_i32(i64::MIN), i32::MIN);
+        assert_eq!(saturate_i32(i64::MAX), i32::MAX);
+        assert_eq!(saturate_i32(-5), -5);
+    }
+
+    #[test]
+    fn quantize_roundtrip_bound() {
+        let vals: Vec<f32> = (0..12).map(|i| (i as f32 - 6.0) * 0.37).collect();
+        let q = QuantizedTensor::quantize(&vals, 3, 4, 8).unwrap();
+        q.validate().unwrap();
+        let back = q.dequantize();
+        for c in 0..3 {
+            let half_step = q.scales[c] * 0.5;
+            for j in 0..4 {
+                let i = c * 4 + j;
+                assert!(
+                    (vals[i] - back[i]).abs() <= half_step + 1e-6,
+                    "channel {c}: {} vs {} exceeds half a step {half_step}",
+                    vals[i],
+                    back[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_channel_gets_unit_scale() {
+        let q = QuantizedTensor::quantize(&[0.0; 8], 2, 4, 8).unwrap();
+        assert_eq!(q.scales, vec![1.0, 1.0]);
+        assert!(q.values.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn bits_gate_is_typed() {
+        assert!(matches!(weight_qmax(1), Err(QuantError::Unsupported(_))));
+        assert!(matches!(weight_qmax(9), Err(QuantError::Unsupported(_))));
+        assert_eq!(weight_qmax(8).unwrap(), 127);
+        assert_eq!(weight_qmax(4).unwrap(), 7);
+        let vals = [1.0f32, -1.0, 0.5, 0.25];
+        let q4 = QuantizedTensor::quantize(&vals, 1, 4, 4).unwrap();
+        assert!(q4.values.iter().all(|&v| (v as i32).abs() <= 7));
+    }
+
+    #[test]
+    fn validate_rejects_asymmetric_and_mismatched() {
+        let mut q = QuantizedTensor::quantize(&[1.0, -2.0], 1, 2, 8).unwrap();
+        q.zero_points[0] = 3;
+        assert!(q.validate().unwrap_err().contains("zero point"));
+        let mut q = QuantizedTensor::quantize(&[1.0, -2.0], 1, 2, 8).unwrap();
+        q.scales[0] = f32::NAN;
+        assert!(q.validate().is_err());
+        let mut q = QuantizedTensor::quantize(&[1.0, -2.0], 1, 2, 8).unwrap();
+        q.values.pop();
+        assert!(q.validate().is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Property suite for the quantization numeric core.
+//!
+//! Pins the three contracts DESIGN.md §13 states:
+//!
+//! 1. **Round trip** — per-channel quantize→dequantize error is
+//!    bounded by half a quantization step per value.
+//! 2. **Saturation** — casts clamp (never wrap, never produce
+//!    `i8::MIN`), including i32 accumulators near overflow.
+//! 3. **Fixed-point LIF** — the integer membrane trajectory tracks
+//!    the f32 reference within a stated, derived tolerance, and the
+//!    full quantized forward is bit-identical across thread counts
+//!    and dispatch routes.
+
+use proptest::prelude::*;
+
+use snn_core::{LifConfig, NetworkSnapshot, ResetMode, SpikingNetwork};
+use snn_quant::{
+    calibrate, quantize_snapshot, saturate_i8, FixedLif, QuantNetwork, QuantizedTensor, Rescale,
+};
+use snn_tensor::dispatch::with_event_density_threshold;
+use snn_tensor::{par, Shape};
+
+fn lcg(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *seed >> 33
+}
+
+fn values(len: usize, seed: u64, scale: f32) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+    (0..len)
+        .map(|_| ((lcg(&mut s) as f32 / u32::MAX as f32) - 0.5) * 2.0 * scale)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Quantize→dequantize reconstructs every value within half a
+    /// step of that value's channel scale.
+    #[test]
+    fn roundtrip_error_bounded_by_half_step(
+        channels in 1usize..6, per in 1usize..40,
+        seed in 0u64..1000, scale in 1u32..500, bits in 2u32..9,
+    ) {
+        let scale = scale as f32 / 100.0;
+        let vals = values(channels * per, seed, scale);
+        let q = QuantizedTensor::quantize(&vals, channels, per, bits).unwrap();
+        prop_assert!(q.validate().is_ok());
+        let back = q.dequantize();
+        for c in 0..channels {
+            let bound = q.scales[c] * 0.5 + 1e-6;
+            for j in 0..per {
+                let i = c * per + j;
+                prop_assert!(
+                    (vals[i] - back[i]).abs() <= bound,
+                    "channel {} value {}: {} vs {} exceeds half-step {}",
+                    c, j, vals[i], back[i], bound
+                );
+            }
+        }
+    }
+
+    /// `saturate_i8` clamps symmetrically: the full i32 domain maps
+    /// into `[-127, 127]` and `i8::MIN` is unreachable.
+    #[test]
+    fn i8_saturation_excludes_min(v in any::<i32>()) {
+        let s = saturate_i8(v) as i32;
+        prop_assert!((-127..=127).contains(&s));
+        prop_assert!(s != i8::MIN as i32 || s == -127);
+        if (-127..=127).contains(&v) {
+            prop_assert_eq!(s, v, "in-range values pass through");
+        }
+    }
+
+    /// `Rescale::apply` equals the exact real computation, saturated
+    /// — including accumulators at the i32 extremes.
+    #[test]
+    fn rescale_matches_real_arithmetic(
+        acc in any::<i32>(), mult_scale in 1u32..2_000_000, shift_down in 0u32..20,
+    ) {
+        let r = mult_scale as f64 / (1u64 << shift_down) as f64;
+        let rs = Rescale::from_real(r).unwrap();
+        let got = rs.apply(acc) as f64;
+        // Exact value under the *encoded* factor (mult/2^shift), which
+        // is within 2^-22 relative of r.
+        let exact = acc as f64 * rs.real();
+        let clamped = exact.clamp(i32::MIN as f64, i32::MAX as f64);
+        prop_assert!(
+            (got - clamped).abs() <= 1.0,
+            "acc {} * {} -> {} vs {}",
+            acc, r, got, clamped
+        );
+    }
+
+    /// Pure fixed-point decay tracks the f32 membrane within the
+    /// stated bound: per step the Q15 beta encoding contributes at
+    /// most `|u|·2^-16` and the Q`F` shift at most one ulp (`2^-F`),
+    /// so `N` steps stay within `N·(|u0|·2^-15 + 2·2^-F)`.
+    #[test]
+    fn fixed_beta_decay_tracks_f32(
+        beta_pct in 0u32..=100, u0_mil in -8000i32..8000, steps in 1usize..33,
+    ) {
+        let beta = beta_pct as f32 / 100.0;
+        let u0 = u0_mil as f32 / 1000.0;
+        let cfg = LifConfig { beta, ..LifConfig::paper_default() };
+        const F: u32 = 16;
+        let fx = FixedLif::from_config(&cfg, F).unwrap();
+        let q_one = (1u64 << F) as f32;
+        let mut uq = (u0 * q_one).round() as i32;
+        let mut uf = u0;
+        let tol_per_step = u0.abs() * (2f32).powi(-15) + 2.0 * (2f32).powi(-(F as i32));
+        for step in 1..=steps {
+            // No input, no spikes: pure leak through both paths.
+            let (next, _) = fx.step(uq, false, 0);
+            uq = next;
+            uf *= beta;
+            let got = uq as f32 / q_one;
+            let tol = step as f32 * tol_per_step + 1.0 / q_one;
+            prop_assert!(
+                (got - uf).abs() <= tol,
+                "step {}: fixed {} vs f32 {} exceeds tolerance {}",
+                step, got, uf, tol
+            );
+        }
+    }
+}
+
+proptest! {
+    // End-to-end cases are heavier; fewer, bigger.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The whole quantized forward — input quantization, conv, pool,
+    /// LIF, dense — is bit-identical across {1, 4} threads × {dense,
+    /// event} routes, for random topologies, seeds, and reset modes.
+    #[test]
+    fn quantized_forward_bit_identical_across_threads_and_routes(
+        filters in 2usize..5, classes in 2usize..6, seed in 0u64..200,
+        timesteps in 1usize..5, zero_reset in any::<bool>(),
+    ) {
+        let lif = LifConfig {
+            reset: if zero_reset { ResetMode::Zero } else { ResetMode::Subtract },
+            ..LifConfig::paper_default()
+        };
+        let net = SpikingNetwork::builder(Shape::d3(1, 8, 8), seed)
+            .conv(filters, 3, 1, 1, lif).unwrap()
+            .maxpool(2).unwrap()
+            .flatten().unwrap()
+            .dense(classes, lif).unwrap()
+            .build().unwrap();
+        let snap = NetworkSnapshot::from_network(&net);
+        let items: Vec<Vec<f32>> = (0..5)
+            .map(|i| values(64, seed ^ (i as u64) << 8, 1.0).iter().map(|v| v.abs()).collect())
+            .collect();
+        let cal = calibrate(&snap, &items, timesteps).unwrap();
+        let q = quantize_snapshot(&snap, &cal, 8).unwrap();
+        let mut runtime = QuantNetwork::from_snapshot(&q).unwrap();
+        let mut outputs = Vec::new();
+        for &threads in &[1usize, 4] {
+            for &thr in &[-1.0f32, 1.0] {
+                let counts = with_event_density_threshold(thr, || {
+                    par::with_num_threads(threads, || {
+                        runtime.infer_batch(&items, timesteps).unwrap()
+                    })
+                });
+                outputs.push(counts);
+            }
+        }
+        for other in &outputs[1..] {
+            prop_assert_eq!(&outputs[0], other,
+                "thread/route combination changed the quantized output");
+        }
+    }
+}

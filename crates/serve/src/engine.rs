@@ -55,6 +55,10 @@ pub struct RequestOutput {
     /// density the event-driven conv dispatcher routes on, reported
     /// per request so clients can see how sparse their traffic is.
     pub input_density: f64,
+    /// Which numeric engine served the request: `"f32"` or `"int8"`.
+    /// An owned `String` (not `&'static str`) because the vendored
+    /// serde leaks static strings on serialize.
+    pub engine: String,
 }
 
 /// Static per-layer bookkeeping captured once at engine build.
@@ -206,6 +210,7 @@ impl InferenceEngine {
                     layers,
                     mean_rate: if total_ns > 0.0 { total_s / total_ns } else { 0.0 },
                     input_density: densities[i],
+                    engine: "f32".into(),
                 }
             })
             .collect()
@@ -260,6 +265,7 @@ mod tests {
         assert_eq!(e.input_len(), 64);
         assert_eq!(e.classes(), 4);
         let out = e.infer_one(input(1));
+        assert_eq!(out.engine, "f32");
         assert!(out.class < 4);
         assert_eq!(out.counts.len(), 4);
         assert_eq!(out.timesteps, 4);

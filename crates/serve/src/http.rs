@@ -35,8 +35,8 @@ use serde::{Serialize, Value};
 use crate::breaker::CircuitState;
 use crate::metrics::Metrics;
 use crate::queue::{Batcher, BatcherConfig, Rejection};
-use crate::registry::{ModelRegistry, SwapError};
-use snn_core::{NetworkSnapshot, SnapshotError};
+use crate::registry::{ModelRegistry, ServedModel, SwapError};
+use snn_core::SnapshotError;
 
 /// Largest accepted request head (request line + headers).
 const MAX_HEAD: usize = 16 * 1024;
@@ -380,6 +380,7 @@ fn route(req: &Request, shared: &ServerShared) -> (u16, String) {
                 ("circuit".into(), Value::String(circuit_name.into())),
                 ("model".into(), Value::String(info.name)),
                 ("version".into(), Value::Number(info.version as f64)),
+                ("dtype".into(), Value::String(info.dtype)),
             ]);
             (200, render(&body))
         }
@@ -492,7 +493,11 @@ fn parse_infer_body(
                     let Value::Number(n) = item else {
                         return Err("`input` must be an array of numbers".into());
                     };
-                    xs.push(n as f32);
+                    let v = n as f32;
+                    if !v.is_finite() {
+                        return Err("`input` values must be finite".into());
+                    }
+                    xs.push(v);
                 }
                 input = Some(xs);
             }
@@ -523,17 +528,21 @@ fn handle_reload(req: &Request, shared: &ServerShared) -> (u16, String) {
         shared.metrics.bad_requests.inc();
         return (400, error_body(&msg));
     }
+    // `ServedModel::from_json` sniffs the artifact flavor: f32
+    // snapshots (`layers`) and quantized artifacts (`format`/`stages`)
+    // both reload through the same endpoint; the batch worker rebuilds
+    // the matching engine at the next batch boundary.
     let parsed = std::str::from_utf8(&req.body)
         .map_err(|_| SnapshotError::Malformed("body is not UTF-8".into()))
-        .and_then(NetworkSnapshot::from_json);
-    let snapshot = match parsed {
+        .and_then(ServedModel::from_json);
+    let model = match parsed {
         Ok(s) => s,
         Err(e) => {
             shared.metrics.bad_requests.inc();
             return (400, error_body(&format!("rejected snapshot: {e}")));
         }
     };
-    match shared.registry.swap(snapshot, "reload") {
+    match shared.registry.swap(model, "reload") {
         Ok(receipt) => {
             // Structured swap receipt: what was replaced (captured
             // inside the swap's critical section, so racing reloads
@@ -545,6 +554,7 @@ fn handle_reload(req: &Request, shared: &ServerShared) -> (u16, String) {
                 ("ok".into(), Value::Bool(true)),
                 ("old_version".into(), Value::Number(receipt.replaced as f64)),
                 ("new_version".into(), Value::Number(info.version as f64)),
+                ("dtype".into(), Value::String(info.dtype.clone())),
                 ("model_hash".into(), Value::String(info.hash.clone())),
                 (
                     "model".into(),
@@ -613,7 +623,7 @@ fn write_response(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snn_core::{LifConfig, SpikingNetwork};
+    use snn_core::{LifConfig, NetworkSnapshot, SpikingNetwork};
     use snn_tensor::Shape;
 
     fn snapshot(seed: u64) -> NetworkSnapshot {
@@ -708,6 +718,7 @@ mod tests {
             ("[1,2,3]", "must be a JSON object"),
             ("{\"input\":\"nope\"}", "array of numbers"),
             ("{\"input\":[1,2,3]}", "expected 64 values"),
+            ("{\"input\":[1e999]}", "must be finite"),
             ("{}", "missing required field"),
         ];
         for (body, expect) in cases {
@@ -900,6 +911,69 @@ mod tests {
         // /healthz reflects the surviving version-2 model.
         let (_, health) = request(server.addr(), "GET", "/healthz", "");
         assert!(health.contains("\"version\":2"), "health: {health}");
+    }
+
+    #[test]
+    fn reload_with_quantized_artifact_serves_int8_end_to_end() {
+        let server = start_server();
+        let input: Vec<String> = (0..64).map(|i| format!("{}", (i % 7) as f32 / 7.0)).collect();
+        let infer_body = format!("{{\"input\":[{}]}}", input.join(","));
+        let (status, reply) = request(server.addr(), "POST", "/infer", &infer_body);
+        assert_eq!(status, 200, "reply: {reply}");
+        assert!(reply.contains("\"engine\":\"f32\""), "reply: {reply}");
+
+        // Quantize the served model and promote it through /reload.
+        let snap = snapshot(11);
+        let split: Vec<Vec<f32>> = (0..4)
+            .map(|s| (0..64).map(|j| ((s + j) % 7) as f32 / 7.0).collect())
+            .collect();
+        let cal = snn_quant::calibrate(&snap, &split, 2).unwrap();
+        let artifact = snn_quant::quantize_snapshot(&snap, &cal, 8).unwrap();
+        let body = serde_json::to_string(&artifact).unwrap();
+        let (status, receipt) = request(server.addr(), "POST", "/reload", &body);
+        assert_eq!(status, 200, "receipt: {receipt}");
+        assert!(receipt.contains("\"dtype\":\"int8\""), "receipt: {receipt}");
+        assert!(receipt.contains("\"quant\":"), "receipt: {receipt}");
+        assert!(receipt.contains("\"bits\":8"), "receipt: {receipt}");
+
+        // /healthz reflects the dtype, /infer runs the integer engine,
+        // /metrics counts the route.
+        let (_, health) = request(server.addr(), "GET", "/healthz", "");
+        assert!(health.contains("\"dtype\":\"int8\""), "health: {health}");
+        let (status, reply) = request(server.addr(), "POST", "/infer", &infer_body);
+        assert_eq!(status, 200, "reply: {reply}");
+        assert!(reply.contains("\"engine\":\"int8\""), "reply: {reply}");
+        for field in ["\"class\":", "\"counts\":", "\"layers\":", "\"rate\":"] {
+            assert!(reply.contains(field), "missing {field} in {reply}");
+        }
+        let (_, metrics) = request(server.addr(), "GET", "/metrics", "");
+        assert!(
+            metrics.contains("snn_serve_engine_int8_requests_total 1"),
+            "metrics: {metrics}"
+        );
+        assert!(
+            metrics.contains("snn_serve_engine_f32_requests_total 1"),
+            "metrics: {metrics}"
+        );
+
+        // A quantized artifact with a mismatched interface still 409s.
+        let other_q = {
+            let lif = LifConfig { theta: 0.5, ..LifConfig::paper_default() };
+            let small = SpikingNetwork::builder(Shape::d3(1, 6, 6), 5)
+                .flatten()
+                .unwrap()
+                .dense(4, lif)
+                .unwrap()
+                .build()
+                .unwrap();
+            let ssnap = NetworkSnapshot::from_network(&small);
+            let split: Vec<Vec<f32>> = (0..3).map(|_| vec![0.5f32; 36]).collect();
+            let cal = snn_quant::calibrate(&ssnap, &split, 2).unwrap();
+            snn_quant::quantize_snapshot(&ssnap, &cal, 8).unwrap()
+        };
+        let (status, body) =
+            request(server.addr(), "POST", "/reload", &serde_json::to_string(&other_q).unwrap());
+        assert_eq!(status, 409, "reply: {body}");
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!   snapshot. No BPTT caches, per-engine scratch reuse, and
 //!   per-request spike counters so every response reports its own
 //!   sparsity.
+//! * [`qengine`] — [`QuantEngine`] and [`AnyEngine`]: the INT8
+//!   integer twin of the f32 engine plus the dtype dispatcher. The
+//!   registry decides which engine serves by artifact dtype; every
+//!   `/infer` response names the engine that answered.
 //! * [`queue`] — [`Batcher`]: a dynamic micro-batching queue.
 //!   Requests accumulate up to `max_batch` or `max_wait` and run as
 //!   one batched forward pass (on a single-core host the throughput
@@ -64,6 +68,7 @@ pub mod breaker;
 pub mod engine;
 pub mod http;
 pub mod metrics;
+pub mod qengine;
 pub mod queue;
 pub mod registry;
 
@@ -71,5 +76,6 @@ pub use breaker::{CircuitBreaker, CircuitState};
 pub use engine::{InferenceEngine, LayerFiring, RequestOutput};
 pub use http::{ServeError, Server, ServerConfig};
 pub use metrics::{Metrics, MetricsSnapshot};
+pub use qengine::{AnyEngine, QuantEngine};
 pub use queue::{Batcher, BatcherConfig, InferReply, Rejection, Ticket};
-pub use registry::{ModelInfo, ModelRegistry, SwapError, SwapReceipt};
+pub use registry::{ModelInfo, ModelRegistry, QuantInfo, ServedModel, SwapError, SwapReceipt};

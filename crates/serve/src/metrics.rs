@@ -82,6 +82,10 @@ pub struct Metrics {
     pub batches: Arc<Counter>,
     /// Requests served across those batches.
     pub batched_items: Arc<Counter>,
+    /// Requests served by the f32 engine.
+    pub engine_f32_requests: Arc<Counter>,
+    /// Requests served by the quantized INT8 engine.
+    pub engine_int8_requests: Arc<Counter>,
     /// Jobs currently queued, sampled at enqueue/dequeue — never
     /// derived from other counters, so it cannot go stale across
     /// `/reload` or shutdown drains.
@@ -126,6 +130,12 @@ impl Default for Metrics {
             registry.counter("snn_serve_batches_total", "batched forward passes executed");
         let batched_items =
             registry.counter("snn_serve_batched_items_total", "requests served across batches");
+        let engine_f32_requests = registry
+            .counter("snn_serve_engine_f32_requests_total", "requests served by the f32 engine");
+        let engine_int8_requests = registry.counter(
+            "snn_serve_engine_int8_requests_total",
+            "requests served by the quantized INT8 engine",
+        );
         let queue_depth =
             registry.gauge("snn_serve_queue_depth", "jobs currently waiting in the batch queue");
         let latency = registry.histogram(
@@ -155,6 +165,8 @@ impl Default for Metrics {
             circuit_state,
             batches,
             batched_items,
+            engine_f32_requests,
+            engine_int8_requests,
             queue_depth,
             latency,
             batch_size,
@@ -178,6 +190,17 @@ impl Metrics {
     /// Records one request's end-to-end latency.
     pub fn record_latency(&self, us: u64) {
         self.latency.record(us as f64 / 1e6);
+    }
+
+    /// Counts `items` requests against the engine kind that served
+    /// them (`"f32"` or `"int8"`; anything else is ignored rather
+    /// than inventing a series).
+    pub fn record_engine_requests(&self, kind: &str, items: u64) {
+        match kind {
+            "f32" => self.engine_f32_requests.add(items),
+            "int8" => self.engine_int8_requests.add(items),
+            _ => {}
+        }
     }
 
     /// Folds a completed batch's per-request firing statistics into
@@ -243,6 +266,8 @@ impl Metrics {
             circuit_state: self.circuit_state.get(),
             batches,
             batched_items,
+            engine_f32_requests: self.engine_f32_requests.get(),
+            engine_int8_requests: self.engine_int8_requests.get(),
             mean_batch_size: if batches > 0 {
                 batched_items as f64 / batches as f64
             } else {
@@ -329,6 +354,10 @@ pub struct MetricsSnapshot {
     pub batches: u64,
     /// Requests served across those batches.
     pub batched_items: u64,
+    /// Requests served by the f32 engine.
+    pub engine_f32_requests: u64,
+    /// Requests served by the quantized INT8 engine.
+    pub engine_int8_requests: u64,
     /// `batched_items / batches` — the realized batching factor.
     pub mean_batch_size: f64,
     /// Jobs waiting in the batch queue right now.
@@ -349,10 +378,12 @@ mod tests {
         ModelInfo {
             name: "m".into(),
             version: 1,
+            dtype: "f32".into(),
             input_len: 4,
             classes: 2,
             params: 10,
             hash: "0123456789abcdef".into(),
+            quant: None,
         }
     }
 
@@ -392,6 +423,7 @@ mod tests {
             }],
             mean_rate: 0.3,
             input_density: 0.5,
+            engine: "int8".into(),
         };
         m.record_batch_outputs(&[out.clone(), out]);
         let s = m.snapshot(model());
@@ -414,6 +446,22 @@ mod tests {
             .expect("batch-size histogram present");
         assert_eq!(batch_snap.count, 1);
         assert_eq!(batch_snap.max, 2.0);
+    }
+
+    #[test]
+    fn engine_request_counters_split_by_kind() {
+        let m = Metrics::default();
+        m.record_engine_requests("f32", 3);
+        m.record_engine_requests("int8", 2);
+        m.record_engine_requests("weird", 9);
+        assert_eq!(m.engine_f32_requests.get(), 3);
+        assert_eq!(m.engine_int8_requests.get(), 2);
+        let text = m.render_prometheus();
+        assert!(text.contains("snn_serve_engine_f32_requests_total 3"), "{text}");
+        assert!(text.contains("snn_serve_engine_int8_requests_total 2"), "{text}");
+        let s = m.snapshot(model());
+        assert_eq!(s.engine_f32_requests, 3);
+        assert_eq!(s.engine_int8_requests, 2);
     }
 
     #[test]

@@ -32,8 +32,9 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use crate::breaker::{CircuitBreaker, CircuitState};
-use crate::engine::{InferenceEngine, RequestOutput};
+use crate::engine::RequestOutput;
 use crate::metrics::Metrics;
+use crate::qengine::AnyEngine;
 use crate::registry::ModelRegistry;
 use snn_core::SnapshotError;
 
@@ -226,7 +227,7 @@ impl Batcher {
         metrics: Arc<Metrics>,
     ) -> Result<Self, SnapshotError> {
         let engine_version = registry.version();
-        let engine = InferenceEngine::new(registry.current().snapshot.clone(), cfg.timesteps)?;
+        let engine = AnyEngine::new(&registry.current().model, cfg.timesteps)?;
         let input_len = engine.input_len();
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
@@ -348,7 +349,7 @@ fn run_worker(
     cfg: BatcherConfig,
     metrics: Arc<Metrics>,
     breaker: Arc<CircuitBreaker>,
-    engine: InferenceEngine,
+    engine: AnyEngine,
     mut engine_version: u64,
 ) {
     // `None` after a caught panic: the engine's scratch state may be
@@ -424,13 +425,15 @@ fn run_worker(
 
             // Phase 5: if the model was hot-swapped (or the engine was
             // discarded after a panic), rebuild so a batch never mixes
-            // models. The registry only admits validated snapshots
-            // with an unchanged interface, so this cannot fail.
+            // models — this is also where a dtype change (f32 → int8
+            // promotion via /reload) takes effect. The registry only
+            // admits validated models with an unchanged interface, so
+            // this cannot fail.
             let current_version = registry.version();
             if engine.is_none() || current_version != engine_version {
                 engine = Some(
-                    InferenceEngine::new(registry.current().snapshot.clone(), cfg.timesteps)
-                        .expect("registry admits only validated snapshots"),
+                    AnyEngine::new(&registry.current().model, cfg.timesteps)
+                        .expect("registry admits only validated models"),
                 );
                 engine_version = current_version;
             }
@@ -465,6 +468,9 @@ fn run_worker(
 
         metrics.batches.inc();
         metrics.batched_items.add(batch.len() as u64);
+        if let Some(first) = outputs.first() {
+            metrics.record_engine_requests(&first.engine, batch.len() as u64);
+        }
         metrics.record_batch_outputs(&outputs);
 
         let batch_size = batch.len();
@@ -486,6 +492,7 @@ fn run_worker(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::InferenceEngine;
     use snn_core::{LifConfig, NetworkSnapshot, SpikingNetwork};
     use snn_tensor::Shape;
 
@@ -645,6 +652,33 @@ mod tests {
             before.output.counts, after.output.counts,
             "different weights should change the rate-coded logits"
         );
+    }
+
+    #[test]
+    fn hot_swap_to_int8_switches_the_serving_engine() {
+        let (registry, metrics, batcher) = setup(BatcherConfig {
+            max_batch: 1,
+            max_wait: Duration::from_micros(100),
+            capacity: 8,
+            timesteps: 2,
+            ..BatcherConfig::default()
+        });
+        let before = batcher.submit(input(3), None).unwrap().wait().unwrap();
+        assert_eq!(before.output.engine, "f32");
+        // Quantize the very model being served and promote it.
+        let snap = snapshot(11);
+        let split: Vec<Vec<f32>> = (0..4).map(|i| input(i + 1)).collect();
+        let cal = snn_quant::calibrate(&snap, &split, 2).unwrap();
+        let artifact = snn_quant::quantize_snapshot(&snap, &cal, 8).unwrap();
+        let receipt = registry.swap(artifact, "int8").unwrap();
+        assert_eq!(receipt.info.dtype, "int8");
+        let after = batcher.submit(input(3), None).unwrap().wait().unwrap();
+        assert_eq!(after.output.engine, "int8");
+        assert_eq!(after.model_version, 2);
+        assert_eq!(after.output.counts.len(), 4);
+        assert!(!after.output.layers.is_empty(), "int8 path reports firing rates too");
+        assert_eq!(metrics.engine_f32_requests.get(), 1);
+        assert_eq!(metrics.engine_int8_requests.get(), 1);
     }
 
     #[test]

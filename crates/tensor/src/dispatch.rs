@@ -145,6 +145,37 @@ pub(crate) fn record_conv_route(route: ConvRoute) {
     }
 }
 
+/// [`record_conv_route`] for the quantized (int8) convolution: same
+/// threshold gauge, separate `snn_tensor_qconv2d_route_*` counters so
+/// `/metrics` distinguishes the f32 and integer datapaths.
+pub(crate) fn record_qconv_route(route: ConvRoute) {
+    struct RouteObs {
+        dense: Arc<snn_obs::Counter>,
+        event: Arc<snn_obs::Counter>,
+        threshold: Arc<snn_obs::Gauge>,
+    }
+    static OBS: OnceLock<RouteObs> = OnceLock::new();
+    let o = OBS.get_or_init(|| RouteObs {
+        dense: snn_obs::global().counter(
+            "snn_tensor_qconv2d_route_dense_total",
+            "quantized conv2d forwards that took the dense im2col route",
+        ),
+        event: snn_obs::global().counter(
+            "snn_tensor_qconv2d_route_event_total",
+            "quantized conv2d forwards that took the event-driven scatter route",
+        ),
+        threshold: snn_obs::global().gauge(
+            "snn_tensor_dispatch_event_density_threshold_ratio",
+            "input density at or below which binary inputs take the event route",
+        ),
+    });
+    o.threshold.set(event_density_threshold() as f64);
+    match route {
+        ConvRoute::Dense => o.dense.inc(),
+        ConvRoute::Event => o.event.inc(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

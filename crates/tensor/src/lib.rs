@@ -42,6 +42,7 @@ mod kobs;
 pub mod linalg;
 pub mod par;
 pub mod pool;
+pub mod qmat;
 mod shape;
 pub mod spike;
 mod stats;

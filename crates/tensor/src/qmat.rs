@@ -1,0 +1,472 @@
+//! Integer (quantized) convolution and GEMM kernels.
+//!
+//! The quantized datapath keeps activations as `u8` (binary spikes,
+//! or `0..=255` level-coded inputs on the first layer), weights as
+//! symmetric `i8`, and accumulators as `i32`. Every sum is computed
+//! with **wrapping** i32 arithmetic: wrapping addition is associative
+//! and commutative, so the event route's tap order, the dense route's
+//! k-order, and any thread split over batch items produce
+//! bit-identical accumulators — exactness holds *unconditionally*,
+//! not only in the no-overflow case (quantized artifacts additionally
+//! guarantee the exact sums fit, see `snn-quant`). Saturation happens
+//! exactly once, downstream, when the consumer narrows the rescaled
+//! accumulator — never inside these kernels.
+//!
+//! Routing mirrors the f32 convolution: the batch is scanned once for
+//! density, and binary inputs at or below
+//! [`crate::dispatch::event_density_threshold`] take the event route
+//! (per-active-pixel scatter of transposed weight columns into i32
+//! lanes, no im2col); everything else takes the dense route (u8
+//! im2col + the j-blocked GEMM skeleton from [`crate::linalg`]).
+//! Every routed forward publishes `snn_tensor_qconv2d_route_*_total`
+//! counters.
+
+use crate::conv::Conv2dGeometry;
+use crate::dispatch::{self, ConvRoute};
+use crate::par;
+
+/// Columns per j-block of [`qgemm_into`]: the `u8` activation row
+/// slice stays within 1 KiB and the paired `i32` accumulator slice
+/// within 4 KiB, both L1-resident.
+const QCOL_BLOCK: usize = 1024;
+
+/// Integer GEMM: `acc += W · X` with `W: [m, k]` i8, `X: [k, n]` u8,
+/// `acc: [m, n]` i32.
+///
+/// Accumulating (callers zero `acc` for a plain product). Same
+/// j-blocked skeleton as [`crate::linalg::gemm_into`], including the
+/// zero-weight skip; all adds wrap, so the result is independent of
+/// blocking and evaluation order.
+///
+/// # Panics
+///
+/// Panics if any buffer length disagrees with `m`/`k`/`n`.
+pub fn qgemm_into(w: &[i8], x: &[u8], acc: &mut [i32], m: usize, k: usize, n: usize) {
+    assert_eq!(w.len(), m * k, "weight length");
+    assert_eq!(x.len(), k * n, "activation length");
+    assert_eq!(acc.len(), m * n, "accumulator length");
+    let mut jb = 0;
+    while jb < n {
+        let je = (jb + QCOL_BLOCK).min(n);
+        for i in 0..m {
+            let wrow = &w[i * k..(i + 1) * k];
+            let arow = &mut acc[i * n + jb..i * n + je];
+            for (kk, &wv) in wrow.iter().enumerate() {
+                if wv == 0 {
+                    continue;
+                }
+                let wv = wv as i32;
+                let xrow = &x[kk * n + jb..kk * n + je];
+                for (a, &xv) in arow.iter_mut().zip(xrow) {
+                    *a = a.wrapping_add(wv.wrapping_mul(xv as i32));
+                }
+            }
+        }
+        jb = je;
+    }
+}
+
+/// Expands one `u8` input item `[C, H, W]` into the im2col matrix
+/// `[C·k², out_h·out_w]`; padding taps contribute zeros.
+///
+/// Element-for-element the integer twin of [`crate::conv::im2col`].
+///
+/// # Panics
+///
+/// Debug-asserts the buffer lengths match the geometry.
+pub fn qim2col(g: &Conv2dGeometry, input: &[u8], cols: &mut [u8]) {
+    debug_assert_eq!(input.len(), g.in_channels * g.in_h * g.in_w);
+    debug_assert_eq!(cols.len(), g.col_rows() * g.col_cols());
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let n_cols = oh * ow;
+    cols.fill(0);
+    for c in 0..g.in_channels {
+        let chan = &input[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
+        for ky in 0..g.kernel {
+            for kx in 0..g.kernel {
+                let row = (c * g.kernel + ky) * g.kernel + kx;
+                let out_row = &mut cols[row * n_cols..(row + 1) * n_cols];
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                    if iy < 0 || iy >= g.in_h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                        if ix < 0 || ix >= g.in_w as isize {
+                            continue;
+                        }
+                        out_row[oy * ow + ox] = chan[iy * g.in_w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-worker buffers for [`qconv2d_forward_routed`], grown lazily
+/// and reused across timesteps.
+#[derive(Debug, Clone, Default)]
+pub struct QConvScratch {
+    bufs: Vec<QConvBufs>,
+}
+
+impl QConvScratch {
+    /// Empty scratch; buffers allocate on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct QConvBufs {
+    /// Dense route: im2col matrix for one item.
+    cols: Vec<u8>,
+    /// Event route: position-major accumulator `[plane, oc]` so each
+    /// tap adds one contiguous i32 lane group.
+    acc_t: Vec<i32>,
+}
+
+/// Measured properties of a `u8` activation batch: nonzero count and
+/// whether every value is 0/1.
+fn scan_u8(x: &[u8]) -> (usize, bool) {
+    let mut nnz = 0usize;
+    let mut binary = true;
+    for &v in x {
+        nnz += (v != 0) as usize;
+        binary &= v <= 1;
+    }
+    (nnz, binary)
+}
+
+/// Density-routed quantized convolution forward over a `[N, C, H, W]`
+/// `u8` batch.
+///
+/// Writes raw i32 accumulator sums (no bias, no rescale) into `acc`
+/// laid out `[N, out_channels, out_h·out_w]`, overwriting its
+/// contents, and returns the route taken. `w` is the row-major
+/// weight matrix `[oc, C·k²]`; `wt` is its transpose `[C·k², oc]`
+/// (precomputed once per layer — the event route gathers whole
+/// `oc`-lane groups from it).
+///
+/// Both routes produce bit-identical `acc` for the same input, and
+/// results are independent of the worker count: items never share an
+/// accumulator.
+///
+/// # Panics
+///
+/// Panics if any buffer length disagrees with the geometry.
+pub fn qconv2d_forward_routed(
+    g: &Conv2dGeometry,
+    input: &[u8],
+    n: usize,
+    w: &[i8],
+    wt: &[i8],
+    acc: &mut [i32],
+    scratch: &mut QConvScratch,
+) -> ConvRoute {
+    let item_in = g.in_channels * g.in_h * g.in_w;
+    let plane = g.out_h() * g.out_w();
+    let oc = g.out_channels;
+    let rows = g.col_rows();
+    let item_out = oc * plane;
+    assert_eq!(input.len(), n * item_in, "input length");
+    assert_eq!(w.len(), oc * rows, "weight length");
+    assert_eq!(wt.len(), rows * oc, "transposed weight length");
+    assert_eq!(acc.len(), n * item_out, "accumulator length");
+    if n == 0 {
+        return ConvRoute::Dense;
+    }
+    let threshold = dispatch::event_density_threshold();
+    let (nnz, binary) = scan_u8(input);
+    let density = nnz as f32 / input.len() as f32;
+    let event = binary && threshold >= 0.0 && density <= threshold;
+    let route = if event { ConvRoute::Event } else { ConvRoute::Dense };
+    dispatch::record_qconv_route(route);
+    let g = *g;
+    par::for_each_block_with(
+        acc,
+        item_out,
+        1,
+        &mut scratch.bufs,
+        QConvBufs::default,
+        |bufs, item0, block| {
+            for (slot, out_item) in block.chunks_exact_mut(item_out).enumerate() {
+                let item = item0 + slot;
+                let x = &input[item * item_in..(item + 1) * item_in];
+                if event {
+                    qconv_event_item(&g, x, wt, out_item, &mut bufs.acc_t);
+                } else {
+                    bufs.cols.resize(rows * plane, 0);
+                    qim2col(&g, x, &mut bufs.cols);
+                    out_item.fill(0);
+                    qgemm_into(w, &bufs.cols, out_item, oc, rows, plane);
+                }
+            }
+        },
+    );
+    route
+}
+
+/// Event-route convolution for one binary item: for every active
+/// input pixel, enumerate the kernel taps it feeds and add the
+/// corresponding transposed weight row (`oc` contiguous i8 lanes)
+/// into the position-major i32 accumulator, then transpose to the
+/// channel-major output layout.
+fn qconv_event_item(
+    g: &Conv2dGeometry,
+    x: &[u8],
+    wt: &[i8],
+    out_item: &mut [i32],
+    acc_t: &mut Vec<i32>,
+) {
+    let plane = g.out_h() * g.out_w();
+    let oc = g.out_channels;
+    let (oh, ow) = (g.out_h(), g.out_w());
+    acc_t.resize(plane * oc, 0);
+    acc_t.fill(0);
+    let hw = g.in_h * g.in_w;
+    for (pos, &v) in x.iter().enumerate() {
+        if v == 0 {
+            continue;
+        }
+        let c = pos / hw;
+        let iy = (pos % hw) / g.in_w;
+        let ix = pos % g.in_w;
+        let iy_p = iy + g.padding;
+        let ix_p = ix + g.padding;
+        for ky in 0..g.kernel {
+            if iy_p < ky {
+                break;
+            }
+            let oy_off = iy_p - ky;
+            if !oy_off.is_multiple_of(g.stride) {
+                continue;
+            }
+            let oy = oy_off / g.stride;
+            if oy >= oh {
+                continue;
+            }
+            for kx in 0..g.kernel {
+                if ix_p < kx {
+                    break;
+                }
+                let ox_off = ix_p - kx;
+                if !ox_off.is_multiple_of(g.stride) {
+                    continue;
+                }
+                let ox = ox_off / g.stride;
+                if ox >= ow {
+                    continue;
+                }
+                let row = (c * g.kernel + ky) * g.kernel + kx;
+                let opos = oy * ow + ox;
+                let lanes = &wt[row * oc..(row + 1) * oc];
+                let dst = &mut acc_t[opos * oc..(opos + 1) * oc];
+                for (d, &wv) in dst.iter_mut().zip(lanes) {
+                    *d = d.wrapping_add(wv as i32);
+                }
+            }
+        }
+    }
+    for o in 0..oc {
+        let out_row = &mut out_item[o * plane..(o + 1) * plane];
+        for (p, slot) in out_row.iter_mut().enumerate() {
+            *slot = acc_t[p * oc + o];
+        }
+    }
+}
+
+/// Event-driven quantized linear layer: `acc[i][o] = Σ_j x[i][j] ·
+/// wt[j][o]` with `x: [items, k]` u8 and `wt: [k, out]` i8
+/// (transposed weights, so each active input adds one contiguous
+/// lane group).
+///
+/// Overwrites `acc` (`[items, out]`). Inputs are visited in ascending
+/// `j` per item and items never share accumulators, so results are
+/// exact integer sums independent of thread count. Binary activations
+/// (the common case: spikes) skip the multiply entirely.
+///
+/// # Panics
+///
+/// Panics if any buffer length disagrees with `items`/`k`/`out`.
+pub fn qlinear_into(x: &[u8], wt: &[i8], acc: &mut [i32], items: usize, k: usize, out: usize) {
+    assert_eq!(x.len(), items * k, "activation length");
+    assert_eq!(wt.len(), k * out, "transposed weight length");
+    assert_eq!(acc.len(), items * out, "accumulator length");
+    if items == 0 {
+        return;
+    }
+    par::for_each_block(acc, out, 1, |item0, block| {
+        for (slot, arow) in block.chunks_exact_mut(out).enumerate() {
+            let item = item0 + slot;
+            let xrow = &x[item * k..(item + 1) * k];
+            arow.fill(0);
+            for (j, &xv) in xrow.iter().enumerate() {
+                if xv == 0 {
+                    continue;
+                }
+                let lanes = &wt[j * out..(j + 1) * out];
+                if xv == 1 {
+                    for (a, &wv) in arow.iter_mut().zip(lanes) {
+                        *a = a.wrapping_add(wv as i32);
+                    }
+                } else {
+                    let xi = xv as i32;
+                    for (a, &wv) in arow.iter_mut().zip(lanes) {
+                        *a = a.wrapping_add(xi.wrapping_mul(wv as i32));
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Transposes a row-major `[m, k]` i8 matrix into `[k, m]` (layer
+/// setup helper for the event-route weight layout).
+pub fn transpose_i8(w: &[i8], m: usize, k: usize) -> Vec<i8> {
+    assert_eq!(w.len(), m * k, "matrix length");
+    let mut wt = vec![0i8; k * m];
+    for i in 0..m {
+        for j in 0..k {
+            wt[j * m + i] = w[i * k + j];
+        }
+    }
+    wt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::with_event_density_threshold;
+
+    fn geom() -> Conv2dGeometry {
+        Conv2dGeometry::new(2, 3, 3, 1, 1, 5, 5).unwrap()
+    }
+
+    fn ref_conv(g: &Conv2dGeometry, x: &[u8], w: &[i8]) -> Vec<i32> {
+        // Independent O(everything) reference: direct tap enumeration
+        // from the output side.
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let mut out = vec![0i32; g.out_channels * oh * ow];
+        for o in 0..g.out_channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut s = 0i64;
+                    for c in 0..g.in_channels {
+                        for ky in 0..g.kernel {
+                            for kx in 0..g.kernel {
+                                let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                                let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                                if iy < 0 || ix < 0 || iy >= g.in_h as isize || ix >= g.in_w as isize
+                                {
+                                    continue;
+                                }
+                                let xv =
+                                    x[(c * g.in_h + iy as usize) * g.in_w + ix as usize] as i64;
+                                let wv =
+                                    w[(o * g.in_channels + c) * g.kernel * g.kernel
+                                        + ky * g.kernel
+                                        + kx] as i64;
+                                s += xv * wv;
+                            }
+                        }
+                    }
+                    out[(o * oh + oy) * ow + ox] = s as i32;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn dense_and_event_routes_match_reference() {
+        let g = geom();
+        let item_in = g.in_channels * g.in_h * g.in_w;
+        let n = 3;
+        let x: Vec<u8> = (0..n * item_in).map(|i| ((i * 7) % 5 == 0) as u8).collect();
+        let w: Vec<i8> = (0..g.out_channels * g.col_rows())
+            .map(|i| ((i * 13 % 11) as i32 - 5) as i8)
+            .collect();
+        let wt = transpose_i8(&w, g.out_channels, g.col_rows());
+        let item_out = g.out_channels * g.out_h() * g.out_w();
+        let mut want = Vec::new();
+        for item in 0..n {
+            want.extend(ref_conv(&g, &x[item * item_in..(item + 1) * item_in], &w));
+        }
+        let mut dense = vec![1i32; n * item_out];
+        let mut event = vec![2i32; n * item_out];
+        let r1 = with_event_density_threshold(-1.0, || {
+            qconv2d_forward_routed(&g, &x, n, &w, &wt, &mut dense, &mut QConvScratch::new())
+        });
+        let r2 = with_event_density_threshold(1.0, || {
+            qconv2d_forward_routed(&g, &x, n, &w, &wt, &mut event, &mut QConvScratch::new())
+        });
+        assert_eq!(r1, ConvRoute::Dense);
+        assert_eq!(r2, ConvRoute::Event);
+        assert_eq!(dense, want);
+        assert_eq!(event, want);
+    }
+
+    #[test]
+    fn nonbinary_input_pins_dense_route() {
+        let g = geom();
+        let item_in = g.in_channels * g.in_h * g.in_w;
+        let x: Vec<u8> = (0..item_in).map(|i| (i % 4) as u8 * 80).collect();
+        let w = vec![1i8; g.out_channels * g.col_rows()];
+        let wt = transpose_i8(&w, g.out_channels, g.col_rows());
+        let mut acc = vec![0i32; g.out_channels * g.out_h() * g.out_w()];
+        let route = with_event_density_threshold(1.0, || {
+            qconv2d_forward_routed(&g, &x, 1, &w, &wt, &mut acc, &mut QConvScratch::new())
+        });
+        assert_eq!(route, ConvRoute::Dense, "level-coded input must not take the event route");
+        assert_eq!(acc, ref_conv(&g, &x, &w));
+    }
+
+    #[test]
+    fn qgemm_matches_naive_and_wraps() {
+        let (m, k, n) = (3, 4, 5);
+        let w: Vec<i8> = (0..m * k).map(|i| (i as i32 - 6) as i8).collect();
+        let x: Vec<u8> = (0..k * n).map(|i| (i * 29 % 256) as u8).collect();
+        let mut acc = vec![0i32; m * n];
+        qgemm_into(&w, &x, &mut acc, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0i32;
+                for kk in 0..k {
+                    s = s.wrapping_add(w[i * k + kk] as i32 * x[kk * n + j] as i32);
+                }
+                assert_eq!(acc[i * n + j], s);
+            }
+        }
+    }
+
+    #[test]
+    fn qlinear_matches_qgemm() {
+        let (items, k, out) = (4, 10, 6);
+        let x: Vec<u8> = (0..items * k).map(|i| ((i % 3 == 0) as u8) * (1 + (i % 2) as u8)).collect();
+        let w: Vec<i8> = (0..out * k).map(|i| ((i * 17 % 9) as i32 - 4) as i8).collect();
+        let wt = transpose_i8(&w, out, k);
+        let mut got = vec![0i32; items * out];
+        qlinear_into(&x, &wt, &mut got, items, k, out);
+        // Reference via qgemm on the transposed problem: out[i][o] =
+        // (W · X^T)[o][i].
+        let xt: Vec<u8> = {
+            let mut t = vec![0u8; k * items];
+            for i in 0..items {
+                for j in 0..k {
+                    t[j * items + i] = x[i * k + j];
+                }
+            }
+            t
+        };
+        let mut byg = vec![0i32; out * items];
+        qgemm_into(&w, &xt, &mut byg, out, k, items);
+        for i in 0..items {
+            for o in 0..out {
+                assert_eq!(got[i * out + o], byg[o * items + i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Bitwise-exactness properties of the quantized (integer) kernels.
+//!
+//! Contract (see `qmat` module docs): the quantized convolution's
+//! event and dense routes produce **identical** i32 accumulators for
+//! every binary input, geometry, and thread count — exactness is
+//! unconditional because all sums use wrapping i32 arithmetic, which
+//! is associative and commutative even at overflow. The adversarial
+//! cases here drive accumulators near and past `i32::MAX` on purpose.
+
+use proptest::prelude::*;
+
+use snn_tensor::conv::Conv2dGeometry;
+use snn_tensor::dispatch::{with_event_density_threshold, ConvRoute};
+use snn_tensor::par;
+use snn_tensor::qmat::{
+    qconv2d_forward_routed, qgemm_into, qlinear_into, transpose_i8, QConvScratch,
+};
+
+fn lcg(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *seed >> 33
+}
+
+fn spikes_u8(len: usize, seed: u64, density_pct: u32) -> Vec<u8> {
+    let mut s = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+    (0..len).map(|_| (lcg(&mut s) % 100 < density_pct as u64) as u8).collect()
+}
+
+fn weights_i8(len: usize, seed: u64, extreme: bool) -> Vec<i8> {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(11);
+    (0..len)
+        .map(|_| {
+            if extreme {
+                // Only ±127: drives every accumulator toward its
+                // worst case.
+                if lcg(&mut s).is_multiple_of(2) { 127 } else { -127 }
+            } else {
+                ((lcg(&mut s) % 255) as i32 - 127) as i8
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Quantized conv: event route == dense route == thread-count
+    /// invariant, for random geometries and densities 0–100%.
+    #[test]
+    fn qconv_event_equals_dense_across_threads(
+        batch in 1usize..5, cin in 1usize..3, cout in 1usize..5,
+        hw in 3usize..8, kernel in 1usize..4, stride in 1usize..3, pad in 0usize..2,
+        density_idx in 0usize..5, seed in 0u64..500, extreme in any::<bool>(),
+    ) {
+        let kernel = kernel.min(hw + 2 * pad);
+        let g = Conv2dGeometry::new(cin, cout, kernel, stride, pad, hw, hw).unwrap();
+        let density = [0u32, 10, 50, 90, 100][density_idx];
+        let item_in = cin * hw * hw;
+        let x = spikes_u8(batch * item_in, seed, density);
+        let w = weights_i8(cout * g.col_rows(), seed ^ 0xABCD, extreme);
+        let wt = transpose_i8(&w, cout, g.col_rows());
+        let item_out = cout * g.out_h() * g.out_w();
+        let mut outputs = Vec::new();
+        for &threads in &[1usize, 4] {
+            for &thr in &[-1.0f32, 1.0] {
+                let mut acc = vec![7i32; batch * item_out];
+                let route = with_event_density_threshold(thr, || {
+                    par::with_num_threads(threads, || {
+                        qconv2d_forward_routed(
+                            &g, &x, batch, &w, &wt, &mut acc, &mut QConvScratch::new(),
+                        )
+                    })
+                });
+                let expect = if thr < 0.0 { ConvRoute::Dense } else { ConvRoute::Event };
+                prop_assert_eq!(route, expect, "threshold {} must force its route", thr);
+                outputs.push(acc);
+            }
+        }
+        for other in &outputs[1..] {
+            prop_assert_eq!(&outputs[0], other, "all route/thread combinations must agree");
+        }
+    }
+
+    /// The event-driven linear kernel equals the j-blocked GEMM on
+    /// the transposed problem and is thread-count invariant, for
+    /// spike and level-coded (0..=255) activations alike.
+    #[test]
+    fn qlinear_equals_qgemm_across_threads(
+        items in 1usize..7, k in 1usize..40, out in 1usize..20,
+        seed in 0u64..500, level_coded in any::<bool>(), extreme in any::<bool>(),
+    ) {
+        let x: Vec<u8> = if level_coded {
+            let mut s = seed;
+            (0..items * k).map(|_| (lcg(&mut s) % 256) as u8).collect()
+        } else {
+            spikes_u8(items * k, seed, 30)
+        };
+        let w = weights_i8(out * k, seed ^ 0x55AA, extreme);
+        let wt = transpose_i8(&w, out, k);
+        let mut one = vec![0i32; items * out];
+        let mut four = vec![0i32; items * out];
+        par::with_num_threads(1, || qlinear_into(&x, &wt, &mut one, items, k, out));
+        par::with_num_threads(4, || qlinear_into(&x, &wt, &mut four, items, k, out));
+        prop_assert_eq!(&one, &four, "thread counts must agree");
+        // Reference: acc[i][o] = (W · X^T)[o][i] via the dense GEMM.
+        let mut xt = vec![0u8; k * items];
+        for i in 0..items {
+            for j in 0..k {
+                xt[j * items + i] = x[i * k + j];
+            }
+        }
+        let mut byg = vec![0i32; out * items];
+        qgemm_into(&w, &xt, &mut byg, out, k, items);
+        for i in 0..items {
+            for o in 0..out {
+                prop_assert_eq!(one[i * out + o], byg[o * items + i]);
+            }
+        }
+    }
+
+    /// Wrapping accumulation: even when exact sums exceed `i32`
+    /// (every weight ±127, every activation 255, k large enough that
+    /// `k · 127 · 255 > i32::MAX`), the j-blocked GEMM equals the
+    /// naive wrapping reference — overflow wraps identically in any
+    /// summation order, it never panics and never saturates silently.
+    #[test]
+    fn qgemm_wraps_deterministically_near_overflow(
+        m in 1usize..4, n in 1usize..6, seed in 0u64..100,
+    ) {
+        let k = 70_000; // 70_000 * 127 * 255 ≈ 2.27e9 > i32::MAX
+        let w = weights_i8(m * k, seed, true);
+        let x = vec![255u8; k * n];
+        let mut acc = vec![0i32; m * n];
+        qgemm_into(&w, &x, &mut acc, m, k, n);
+        for i in 0..m {
+            let mut want = 0i32;
+            for kk in 0..k {
+                want = want.wrapping_add((w[i * k + kk] as i32).wrapping_mul(255));
+            }
+            for j in 0..n {
+                prop_assert_eq!(acc[i * n + j], want);
+            }
+        }
+    }
+}

@@ -114,7 +114,10 @@ target/release/snn train --profile micro --epochs 3 \
   --out "$store_dir/resumed.json" >/dev/null
 cmp -s "$store_dir/ref.json" "$store_dir/resumed.json" \
   || { echo "ci.sh: resumed snapshot differs from the uninterrupted run" >&2; exit 1; }
-target/release/snn runs list --store "$store_dir/store" | grep -q '^smoke ' \
+# grep reads the full stream (no -q): an early-exit grep would close
+# the pipe mid-print and, under pipefail, fail the gate on the
+# writer's SIGPIPE panic rather than on the actual check.
+target/release/snn runs list --store "$store_dir/store" | grep '^smoke ' >/dev/null \
   || { echo "ci.sh: snn runs list does not show the smoke run" >&2; exit 1; }
 
 rm -rf "$store_dir"
@@ -143,17 +146,84 @@ rm -f "$chaos_log"
 trap - EXIT
 echo "ci.sh: chaos smoke test passed ($recoveries recoveries)"
 
+# Quantized-inference smoke drill: train the micro model into the
+# registry, quantize it to INT8 (requiring accuracy within 2 points of
+# the f32 source), then serve the published INT8 artifact and require
+# /infer to answer from the int8 engine end to end.
+quant_dir="$(mktemp -d)"
+quant_log="$(mktemp)"
+qserve_pid=""
+trap 'kill "$qserve_pid" 2>/dev/null || true; rm -rf "$quant_dir"; rm -f "$quant_log"' EXIT
+
+target/release/snn train --profile micro --epochs 3 \
+  --store "$quant_dir/store" --publish micro-f32 >/dev/null
+
+target/release/snn quantize --store "$quant_dir/store" --model-name micro-f32 \
+  --profile micro --publish micro-int8 >"$quant_log" 2>&1 \
+  || { cat "$quant_log"; echo "ci.sh: snn quantize failed" >&2; exit 1; }
+acc_line="$(sed -n 's/^accuracy //p' "$quant_log")"
+[ -n "$acc_line" ] \
+  || { cat "$quant_log"; echo "ci.sh: quantize printed no accuracy line" >&2; exit 1; }
+echo "$acc_line" | awk '{
+  f = ""; q = ""
+  for (i = 1; i <= NF; i++) {
+    if ($i ~ /^f32=/)  f = substr($i, 5)
+    if ($i ~ /^int8=/) q = substr($i, 6)
+  }
+  if (f == "" || q == "") exit 1
+  d = f - q; if (d < 0) d = -d
+  exit !(d <= 0.02)
+}' || { cat "$quant_log"
+        echo "ci.sh: int8 accuracy strayed more than 2 points from f32 ($acc_line)" >&2
+        exit 1; }
+
+: >"$quant_log"
+target/release/snn serve --store "$quant_dir/store" --model-name micro-int8 \
+  --addr 127.0.0.1:0 --timesteps 2 >"$quant_log" 2>&1 &
+qserve_pid=$!
+addr=""
+for _ in $(seq 50); do
+  addr="$(sed -n 's/^listening on //p' "$quant_log")"
+  [ -n "$addr" ] && break
+  kill -0 "$qserve_pid" 2>/dev/null \
+    || { cat "$quant_log"; echo "ci.sh: int8 serve exited early" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] \
+  || { cat "$quant_log"; echo "ci.sh: int8 serve never reported its address" >&2; exit 1; }
+grep -q 'serving .*\[int8\]' "$quant_log" \
+  || { cat "$quant_log"; echo "ci.sh: serve did not report the int8 dtype" >&2; exit 1; }
+
+input="$(seq 64 | sed 's/.*/0.5/' | paste -sd,)"
+infer="$(curl -sf --max-time 5 -X POST "http://$addr/infer" \
+  -H 'Content-Type: application/json' -d "{\"input\":[$input]}")" \
+  || { cat "$quant_log"; echo "ci.sh: /infer against the int8 artifact failed" >&2; exit 1; }
+case "$infer" in
+  *'"engine":"int8"'*) ;;
+  *) echo "ci.sh: /infer did not run on the int8 engine: $infer" >&2; exit 1 ;;
+esac
+
+kill "$qserve_pid"
+wait "$qserve_pid" 2>/dev/null || true
+qserve_pid=""
+rm -rf "$quant_dir"
+rm -f "$quant_log"
+trap - EXIT
+echo "ci.sh: quantized-inference smoke drill passed ($acc_line)"
+
 # Event-datapath bench smoke test: run the kernel benchmark on smoke
 # shapes, validate the report structurally (schema version, provenance,
 # density-sweep layout), and gate on the event-driven conv2d kernel
 # beating the dense route by at least 1.5x at 90% input sparsity
-# (serial). The full-size canonical run shows >3x there; 1.5x on the
-# smaller smoke shapes is the regression alarm, not the headline.
+# (serial) and the INT8 GEMM beating the f32 dense GEMM by at least
+# 1.2x. The full-size canonical runs show >3x and ~1.5x respectively;
+# the smoke gates are the regression alarm, not the headline.
 bench_json="$(mktemp)"
 trap 'rm -f "$bench_json"' EXIT
 target/release/bench_kernels --smoke --out "$bench_json" >/dev/null \
   || { echo "ci.sh: bench_kernels --smoke failed" >&2; exit 1; }
-target/release/snn obs-check --bench "$bench_json" --min-conv-event-speedup 1.5 \
+target/release/snn obs-check --bench "$bench_json" \
+  --min-conv-event-speedup 1.5 --min-int8-speedup 1.2 \
   || { echo "ci.sh: obs-check rejected the kernel bench report" >&2; exit 1; }
 rm -f "$bench_json"
 trap - EXIT
