@@ -122,10 +122,14 @@ fn main() {
                 let registry = Arc::new(
                     ModelRegistry::new(model.clone(), "bench").expect("demo model is valid"),
                 );
+                // Tracing and SLO config come from the environment
+                // (`SNN_TRACE_RING=0` is how the tracing-overhead
+                // comparison is run against the same binary).
                 let cfg = ServerConfig {
                     addr: "127.0.0.1:0".into(),
                     batcher: batcher.clone(),
                     default_timeout: Some(Duration::from_secs(30)),
+                    ..ServerConfig::default()
                 };
                 let mut server = Server::start(registry, cfg).expect("server starts");
                 let phase = run_phase(
@@ -209,6 +213,11 @@ fn main() {
             p.rejected_429,
             p.rejected_504,
         );
+    }
+    for p in &report.phases {
+        let stages: Vec<String> =
+            p.stages_us.iter().map(|s| format!("{} {:.0}us", s.stage, s.p50_us)).collect();
+        println!("{:<12} stage p50: {}", p.name, stages.join("  "));
     }
     println!("batched speedup over unbatched: {:.2}x", report.batched_speedup);
     println!("int8 vs f32 batched throughput: {:.2}x", report.int8_vs_f32_batched);
@@ -310,6 +319,12 @@ struct Phase {
     /// Requests per batched forward pass actually realized.
     mean_batch_size: f64,
     latency_us: Percentiles,
+    /// Per-stage latency percentiles (schema v5): where inside the
+    /// serve pipeline the end-to-end latency above was spent, lifted
+    /// from the server's `snn_serve_stage_*` histograms. `parse` and
+    /// `respond` are per request; `queue_wait` per dequeued request;
+    /// `batch_form` and `forward` per batched forward pass.
+    stages_us: Vec<StageBreakdown>,
     /// Cumulative per-layer firing rates observed while serving.
     per_layer_rates: Vec<LayerRate>,
     /// Snapshots of this server instance's `snn_serve_*` histograms
@@ -330,6 +345,43 @@ struct Percentiles {
 struct LayerRate {
     layer: String,
     rate: f64,
+}
+
+/// One serve-pipeline stage's latency distribution, in microseconds.
+#[derive(Serialize)]
+struct StageBreakdown {
+    stage: String,
+    count: u64,
+    mean_us: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    max_us: f64,
+}
+
+/// Lifts the five stage histograms (seconds) out of a metrics
+/// snapshot into microsecond breakdown rows, in pipeline order.
+fn stage_breakdowns(histograms: &[snn_obs::HistogramSnapshot]) -> Vec<StageBreakdown> {
+    ["parse", "queue_wait", "batch_form", "forward", "respond"]
+        .iter()
+        .map(|stage| {
+            let name = format!("snn_serve_stage_{stage}_seconds");
+            let h = histograms
+                .iter()
+                .find(|h| h.name == name)
+                .unwrap_or_else(|| panic!("`{name}` missing from the metrics snapshot"));
+            let us = 1e6;
+            StageBreakdown {
+                stage: (*stage).into(),
+                count: h.count,
+                mean_us: if h.count > 0 { h.sum / h.count as f64 * us } else { 0.0 },
+                p50_us: h.p50 * us,
+                p95_us: h.p95 * us,
+                p99_us: h.p99 * us,
+                max_us: h.max * us,
+            }
+        })
+        .collect()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -393,6 +445,7 @@ fn run_phase(
         throughput_rps: completed as f64 / wall_secs,
         mean_batch_size: if batches > 0 { batched_items as f64 / batches as f64 } else { 0.0 },
         latency_us: percentiles(&mut latencies),
+        stages_us: stage_breakdowns(&snap.histograms),
         per_layer_rates: snap
             .layers
             .iter()

@@ -23,7 +23,13 @@ use snn_dse::ExperimentProfile;
 /// `density_sweep.conv2d_int8` sweep (integer dense vs event routes,
 /// with the f32 dense route as baseline); serve reports gain an
 /// `int8` phase and the `int8_vs_f32_batched` throughput ratio.
-pub const BENCH_SCHEMA_VERSION: u32 = 4;
+///
+/// v5: serve-report phases gain a `stages_us` section — per-stage
+/// latency percentiles (`parse`/`queue_wait`/`batch_form`/`forward`/
+/// `respond`) lifted from the server's stage histograms, so a
+/// throughput regression can be localized to the pipeline stage that
+/// moved without re-running the bench under a profiler.
+pub const BENCH_SCHEMA_VERSION: u32 = 5;
 
 /// The git commit the benchmark binary was run from, or `"unknown"`
 /// outside a git checkout (or when `git` itself is unavailable).

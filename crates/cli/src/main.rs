@@ -11,6 +11,7 @@
 //! ```
 
 mod args;
+mod live;
 mod obscheck;
 
 use args::{parse_surrogate, Args};
@@ -64,10 +65,19 @@ commands:
   obs-check  validate observability artifacts (used by scripts/ci.sh)
           --text FILE (Prometheus exposition)   --json FILE (/metrics.json body)
           --trace FILE (SNN_TRACE trace_event output)
+          --traces FILE (/debug/traces body: ids, stages, sampling stats)
+          --log FILE (structured JSONL event log: ts/level/msg per line)
           --bench FILE (BENCH_kernels.json)   --min-conv-event-speedup X
                 (fail if the 90%-sparsity event conv2d speedup is below X)
           --min-int8-speedup X (fail if the int8 GEMM speedup over the
                 f32 dense GEMM is below X)
+  tail    follow a server's observability streams
+          --log FILE (follow the SNN_LOG event log)
+          | --addr HOST:PORT (poll GET /debug/traces)
+          --min-ms F (0)   --route PATH   --engine f32|int8
+          --n N (32 traces per poll)   --once (one sample, then exit)
+  top     live per-stage latency table from GET /metrics.json
+          --addr HOST:PORT   --interval-ms N (1000)   --once
   runs    inspect and maintain a durable run store
           list --store DIR   (runs, checkpoints, published artifacts)
           gc   --store DIR   (delete registry blobs no version references)
@@ -81,6 +91,13 @@ environment:
   SNN_FAULTS=SPEC, SNN_FAULT_SEED=N   inject the same deterministic
           fault plan into any command (rules: kind@site[:trigger],
           kind io_err|nan|panic; trigger probability or Nth occurrence)
+  SNN_LOG=level[:FILE]   structured JSONL event log (error|warn|info|debug;
+          stderr when FILE omitted)
+  SNN_SLO=SPEC   serve SLO objectives, e.g. p99=25ms,avail=99.9
+          (burn-rate gauges + /healthz degradation)
+  SNN_TRACE_RING=N, SNN_TRACE_SLOW_MS=N, SNN_TRACE_SAMPLE=F   request
+          trace ring behind /debug/traces (N=0 disables; tail sampling
+          always keeps errors and slow requests)
 ";
 
 fn main() {
@@ -103,6 +120,8 @@ fn main() {
         "serve" => cmd_serve(&args),
         "profile" => cmd_profile(&args),
         "obs-check" => cmd_obs_check(&args),
+        "tail" => live::cmd_tail(&args),
+        "top" => live::cmd_top(&args),
         "runs" => cmd_runs(&args),
         "chaos" => cmd_chaos(&args),
         "" | "help" | "--help" | "-h" => {
@@ -523,6 +542,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             ..BatcherConfig::default()
         },
         default_timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
+        // Trace ring and SLO objectives come from the environment
+        // (SNN_TRACE_RING / SNN_SLO) via the config default.
+        ..ServerConfig::default()
     };
     let mut server = Server::start(registry, cfg).map_err(|e| e.to_string())?;
     println!(
@@ -630,6 +652,7 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
             ..BatcherConfig::default()
         },
         default_timeout: Some(Duration::from_millis(2000)),
+        ..ServerConfig::default()
     };
     let mut server = Server::start(registry, scfg).map_err(|e| e.to_string())?;
     let addr = server.addr();
@@ -807,6 +830,17 @@ fn cmd_obs_check(args: &Args) -> Result<(), String> {
         println!("{path}: ok (chrome trace, {events} duration events)");
         checked += 1;
     }
+    if let Some(path) = args.opt("traces") {
+        let traces =
+            obscheck::check_traces(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: ok (/debug/traces listing, {traces} traces)");
+        checked += 1;
+    }
+    if let Some(path) = args.opt("log") {
+        let records = obscheck::check_log(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: ok (structured log, {records} records)");
+        checked += 1;
+    }
     if let Some(path) = args.opt("bench") {
         let min = args
             .opt("min-conv-event-speedup")
@@ -827,7 +861,10 @@ fn cmd_obs_check(args: &Args) -> Result<(), String> {
         checked += 1;
     }
     if checked == 0 {
-        return Err("obs-check needs at least one of --text, --json, --trace, --bench".into());
+        return Err(
+            "obs-check needs at least one of --text, --json, --trace, --traces, --log, --bench"
+                .into(),
+        );
     }
     Ok(())
 }

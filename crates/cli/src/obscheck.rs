@@ -191,11 +191,134 @@ pub fn check_trace(text: &str) -> Result<usize, String> {
     Ok(complete_events)
 }
 
+/// Validates a `GET /debug/traces` body: an object with numeric
+/// `capacity`/`kept`/`sampled_out` and a `traces` array whose entries
+/// carry a 32-lowercase-hex `trace_id`, a 16-hex `span_id`, numeric
+/// `status`/`total_us`, a non-empty `outcome`, and a `stages` array of
+/// `{stage, micros}` pairs.
+///
+/// Returns the number of traces.
+///
+/// # Errors
+///
+/// Returns a message describing the first structural problem.
+pub fn check_traces(text: &str) -> Result<usize, String> {
+    let value = serde_json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let Some(fields) = value.as_object() else {
+        return Err("top level is not an object".into());
+    };
+    let get = |obj: &'_ [(String, serde::Value)], k: &str| {
+        obj.iter().find(|(name, _)| name == k).map(|(_, v)| v.clone())
+    };
+    for required in ["capacity", "kept", "sampled_out"] {
+        match get(fields, required) {
+            Some(serde::Value::Number(v)) if v >= 0.0 => {}
+            _ => return Err(format!("missing non-negative numeric `{required}`")),
+        }
+    }
+    let Some(serde::Value::Array(traces)) = get(fields, "traces") else {
+        return Err("missing `traces` array".into());
+    };
+    for (i, trace) in traces.iter().enumerate() {
+        let Some(t) = trace.as_object() else {
+            return Err(format!("traces[{i}] is not an object"));
+        };
+        match get(t, "trace_id") {
+            Some(serde::Value::String(id)) if snn_obs::tracectx::is_trace_hex(&id) => {}
+            other => return Err(format!("traces[{i}]: bad trace_id: {other:?}")),
+        }
+        match get(t, "span_id") {
+            Some(serde::Value::String(id))
+                if id.len() == 16 && id.bytes().all(|b| b.is_ascii_hexdigit()) => {}
+            other => return Err(format!("traces[{i}]: bad span_id: {other:?}")),
+        }
+        for required in ["status", "total_us", "unix_ms", "batch_size", "model_version"] {
+            match get(t, required) {
+                Some(serde::Value::Number(v)) if v >= 0.0 => {}
+                _ => return Err(format!("traces[{i}]: missing numeric `{required}`")),
+            }
+        }
+        for required in ["route", "outcome"] {
+            match get(t, required) {
+                Some(serde::Value::String(s)) if !s.is_empty() => {}
+                _ => return Err(format!("traces[{i}]: missing non-empty `{required}`")),
+            }
+        }
+        let Some(serde::Value::Array(stages)) = get(t, "stages") else {
+            return Err(format!("traces[{i}]: missing `stages` array"));
+        };
+        for (j, stage) in stages.iter().enumerate() {
+            let Some(s) = stage.as_object() else {
+                return Err(format!("traces[{i}].stages[{j}] is not an object"));
+            };
+            match get(s, "stage") {
+                Some(serde::Value::String(name)) if !name.is_empty() => {}
+                _ => return Err(format!("traces[{i}].stages[{j}]: missing `stage` name")),
+            }
+            match get(s, "micros") {
+                Some(serde::Value::Number(v)) if v >= 0.0 => {}
+                _ => return Err(format!("traces[{i}].stages[{j}]: missing numeric `micros`")),
+            }
+        }
+    }
+    Ok(traces.len())
+}
+
+/// Validates a structured JSONL event log (the `SNN_LOG=level:FILE`
+/// sink): every non-empty line parses as a JSON object with numeric
+/// `ts`, a `level` in `error|warn|info|debug`, and a non-empty `msg`;
+/// a `trace` field, when present, must be a well-formed 32-hex trace
+/// id.
+///
+/// Returns the number of records.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn check_log(text: &str) -> Result<usize, String> {
+    let mut records = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        let value =
+            serde_json::parse(line).map_err(|e| format!("line {lineno}: invalid JSON: {e}"))?;
+        let Some(fields) = value.as_object() else {
+            return Err(format!("line {lineno}: record is not an object"));
+        };
+        let get = |k: &str| fields.iter().find(|(name, _)| name == k).map(|(_, v)| v);
+        match get("ts") {
+            Some(serde::Value::Number(v)) if *v >= 0.0 => {}
+            _ => return Err(format!("line {lineno}: missing numeric `ts`")),
+        }
+        match get("level") {
+            Some(serde::Value::String(l))
+                if matches!(l.as_str(), "error" | "warn" | "info" | "debug") => {}
+            other => return Err(format!("line {lineno}: bad `level`: {other:?}")),
+        }
+        match get("msg") {
+            Some(serde::Value::String(m)) if !m.is_empty() => {}
+            _ => return Err(format!("line {lineno}: missing non-empty `msg`")),
+        }
+        if let Some(serde::Value::String(trace)) = get("trace") {
+            if !snn_obs::tracectx::is_trace_hex(trace) {
+                return Err(format!("line {lineno}: malformed trace id `{trace}`"));
+            }
+        }
+        records += 1;
+    }
+    if records == 0 {
+        return Err("log is empty".into());
+    }
+    Ok(records)
+}
+
 /// Expected `schema_version` of `BENCH_kernels.json`. Kept in sync
 /// with `snn_bench::BENCH_SCHEMA_VERSION` by hand — the CLI stays
 /// below the bench crate in the dependency order, and a version drift
 /// is exactly what this check exists to catch.
-pub const BENCH_KERNELS_SCHEMA: f64 = 4.0;
+pub const BENCH_KERNELS_SCHEMA: f64 = 5.0;
 
 /// Validates a `BENCH_kernels.json` report and (optionally) gates on
 /// the event-driven conv2d speedup and the int8 GEMM speedup.
@@ -436,21 +559,21 @@ mod tests {
 
     #[test]
     fn validates_bench_kernels_report() {
-        let good = bench_report("4", "2.5");
+        let good = bench_report("5", "2.5");
         let summary = check_bench_kernels(&good, None, None).unwrap();
         assert!(summary.contains("2.50x"), "summary was `{summary}`");
         check_bench_kernels(&good, Some(1.5), None).unwrap();
         assert!(check_bench_kernels(&good, Some(3.0), None).is_err(), "below gate");
-        assert!(check_bench_kernels(&bench_report("3", "2.5"), None, None).is_err(), "old schema");
+        assert!(check_bench_kernels(&bench_report("4", "2.5"), None, None).is_err(), "old schema");
         assert!(check_bench_kernels("not json", None, None).is_err());
         assert!(check_bench_kernels("{}", None, None).is_err(), "missing everything");
-        let no_90 = bench_report("4", "2.5").replace("\"sparsity_pct\":90", "\"sparsity_pct\":91");
+        let no_90 = bench_report("5", "2.5").replace("\"sparsity_pct\":90", "\"sparsity_pct\":91");
         assert!(check_bench_kernels(&no_90, None, None).is_err(), "no 90% point");
     }
 
     #[test]
     fn gates_and_validates_int8_rows() {
-        let good = bench_report_gated("4", "2.5", "1.35");
+        let good = bench_report_gated("5", "2.5", "1.35");
         let summary = check_bench_kernels(&good, None, Some(1.2)).unwrap();
         assert!(summary.contains("1.35x"), "summary was `{summary}`");
         assert!(
@@ -466,6 +589,56 @@ mod tests {
         assert!(
             check_bench_kernels(&bad_baseline, None, None).is_err(),
             "non-numeric f32 baseline in the int8 conv rows must fail"
+        );
+    }
+
+    fn trace_listing(trace_id: &str, stages: &str) -> String {
+        format!(
+            "{{\"capacity\":64,\"kept\":1,\"sampled_out\":0,\"traces\":[\
+             {{\"trace_id\":\"{trace_id}\",\"span_id\":\"00c0ffee00c0ffee\",\
+             \"unix_ms\":1700000000000,\"route\":\"/infer\",\"engine\":\"f32\",\
+             \"status\":200,\"outcome\":\"ok\",\"batch_size\":1,\"model_version\":1,\
+             \"total_us\":1234,\"stages\":{stages}}}]}}"
+        )
+    }
+
+    #[test]
+    fn validates_debug_traces_listing() {
+        let id = "0123456789abcdef0123456789abcdef";
+        let stages = "[{\"stage\":\"parse\",\"micros\":3},{\"stage\":\"forward\",\"micros\":900}]";
+        assert_eq!(check_traces(&trace_listing(id, stages)).unwrap(), 1);
+        assert_eq!(
+            check_traces("{\"capacity\":0,\"kept\":0,\"sampled_out\":0,\"traces\":[]}").unwrap(),
+            0,
+            "an empty ring listing is still well-formed"
+        );
+        assert!(check_traces("not json").is_err());
+        assert!(check_traces("[]").is_err(), "top level must be an object");
+        assert!(check_traces(&trace_listing("SHOUTY", stages)).is_err(), "bad trace id");
+        assert!(
+            check_traces(&trace_listing(id, "[{\"stage\":\"parse\"}]")).is_err(),
+            "stage without micros"
+        );
+        let no_stats = trace_listing(id, stages).replace("\"kept\":1,", "");
+        assert!(check_traces(&no_stats).is_err(), "missing sampling stats");
+    }
+
+    #[test]
+    fn validates_structured_log() {
+        let id = "0123456789abcdef0123456789abcdef";
+        let good = format!(
+            "{{\"ts\":1.5,\"level\":\"info\",\"msg\":\"server listening\"}}\n\
+             {{\"ts\":2.0,\"level\":\"warn\",\"msg\":\"infer failed\",\"trace\":\"{id}\",\
+             \"status\":429}}\n"
+        );
+        assert_eq!(check_log(&good).unwrap(), 2);
+        assert!(check_log("").is_err(), "empty log");
+        assert!(check_log("not json\n").is_err());
+        assert!(check_log("{\"ts\":1,\"level\":\"loud\",\"msg\":\"x\"}\n").is_err(), "bad level");
+        assert!(check_log("{\"ts\":1,\"level\":\"info\"}\n").is_err(), "missing msg");
+        assert!(
+            check_log("{\"ts\":1,\"level\":\"info\",\"msg\":\"x\",\"trace\":\"short\"}\n").is_err(),
+            "malformed trace id"
         );
     }
 

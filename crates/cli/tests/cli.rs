@@ -150,6 +150,66 @@ fn obs_check_rejects_malformed_exposition() {
 }
 
 #[test]
+fn obs_check_validates_trace_listing_and_structured_log() {
+    let traces = temp_path("traces.json");
+    std::fs::write(
+        &traces,
+        "{\"capacity\":64,\"kept\":1,\"sampled_out\":2,\"traces\":[\
+         {\"trace_id\":\"0123456789abcdef0123456789abcdef\",\"span_id\":\"0011223344556677\",\
+         \"unix_ms\":1700000000000,\"route\":\"/infer\",\"engine\":\"f32\",\"status\":200,\
+         \"outcome\":\"ok\",\"batch_size\":1,\"model_version\":1,\"total_us\":1234,\
+         \"stages\":[{\"stage\":\"parse\",\"micros\":10}]}]}",
+    )
+    .unwrap();
+    let log = temp_path("events.jsonl");
+    std::fs::write(
+        &log,
+        "{\"ts\":1.5,\"level\":\"info\",\"msg\":\"server listening\",\"addr\":\"127.0.0.1:1\"}\n",
+    )
+    .unwrap();
+    let (code, stdout, stderr) = snn(&[
+        "obs-check",
+        "--traces",
+        traces.to_str().unwrap(),
+        "--log",
+        log.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "obs-check rejected good fixtures: {stderr}");
+    assert!(stdout.contains("1 traces"), "summary should count traces: {stdout}");
+    assert!(stdout.contains("1 records"), "summary should count log records: {stdout}");
+
+    std::fs::write(&log, "{\"ts\":1.5,\"level\":\"shouting\",\"msg\":\"x\"}\n").unwrap();
+    assert_clean_error(&["obs-check", "--log", log.to_str().unwrap()], "bad `level`");
+    std::fs::write(&traces, "{\"capacity\":64}").unwrap();
+    assert_clean_error(&["obs-check", "--traces", traces.to_str().unwrap()], "kept");
+    let _ = std::fs::remove_file(&traces);
+    let _ = std::fs::remove_file(&log);
+}
+
+#[test]
+fn tail_follows_a_log_file_and_reports_bad_flags() {
+    let log = temp_path("tail.jsonl");
+    std::fs::write(
+        &log,
+        "{\"ts\":1.5,\"level\":\"info\",\"msg\":\"server listening\",\
+         \"trace\":\"0123456789abcdef0123456789abcdef\",\"addr\":\"127.0.0.1:1\"}\n\
+         this line is not JSON\n",
+    )
+    .unwrap();
+    let (code, stdout, stderr) = snn(&["tail", "--log", log.to_str().unwrap(), "--once"]);
+    assert_eq!(code, 0, "tail --once failed: {stderr}");
+    assert!(stdout.contains("server listening"), "log msg missing: {stdout}");
+    assert!(stdout.contains("trace=0123456789abcdef"), "trace id missing: {stdout}");
+    assert!(stdout.contains("unparseable line"), "corrupt line must be surfaced: {stdout}");
+    let _ = std::fs::remove_file(&log);
+
+    assert_clean_error(&["tail"], "tail needs --log FILE or --addr HOST:PORT");
+    assert_clean_error(&["tail", "--log", "x", "--addr", "127.0.0.1:1"], "not both");
+    assert_clean_error(&["top"], "missing required flag --addr");
+    assert_clean_error(&["top", "--addr", "nonsense"], "cannot parse `nonsense`");
+}
+
+#[test]
 fn chaos_rejects_malformed_plan() {
     assert_clean_error(
         &["chaos", "--plan", "meteor@store:0.5"],

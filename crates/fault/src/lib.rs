@@ -255,6 +255,7 @@ impl FaultPlan {
         }
         if fired {
             fault_obs().injected.inc();
+            snn_obs::log_warn!("fault injected", kind = format!("{kind:?}"), site = site);
         }
         fired
     }
@@ -355,6 +356,7 @@ fn fault_obs() -> &'static FaultObs {
 /// restart, sweep-point quarantine) on `snn_recovery_total`.
 pub fn record_recovery() {
     fault_obs().recoveries.inc();
+    snn_obs::log_info!("recovery recorded", total = fault_obs().recoveries.get());
 }
 
 /// Total faults fired so far (`snn_fault_injected_total`).

@@ -17,6 +17,17 @@
 //!   Chrome `trace_event` line loadable in `chrome://tracing`, and
 //!   with profiling enabled ([`enable_profiling`]) it folds into the
 //!   call-path tree that `snn profile` prints ([`render_profile`]).
+//! * **Request identity** ([`tracectx`], [`ring`]) — a per-request
+//!   [`TraceContext`] propagated by value through queues and threads;
+//!   completed requests land in a [`TraceRing`] with tail-based
+//!   sampling, the store behind serve's `GET /debug/traces`. Spans
+//!   and log records on a thread with an installed context attach
+//!   its trace id automatically.
+//! * **Structured logging** ([`log`], [`log_info!`] and friends) —
+//!   leveled JSONL event records, `SNN_LOG=level[:path]`,
+//!   rate-limited, off by default.
+//! * **SLOs** ([`slo`]) — `SNN_SLO="p99=25ms,avail=99.9"` objectives
+//!   with 5m/1h burn-rate windows and a fast-burn flag.
 //!
 //! # Naming convention
 //!
@@ -44,14 +55,21 @@
 #![forbid(unsafe_code)]
 
 mod instrument;
+pub mod log;
 mod registry;
+pub mod ring;
+pub mod slo;
 mod span;
 mod trace;
+pub mod tracectx;
 
 pub use instrument::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{global, Instrument, Registry};
+pub use ring::{StageTiming, TailPolicy, TraceRecord, TraceRing};
+pub use slo::{BurnRates, SloConfig, SloTracker};
 pub use span::{
     enable_profiling, profile_rows, profiling_enabled, render_profile, span_bounds,
     span_histogram, NodeStats, SpanGuard,
 };
 pub use trace::trace_enabled;
+pub use tracectx::TraceContext;

@@ -1,0 +1,393 @@
+//! Leveled, structured JSONL event logging (`SNN_LOG=level[:path]`).
+//!
+//! One JSON object per line, machine-parseable (`snn tail --log`,
+//! `snn obs-check --log`), human-skimmable:
+//!
+//! ```json
+//! {"ts":1754649600.123,"level":"warn","msg":"worker panic",
+//!  "trace":"4f2a…","site":"serve.worker","batch":8}
+//! ```
+//!
+//! * `ts` — UNIX seconds (fractional, millisecond precision).
+//! * `level` — `error` | `warn` | `info` | `debug`.
+//! * `msg` — the fixed event name; everything variable goes in fields.
+//! * `trace` — attached automatically when a [`crate::tracectx`]
+//!   scope is installed on the emitting thread.
+//!
+//! Emit through the [`crate::log_error!`] / [`crate::log_warn!`] /
+//! [`crate::log_info!`] / [`crate::log_debug!`] macros:
+//!
+//! ```
+//! snn_obs::log_info!("reload", version = 3u64, dtype = "int8");
+//! ```
+//!
+//! # Cost model
+//!
+//! Logging is **off by default**: with `SNN_LOG` unset a disabled call
+//! site costs one relaxed atomic load (the level check happens in the
+//! macro, before any field is evaluated). When enabled, lines are
+//! serialized outside the sink lock and writes are **rate-limited**
+//! (default 500 lines/sec, [`RATE_LIMIT_PER_SEC`]); past the limit
+//! lines are counted and dropped, and a single `log lines dropped`
+//! summary record is emitted when the window rotates — a log storm
+//! never amplifies the overload that caused it.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use serde::Value;
+
+use crate::tracectx;
+
+/// Maximum records written per one-second window; the excess is
+/// dropped and summarized.
+pub const RATE_LIMIT_PER_SEC: u32 = 500;
+
+/// Event severity. Lower numeric rank = more severe; a sink at level
+/// `L` keeps everything with `rank <= L.rank()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or data-affecting failures.
+    Error,
+    /// Degradation the operator should know about (panics absorbed,
+    /// shed load, fault injections).
+    Warn,
+    /// Lifecycle events (startup, reload, shutdown).
+    Info,
+    /// High-volume diagnostics.
+    Debug,
+}
+
+impl Level {
+    fn rank(self) -> u8 {
+        match self {
+            Level::Error => 1,
+            Level::Warn => 2,
+            Level::Info => 3,
+            Level::Debug => 4,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Level> {
+        match s {
+            "error" => Some(Level::Error),
+            "warn" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+enum Out {
+    Stderr,
+    File(std::fs::File),
+}
+
+struct SinkState {
+    out: Out,
+    /// Rate-limit window index (seconds since sink creation).
+    window: u64,
+    in_window: u32,
+    dropped: u64,
+}
+
+struct LogState {
+    /// 0 = off; otherwise the maximum [`Level::rank`] kept.
+    level: AtomicU8,
+    sink: Mutex<Option<SinkState>>,
+    epoch: Instant,
+}
+
+fn state() -> &'static LogState {
+    static STATE: OnceLock<LogState> = OnceLock::new();
+    STATE.get_or_init(|| {
+        let st = LogState {
+            level: AtomicU8::new(0),
+            sink: Mutex::new(None),
+            epoch: Instant::now(),
+        };
+        if let Ok(spec) = std::env::var("SNN_LOG") {
+            if !spec.is_empty() {
+                if let Err(e) = apply_spec(&st, &spec) {
+                    eprintln!("snn-obs: bad SNN_LOG `{spec}`: {e}; logging disabled");
+                }
+            }
+        }
+        st
+    })
+}
+
+fn apply_spec(st: &LogState, spec: &str) -> Result<(), String> {
+    let (level_str, path) = match spec.split_once(':') {
+        Some((l, p)) => (l, Some(p)),
+        None => (spec, None),
+    };
+    let level = Level::parse(level_str)
+        .ok_or_else(|| format!("unknown level `{level_str}` (want error|warn|info|debug)"))?;
+    let out = match path {
+        None | Some("") => Out::Stderr,
+        Some(p) => Out::File(
+            OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(p)
+                .map_err(|e| format!("cannot open `{p}`: {e}"))?,
+        ),
+    };
+    *st.sink.lock().expect("log sink lock poisoned") =
+        Some(SinkState { out, window: 0, in_window: 0, dropped: 0 });
+    st.level.store(level.rank(), Ordering::Relaxed);
+    Ok(())
+}
+
+/// (Re)configures logging from a `level[:path]` spec, overriding
+/// whatever `SNN_LOG` set up. Without a path, records go to stderr.
+/// Used by tools and tests; servers normally configure via the env.
+pub fn init(spec: &str) -> Result<(), String> {
+    apply_spec(state(), spec)
+}
+
+/// Whether records at `level` are currently kept. The macros check
+/// this before evaluating any field expression.
+pub fn enabled(level: Level) -> bool {
+    state().level.load(Ordering::Relaxed) >= level.rank()
+}
+
+/// A typed field value. The `From` impls keep the macro call sites
+/// terse (`count = 3u64`, `site = "serve.worker"`).
+#[derive(Debug, Clone)]
+pub enum FieldValue {
+    /// A string field.
+    S(String),
+    /// A numeric field.
+    N(f64),
+    /// A boolean field.
+    B(bool),
+}
+
+impl FieldValue {
+    fn to_value(&self) -> Value {
+        match self {
+            FieldValue::S(s) => Value::String(s.clone()),
+            FieldValue::N(n) => Value::Number(*n),
+            FieldValue::B(b) => Value::Bool(*b),
+        }
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::S(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::S(v)
+    }
+}
+impl From<&String> for FieldValue {
+    fn from(v: &String) -> Self {
+        FieldValue::S(v.clone())
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::B(v)
+    }
+}
+macro_rules! impl_field_num {
+    ($($t:ty),*) => {$(
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self { FieldValue::N(v as f64) }
+        }
+    )*};
+}
+impl_field_num!(f32, f64, u16, u32, u64, usize, i16, i32, i64, isize);
+
+/// Builds and writes one record. Call through the level macros, which
+/// gate on [`enabled`] first; calling this directly with a disabled
+/// level is a silent no-op.
+pub fn emit(level: Level, msg: &str, fields: &[(&str, FieldValue)]) {
+    if !enabled(level) {
+        return;
+    }
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0);
+    // Millisecond precision keeps lines short and diff-friendly.
+    let ts = (ts * 1e3).round() / 1e3;
+    let mut obj = vec![
+        ("ts".to_string(), Value::Number(ts)),
+        ("level".to_string(), Value::String(level.name().to_string())),
+        ("msg".to_string(), Value::String(msg.to_string())),
+    ];
+    if let Some(ctx) = tracectx::current() {
+        obj.push(("trace".to_string(), Value::String(ctx.trace_hex())));
+    }
+    for (k, v) in fields {
+        obj.push((k.to_string(), v.to_value()));
+    }
+    let mut line =
+        serde_json::to_string(&Value::Object(obj)).expect("Value serializes infallibly");
+    line.push('\n');
+    write_line(&line);
+}
+
+fn write_line(line: &str) {
+    let st = state();
+    let window = st.epoch.elapsed().as_secs();
+    let mut guard = st.sink.lock().expect("log sink lock poisoned");
+    let Some(sink) = guard.as_mut() else { return };
+    if window != sink.window {
+        if sink.dropped > 0 {
+            let note = format!(
+                "{{\"ts\":0,\"level\":\"warn\",\"msg\":\"log lines dropped\",\"dropped\":{}}}\n",
+                sink.dropped
+            );
+            let _ = match &mut sink.out {
+                Out::Stderr => std::io::stderr().write_all(note.as_bytes()),
+                Out::File(f) => f.write_all(note.as_bytes()),
+            };
+        }
+        sink.window = window;
+        sink.in_window = 0;
+        sink.dropped = 0;
+    }
+    if sink.in_window >= RATE_LIMIT_PER_SEC {
+        sink.dropped += 1;
+        return;
+    }
+    sink.in_window += 1;
+    let _ = match &mut sink.out {
+        Out::Stderr => std::io::stderr().write_all(line.as_bytes()),
+        Out::File(f) => f.write_all(line.as_bytes()),
+    };
+}
+
+/// Emits an `error`-level record: `log_error!("msg", key = value, …)`.
+#[macro_export]
+macro_rules! log_error {
+    ($msg:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            $crate::log::emit($crate::log::Level::Error, $msg,
+                &[$((stringify!($k), $crate::log::FieldValue::from($v))),*]);
+        }
+    };
+}
+
+/// Emits a `warn`-level record: `log_warn!("msg", key = value, …)`.
+#[macro_export]
+macro_rules! log_warn {
+    ($msg:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::log::enabled($crate::log::Level::Warn) {
+            $crate::log::emit($crate::log::Level::Warn, $msg,
+                &[$((stringify!($k), $crate::log::FieldValue::from($v))),*]);
+        }
+    };
+}
+
+/// Emits an `info`-level record: `log_info!("msg", key = value, …)`.
+#[macro_export]
+macro_rules! log_info {
+    ($msg:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::emit($crate::log::Level::Info, $msg,
+                &[$((stringify!($k), $crate::log::FieldValue::from($v))),*]);
+        }
+    };
+}
+
+/// Emits a `debug`-level record: `log_debug!("msg", key = value, …)`.
+#[macro_export]
+macro_rules! log_debug {
+    ($msg:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::emit($crate::log::Level::Debug, $msg,
+                &[$((stringify!($k), $crate::log::FieldValue::from($v))),*]);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get<'a>(v: &'a Value, k: &str) -> Option<&'a Value> {
+        v.as_object()?.iter().find(|(n, _)| n == k).map(|(_, x)| x)
+    }
+    fn get_str<'a>(v: &'a Value, k: &str) -> Option<&'a str> {
+        match get(v, k)? {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn get_num(v: &Value, k: &str) -> Option<f64> {
+        match get(v, k)? {
+            Value::Number(n) => Some(*n),
+            Value::BigInt(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// One test covers the whole sink lifecycle: the sink is process
+    /// global, so splitting into parallel `#[test]`s would race on
+    /// re-`init`.
+    #[test]
+    fn log_lifecycle() {
+        // Disabled by default (no SNN_LOG in the test environment).
+        assert!(!enabled(Level::Error) || std::env::var("SNN_LOG").is_ok());
+
+        let dir = std::env::temp_dir().join(format!("snn-obs-log-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let spec = format!("info:{}", path.display());
+        init(&spec).unwrap();
+
+        assert!(enabled(Level::Warn));
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug), "info sink must drop debug");
+
+        crate::log_info!("unit test event", count = 3u64, site = "obs.test", ok = true);
+        crate::log_debug!("must not appear");
+        // Trace id auto-attach.
+        let ctx = crate::tracectx::TraceContext::new_root();
+        {
+            let _scope = crate::tracectx::set_scope(ctx);
+            crate::log_warn!("traced event");
+        }
+
+        init("error").unwrap(); // point the sink away before reading
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().filter(|l| !l.is_empty()).collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(!text.contains("must not appear"));
+
+        let first = serde_json::parse(lines[0]).unwrap();
+        assert_eq!(get_str(&first, "level"), Some("info"), "{}", lines[0]);
+        assert_eq!(get_str(&first, "msg"), Some("unit test event"));
+        assert_eq!(get_num(&first, "count"), Some(3.0));
+        assert_eq!(get_str(&first, "site"), Some("obs.test"));
+        assert!(get_num(&first, "ts").unwrap_or(-1.0) > 0.0);
+
+        let second = serde_json::parse(lines[1]).unwrap();
+        let trace = get_str(&second, "trace").expect("trace attached");
+        assert_eq!(trace, ctx.trace_hex());
+        assert!(crate::tracectx::is_trace_hex(trace));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

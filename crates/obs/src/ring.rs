@@ -1,0 +1,370 @@
+//! A bounded ring of completed request traces with tail-based
+//! sampling, the store behind `GET /debug/traces`.
+//!
+//! # Tail-based sampling
+//!
+//! The keep/drop decision is made *after* the request finishes, when
+//! its outcome and total latency are known — the opposite of
+//! head-based sampling, which would have to decide at arrival and so
+//! can only keep a blind fraction. The policy ([`TailPolicy`]):
+//!
+//! 1. **always keep failures** — any record with `status >= 400`
+//!    (shed 429s, deadline 504s, panic/circuit 503s, bad-input 400s);
+//! 2. **always keep the tail** — anything with `total_us` at or over
+//!    the slow threshold;
+//! 3. **probabilistically keep the rest**, by hashing the trace id
+//!    against the sample ratio — deterministic per id, so retries of
+//!    the same question give the same answer.
+//!
+//! # Concurrency
+//!
+//! Writers claim a slot with one `fetch_add` on the cursor — the ring
+//! order is decided lock-free — then publish the record through that
+//! slot's own mutex. Two writers contend on a slot mutex only when
+//! they are a full ring-capacity apart in the claim order; readers
+//! clone `Arc`s out. There is no global lock, so a slow `/debug`
+//! reader never stalls request threads.
+//!
+//! # Environment
+//!
+//! * `SNN_TRACE_RING` — capacity (default 256; `0` disables tracing).
+//! * `SNN_TRACE_SLOW_MS` — always-keep latency threshold (default 25).
+//! * `SNN_TRACE_SAMPLE` — keep ratio for fast successes, 0..=1
+//!   (default 1.0: keep everything; the ring overwriting oldest-first
+//!   is already a bound).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::Value;
+
+/// One named, timed stage of a request (`parse`, `queue_wait`,
+/// `batch_form`, `forward`, `respond`).
+#[derive(Debug, Clone)]
+pub struct StageTiming {
+    /// Stage name.
+    pub stage: String,
+    /// Stage duration, microseconds.
+    pub micros: u64,
+}
+
+/// A completed request trace, as kept in the ring and served from
+/// `/debug/traces`.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// 32-hex-char trace id (also the `x-snn-trace-id` header value).
+    pub trace_id: String,
+    /// 16-hex-char root span id.
+    pub span_id: String,
+    /// Completion wall-clock time, ms since the UNIX epoch.
+    pub unix_ms: u64,
+    /// Request route (e.g. `/infer`).
+    pub route: String,
+    /// Engine that served it (`f32`, `int8`, or `""` if never reached
+    /// one).
+    pub engine: String,
+    /// HTTP status returned.
+    pub status: u16,
+    /// Outcome label (`ok`, `queue_full`, `deadline`, `bad_input`,
+    /// `worker_panic`, `circuit_open`, `shutdown`).
+    pub outcome: String,
+    /// Batch the request rode in (0 if it never reached the worker).
+    pub batch_size: u64,
+    /// Model version that served it (0 if it never reached an engine).
+    pub model_version: u64,
+    /// End-to-end wall latency, microseconds.
+    pub total_us: u64,
+    /// Per-stage timings, in execution order.
+    pub stages: Vec<StageTiming>,
+}
+
+impl TraceRecord {
+    /// The record as a JSON value. Field order is stable — scripts
+    /// (ci.sh) sed-match on it.
+    pub fn to_value(&self) -> Value {
+        let stages = self
+            .stages
+            .iter()
+            .map(|s| {
+                Value::Object(vec![
+                    ("stage".to_string(), Value::String(s.stage.clone())),
+                    ("micros".to_string(), Value::Number(s.micros as f64)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("trace_id".to_string(), Value::String(self.trace_id.clone())),
+            ("span_id".to_string(), Value::String(self.span_id.clone())),
+            ("unix_ms".to_string(), Value::Number(self.unix_ms as f64)),
+            ("route".to_string(), Value::String(self.route.clone())),
+            ("engine".to_string(), Value::String(self.engine.clone())),
+            ("status".to_string(), Value::Number(f64::from(self.status))),
+            ("outcome".to_string(), Value::String(self.outcome.clone())),
+            ("batch_size".to_string(), Value::Number(self.batch_size as f64)),
+            ("model_version".to_string(), Value::Number(self.model_version as f64)),
+            ("total_us".to_string(), Value::Number(self.total_us as f64)),
+            ("stages".to_string(), Value::Array(stages)),
+        ])
+    }
+
+    /// The record as a Chrome trace-event array (the same
+    /// complete-event convention as [`crate::trace`]): one `X` event
+    /// per stage, timestamps relative to request start, loadable
+    /// directly in `chrome://tracing` / Perfetto.
+    pub fn chrome_value(&self) -> Value {
+        let mut events = vec![Value::Object(vec![
+            ("name".to_string(), Value::String("process_name".into())),
+            ("ph".to_string(), Value::String("M".into())),
+            ("pid".to_string(), Value::Number(1.0)),
+            ("tid".to_string(), Value::Number(0.0)),
+            (
+                "args".to_string(),
+                Value::Object(vec![(
+                    "name".to_string(),
+                    Value::String(format!("snn request {}", self.trace_id)),
+                )]),
+            ),
+        ])];
+        let mut ts = 0u64;
+        for s in &self.stages {
+            events.push(Value::Object(vec![
+                ("name".to_string(), Value::String(s.stage.clone())),
+                ("cat".to_string(), Value::String("snn".into())),
+                ("ph".to_string(), Value::String("X".into())),
+                ("ts".to_string(), Value::Number(ts as f64)),
+                ("dur".to_string(), Value::Number(s.micros as f64)),
+                ("pid".to_string(), Value::Number(1.0)),
+                ("tid".to_string(), Value::Number(1.0)),
+                (
+                    "args".to_string(),
+                    Value::Object(vec![(
+                        "trace".to_string(),
+                        Value::String(self.trace_id.clone()),
+                    )]),
+                ),
+            ]));
+            ts += s.micros;
+        }
+        Value::Array(events)
+    }
+}
+
+/// The tail-sampling keep/drop policy (see module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct TailPolicy {
+    /// Requests with `total_us >= slow_us` are always kept.
+    pub slow_us: u64,
+    /// Keep ratio for fast successes, `0.0..=1.0`.
+    pub sample: f64,
+}
+
+impl Default for TailPolicy {
+    fn default() -> Self {
+        TailPolicy { slow_us: 25_000, sample: 1.0 }
+    }
+}
+
+/// The completed-trace ring. See module docs for the concurrency and
+/// sampling story.
+pub struct TraceRing {
+    slots: Vec<Mutex<Option<Arc<TraceRecord>>>>,
+    cursor: AtomicUsize,
+    kept: AtomicU64,
+    sampled_out: AtomicU64,
+    policy: TailPolicy,
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("capacity", &self.slots.len())
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TraceRing {
+    /// A ring holding up to `capacity` most-recent kept traces.
+    /// `capacity` must be nonzero (a zero capacity means "tracing
+    /// off" — represent that as no ring at all).
+    pub fn new(capacity: usize, policy: TailPolicy) -> TraceRing {
+        assert!(capacity > 0, "use Option<TraceRing>, not capacity 0, to disable");
+        TraceRing {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicUsize::new(0),
+            kept: AtomicU64::new(0),
+            sampled_out: AtomicU64::new(0),
+            policy,
+        }
+    }
+
+    /// Builds the ring the environment asks for: `None` when
+    /// `SNN_TRACE_RING=0` (tracing disabled).
+    pub fn from_env() -> Option<Arc<TraceRing>> {
+        let capacity = match std::env::var("SNN_TRACE_RING") {
+            Ok(v) => v.trim().parse::<usize>().unwrap_or(256),
+            Err(_) => 256,
+        };
+        if capacity == 0 {
+            return None;
+        }
+        let slow_ms = match std::env::var("SNN_TRACE_SLOW_MS") {
+            Ok(v) => v.trim().parse::<u64>().unwrap_or(25),
+            Err(_) => 25,
+        };
+        let sample = match std::env::var("SNN_TRACE_SAMPLE") {
+            Ok(v) => v.trim().parse::<f64>().unwrap_or(1.0).clamp(0.0, 1.0),
+            Err(_) => 1.0,
+        };
+        Some(Arc::new(TraceRing::new(capacity, TailPolicy { slow_us: slow_ms * 1000, sample })))
+    }
+
+    /// Applies the tail-sampling policy to a finished request; kept
+    /// records go into the ring (overwriting the oldest). Returns
+    /// whether the record was kept.
+    pub fn offer(&self, rec: TraceRecord) -> bool {
+        let keep = rec.status >= 400
+            || rec.total_us >= self.policy.slow_us
+            || self.sample_keep(&rec.trace_id);
+        if !keep {
+            self.sampled_out.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        self.kept.fetch_add(1, Ordering::Relaxed);
+        let idx = self.cursor.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        *self.slots[idx].lock().expect("trace ring slot poisoned") = Some(Arc::new(rec));
+        true
+    }
+
+    /// Deterministic per-id coin flip: hash the trace id, compare
+    /// against the sample ratio.
+    fn sample_keep(&self, trace_id: &str) -> bool {
+        if self.policy.sample >= 1.0 {
+            return true;
+        }
+        if self.policy.sample <= 0.0 {
+            return false;
+        }
+        // FNV-1a over the hex id, then a SplitMix64 finalizer: plain
+        // FNV leaves the high bits nearly constant for ids differing
+        // only in trailing bytes.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in trace_id.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let h = crate::tracectx::splitmix64(h);
+        (h >> 11) as f64 / ((1u64 << 53) as f64) < self.policy.sample
+    }
+
+    /// Kept traces, newest first.
+    pub fn recent(&self) -> Vec<Arc<TraceRecord>> {
+        let n = self.slots.len();
+        let cursor = self.cursor.load(Ordering::Relaxed);
+        let mut out = Vec::with_capacity(n.min(cursor));
+        for back in 1..=n.min(cursor) {
+            let idx = (cursor - back) % n;
+            if let Some(rec) = self.slots[idx].lock().expect("trace ring slot poisoned").as_ref() {
+                out.push(Arc::clone(rec));
+            }
+        }
+        out
+    }
+
+    /// Looks up a kept trace by its 32-hex-char id.
+    pub fn find(&self, trace_id: &str) -> Option<Arc<TraceRecord>> {
+        self.recent().into_iter().find(|r| r.trace_id == trace_id)
+    }
+
+    /// `(kept, sampled_out)` counters since startup.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.kept.load(Ordering::Relaxed), self.sampled_out.load(Ordering::Relaxed))
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, status: u16, total_us: u64) -> TraceRecord {
+        TraceRecord {
+            trace_id: format!("{id:032x}"),
+            span_id: format!("{id:016x}"),
+            unix_ms: 0,
+            route: "/infer".into(),
+            engine: "f32".into(),
+            status,
+            outcome: if status < 400 { "ok".into() } else { "queue_full".into() },
+            batch_size: 1,
+            model_version: 1,
+            total_us,
+            stages: vec![
+                StageTiming { stage: "parse".into(), micros: 10 },
+                StageTiming { stage: "forward".into(), micros: total_us.saturating_sub(10) },
+            ],
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_lists_newest_first() {
+        let ring = TraceRing::new(4, TailPolicy::default());
+        for i in 0..6u64 {
+            assert!(ring.offer(rec(i, 200, 100)));
+        }
+        let recent = ring.recent();
+        assert_eq!(recent.len(), 4);
+        let ids: Vec<&str> = recent.iter().map(|r| r.trace_id.as_str()).collect();
+        assert_eq!(ids[0], format!("{:032x}", 5u64), "newest first");
+        assert!(ring.find(&format!("{:032x}", 5u64)).is_some());
+        assert!(ring.find(&format!("{:032x}", 0u64)).is_none(), "evicted");
+        assert_eq!(ring.stats(), (6, 0));
+    }
+
+    #[test]
+    fn tail_sampling_always_keeps_errors_and_slow() {
+        // sample=0.0: fast successes are all dropped…
+        let ring = TraceRing::new(8, TailPolicy { slow_us: 1_000, sample: 0.0 });
+        assert!(!ring.offer(rec(1, 200, 100)));
+        // …but every error status and every slow request is kept.
+        for (i, status) in [(2u64, 429u16), (3, 504), (4, 503), (5, 400)] {
+            assert!(ring.offer(rec(i, status, 100)), "status {status} must be kept");
+        }
+        assert!(ring.offer(rec(6, 200, 1_000)), "at-threshold latency kept");
+        assert!(ring.offer(rec(7, 200, 50_000)), "slow kept");
+        assert_eq!(ring.stats(), (6, 1));
+    }
+
+    #[test]
+    fn probabilistic_keep_is_deterministic_per_id_and_roughly_calibrated() {
+        let ring = TraceRing::new(8, TailPolicy { slow_us: u64::MAX, sample: 0.5 });
+        let mut kept = 0u32;
+        for i in 0..1000u64 {
+            if ring.offer(rec(i, 200, 10)) {
+                kept += 1;
+            }
+        }
+        assert!((300..700).contains(&kept), "keep ratio wildly off: {kept}/1000");
+        // Same id → same decision.
+        let probe = rec(12345, 200, 10);
+        let first = ring.offer(probe.clone());
+        assert_eq!(ring.offer(probe), first);
+    }
+
+    #[test]
+    fn to_value_and_chrome_export_are_well_formed() {
+        let r = rec(9, 200, 110);
+        let text = serde_json::to_string(&r.to_value()).unwrap();
+        assert!(text.contains("\"trace_id\":\"00000000000000000000000000000009\""), "{text}");
+        assert!(text.contains("\"stage\":\"parse\",\"micros\":10"), "{text}");
+        let chrome = r.chrome_value();
+        let Value::Array(events) = &chrome else { panic!("chrome export must be an array") };
+        assert_eq!(events.len(), 3, "meta + 2 stages");
+        let text = serde_json::to_string(&chrome).unwrap();
+        assert!(text.contains("\"ph\":\"X\""), "{text}");
+    }
+}

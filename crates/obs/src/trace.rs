@@ -68,7 +68,10 @@ fn thread_ordinal() -> u64 {
 }
 
 /// Emits one complete ("X") event covering `[started, started+dur]`.
-/// No-op when tracing is disabled.
+/// No-op when tracing is disabled. When the emitting thread has a
+/// [`crate::tracectx`] scope installed, the owning request's trace id
+/// rides along in `args.trace`, so a global `SNN_TRACE` stream can be
+/// sliced per request.
 pub(crate) fn emit_complete(name: &str, started: Instant, dur_us: f64, args: Option<&str>) {
     let Some(sink) = sink() else { return };
     let ts_us = started.saturating_duration_since(sink.epoch).as_secs_f64() * 1e6;
@@ -81,11 +84,15 @@ pub(crate) fn emit_complete(name: &str, started: Instant, dur_us: f64, args: Opt
         ("pid".to_string(), Value::Number(1.0)),
         ("tid".to_string(), Value::Number(thread_ordinal() as f64)),
     ];
+    let mut arg_fields = Vec::new();
     if let Some(args) = args {
-        fields.push((
-            "args".to_string(),
-            Value::Object(vec![("detail".to_string(), Value::String(args.to_string()))]),
-        ));
+        arg_fields.push(("detail".to_string(), Value::String(args.to_string())));
+    }
+    if let Some(ctx) = crate::tracectx::current() {
+        arg_fields.push(("trace".to_string(), Value::String(ctx.trace_hex())));
+    }
+    if !arg_fields.is_empty() {
+        fields.push(("args".to_string(), Value::Object(arg_fields)));
     }
     let mut line =
         serde_json::to_string(&Value::Object(fields)).expect("Value serializes infallibly");

@@ -1,0 +1,177 @@
+//! Request-scoped trace identity, propagated by value.
+//!
+//! A [`TraceContext`] is minted once per request at the HTTP front end
+//! (128-bit trace id + 64-bit span id) and handed *by value* through
+//! the queue into the batch worker and engines. Any layer can install
+//! the context for the current thread with [`set_scope`]; downstream
+//! code — [`crate::span!`] trace events, [`crate::log`] records —
+//! picks it up via [`current`] without signature changes, so kernel
+//! dispatch deep inside `snn-tensor` attaches to the owning request.
+//!
+//! Ids come from a process-global SplitMix64 stream: hermetic (no OS
+//! entropy source), lock-free (one `fetch_add` per id), and seeded
+//! from the process id + wall clock at first use so concurrent server
+//! runs do not collide. Trace ids render as 32 lowercase hex chars,
+//! span ids as 16.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// The identity of one in-flight request.
+///
+/// `Copy` on purpose: contexts move by value across queue and thread
+/// boundaries; there is no shared registration to clean up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// High 64 bits of the 128-bit trace id.
+    pub trace_hi: u64,
+    /// Low 64 bits of the 128-bit trace id.
+    pub trace_lo: u64,
+    /// This hop's span id.
+    pub span_id: u64,
+    /// The parent hop's span id; `0` for a root context.
+    pub parent_span: u64,
+}
+
+/// SplitMix64 output function (Steele, Lea, Flood 2014). Also used
+/// as a finalizer by the trace ring's sampling hash.
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The shared SplitMix64 counter. Seeded once per process; each id is
+/// one `fetch_add` of the golden-ratio increment plus the output mix.
+fn id_state() -> &'static AtomicU64 {
+    static STATE: OnceLock<AtomicU64> = OnceLock::new();
+    STATE.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        AtomicU64::new(nanos ^ (u64::from(std::process::id()) << 32))
+    })
+}
+
+fn next_id() -> u64 {
+    // The increment is the SplitMix64 golden-ratio constant; distinct
+    // counter values mix to well-distributed, never-zero-in-practice
+    // outputs.
+    let raw = id_state().fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+    splitmix64(raw).max(1)
+}
+
+impl TraceContext {
+    /// Mints a fresh root context (new trace id, no parent).
+    pub fn new_root() -> TraceContext {
+        TraceContext { trace_hi: next_id(), trace_lo: next_id(), span_id: next_id(), parent_span: 0 }
+    }
+
+    /// A child context: same trace id, fresh span id, parented to
+    /// `self`.
+    pub fn child(&self) -> TraceContext {
+        TraceContext {
+            trace_hi: self.trace_hi,
+            trace_lo: self.trace_lo,
+            span_id: next_id(),
+            parent_span: self.span_id,
+        }
+    }
+
+    /// The 128-bit trace id as 32 lowercase hex chars.
+    pub fn trace_hex(&self) -> String {
+        format!("{:016x}{:016x}", self.trace_hi, self.trace_lo)
+    }
+
+    /// This hop's span id as 16 lowercase hex chars.
+    pub fn span_hex(&self) -> String {
+        format!("{:016x}", self.span_id)
+    }
+}
+
+/// Whether `s` is a well-formed trace id: exactly 32 lowercase hex
+/// characters.
+pub fn is_trace_hex(s: &str) -> bool {
+    s.len() == 32 && s.bytes().all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceContext>> = const { Cell::new(None) };
+}
+
+/// The context installed for the current thread, if any.
+pub fn current() -> Option<TraceContext> {
+    CURRENT.with(|c| c.get())
+}
+
+/// Installs `ctx` as the current thread's context for the guard's
+/// lifetime; the previous context (if any) is restored on drop, so
+/// scopes nest.
+pub fn set_scope(ctx: TraceContext) -> TraceScope {
+    let prev = CURRENT.with(|c| c.replace(Some(ctx)));
+    TraceScope { prev }
+}
+
+/// RAII guard restoring the previously installed [`TraceContext`].
+/// Created by [`set_scope`].
+#[must_use = "dropping the scope immediately uninstalls the context"]
+pub struct TraceScope {
+    prev: Option<TraceContext>,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_ids_are_distinct_and_well_formed() {
+        let a = TraceContext::new_root();
+        let b = TraceContext::new_root();
+        assert_ne!((a.trace_hi, a.trace_lo), (b.trace_hi, b.trace_lo));
+        assert_eq!(a.parent_span, 0);
+        assert!(is_trace_hex(&a.trace_hex()), "{}", a.trace_hex());
+        assert_eq!(a.span_hex().len(), 16);
+    }
+
+    #[test]
+    fn child_keeps_trace_id_and_links_parent() {
+        let root = TraceContext::new_root();
+        let child = root.child();
+        assert_eq!(child.trace_hex(), root.trace_hex());
+        assert_eq!(child.parent_span, root.span_id);
+        assert_ne!(child.span_id, root.span_id);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        assert_eq!(current(), None);
+        let outer = TraceContext::new_root();
+        let inner = outer.child();
+        {
+            let _a = set_scope(outer);
+            assert_eq!(current(), Some(outer));
+            {
+                let _b = set_scope(inner);
+                assert_eq!(current(), Some(inner));
+            }
+            assert_eq!(current(), Some(outer));
+        }
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn trace_hex_validation_rejects_junk() {
+        assert!(!is_trace_hex(""));
+        assert!(!is_trace_hex("xyz"));
+        assert!(!is_trace_hex(&"A".repeat(32)), "uppercase rejected");
+        assert!(is_trace_hex(&"0123456789abcdef".repeat(2)));
+    }
+}

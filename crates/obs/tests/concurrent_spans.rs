@@ -1,0 +1,134 @@
+//! Concurrency stress test for the span machinery: many threads
+//! emitting nested `span!`s at once must (a) never interleave corrupt
+//! records into the chrome-trace sink, and (b) produce a profiling
+//! span tree whose totals are consistent with the leaf durations the
+//! sink recorded.
+//!
+//! This lives in its own integration-test binary because the trace
+//! sink binds `SNN_TRACE` once per process, at the first span — the
+//! env var has to be set before any other test opens a span.
+
+use std::time::Duration;
+
+use serde::Value;
+
+const THREADS: usize = 8;
+const REPS: usize = 20;
+
+fn get<'a>(v: &'a Value, k: &str) -> Option<&'a Value> {
+    v.as_object()?.iter().find(|(n, _)| n == k).map(|(_, x)| x)
+}
+
+fn get_str<'a>(v: &'a Value, k: &str) -> Option<&'a str> {
+    match get(v, k)? {
+        Value::String(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn get_num(v: &Value, k: &str) -> Option<f64> {
+    match get(v, k)? {
+        Value::Number(n) => Some(*n),
+        Value::BigInt(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+#[test]
+fn concurrent_nested_spans_keep_sink_and_profile_consistent() {
+    let dir = std::env::temp_dir().join(format!("snn-obs-stress-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("trace.json");
+    std::env::set_var("SNN_TRACE", &trace_path);
+    assert!(snn_obs::trace_enabled(), "sink must bind the env var");
+    snn_obs::enable_profiling(true);
+
+    let ctx = snn_obs::TraceContext::new_root();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                // One thread runs under a trace context to prove the
+                // id lands in the events it emits.
+                let _guard = (t == 0).then(|| snn_obs::tracectx::set_scope(ctx));
+                for _ in 0..REPS {
+                    let _outer = snn_obs::span!("st_outer");
+                    {
+                        let _mid = snn_obs::span!("st_mid");
+                        let _leaf = snn_obs::span!("st_leaf");
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+            });
+        }
+    });
+    snn_obs::enable_profiling(false);
+
+    // --- sink integrity: every line is one complete, parseable event.
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let mut lines = text.lines();
+    assert_eq!(lines.next(), Some("["), "chrome JSON array format");
+    let mut events = Vec::new();
+    let mut traced_leaf_count = 0usize;
+    for line in lines {
+        let line = line.trim_end_matches(',');
+        if line.is_empty() {
+            continue;
+        }
+        let event = serde_json::parse(line)
+            .unwrap_or_else(|e| panic!("corrupt trace line `{line}`: {e:?}"));
+        let name = get_str(&event, "name").expect("event has a name").to_string();
+        if name == "process_name" {
+            continue;
+        }
+        assert_eq!(get_str(&event, "ph"), Some("X"), "{line}");
+        assert!(get_num(&event, "dur").expect("dur present") >= 0.0, "{line}");
+        assert!(get_num(&event, "ts").is_some(), "{line}");
+        if name == "st_leaf" {
+            if let Some(args) = get(&event, "args") {
+                if let Some(trace) = get_str(args, "trace") {
+                    assert_eq!(trace, ctx.trace_hex(), "wrong trace id on {line}");
+                    traced_leaf_count += 1;
+                }
+            }
+        }
+        events.push((name, get_num(&event, "dur").unwrap()));
+    }
+    let count_of = |n: &str| events.iter().filter(|(name, _)| name == n).count();
+    assert_eq!(count_of("st_outer"), THREADS * REPS, "no lost or duplicated records");
+    assert_eq!(count_of("st_mid"), THREADS * REPS);
+    assert_eq!(count_of("st_leaf"), THREADS * REPS);
+    assert_eq!(
+        traced_leaf_count, REPS,
+        "exactly the context-scoped thread's leaves carry the trace id"
+    );
+
+    // --- profile tree: per-path counts exact, totals nest, and the
+    // leaf path's total matches the sum of leaf durations the sink
+    // saw (both sides measure the same `Instant` pair; the trace side
+    // is rounded to microseconds, hence the tolerance).
+    let rows = snn_obs::profile_rows();
+    let find = |p: &str| {
+        rows.iter()
+            .find(|(path, _)| path == p)
+            .map(|(_, s)| *s)
+            .unwrap_or_else(|| panic!("missing profile path {p}"))
+    };
+    let outer = find("st_outer");
+    let mid = find("st_outer/st_mid");
+    let leaf = find("st_outer/st_mid/st_leaf");
+    assert_eq!(outer.calls as usize, THREADS * REPS);
+    assert_eq!(mid.calls as usize, THREADS * REPS);
+    assert_eq!(leaf.calls as usize, THREADS * REPS);
+    assert!(outer.total_ns >= mid.total_ns, "parent covers child: {outer:?} {mid:?}");
+    assert!(mid.total_ns >= leaf.total_ns, "parent covers child: {mid:?} {leaf:?}");
+
+    let leaf_trace_us: f64 = events.iter().filter(|(n, _)| n == "st_leaf").map(|(_, d)| d).sum();
+    let leaf_profile_us = leaf.total_ns as f64 / 1e3;
+    let tolerance = 0.01 * leaf_profile_us + THREADS as f64 * REPS as f64; // 1% + 1µs/event rounding
+    assert!(
+        (leaf_trace_us - leaf_profile_us).abs() <= tolerance,
+        "sink leaf total {leaf_trace_us}us vs profile {leaf_profile_us}us"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

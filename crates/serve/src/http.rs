@@ -17,10 +17,28 @@
 //! | `/metrics` | GET | Prometheus text exposition (instance + global instruments) |
 //! | `/metrics.json` | GET | JSON: [`crate::MetricsSnapshot`] summary + full instrument dump |
 //! | `/reload` | POST | snapshot JSON → validated atomic hot-swap |
+//! | `/debug/traces` | GET | tail-sampled recent request traces (see below) |
+//! | `/debug/traces/<id>` | GET | one trace by its 32-hex id |
+//! | `/debug/traces/<id>/chrome` | GET | same trace as a chrome://tracing event array |
 //!
 //! Rejections map onto status codes: full queue → `429`, lapsed
 //! deadline → `504`, malformed input → `400`, shutdown → `503`,
 //! incompatible reload → `409`.
+//!
+//! # Request tracing
+//!
+//! Every request is minted a [`TraceContext`] at accept; its 32-hex
+//! trace id comes back in the `x-snn-trace-id` response header, and
+//! the context is installed for the connection thread (and carried by
+//! value through the queue into the batch worker), so `span!` events
+//! and structured log records anywhere downstream attach to the
+//! owning request. `POST` routes additionally record a five-stage
+//! timeline (`parse`, `queue_wait`, `batch_form`, `forward`,
+//! `respond`) into a tail-sampled [`TraceRing`] served from
+//! `/debug/traces`. The stages partition the wall clock exactly:
+//! `forward` is the in-flight remainder between submit and reply
+//! (engine time plus reply transit), so the five stages always sum to
+//! `total_us` up to microsecond truncation.
 
 use std::fmt;
 use std::io::{self, ErrorKind, Read, Write};
@@ -37,6 +55,7 @@ use crate::metrics::Metrics;
 use crate::queue::{Batcher, BatcherConfig, Rejection};
 use crate::registry::{ModelRegistry, ServedModel, SwapError};
 use snn_core::SnapshotError;
+use snn_obs::{tracectx, SloConfig, StageTiming, TraceContext, TraceRecord, TraceRing};
 
 /// Largest accepted request head (request line + headers).
 const MAX_HEAD: usize = 16 * 1024;
@@ -65,6 +84,15 @@ pub struct ServerConfig {
     /// Deadline applied to `/infer` requests that do not send
     /// `timeout_ms`. `None` means such requests wait indefinitely.
     pub default_timeout: Option<Duration>,
+    /// Completed-request trace ring behind `/debug/traces`; `None`
+    /// disables per-request stage timelines (ids and the
+    /// `x-snn-trace-id` header are minted regardless). The default
+    /// honors `SNN_TRACE_RING` / `SNN_TRACE_SLOW_MS` /
+    /// `SNN_TRACE_SAMPLE`.
+    pub trace_ring: Option<Arc<TraceRing>>,
+    /// SLO objectives for burn-rate tracking; `None` disables it. The
+    /// default honors `SNN_SLO` (e.g. `p99=25ms,avail=99.9`).
+    pub slo: Option<SloConfig>,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +101,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             batcher: BatcherConfig::default(),
             default_timeout: Some(Duration::from_millis(2000)),
+            trace_ring: TraceRing::from_env(),
+            slo: SloConfig::from_env(),
         }
     }
 }
@@ -103,6 +133,7 @@ struct ServerShared {
     batcher: Arc<Batcher>,
     metrics: Arc<Metrics>,
     default_timeout: Option<Duration>,
+    trace_ring: Option<Arc<TraceRing>>,
     shutdown: AtomicBool,
 }
 
@@ -122,7 +153,7 @@ impl Server {
     /// Returns [`ServeError`] if the address cannot be bound or the
     /// engine cannot be built.
     pub fn start(registry: Arc<ModelRegistry>, cfg: ServerConfig) -> Result<Self, ServeError> {
-        let metrics = Arc::new(Metrics::default());
+        let metrics = Arc::new(Metrics::with_slo(cfg.slo));
         let batcher = Arc::new(
             Batcher::start(Arc::clone(&registry), cfg.batcher, Arc::clone(&metrics))
                 .map_err(ServeError::Snapshot)?,
@@ -134,8 +165,14 @@ impl Server {
             batcher,
             metrics,
             default_timeout: cfg.default_timeout,
+            trace_ring: cfg.trace_ring,
             shutdown: AtomicBool::new(false),
         });
+        snn_obs::log_info!(
+            "server listening",
+            addr = addr.to_string(),
+            tracing = shared.trace_ring.is_some(),
+        );
         let accept = {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
@@ -204,6 +241,10 @@ struct Request {
     close: bool,
     content_type: Option<String>,
     body: Vec<u8>,
+    /// When the first byte of this request was observed — the start of
+    /// the `parse` trace stage (and of `total_us`). Idle keep-alive
+    /// time between requests is not charged to anyone.
+    received: Instant,
 }
 
 impl Request {
@@ -242,18 +283,27 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
                 } else {
                     (400, "malformed HTTP request".to_string())
                 };
+                snn_obs::log_debug!("unframeable request", status = status, error = e.to_string());
                 let _ = write_response(
                     &mut stream,
                     status,
                     "application/json",
                     &error_body(&msg),
                     true,
+                    None,
                 );
                 return;
             }
         };
+        // Every request gets an identity; downstream spans and log
+        // records on this thread (and, by value through the queue, in
+        // the batch worker) attach to it.
+        let ctx = TraceContext::new_root();
+        let trace_hex = ctx.trace_hex();
+        let _scope = tracectx::set_scope(ctx);
         let close = req.close;
-        let (status, body) = route(&req, &shared);
+        let mut cap = TraceCapture::default();
+        let (status, body) = route(&req, &shared, &mut cap);
         // The Prometheus exposition is plain text; everything else
         // speaks JSON.
         let content_type = if req.method == "GET" && req.path == "/metrics" {
@@ -261,9 +311,122 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
         } else {
             "application/json"
         };
-        if write_response(&mut stream, status, content_type, &body, close).is_err() || close {
+        let write_res =
+            write_response(&mut stream, status, content_type, &body, close, Some(&trace_hex));
+        finish_request(&req, &shared, &ctx, status, &cap);
+        if write_res.is_err() || close {
             return;
         }
+    }
+}
+
+/// What [`handle_infer`] learned about a request's trip through the
+/// queue, captured for the trace record built after the response is
+/// written.
+#[derive(Default)]
+struct TraceCapture {
+    /// Outcome label; empty means "derive from the status code".
+    outcome: &'static str,
+    /// Engine that served it (empty if it never reached one).
+    engine: String,
+    batch_size: u64,
+    model_version: u64,
+    queue_us: u64,
+    batch_form_us: u64,
+    /// When the request entered the queue.
+    submitted: Option<Instant>,
+    /// When the reply (or rejection) came back.
+    replied: Option<Instant>,
+}
+
+/// Builds and offers the trace record for a finished `POST` request,
+/// and feeds `/infer` outcomes into SLO accounting. Runs *after* the
+/// response bytes are on the wire so the `respond` stage is real.
+fn finish_request(
+    req: &Request,
+    shared: &ServerShared,
+    ctx: &TraceContext,
+    status: u16,
+    cap: &TraceCapture,
+) {
+    if req.method != "POST" || (req.path != "/infer" && req.path != "/reload") {
+        return;
+    }
+    let finished = Instant::now();
+    let total_us = (finished - req.received).as_micros() as u64;
+    if req.path == "/infer" {
+        // Availability SLO: server-side failures only. Client errors
+        // (400 validation) neither succeed nor count against the
+        // error budget.
+        if status != 400 {
+            shared.metrics.slo_record(!matches!(status, 429 | 503 | 504), total_us);
+        }
+        if status >= 500 || status == 429 {
+            snn_obs::log_warn!(
+                "infer failed",
+                status = status,
+                outcome = outcome_label(status, cap),
+                total_us = total_us,
+            );
+        }
+    }
+    // The five stages partition [received, finished] exactly:
+    // `forward` is the in-flight remainder between submit and reply
+    // minus the worker-attributed queue/batch_form time, and
+    // `respond` starts when the reply came back (covering
+    // serialization and the socket write).
+    let submitted = cap.submitted.unwrap_or(finished);
+    let replied = cap.replied.unwrap_or(submitted);
+    let parse_us = (submitted - req.received).as_micros() as u64;
+    let in_flight_us = (replied - submitted).as_micros() as u64;
+    let forward_us = in_flight_us.saturating_sub(cap.queue_us + cap.batch_form_us);
+    let respond_us = (finished - replied).as_micros() as u64;
+    // The worker records queue_wait/batch_form/forward at dispatch;
+    // the two HTTP-side stages are only observable here.
+    if req.path == "/infer" {
+        shared.metrics.stage_parse.record(parse_us as f64 * 1e-6);
+        shared.metrics.stage_respond.record(respond_us as f64 * 1e-6);
+    }
+    let Some(ring) = &shared.trace_ring else { return };
+    let stages = vec![
+        StageTiming { stage: "parse".into(), micros: parse_us },
+        StageTiming { stage: "queue_wait".into(), micros: cap.queue_us },
+        StageTiming { stage: "batch_form".into(), micros: cap.batch_form_us },
+        StageTiming { stage: "forward".into(), micros: forward_us },
+        StageTiming { stage: "respond".into(), micros: respond_us },
+    ];
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    ring.offer(TraceRecord {
+        trace_id: ctx.trace_hex(),
+        span_id: ctx.span_hex(),
+        unix_ms,
+        route: req.path.clone(),
+        engine: cap.engine.clone(),
+        status,
+        outcome: outcome_label(status, cap).to_string(),
+        batch_size: cap.batch_size,
+        model_version: cap.model_version,
+        total_us,
+        stages,
+    });
+}
+
+/// Outcome label for a trace record: what the handler said, or the
+/// status code's default reading.
+fn outcome_label(status: u16, cap: &TraceCapture) -> &'static str {
+    if !cap.outcome.is_empty() {
+        return cap.outcome;
+    }
+    match status {
+        200 => "ok",
+        400 | 413 => "bad_input",
+        409 => "incompatible",
+        429 => "queue_full",
+        504 => "deadline",
+        _ => "error",
     }
 }
 
@@ -276,6 +439,9 @@ fn read_request(
     shutdown: &AtomicBool,
 ) -> io::Result<Option<Request>> {
     let idle_since = Instant::now();
+    // Pipelined bytes left over from the previous request count as
+    // "already arrived".
+    let mut received: Option<Instant> = (!buf.is_empty()).then_some(idle_since);
     let mut chunk = [0u8; 4096];
     // Phase 1: accumulate until the blank line ending the head.
     let head_end = loop {
@@ -293,7 +459,10 @@ fn read_request(
                     Err(io::Error::new(ErrorKind::UnexpectedEof, "truncated request"))
                 };
             }
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                received.get_or_insert_with(Instant::now);
+                buf.extend_from_slice(&chunk[..n]);
+            }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 if shutdown.load(Ordering::Acquire)
                     || (buf.is_empty() && idle_since.elapsed() > IDLE_TIMEOUT)
@@ -355,21 +524,28 @@ fn read_request(
     // Keep any pipelined bytes for the next request on this
     // connection.
     buf.drain(..body_start + content_length);
-    Ok(Some(Request { method, path, close, content_type, body }))
+    let received = received.unwrap_or(idle_since);
+    Ok(Some(Request { method, path, close, content_type, body, received }))
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-fn route(req: &Request, shared: &ServerShared) -> (u16, String) {
+fn route(req: &Request, shared: &ServerShared, cap: &mut TraceCapture) -> (u16, String) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             let info = shared.registry.info();
             // `degraded` (still HTTP 200 — the process is alive and
-            // will self-heal) whenever the circuit is not closed.
+            // will self-heal) whenever the circuit is not closed or an
+            // SLO error budget is burning fast enough to page.
             let circuit = shared.batcher.circuit_state();
-            let status = if circuit == CircuitState::Closed { "ok" } else { "degraded" };
+            let fast_burn = shared.metrics.slo_fast_burn();
+            let status = if circuit == CircuitState::Closed && !fast_burn {
+                "ok"
+            } else {
+                "degraded"
+            };
             let circuit_name = match circuit {
                 CircuitState::Closed => "closed",
                 CircuitState::HalfOpen => "half-open",
@@ -378,6 +554,7 @@ fn route(req: &Request, shared: &ServerShared) -> (u16, String) {
             let body = Value::Object(vec![
                 ("status".into(), Value::String(status.into())),
                 ("circuit".into(), Value::String(circuit_name.into())),
+                ("slo_fast_burn".into(), Value::Bool(fast_burn)),
                 ("model".into(), Value::String(info.name)),
                 ("version".into(), Value::Number(info.version as f64)),
                 ("dtype".into(), Value::String(info.dtype)),
@@ -394,16 +571,57 @@ fn route(req: &Request, shared: &ServerShared) -> (u16, String) {
             ]);
             (200, render(&body))
         }
-        ("POST", "/infer") => handle_infer(req, shared),
+        ("GET", "/debug/traces") => handle_traces_list(shared),
+        ("GET", path) if path.starts_with("/debug/traces/") => {
+            handle_trace_get(&path["/debug/traces/".len()..], shared)
+        }
+        ("POST", "/infer") => handle_infer(req, shared, cap),
         ("POST", "/reload") => handle_reload(req, shared),
         ("GET" | "POST", _) => (404, error_body("no such route")),
         _ => (405, error_body("method not allowed")),
     }
 }
 
-fn handle_infer(req: &Request, shared: &ServerShared) -> (u16, String) {
+/// `GET /debug/traces`: ring stats plus every kept trace, newest
+/// first.
+fn handle_traces_list(shared: &ServerShared) -> (u16, String) {
+    let Some(ring) = &shared.trace_ring else {
+        return (404, error_body("request tracing disabled (SNN_TRACE_RING=0)"));
+    };
+    let (kept, sampled_out) = ring.stats();
+    let traces = ring.recent().iter().map(|r| r.to_value()).collect();
+    let body = Value::Object(vec![
+        ("capacity".into(), Value::Number(ring.capacity() as f64)),
+        ("kept".into(), Value::Number(kept as f64)),
+        ("sampled_out".into(), Value::Number(sampled_out as f64)),
+        ("traces".into(), Value::Array(traces)),
+    ]);
+    (200, render(&body))
+}
+
+/// `GET /debug/traces/<id>` and `/debug/traces/<id>/chrome`.
+fn handle_trace_get(rest: &str, shared: &ServerShared) -> (u16, String) {
+    let Some(ring) = &shared.trace_ring else {
+        return (404, error_body("request tracing disabled (SNN_TRACE_RING=0)"));
+    };
+    let (id, chrome) = match rest.strip_suffix("/chrome") {
+        Some(id) => (id, true),
+        None => (rest, false),
+    };
+    if !tracectx::is_trace_hex(id) {
+        return (400, error_body("trace id must be 32 lowercase hex chars"));
+    }
+    match ring.find(id) {
+        Some(rec) if chrome => (200, render(&rec.chrome_value())),
+        Some(rec) => (200, render(&rec.to_value())),
+        None => (404, error_body("no such trace (evicted, sampled out, or never seen)")),
+    }
+}
+
+fn handle_infer(req: &Request, shared: &ServerShared, cap: &mut TraceCapture) -> (u16, String) {
     if let Some(msg) = req.content_type_error() {
         shared.metrics.bad_requests.inc();
+        cap.outcome = "bad_input";
         return (400, error_body(&msg));
     }
     let parsed = std::str::from_utf8(&req.body)
@@ -413,12 +631,14 @@ fn handle_infer(req: &Request, shared: &ServerShared) -> (u16, String) {
         Ok(p) => p,
         Err(msg) => {
             shared.metrics.bad_requests.inc();
+            cap.outcome = "bad_input";
             return (400, error_body(&msg));
         }
     };
     let budget = timeout.or(shared.default_timeout);
     let deadline = budget.map(|d| Instant::now() + d);
-    let waited = match shared.batcher.submit(input, deadline) {
+    cap.submitted = Some(Instant::now());
+    let waited = match shared.batcher.submit_traced(input, deadline, tracectx::current()) {
         Err(rejection) => Err(rejection),
         // The queue deadline plus grace bounds the whole round trip;
         // a reply that never comes (wedged engine) turns into a typed
@@ -427,6 +647,8 @@ fn handle_infer(req: &Request, shared: &ServerShared) -> (u16, String) {
             Some(d) => match ticket.wait_timeout(d + ENGINE_GRACE) {
                 Some(result) => result,
                 None => {
+                    cap.replied = Some(Instant::now());
+                    cap.outcome = "engine_timeout";
                     return (
                         503,
                         error_body(&format!(
@@ -439,14 +661,23 @@ fn handle_infer(req: &Request, shared: &ServerShared) -> (u16, String) {
             None => ticket.wait(),
         },
     };
+    cap.replied = Some(Instant::now());
     match waited {
         Ok(reply) => {
+            cap.outcome = "ok";
+            cap.engine = reply.output.engine.clone();
+            cap.batch_size = reply.batch_size as u64;
+            cap.model_version = reply.model_version;
+            cap.queue_us = reply.queue_us;
+            cap.batch_form_us = reply.batch_form_us;
             let mut entries = match reply.output.to_value() {
                 Value::Object(entries) => entries,
                 other => vec![("output".into(), other)],
             };
             entries.push(("batch_size".into(), Value::Number(reply.batch_size as f64)));
             entries.push(("queue_us".into(), Value::Number(reply.queue_us as f64)));
+            entries
+                .push(("batch_form_us".into(), Value::Number(reply.batch_form_us as f64)));
             entries.push(("infer_us".into(), Value::Number(reply.infer_us as f64)));
             entries
                 .push(("model_version".into(), Value::Number(reply.model_version as f64)));
@@ -456,14 +687,15 @@ fn handle_infer(req: &Request, shared: &ServerShared) -> (u16, String) {
             if matches!(rejection, Rejection::BadInput { .. }) {
                 shared.metrics.bad_requests.inc();
             }
-            let status = match rejection {
-                Rejection::QueueFull { .. } => 429,
-                Rejection::DeadlineExceeded { .. } => 504,
-                Rejection::BadInput { .. } => 400,
-                Rejection::ShuttingDown
-                | Rejection::WorkerPanic
-                | Rejection::CircuitOpen => 503,
+            let (status, outcome) = match rejection {
+                Rejection::QueueFull { .. } => (429, "queue_full"),
+                Rejection::DeadlineExceeded { .. } => (504, "deadline"),
+                Rejection::BadInput { .. } => (400, "bad_input"),
+                Rejection::ShuttingDown => (503, "shutdown"),
+                Rejection::WorkerPanic => (503, "worker_panic"),
+                Rejection::CircuitOpen => (503, "circuit_open"),
             };
+            cap.outcome = outcome;
             (status, error_body(&rejection.to_string()))
         }
     }
@@ -550,6 +782,13 @@ fn handle_reload(req: &Request, shared: &ServerShared) -> (u16, String) {
             // the new model's content hash (matching the artifact
             // registry's identity).
             let info = &receipt.info;
+            snn_obs::log_info!(
+                "model reloaded",
+                old_version = receipt.replaced,
+                new_version = info.version,
+                dtype = info.dtype.clone(),
+                hash = info.hash.clone(),
+            );
             let body = Value::Object(vec![
                 ("ok".into(), Value::Bool(true)),
                 ("old_version".into(), Value::Number(receipt.replaced as f64)),
@@ -604,17 +843,24 @@ fn write_response(
     content_type: &str,
     body: &str,
     close: bool,
+    trace_id: Option<&str>,
 ) -> io::Result<()> {
     // One write for the whole response: head and body in separate
     // segments trip Nagle + delayed-ACK on loopback (~40ms stalls).
     let mut response = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status,
         status_text(status),
         content_type,
         body.len(),
         if close { "close" } else { "keep-alive" },
     );
+    if let Some(id) = trace_id {
+        response.push_str("x-snn-trace-id: ");
+        response.push_str(id);
+        response.push_str("\r\n");
+    }
+    response.push_str("\r\n");
     response.push_str(body);
     stream.write_all(response.as_bytes())?;
     stream.flush()
@@ -651,8 +897,13 @@ mod tests {
         Server::start(registry, cfg).unwrap()
     }
 
-    /// Raw one-shot HTTP client: returns (status, body).
-    fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    /// Raw one-shot HTTP client: returns (status, head, body).
+    fn request_full(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> (u16, String, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
         let req = format!(
             "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
@@ -669,7 +920,22 @@ mod tests {
             .expect("status code")
             .parse()
             .expect("numeric status");
-        (status, body.to_string())
+        (status, head.to_string(), body.to_string())
+    }
+
+    /// Like [`request_full`] but drops the head.
+    fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+        let (status, _, body) = request_full(addr, method, path, body);
+        (status, body)
+    }
+
+    /// The `x-snn-trace-id` value from a response head.
+    fn trace_id_of(head: &str) -> String {
+        head.lines()
+            .find_map(|l| l.strip_prefix("x-snn-trace-id: "))
+            .unwrap_or_else(|| panic!("no x-snn-trace-id header in {head}"))
+            .trim()
+            .to_string()
     }
 
     /// Sends raw bytes and returns (status, full response text).
@@ -849,10 +1115,14 @@ mod tests {
             "# HELP snn_serve_request_latency_seconds ",
             "# TYPE snn_serve_batch_size histogram\n",
             "# TYPE snn_serve_queue_depth gauge\n",
-            // Legacy alias series stay for one release.
-            "\ncompleted 0\n",
+            "# TYPE snn_serve_stage_queue_wait_seconds histogram\n",
+            "# TYPE snn_slo_fast_burn gauge\n",
         ] {
             assert!(body.contains(needle), "missing {needle:?} in {body}");
+        }
+        // The pre-PR-3 bare-name alias series are gone.
+        for gone in ["\ncompleted 0\n", "\nreceived 0\n", "\nrejected_full 0\n"] {
+            assert!(!body.contains(gone), "legacy alias {gone:?} still present in {body}");
         }
         let (status, json) = request(server.addr(), "GET", "/metrics.json", "");
         assert_eq!(status, 200);
@@ -995,5 +1265,249 @@ mod tests {
             }
         };
         assert!(gone, "server still answering after shutdown");
+    }
+
+    // --- JSON navigation helpers for the vendored serde Value.
+
+    fn get<'a>(v: &'a Value, k: &str) -> Option<&'a Value> {
+        v.as_object()?.iter().find(|(n, _)| n == k).map(|(_, x)| x)
+    }
+
+    fn get_str<'a>(v: &'a Value, k: &str) -> Option<&'a str> {
+        match get(v, k)? {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn get_num(v: &Value, k: &str) -> Option<f64> {
+        match get(v, k)? {
+            Value::Number(n) => Some(*n),
+            Value::BigInt(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    fn traced_server(policy: snn_obs::TailPolicy) -> Server {
+        let registry = Arc::new(ModelRegistry::new(snapshot(11), "demo").unwrap());
+        let cfg = ServerConfig {
+            batcher: BatcherConfig { timesteps: 2, ..BatcherConfig::default() },
+            trace_ring: Some(Arc::new(TraceRing::new(64, policy))),
+            ..ServerConfig::default()
+        };
+        Server::start(registry, cfg).unwrap()
+    }
+
+    #[test]
+    fn infer_trace_is_locatable_by_header_id_with_five_stages_summing_to_wall() {
+        let server = traced_server(snn_obs::TailPolicy::default());
+        let input: Vec<String> = (0..64).map(|i| format!("{}", (i % 7) as f32 / 7.0)).collect();
+        let body = format!("{{\"input\":[{}]}}", input.join(","));
+        let (status, head, reply) = request_full(server.addr(), "POST", "/infer", &body);
+        assert_eq!(status, 200, "reply: {reply}");
+        assert!(reply.contains("\"batch_form_us\":"), "reply: {reply}");
+        let id = trace_id_of(&head);
+        assert!(snn_obs::tracectx::is_trace_hex(&id), "malformed id {id}");
+
+        // Non-traced routes still carry the header.
+        let (_, head, _) = request_full(server.addr(), "GET", "/healthz", "");
+        assert_ne!(trace_id_of(&head), id, "each request gets its own id");
+
+        let (status, listing) = request(server.addr(), "GET", "/debug/traces", "");
+        assert_eq!(status, 200, "listing: {listing}");
+        let parsed = serde_json::parse(&listing).unwrap();
+        assert_eq!(get_num(&parsed, "capacity"), Some(64.0));
+        assert!(get_num(&parsed, "kept").unwrap() >= 1.0, "listing: {listing}");
+
+        let (status, rec) = request(server.addr(), "GET", &format!("/debug/traces/{id}"), "");
+        assert_eq!(status, 200, "record: {rec}");
+        let rec = serde_json::parse(&rec).unwrap();
+        assert_eq!(get_str(&rec, "trace_id"), Some(id.as_str()));
+        assert_eq!(get_str(&rec, "route"), Some("/infer"));
+        assert_eq!(get_str(&rec, "outcome"), Some("ok"));
+        assert_eq!(get_str(&rec, "engine"), Some("f32"));
+        assert!(get_num(&rec, "batch_size").unwrap() >= 1.0);
+        let total = get_num(&rec, "total_us").unwrap();
+        let Some(Value::Array(stages)) = get(&rec, "stages") else { panic!("stages missing") };
+        let names: Vec<&str> =
+            stages.iter().map(|s| get_str(s, "stage").unwrap()).collect();
+        assert_eq!(names, ["parse", "queue_wait", "batch_form", "forward", "respond"]);
+        let sum: f64 = stages.iter().map(|s| get_num(s, "micros").unwrap()).sum();
+        assert!(
+            (sum - total).abs() <= 0.05 * total + 5.0,
+            "stages sum {sum}us vs wall {total}us"
+        );
+        assert!(
+            stages.iter().any(|s| get_num(s, "micros").unwrap() > 0.0),
+            "all stages zero: {stages:?}"
+        );
+
+        // Chrome export: meta event + one X event per stage.
+        let (status, chrome) =
+            request(server.addr(), "GET", &format!("/debug/traces/{id}/chrome"), "");
+        assert_eq!(status, 200, "chrome: {chrome}");
+        let Value::Array(events) = serde_json::parse(&chrome).unwrap() else {
+            panic!("chrome export must be an array")
+        };
+        assert_eq!(events.len(), 1 + 5, "chrome: {chrome}");
+
+        // Unknown and malformed ids answer typed errors.
+        let (status, _) =
+            request(server.addr(), "GET", &format!("/debug/traces/{}", "0".repeat(32)), "");
+        assert_eq!(status, 404);
+        let (status, _) = request(server.addr(), "GET", "/debug/traces/nope", "");
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn tail_sampling_drops_fast_successes_but_keeps_client_errors() {
+        // sample=0, slow threshold unreachable: only failures survive.
+        let server = traced_server(snn_obs::TailPolicy { slow_us: u64::MAX, sample: 0.0 });
+        let input: Vec<String> = (0..64).map(|i| format!("{}", (i % 7) as f32 / 7.0)).collect();
+        let ok_body = format!("{{\"input\":[{}]}}", input.join(","));
+        let (status, head, _) = request_full(server.addr(), "POST", "/infer", &ok_body);
+        assert_eq!(status, 200);
+        let ok_id = trace_id_of(&head);
+        let (status, head, _) = request_full(server.addr(), "POST", "/infer", "{\"input\":[1]}");
+        assert_eq!(status, 400);
+        let bad_id = trace_id_of(&head);
+
+        let (_, rec) = request(server.addr(), "GET", &format!("/debug/traces/{ok_id}"), "");
+        assert!(rec.contains("no such trace"), "fast success must be sampled out: {rec}");
+        let (status, rec) = request(server.addr(), "GET", &format!("/debug/traces/{bad_id}"), "");
+        assert_eq!(status, 200, "error outcome must always be kept: {rec}");
+        assert!(rec.contains("\"outcome\":\"bad_input\""), "record: {rec}");
+    }
+
+    #[test]
+    fn debug_traces_404_when_tracing_disabled() {
+        let registry = Arc::new(ModelRegistry::new(snapshot(11), "demo").unwrap());
+        let cfg = ServerConfig {
+            batcher: BatcherConfig { timesteps: 2, ..BatcherConfig::default() },
+            trace_ring: None,
+            ..ServerConfig::default()
+        };
+        let server = Server::start(registry, cfg).unwrap();
+        let (status, body) = request(server.addr(), "GET", "/debug/traces", "");
+        assert_eq!(status, 404, "body: {body}");
+        assert!(body.contains("tracing disabled"), "body: {body}");
+    }
+
+    #[test]
+    fn healthz_degrades_on_fast_slo_burn() {
+        let registry = Arc::new(ModelRegistry::new(snapshot(11), "demo").unwrap());
+        let cfg = ServerConfig {
+            batcher: BatcherConfig { timesteps: 2, ..BatcherConfig::default() },
+            slo: Some(SloConfig::parse("avail=99.9").unwrap()),
+            ..ServerConfig::default()
+        };
+        let server = Server::start(registry, cfg).unwrap();
+        let (_, health) = request(server.addr(), "GET", "/healthz", "");
+        assert!(health.contains("\"status\":\"ok\""), "health: {health}");
+        assert!(health.contains("\"slo_fast_burn\":false"), "health: {health}");
+        // Burn the error budget far past the fast threshold.
+        for _ in 0..50 {
+            server.metrics().slo_record(false, 1_000);
+        }
+        let (status, health) = request(server.addr(), "GET", "/healthz", "");
+        assert_eq!(status, 200, "liveness stays 200 while degraded");
+        assert!(health.contains("\"status\":\"degraded\""), "health: {health}");
+        assert!(health.contains("\"slo_fast_burn\":true"), "health: {health}");
+        assert!(health.contains("\"circuit\":\"closed\""), "degradation is SLO-driven");
+        let (_, metrics) = request(server.addr(), "GET", "/metrics", "");
+        assert!(metrics.contains("\nsnn_slo_fast_burn 1\n"), "metrics: {metrics}");
+    }
+
+    /// Satellite: the text and JSON expositions must not drift. Every
+    /// sample in `/metrics` must appear in `/metrics.json` — with the
+    /// same value for this instance's families (globals are shared
+    /// with concurrently running tests, so only presence is asserted
+    /// there) — and histogram sums/counts must be consistent with
+    /// their buckets.
+    #[test]
+    fn metrics_text_and_json_expositions_agree() {
+        let server = start_server();
+        let input: Vec<String> = (0..64).map(|i| format!("{}", (i % 7) as f32 / 7.0)).collect();
+        let body = format!("{{\"input\":[{}]}}", input.join(","));
+        for _ in 0..3 {
+            let (status, _) = request(server.addr(), "POST", "/infer", &body);
+            assert_eq!(status, 200);
+        }
+        let (_, text) = request(server.addr(), "GET", "/metrics", "");
+        let (_, json) = request(server.addr(), "GET", "/metrics.json", "");
+        let parsed = serde_json::parse(&json).unwrap();
+        let Some(Value::Array(instruments)) = get(&parsed, "instruments") else {
+            panic!("no instruments array in {json}")
+        };
+
+        // Reconstruct the expected sample set from the JSON dump.
+        let mut expected: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+        for inst in instruments {
+            let name = get_str(inst, "name").unwrap().to_string();
+            match get_str(inst, "kind").unwrap() {
+                "histogram" => {
+                    let Some(Value::Array(bounds)) = get(inst, "bounds") else { panic!() };
+                    let Some(Value::Array(counts)) = get(inst, "counts") else { panic!() };
+                    let nums = |xs: &[Value]| -> Vec<f64> {
+                        xs.iter()
+                            .map(|x| match x {
+                                Value::Number(n) => *n,
+                                Value::BigInt(i) => *i as f64,
+                                other => panic!("non-numeric {other:?}"),
+                            })
+                            .collect()
+                    };
+                    let bounds = nums(bounds);
+                    let counts = nums(counts);
+                    assert_eq!(counts.len(), bounds.len() + 1, "{name}: overflow bucket");
+                    let sum = get_num(inst, "sum").unwrap();
+                    let count = get_num(inst, "count").unwrap();
+                    let max = get_num(inst, "max").unwrap();
+                    // Bucket consistency: totals match, mean <= max.
+                    let total: f64 = counts.iter().sum();
+                    assert_eq!(total, count, "{name}: bucket counts vs count");
+                    if count > 0.0 {
+                        assert!(sum / count <= max + 1e-9, "{name}: mean above max");
+                    }
+                    let mut cum = 0.0;
+                    for (b, c) in bounds.iter().zip(&counts) {
+                        cum += c;
+                        expected.insert(format!("{name}_bucket{{le=\"{b}\"}}"), cum);
+                    }
+                    expected.insert(format!("{name}_bucket{{le=\"+Inf\"}}"), count);
+                    expected.insert(format!("{name}_sum"), sum);
+                    expected.insert(format!("{name}_count"), count);
+                }
+                _ => {
+                    expected.insert(name.clone(), get_num(inst, "value").unwrap());
+                }
+            }
+        }
+
+        let mut samples = 0usize;
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            samples += 1;
+            let (name, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bad line {line}"));
+            let got = expected
+                .get(name)
+                .unwrap_or_else(|| panic!("`{name}` in /metrics but not /metrics.json"));
+            // Instance families must agree exactly; global families
+            // (snn_fault_*, …) race with other tests in this process.
+            if name.starts_with("snn_serve_") || name.starts_with("snn_slo_") {
+                let value: f64 = value.parse().unwrap_or_else(|_| panic!("bad value {line}"));
+                assert!(
+                    (got - value).abs() <= 1e-9 * value.abs().max(1.0),
+                    "`{name}`: text {value} vs json {got}"
+                );
+            }
+        }
+        assert!(samples > 40, "suspiciously small exposition ({samples} samples):\n{text}");
+        assert!(
+            text.contains("\nsnn_serve_stage_queue_wait_seconds_count 3\n"),
+            "stage histogram missed the 3 requests: {text}"
+        );
     }
 }

@@ -33,7 +33,20 @@
 //!   while the circuit is not closed.
 //! * [`http`] — [`Server`]: a minimal hermetic HTTP/1.1 front end on
 //!   `std::net::TcpListener` with `/infer`, `/healthz`, `/metrics`,
-//!   and `/reload`.
+//!   `/reload`, and `/debug/traces`.
+//!
+//! ## Observability
+//!
+//! Every request is minted a [`snn_obs::TraceContext`] at accept and
+//! answers with an `x-snn-trace-id` header; the context travels by
+//! value through the [`Batcher`] into the worker, so spans and
+//! structured log records down to kernel dispatch attach to the
+//! owning request. `POST` routes record five-stage timelines
+//! (`parse`/`queue_wait`/`batch_form`/`forward`/`respond`) into a
+//! tail-sampled [`snn_obs::TraceRing`] served from `/debug/traces`,
+//! and `SNN_SLO` objectives turn request outcomes into multi-window
+//! burn-rate gauges (`snn_slo_*`) that flip `/healthz` to `degraded`
+//! on a fast burn. See `DESIGN.md` §14.
 //!
 //! ## Example: in-process serving
 //!

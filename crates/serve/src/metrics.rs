@@ -11,7 +11,7 @@
 use std::sync::{Arc, Mutex};
 
 use serde::Serialize;
-use snn_obs::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+use snn_obs::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, SloConfig, SloTracker};
 
 use crate::engine::RequestOutput;
 use crate::registry::ModelInfo;
@@ -90,14 +90,55 @@ pub struct Metrics {
     /// derived from other counters, so it cannot go stale across
     /// `/reload` or shutdown drains.
     pub queue_depth: Arc<Gauge>,
+    /// `parse` stage: request read + JSON validation, seconds.
+    pub stage_parse: Arc<Histogram>,
+    /// `queue_wait` stage: enqueue → worker drain, seconds.
+    pub stage_queue_wait: Arc<Histogram>,
+    /// `batch_form` stage: drain → forward start (shedding, input
+    /// assembly, engine rebuild), seconds, recorded once per batch.
+    pub stage_batch_form: Arc<Histogram>,
+    /// `forward` stage: the shared forward pass, seconds, recorded
+    /// once per batch.
+    pub stage_forward: Arc<Histogram>,
+    /// `respond` stage: reply serialization + socket write, seconds.
+    pub stage_respond: Arc<Histogram>,
     latency: Arc<Histogram>,
     batch_size: Arc<Histogram>,
     firing_rate: Arc<Histogram>,
     layers: Mutex<Vec<LayerRateAgg>>,
+    /// SLO accounting; `None` when no objectives are configured.
+    slo: Option<SloTracker>,
+    slo_latency_5m: Arc<Gauge>,
+    slo_latency_1h: Arc<Gauge>,
+    slo_availability_5m: Arc<Gauge>,
+    slo_availability_1h: Arc<Gauge>,
+    slo_fast_burn: Arc<Gauge>,
 }
 
 impl Default for Metrics {
+    /// Builds with the SLO objectives `SNN_SLO` asks for (none when
+    /// unset). Tests wanting explicit objectives use
+    /// [`Metrics::with_slo`].
     fn default() -> Self {
+        Metrics::with_slo(SloConfig::from_env())
+    }
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics")
+            .field("received", &self.received.get())
+            .field("completed", &self.completed.get())
+            .field("queue_depth", &self.queue_depth.get())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Metrics {
+    /// Builds the instrument set, tracking the given SLO objectives
+    /// (pass `None` for no SLO accounting; the `snn_slo_*` gauges are
+    /// registered either way and read 0 when untracked).
+    pub fn with_slo(slo_cfg: Option<SloConfig>) -> Self {
         // Touch the process-wide fault/recovery counters so
         // `snn_fault_injected_total` / `snn_recovery_total` exist in
         // the global registry (and thus every scrape) from the first
@@ -138,6 +179,52 @@ impl Default for Metrics {
         );
         let queue_depth =
             registry.gauge("snn_serve_queue_depth", "jobs currently waiting in the batch queue");
+        let stage_bounds = snn_obs::span_bounds();
+        let stage_parse = registry.histogram(
+            "snn_serve_stage_parse_seconds",
+            "parse stage: request read and JSON validation, seconds",
+            stage_bounds,
+        );
+        let stage_queue_wait = registry.histogram(
+            "snn_serve_stage_queue_wait_seconds",
+            "queue_wait stage: enqueue to worker drain, seconds",
+            stage_bounds,
+        );
+        let stage_batch_form = registry.histogram(
+            "snn_serve_stage_batch_form_seconds",
+            "batch_form stage: drain to forward start, seconds (per batch)",
+            stage_bounds,
+        );
+        let stage_forward = registry.histogram(
+            "snn_serve_stage_forward_seconds",
+            "forward stage: the shared forward pass, seconds (per batch)",
+            stage_bounds,
+        );
+        let stage_respond = registry.histogram(
+            "snn_serve_stage_respond_seconds",
+            "respond stage: reply serialization and socket write, seconds",
+            stage_bounds,
+        );
+        let slo_latency_5m = registry.gauge(
+            "snn_slo_burn_rate_latency_5m",
+            "latency error-budget burn rate over the trailing 5 minutes",
+        );
+        let slo_latency_1h = registry.gauge(
+            "snn_slo_burn_rate_latency_1h",
+            "latency error-budget burn rate over the trailing hour",
+        );
+        let slo_availability_5m = registry.gauge(
+            "snn_slo_burn_rate_availability_5m",
+            "availability error-budget burn rate over the trailing 5 minutes",
+        );
+        let slo_availability_1h = registry.gauge(
+            "snn_slo_burn_rate_availability_1h",
+            "availability error-budget burn rate over the trailing hour",
+        );
+        let slo_fast_burn = registry.gauge(
+            "snn_slo_fast_burn",
+            "1 while a 5-minute burn rate exceeds the paging threshold (healthz degrades)",
+        );
         let latency = registry.histogram(
             "snn_serve_request_latency_seconds",
             "end-to-end request latency (submit to reply), seconds",
@@ -168,28 +255,63 @@ impl Default for Metrics {
             engine_f32_requests,
             engine_int8_requests,
             queue_depth,
+            stage_parse,
+            stage_queue_wait,
+            stage_batch_form,
+            stage_forward,
+            stage_respond,
             latency,
             batch_size,
             firing_rate,
             layers: Mutex::new(Vec::new()),
+            slo: slo_cfg.map(SloTracker::new),
+            slo_latency_5m,
+            slo_latency_1h,
+            slo_availability_5m,
+            slo_availability_1h,
+            slo_fast_burn,
         }
     }
-}
 
-impl std::fmt::Debug for Metrics {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Metrics")
-            .field("received", &self.received.get())
-            .field("completed", &self.completed.get())
-            .field("queue_depth", &self.queue_depth.get())
-            .finish_non_exhaustive()
-    }
-}
-
-impl Metrics {
     /// Records one request's end-to-end latency.
     pub fn record_latency(&self, us: u64) {
         self.latency.record(us as f64 / 1e6);
+    }
+
+    /// Feeds one finished request into SLO accounting. `ok` means "did
+    /// not fail for a server-side reason" — shed (429), deadline
+    /// (504), panic/circuit/shutdown (503) count against
+    /// availability; client errors (4xx validation) do not reach this
+    /// path. No-op without configured objectives.
+    pub fn slo_record(&self, ok: bool, latency_us: u64) {
+        if let Some(slo) = &self.slo {
+            slo.record(ok, std::time::Duration::from_micros(latency_us));
+        }
+    }
+
+    /// Whether a 5-minute burn rate is past the paging threshold
+    /// (`/healthz` reports `degraded` while true). Always false
+    /// without configured objectives.
+    pub fn slo_fast_burn(&self) -> bool {
+        self.slo.as_ref().is_some_and(|slo| slo.burn_rates().fast_burn)
+    }
+
+    /// The configured SLO objectives, if any.
+    pub fn slo_config(&self) -> Option<&SloConfig> {
+        self.slo.as_ref().map(|s| s.config())
+    }
+
+    /// Refreshes the `snn_slo_*` gauges from the tracker. Called at
+    /// scrape time by both expositions, so the hot path never pays
+    /// for burn-rate math.
+    fn update_slo_gauges(&self) {
+        let Some(slo) = &self.slo else { return };
+        let rates = slo.burn_rates();
+        self.slo_latency_5m.set(rates.latency_5m);
+        self.slo_latency_1h.set(rates.latency_1h);
+        self.slo_availability_5m.set(rates.availability_5m);
+        self.slo_availability_1h.set(rates.availability_1h);
+        self.slo_fast_burn.set(if rates.fast_burn { 1.0 } else { 0.0 });
     }
 
     /// Counts `items` requests against the engine kind that served
@@ -284,27 +406,12 @@ impl Metrics {
     /// followed by the process-wide global registry, with `# HELP`/`#
     /// TYPE` per family and a trailing newline.
     ///
-    /// The short pre-obs counter names (`received`, `completed`, …)
-    /// are kept as alias series for one release; scrapes keyed on
-    /// them keep working while dashboards migrate to the
-    /// `snn_serve_*` names.
+    /// The pre-PR-3 bare-name alias series (`received`, `completed`,
+    /// …) are gone as of this release — scrape the `snn_serve_*`
+    /// families (see CHANGELOG.md).
     pub fn render_prometheus(&self) -> String {
-        use std::fmt::Write;
+        self.update_slo_gauges();
         let mut out = self.registry.render_prometheus();
-        for (alias, counter) in [
-            ("received", &self.received),
-            ("completed", &self.completed),
-            ("rejected_full", &self.rejected_full),
-            ("rejected_deadline", &self.rejected_deadline),
-            ("rejected_shutdown", &self.rejected_shutdown),
-            ("bad_requests", &self.bad_requests),
-            ("batches", &self.batches),
-            ("batched_items", &self.batched_items),
-        ] {
-            let _ = writeln!(out, "# HELP {alias} deprecated alias, see snn_serve_{alias}* family");
-            let _ = writeln!(out, "# TYPE {alias} counter");
-            let _ = writeln!(out, "{alias} {}", counter.get());
-        }
         // The process-wide `snn_fault_injected_total` /
         // `snn_recovery_total` counters ride in with the global
         // registry below — snn-fault registers them there.
@@ -316,6 +423,7 @@ impl Metrics {
     /// instance's instruments followed by the global registry's, as a
     /// [`serde::Value`] array.
     pub fn snapshot_instruments(&self) -> serde::Value {
+        self.update_slo_gauges();
         let mut items = match self.registry.snapshot_value() {
             serde::Value::Array(items) => items,
             other => vec![other],
@@ -486,12 +594,43 @@ mod tests {
             "# TYPE snn_serve_request_latency_seconds histogram\n",
             "snn_serve_request_latency_seconds_count 1\n",
             "# TYPE snn_serve_queue_depth gauge\n",
-            // Legacy alias series.
-            "# TYPE received counter\n",
-            "received 3\n",
+            "# TYPE snn_serve_stage_queue_wait_seconds histogram\n",
+            "# TYPE snn_slo_burn_rate_latency_5m gauge\n",
+            "# TYPE snn_slo_burn_rate_availability_1h gauge\n",
+            "# TYPE snn_slo_fast_burn gauge\n",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+        // The pre-PR-3 bare-name alias series were removed; only the
+        // namespaced families may remain.
+        for gone in ["\n# TYPE received counter\n", "\nreceived 3\n", "\ncompleted 0\n"] {
+            assert!(!text.contains(gone), "stale alias {gone:?} back in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn slo_gauges_follow_burn_rates() {
+        let cfg = SloConfig::parse("p99=25ms,avail=99.9").unwrap();
+        let m = Metrics::with_slo(Some(cfg));
+        assert!(m.slo_config().is_some());
+        // 20 requests, half failing: availability burn = 500 ≫ 14.4.
+        for i in 0..20u64 {
+            m.slo_record(i % 2 == 0, 1_000);
+        }
+        assert!(m.slo_fast_burn());
+        let text = m.render_prometheus();
+        assert!(text.contains("snn_slo_fast_burn 1\n"), "{text}");
+        // render refreshed the gauges; the budget (1 - 0.999) is not
+        // an exact float, so compare numerically rather than textually.
+        assert!(
+            (m.slo_availability_5m.get() - 500.0).abs() < 1e-9,
+            "availability burn: {}",
+            m.slo_availability_5m.get()
+        );
+        // Untracked metrics instances keep the gauges at rest.
+        let idle = Metrics::with_slo(None);
+        assert!(!idle.slo_fast_burn());
+        assert!(idle.render_prometheus().contains("snn_slo_fast_burn 0\n"));
     }
 
     #[test]

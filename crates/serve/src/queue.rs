@@ -37,6 +37,7 @@ use crate::metrics::Metrics;
 use crate::qengine::AnyEngine;
 use crate::registry::ModelRegistry;
 use snn_core::SnapshotError;
+use snn_obs::TraceContext;
 
 /// Tuning knobs for the batching queue.
 #[derive(Debug, Clone, PartialEq)]
@@ -136,8 +137,13 @@ pub struct InferReply {
     pub output: RequestOutput,
     /// How many requests shared this forward pass.
     pub batch_size: usize,
-    /// Time the request spent queued before dispatch, microseconds.
+    /// Time the request spent queued before the worker drained it,
+    /// microseconds (the `queue_wait` trace stage).
     pub queue_us: u64,
+    /// Time between the drain and the forward pass starting —
+    /// deadline shedding, input assembly, any engine rebuild —
+    /// microseconds (the `batch_form` trace stage).
+    pub batch_form_us: u64,
     /// Duration of the shared forward pass, microseconds.
     pub infer_us: u64,
     /// Registry version of the model that answered.
@@ -178,6 +184,9 @@ struct Job {
     input: Vec<f32>,
     deadline: Option<Instant>,
     enqueued: Instant,
+    /// The owning request's identity, carried by value into the
+    /// worker so spans and log records there attach to it.
+    trace: Option<TraceContext>,
     tx: mpsc::Sender<Result<InferReply, Rejection>>,
 }
 
@@ -283,6 +292,21 @@ impl Batcher {
         input: Vec<f32>,
         deadline: Option<Instant>,
     ) -> Result<Ticket, Rejection> {
+        self.submit_traced(input, deadline, None)
+    }
+
+    /// [`Batcher::submit`] with the owning request's [`TraceContext`]
+    /// attached; the worker installs it around the batch it rides in.
+    ///
+    /// # Errors
+    ///
+    /// Same rejections as [`Batcher::submit`].
+    pub fn submit_traced(
+        &self,
+        input: Vec<f32>,
+        deadline: Option<Instant>,
+        trace: Option<TraceContext>,
+    ) -> Result<Ticket, Rejection> {
         if input.len() != self.input_len {
             return Err(Rejection::BadInput { expected: self.input_len, actual: input.len() });
         }
@@ -301,7 +325,7 @@ impl Batcher {
                 self.metrics.rejected_full.inc();
                 return Err(Rejection::QueueFull { capacity: self.cfg.capacity });
             }
-            st.jobs.push_back(Job { input, deadline, enqueued: Instant::now(), tx });
+            st.jobs.push_back(Job { input, deadline, enqueued: Instant::now(), trace, tx });
             // Sampled under the queue lock at every enqueue/dequeue,
             // never derived, so the gauge cannot report a stale depth
             // after a drain or `/reload`.
@@ -367,6 +391,9 @@ fn run_worker(
             metrics.queue_depth.set(st.jobs.len() as f64);
             drop(st);
             metrics.rejected_shutdown.add(drained.len() as u64);
+            if !drained.is_empty() {
+                snn_obs::log_info!("shutdown drain", rejected = drained.len());
+            }
             for job in drained {
                 let _ = job.tx.send(Err(Rejection::ShuttingDown));
             }
@@ -392,11 +419,14 @@ fn run_worker(
         }
 
         // Phase 3: drain up to max_batch and release the lock so
-        // submitters keep flowing while we compute.
+        // submitters keep flowing while we compute. `drained_at` ends
+        // every drained request's `queue_wait` stage; what follows
+        // until the forward pass starts is its `batch_form` stage.
         let n = st.jobs.len().min(cfg.max_batch);
         let taken: Vec<Job> = st.jobs.drain(..n).collect();
         metrics.queue_depth.set(st.jobs.len() as f64);
         drop(st);
+        let drained_at = Instant::now();
 
         // Phase 4: shed requests whose deadline lapsed in queue.
         let now = Instant::now();
@@ -406,6 +436,8 @@ fn run_worker(
                 Some(d) if now >= d => {
                     metrics.rejected_deadline.inc();
                     let waited_us = (now - job.enqueued).as_micros() as u64;
+                    let _scope = job.trace.map(snn_obs::tracectx::set_scope);
+                    snn_obs::log_warn!("request shed", reason = "deadline", waited_us = waited_us);
                     let _ = job.tx.send(Err(Rejection::DeadlineExceeded { waited_us }));
                 }
                 _ => batch.push(job),
@@ -414,6 +446,14 @@ fn run_worker(
         if batch.is_empty() {
             continue;
         }
+
+        // The batch runs under the oldest rider's trace context:
+        // spans the engines open (`infer_batch` down into
+        // `snn_tensor` kernels) and any log records attach to it.
+        let _batch_scope = batch
+            .first()
+            .and_then(|j| j.trace)
+            .map(|ctx| snn_obs::tracectx::set_scope(ctx.child()));
 
         // Phases 5+6 run under `catch_unwind`: a panic anywhere in
         // rebuild or inference (including an injected
@@ -435,6 +475,7 @@ fn run_worker(
                     AnyEngine::new(&registry.current().model, cfg.timesteps)
                         .expect("registry admits only validated models"),
                 );
+                snn_obs::log_info!("engine rebuilt", version = current_version);
                 engine_version = current_version;
             }
 
@@ -456,6 +497,12 @@ fn run_worker(
                 breaker.on_failure();
                 metrics.circuit_state.set(breaker.state().as_gauge());
                 snn_fault::record_recovery();
+                snn_obs::log_error!(
+                    "worker panic absorbed",
+                    site = "serve.worker",
+                    batch = batch.len(),
+                    circuit = breaker.state().as_gauge(),
+                );
                 for job in batch {
                     let _ = job.tx.send(Err(Rejection::WorkerPanic));
                 }
@@ -474,14 +521,19 @@ fn run_worker(
         metrics.record_batch_outputs(&outputs);
 
         let batch_size = batch.len();
+        let batch_form_us = (started - drained_at).as_micros() as u64;
+        metrics.stage_batch_form.record(batch_form_us as f64 * 1e-6);
+        metrics.stage_forward.record(infer_us as f64 * 1e-6);
         for (job, output) in batch.into_iter().zip(outputs) {
-            let queue_us = (started - job.enqueued).as_micros() as u64;
+            let queue_us = (drained_at - job.enqueued).as_micros() as u64;
+            metrics.stage_queue_wait.record(queue_us as f64 * 1e-6);
             metrics.completed.inc();
             metrics.record_latency(job.enqueued.elapsed().as_micros() as u64);
             let _ = job.tx.send(Ok(InferReply {
                 output,
                 batch_size,
                 queue_us,
+                batch_form_us,
                 infer_us,
                 model_version: engine_version,
             }));

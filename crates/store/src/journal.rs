@@ -150,6 +150,11 @@ impl Journal {
         }
         recovery.entries = entries.len();
         if let Some(len) = truncate_to {
+            snn_obs::log_warn!(
+                "journal torn tail truncated",
+                path = path.display().to_string(),
+                committed_entries = recovery.entries,
+            );
             // Drop the torn fragment from the file itself: appends go
             // through O_APPEND, so leaving it in place would merge the
             // next entry onto it and corrupt the journal's interior.

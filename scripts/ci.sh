@@ -28,12 +28,16 @@ cargo test -q --offline -p snn-core -p snn-serve -p snn-cli
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
 # Serve smoke test: boot the model server on an ephemeral port, round
-# trip /healthz and /infer, and shut it down cleanly.
+# trip /healthz and /infer, and shut it down cleanly. SNN_LOG and
+# SNN_SLO are set so the trace smoke test below also covers the
+# structured event log and the SLO burn-rate gauges.
 serve_log="$(mktemp)"
-target/release/snn serve --demo 8 --addr 127.0.0.1:0 --timesteps 2 \
+events_log="$(mktemp)"
+SNN_LOG="info:$events_log" SNN_SLO="p99=25ms,avail=99.9" \
+  target/release/snn serve --demo 8 --addr 127.0.0.1:0 --timesteps 2 \
   >"$serve_log" 2>&1 &
 serve_pid=$!
-trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$serve_log"' EXIT
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$serve_log" "$events_log"' EXIT
 
 addr=""
 for _ in $(seq 50); do
@@ -72,13 +76,44 @@ target/release/snn obs-check --text "$metrics_text" --json "$metrics_json" \
   || { echo "ci.sh: obs-check rejected the metrics endpoints" >&2; exit 1; }
 grep -q '^# TYPE snn_serve_request_latency_seconds histogram$' "$metrics_text" \
   || { echo "ci.sh: /metrics lacks the request latency histogram" >&2; exit 1; }
+grep -q '^# TYPE snn_slo_burn_rate_availability_5m gauge$' "$metrics_text" \
+  || { echo "ci.sh: /metrics lacks the SLO burn-rate gauges" >&2; exit 1; }
 rm -f "$metrics_text" "$metrics_json"
 echo "ci.sh: observability smoke test passed"
+
+# Request-tracing smoke test: issue one more /infer, follow its
+# x-snn-trace-id response header into /debug/traces, and require the
+# recorded timeline to show real time in the queue (the lone request
+# lingers the batcher's max_wait) and in the forward pass. The
+# /debug/traces listing and the structured event log must both pass
+# the obs-check validators.
+headers="$(mktemp)"
+trace_json="$(mktemp)"
+traces_list="$(mktemp)"
+curl -sf --max-time 5 -D "$headers" -X POST "http://$addr/infer" \
+  -H 'Content-Type: application/json' -d "{\"input\":[$input]}" >/dev/null \
+  || { cat "$serve_log"; echo "ci.sh: traced /infer request failed" >&2; exit 1; }
+trace_id="$(tr -d '\r' <"$headers" | sed -n 's/^x-snn-trace-id: //p')"
+[ -n "$trace_id" ] \
+  || { cat "$headers"; echo "ci.sh: /infer answered without x-snn-trace-id" >&2; exit 1; }
+curl -sf --max-time 5 "http://$addr/debug/traces/$trace_id" >"$trace_json" \
+  || { echo "ci.sh: trace $trace_id not found in /debug/traces" >&2; exit 1; }
+for stage in queue_wait forward; do
+  us="$(sed -n "s/.*\"stage\":\"$stage\",\"micros\":\([0-9]*\).*/\1/p" "$trace_json")"
+  [ -n "$us" ] && [ "$us" -gt 0 ] \
+    || { cat "$trace_json"
+         echo "ci.sh: trace $trace_id shows no time in stage $stage" >&2; exit 1; }
+done
+curl -sf --max-time 5 "http://$addr/debug/traces" >"$traces_list"
+target/release/snn obs-check --traces "$traces_list" --log "$events_log" \
+  || { echo "ci.sh: obs-check rejected the trace listing or event log" >&2; exit 1; }
+rm -f "$headers" "$trace_json" "$traces_list"
+echo "ci.sh: request-tracing smoke test passed ($trace_id)"
 
 kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
 trap - EXIT
-rm -f "$serve_log"
+rm -f "$serve_log" "$events_log"
 echo "ci.sh: serve smoke test passed ($addr)"
 
 # Crash-resume smoke test: SIGKILL a checkpointed training run
