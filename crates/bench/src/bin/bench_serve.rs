@@ -25,10 +25,19 @@
 //!    server shedding load with typed `429`/`504` rejections instead
 //!    of queueing without bound.
 //!
+//! After the phases, a **capacity sweep** (schema v6): the same model
+//! behind the replicated epoll front end (`snn-pool`, 2 replicas,
+//! power-of-two-choices routing), driven open-loop at Poisson rates
+//! bracketing the batched phase's closed-loop throughput. Open-loop
+//! arrival is the honest load model — clients do not slow down when
+//! the server does — so the sweep reports the maximum sustained rps
+//! that still meets the SLO (p99 bound + error budget), per-replica
+//! routed counts and engine utilization, and router decision counters.
+//!
 //! Writes `BENCH_serve.json`: per-phase p50/p95/p99 latency,
-//! throughput, realized batch size, rejection counts, and cumulative
+//! throughput, realized batch size, rejection counts, cumulative
 //! per-layer firing rates (the paper's sparsity story as observed by
-//! the serving path).
+//! the serving path), and the `capacity` section.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -171,6 +180,7 @@ fn main() {
         },
         None,
     );
+    let pool_batcher = batched_cfg.clone();
     let batched = serve_phase("batched", &f32_model, batched_cfg.clone(), None);
     let batched_int8 = serve_phase("batched-int8", &int8_model, batched_cfg, None);
     let overload = serve_phase(
@@ -186,8 +196,67 @@ fn main() {
         Some(1),
     );
 
+    // Capacity sweep (schema v6): the pooled front end under open-loop
+    // load. The batched phase's closed-loop throughput anchors the
+    // swept rates — below it the pool should sustain the SLO, around
+    // and above it the sweep shows where latency or the error budget
+    // gives out.
+    println!();
+    println!("capacity sweep: 2 replicas behind the epoll front end, open-loop arrival");
+    let capacity = {
+        let registry = Arc::new(
+            ModelRegistry::new(f32_model.clone(), "bench").expect("demo model is valid"),
+        );
+        let cfg = snn_pool::PoolServerConfig {
+            addr: "127.0.0.1:0".into(),
+            replicas: 2,
+            batcher: pool_batcher,
+            default_timeout: Some(Duration::from_secs(30)),
+            ..snn_pool::PoolServerConfig::default()
+        };
+        let mut pool = snn_pool::PoolServer::start(registry, cfg).expect("pool server starts");
+        let anchor = batched.throughput_rps.max(50.0);
+        let rates: Vec<f64> = [0.3, 0.6, 0.9, 1.2].iter().map(|m| anchor * m).collect();
+        let lg = snn_pool::LoadgenConfig {
+            addr: pool.addr().to_string(),
+            rps: rates[0],
+            warmup: Duration::from_millis(400),
+            duration: Duration::from_millis(1500),
+            connections: clients.clamp(1, 8),
+            input_len,
+            bad_fraction: 0.0,
+            timeout_ms: None,
+            seed: 42,
+        };
+        let capacity = snn_pool::capacity_sweep(&lg, &rates, snn_pool::SloSpec::default());
+        pool.shutdown();
+        capacity
+    };
+    for p in &capacity.points {
+        println!(
+            "offered {:>8.1} rps: achieved {:>8.1}  p99 {:>8.2}ms  error_rate {:.4}  {}",
+            p.rps,
+            p.achieved_rps,
+            p.p99_ms,
+            p.error_rate,
+            if p.met_slo { "meets SLO" } else { "breaks SLO" }
+        );
+    }
+    for r in &capacity.per_replica {
+        println!(
+            "replica {}: {} routed, {:.1}% engine-utilized",
+            r.replica,
+            r.routed,
+            r.utilization * 100.0
+        );
+    }
+    println!(
+        "max sustained rps meeting SLO (p99<{}ms, err<{}): {:.1}",
+        capacity.slo.p99_ms, capacity.slo.max_error_rate, capacity.max_sustained_rps
+    );
+
     let report = Report {
-        schema_version: snn_bench::BENCH_SCHEMA_VERSION,
+        schema_version: snn_bench::BENCH_SERVE_SCHEMA_VERSION,
         git_commit: snn_bench::git_commit(),
         requests_per_phase: requests,
         clients,
@@ -197,6 +266,7 @@ fn main() {
         batched_speedup: batched.throughput_rps / unbatched.throughput_rps,
         int8_vs_f32_batched: batched_int8.throughput_rps / batched.throughput_rps,
         phases: vec![unbatched, batched, batched_int8, overload],
+        capacity: capacity.to_value(),
     };
     for p in &report.phases {
         println!(
@@ -282,7 +352,8 @@ fn quantized_artifact(snap: &NetworkSnapshot) -> QuantizedSnapshot {
 
 #[derive(Serialize)]
 struct Report {
-    /// Report layout version ([`snn_bench::BENCH_SCHEMA_VERSION`]).
+    /// Report layout version
+    /// ([`snn_bench::BENCH_SERVE_SCHEMA_VERSION`]).
     schema_version: u32,
     /// Commit the binary ran from, or `unknown`.
     git_commit: String,
@@ -299,6 +370,11 @@ struct Report {
     /// f32 at the identical batcher configuration (schema v4).
     int8_vs_f32_batched: f64,
     phases: Vec<Phase>,
+    /// Open-loop capacity of the 2-replica pooled front end (schema
+    /// v6): the SLO, max sustained rps meeting it, per-rate sweep
+    /// points, per-replica utilization, and router decision counters —
+    /// as built by `snn_pool::CapacityReport::to_value`.
+    capacity: serde::Value,
 }
 
 #[derive(Serialize)]

@@ -29,7 +29,22 @@ use snn_dse::ExperimentProfile;
 /// `respond`) lifted from the server's stage histograms, so a
 /// throughput regression can be localized to the pipeline stage that
 /// moved without re-running the bench under a profiler.
+///
+/// Serve reports moved to their own version track at v6 (see
+/// [`BENCH_SERVE_SCHEMA_VERSION`]); this constant now versions the
+/// kernel reports only.
 pub const BENCH_SCHEMA_VERSION: u32 = 5;
+
+/// Schema version of `BENCH_serve.json`, split from the kernel track
+/// at v6 so the two report families can evolve independently.
+///
+/// v6: serve reports gain a top-level `capacity` section measured by
+/// the `snn-pool` open-loop load generator against a replicated epoll
+/// server — the SLO (p99 bound + error budget), the maximum sustained
+/// rps meeting it, the per-rate sweep points, per-replica routed
+/// counts and engine utilization, and the router's decision counters
+/// (`p2c`/`fallback`/`rerouted`).
+pub const BENCH_SERVE_SCHEMA_VERSION: u32 = 6;
 
 /// The git commit the benchmark binary was run from, or `"unknown"`
 /// outside a git checkout (or when `git` itself is unavailable).

@@ -58,6 +58,20 @@ commands:
           --addr HOST:PORT (127.0.0.1:7878; port 0 picks a free port)
           --timesteps N (4)   --max-batch N (8)   --max-wait-us N (2000)
           --capacity N (64)   --timeout-ms N (2000; 0 disables)
+          --replicas N (1; N>=2 serves through the nonblocking epoll
+                front end with N engine replicas behind a
+                power-of-two-choices router)
+  loadgen open-loop (Poisson) load generator and SLO capacity report
+          --addr HOST:PORT (target server)   --rps F (200)
+          --sweep LIST (e.g. 100,200,400: capacity sweep over offered
+                rates; reports max sustained rps meeting the SLO)
+          --duration-ms N (2000)   --warmup-ms N (500)
+          --connections N (4)   --input-len N (64)
+          --bad-fraction F (0; intentional 400s mixed into the traffic)
+          --timeout-ms N (0; adds timeout_ms to request bodies)
+          --seed N (42)   --p99-ms F (25)   --max-error-rate F (0.001)
+          --out FILE (with --sweep: write a schema-v6 BENCH_serve-style
+                report with the `capacity` section)
   profile run forward+backward passes and print a span-tree time breakdown
           --demo [SIDE] (8) | --model PATH   --reps N (3)
           --timesteps N (4)   --batch N (2)
@@ -67,7 +81,9 @@ commands:
           --trace FILE (SNN_TRACE trace_event output)
           --traces FILE (/debug/traces body: ids, stages, sampling stats)
           --log FILE (structured JSONL event log: ts/level/msg per line)
-          --bench FILE (BENCH_kernels.json)   --min-conv-event-speedup X
+          --bench FILE (BENCH_kernels.json or BENCH_serve.json; the
+                report kind is sniffed from its sections)
+          --min-conv-event-speedup X
                 (fail if the 90%-sparsity event conv2d speedup is below X)
           --min-int8-speedup X (fail if the int8 GEMM speedup over the
                 f32 dense GEMM is below X)
@@ -118,6 +134,7 @@ fn main() {
         "map" => cmd_map(&args),
         "info" => cmd_info(&args),
         "serve" => cmd_serve(&args),
+        "loadgen" => cmd_loadgen(&args),
         "profile" => cmd_profile(&args),
         "obs-check" => cmd_obs_check(&args),
         "tail" => live::cmd_tail(&args),
@@ -525,36 +542,210 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let max_wait_us: u64 = args.get_parsed("max-wait-us", 2000)?;
     let capacity: usize = args.get_parsed("capacity", 64)?;
     let timeout_ms: u64 = args.get_parsed("timeout-ms", 2000)?;
-    if max_batch == 0 || capacity == 0 {
-        return Err("--max-batch and --capacity must be at least 1".into());
+    let replicas: usize = args.get_parsed("replicas", 1)?;
+    if max_batch == 0 || capacity == 0 || replicas == 0 {
+        return Err("--max-batch, --capacity, and --replicas must be at least 1".into());
     }
 
     let registry =
         std::sync::Arc::new(ModelRegistry::new(model, name).map_err(|e| e.to_string())?);
     let info = registry.info();
-    let cfg = ServerConfig {
-        addr: args.get("addr", "127.0.0.1:7878").to_string(),
-        batcher: BatcherConfig {
-            max_batch,
-            max_wait: Duration::from_micros(max_wait_us),
-            capacity,
-            timesteps,
-            ..BatcherConfig::default()
-        },
-        default_timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
-        // Trace ring and SLO objectives come from the environment
-        // (SNN_TRACE_RING / SNN_SLO) via the config default.
-        ..ServerConfig::default()
+    let addr = args.get("addr", "127.0.0.1:7878").to_string();
+    let batcher = BatcherConfig {
+        max_batch,
+        max_wait: Duration::from_micros(max_wait_us),
+        capacity,
+        timesteps,
+        ..BatcherConfig::default()
     };
-    let mut server = Server::start(registry, cfg).map_err(|e| e.to_string())?;
+    let default_timeout = (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms));
     println!(
         "serving {} [{}] ({} inputs, {} classes, {} parameters, T={timesteps})",
         info.name, info.dtype, info.input_len, info.classes, info.params
     );
-    // ci.sh and other harnesses parse this line for the ephemeral port.
-    println!("listening on {}", server.addr());
-    server.join();
+    if replicas >= 2 {
+        // Scale-out path: the epoll front end multiplexing every
+        // connection on one thread, with N engine replicas behind a
+        // power-of-two-choices router.
+        let cfg = snn_pool::PoolServerConfig {
+            addr,
+            replicas,
+            batcher,
+            default_timeout,
+            // Trace ring and SLO objectives come from the environment
+            // (SNN_TRACE_RING / SNN_SLO) via the config default.
+            ..snn_pool::PoolServerConfig::default()
+        };
+        let mut server = snn_pool::PoolServer::start(registry, cfg).map_err(|e| e.to_string())?;
+        println!("pool: {replicas} replicas, power-of-two-choices routing, epoll front end");
+        // ci.sh and other harnesses parse this line for the port.
+        println!("listening on {}", server.addr());
+        server.join();
+    } else {
+        let cfg = ServerConfig {
+            addr,
+            batcher,
+            default_timeout,
+            ..ServerConfig::default()
+        };
+        let mut server = Server::start(registry, cfg).map_err(|e| e.to_string())?;
+        // ci.sh and other harnesses parse this line for the ephemeral port.
+        println!("listening on {}", server.addr());
+        server.join();
+    }
     Ok(())
+}
+
+/// Open-loop (Poisson) load generation against a running server, with
+/// an optional multi-rate capacity sweep producing the schema-v6
+/// `capacity` section. `scripts/ci.sh` runs the single-rate form as a
+/// smoke gate and parses the `loadgen:` line.
+fn cmd_loadgen(args: &Args) -> Result<(), String> {
+    use snn_pool::{capacity_sweep, LoadgenConfig, SloSpec};
+    use std::time::Duration;
+
+    let addr = args.require("addr")?.to_string();
+    let rps: f64 = args.get_parsed("rps", 200.0)?;
+    let duration_ms: u64 = args.get_parsed("duration-ms", 2000)?;
+    let warmup_ms: u64 = args.get_parsed("warmup-ms", 500)?;
+    let connections: usize = args.get_parsed("connections", 4)?;
+    let input_len: usize = args.get_parsed("input-len", 64)?;
+    let bad_fraction: f64 = args.get_parsed("bad-fraction", 0.0)?;
+    let timeout_ms: u64 = args.get_parsed("timeout-ms", 0)?;
+    let seed: u64 = args.get_parsed("seed", 42)?;
+    if rps <= 0.0 || !rps.is_finite() {
+        return Err("--rps must be a positive rate".into());
+    }
+    if !(0.0..=1.0).contains(&bad_fraction) {
+        return Err("--bad-fraction must be within [0, 1]".into());
+    }
+    if connections == 0 || duration_ms == 0 {
+        return Err("--connections and --duration-ms must be at least 1".into());
+    }
+    let cfg = LoadgenConfig {
+        addr,
+        rps,
+        warmup: Duration::from_millis(warmup_ms),
+        duration: Duration::from_millis(duration_ms),
+        connections,
+        input_len,
+        bad_fraction,
+        timeout_ms: (timeout_ms > 0).then_some(timeout_ms),
+        seed,
+    };
+    let slo = SloSpec {
+        p99_ms: args.get_parsed("p99-ms", 25.0)?,
+        max_error_rate: args.get_parsed("max-error-rate", 0.001)?,
+    };
+
+    if let Some(spec) = args.opt("sweep") {
+        let rates: Vec<f64> = spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| *r > 0.0 && r.is_finite())
+                    .ok_or_else(|| format!("--sweep: not a positive rate: `{s}`"))
+            })
+            .collect::<Result<_, _>>()?;
+        if rates.is_empty() {
+            return Err("--sweep needs at least one rate".into());
+        }
+        println!(
+            "loadgen sweep: {} rates against {}, {}ms measure / {}ms warmup per point, \
+             {} connections",
+            rates.len(),
+            cfg.addr,
+            duration_ms,
+            warmup_ms,
+            connections
+        );
+        let report = capacity_sweep(&cfg, &rates, slo);
+        for p in &report.points {
+            println!(
+                "  offered {:>8.0} rps: achieved {:>8.1}  p99 {:>8.2}ms  error_rate {:.4}  {}",
+                p.rps,
+                p.achieved_rps,
+                p.p99_ms,
+                p.error_rate,
+                if p.met_slo { "meets SLO" } else { "breaks SLO" }
+            );
+        }
+        for r in &report.per_replica {
+            println!(
+                "  replica {}: {} routed, {:.1}% engine-utilized over the sweep",
+                r.replica,
+                r.routed,
+                r.utilization * 100.0
+            );
+        }
+        println!(
+            "  router: {} p2c, {} fallback, {} rerouted",
+            report.router.p2c, report.router.fallback, report.router.rerouted
+        );
+        // ci.sh and other harnesses parse this line.
+        println!(
+            "capacity: max_sustained_rps={:.1} (p99<{}ms, error_rate<{})",
+            report.max_sustained_rps, slo.p99_ms, slo.max_error_rate
+        );
+        if let Some(out) = args.opt("out") {
+            let body = serde::Value::Object(vec![
+                ("schema_version".into(), serde::Value::Number(6.0)),
+                ("git_commit".into(), serde::Value::String(git_commit())),
+                ("source".into(), serde::Value::String("snn loadgen".into())),
+                ("capacity".into(), report.to_value()),
+            ]);
+            let json = serde_json::to_string(&body).expect("report serializes");
+            std::fs::write(out, json).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+            println!("wrote {out}");
+        }
+    } else {
+        if args.has("out") {
+            return Err("--out needs --sweep (only the capacity sweep writes a report)".into());
+        }
+        let r = snn_pool::loadgen::run(&cfg);
+        // ci.sh parses this line; keep the `key=value` fields stable.
+        println!(
+            "loadgen: offered={} completed={} 400s={} 429s={} 5xx={} other={} transport={} \
+             error_rate={:.4}",
+            r.offered,
+            r.completed,
+            r.status_400,
+            r.status_429,
+            r.status_5xx,
+            r.status_other,
+            r.transport_errors,
+            r.error_rate()
+        );
+        println!(
+            "         achieved {:.1} rps over {:.2}s  p50 {:.2}ms  p95 {:.2}ms  p99 {:.2}ms  \
+             max {:.2}ms",
+            r.achieved_rps,
+            r.wall_secs,
+            r.latency.p50_ms,
+            r.latency.p95_ms,
+            r.latency.p99_ms,
+            r.latency.max_ms
+        );
+    }
+    Ok(())
+}
+
+/// The git commit this binary runs from, or `unknown` — provenance for
+/// loadgen reports, best effort by design. (A local copy of
+/// `snn_bench::git_commit`: the CLI deliberately stays below the bench
+/// crate in the dependency order.)
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
 }
 
 /// Fault-injection drill: run the full self-healing loop — supervised
@@ -855,9 +1046,33 @@ fn cmd_obs_check(args: &Args) -> Result<(), String> {
                 v.parse::<f64>().map_err(|_| format!("--min-int8-speedup: not a number: `{v}`"))
             })
             .transpose()?;
-        let summary = obscheck::check_bench_kernels(&read(path)?, min, min_int8)
-            .map_err(|e| format!("{path}: {e}"))?;
-        println!("{path}: ok ({summary})");
+        // Sniff the report kind from its top-level sections: kernel
+        // reports carry `density_sweep`, serve reports carry
+        // `capacity` (and usually `phases`).
+        let text = read(path)?;
+        let is_serve = serde_json::parse(&text)
+            .ok()
+            .and_then(|v| {
+                v.as_object().map(|fields| {
+                    let has = |k: &str| fields.iter().any(|(name, _)| name == k);
+                    !has("density_sweep") && (has("capacity") || has("phases"))
+                })
+            })
+            .unwrap_or(false);
+        if is_serve {
+            if min.is_some() || min_int8.is_some() {
+                return Err(format!(
+                    "{path}: kernel speedup gates do not apply to a serve report"
+                ));
+            }
+            let summary =
+                obscheck::check_bench_serve(&text).map_err(|e| format!("{path}: {e}"))?;
+            println!("{path}: ok ({summary})");
+        } else {
+            let summary = obscheck::check_bench_kernels(&text, min, min_int8)
+                .map_err(|e| format!("{path}: {e}"))?;
+            println!("{path}: ok ({summary})");
+        }
         checked += 1;
     }
     if checked == 0 {

@@ -18,7 +18,10 @@
 ///   `_bucket`/`_sum`/`_count` suffix stripped) has a preceding `#
 ///   TYPE`;
 /// * histogram `_bucket` cumulative counts are monotonically
-///   non-decreasing within a family.
+///   non-decreasing within a labeled series (the family plus its
+///   labels with `le` stripped — so the per-replica histograms of a
+///   pooled server, `x_bucket{replica="0",le=…}` then
+///   `x_bucket{replica="1",le=…}`, each restart their own ladder).
 ///
 /// # Errors
 ///
@@ -79,18 +82,19 @@ pub fn check_prometheus(text: &str) -> Result<(), String> {
         if !typed.iter().any(|(n, _)| n == family) {
             return Err(format!("line {lineno}: sample `{name}` has no preceding # TYPE {family}"));
         }
-        // Cumulative bucket monotonicity within one family.
+        // Cumulative bucket monotonicity within one labeled series.
         if name.ends_with("_bucket") {
+            let key = bucket_key(series, family);
             match &last_bucket {
-                Some((prev_family, prev)) if prev_family == family && value < *prev => {
+                Some((prev_key, prev)) if *prev_key == key && value < *prev => {
                     return Err(format!(
-                        "line {lineno}: bucket counts for `{family}` are not cumulative \
+                        "line {lineno}: bucket counts for `{key}` are not cumulative \
                          ({value} after {prev})"
                     ));
                 }
                 _ => {}
             }
-            last_bucket = Some((family.to_string(), value));
+            last_bucket = Some((key, value));
         } else {
             last_bucket = None;
         }
@@ -461,6 +465,158 @@ pub fn check_bench_kernels(
     ))
 }
 
+/// Expected `schema_version` of `BENCH_serve.json`. Kept in sync with
+/// `snn_bench::BENCH_SERVE_SCHEMA_VERSION` by hand, same policy as
+/// [`BENCH_KERNELS_SCHEMA`].
+pub const BENCH_SERVE_SCHEMA: f64 = 6.0;
+
+/// Validates a `BENCH_serve.json` report (schema v6).
+///
+/// Structural checks: parseable JSON object, `schema_version` equal to
+/// [`BENCH_SERVE_SCHEMA`], a non-empty `git_commit`, and a `capacity`
+/// section — the v6 addition — with an `slo` object (finite positive
+/// `p99_ms`, finite non-negative `max_error_rate`), a finite
+/// `max_sustained_rps`, a non-empty `points` array (each point with
+/// finite `rps`/`achieved_rps`/`p99_ms`/`error_rate` and a boolean
+/// `met_slo`), a `per_replica` array (each entry with numeric
+/// `replica`/`routed` and finite `utilization`; empty is legal when
+/// the target exposes no per-replica series), and a `router` object
+/// with numeric `p2c`/`fallback`/`rerouted` decision counters.
+///
+/// A `phases` array, when present (the full `bench_serve` report;
+/// `snn loadgen --out` writes capacity only), must be non-empty and
+/// each phase needs a non-empty `name` and a finite `throughput_rps`.
+///
+/// Returns a one-line summary for logging.
+///
+/// # Errors
+///
+/// Returns a message describing the first problem found.
+pub fn check_bench_serve(text: &str) -> Result<String, String> {
+    let value = serde_json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let Some(fields) = value.as_object() else {
+        return Err("top level is not an object".into());
+    };
+    let get = |obj: &'_ [(String, serde::Value)], k: &str| {
+        obj.iter().find(|(name, _)| name == k).map(|(_, v)| v.clone())
+    };
+    match get(fields, "schema_version") {
+        Some(serde::Value::Number(v)) if v == BENCH_SERVE_SCHEMA => {}
+        Some(serde::Value::Number(v)) => {
+            return Err(format!("schema_version {v} (expected {BENCH_SERVE_SCHEMA})"));
+        }
+        _ => return Err("missing numeric `schema_version`".into()),
+    }
+    let commit = match get(fields, "git_commit") {
+        Some(serde::Value::String(s)) if !s.is_empty() => s,
+        _ => return Err("missing or empty `git_commit`".into()),
+    };
+    let mut phase_count = None;
+    if let Some(phases) = get(fields, "phases") {
+        let serde::Value::Array(phases) = phases else {
+            return Err("`phases` is not an array".into());
+        };
+        if phases.is_empty() {
+            return Err("`phases` is present but empty".into());
+        }
+        for (i, phase) in phases.iter().enumerate() {
+            let Some(p) = phase.as_object() else {
+                return Err(format!("phases[{i}] is not an object"));
+            };
+            match get(p, "name") {
+                Some(serde::Value::String(s)) if !s.is_empty() => {}
+                _ => return Err(format!("phases[{i}] lacks a non-empty `name`")),
+            }
+            match get(p, "throughput_rps") {
+                Some(serde::Value::Number(v)) if v.is_finite() => {}
+                _ => return Err(format!("phases[{i}] lacks finite `throughput_rps`")),
+            }
+        }
+        phase_count = Some(phases.len());
+    }
+    let Some(serde::Value::Object(capacity)) = get(fields, "capacity") else {
+        return Err("missing `capacity` object (the schema-v6 section)".into());
+    };
+    let Some(serde::Value::Object(slo)) = get(&capacity, "slo") else {
+        return Err("capacity lacks `slo` object".into());
+    };
+    let p99_ms = match get(&slo, "p99_ms") {
+        Some(serde::Value::Number(v)) if v.is_finite() && v > 0.0 => v,
+        _ => return Err("capacity.slo lacks finite positive `p99_ms`".into()),
+    };
+    match get(&slo, "max_error_rate") {
+        Some(serde::Value::Number(v)) if v.is_finite() && v >= 0.0 => {}
+        _ => return Err("capacity.slo lacks finite non-negative `max_error_rate`".into()),
+    }
+    let max_sustained = match get(&capacity, "max_sustained_rps") {
+        Some(serde::Value::Number(v)) if v.is_finite() && v >= 0.0 => v,
+        _ => return Err("capacity lacks finite `max_sustained_rps`".into()),
+    };
+    let Some(serde::Value::Array(points)) = get(&capacity, "points") else {
+        return Err("capacity lacks `points` array".into());
+    };
+    if points.is_empty() {
+        return Err("capacity.points is empty".into());
+    }
+    for (i, point) in points.iter().enumerate() {
+        let Some(p) = point.as_object() else {
+            return Err(format!("capacity.points[{i}] is not an object"));
+        };
+        for required in ["rps", "achieved_rps", "p99_ms", "error_rate"] {
+            match get(p, required) {
+                Some(serde::Value::Number(v)) if v.is_finite() => {}
+                _ => return Err(format!("capacity.points[{i}] lacks finite `{required}`")),
+            }
+        }
+        match get(p, "met_slo") {
+            Some(serde::Value::Bool(_)) => {}
+            _ => return Err(format!("capacity.points[{i}] lacks boolean `met_slo`")),
+        }
+    }
+    let Some(serde::Value::Array(per_replica)) = get(&capacity, "per_replica") else {
+        return Err("capacity lacks `per_replica` array".into());
+    };
+    for (i, entry) in per_replica.iter().enumerate() {
+        let Some(r) = entry.as_object() else {
+            return Err(format!("capacity.per_replica[{i}] is not an object"));
+        };
+        for required in ["replica", "routed"] {
+            match get(r, required) {
+                Some(serde::Value::Number(v)) if v >= 0.0 => {}
+                _ => {
+                    return Err(format!(
+                        "capacity.per_replica[{i}] lacks non-negative `{required}`"
+                    ));
+                }
+            }
+        }
+        match get(r, "utilization") {
+            Some(serde::Value::Number(v)) if v.is_finite() => {}
+            _ => return Err(format!("capacity.per_replica[{i}] lacks finite `utilization`")),
+        }
+    }
+    let Some(serde::Value::Object(router)) = get(&capacity, "router") else {
+        return Err("capacity lacks `router` object".into());
+    };
+    for required in ["p2c", "fallback", "rerouted"] {
+        match get(&router, required) {
+            Some(serde::Value::Number(v)) if v >= 0.0 => {}
+            _ => return Err(format!("capacity.router lacks non-negative `{required}`")),
+        }
+    }
+    let phases = match phase_count {
+        Some(n) => format!("{n} phases, "),
+        None => String::new(),
+    };
+    Ok(format!(
+        "schema {BENCH_SERVE_SCHEMA}, commit {}, {phases}{max_sustained:.1} rps sustained at \
+         p99<{p99_ms}ms over {} sweep points, {} replicas",
+        &commit[..commit.len().min(12)],
+        points.len(),
+        per_replica.len()
+    ))
+}
+
 fn valid_name(name: &str) -> bool {
     !name.is_empty()
         && name
@@ -483,6 +639,21 @@ fn split_sample(line: &str) -> Option<(&str, &str)> {
         return None;
     }
     Some((series, value))
+}
+
+/// Identity of one histogram's bucket ladder: the family name plus
+/// every label except `le`. Two replicas' histograms share a family
+/// but are separate ladders; the `le` label itself varies within one.
+fn bucket_key(series: &str, family: &str) -> String {
+    let labels = match (series.find('{'), series.rfind('}')) {
+        (Some(open), Some(close)) if close > open => &series[open + 1..close],
+        _ => "",
+    };
+    let kept: Vec<&str> = labels
+        .split(',')
+        .filter(|l| !l.trim_start().starts_with("le="))
+        .collect();
+    format!("{family}{{{}}}", kept.join(","))
 }
 
 /// Strips histogram series suffixes to the declared family name.
@@ -516,6 +687,23 @@ mod tests {
         assert!(check_prometheus("# TYPE x counter\nx abc\n").is_err(), "bad value");
         let non_cumulative = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n";
         assert!(check_prometheus(non_cumulative).is_err());
+    }
+
+    #[test]
+    fn bucket_ladders_are_per_labeled_series() {
+        // Replica 1's first bucket is lower than replica 0's +Inf —
+        // legal, they are separate ladders within one family.
+        let pooled = "# TYPE h histogram\n\
+                      h_bucket{replica=\"0\",le=\"1\"} 5\n\
+                      h_bucket{replica=\"0\",le=\"+Inf\"} 9\n\
+                      h_bucket{replica=\"1\",le=\"1\"} 2\n\
+                      h_bucket{replica=\"1\",le=\"+Inf\"} 4\n";
+        check_prometheus(pooled).unwrap();
+        // But within one replica's ladder, counts must still climb.
+        let broken = "# TYPE h histogram\n\
+                      h_bucket{replica=\"0\",le=\"1\"} 5\n\
+                      h_bucket{replica=\"0\",le=\"+Inf\"} 3\n";
+        assert!(check_prometheus(broken).is_err());
     }
 
     #[test]
@@ -590,6 +778,49 @@ mod tests {
             check_bench_kernels(&bad_baseline, None, None).is_err(),
             "non-numeric f32 baseline in the int8 conv rows must fail"
         );
+    }
+
+    fn serve_report(schema: &str, with_phases: bool) -> String {
+        let phases = if with_phases {
+            "\"phases\":[{\"name\":\"batched\",\"throughput_rps\":850.5}],"
+        } else {
+            ""
+        };
+        format!(
+            "{{\"schema_version\":{schema},\"git_commit\":\"abc123\",{phases}\
+             \"capacity\":{{\
+             \"slo\":{{\"p99_ms\":25.0,\"max_error_rate\":0.001}},\
+             \"max_sustained_rps\":400.0,\
+             \"points\":[{{\"rps\":200.0,\"achieved_rps\":199.1,\"p99_ms\":4.2,\
+             \"error_rate\":0.0,\"met_slo\":true}},\
+             {{\"rps\":800.0,\"achieved_rps\":512.0,\"p99_ms\":91.0,\
+             \"error_rate\":0.2,\"met_slo\":false}}],\
+             \"per_replica\":[{{\"replica\":0,\"routed\":250,\"utilization\":0.41}},\
+             {{\"replica\":1,\"routed\":248,\"utilization\":0.39}}],\
+             \"router\":{{\"p2c\":498,\"fallback\":0,\"rerouted\":0}}}}}}"
+        )
+    }
+
+    #[test]
+    fn validates_bench_serve_report() {
+        let summary = check_bench_serve(&serve_report("6", true)).unwrap();
+        assert!(summary.contains("400.0 rps sustained"), "summary was `{summary}`");
+        assert!(summary.contains("1 phases"), "summary was `{summary}`");
+        // loadgen's capacity-only shape (no phases) is also valid.
+        check_bench_serve(&serve_report("6", false)).unwrap();
+        assert!(check_bench_serve(&serve_report("5", true)).is_err(), "old schema");
+        assert!(check_bench_serve("not json").is_err());
+        assert!(check_bench_serve("{}").is_err(), "missing everything");
+        let no_capacity = serve_report("6", true).replace("\"capacity\"", "\"cap\"");
+        assert!(check_bench_serve(&no_capacity).is_err(), "missing capacity section");
+        let bad_point =
+            serve_report("6", false).replace("\"met_slo\":true", "\"met_slo\":\"yes\"");
+        assert!(check_bench_serve(&bad_point).is_err(), "met_slo must be boolean");
+        let no_router = serve_report("6", false).replace("\"rerouted\"", "\"re_routed\"");
+        assert!(check_bench_serve(&no_router).is_err(), "router counters incomplete");
+        let empty_phases = serve_report("6", true)
+            .replace("[{\"name\":\"batched\",\"throughput_rps\":850.5}]", "[]");
+        assert!(check_bench_serve(&empty_phases).is_err(), "phases present but empty");
     }
 
     fn trace_listing(trace_id: &str, stages: &str) -> String {

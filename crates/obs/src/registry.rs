@@ -146,11 +146,20 @@ impl Registry {
     /// Renders every instrument in Prometheus text exposition format:
     /// `# HELP`/`# TYPE` per family, `_bucket{le="…"}`/`_sum`/`_count`
     /// series for histograms, and a trailing newline.
+    ///
+    /// An instrument registered with a label block in its name
+    /// (`snn_pool_replica_queue_depth{replica="0"}`) renders as one
+    /// labeled *series* of the brace-less *family*: `# HELP`/`# TYPE`
+    /// are emitted once per family (the `BTreeMap` keeps same-family
+    /// series adjacent, and a seen-set guards re-declaration either
+    /// way), and histogram series carry the labels alongside `le`
+    /// (`family_bucket{replica="0",le="…"}`).
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
+        let mut declared: Vec<String> = Vec::new();
         let entries = self.entries.lock().expect("registry lock poisoned");
         for (name, e) in entries.iter() {
-            render_one(&mut out, name, &e.help, &e.instrument);
+            render_one(&mut out, name, &e.help, &e.instrument, &mut declared);
         }
         out
     }
@@ -190,11 +199,32 @@ impl Registry {
     }
 }
 
-/// Writes one instrument family in Prometheus text format.
-fn render_one(out: &mut String, name: &str, help: &str, instrument: &Instrument) {
+/// Splits a registered name into its brace-less family and an
+/// optional `key="value",…` label payload (the text between the
+/// braces). Names without a `{` are a family with no labels.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((family, rest)) => (family, Some(rest.trim_end_matches('}'))),
+        None => (name, None),
+    }
+}
+
+/// Writes one instrument series in Prometheus text format, declaring
+/// its family's `# HELP`/`# TYPE` on first encounter.
+fn render_one(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    instrument: &Instrument,
+    declared: &mut Vec<String>,
+) {
     use std::fmt::Write;
-    let _ = writeln!(out, "# HELP {name} {help}");
-    let _ = writeln!(out, "# TYPE {name} {}", instrument.kind());
+    let (family, labels) = split_labels(name);
+    if !declared.iter().any(|f| f == family) {
+        let _ = writeln!(out, "# HELP {family} {help}");
+        let _ = writeln!(out, "# TYPE {family} {}", instrument.kind());
+        declared.push(family.to_string());
+    }
     match instrument {
         Instrument::Counter(c) => {
             let _ = writeln!(out, "{name} {}", c.get());
@@ -204,15 +234,29 @@ fn render_one(out: &mut String, name: &str, help: &str, instrument: &Instrument)
         }
         Instrument::Histogram(h) => {
             let snap = h.snapshot(name);
+            // Histogram series interleave `le` with any series labels:
+            // `family_bucket{replica="0",le="0.1"}`.
+            let le_prefix = match labels {
+                Some(l) => format!("{l},"),
+                None => String::new(),
+            };
+            let plain = match labels {
+                Some(l) => format!("{{{l}}}"),
+                None => String::new(),
+            };
             let mut cum = 0u64;
             for (bound, count) in snap.bounds.iter().zip(&snap.counts) {
                 cum += count;
-                let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", fmt_f64(*bound));
+                let _ = writeln!(
+                    out,
+                    "{family}_bucket{{{le_prefix}le=\"{}\"}} {cum}",
+                    fmt_f64(*bound)
+                );
             }
             cum += snap.counts.last().copied().unwrap_or(0);
-            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
-            let _ = writeln!(out, "{name}_sum {}", fmt_f64(snap.sum));
-            let _ = writeln!(out, "{name}_count {}", snap.count);
+            let _ = writeln!(out, "{family}_bucket{{{le_prefix}le=\"+Inf\"}} {cum}");
+            let _ = writeln!(out, "{family}_sum{plain} {}", fmt_f64(snap.sum));
+            let _ = writeln!(out, "{family}_count{plain} {}", snap.count);
         }
     }
 }
@@ -299,6 +343,31 @@ mod tests {
             assert!(parts.next().is_none(), "extra token on {line:?}");
             assert!(!name.is_empty());
             assert!(value.parse::<f64>().is_ok(), "unparseable value on {line:?}");
+        }
+    }
+
+    #[test]
+    fn labeled_series_share_one_family_declaration() {
+        let r = Registry::new();
+        r.gauge("snn_test_replica_depth{replica=\"0\"}", "per-replica depth").set(2.0);
+        r.gauge("snn_test_replica_depth{replica=\"1\"}", "per-replica depth").set(5.0);
+        let h = r.histogram("snn_test_replica_wait_seconds{replica=\"0\"}", "wait", &[0.1]);
+        h.record(0.05);
+        let text = r.render_prometheus();
+        assert_eq!(
+            text.matches("# TYPE snn_test_replica_depth gauge").count(),
+            1,
+            "one TYPE line per family, not per series:\n{text}"
+        );
+        for needle in [
+            "snn_test_replica_depth{replica=\"0\"} 2\n",
+            "snn_test_replica_depth{replica=\"1\"} 5\n",
+            "# TYPE snn_test_replica_wait_seconds histogram\n",
+            "snn_test_replica_wait_seconds_bucket{replica=\"0\",le=\"0.1\"} 1\n",
+            "snn_test_replica_wait_seconds_bucket{replica=\"0\",le=\"+Inf\"} 1\n",
+            "snn_test_replica_wait_seconds_count{replica=\"0\"} 1\n",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
     }
 

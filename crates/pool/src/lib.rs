@@ -1,0 +1,52 @@
+//! # snn-pool
+//!
+//! Scale-out serving: N replicated inference engines behind a
+//! nonblocking, event-driven HTTP front end, plus the open-loop load
+//! generator that measures what the arrangement is worth.
+//!
+//! The paper's deployment argument — hardware-aware SNN tuning pays
+//! off at serving time — runs through sustained-load behavior, and the
+//! single-worker [`snn_serve::Server`] has two scaling walls: one
+//! thread per connection (memory + scheduler pressure under high
+//! connection counts) and one batch worker (one engine's throughput).
+//! This crate removes both:
+//!
+//! * [`epoll`] — hand-rolled, hermetic epoll bindings (the only
+//!   `unsafe` in the workspace, confined to four FFI declarations
+//!   against the C library `std` already links).
+//! * [`server`] — [`PoolServer`]: a single-threaded readiness loop
+//!   multiplexing every connection through nonblocking accept/read/
+//!   write state machines. Protocol behavior reuses `snn-serve`'s
+//!   parsers and response builders, so both front ends answer
+//!   byte-identically.
+//! * [`pool`] — [`ReplicaPool`]: N [`snn_serve::Batcher`] replicas
+//!   (each its own engine, bounded queue, and circuit breaker) behind
+//!   a power-of-two-choices router with breaker-aware fallback and
+//!   re-route. All replicas share one [`snn_serve::ModelRegistry`], so
+//!   `/reload` retargets every replica atomically at its next batch
+//!   boundary.
+//! * [`router`] — the routing decision as a pure, proptested function.
+//! * [`loadgen`] — open-loop (Poisson) load generation with traffic
+//!   mixes, warmup/measure windows, and SLO capacity sweeps feeding
+//!   the BENCH_serve schema-v6 `capacity` section.
+//!
+//! Observability: per-replica queue depth, breaker state, routed
+//! counts, stage histograms, and SLO burn appear as
+//! `snn_pool_*{replica="i"}` labeled series in both `/metrics`
+//! expositions, alongside the shared serve-side instruments.
+
+#![warn(missing_docs)]
+
+pub mod epoll;
+pub mod loadgen;
+pub mod pool;
+pub mod router;
+pub mod server;
+
+pub use loadgen::{
+    capacity_sweep, CapacityPoint, CapacityReport, LatencySummary, LoadgenConfig, LoadgenReport,
+    ReplicaUtilization, RouterCounts, SloSpec,
+};
+pub use pool::{PoolConfig, ReplicaPool};
+pub use router::{choose, Decision};
+pub use server::{PoolServer, PoolServerConfig};

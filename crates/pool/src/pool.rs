@@ -1,0 +1,348 @@
+//! The replicated engine pool: N independent [`Batcher`] replicas
+//! behind a power-of-two-choices router.
+//!
+//! Each replica is a full serve-side worker — its own bounded
+//! micro-batch queue, its own `AnyEngine` built from the shared
+//! [`ModelRegistry`], and its own circuit breaker — so one wedged or
+//! panicking replica sheds its load onto the others instead of taking
+//! the whole server down. All replicas poll the *same* registry
+//! version at every batch boundary, so a single `/reload` swap
+//! retargets every replica atomically per batch: no replica ever
+//! serves a half-old, half-new model, and two replicas can disagree
+//! only for the remainder of an already-formed batch.
+//!
+//! Routing sends each request to the shallower of two uniformly
+//! sampled replica queues ([`crate::router::choose`]), skipping
+//! replicas whose breaker is open; when a chosen replica still answers
+//! `CircuitOpen` (race with a just-tripped breaker) the request is
+//! re-routed once over the remaining closed replicas before the typed
+//! rejection is surfaced.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use snn_obs::{Counter, Gauge, Registry, SloConfig, SloTracker, TraceContext};
+use snn_serve::{
+    Batcher, BatcherConfig, CircuitState, InferReply, Metrics, ModelRegistry, Rejection, Ticket,
+};
+
+/// Pool construction knobs.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Number of engine replicas (≥ 1).
+    pub replicas: usize,
+    /// Per-replica batching queue configuration.
+    pub batcher: BatcherConfig,
+    /// SLO objectives tracked per replica (in addition to the shared
+    /// front-end tracker inside [`Metrics`]).
+    pub slo: Option<SloConfig>,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig { replicas: 2, batcher: BatcherConfig::default(), slo: SloConfig::from_env() }
+    }
+}
+
+/// Per-replica labeled instruments, registered in the pool's own
+/// [`Registry`] and merged into both `/metrics` expositions via
+/// [`Metrics::render_prometheus_with`].
+struct ReplicaInstruments {
+    queue_depth: Arc<Gauge>,
+    circuit_state: Arc<Gauge>,
+    routed: Arc<Counter>,
+    infer_seconds: Arc<snn_obs::Histogram>,
+    queue_seconds: Arc<snn_obs::Histogram>,
+    slo_burn_5m: Arc<Gauge>,
+    slo_burn_1h: Arc<Gauge>,
+}
+
+/// One engine replica plus its pool-side accounting.
+struct Replica {
+    batcher: Arc<Batcher>,
+    instruments: ReplicaInstruments,
+    slo: Option<SloTracker>,
+}
+
+/// The replica set, router state, and per-replica metric registry.
+pub struct ReplicaPool {
+    replicas: Vec<Replica>,
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<Metrics>,
+    labeled: Registry,
+    router_p2c: Arc<Counter>,
+    router_fallback: Arc<Counter>,
+    router_rerouted: Arc<Counter>,
+    rr: AtomicUsize,
+    /// xorshift state for candidate sampling; contention is irrelevant
+    /// (any interleaving still yields uniform-enough samples for p2c).
+    rng: AtomicU64,
+}
+
+/// Latency bounds matched to the serve-side stage histograms: 100µs to
+/// ~1.6s, doubling.
+const STAGE_BOUNDS: [f64; 15] = [
+    1e-4, 2e-4, 4e-4, 8e-4, 1.6e-3, 3.2e-3, 6.4e-3, 1.28e-2, 2.56e-2, 5.12e-2, 1.024e-1,
+    2.048e-1, 4.096e-1, 8.192e-1, 1.6384,
+];
+
+impl ReplicaPool {
+    /// Starts `cfg.replicas` batch workers against the shared
+    /// registry. All replicas report into the one shared `metrics`
+    /// (additive counters aggregate correctly; the non-additive
+    /// gauges are re-derived at scrape time by
+    /// [`ReplicaPool::refresh_gauges`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`snn_core::SnapshotError`] if an engine cannot be
+    /// built from the registry's current snapshot.
+    pub fn start(
+        registry: Arc<ModelRegistry>,
+        cfg: PoolConfig,
+        metrics: Arc<Metrics>,
+    ) -> Result<ReplicaPool, snn_core::SnapshotError> {
+        let n = cfg.replicas.max(1);
+        let labeled = Registry::new();
+        let mut replicas = Vec::with_capacity(n);
+        for i in 0..n {
+            let batcher = Arc::new(Batcher::start(
+                Arc::clone(&registry),
+                cfg.batcher.clone(),
+                Arc::clone(&metrics),
+            )?);
+            let instruments = ReplicaInstruments {
+                queue_depth: labeled.gauge(
+                    &format!("snn_pool_replica_queue_depth{{replica=\"{i}\"}}"),
+                    "Queued requests per engine replica (sampled at scrape)",
+                ),
+                circuit_state: labeled.gauge(
+                    &format!("snn_pool_replica_circuit_state{{replica=\"{i}\"}}"),
+                    "Per-replica breaker state (0=closed,1=half-open,2=open)",
+                ),
+                routed: labeled.counter(
+                    &format!("snn_pool_replica_routed_total{{replica=\"{i}\"}}"),
+                    "Requests the router sent to this replica",
+                ),
+                infer_seconds: labeled.histogram(
+                    &format!("snn_pool_replica_infer_seconds{{replica=\"{i}\"}}"),
+                    "Per-replica engine forward time per served request",
+                    &STAGE_BOUNDS,
+                ),
+                queue_seconds: labeled.histogram(
+                    &format!("snn_pool_replica_queue_seconds{{replica=\"{i}\"}}"),
+                    "Per-replica queue wait per served request",
+                    &STAGE_BOUNDS,
+                ),
+                slo_burn_5m: labeled.gauge(
+                    &format!("snn_pool_replica_slo_burn_5m{{replica=\"{i}\"}}"),
+                    "Per-replica worst 5m SLO burn rate (sampled at scrape)",
+                ),
+                slo_burn_1h: labeled.gauge(
+                    &format!("snn_pool_replica_slo_burn_1h{{replica=\"{i}\"}}"),
+                    "Per-replica worst 1h SLO burn rate (sampled at scrape)",
+                ),
+            };
+            replicas.push(Replica { batcher, instruments, slo: cfg.slo.map(SloTracker::new) });
+        }
+        let router_p2c = labeled.counter(
+            "snn_pool_router_p2c_total",
+            "Routing decisions made by two-choice depth comparison",
+        );
+        let router_fallback = labeled.counter(
+            "snn_pool_router_fallback_total",
+            "Routing decisions that fell back to round-robin (both samples unavailable)",
+        );
+        let router_rerouted = labeled.counter(
+            "snn_pool_router_rerouted_total",
+            "Requests re-routed to another replica after a CircuitOpen rejection",
+        );
+        Ok(ReplicaPool {
+            replicas,
+            registry,
+            metrics,
+            labeled,
+            router_p2c,
+            router_fallback,
+            router_rerouted,
+            rr: AtomicUsize::new(0),
+            rng: AtomicU64::new(0x9e3779b97f4a7c15),
+        })
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Whether the pool has no replicas (never true — construction
+    /// clamps to ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// The shared model registry.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// The shared front-end metrics.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// The pool's per-replica labeled instrument registry, for merging
+    /// into `/metrics` expositions.
+    pub fn labeled_registry(&self) -> &Registry {
+        &self.labeled
+    }
+
+    /// Flattened input length the served model requires (identical
+    /// across replicas — they share one registry).
+    pub fn input_len(&self) -> usize {
+        self.replicas[0].batcher.input_len()
+    }
+
+    /// Every replica's breaker state, in replica order. Feeds
+    /// `/healthz`: `ok` only when all are closed.
+    pub fn circuit_states(&self) -> Vec<CircuitState> {
+        self.replicas.iter().map(|r| r.batcher.circuit_state()).collect()
+    }
+
+    fn sample(&self) -> u64 {
+        // xorshift64* step over an atomic seed; races just mix harder.
+        let mut x = self.rng.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.store(x, Ordering::Relaxed);
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Routes one request: picks a replica by power-of-two-choices on
+    /// queue depth (skipping open breakers), submits, and on a
+    /// `CircuitOpen` race re-routes across the remaining closed
+    /// replicas. Returns the replica index that accepted (or the last
+    /// one tried) alongside the submission result.
+    ///
+    /// # Errors
+    ///
+    /// The final [`Rejection`] if every eligible replica refused.
+    pub fn route(
+        &self,
+        input: &[f32],
+        deadline: Option<Instant>,
+        trace: Option<TraceContext>,
+    ) -> (usize, Result<Ticket, Rejection>) {
+        let n = self.replicas.len();
+        // `pool.route` fault site: an injected io error marks every
+        // replica unavailable for this sampling pass, forcing the
+        // fallback scan (and, downstream, the re-route path) without
+        // real breaker trips.
+        let injected_unavailable = snn_fault::inject_io_error("pool.route").is_some();
+        let depths: Vec<usize> = self.replicas.iter().map(|r| r.batcher.queue_len()).collect();
+        let available: Vec<bool> = self
+            .replicas
+            .iter()
+            .map(|r| !injected_unavailable && r.batcher.circuit_state() != CircuitState::Open)
+            .collect();
+        let s = self.sample();
+        let (a, b) = ((s >> 32) as usize, s as usize);
+        let rr = self.rr.fetch_add(1, Ordering::Relaxed);
+        let (first, decision) = crate::router::choose(&depths, &available, a, b, rr);
+        match decision {
+            crate::router::Decision::P2c => self.router_p2c.inc(),
+            crate::router::Decision::Fallback => self.router_fallback.inc(),
+        }
+        let mut idx = first;
+        let mut tried = 0usize;
+        loop {
+            match self.replicas[idx].batcher.submit_traced_ref(input, deadline, trace) {
+                Ok(ticket) => {
+                    self.replicas[idx].instruments.routed.inc();
+                    return (idx, Ok(ticket));
+                }
+                // A breaker that tripped between sampling and submit:
+                // drain onto the next closed replica instead of
+                // bouncing the request back to the client.
+                Err(Rejection::CircuitOpen) => {
+                    tried += 1;
+                    if tried >= n {
+                        return (idx, Err(Rejection::CircuitOpen));
+                    }
+                    let next = (idx + 1..idx + n)
+                        .map(|k| k % n)
+                        .find(|&j| self.replicas[j].batcher.circuit_state() != CircuitState::Open);
+                    match next {
+                        Some(j) => {
+                            self.router_rerouted.inc();
+                            idx = j;
+                        }
+                        None => return (idx, Err(Rejection::CircuitOpen)),
+                    }
+                }
+                Err(e) => return (idx, Err(e)),
+            }
+        }
+    }
+
+    /// Records a served reply's per-replica stage timings.
+    pub fn record_reply(&self, replica: usize, reply: &InferReply) {
+        let r = &self.replicas[replica];
+        r.instruments.infer_seconds.record(reply.infer_us as f64 * 1e-6);
+        r.instruments.queue_seconds.record(reply.queue_us as f64 * 1e-6);
+    }
+
+    /// Feeds a request outcome into the replica's own SLO tracker
+    /// (mirrors the shared tracker's exclusion of client errors).
+    pub fn slo_record(&self, replica: usize, ok: bool, latency_us: u64) {
+        if let Some(slo) = &self.replicas[replica].slo {
+            slo.record(ok, std::time::Duration::from_micros(latency_us));
+        }
+    }
+
+    /// Re-derives every scrape-time gauge: per-replica queue depth,
+    /// breaker state, and SLO burn, plus the shared front gauges
+    /// (total depth, worst breaker) that individual replicas clobber
+    /// racily during normal operation.
+    pub fn refresh_gauges(&self) {
+        let mut total_depth = 0usize;
+        let mut worst = CircuitState::Closed;
+        for r in &self.replicas {
+            let depth = r.batcher.queue_len();
+            let state = r.batcher.circuit_state();
+            total_depth += depth;
+            if state.as_gauge() > worst.as_gauge() {
+                worst = state;
+            }
+            r.instruments.queue_depth.set(depth as f64);
+            r.instruments.circuit_state.set(state.as_gauge());
+            if let Some(slo) = &r.slo {
+                let burn = slo.burn_rates();
+                r.instruments.slo_burn_5m.set(burn.latency_5m.max(burn.availability_5m));
+                r.instruments.slo_burn_1h.set(burn.latency_1h.max(burn.availability_1h));
+            }
+        }
+        self.metrics.queue_depth.set(total_depth as f64);
+        self.metrics.circuit_state.set(worst.as_gauge());
+    }
+
+    /// Per-replica routed-request counts, in replica order.
+    pub fn routed_counts(&self) -> Vec<u64> {
+        self.replicas.iter().map(|r| r.instruments.routed.get()).collect()
+    }
+
+    /// Router decision counters `(p2c, fallback, rerouted)`.
+    pub fn router_counts(&self) -> (u64, u64, u64) {
+        (self.router_p2c.get(), self.router_fallback.get(), self.router_rerouted.get())
+    }
+
+    /// Requests shutdown on every replica (new submissions rejected,
+    /// queues drained with [`Rejection::ShuttingDown`]).
+    pub fn request_shutdown(&self) {
+        for r in &self.replicas {
+            r.batcher.request_shutdown();
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! End-to-end tests for the epoll front end: route parity with the
+//! classic thread-per-connection server (bitwise-identical responses),
+//! per-replica health reporting, atomic multi-replica reload, and the
+//! per-replica metric expositions.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::Value;
+use snn_core::{LifConfig, NetworkSnapshot, SpikingNetwork};
+use snn_pool::{PoolServer, PoolServerConfig};
+use snn_serve::{BatcherConfig, ModelRegistry, Server, ServerConfig};
+use snn_tensor::Shape;
+
+fn snapshot(seed: u64) -> NetworkSnapshot {
+    let lif = LifConfig { theta: 0.5, ..LifConfig::paper_default() };
+    let net = SpikingNetwork::builder(Shape::d3(1, 8, 8), seed)
+        .conv(4, 3, 1, 1, lif)
+        .unwrap()
+        .maxpool(2)
+        .unwrap()
+        .flatten()
+        .unwrap()
+        .dense(4, lif)
+        .unwrap()
+        .build()
+        .unwrap();
+    NetworkSnapshot::from_network(&net)
+}
+
+fn start_pool(replicas: usize, seed: u64) -> PoolServer {
+    let registry = Arc::new(ModelRegistry::new(snapshot(seed), "demo").unwrap());
+    let cfg = PoolServerConfig {
+        replicas,
+        batcher: BatcherConfig { timesteps: 2, ..BatcherConfig::default() },
+        ..PoolServerConfig::default()
+    };
+    PoolServer::start(registry, cfg).unwrap()
+}
+
+fn start_classic(seed: u64) -> Server {
+    let registry = Arc::new(ModelRegistry::new(snapshot(seed), "demo").unwrap());
+    let cfg = ServerConfig {
+        batcher: BatcherConfig { timesteps: 2, ..BatcherConfig::default() },
+        ..ServerConfig::default()
+    };
+    Server::start(registry, cfg).unwrap()
+}
+
+/// One-shot raw HTTP client: returns (status, head, body).
+fn request_full(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).unwrap();
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).unwrap();
+    let text = String::from_utf8(response).unwrap();
+    let (head, body) = text.split_once("\r\n\r\n").expect("complete response");
+    let status: u16 = head.split_whitespace().nth(1).expect("status").parse().expect("numeric");
+    (status, head.to_string(), body.to_string())
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let (status, _, body) = request_full(addr, method, path, body);
+    (status, body)
+}
+
+fn infer_body() -> String {
+    let input: Vec<String> = (0..64).map(|i| format!("{}", (i % 7) as f32 / 7.0)).collect();
+    format!("{{\"input\":[{}]}}", input.join(","))
+}
+
+/// Serializes a JSON object with the per-request volatile fields
+/// (batching accidents and stage timings) removed, preserving field
+/// order otherwise.
+fn stable_fields(body: &str) -> String {
+    const VOLATILE: [&str; 4] = ["batch_size", "queue_us", "batch_form_us", "infer_us"];
+    let Value::Object(entries) = serde_json::parse(body).expect("JSON object body") else {
+        panic!("expected object body: {body}");
+    };
+    let kept: Vec<(String, Value)> =
+        entries.into_iter().filter(|(k, _)| !VOLATILE.contains(&k.as_str())).collect();
+    serde_json::to_string(&Value::Object(kept)).unwrap()
+}
+
+#[test]
+fn pool_infer_matches_classic_server_bitwise() {
+    let pool = start_pool(2, 11);
+    let classic = start_classic(11);
+    let body = infer_body();
+    let (pool_status, pool_reply) = request(pool.addr(), "POST", "/infer", &body);
+    let (classic_status, classic_reply) = request(classic.addr(), "POST", "/infer", &body);
+    assert_eq!(pool_status, 200, "pool reply: {pool_reply}");
+    assert_eq!(classic_status, 200, "classic reply: {classic_reply}");
+    // Identical snapshot + identical input ⇒ identical prediction,
+    // counts, per-layer rates, and model_version. Only batching
+    // accidents and stage timings may differ.
+    assert_eq!(stable_fields(&pool_reply), stable_fields(&classic_reply));
+}
+
+#[test]
+fn pool_error_responses_match_classic_bytes() {
+    let pool = start_pool(2, 11);
+    let classic = start_classic(11);
+    // (method, path, body) → error paths share the exact bytes.
+    let cases = [
+        ("POST", "/infer", "not json at all"),
+        ("POST", "/infer", "[1,2,3]"),
+        ("POST", "/infer", "{\"input\":\"nope\"}"),
+        ("POST", "/infer", "{\"input\":[1,2]}"),
+        ("GET", "/nope", ""),
+        ("PUT", "/infer", ""),
+        ("POST", "/reload", "{\"bad\":1}"),
+    ];
+    for (method, path, body) in cases {
+        let (ps, pb) = request(pool.addr(), method, path, body);
+        let (cs, cb) = request(classic.addr(), method, path, body);
+        assert_eq!((ps, pb), (cs, cb), "diverged on {method} {path} {body}");
+    }
+}
+
+#[test]
+fn healthz_reports_every_replica() {
+    let pool = start_pool(3, 11);
+    let (status, body) = request(pool.addr(), "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""), "body: {body}");
+    for i in 0..3 {
+        assert!(
+            body.contains(&format!("{{\"replica\":{i},\"circuit\":\"closed\"}}")),
+            "missing replica {i} in {body}"
+        );
+    }
+    // Classic server reports the same shape with a single replica.
+    let classic = start_classic(11);
+    let (_, classic_body) = request(classic.addr(), "GET", "/healthz", "");
+    assert!(
+        classic_body.contains("\"replicas\":[{\"replica\":0,\"circuit\":\"closed\"}]"),
+        "classic body: {classic_body}"
+    );
+}
+
+#[test]
+fn reload_swaps_every_replica_atomically() {
+    let pool = start_pool(2, 11);
+    let body = infer_body();
+    let (_, before) = request(pool.addr(), "POST", "/infer", &body);
+    assert!(before.contains("\"model_version\":1"), "before: {before}");
+
+    let good = serde_json::to_string(&snapshot(77)).unwrap();
+    let (status, receipt) = request(pool.addr(), "POST", "/reload", &good);
+    assert_eq!(status, 200, "receipt: {receipt}");
+    for field in ["\"ok\":true", "\"old_version\":1", "\"new_version\":2", "\"model_hash\":"] {
+        assert!(receipt.contains(field), "missing {field} in {receipt}");
+    }
+
+    // Every replica polls the same registry version at its next batch
+    // boundary: all subsequent responses (across many routed requests,
+    // hence both replicas) carry the new version — never a torn batch.
+    for _ in 0..12 {
+        let (status, reply) = request(pool.addr(), "POST", "/infer", &body);
+        assert_eq!(status, 200, "reply: {reply}");
+        assert!(reply.contains("\"model_version\":2"), "stale replica reply: {reply}");
+    }
+    // With >12 routed requests, p2c has touched both replicas with
+    // overwhelming probability.
+    let routed = pool.pool().routed_counts();
+    assert!(routed.iter().all(|&c| c > 0), "router starved a replica: {routed:?}");
+}
+
+#[test]
+fn metrics_expose_per_replica_labeled_series() {
+    let pool = start_pool(2, 11);
+    let body = infer_body();
+    for _ in 0..4 {
+        let (status, _) = request(pool.addr(), "POST", "/infer", &body);
+        assert_eq!(status, 200);
+    }
+    let (status, text) = request(pool.addr(), "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    for series in [
+        "snn_pool_replica_queue_depth{replica=\"0\"}",
+        "snn_pool_replica_queue_depth{replica=\"1\"}",
+        "snn_pool_replica_circuit_state{replica=\"0\"}",
+        "snn_pool_replica_routed_total{replica=\"1\"}",
+        "snn_pool_replica_infer_seconds_bucket{replica=\"0\",le=",
+        "snn_pool_router_p2c_total",
+        "snn_pool_router_fallback_total",
+        "snn_pool_router_rerouted_total",
+        "snn_pool_open_connections",
+        // The shared serve-side instruments still render.
+        "snn_serve_requests_received_total",
+    ] {
+        assert!(text.contains(series), "missing {series} in exposition");
+    }
+    // HELP/TYPE are declared once per family, not once per labeled
+    // series.
+    let declarations =
+        text.matches("# TYPE snn_pool_replica_queue_depth gauge").count();
+    assert_eq!(declarations, 1, "family declared {declarations} times");
+
+    // The JSON exposition carries the same labeled instruments.
+    let (status, json) = request(pool.addr(), "GET", "/metrics.json", "");
+    assert_eq!(status, 200);
+    assert!(json.contains("snn_pool_replica_routed_total{replica=\\\"0\\\"}")
+        || json.contains("snn_pool_replica_routed_total{replica=\"0\"}"),
+        "labeled series missing from metrics.json");
+}
+
+#[test]
+fn keep_alive_pipelines_requests_in_order() {
+    let pool = start_pool(2, 11);
+    let body = infer_body();
+    let mut stream = TcpStream::connect(pool.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    // Two /infer requests and a /healthz, written back-to-back before
+    // reading anything.
+    let mut batch = String::new();
+    for _ in 0..2 {
+        batch.push_str(&format!(
+            "POST /infer HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ));
+    }
+    batch.push_str("GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    stream.write_all(batch.as_bytes()).unwrap();
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).unwrap();
+    let text = String::from_utf8(response).unwrap();
+    let statuses: Vec<&str> =
+        text.matches("HTTP/1.1 200 OK").collect();
+    assert_eq!(statuses.len(), 3, "three pipelined responses: {text}");
+    let healthz_pos = text.find("\"status\":\"ok\"").expect("healthz body last");
+    let infer_pos = text.rfind("\"model_version\"").expect("infer bodies first");
+    assert!(infer_pos < healthz_pos, "responses out of order");
+}
+
+#[test]
+fn single_replica_pool_still_serves() {
+    let pool = start_pool(1, 11);
+    let (status, reply) = request(pool.addr(), "POST", "/infer", &infer_body());
+    assert_eq!(status, 200, "reply: {reply}");
+    let (status, body) = request(pool.addr(), "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"replicas\":[{\"replica\":0,\"circuit\":\"closed\"}]"));
+}
+
+#[test]
+fn oversized_declared_body_rejected_without_reading() {
+    let pool = start_pool(2, 11);
+    let mut stream = TcpStream::connect(pool.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // Declare 9 MiB but send none of it: the 413 must come back
+    // immediately.
+    stream
+        .write_all(b"POST /infer HTTP/1.1\r\nHost: t\r\nContent-Length: 9437184\r\n\r\n")
+        .unwrap();
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).unwrap();
+    let text = String::from_utf8(response).unwrap();
+    assert!(text.starts_with("HTTP/1.1 413 "), "got: {text}");
+    assert!(text.contains("request body too large"), "got: {text}");
+}

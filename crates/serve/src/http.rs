@@ -53,25 +53,27 @@ use serde::{Serialize, Value};
 use crate::breaker::CircuitState;
 use crate::metrics::Metrics;
 use crate::queue::{Batcher, BatcherConfig, Rejection};
-use crate::registry::{ModelRegistry, ServedModel, SwapError};
+use crate::registry::{ModelInfo, ModelRegistry, ServedModel, SwapError};
 use snn_core::SnapshotError;
 use snn_obs::{tracectx, SloConfig, StageTiming, TraceContext, TraceRecord, TraceRing};
 
-/// Largest accepted request head (request line + headers).
-const MAX_HEAD: usize = 16 * 1024;
-/// Largest accepted request body.
-const MAX_BODY: usize = 8 * 1024 * 1024;
+/// Largest accepted request head (request line + headers). Shared
+/// with the pool front end so both front ends frame identically.
+pub const MAX_HEAD: usize = 16 * 1024;
+/// Largest accepted request body. Shared with the pool front end.
+pub const MAX_BODY: usize = 8 * 1024 * 1024;
 /// Poll granularity for reads, so idle connection threads notice
 /// shutdown promptly.
 const READ_TIMEOUT: Duration = Duration::from_millis(250);
-/// Idle keep-alive connections are closed after this long.
-const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Idle keep-alive connections are closed after this long. Shared
+/// with the pool front end.
+pub const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
 /// Slack added on top of an `/infer` request's queue deadline before
 /// the connection thread gives up on the engine entirely and answers
 /// `503`. The deadline bounds *queue* wait; this grace bounds the
 /// forward pass behind it, so a wedged worker can never hang a
-/// request forever.
-const ENGINE_GRACE: Duration = Duration::from_secs(2);
+/// request forever. Shared with the pool front end.
+pub const ENGINE_GRACE: Duration = Duration::from_secs(2);
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -252,13 +254,20 @@ impl Request {
     /// without the header are accepted (curl-without-`-H` ergonomics);
     /// a *wrong* declaration is a client bug worth a typed `400`.
     fn content_type_error(&self) -> Option<String> {
-        let ct = self.content_type.as_deref()?;
-        let essence = ct.split(';').next().unwrap_or(ct).trim();
-        if essence.eq_ignore_ascii_case("application/json") {
-            None
-        } else {
-            Some(format!("unsupported content-type `{essence}`; use application/json"))
-        }
+        content_type_error(self.content_type.as_deref())
+    }
+}
+
+/// `Some(reason)` if a declared `Content-Type` is not JSON (`None`
+/// when the header is absent or correct). Both front ends run the
+/// same policy through this one function.
+pub fn content_type_error(content_type: Option<&str>) -> Option<String> {
+    let ct = content_type?;
+    let essence = ct.split(';').next().unwrap_or(ct).trim();
+    if essence.eq_ignore_ascii_case("application/json") {
+        None
+    } else {
+        Some(format!("unsupported content-type `{essence}`; use application/json"))
     }
 }
 
@@ -474,34 +483,8 @@ fn read_request(
         }
     };
 
-    let head = std::str::from_utf8(&buf[..head_end])
-        .map_err(|_| io::Error::new(ErrorKind::InvalidData, "non-UTF-8 request head"))?
-        .to_string();
-    let mut lines = head.split("\r\n");
-    let request_line = lines.next().unwrap_or("");
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("").to_string();
-    let path = parts.next().unwrap_or("").to_string();
-    if method.is_empty() || !path.starts_with('/') {
-        return Err(io::Error::new(ErrorKind::InvalidData, "bad request line"));
-    }
-
-    let mut content_length = 0usize;
-    let mut close = false;
-    let mut content_type = None;
-    for line in lines {
-        let Some((name, value)) = line.split_once(':') else { continue };
-        let value = value.trim();
-        if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .parse()
-                .map_err(|_| io::Error::new(ErrorKind::InvalidData, "bad content-length"))?;
-        } else if name.eq_ignore_ascii_case("connection") {
-            close = value.eq_ignore_ascii_case("close");
-        } else if name.eq_ignore_ascii_case("content-type") {
-            content_type = Some(value.to_string());
-        }
-    }
+    let RequestHead { method, path, content_length, close, content_type } =
+        parse_head(&buf[..head_end])?;
     if content_length > MAX_BODY {
         return Err(io::Error::new(ErrorKind::FileTooLarge, "request body too large"));
     }
@@ -528,38 +511,71 @@ fn read_request(
     Ok(Some(Request { method, path, close, content_type, body, received }))
 }
 
-fn find_head_end(buf: &[u8]) -> Option<usize> {
+/// Byte offset of the `\r\n\r\n` terminating a request head, if it
+/// has fully arrived.
+pub fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The parts of a parsed request head both front ends care about.
+#[derive(Debug, Clone)]
+pub struct RequestHead {
+    /// HTTP method verbatim (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path (starts with `/`).
+    pub path: String,
+    /// Declared `Content-Length` (0 when absent).
+    pub content_length: usize,
+    /// Whether the client asked for `Connection: close`.
+    pub close: bool,
+    /// Declared `Content-Type`, verbatim.
+    pub content_type: Option<String>,
+}
+
+/// Parses a request head (`buf` up to, not including, the blank
+/// line). One parser for both front ends, so the thread-per-connection
+/// and epoll servers cannot drift on framing policy.
+///
+/// # Errors
+///
+/// `InvalidData` on a non-UTF-8 head, a bad request line, or an
+/// unparseable `Content-Length`.
+pub fn parse_head(head: &[u8]) -> io::Result<RequestHead> {
+    let head = std::str::from_utf8(head)
+        .map_err(|_| io::Error::new(ErrorKind::InvalidData, "non-UTF-8 request head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || !path.starts_with('/') {
+        return Err(io::Error::new(ErrorKind::InvalidData, "bad request line"));
+    }
+    let mut content_length = 0usize;
+    let mut close = false;
+    let mut content_type = None;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| io::Error::new(ErrorKind::InvalidData, "bad content-length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            close = value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("content-type") {
+            content_type = Some(value.to_string());
+        }
+    }
+    Ok(RequestHead { method, path, content_length, close, content_type })
 }
 
 fn route(req: &Request, shared: &ServerShared, cap: &mut TraceCapture) -> (u16, String) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
-            let info = shared.registry.info();
-            // `degraded` (still HTTP 200 — the process is alive and
-            // will self-heal) whenever the circuit is not closed or an
-            // SLO error budget is burning fast enough to page.
             let circuit = shared.batcher.circuit_state();
             let fast_burn = shared.metrics.slo_fast_burn();
-            let status = if circuit == CircuitState::Closed && !fast_burn {
-                "ok"
-            } else {
-                "degraded"
-            };
-            let circuit_name = match circuit {
-                CircuitState::Closed => "closed",
-                CircuitState::HalfOpen => "half-open",
-                CircuitState::Open => "open",
-            };
-            let body = Value::Object(vec![
-                ("status".into(), Value::String(status.into())),
-                ("circuit".into(), Value::String(circuit_name.into())),
-                ("slo_fast_burn".into(), Value::Bool(fast_burn)),
-                ("model".into(), Value::String(info.name)),
-                ("version".into(), Value::Number(info.version as f64)),
-                ("dtype".into(), Value::String(info.dtype)),
-            ]);
-            (200, render(&body))
+            (200, healthz_body(shared.registry.info(), &[circuit], fast_burn))
         }
         ("GET", "/metrics") => (200, shared.metrics.render_prometheus()),
         ("GET", "/metrics.json") => {
@@ -582,10 +598,59 @@ fn route(req: &Request, shared: &ServerShared, cap: &mut TraceCapture) -> (u16, 
     }
 }
 
+/// The `/healthz` JSON body. `circuits` carries one breaker state per
+/// engine replica (the classic single-worker server passes a
+/// one-element slice): `status` is `ok` only when **every** replica's
+/// circuit is closed and no SLO budget is fast-burning; the top-level
+/// `circuit` reports the worst replica state, and a `replicas` array
+/// spells out each one.
+pub fn healthz_body(info: ModelInfo, circuits: &[CircuitState], fast_burn: bool) -> String {
+    let circuit_name = |c: CircuitState| match c {
+        CircuitState::Closed => "closed",
+        CircuitState::HalfOpen => "half-open",
+        CircuitState::Open => "open",
+    };
+    let all_closed = circuits.iter().all(|c| *c == CircuitState::Closed);
+    // `degraded` (still HTTP 200 — the process is alive and will
+    // self-heal) whenever any replica's circuit is not closed or an
+    // SLO error budget is burning fast enough to page.
+    let status = if all_closed && !fast_burn { "ok" } else { "degraded" };
+    let worst = circuits.iter().copied().max_by_key(|c| c.as_gauge() as i64);
+    let replicas = circuits
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            Value::Object(vec![
+                ("replica".into(), Value::Number(i as f64)),
+                ("circuit".into(), Value::String(circuit_name(*c).into())),
+            ])
+        })
+        .collect();
+    let body = Value::Object(vec![
+        ("status".into(), Value::String(status.into())),
+        (
+            "circuit".into(),
+            Value::String(circuit_name(worst.unwrap_or(CircuitState::Closed)).into()),
+        ),
+        ("replicas".into(), Value::Array(replicas)),
+        ("slo_fast_burn".into(), Value::Bool(fast_burn)),
+        ("model".into(), Value::String(info.name)),
+        ("version".into(), Value::Number(info.version as f64)),
+        ("dtype".into(), Value::String(info.dtype)),
+    ]);
+    render(&body)
+}
+
 /// `GET /debug/traces`: ring stats plus every kept trace, newest
 /// first.
 fn handle_traces_list(shared: &ServerShared) -> (u16, String) {
-    let Some(ring) = &shared.trace_ring else {
+    traces_list_response(shared.trace_ring.as_deref())
+}
+
+/// The `GET /debug/traces` response against any trace ring (`None`
+/// when tracing is disabled). Shared with the pool front end.
+pub fn traces_list_response(ring: Option<&TraceRing>) -> (u16, String) {
+    let Some(ring) = ring else {
         return (404, error_body("request tracing disabled (SNN_TRACE_RING=0)"));
     };
     let (kept, sampled_out) = ring.stats();
@@ -601,7 +666,13 @@ fn handle_traces_list(shared: &ServerShared) -> (u16, String) {
 
 /// `GET /debug/traces/<id>` and `/debug/traces/<id>/chrome`.
 fn handle_trace_get(rest: &str, shared: &ServerShared) -> (u16, String) {
-    let Some(ring) = &shared.trace_ring else {
+    trace_get_response(rest, shared.trace_ring.as_deref())
+}
+
+/// The `GET /debug/traces/<id>[/chrome]` response against any trace
+/// ring. Shared with the pool front end.
+pub fn trace_get_response(rest: &str, ring: Option<&TraceRing>) -> (u16, String) {
+    let Some(ring) = ring else {
         return (404, error_body("request tracing disabled (SNN_TRACE_RING=0)"));
     };
     let (id, chrome) = match rest.strip_suffix("/chrome") {
@@ -670,41 +741,58 @@ fn handle_infer(req: &Request, shared: &ServerShared, cap: &mut TraceCapture) ->
             cap.model_version = reply.model_version;
             cap.queue_us = reply.queue_us;
             cap.batch_form_us = reply.batch_form_us;
-            let mut entries = match reply.output.to_value() {
-                Value::Object(entries) => entries,
-                other => vec![("output".into(), other)],
-            };
-            entries.push(("batch_size".into(), Value::Number(reply.batch_size as f64)));
-            entries.push(("queue_us".into(), Value::Number(reply.queue_us as f64)));
-            entries
-                .push(("batch_form_us".into(), Value::Number(reply.batch_form_us as f64)));
-            entries.push(("infer_us".into(), Value::Number(reply.infer_us as f64)));
-            entries
-                .push(("model_version".into(), Value::Number(reply.model_version as f64)));
-            (200, render(&Value::Object(entries)))
+            (200, infer_success_body(&reply))
         }
         Err(rejection) => {
             if matches!(rejection, Rejection::BadInput { .. }) {
                 shared.metrics.bad_requests.inc();
             }
-            let (status, outcome) = match rejection {
-                Rejection::QueueFull { .. } => (429, "queue_full"),
-                Rejection::DeadlineExceeded { .. } => (504, "deadline"),
-                Rejection::BadInput { .. } => (400, "bad_input"),
-                Rejection::ShuttingDown => (503, "shutdown"),
-                Rejection::WorkerPanic => (503, "worker_panic"),
-                Rejection::CircuitOpen => (503, "circuit_open"),
-            };
+            let (status, outcome) = rejection_status(&rejection);
             cap.outcome = outcome;
             (status, error_body(&rejection.to_string()))
         }
     }
 }
 
+/// Maps a queue [`Rejection`] to its HTTP status and trace outcome
+/// label. One table for both front ends — a pool route and a classic
+/// route must answer the same rejection identically.
+pub fn rejection_status(rejection: &Rejection) -> (u16, &'static str) {
+    match rejection {
+        Rejection::QueueFull { .. } => (429, "queue_full"),
+        Rejection::DeadlineExceeded { .. } => (504, "deadline"),
+        Rejection::BadInput { .. } => (400, "bad_input"),
+        Rejection::ShuttingDown => (503, "shutdown"),
+        Rejection::WorkerPanic => (503, "worker_panic"),
+        Rejection::CircuitOpen => (503, "circuit_open"),
+    }
+}
+
+/// The `200` body for a served `/infer` request. Field order is part
+/// of the wire contract: the pool front end reuses this builder, so
+/// its responses are byte-identical to the single-worker path.
+pub fn infer_success_body(reply: &crate::queue::InferReply) -> String {
+    let mut entries = match reply.output.to_value() {
+        Value::Object(entries) => entries,
+        other => vec![("output".into(), other)],
+    };
+    entries.push(("batch_size".into(), Value::Number(reply.batch_size as f64)));
+    entries.push(("queue_us".into(), Value::Number(reply.queue_us as f64)));
+    entries.push(("batch_form_us".into(), Value::Number(reply.batch_form_us as f64)));
+    entries.push(("infer_us".into(), Value::Number(reply.infer_us as f64)));
+    entries.push(("model_version".into(), Value::Number(reply.model_version as f64)));
+    render(&Value::Object(entries))
+}
+
 /// Decodes `{"input": [...], "timeout_ms": n?}` by hand over the
 /// `Value` tree — the vendored serde derive has no optional fields, so
-/// a typed struct would reject bodies omitting `timeout_ms`.
-fn parse_infer_body(
+/// a typed struct would reject bodies omitting `timeout_ms`. Shared
+/// with the pool front end.
+///
+/// # Errors
+///
+/// Returns the `400` error message for a malformed body.
+pub fn parse_infer_body(
     text: &str,
     expected_len: usize,
 ) -> Result<(Vec<f32>, Option<Duration>), String> {
@@ -760,21 +848,33 @@ fn handle_reload(req: &Request, shared: &ServerShared) -> (u16, String) {
         shared.metrics.bad_requests.inc();
         return (400, error_body(&msg));
     }
+    let (status, body) = apply_reload(&shared.registry, &req.body);
+    if status == 400 {
+        shared.metrics.bad_requests.inc();
+    }
+    (status, body)
+}
+
+/// Parses a `/reload` body and swaps it into the registry, returning
+/// the HTTP status and structured receipt. Shared with the pool front
+/// end — every engine replica polls the same registry version and
+/// rebuilds at its next batch boundary, so one swap retargets all
+/// replicas atomically per batch.
+pub fn apply_reload(registry: &ModelRegistry, body: &[u8]) -> (u16, String) {
     // `ServedModel::from_json` sniffs the artifact flavor: f32
     // snapshots (`layers`) and quantized artifacts (`format`/`stages`)
     // both reload through the same endpoint; the batch worker rebuilds
     // the matching engine at the next batch boundary.
-    let parsed = std::str::from_utf8(&req.body)
+    let parsed = std::str::from_utf8(body)
         .map_err(|_| SnapshotError::Malformed("body is not UTF-8".into()))
         .and_then(ServedModel::from_json);
     let model = match parsed {
         Ok(s) => s,
         Err(e) => {
-            shared.metrics.bad_requests.inc();
             return (400, error_body(&format!("rejected snapshot: {e}")));
         }
     };
-    match shared.registry.swap(model, "reload") {
+    match registry.swap(model, "reload") {
         Ok(receipt) => {
             // Structured swap receipt: what was replaced (captured
             // inside the swap's critical section, so racing reloads
@@ -803,22 +903,21 @@ fn handle_reload(req: &Request, shared: &ServerShared) -> (u16, String) {
             ]);
             (200, render(&body))
         }
-        Err(e @ SwapError::Invalid(_)) => {
-            shared.metrics.bad_requests.inc();
-            (400, error_body(&e.to_string()))
-        }
+        Err(e @ SwapError::Invalid(_)) => (400, error_body(&e.to_string())),
         Err(e @ SwapError::Incompatible { .. }) => (409, error_body(&e.to_string())),
     }
 }
 
-fn error_body(message: &str) -> String {
+/// Renders `{"error": message}` — the uniform error payload.
+pub fn error_body(message: &str) -> String {
     render(&Value::Object(vec![(
         "error".into(),
         Value::String(message.into()),
     )]))
 }
 
-fn render(value: &Value) -> String {
+/// Serializes a JSON [`Value`] body.
+pub fn render(value: &Value) -> String {
     serde_json::to_string(value).expect("Value serializes infallibly")
 }
 
@@ -837,16 +936,18 @@ fn status_text(status: u16) -> &'static str {
     }
 }
 
-fn write_response(
-    stream: &mut TcpStream,
+/// Formats a complete HTTP/1.1 response (head + body) as one buffer.
+///
+/// Shared by the blocking per-connection writer here and the
+/// nonblocking pool front end, so both emit byte-identical wire
+/// output for the same (status, body) pair.
+pub fn format_response(
     status: u16,
     content_type: &str,
     body: &str,
     close: bool,
     trace_id: Option<&str>,
-) -> io::Result<()> {
-    // One write for the whole response: head and body in separate
-    // segments trip Nagle + delayed-ACK on loopback (~40ms stalls).
+) -> String {
     let mut response = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status,
@@ -862,6 +963,20 @@ fn write_response(
     }
     response.push_str("\r\n");
     response.push_str(body);
+    response
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    close: bool,
+    trace_id: Option<&str>,
+) -> io::Result<()> {
+    // One write for the whole response: head and body in separate
+    // segments trip Nagle + delayed-ACK on loopback (~40ms stalls).
+    let response = format_response(status, content_type, body, close, trace_id);
     stream.write_all(response.as_bytes())?;
     stream.flush()
 }

@@ -33,7 +33,11 @@
 //!   while the circuit is not closed.
 //! * [`http`] — [`Server`]: a minimal hermetic HTTP/1.1 front end on
 //!   `std::net::TcpListener` with `/infer`, `/healthz`, `/metrics`,
-//!   `/reload`, and `/debug/traces`.
+//!   `/reload`, and `/debug/traces`. The parsing and rendering
+//!   primitives ([`http::parse_head`], [`http::parse_infer_body`],
+//!   [`http::infer_success_body`], [`http::format_response`], …) are
+//!   public so the `snn-pool` event-driven front end produces
+//!   byte-identical responses by construction.
 //!
 //! ## Observability
 //!
@@ -87,7 +91,12 @@ pub mod registry;
 
 pub use breaker::{CircuitBreaker, CircuitState};
 pub use engine::{InferenceEngine, LayerFiring, RequestOutput};
-pub use http::{ServeError, Server, ServerConfig};
+pub use http::{
+    apply_reload, content_type_error, error_body, find_head_end, format_response, healthz_body,
+    infer_success_body, parse_head, parse_infer_body, rejection_status, trace_get_response,
+    traces_list_response, RequestHead, ServeError, Server, ServerConfig, ENGINE_GRACE,
+    IDLE_TIMEOUT, MAX_BODY, MAX_HEAD,
+};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use qengine::{AnyEngine, QuantEngine};
 pub use queue::{Batcher, BatcherConfig, InferReply, Rejection, Ticket};

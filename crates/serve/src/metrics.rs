@@ -419,6 +419,20 @@ impl Metrics {
         out
     }
 
+    /// [`Metrics::render_prometheus`] with a second, caller-owned
+    /// registry merged in between the instance and global sections.
+    /// The pool front end keeps its per-replica labeled series
+    /// (`replica="<i>"`) and router counters there, so both
+    /// expositions show them without the shared instance registry
+    /// learning about replication.
+    pub fn render_prometheus_with(&self, extra: &Registry) -> String {
+        self.update_slo_gauges();
+        let mut out = self.registry.render_prometheus();
+        out.push_str(&extra.render_prometheus());
+        out.push_str(&snn_obs::global().render_prometheus());
+        out
+    }
+
     /// Structured JSON form of the same merged exposition: this
     /// instance's instruments followed by the global registry's, as a
     /// [`serde::Value`] array.
@@ -428,6 +442,24 @@ impl Metrics {
             serde::Value::Array(items) => items,
             other => vec![other],
         };
+        if let serde::Value::Array(global_items) = snn_obs::global().snapshot_value() {
+            items.extend(global_items);
+        }
+        serde::Value::Array(items)
+    }
+
+    /// [`Metrics::snapshot_instruments`] with a caller-owned registry
+    /// merged in, mirroring [`Metrics::render_prometheus_with`] so the
+    /// text and JSON expositions always agree on the instrument set.
+    pub fn snapshot_instruments_with(&self, extra: &Registry) -> serde::Value {
+        self.update_slo_gauges();
+        let mut items = match self.registry.snapshot_value() {
+            serde::Value::Array(items) => items,
+            other => vec![other],
+        };
+        if let serde::Value::Array(extra_items) = extra.snapshot_value() {
+            items.extend(extra_items);
+        }
         if let serde::Value::Array(global_items) = snn_obs::global().snapshot_value() {
             items.extend(global_items);
         }

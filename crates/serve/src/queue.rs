@@ -177,6 +177,18 @@ impl Ticket {
             Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(Rejection::ShuttingDown)),
         }
     }
+
+    /// Nonblocking poll: `None` while the request is still in flight,
+    /// `Some` once it resolved. Unlike the `wait*` methods this takes
+    /// `&mut self`, so an event loop can keep the ticket and poll it
+    /// each tick. A vanished worker reads as [`Rejection::ShuttingDown`].
+    pub fn try_wait(&mut self) -> Option<Result<InferReply, Rejection>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(Rejection::ShuttingDown)),
+        }
+    }
 }
 
 /// One queued request.
@@ -281,6 +293,14 @@ impl Batcher {
         self.breaker.state()
     }
 
+    /// Number of requests queued (accepted, not yet drained) right
+    /// now. The pool router samples this for power-of-two-choices
+    /// shard selection; it is a snapshot, racy by nature, and that is
+    /// fine — p2c only needs "shallower of two", not an exact count.
+    pub fn queue_len(&self) -> usize {
+        self.shared.lock().jobs.len()
+    }
+
     /// Enqueues one request.
     ///
     /// # Errors
@@ -307,8 +327,38 @@ impl Batcher {
         deadline: Option<Instant>,
         trace: Option<TraceContext>,
     ) -> Result<Ticket, Rejection> {
-        if input.len() != self.input_len {
-            return Err(Rejection::BadInput { expected: self.input_len, actual: input.len() });
+        self.submit_inner(input.len(), move || input, deadline, trace)
+    }
+
+    /// [`Batcher::submit_traced`] over a borrowed input: the slice is
+    /// cloned only once admission succeeds (at enqueue), so the pool
+    /// router can retry the same request against another replica after
+    /// a rejection without re-allocating per attempt.
+    ///
+    /// # Errors
+    ///
+    /// Same rejections as [`Batcher::submit`].
+    pub fn submit_traced_ref(
+        &self,
+        input: &[f32],
+        deadline: Option<Instant>,
+        trace: Option<TraceContext>,
+    ) -> Result<Ticket, Rejection> {
+        self.submit_inner(input.len(), || input.to_vec(), deadline, trace)
+    }
+
+    /// Shared admission path. `take` materializes the owned input and
+    /// runs only after every rejection check has passed, under the
+    /// queue lock.
+    fn submit_inner(
+        &self,
+        input_len: usize,
+        take: impl FnOnce() -> Vec<f32>,
+        deadline: Option<Instant>,
+        trace: Option<TraceContext>,
+    ) -> Result<Ticket, Rejection> {
+        if input_len != self.input_len {
+            return Err(Rejection::BadInput { expected: self.input_len, actual: input_len });
         }
         if !self.breaker.admit() {
             self.metrics.circuit_state.set(self.breaker.state().as_gauge());
@@ -325,7 +375,7 @@ impl Batcher {
                 self.metrics.rejected_full.inc();
                 return Err(Rejection::QueueFull { capacity: self.cfg.capacity });
             }
-            st.jobs.push_back(Job { input, deadline, enqueued: Instant::now(), trace, tx });
+            st.jobs.push_back(Job { input: take(), deadline, enqueued: Instant::now(), trace, tx });
             // Sampled under the queue lock at every enqueue/dequeue,
             // never derived, so the gauge cannot report a stale depth
             // after a drain or `/reload`.
@@ -428,14 +478,17 @@ fn run_worker(
         drop(st);
         let drained_at = Instant::now();
 
-        // Phase 4: shed requests whose deadline lapsed in queue.
-        let now = Instant::now();
+        // Phase 4: shed requests whose deadline lapsed in queue. One
+        // instant — the drain time — judges the whole scan: re-reading
+        // the clock per job would let a large batch straddle the
+        // deadline mid-scan, shedding a later job that an earlier,
+        // identical deadline survived.
         let mut batch: Vec<Job> = Vec::with_capacity(taken.len());
         for job in taken {
             match job.deadline {
-                Some(d) if now >= d => {
+                Some(d) if drained_at >= d => {
                     metrics.rejected_deadline.inc();
-                    let waited_us = (now - job.enqueued).as_micros() as u64;
+                    let waited_us = (drained_at - job.enqueued).as_micros() as u64;
                     let _scope = job.trace.map(snn_obs::tracectx::set_scope);
                     snn_obs::log_warn!("request shed", reason = "deadline", waited_us = waited_us);
                     let _ = job.tx.send(Err(Rejection::DeadlineExceeded { waited_us }));
@@ -795,6 +848,28 @@ mod tests {
         assert_eq!(reply.output.counts.len(), 4);
         assert_eq!(batcher.circuit_state(), CircuitState::Closed);
         assert_eq!(metrics.circuit_state.get(), CircuitState::Closed.as_gauge());
+    }
+
+    #[test]
+    fn queue_len_tracks_accepted_work() {
+        // A long linger window keeps submissions queued long enough
+        // to observe them; after the batch drains, the queue is empty.
+        let cfg = BatcherConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(200),
+            capacity: 8,
+            timesteps: 2,
+            ..BatcherConfig::default()
+        };
+        let (_r, _m, batcher) = setup(cfg);
+        assert_eq!(batcher.queue_len(), 0);
+        let tickets: Vec<Ticket> =
+            (0..3).map(|i| batcher.submit(input(i), None).unwrap()).collect();
+        assert!(batcher.queue_len() <= 3, "never exceeds accepted submissions");
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        assert_eq!(batcher.queue_len(), 0, "drained batch leaves an empty queue");
     }
 
     #[test]

@@ -24,7 +24,7 @@ cargo build --workspace --release --offline
 # alone take ~35 min on one core — and are left to
 # `cargo test --workspace` outside the gate.
 cargo test -q --offline
-cargo test -q --offline -p snn-core -p snn-serve -p snn-cli
+cargo test -q --offline -p snn-core -p snn-serve -p snn-pool -p snn-cli
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
 # Serve smoke test: boot the model server on an ephemeral port, round
@@ -263,5 +263,73 @@ target/release/snn obs-check --bench "$bench_json" \
 rm -f "$bench_json"
 trap - EXIT
 echo "ci.sh: event-datapath bench smoke test passed"
+
+# Scale-out serving smoke gate: boot the pooled front end (2 engine
+# replicas behind the single-threaded epoll loop), require /healthz to
+# report both replica breakers, drive a short open-loop burst at a rate
+# far below capacity — zero 5xx and zero transport errors allowed, with
+# an intentional bad-request fraction that must land as 400s, not
+# errors — then run a capacity mini-sweep whose schema-v6 report
+# obs-check must validate.
+pool_log="$(mktemp)"
+loadgen_json="$(mktemp)"
+pool_pid=""
+trap 'kill "$pool_pid" 2>/dev/null || true; rm -f "$pool_log" "$loadgen_json"' EXIT
+target/release/snn serve --demo 8 --addr 127.0.0.1:0 --timesteps 2 --replicas 2 \
+  >"$pool_log" 2>&1 &
+pool_pid=$!
+addr=""
+for _ in $(seq 50); do
+  addr="$(sed -n 's/^listening on //p' "$pool_log")"
+  [ -n "$addr" ] && break
+  kill -0 "$pool_pid" 2>/dev/null \
+    || { cat "$pool_log"; echo "ci.sh: pooled serve exited early" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] \
+  || { cat "$pool_log"; echo "ci.sh: pooled serve never reported its address" >&2; exit 1; }
+grep -q '^pool: 2 replicas' "$pool_log" \
+  || { cat "$pool_log"; echo "ci.sh: serve --replicas 2 did not start the pool front end" >&2; exit 1; }
+
+health="$(curl -sf --max-time 5 "http://$addr/healthz")" \
+  || { cat "$pool_log"; echo "ci.sh: pooled /healthz request failed" >&2; exit 1; }
+case "$health" in
+  *'"status":"ok"'*'"replica":0'*'"replica":1'*) ;;
+  *) echo "ci.sh: pooled /healthz lacks per-replica breakers: $health" >&2; exit 1 ;;
+esac
+
+burst="$(target/release/snn loadgen --addr "$addr" --rps 40 --duration-ms 1500 \
+  --warmup-ms 300 --connections 2 --bad-fraction 0.1)" \
+  || { cat "$pool_log"; echo "ci.sh: loadgen burst failed" >&2; exit 1; }
+echo "$burst" | grep -q ' 5xx=0 ' \
+  || { echo "$burst"; echo "ci.sh: loadgen saw 5xx at sub-capacity load" >&2; exit 1; }
+echo "$burst" | grep -q ' transport=0 ' \
+  || { echo "$burst"; echo "ci.sh: loadgen saw transport errors at sub-capacity load" >&2; exit 1; }
+echo "$burst" | grep -q ' 400s=0 ' \
+  && { echo "$burst"; echo "ci.sh: the bad-request mix produced no 400s" >&2; exit 1; }
+
+target/release/snn loadgen --addr "$addr" --sweep 30,60 --duration-ms 800 \
+  --warmup-ms 200 --connections 2 --out "$loadgen_json" >/dev/null \
+  || { cat "$pool_log"; echo "ci.sh: loadgen capacity sweep failed" >&2; exit 1; }
+target/release/snn obs-check --bench "$loadgen_json" \
+  || { echo "ci.sh: obs-check rejected the loadgen capacity report" >&2; exit 1; }
+
+pool_metrics="$(curl -sf --max-time 5 "http://$addr/metrics")" \
+  || { cat "$pool_log"; echo "ci.sh: pooled /metrics request failed" >&2; exit 1; }
+for series in 'snn_pool_replica_queue_depth{replica="0"}' \
+              'snn_pool_replica_queue_depth{replica="1"}' \
+              'snn_pool_router_p2c_total'; do
+  case "$pool_metrics" in
+    *"$series"*) ;;
+    *) echo "ci.sh: pooled /metrics lacks $series" >&2; exit 1 ;;
+  esac
+done
+
+kill "$pool_pid"
+wait "$pool_pid" 2>/dev/null || true
+pool_pid=""
+rm -f "$pool_log" "$loadgen_json"
+trap - EXIT
+echo "ci.sh: scale-out serving smoke gate passed ($addr)"
 
 echo "ci.sh: all gates passed"
