@@ -24,8 +24,15 @@
 //!    request deadlines under the same client pressure: shows the
 //!    server shedding load with typed `429`/`504` rejections instead
 //!    of queueing without bound.
+//! 5. `brownout-off` / `brownout` — the brownout drill (schema v7): a
+//!    dense-heavy model under a seeded SLO fast burn, run twice —
+//!    without and with a published INT8 brownout artifact. With the
+//!    artifact the batch worker degrades new batches to the quantized
+//!    engine while the burn holds, so the pair shows the goodput the
+//!    degradation buys under the identical overload signal
+//!    (`brownout_goodput_gain` in the report).
 //!
-//! After the phases, a **capacity sweep** (schema v6): the same model
+//! After the phases, a **capacity sweep**: the same model
 //! behind the replicated epoll front end (`snn-pool`, 2 replicas,
 //! power-of-two-choices routing), driven open-loop at Poisson rates
 //! bracketing the batched phase's closed-loop throughput. Open-loop
@@ -196,7 +203,78 @@ fn main() {
         Some(1),
     );
 
-    // Capacity sweep (schema v6): the pooled front end under open-loop
+    // Brownout drill (schema v7): the same seeded fast burn with and
+    // without a published INT8 artifact. The model is dense-heavy —
+    // the regime where the quantized GEMM actually outruns f32 — so
+    // the drill answers the operational question directly: when the
+    // error budget is burning, does degrading to INT8 buy goodput?
+    println!();
+    println!("brownout drill: seeded SLO fast burn, dense model, with vs without INT8 artifact");
+    let dense_snap = dense_snapshot();
+    let dense_f32 = ServedModel::from(dense_snap.clone());
+    let dense_int8 = ServedModel::from(dense_artifact(&dense_snap));
+    let dense_input_len = 16 * 16;
+    let brownout_phase = |name: &str, publish: bool| {
+        let batcher = BatcherConfig {
+            max_batch: 8,
+            max_wait: Duration::from_micros(2000),
+            capacity: 256,
+            timesteps,
+            ..BatcherConfig::default()
+        };
+        let mut runs: Vec<Phase> = (0..reps)
+            .map(|_| {
+                let registry = Arc::new(
+                    ModelRegistry::new(dense_f32.clone(), "bench").expect("dense model is valid"),
+                );
+                if publish {
+                    registry
+                        .publish_brownout(dense_int8.clone(), "bench-int8")
+                        .expect("int8 artifact publishes");
+                }
+                let cfg = ServerConfig {
+                    addr: "127.0.0.1:0".into(),
+                    batcher: batcher.clone(),
+                    default_timeout: Some(Duration::from_secs(30)),
+                    slo: Some(snn_obs::SloConfig::parse("avail=99").expect("valid SLO")),
+                    ..ServerConfig::default()
+                };
+                let mut server = Server::start(registry, cfg).expect("server starts");
+                // Seed the availability budget with hard failures so
+                // the fast-burn signal is already firing when traffic
+                // arrives; brownout hysteresis (default 10s hold)
+                // keeps the degradation engaged through the run.
+                for _ in 0..20 {
+                    server.metrics().slo_record(false, 1_000);
+                }
+                let phase = run_phase(
+                    name,
+                    if publish { "int8" } else { "f32" },
+                    &server,
+                    &batcher,
+                    dense_input_len,
+                    requests,
+                    clients,
+                    None,
+                );
+                server.shutdown();
+                phase
+            })
+            .collect();
+        runs.sort_by(|a, b| {
+            a.throughput_rps.partial_cmp(&b.throughput_rps).expect("finite throughput")
+        });
+        runs.swap_remove(runs.len() / 2)
+    };
+    let brownout_off = brownout_phase("brownout-off", false);
+    let brownout_on = brownout_phase("brownout", true);
+    let brownout_goodput_gain = brownout_on.throughput_rps / brownout_off.throughput_rps;
+    println!(
+        "goodput under burn: {:.1} req/s f32, {:.1} req/s browned-out int8 ({:.2}x)",
+        brownout_off.throughput_rps, brownout_on.throughput_rps, brownout_goodput_gain
+    );
+
+    // Capacity sweep: the pooled front end under open-loop
     // load. The batched phase's closed-loop throughput anchors the
     // swept rates — below it the pool should sustain the SLO, around
     // and above it the sweep shows where latency or the error budget
@@ -216,7 +294,10 @@ fn main() {
         };
         let mut pool = snn_pool::PoolServer::start(registry, cfg).expect("pool server starts");
         let anchor = batched.throughput_rps.max(50.0);
-        let rates: Vec<f64> = [0.3, 0.6, 0.9, 1.2].iter().map(|m| anchor * m).collect();
+        // The lowest rung sits well below any plausible knee so the
+        // sweep brackets capacity from both sides — a ladder that
+        // starts above the knee reports a meaningless 0.0 sustained.
+        let rates: Vec<f64> = [0.15, 0.3, 0.6, 0.9, 1.2].iter().map(|m| anchor * m).collect();
         let lg = snn_pool::LoadgenConfig {
             addr: pool.addr().to_string(),
             rps: rates[0],
@@ -226,6 +307,7 @@ fn main() {
             input_len,
             bad_fraction: 0.0,
             timeout_ms: None,
+            retries: 2,
             seed: 42,
         };
         let capacity = snn_pool::capacity_sweep(&lg, &rates, snn_pool::SloSpec::default());
@@ -265,7 +347,8 @@ fn main() {
         host_parallelism: thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         batched_speedup: batched.throughput_rps / unbatched.throughput_rps,
         int8_vs_f32_batched: batched_int8.throughput_rps / batched.throughput_rps,
-        phases: vec![unbatched, batched, batched_int8, overload],
+        brownout_goodput_gain,
+        phases: vec![unbatched, batched, batched_int8, overload, brownout_off, brownout_on],
         capacity: capacity.to_value(),
     };
     for p in &report.phases {
@@ -291,6 +374,7 @@ fn main() {
     }
     println!("batched speedup over unbatched: {:.2}x", report.batched_speedup);
     println!("int8 vs f32 batched throughput: {:.2}x", report.int8_vs_f32_batched);
+    println!("brownout goodput gain under seeded burn: {:.2}x", report.brownout_goodput_gain);
 
     let json = if pretty {
         serde_json::to_string_pretty(&report).expect("report serializes")
@@ -327,6 +411,45 @@ fn demo_snapshot() -> NetworkSnapshot {
         .build()
         .expect("demo network builds");
     NetworkSnapshot::from_network(&net)
+}
+
+/// The brownout-drill model: all-dense (256 → 128 → 64 → 10), the
+/// shape regime where the INT8 quantized GEMM beats the f32 path —
+/// exactly the kind of model for which publishing a brownout artifact
+/// pays off. (On the tiny conv model above, INT8 is *slower*, which
+/// is why the drill gets its own model rather than reusing
+/// [`demo_snapshot`].)
+fn dense_snapshot() -> NetworkSnapshot {
+    let lif = LifConfig { theta: 0.5, ..LifConfig::paper_default() };
+    let net = SpikingNetwork::builder(Shape::d1(16 * 16), 42)
+        .dense(128, lif)
+        .expect("dense geometry")
+        .dense(64, lif)
+        .expect("dense geometry")
+        .dense(10, lif)
+        .expect("dense geometry")
+        .build()
+        .expect("dense network builds");
+    NetworkSnapshot::from_network(&net)
+}
+
+/// The INT8 twin of [`dense_snapshot`], calibrated the same way as
+/// [`quantized_artifact`].
+fn dense_artifact(snap: &NetworkSnapshot) -> QuantizedSnapshot {
+    let input_len = 16 * 16;
+    let items: Vec<Vec<f32>> = (0..8u64)
+        .map(|s| {
+            let mut x = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (0..input_len)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((x >> 33) as f32) / (u32::MAX as f32)
+                })
+                .collect()
+        })
+        .collect();
+    let cal = calibrate(snap, &items, 8).expect("calibration on the dense model succeeds");
+    quantize_snapshot(snap, &cal, 8).expect("8-bit quantization of the dense model succeeds")
 }
 
 /// The INT8 twin of [`demo_snapshot`]: calibrated on a deterministic
@@ -369,6 +492,11 @@ struct Report {
     /// quantized engine's end-to-end serving throughput relative to
     /// f32 at the identical batcher configuration (schema v4).
     int8_vs_f32_batched: f64,
+    /// `brownout.throughput_rps / brownout-off.throughput_rps`
+    /// (schema v7): the goodput the INT8 degradation buys under the
+    /// identical seeded fast burn. Above 1.0 means browning out is a
+    /// net win for this model, not just a latency trade.
+    brownout_goodput_gain: f64,
     phases: Vec<Phase>,
     /// Open-loop capacity of the 2-replica pooled front end (schema
     /// v6): the SLO, max sustained rps meeting it, per-rate sweep

@@ -44,7 +44,14 @@ pub const BENCH_SCHEMA_VERSION: u32 = 5;
 /// rps meeting it, the per-rate sweep points, per-replica routed
 /// counts and engine utilization, and the router's decision counters
 /// (`p2c`/`fallback`/`rerouted`).
-pub const BENCH_SERVE_SCHEMA_VERSION: u32 = 6;
+///
+/// v7: serve reports gain the brownout drill — `brownout-off` /
+/// `brownout` phases (a dense model under a seeded SLO fast burn,
+/// without and with a published INT8 brownout artifact) and the
+/// top-level `brownout_goodput_gain` ratio; the capacity sweep's
+/// loadgen rows gain `retries_total` (bounded client-side retry
+/// budget, transport errors and 5xx only).
+pub const BENCH_SERVE_SCHEMA_VERSION: u32 = 7;
 
 /// The git commit the benchmark binary was run from, or `"unknown"`
 /// outside a git checkout (or when `git` itself is unavailable).

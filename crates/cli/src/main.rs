@@ -61,6 +61,15 @@ commands:
           --replicas N (1; N>=2 serves through the nonblocking epoll
                 front end with N engine replicas behind a
                 power-of-two-choices router)
+          --breaker-threshold N (consecutive worker failures before a
+                circuit opens; default from the batcher config)
+          --brownout-model PATH (publish an INT8 artifact as the
+                brownout target: batch workers degrade to it while the
+                SLO error budget fast-burns)
+          --quarantine-trips N (3; pool only: breaker trips before the
+                supervisor quarantines, rebuilds, and probes a replica)
+          --drain-ms N (5000; pool only: SIGTERM graceful-drain
+                deadline — stop accepting, finish in-flight, exit 0)
   loadgen open-loop (Poisson) load generator and SLO capacity report
           --addr HOST:PORT (target server)   --rps F (200)
           --sweep LIST (e.g. 100,200,400: capacity sweep over offered
@@ -69,8 +78,10 @@ commands:
           --connections N (4)   --input-len N (64)
           --bad-fraction F (0; intentional 400s mixed into the traffic)
           --timeout-ms N (0; adds timeout_ms to request bodies)
+          --retries N (2; per-request retry budget for transport errors
+                and 5xx, jittered backoff; 429 sheds are never retried)
           --seed N (42)   --p99-ms F (25)   --max-error-rate F (0.001)
-          --out FILE (with --sweep: write a schema-v6 BENCH_serve-style
+          --out FILE (with --sweep: write a schema-v7 BENCH_serve-style
                 report with the `capacity` section)
   profile run forward+backward passes and print a span-tree time breakdown
           --demo [SIDE] (8) | --model PATH   --reps N (3)
@@ -83,6 +94,9 @@ commands:
           --log FILE (structured JSONL event log: ts/level/msg per line)
           --bench FILE (BENCH_kernels.json or BENCH_serve.json; the
                 report kind is sniffed from its sections)
+          --require LIST (metric-family prefixes, e.g.
+                snn_serve_admit,snn_pool_quarantine: fail unless each
+                is present in the given --text/--json expositions)
           --min-conv-event-speedup X
                 (fail if the 90%-sparsity event conv2d speedup is below X)
           --min-int8-speedup X (fail if the int8 GEMM speedup over the
@@ -550,14 +564,34 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let registry =
         std::sync::Arc::new(ModelRegistry::new(model, name).map_err(|e| e.to_string())?);
     let info = registry.info();
+    // An INT8 artifact published into the brownout slot: while the SLO
+    // error budget fast-burns, batch workers degrade new batches to it
+    // instead of shedding.
+    if let Some(path) = args.opt("brownout-model") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot load `{path}`: {e}"))?;
+        let artifact = ServedModel::from_json(&text)
+            .map_err(|e| format!("cannot load `{path}`: {e}"))?;
+        let binfo = registry
+            .publish_brownout(artifact, path.to_string())
+            .map_err(|e| format!("--brownout-model `{path}`: {e}"))?;
+        println!(
+            "brownout artifact: {} [{}] ({} inputs, {} classes)",
+            binfo.name, binfo.dtype, binfo.input_len, binfo.classes
+        );
+    }
     let addr = args.get("addr", "127.0.0.1:7878").to_string();
-    let batcher = BatcherConfig {
+    let mut batcher = BatcherConfig {
         max_batch,
         max_wait: Duration::from_micros(max_wait_us),
         capacity,
         timesteps,
         ..BatcherConfig::default()
     };
+    batcher.breaker_threshold = args.get_parsed("breaker-threshold", batcher.breaker_threshold)?;
+    if batcher.breaker_threshold == 0 {
+        return Err("--breaker-threshold must be at least 1".into());
+    }
     let default_timeout = (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms));
     println!(
         "serving {} [{}] ({} inputs, {} classes, {} parameters, T={timesteps})",
@@ -567,11 +601,18 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         // Scale-out path: the epoll front end multiplexing every
         // connection on one thread, with N engine replicas behind a
         // power-of-two-choices router.
+        let quarantine_trips: u32 = args.get_parsed("quarantine-trips", 3)?;
+        let drain_ms: u64 = args.get_parsed("drain-ms", 5000)?;
         let cfg = snn_pool::PoolServerConfig {
             addr,
             replicas,
             batcher,
             default_timeout,
+            quarantine_trips,
+            drain_timeout: Duration::from_millis(drain_ms.max(1)),
+            // SIGTERM starts a graceful drain: stop accepting, finish
+            // in-flight requests, then exit 0.
+            handle_sigterm: true,
             // Trace ring and SLO objectives come from the environment
             // (SNN_TRACE_RING / SNN_SLO) via the config default.
             ..snn_pool::PoolServerConfig::default()
@@ -597,7 +638,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 }
 
 /// Open-loop (Poisson) load generation against a running server, with
-/// an optional multi-rate capacity sweep producing the schema-v6
+/// an optional multi-rate capacity sweep producing the schema-v7
 /// `capacity` section. `scripts/ci.sh` runs the single-rate form as a
 /// smoke gate and parses the `loadgen:` line.
 fn cmd_loadgen(args: &Args) -> Result<(), String> {
@@ -612,6 +653,7 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
     let input_len: usize = args.get_parsed("input-len", 64)?;
     let bad_fraction: f64 = args.get_parsed("bad-fraction", 0.0)?;
     let timeout_ms: u64 = args.get_parsed("timeout-ms", 0)?;
+    let retries: u32 = args.get_parsed("retries", 2)?;
     let seed: u64 = args.get_parsed("seed", 42)?;
     if rps <= 0.0 || !rps.is_finite() {
         return Err("--rps must be a positive rate".into());
@@ -631,6 +673,7 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
         input_len,
         bad_fraction,
         timeout_ms: (timeout_ms > 0).then_some(timeout_ms),
+        retries,
         seed,
     };
     let slo = SloSpec {
@@ -691,7 +734,7 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
         );
         if let Some(out) = args.opt("out") {
             let body = serde::Value::Object(vec![
-                ("schema_version".into(), serde::Value::Number(6.0)),
+                ("schema_version".into(), serde::Value::Number(7.0)),
                 ("git_commit".into(), serde::Value::String(git_commit())),
                 ("source".into(), serde::Value::String("snn loadgen".into())),
                 ("capacity".into(), report.to_value()),
@@ -708,7 +751,7 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
         // ci.sh parses this line; keep the `key=value` fields stable.
         println!(
             "loadgen: offered={} completed={} 400s={} 429s={} 5xx={} other={} transport={} \
-             error_rate={:.4}",
+             retries={} error_rate={:.4}",
             r.offered,
             r.completed,
             r.status_400,
@@ -716,6 +759,7 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
             r.status_5xx,
             r.status_other,
             r.transport_errors,
+            r.retries_total,
             r.error_rate()
         );
         println!(
@@ -1074,6 +1118,24 @@ fn cmd_obs_check(args: &Args) -> Result<(), String> {
             println!("{path}: ok ({summary})");
         }
         checked += 1;
+    }
+    if let Some(spec) = args.opt("require") {
+        let text = args.opt("text").map(read).transpose()?;
+        let json = args.opt("json").map(read).transpose()?;
+        if text.is_none() && json.is_none() {
+            return Err("--require needs --text and/or --json to search".into());
+        }
+        for family in spec.split(',').map(str::trim).filter(|f| !f.is_empty()) {
+            if let Some(t) = &text {
+                obscheck::require_family_text(t, family)
+                    .map_err(|e| format!("--require {family}: {e}"))?;
+            }
+            if let Some(j) = &json {
+                obscheck::require_family_json(j, family)
+                    .map_err(|e| format!("--require {family}: {e}"))?;
+            }
+            println!("required series `{family}*`: present");
+        }
     }
     if checked == 0 {
         return Err(

@@ -468,17 +468,18 @@ pub fn check_bench_kernels(
 /// Expected `schema_version` of `BENCH_serve.json`. Kept in sync with
 /// `snn_bench::BENCH_SERVE_SCHEMA_VERSION` by hand, same policy as
 /// [`BENCH_KERNELS_SCHEMA`].
-pub const BENCH_SERVE_SCHEMA: f64 = 6.0;
+pub const BENCH_SERVE_SCHEMA: f64 = 7.0;
 
-/// Validates a `BENCH_serve.json` report (schema v6).
+/// Validates a `BENCH_serve.json` report (schema v7).
 ///
 /// Structural checks: parseable JSON object, `schema_version` equal to
 /// [`BENCH_SERVE_SCHEMA`], a non-empty `git_commit`, and a `capacity`
-/// section — the v6 addition — with an `slo` object (finite positive
+/// section with an `slo` object (finite positive
 /// `p99_ms`, finite non-negative `max_error_rate`), a finite
 /// `max_sustained_rps`, a non-empty `points` array (each point with
-/// finite `rps`/`achieved_rps`/`p99_ms`/`error_rate` and a boolean
-/// `met_slo`), a `per_replica` array (each entry with numeric
+/// finite `rps`/`achieved_rps`/`p99_ms`/`error_rate`, a boolean
+/// `met_slo`, and — the v7 addition — a non-negative numeric
+/// `retries_total`), a `per_replica` array (each entry with numeric
 /// `replica`/`routed` and finite `utilization`; empty is legal when
 /// the target exposes no per-replica series), and a `router` object
 /// with numeric `p2c`/`fallback`/`rerouted` decision counters.
@@ -535,7 +536,7 @@ pub fn check_bench_serve(text: &str) -> Result<String, String> {
         phase_count = Some(phases.len());
     }
     let Some(serde::Value::Object(capacity)) = get(fields, "capacity") else {
-        return Err("missing `capacity` object (the schema-v6 section)".into());
+        return Err("missing `capacity` object".into());
     };
     let Some(serde::Value::Object(slo)) = get(&capacity, "slo") else {
         return Err("capacity lacks `slo` object".into());
@@ -571,6 +572,14 @@ pub fn check_bench_serve(text: &str) -> Result<String, String> {
         match get(p, "met_slo") {
             Some(serde::Value::Bool(_)) => {}
             _ => return Err(format!("capacity.points[{i}] lacks boolean `met_slo`")),
+        }
+        match get(p, "retries_total") {
+            Some(serde::Value::Number(v)) if v >= 0.0 => {}
+            _ => {
+                return Err(format!(
+                    "capacity.points[{i}] lacks non-negative `retries_total` (schema v7)"
+                ));
+            }
         }
     }
     let Some(serde::Value::Array(per_replica)) = get(&capacity, "per_replica") else {
@@ -615,6 +624,57 @@ pub fn check_bench_serve(text: &str) -> Result<String, String> {
         points.len(),
         per_replica.len()
     ))
+}
+
+/// Asserts a metric family (name-prefix match) is present in a
+/// Prometheus text exposition: some sample line's metric name starts
+/// with `family`. Used by ci.sh via `obs-check --require` to pin the
+/// resilience series (`snn_serve_admit_*`, `snn_pool_quarantine_*`)
+/// into the scrape, not just validate whatever happens to be there.
+///
+/// # Errors
+///
+/// Returns a message naming the missing family.
+pub fn require_family_text(text: &str, family: &str) -> Result<(), String> {
+    let found = text.lines().any(|line| {
+        !line.starts_with('#') && line.split(['{', ' ']).next().is_some_and(|n| n.starts_with(family))
+    });
+    if found {
+        Ok(())
+    } else {
+        Err(format!("no `{family}*` series in the text exposition"))
+    }
+}
+
+/// Asserts a metric family (name-prefix match) is present among a
+/// `/metrics.json` body's instruments. Counterpart of
+/// [`require_family_text`] for the JSON exposition.
+///
+/// # Errors
+///
+/// Returns a message naming the missing family (or describing a body
+/// too malformed to search).
+pub fn require_family_json(text: &str, family: &str) -> Result<(), String> {
+    let value = serde_json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let instruments = value
+        .as_object()
+        .and_then(|fields| {
+            fields.iter().find(|(name, _)| name == "instruments").map(|(_, v)| v.clone())
+        })
+        .ok_or("missing `instruments` field")?;
+    let serde::Value::Array(instruments) = instruments else {
+        return Err("`instruments` is not an array".into());
+    };
+    let found = instruments.iter().any(|inst| {
+        inst.as_object()
+            .and_then(|fields| fields.iter().find(|(name, _)| name == "name"))
+            .is_some_and(|(_, v)| matches!(v, serde::Value::String(s) if s.starts_with(family)))
+    });
+    if found {
+        Ok(())
+    } else {
+        Err(format!("no `{family}*` instrument in the JSON exposition"))
+    }
 }
 
 fn valid_name(name: &str) -> bool {
@@ -792,9 +852,9 @@ mod tests {
              \"slo\":{{\"p99_ms\":25.0,\"max_error_rate\":0.001}},\
              \"max_sustained_rps\":400.0,\
              \"points\":[{{\"rps\":200.0,\"achieved_rps\":199.1,\"p99_ms\":4.2,\
-             \"error_rate\":0.0,\"met_slo\":true}},\
+             \"error_rate\":0.0,\"met_slo\":true,\"retries_total\":0}},\
              {{\"rps\":800.0,\"achieved_rps\":512.0,\"p99_ms\":91.0,\
-             \"error_rate\":0.2,\"met_slo\":false}}],\
+             \"error_rate\":0.2,\"met_slo\":false,\"retries_total\":41}}],\
              \"per_replica\":[{{\"replica\":0,\"routed\":250,\"utilization\":0.41}},\
              {{\"replica\":1,\"routed\":248,\"utilization\":0.39}}],\
              \"router\":{{\"p2c\":498,\"fallback\":0,\"rerouted\":0}}}}}}"
@@ -803,24 +863,47 @@ mod tests {
 
     #[test]
     fn validates_bench_serve_report() {
-        let summary = check_bench_serve(&serve_report("6", true)).unwrap();
+        let summary = check_bench_serve(&serve_report("7", true)).unwrap();
         assert!(summary.contains("400.0 rps sustained"), "summary was `{summary}`");
         assert!(summary.contains("1 phases"), "summary was `{summary}`");
         // loadgen's capacity-only shape (no phases) is also valid.
-        check_bench_serve(&serve_report("6", false)).unwrap();
-        assert!(check_bench_serve(&serve_report("5", true)).is_err(), "old schema");
+        check_bench_serve(&serve_report("7", false)).unwrap();
+        assert!(check_bench_serve(&serve_report("6", true)).is_err(), "old schema");
         assert!(check_bench_serve("not json").is_err());
         assert!(check_bench_serve("{}").is_err(), "missing everything");
-        let no_capacity = serve_report("6", true).replace("\"capacity\"", "\"cap\"");
+        let no_capacity = serve_report("7", true).replace("\"capacity\"", "\"cap\"");
         assert!(check_bench_serve(&no_capacity).is_err(), "missing capacity section");
         let bad_point =
-            serve_report("6", false).replace("\"met_slo\":true", "\"met_slo\":\"yes\"");
+            serve_report("7", false).replace("\"met_slo\":true", "\"met_slo\":\"yes\"");
         assert!(check_bench_serve(&bad_point).is_err(), "met_slo must be boolean");
-        let no_router = serve_report("6", false).replace("\"rerouted\"", "\"re_routed\"");
+        let no_retries =
+            serve_report("7", false).replace(",\"retries_total\":0", "");
+        assert!(check_bench_serve(&no_retries).is_err(), "points need retries_total in v7");
+        let no_router = serve_report("7", false).replace("\"rerouted\"", "\"re_routed\"");
         assert!(check_bench_serve(&no_router).is_err(), "router counters incomplete");
-        let empty_phases = serve_report("6", true)
+        let empty_phases = serve_report("7", true)
             .replace("[{\"name\":\"batched\",\"throughput_rps\":850.5}]", "[]");
         assert!(check_bench_serve(&empty_phases).is_err(), "phases present but empty");
+    }
+
+    #[test]
+    fn requires_metric_families_in_both_expositions() {
+        let text = "# TYPE snn_serve_admit_limit gauge\nsnn_serve_admit_limit 64\n\
+                    # TYPE snn_pool_quarantine_state gauge\n\
+                    snn_pool_quarantine_state{replica=\"0\"} 0\n";
+        require_family_text(text, "snn_serve_admit").unwrap();
+        require_family_text(text, "snn_pool_quarantine").unwrap();
+        assert!(require_family_text(text, "snn_absent").is_err());
+        // A HELP/TYPE mention alone must not satisfy the gate.
+        assert!(require_family_text("# TYPE snn_serve_admit_limit gauge\n", "snn_serve_admit")
+            .is_err());
+        let json = "{\"summary\":{},\"instruments\":[\
+                    {\"name\":\"snn_serve_admit_limit\",\"kind\":\"gauge\",\"value\":64},\
+                    {\"name\":\"snn_pool_quarantine_total\",\"kind\":\"counter\",\"value\":1}]}";
+        require_family_json(json, "snn_serve_admit").unwrap();
+        require_family_json(json, "snn_pool_quarantine").unwrap();
+        assert!(require_family_json(json, "snn_absent").is_err());
+        assert!(require_family_json("not json", "snn_serve_admit").is_err());
     }
 
     fn trace_listing(trace_id: &str, stages: &str) -> String {

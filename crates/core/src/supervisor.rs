@@ -348,20 +348,13 @@ impl TrainSupervisor {
                         let _ = journal.append(&event);
                     }
                     recoveries.push(event);
-                    std::thread::sleep(self.backoff(attempt));
+                    let backoff =
+                        snn_fault::Backoff::new(self.policy.backoff_base, self.policy.backoff_cap);
+                    std::thread::sleep(backoff.delay(attempt));
                 }
             }
         }
         unreachable!("the final attempt either returns its report or gives up")
-    }
-
-    /// Exponential backoff for the sleep *after* `attempt` failed.
-    fn backoff(&self, attempt: usize) -> Duration {
-        let doublings = u32::try_from(attempt.min(16)).unwrap_or(16);
-        self.policy
-            .backoff_base
-            .saturating_mul(1u32 << doublings)
-            .min(self.policy.backoff_cap)
     }
 
     /// Checks the newest epoch of `ckpt` against the policy. `None`

@@ -127,6 +127,56 @@ fn unit_float(seed: u64, index: u64, n: u64) -> f64 {
     (z >> 11) as f64 / (1u64 << 53) as f64
 }
 
+/// Bounded exponential backoff with deterministic jitter.
+///
+/// The delay for attempt `k` (0-based) is `base * 2^k`, capped at
+/// `cap`, then jittered downward by up to `jitter` of itself using the
+/// same SplitMix64 mix that drives probabilistic fault triggers — so a
+/// given `(seed, attempt)` pair always produces the same delay and
+/// retry storms decorrelate without any global RNG state.
+///
+/// This is the one backoff implementation for the workspace: the
+/// training supervisor's retry ladder, the circuit breaker's half-open
+/// probe cadence, and the loadgen client retry budget all consume it
+/// instead of hand-rolling the doubling-and-cap arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Backoff {
+    base: std::time::Duration,
+    cap: std::time::Duration,
+    seed: u64,
+    jitter: f64,
+}
+
+impl Backoff {
+    /// A jitter-free bounded exponential ladder: `base * 2^attempt`,
+    /// saturating at `cap`.
+    pub fn new(base: std::time::Duration, cap: std::time::Duration) -> Backoff {
+        Backoff { base, cap, seed: 0, jitter: 0.0 }
+    }
+
+    /// Adds deterministic jitter: each delay is scaled by a factor in
+    /// `[1 - jitter, 1]` derived from `(seed, attempt)`. `jitter` is
+    /// clamped to `[0, 1]`.
+    pub fn with_jitter(self, seed: u64, jitter: f64) -> Backoff {
+        Backoff { seed, jitter: jitter.clamp(0.0, 1.0), ..self }
+    }
+
+    /// Delay before retry number `attempt` (0-based: attempt 0 is the
+    /// first retry). Never exceeds `cap`; never negative.
+    pub fn delay(&self, attempt: usize) -> std::time::Duration {
+        // 2^17 * any sub-second base already exceeds practical caps;
+        // clamping the exponent avoids shift overflow on u32 nanos.
+        let doublings = u32::try_from(attempt.min(16)).unwrap_or(16);
+        let raw = self.base.saturating_mul(1u32 << doublings).min(self.cap);
+        if self.jitter <= 0.0 {
+            return raw;
+        }
+        let u = unit_float(self.seed, 0x6261636b, attempt as u64 + 1);
+        let scale = 1.0 - self.jitter * u;
+        raw.mul_f64(scale)
+    }
+}
+
 /// A parsed, seeded set of fault rules. Immutable once parsed; the
 /// per-rule counters make firing decisions deterministic given the
 /// sequence of checkpoint invocations on the installed threads.
@@ -372,6 +422,7 @@ pub fn recovery_total() -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn parses_the_readme_plan() {
@@ -460,6 +511,40 @@ mod tests {
             assert!(inject_io_error("store.write").is_some());
         }
         assert!(inject_nan("grad"), "outer plan active again after inner guard drops");
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let b = Backoff::new(Duration::from_millis(50), Duration::from_secs(2));
+        assert_eq!(b.delay(0), Duration::from_millis(50));
+        assert_eq!(b.delay(1), Duration::from_millis(100));
+        assert_eq!(b.delay(2), Duration::from_millis(200));
+        assert_eq!(b.delay(10), Duration::from_secs(2), "capped");
+        assert_eq!(b.delay(10_000), Duration::from_secs(2), "huge attempts saturate safely");
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_and_bounded() {
+        let b = Backoff::new(Duration::from_millis(100), Duration::from_secs(1))
+            .with_jitter(7, 0.5);
+        let other = Backoff::new(Duration::from_millis(100), Duration::from_secs(1))
+            .with_jitter(8, 0.5);
+        let mut seen_difference = false;
+        for attempt in 0..12 {
+            let d = b.delay(attempt);
+            let raw = Backoff::new(Duration::from_millis(100), Duration::from_secs(1))
+                .delay(attempt);
+            assert!(d <= raw, "jitter only shrinks: {d:?} vs {raw:?}");
+            assert!(
+                d.as_secs_f64() >= raw.as_secs_f64() * 0.5 - 1e-9,
+                "jitter bounded by the configured fraction"
+            );
+            assert_eq!(d, b.delay(attempt), "same (seed, attempt) -> same delay");
+            if d != other.delay(attempt) {
+                seen_difference = true;
+            }
+        }
+        assert!(seen_difference, "different seeds decorrelate");
     }
 
     #[test]

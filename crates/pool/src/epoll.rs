@@ -16,6 +16,7 @@
 
 use std::io;
 use std::os::unix::io::RawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 // Values from the Linux UAPI (`<sys/epoll.h>`); stable ABI.
@@ -42,11 +43,50 @@ struct RawEvent {
     data: u64,
 }
 
+const SIGTERM: i32 = 15;
+
 extern "C" {
     fn epoll_create1(flags: i32) -> i32;
     fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut RawEvent) -> i32;
     fn epoll_wait(epfd: i32, events: *mut RawEvent, maxevents: i32, timeout_ms: i32) -> i32;
     fn close(fd: i32) -> i32;
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// Set by the `SIGTERM` handler; polled by the event loop each tick
+/// (the loop never sleeps longer than its idle tick, so delivery
+/// latency is bounded without `signalfd`).
+static TERM_FLAG: AtomicBool = AtomicBool::new(false);
+
+/// The `SIGTERM` handler: one atomic store, the only async-signal-safe
+/// action taken.
+extern "C" fn on_term(_signum: i32) {
+    TERM_FLAG.store(true, Ordering::Release);
+}
+
+/// Installs the process `SIGTERM` handler that arms
+/// [`term_requested`]. Idempotent; replaces the default
+/// terminate-on-TERM disposition with graceful drain (the caller's
+/// event loop is responsible for actually exiting).
+pub fn install_term_handler() {
+    // SAFETY: `on_term` is async-signal-safe (a single atomic store),
+    // and `signal` is a plain syscall wrapper over owned arguments.
+    unsafe {
+        signal(SIGTERM, on_term as *const () as usize);
+    }
+}
+
+/// Whether a `SIGTERM` has been delivered since
+/// [`install_term_handler`] ran.
+pub fn term_requested() -> bool {
+    TERM_FLAG.load(Ordering::Acquire)
+}
+
+/// Resets the `SIGTERM` latch (tests only — the flag is process-global,
+/// and one test's raise must not drain another test's server).
+#[doc(hidden)]
+pub fn reset_term_flag() {
+    TERM_FLAG.store(false, Ordering::Release);
 }
 
 /// One readiness notification, decoded into safe flags.
@@ -247,6 +287,23 @@ mod tests {
         ep.delete(conn.as_raw_fd()).unwrap();
         // Deleting again reports ENOENT — the registration is gone.
         assert!(ep.delete(conn.as_raw_fd()).is_err());
+    }
+
+    #[test]
+    fn sigterm_latch_arms_and_resets() {
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        install_term_handler();
+        assert!(!term_requested());
+        // SAFETY: raising a signal whose handler (installed above) only
+        // performs an atomic store.
+        unsafe {
+            raise(SIGTERM);
+        }
+        assert!(term_requested(), "handler latched the flag");
+        reset_term_flag();
+        assert!(!term_requested());
     }
 
     #[test]

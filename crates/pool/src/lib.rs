@@ -24,11 +24,21 @@
 //!   a power-of-two-choices router with breaker-aware fallback and
 //!   re-route. All replicas share one [`snn_serve::ModelRegistry`], so
 //!   `/reload` retargets every replica atomically at its next batch
-//!   boundary.
+//!   boundary. A supervisor closes the self-healing loop: repeated
+//!   breaker trips quarantine a replica (never the last serving one),
+//!   rebuild its engine from the registry, probe it with a synthetic
+//!   inference, and re-admit it
+//!   (`snn_pool_quarantine_{state,total,readmitted_total}`).
 //! * [`router`] — the routing decision as a pure, proptested function.
 //! * [`loadgen`] — open-loop (Poisson) load generation with traffic
-//!   mixes, warmup/measure windows, and SLO capacity sweeps feeding
-//!   the BENCH_serve schema-v6 `capacity` section.
+//!   mixes, warmup/measure windows, a bounded client retry budget
+//!   (transport/5xx only — never `429` sheds), and SLO capacity
+//!   sweeps feeding the BENCH_serve schema-v7 `capacity` section.
+//!
+//! Under overload the front end sheds at admission (AIMD queue-depth
+//! limit, `429` + `Retry-After`), and on SIGTERM it drains gracefully:
+//! stop accepting, finish in-flight requests within the drain
+//! deadline, exit 0.
 //!
 //! Observability: per-replica queue depth, breaker state, routed
 //! counts, stage histograms, and SLO burn appear as

@@ -48,6 +48,14 @@ pub struct LoadgenConfig {
     /// `timeout_ms` attached to each request body (`None` omits it,
     /// leaving the server's default deadline).
     pub timeout_ms: Option<u64>,
+    /// Client-side retry budget per request: transport errors and
+    /// `5xx` responses are retried up to this many times with jittered
+    /// exponential backoff ([`snn_fault::Backoff`]). `429` sheds are
+    /// *not* retried — hammering an admission-controlled server
+    /// amplifies the overload it is shedding. Latency is always
+    /// charged from the first scheduled arrival, so retries make the
+    /// request slower, never invisible (no coordinated omission).
+    pub retries: u32,
     /// Seed for the arrival/mix generator.
     pub seed: u64,
 }
@@ -63,6 +71,7 @@ impl Default for LoadgenConfig {
             input_len: 64,
             bad_fraction: 0.0,
             timeout_ms: Some(1000),
+            retries: 2,
             seed: 42,
         }
     }
@@ -98,8 +107,12 @@ pub struct LoadgenReport {
     /// Other statuses (404/405/409/413…).
     pub status_other: u64,
     /// Requests that failed at the transport layer (connect/read
-    /// errors, timeouts).
+    /// errors, timeouts) after exhausting the retry budget.
     pub transport_errors: u64,
+    /// Retry attempts spent inside the measurement window (attempts
+    /// beyond each request's first). The status tallies above count
+    /// each request once, by its *final* attempt's outcome.
+    pub retries_total: u64,
     /// Measurement wall-clock, seconds.
     pub wall_secs: f64,
     /// Completed-response rate actually achieved.
@@ -149,6 +162,10 @@ pub struct CapacityPoint {
     pub error_rate: f64,
     /// Whether this point met the SLO.
     pub met_slo: bool,
+    /// Retry attempts spent at this rate (schema v7) — goodput above
+    /// is by final outcome, so retries show up here, not as extra
+    /// completions.
+    pub retries_total: u64,
 }
 
 /// Per-replica work attribution over a sweep, scraped from the
@@ -193,7 +210,7 @@ pub struct CapacityReport {
 }
 
 impl CapacityReport {
-    /// The BENCH_serve schema-v6 `capacity` section.
+    /// The BENCH_serve schema-v7 `capacity` section.
     pub fn to_value(&self) -> Value {
         let points = self
             .points
@@ -205,6 +222,7 @@ impl CapacityReport {
                     ("p99_ms".into(), Value::Number(p.p99_ms)),
                     ("error_rate".into(), Value::Number(p.error_rate)),
                     ("met_slo".into(), Value::Bool(p.met_slo)),
+                    ("retries_total".into(), Value::Number(p.retries_total as f64)),
                 ])
             })
             .collect();
@@ -308,6 +326,7 @@ struct WorkerTally {
     status_5xx: u64,
     status_other: u64,
     transport_errors: u64,
+    retries: u64,
     latencies_us: Vec<u64>,
 }
 
@@ -338,11 +357,19 @@ pub fn run(cfg: &LoadgenConfig) -> LoadgenReport {
     let bad_body = "{\"input\": \"not an array\"}".to_string();
 
     let workers: Vec<thread::JoinHandle<WorkerTally>> = (0..cfg.connections.max(1))
-        .map(|_| {
+        .map(|worker| {
             let schedule = Arc::clone(&schedule);
             let addr = cfg.addr.clone();
             let good = good_body.clone();
             let bad = bad_body.clone();
+            let retries = cfg.retries;
+            // Jittered exponential backoff between retry attempts;
+            // per-worker seed so workers never back off in lockstep.
+            let backoff = snn_fault::Backoff::new(
+                Duration::from_millis(2),
+                Duration::from_millis(50),
+            )
+            .with_jitter(cfg.seed ^ (worker as u64).wrapping_mul(0x9e3779b97f4a7c15), 0.5);
             thread::spawn(move || {
                 let mut tally = WorkerTally::default();
                 let mut conn: Option<TcpStream> = None;
@@ -356,13 +383,28 @@ pub fn run(cfg: &LoadgenConfig) -> LoadgenReport {
                         tally.offered += 1;
                     }
                     let body = if arrival.bad { &bad } else { &good };
-                    let status = request(&mut conn, &addr, body);
+                    let mut attempt = 0u32;
+                    let status = loop {
+                        let status = request(&mut conn, &addr, body);
+                        let retryable = matches!(status, None | Some(500..));
+                        if !retryable || attempt >= retries {
+                            break status;
+                        }
+                        thread::sleep(backoff.delay(attempt as usize));
+                        attempt += 1;
+                        if measured {
+                            tally.retries += 1;
+                        }
+                    };
                     if !measured {
                         continue;
                     }
                     match status {
                         Some(200) => {
                             tally.completed += 1;
+                            // Charged from the *scheduled* arrival: a
+                            // request that only succeeded on attempt
+                            // three is slow, not absent.
                             tally.latencies_us
                                 .push(arrival.at.elapsed().as_micros() as u64);
                         }
@@ -388,6 +430,7 @@ pub fn run(cfg: &LoadgenConfig) -> LoadgenReport {
             merged.status_5xx += t.status_5xx;
             merged.status_other += t.status_other;
             merged.transport_errors += t.transport_errors;
+            merged.retries += t.retries;
             merged.latencies_us.extend(t.latencies_us);
         }
     }
@@ -408,6 +451,7 @@ pub fn run(cfg: &LoadgenConfig) -> LoadgenReport {
         status_5xx: merged.status_5xx,
         status_other: merged.status_other,
         transport_errors: merged.transport_errors,
+        retries_total: merged.retries,
         wall_secs,
         achieved_rps: merged.completed as f64 / wall_secs.max(1e-9),
         latency: LatencySummary {
@@ -579,6 +623,7 @@ pub fn capacity_sweep(cfg: &LoadgenConfig, rates: &[f64], slo: SloSpec) -> Capac
             p99_ms: report.latency.p99_ms,
             error_rate,
             met_slo: report.latency.p99_ms <= slo.p99_ms && error_rate <= slo.max_error_rate,
+            retries_total: report.retries_total,
         });
     }
     let sweep_secs = sweep_start.elapsed().as_secs_f64();
@@ -659,6 +704,7 @@ mod tests {
                 p99_ms: 10.0,
                 error_rate: 0.0,
                 met_slo: true,
+                retries_total: 3,
             }],
             per_replica: vec![ReplicaUtilization { replica: 0, routed: 99, utilization: 0.4 }],
             router: RouterCounts { p2c: 99, fallback: 0, rerouted: 0 },
@@ -666,7 +712,7 @@ mod tests {
         let text = serde_json::to_string(&report.to_value()).unwrap();
         for key in
             ["\"slo\"", "\"max_sustained_rps\"", "\"points\"", "\"per_replica\"", "\"router\"",
-             "\"met_slo\"", "\"utilization\"", "\"rerouted\""]
+             "\"met_slo\"", "\"utilization\"", "\"rerouted\"", "\"retries_total\""]
         {
             assert!(text.contains(key), "missing {key} in {text}");
         }

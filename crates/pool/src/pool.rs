@@ -17,10 +17,21 @@
 //! `CircuitOpen` (race with a just-tripped breaker) the request is
 //! re-routed once over the remaining closed replicas before the typed
 //! rejection is surfaced.
+//!
+//! On top of routing sits a self-healing supervisor
+//! ([`ReplicaPool::supervise`], driven once per event-loop tick): a
+//! replica whose breaker keeps tripping is *quarantined* — removed
+//! from routing, its batcher torn down and rebuilt from the shared
+//! registry — then *probed* with a synthetic inference and re-admitted
+//! only once the probe succeeds. Probe failures back off
+//! exponentially ([`snn_fault::Backoff`]) and rebuild again, so a
+//! persistently broken replica converges to cheap periodic probes
+//! instead of serving errors. The last serving replica is never
+//! quarantined: degraded capacity beats none.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 use snn_obs::{Counter, Gauge, Registry, SloConfig, SloTracker, TraceContext};
 use snn_serve::{
@@ -37,11 +48,19 @@ pub struct PoolConfig {
     /// SLO objectives tracked per replica (in addition to the shared
     /// front-end tracker inside [`Metrics`]).
     pub slo: Option<SloConfig>,
+    /// Breaker trips (closed→open transitions) before the supervisor
+    /// quarantines a replica for rebuild-and-probe.
+    pub quarantine_trips: u32,
 }
 
 impl Default for PoolConfig {
     fn default() -> Self {
-        PoolConfig { replicas: 2, batcher: BatcherConfig::default(), slo: SloConfig::from_env() }
+        PoolConfig {
+            replicas: 2,
+            batcher: BatcherConfig::default(),
+            slo: SloConfig::from_env(),
+            quarantine_trips: 3,
+        }
     }
 }
 
@@ -56,13 +75,63 @@ struct ReplicaInstruments {
     queue_seconds: Arc<snn_obs::Histogram>,
     slo_burn_5m: Arc<Gauge>,
     slo_burn_1h: Arc<Gauge>,
+    quarantine_state: Arc<Gauge>,
+}
+
+/// Supervisor-side health record for one replica, touched only under
+/// its mutex (single supervisor thread; the lock guards against a
+/// future second caller, not contention).
+struct ReplicaHealth {
+    /// Closed→open breaker transitions observed since the last
+    /// readmission.
+    trips: u32,
+    /// Whether the breaker was open at the previous supervise tick
+    /// (edge detection for trip counting).
+    was_open: bool,
+    /// An in-flight synthetic probe, polled nonblockingly each tick.
+    probe: Option<Ticket>,
+    /// Consecutive failed probes since quarantine began.
+    probe_failures: usize,
+    /// Next instant a probe may be launched (backoff on failures).
+    probe_not_before: Instant,
+}
+
+impl ReplicaHealth {
+    fn new() -> ReplicaHealth {
+        ReplicaHealth {
+            trips: 0,
+            was_open: false,
+            probe: None,
+            probe_failures: 0,
+            probe_not_before: Instant::now(),
+        }
+    }
 }
 
 /// One engine replica plus its pool-side accounting.
 struct Replica {
-    batcher: Arc<Batcher>,
+    /// The live batcher; swapped wholesale when the supervisor
+    /// rebuilds a quarantined replica.
+    batcher: RwLock<Arc<Batcher>>,
+    /// Routing eligibility, readable lock-free on the request path.
+    quarantined: AtomicBool,
     instruments: ReplicaInstruments,
     slo: Option<SloTracker>,
+    health: Mutex<ReplicaHealth>,
+}
+
+impl Replica {
+    fn batcher(&self) -> Arc<Batcher> {
+        Arc::clone(&self.batcher.read().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    fn health(&self) -> std::sync::MutexGuard<'_, ReplicaHealth> {
+        self.health.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn is_quarantined(&self) -> bool {
+        self.quarantined.load(Ordering::Acquire)
+    }
 }
 
 /// The replica set, router state, and per-replica metric registry.
@@ -71,6 +140,12 @@ pub struct ReplicaPool {
     registry: Arc<ModelRegistry>,
     metrics: Arc<Metrics>,
     labeled: Registry,
+    /// Per-replica batcher configuration (fault site renamed to
+    /// `pool.replica`), kept for supervisor rebuilds.
+    batcher_cfg: BatcherConfig,
+    quarantine_trips: u32,
+    quarantine_total: Arc<Counter>,
+    quarantine_readmitted: Arc<Counter>,
     router_p2c: Arc<Counter>,
     router_fallback: Arc<Counter>,
     router_rerouted: Arc<Counter>,
@@ -105,11 +180,16 @@ impl ReplicaPool {
     ) -> Result<ReplicaPool, snn_core::SnapshotError> {
         let n = cfg.replicas.max(1);
         let labeled = Registry::new();
+        // Replica workers inject at `pool.replica`, not `serve.worker`,
+        // so chaos plans can kill pool replicas without also killing
+        // classic single-worker servers sharing the process (tests).
+        let mut batcher_cfg = cfg.batcher.clone();
+        batcher_cfg.fault_site = "pool.replica".into();
         let mut replicas = Vec::with_capacity(n);
         for i in 0..n {
             let batcher = Arc::new(Batcher::start(
                 Arc::clone(&registry),
-                cfg.batcher.clone(),
+                batcher_cfg.clone(),
                 Arc::clone(&metrics),
             )?);
             let instruments = ReplicaInstruments {
@@ -143,9 +223,27 @@ impl ReplicaPool {
                     &format!("snn_pool_replica_slo_burn_1h{{replica=\"{i}\"}}"),
                     "Per-replica worst 1h SLO burn rate (sampled at scrape)",
                 ),
+                quarantine_state: labeled.gauge(
+                    &format!("snn_pool_quarantine_state{{replica=\"{i}\"}}"),
+                    "Supervisor state per replica (0=serving,1=quarantined,2=probing)",
+                ),
             };
-            replicas.push(Replica { batcher, instruments, slo: cfg.slo.map(SloTracker::new) });
+            replicas.push(Replica {
+                batcher: RwLock::new(batcher),
+                quarantined: AtomicBool::new(false),
+                instruments,
+                slo: cfg.slo.map(SloTracker::new),
+                health: Mutex::new(ReplicaHealth::new()),
+            });
         }
+        let quarantine_total = labeled.counter(
+            "snn_pool_quarantine_total",
+            "Replicas quarantined by the self-healing supervisor",
+        );
+        let quarantine_readmitted = labeled.counter(
+            "snn_pool_quarantine_readmitted_total",
+            "Quarantined replicas probed healthy and readmitted to routing",
+        );
         let router_p2c = labeled.counter(
             "snn_pool_router_p2c_total",
             "Routing decisions made by two-choice depth comparison",
@@ -163,6 +261,10 @@ impl ReplicaPool {
             registry,
             metrics,
             labeled,
+            batcher_cfg,
+            quarantine_trips: cfg.quarantine_trips.max(1),
+            quarantine_total,
+            quarantine_readmitted,
             router_p2c,
             router_fallback,
             router_rerouted,
@@ -199,15 +301,26 @@ impl ReplicaPool {
     }
 
     /// Flattened input length the served model requires (identical
-    /// across replicas — they share one registry).
+    /// across replicas — they share one registry, and hot-swaps
+    /// preserve the interface).
     pub fn input_len(&self) -> usize {
-        self.replicas[0].batcher.input_len()
+        self.replicas[0].batcher().input_len()
     }
 
     /// Every replica's breaker state, in replica order. Feeds
     /// `/healthz`: `ok` only when all are closed.
     pub fn circuit_states(&self) -> Vec<CircuitState> {
-        self.replicas.iter().map(|r| r.batcher.circuit_state()).collect()
+        self.replicas.iter().map(|r| r.batcher().circuit_state()).collect()
+    }
+
+    /// Which replicas are currently quarantined, in replica order.
+    pub fn quarantined_flags(&self) -> Vec<bool> {
+        self.replicas.iter().map(|r| r.is_quarantined()).collect()
+    }
+
+    /// Supervisor counters `(quarantined_total, readmitted_total)`.
+    pub fn quarantine_counts(&self) -> (u64, u64) {
+        (self.quarantine_total.get(), self.quarantine_readmitted.get())
     }
 
     fn sample(&self) -> u64 {
@@ -241,11 +354,17 @@ impl ReplicaPool {
         // fallback scan (and, downstream, the re-route path) without
         // real breaker trips.
         let injected_unavailable = snn_fault::inject_io_error("pool.route").is_some();
-        let depths: Vec<usize> = self.replicas.iter().map(|r| r.batcher.queue_len()).collect();
+        let batchers: Vec<Arc<Batcher>> = self.replicas.iter().map(|r| r.batcher()).collect();
+        let depths: Vec<usize> = batchers.iter().map(|b| b.queue_len()).collect();
         let available: Vec<bool> = self
             .replicas
             .iter()
-            .map(|r| !injected_unavailable && r.batcher.circuit_state() != CircuitState::Open)
+            .zip(&batchers)
+            .map(|(r, b)| {
+                !injected_unavailable
+                    && !r.is_quarantined()
+                    && b.circuit_state() != CircuitState::Open
+            })
             .collect();
         let s = self.sample();
         let (a, b) = ((s >> 32) as usize, s as usize);
@@ -258,7 +377,7 @@ impl ReplicaPool {
         let mut idx = first;
         let mut tried = 0usize;
         loop {
-            match self.replicas[idx].batcher.submit_traced_ref(input, deadline, trace) {
+            match batchers[idx].submit_traced_ref(input, deadline, trace) {
                 Ok(ticket) => {
                     self.replicas[idx].instruments.routed.inc();
                     return (idx, Ok(ticket));
@@ -271,9 +390,10 @@ impl ReplicaPool {
                     if tried >= n {
                         return (idx, Err(Rejection::CircuitOpen));
                     }
-                    let next = (idx + 1..idx + n)
-                        .map(|k| k % n)
-                        .find(|&j| self.replicas[j].batcher.circuit_state() != CircuitState::Open);
+                    let next = (idx + 1..idx + n).map(|k| k % n).find(|&j| {
+                        !self.replicas[j].is_quarantined()
+                            && batchers[j].circuit_state() != CircuitState::Open
+                    });
                     match next {
                         Some(j) => {
                             self.router_rerouted.inc();
@@ -310,8 +430,9 @@ impl ReplicaPool {
         let mut total_depth = 0usize;
         let mut worst = CircuitState::Closed;
         for r in &self.replicas {
-            let depth = r.batcher.queue_len();
-            let state = r.batcher.circuit_state();
+            let batcher = r.batcher();
+            let depth = batcher.queue_len();
+            let state = batcher.circuit_state();
             total_depth += depth;
             if state.as_gauge() > worst.as_gauge() {
                 worst = state;
@@ -342,7 +463,276 @@ impl ReplicaPool {
     /// queues drained with [`Rejection::ShuttingDown`]).
     pub fn request_shutdown(&self) {
         for r in &self.replicas {
-            r.batcher.request_shutdown();
+            r.batcher().request_shutdown();
         }
+    }
+
+    /// One tick of the self-healing supervisor; cheap when nothing is
+    /// wrong (per replica: one atomic read, one mutex, one breaker
+    /// peek). Called from the front end's event loop.
+    ///
+    /// State machine per replica:
+    ///
+    /// * **serving** — count closed→open breaker transitions; at
+    ///   [`PoolConfig::quarantine_trips`] the replica is quarantined
+    ///   (pulled from routing, batcher rebuilt from the registry),
+    ///   unless it is the last one still serving.
+    /// * **quarantined** — launch a synthetic probe inference through
+    ///   the rebuilt batcher once `probe_not_before` passes.
+    /// * **probing** — poll the probe ticket. Success readmits the
+    ///   replica (trip count reset); failure rebuilds again and backs
+    ///   off exponentially before the next probe.
+    pub fn supervise(&self) {
+        // Live check (atomics, no second health lock): when several
+        // replicas trip in the same tick, each quarantine must see the
+        // ones already taken this tick, or the guard would let the
+        // whole pool quarantine at once.
+        let serving_elsewhere = |i: usize| {
+            self.replicas.iter().enumerate().any(|(j, r)| j != i && !r.is_quarantined())
+        };
+        for (i, r) in self.replicas.iter().enumerate() {
+            let mut h = r.health();
+            if !r.is_quarantined() {
+                let open = r.batcher().circuit_state() == CircuitState::Open;
+                if open && !h.was_open {
+                    h.trips += 1;
+                    snn_obs::log_warn!(
+                        "replica breaker tripped",
+                        replica = i as u64,
+                        trips = u64::from(h.trips),
+                    );
+                }
+                h.was_open = open;
+                if h.trips >= self.quarantine_trips && serving_elsewhere(i) {
+                    self.quarantine(i, r, &mut h);
+                }
+                continue;
+            }
+            if let Some(probe) = h.probe.as_mut() {
+                match probe.try_wait() {
+                    None => {} // still in flight; poll again next tick
+                    Some(Ok(_)) => self.readmit(i, r, &mut h),
+                    Some(Err(e)) => self.probe_failed(i, r, &mut h, &e.to_string()),
+                }
+            } else if Instant::now() >= h.probe_not_before {
+                let batcher = r.batcher();
+                let input = vec![0.0f32; batcher.input_len()];
+                let deadline = Instant::now() + PROBE_DEADLINE;
+                match batcher.submit(input, Some(deadline)) {
+                    Ok(ticket) => {
+                        h.probe = Some(ticket);
+                        r.instruments.quarantine_state.set(2.0);
+                    }
+                    Err(e) => self.probe_failed(i, r, &mut h, &e.to_string()),
+                }
+            }
+        }
+    }
+
+    /// Pulls replica `i` out of routing and rebuilds its batcher.
+    fn quarantine(&self, i: usize, r: &Replica, h: &mut ReplicaHealth) {
+        r.quarantined.store(true, Ordering::Release);
+        r.instruments.quarantine_state.set(1.0);
+        self.quarantine_total.inc();
+        h.probe = None;
+        h.probe_failures = 0;
+        h.probe_not_before = Instant::now();
+        snn_obs::log_warn!("replica quarantined", replica = i as u64, trips = u64::from(h.trips));
+        self.rebuild(i, r);
+    }
+
+    /// Swaps in a fresh batcher built from the shared registry and
+    /// shuts the old one down (in-flight jobs drain as
+    /// [`Rejection::ShuttingDown`]; routing already excludes the
+    /// replica). A failed rebuild keeps the old batcher — the next
+    /// probe will fail against it and retry the rebuild after backoff.
+    fn rebuild(&self, i: usize, r: &Replica) {
+        match Batcher::start(
+            Arc::clone(&self.registry),
+            self.batcher_cfg.clone(),
+            Arc::clone(&self.metrics),
+        ) {
+            Ok(fresh) => {
+                let mut slot = r.batcher.write().unwrap_or_else(|p| p.into_inner());
+                let old = std::mem::replace(&mut *slot, Arc::new(fresh));
+                drop(slot);
+                old.request_shutdown();
+                snn_obs::log_info!("replica engine rebuilt", replica = i as u64);
+            }
+            Err(e) => {
+                snn_obs::log_error!(
+                    "replica rebuild failed",
+                    replica = i as u64,
+                    error = e.to_string(),
+                );
+            }
+        }
+    }
+
+    /// A probe came back healthy: return the replica to routing.
+    fn readmit(&self, i: usize, r: &Replica, h: &mut ReplicaHealth) {
+        h.probe = None;
+        h.probe_failures = 0;
+        h.trips = 0;
+        h.was_open = false;
+        r.quarantined.store(false, Ordering::Release);
+        r.instruments.quarantine_state.set(0.0);
+        self.quarantine_readmitted.inc();
+        snn_fault::record_recovery();
+        snn_obs::log_info!("replica readmitted", replica = i as u64);
+    }
+
+    /// A probe failed (or could not even be submitted): rebuild the
+    /// engine again and back off before the next attempt.
+    fn probe_failed(&self, i: usize, r: &Replica, h: &mut ReplicaHealth, why: &str) {
+        h.probe = None;
+        h.probe_failures += 1;
+        let backoff = snn_fault::Backoff::new(
+            self.batcher_cfg.breaker_cooldown,
+            self.batcher_cfg.breaker_cooldown * 32,
+        );
+        h.probe_not_before = Instant::now() + backoff.delay(h.probe_failures);
+        r.instruments.quarantine_state.set(1.0);
+        snn_obs::log_warn!(
+            "replica probe failed",
+            replica = i as u64,
+            failures = h.probe_failures as u64,
+            error = why,
+        );
+        self.rebuild(i, r);
+    }
+}
+
+/// Deadline a synthetic quarantine probe gets to complete before it
+/// counts as failed.
+const PROBE_DEADLINE: Duration = Duration::from_secs(1);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_core::{LifConfig, NetworkSnapshot, SpikingNetwork};
+    use snn_serve::Metrics;
+    use snn_tensor::Shape;
+
+    fn snapshot(seed: u64) -> NetworkSnapshot {
+        let lif = LifConfig { theta: 0.5, ..LifConfig::paper_default() };
+        let net = SpikingNetwork::builder(Shape::d1(16), seed)
+            .dense(8, lif)
+            .unwrap()
+            .dense(4, lif)
+            .unwrap()
+            .build()
+            .unwrap();
+        NetworkSnapshot::from_network(&net)
+    }
+
+    fn pool_with_quarantine(quarantine_trips: u32) -> ReplicaPool {
+        let registry = Arc::new(ModelRegistry::new(snapshot(3), "demo").unwrap());
+        let metrics = Arc::new(Metrics::with_slo(None));
+        let cfg = PoolConfig {
+            replicas: 2,
+            batcher: BatcherConfig {
+                max_batch: 1,
+                max_wait: Duration::from_micros(100),
+                timesteps: 2,
+                breaker_threshold: 1,
+                breaker_cooldown: Duration::from_millis(20),
+                ..BatcherConfig::default()
+            },
+            slo: None,
+            quarantine_trips,
+        };
+        ReplicaPool::start(registry, cfg, metrics).unwrap()
+    }
+
+    /// The full self-healing arc: a replica whose worker panics trips
+    /// its breaker, the supervisor quarantines and rebuilds it, the
+    /// synthetic probe succeeds against the fresh engine, and the
+    /// replica is readmitted with its trip count reset — all while the
+    /// surviving replica keeps serving.
+    #[test]
+    fn tripped_replica_is_quarantined_rebuilt_and_readmitted() {
+        let plan = snn_fault::FaultPlan::parse("panic@pool.replica:1", 7).unwrap();
+        let _guard = snn_fault::install(Arc::new(plan));
+        let pool = pool_with_quarantine(1);
+        let input = vec![0.1f32; pool.input_len()];
+
+        // The first batch anywhere panics: this request's replica trips
+        // its (threshold-1) breaker.
+        let (victim, result) = pool.route(&input, None, None);
+        assert_eq!(
+            result.unwrap().wait(),
+            Err(Rejection::WorkerPanic),
+            "the fault plan's panic must surface on the first request"
+        );
+        assert_eq!(pool.circuit_states()[victim], CircuitState::Open);
+
+        // Supervisor ticks: quarantine + rebuild, probe, readmit.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pool.quarantine_counts().0 == 0 {
+            assert!(Instant::now() < deadline, "replica never quarantined");
+            pool.supervise();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(pool.quarantined_flags()[victim], "victim pulled from routing");
+        assert!(
+            !pool.quarantined_flags()[1 - victim],
+            "the healthy replica must keep serving"
+        );
+
+        // While quarantined, every request lands on the survivor.
+        let (idx, result) = pool.route(&input, None, None);
+        assert_eq!(idx, 1 - victim);
+        result.unwrap().wait().expect("survivor serves during quarantine");
+
+        while pool.quarantine_counts().1 == 0 {
+            assert!(Instant::now() < deadline, "replica never readmitted");
+            pool.supervise();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(!pool.quarantined_flags()[victim], "readmitted to routing");
+        assert_eq!(pool.circuit_states()[victim], CircuitState::Closed);
+        assert_eq!(pool.quarantine_counts(), (1, 1));
+
+        // The rebuilt replica actually serves again.
+        let mut served = [false, false];
+        let check = Instant::now() + Duration::from_secs(5);
+        while !(served[0] && served[1]) {
+            assert!(Instant::now() < check, "rebuilt replica never served: {served:?}");
+            let (idx, result) = pool.route(&input, None, None);
+            if result.and_then(|t| t.wait()).is_ok() {
+                served[idx] = true;
+            }
+        }
+        pool.request_shutdown();
+    }
+
+    /// The last serving replica is never quarantined, no matter how
+    /// many times its breaker trips: degraded capacity beats none.
+    #[test]
+    fn last_serving_replica_is_never_quarantined() {
+        // Both replicas' first batches panic; with threshold 1 both
+        // breakers open.
+        let plan = snn_fault::FaultPlan::parse("panic@pool.replica:1,panic@pool.replica:2", 7)
+            .unwrap();
+        let _guard = snn_fault::install(Arc::new(plan));
+        let pool = pool_with_quarantine(1);
+        let input = vec![0.1f32; pool.input_len()];
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pool.circuit_states().iter().any(|s| *s != CircuitState::Open) {
+            assert!(Instant::now() < deadline, "breakers never both opened");
+            let (_, result) = pool.route(&input, None, None);
+            if let Ok(t) = result {
+                let _ = t.wait();
+            }
+        }
+        // One supervise tick quarantines one replica; the survivor is
+        // exempt no matter how many more ticks run.
+        for _ in 0..10 {
+            pool.supervise();
+        }
+        let quarantined = pool.quarantined_flags().iter().filter(|&&q| q).count();
+        assert_eq!(quarantined, 1, "exactly one of two tripped replicas quarantined");
+        pool.request_shutdown();
     }
 }

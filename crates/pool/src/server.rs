@@ -70,6 +70,10 @@ const LISTENER_TOKEN: u64 = 0;
 const BUSY_TICK: Duration = Duration::from_millis(1);
 /// Tick granularity while fully idle (shutdown flag + idle sweeps).
 const IDLE_TICK: Duration = Duration::from_millis(250);
+/// How long a drain lets an apparently-idle connection live before
+/// dropping it — covers a request whose bytes were written by the peer
+/// but not yet surfaced by the kernel when the drain began.
+const DRAIN_IDLE_GRACE: Duration = Duration::from_millis(100);
 
 /// Pool server tuning knobs; mirrors [`snn_serve::ServerConfig`] plus
 /// the replica count.
@@ -88,6 +92,16 @@ pub struct PoolServerConfig {
     /// SLO objectives for burn-rate tracking (shared front tracker
     /// plus one tracker per replica).
     pub slo: Option<SloConfig>,
+    /// Breaker trips before the supervisor quarantines a replica.
+    pub quarantine_trips: u32,
+    /// How long a graceful drain waits for in-flight requests before
+    /// the loop exits anyway.
+    pub drain_timeout: Duration,
+    /// Install the process `SIGTERM` handler so `kill -TERM` triggers
+    /// a graceful drain instead of immediate termination. Off by
+    /// default (tests drive drain via [`PoolServer::begin_drain`];
+    /// only one component per process should own signal disposition).
+    pub handle_sigterm: bool,
 }
 
 impl Default for PoolServerConfig {
@@ -99,6 +113,9 @@ impl Default for PoolServerConfig {
             default_timeout: Some(Duration::from_millis(2000)),
             trace_ring: TraceRing::from_env(),
             slo: SloConfig::from_env(),
+            quarantine_trips: 3,
+            drain_timeout: Duration::from_secs(5),
+            handle_sigterm: false,
         }
     }
 }
@@ -110,6 +127,7 @@ pub struct PoolServer {
     pool: Arc<ReplicaPool>,
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
+    drain: Arc<AtomicBool>,
     open_connections: Arc<Gauge>,
     event_loop: Option<thread::JoinHandle<()>>,
 }
@@ -124,8 +142,12 @@ impl PoolServer {
     /// cannot be built.
     pub fn start(registry: Arc<ModelRegistry>, cfg: PoolServerConfig) -> Result<Self, ServeError> {
         let metrics = Arc::new(Metrics::with_slo(cfg.slo));
-        let pool_cfg =
-            PoolConfig { replicas: cfg.replicas, batcher: cfg.batcher, slo: cfg.slo };
+        let pool_cfg = PoolConfig {
+            replicas: cfg.replicas,
+            batcher: cfg.batcher,
+            slo: cfg.slo,
+            quarantine_trips: cfg.quarantine_trips,
+        };
         let pool = Arc::new(
             ReplicaPool::start(Arc::clone(&registry), pool_cfg, Arc::clone(&metrics))
                 .map_err(ServeError::Snapshot)?,
@@ -136,6 +158,10 @@ impl PoolServer {
         let epoll = Epoll::new().map_err(ServeError::Io)?;
         epoll.add(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ).map_err(ServeError::Io)?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let drain = Arc::new(AtomicBool::new(false));
+        if cfg.handle_sigterm {
+            crate::epoll::install_term_handler();
+        }
         let open_connections = pool.labeled_registry().gauge(
             "snn_pool_open_connections",
             "Connections currently registered with the readiness loop",
@@ -149,12 +175,15 @@ impl PoolServer {
         let event_loop = {
             let ev = EventLoop {
                 epoll,
-                listener,
+                listener: Some(listener),
                 pool: Arc::clone(&pool),
                 metrics: Arc::clone(&metrics),
                 default_timeout: cfg.default_timeout,
                 trace_ring: cfg.trace_ring,
                 shutdown: Arc::clone(&shutdown),
+                drain: Arc::clone(&drain),
+                drain_timeout: cfg.drain_timeout,
+                handle_sigterm: cfg.handle_sigterm,
                 open_connections: Arc::clone(&open_connections),
                 conns: HashMap::new(),
                 inflight: HashSet::new(),
@@ -170,6 +199,7 @@ impl PoolServer {
             pool,
             metrics,
             shutdown,
+            drain,
             open_connections,
             event_loop: Some(event_loop),
         })
@@ -202,6 +232,23 @@ impl PoolServer {
         if let Some(h) = self.event_loop.take() {
             let _ = h.join();
         }
+    }
+
+    /// Starts a graceful drain: the listener closes (no new
+    /// connections), idle keep-alive connections drop, in-flight and
+    /// partially-received requests complete (their responses close the
+    /// connection), and the event loop exits once every connection is
+    /// gone or [`PoolServerConfig::drain_timeout`] lapses. `SIGTERM`
+    /// triggers the same path when
+    /// [`PoolServerConfig::handle_sigterm`] is set.
+    pub fn begin_drain(&self) {
+        self.drain.store(true, Ordering::Release);
+    }
+
+    /// Whether a drain has been requested (by [`Self::begin_drain`] or
+    /// `SIGTERM`).
+    pub fn draining(&self) -> bool {
+        self.drain.load(Ordering::Acquire)
     }
 
     /// Stops the readiness loop, drops every connection, and drains
@@ -285,12 +332,16 @@ struct Finish {
 
 struct EventLoop {
     epoll: Epoll,
-    listener: TcpListener,
+    /// `None` once a drain closed it (new connects are refused).
+    listener: Option<TcpListener>,
     pool: Arc<ReplicaPool>,
     metrics: Arc<Metrics>,
     default_timeout: Option<Duration>,
     trace_ring: Option<Arc<TraceRing>>,
     shutdown: Arc<AtomicBool>,
+    drain: Arc<AtomicBool>,
+    drain_timeout: Duration,
+    handle_sigterm: bool,
     open_connections: Arc<Gauge>,
     conns: HashMap<u64, Conn>,
     /// Tokens whose connection is in [`ConnState::InFlight`].
@@ -302,11 +353,34 @@ impl EventLoop {
     fn run(mut self) {
         let mut events: Vec<Event> = Vec::new();
         let mut last_sweep = Instant::now();
+        let mut drain_deadline: Option<Instant> = None;
         loop {
             if self.shutdown.load(Ordering::Acquire) {
                 break;
             }
-            let tick = if self.inflight.is_empty() { IDLE_TICK } else { BUSY_TICK };
+            if drain_deadline.is_none()
+                && (self.drain.load(Ordering::Acquire)
+                    || (self.handle_sigterm && crate::epoll::term_requested()))
+            {
+                self.drain.store(true, Ordering::Release);
+                drain_deadline = Some(Instant::now() + self.drain_timeout);
+                self.enter_drain();
+            }
+            if let Some(deadline) = drain_deadline {
+                self.drain_sweep();
+                self.reap_dead();
+                if self.conns.is_empty() || Instant::now() >= deadline {
+                    break;
+                }
+            }
+            // While draining, tick fast regardless of in-flight state:
+            // the exit condition (last connection gone) is polled, not
+            // event-driven.
+            let tick = if drain_deadline.is_some() || !self.inflight.is_empty() {
+                BUSY_TICK
+            } else {
+                IDLE_TICK
+            };
             if let Err(e) = self.epoll.wait(&mut events, Some(tick)) {
                 snn_obs::log_warn!("epoll_wait failed", error = e.to_string());
                 break;
@@ -322,6 +396,7 @@ impl EventLoop {
                 }
             }
             self.poll_inflight();
+            self.pool.supervise();
             if last_sweep.elapsed() >= Duration::from_secs(1) {
                 self.sweep_idle();
                 last_sweep = Instant::now();
@@ -335,11 +410,59 @@ impl EventLoop {
         }
         self.open_connections.set(0.0);
         self.pool.request_shutdown();
+        if drain_deadline.is_some() {
+            // `inflight` still holds tokens of requests that never
+            // resolved before the deadline — the drain's casualty count.
+            snn_obs::log_info!("drain complete", abandoned = self.inflight.len() as u64);
+        }
+    }
+
+    /// Flips the loop into drain mode: the listener closes (connects
+    /// are refused from here on) and every connection is marked
+    /// close-after-response, so in-flight and partially-received
+    /// requests finish exactly once and then go away. Idle keep-alive
+    /// connections are dropped by [`Self::drain_sweep`] after a short
+    /// grace (a request's bytes may still be in the kernel buffer).
+    fn enter_drain(&mut self) {
+        // Accept whatever already completed its handshake: those
+        // clients connected before the drain and deserve an answer.
+        // Closing the listener would RST them out of the backlog.
+        self.accept_ready();
+        if let Some(listener) = self.listener.take() {
+            let _ = self.epoll.delete(listener.as_raw_fd());
+            // Dropping closes the fd; the kernel refuses new connects.
+        }
+        for conn in self.conns.values_mut() {
+            conn.close_after = true;
+        }
+        snn_obs::log_info!(
+            "drain started",
+            connections = self.conns.len() as u64,
+            in_flight = self.inflight.len() as u64,
+            timeout_ms = self.drain_timeout.as_millis() as u64,
+        );
+    }
+
+    /// One drain-mode pass: drops connections that are idle (no
+    /// partial frame, no pending output, nothing in flight) and have
+    /// stayed so past [`DRAIN_IDLE_GRACE`].
+    fn drain_sweep(&mut self) {
+        for conn in self.conns.values_mut() {
+            if matches!(conn.state, ConnState::Head)
+                && conn.buf.is_empty()
+                && conn.out.is_empty()
+                && conn.received.is_none()
+                && conn.idle_since.elapsed() >= DRAIN_IDLE_GRACE
+            {
+                conn.dead = true;
+            }
+        }
     }
 
     fn accept_ready(&mut self) {
+        let Some(listener) = &self.listener else { return };
         loop {
-            match self.listener.accept() {
+            match listener.accept() {
                 Ok((stream, _)) => {
                     if stream.set_nonblocking(true).is_err() {
                         continue;
@@ -520,13 +643,11 @@ impl EventLoop {
         }
         let mut content_type = "application/json";
         let (status, response_body) = match (head.method.as_str(), head.path.as_str()) {
-            ("GET", "/healthz") => (
-                200,
-                healthz_body(
-                    self.pool.registry().info(),
-                    &self.pool.circuit_states(),
-                    self.metrics.slo_fast_burn(),
-                ),
+            ("GET", "/healthz") => healthz_body(
+                self.pool.registry().info(),
+                &self.pool.circuit_states(),
+                self.metrics.slo_fast_burn(),
+                self.metrics.brownout_active(),
             ),
             ("GET", "/metrics") => {
                 content_type = "text/plain; version=0.0.4";

@@ -77,6 +77,87 @@ fn await_drain(server: &PoolServer, at_most: usize) {
     }
 }
 
+/// Graceful drain under load: every request already written before
+/// the drain begins still gets its 200, idle keep-alives are dropped,
+/// the listener refuses new connections, and the event loop exits on
+/// its own — well before the drain deadline.
+#[test]
+fn graceful_drain_completes_inflight_and_refuses_new_connections() {
+    let registry = Arc::new(ModelRegistry::new(snapshot(11), "demo").unwrap());
+    let cfg = PoolServerConfig {
+        replicas: 2,
+        batcher: BatcherConfig {
+            timesteps: 2,
+            // A long linger keeps requests visibly in flight while the
+            // drain starts underneath them.
+            max_wait: Duration::from_millis(30),
+            max_batch: 16,
+            ..BatcherConfig::default()
+        },
+        drain_timeout: Duration::from_secs(5),
+        ..PoolServerConfig::default()
+    };
+    let mut server = PoolServer::start(registry, cfg).unwrap();
+    let addr = server.addr();
+    let body = infer_body();
+
+    // One parked keep-alive connection: the drain must shed it.
+    let idle = TcpStream::connect(addr).unwrap();
+
+    // Write eight full requests, then drain while they are in flight.
+    let mut streams = Vec::new();
+    for _ in 0..8 {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let req = format!(
+            "POST /infer HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        s.write_all(req.as_bytes()).unwrap();
+        streams.push(s);
+    }
+    server.begin_drain();
+    assert!(server.draining());
+
+    for mut s in streams {
+        let mut response = Vec::new();
+        s.read_to_end(&mut response).unwrap();
+        let text = String::from_utf8(response).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 200 OK"),
+            "in-flight request dropped during drain: {text}"
+        );
+    }
+
+    // Every connection (including the idle one) goes away and the
+    // listener closes, so new connects are refused.
+    await_drain(&server, 0);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match TcpStream::connect(addr) {
+            Err(_) => break,
+            Ok(_) => {
+                assert!(Instant::now() < deadline, "listener still accepting during drain");
+                thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    drop(idle);
+
+    // The loop exits by itself once drained — join must return fast.
+    let joiner = thread::spawn(move || {
+        server.join();
+        server
+    });
+    let mut waited = Duration::ZERO;
+    while !joiner.is_finished() && waited < Duration::from_secs(5) {
+        thread::sleep(Duration::from_millis(20));
+        waited += Duration::from_millis(20);
+    }
+    assert!(joiner.is_finished(), "event loop did not exit after drain");
+    drop(joiner.join().unwrap());
+}
+
 /// A client trickling its request one byte at a time must not stall
 /// anyone else: a level-triggered loop only sees the slow socket when
 /// bytes actually arrive, so fast clients keep completing, and the

@@ -1,0 +1,310 @@
+//! Closed-loop overload controls: AIMD admission and INT8 brownout.
+//!
+//! The queue bound (`capacity`) protects memory, not latency: a full
+//! 64-deep queue in front of a slow model means every admitted request
+//! waits out the whole backlog before being shed `Retry-After`-less at
+//! dispatch. The [`AimdController`] closes that loop — it watches the
+//! ratio of `queue_wait` to `forward` time per batch (the PR-8 stage
+//! timelines) and adapts a queue-depth limit the way TCP adapts a
+//! congestion window: additive increase while queue waits stay
+//! proportionate to compute, multiplicative decrease the moment they
+//! do not. Submissions beyond the limit shed *at admission* with
+//! [`crate::Rejection::AdmissionShed`] (HTTP 429 + `Retry-After`),
+//! before they cost anyone queue time.
+//!
+//! [`Brownout`] is the second loop: when the SLO fast-burn signal
+//! fires and the registry holds a published INT8 artifact, batch
+//! workers switch new batches to the quantized engine — trading a
+//! little accuracy for capacity so overload raises throughput instead
+//! of error rate. Exit is hysteretic: the burn must stay clear for a
+//! hold period before workers switch back, so a flapping burn signal
+//! cannot thrash engine rebuilds.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Tuning for the AIMD admission limit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionConfig {
+    /// Master switch; `false` leaves only the fixed queue bound.
+    pub enabled: bool,
+    /// Added to the limit per uncongested batch (additive increase).
+    pub increase: f64,
+    /// Limit multiplier on congestion evidence (multiplicative
+    /// decrease); clamped to `(0, 1)`.
+    pub decrease: f64,
+    /// A batch counts as congested when its oldest rider's queue wait
+    /// exceeds `congestion_ratio ×` the forward pass it then got.
+    pub congestion_ratio: f64,
+    /// Queue waits below this floor never count as congestion, so
+    /// the deliberate micro-batching linger (`max_wait`) is not
+    /// punished as queueing delay.
+    pub queue_floor: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            enabled: true,
+            increase: 1.0,
+            decrease: 0.5,
+            congestion_ratio: 4.0,
+            // Default batcher linger is 2ms; anything under 5ms of
+            // queueing is batching policy, not overload.
+            queue_floor: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Additive-increase / multiplicative-decrease queue-depth limit.
+///
+/// Invariants (pinned by proptest below):
+/// * the limit never drops below 1 — one request is always admissible;
+/// * the limit never exceeds the queue capacity it guards;
+/// * the limit only *decreases* on congestion evidence (an
+///   [`AimdController::observe`] call that reports congestion).
+#[derive(Debug)]
+pub struct AimdController {
+    cfg: AdmissionConfig,
+    max_limit: f64,
+    limit: Mutex<f64>,
+}
+
+impl AimdController {
+    /// Starts wide open: the limit begins at `max_limit` (the queue
+    /// capacity), so an uncongested server behaves exactly as if the
+    /// controller were absent.
+    pub fn new(cfg: AdmissionConfig, max_limit: usize) -> Self {
+        let max = (max_limit as f64).max(1.0);
+        AimdController { cfg, max_limit: max, limit: Mutex::new(max) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, f64> {
+        self.limit.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The current queue-depth limit.
+    pub fn limit(&self) -> f64 {
+        *self.lock()
+    }
+
+    /// Whether a submission finding `queued` requests already waiting
+    /// may enter. Disabled controllers admit everything (the fixed
+    /// capacity bound still applies upstream).
+    pub fn admit(&self, queued: usize) -> bool {
+        if !self.cfg.enabled {
+            return true;
+        }
+        (queued as f64) < self.lock().floor().max(1.0)
+    }
+
+    /// Feeds one batch's stage timeline into the controller:
+    /// `queue_wait` is the oldest rider's time in queue, `forward` the
+    /// pass that then served it (zero for a deadline shed — waiting
+    /// with nothing to show for it is the strongest congestion
+    /// evidence). Returns `true` when the batch counted as congested
+    /// (and the limit was multiplicatively decreased).
+    pub fn observe(&self, queue_wait: Duration, forward: Duration) -> bool {
+        if !self.cfg.enabled {
+            return false;
+        }
+        let congested = queue_wait > self.cfg.queue_floor
+            && queue_wait.as_secs_f64()
+                > forward.as_secs_f64() * self.cfg.congestion_ratio.max(0.0);
+        let mut limit = self.lock();
+        if congested {
+            let factor = self.cfg.decrease.clamp(f64::EPSILON, 1.0);
+            *limit = (*limit * factor).max(1.0);
+        } else {
+            *limit = (*limit + self.cfg.increase.max(0.0)).min(self.max_limit);
+        }
+        congested
+    }
+}
+
+/// Hysteretic brownout switch over the SLO fast-burn signal.
+///
+/// `observe(fast_burn)` enters brownout immediately on a burning
+/// signal; leaving requires the signal to stay clear for the full
+/// `hold` period. Batch workers poll this at every batch boundary and
+/// build their engine from the registry's published INT8 artifact
+/// while active.
+#[derive(Debug)]
+pub struct Brownout {
+    hold: Duration,
+    /// Cheap read for `/healthz` and per-request checks.
+    active: AtomicBool,
+    clear_since: Mutex<Option<Instant>>,
+}
+
+impl Brownout {
+    /// A switch that exits brownout only after `hold` of burn-free
+    /// observations.
+    pub fn new(hold: Duration) -> Self {
+        Brownout { hold, active: AtomicBool::new(false), clear_since: Mutex::new(None) }
+    }
+
+    /// Hold period from `SNN_BROWNOUT_HOLD_MS` (default 10s).
+    pub fn from_env() -> Self {
+        let hold = std::env::var("SNN_BROWNOUT_HOLD_MS")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(Duration::from_secs(10));
+        Brownout::new(hold)
+    }
+
+    /// Feeds the current fast-burn reading through the hysteresis and
+    /// returns whether brownout is (now) active.
+    pub fn observe(&self, fast_burn: bool) -> bool {
+        let mut clear_since = self.clear_since.lock().unwrap_or_else(|p| p.into_inner());
+        if fast_burn {
+            *clear_since = None;
+            self.active.store(true, Ordering::Release);
+            return true;
+        }
+        if !self.active.load(Ordering::Acquire) {
+            return false;
+        }
+        let since = clear_since.get_or_insert_with(Instant::now);
+        if since.elapsed() >= self.hold {
+            self.active.store(false, Ordering::Release);
+            *clear_since = None;
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Whether brownout is active right now (no state transition).
+    pub fn active(&self) -> bool {
+        self.active.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ctl(capacity: usize) -> AimdController {
+        AimdController::new(AdmissionConfig::default(), capacity)
+    }
+
+    #[test]
+    fn starts_wide_open_and_admits_up_to_capacity() {
+        let c = ctl(8);
+        assert_eq!(c.limit(), 8.0);
+        assert!(c.admit(0));
+        assert!(c.admit(7));
+        assert!(!c.admit(8), "at the limit, sheds");
+    }
+
+    #[test]
+    fn congestion_halves_and_recovery_is_additive() {
+        let c = ctl(64);
+        let congested = c.observe(Duration::from_millis(100), Duration::from_millis(2));
+        assert!(congested, "100ms wait for a 2ms pass is congestion");
+        assert_eq!(c.limit(), 32.0);
+        let again = c.observe(Duration::from_millis(1), Duration::from_millis(2));
+        assert!(!again, "sub-floor queue wait is never congestion");
+        assert_eq!(c.limit(), 33.0, "additive recovery");
+    }
+
+    #[test]
+    fn linger_window_waits_are_not_congestion() {
+        let c = ctl(64);
+        // 2ms of queueing (the batching linger) over a fast pass.
+        assert!(!c.observe(Duration::from_millis(2), Duration::from_micros(200)));
+        assert_eq!(c.limit(), 64.0, "capped at capacity");
+    }
+
+    #[test]
+    fn deadline_shed_counts_as_congestion() {
+        let c = ctl(64);
+        assert!(c.observe(Duration::from_millis(50), Duration::ZERO));
+        assert_eq!(c.limit(), 32.0);
+    }
+
+    #[test]
+    fn disabled_controller_admits_everything() {
+        let c = AimdController::new(
+            AdmissionConfig { enabled: false, ..AdmissionConfig::default() },
+            4,
+        );
+        assert!(c.admit(1_000_000));
+        assert!(!c.observe(Duration::from_secs(10), Duration::ZERO));
+        assert_eq!(c.limit(), 4.0);
+    }
+
+    #[test]
+    fn brownout_enters_immediately_and_exits_after_hold() {
+        let b = Brownout::new(Duration::from_millis(40));
+        assert!(!b.active());
+        assert!(b.observe(true), "enters on the first burning reading");
+        assert!(b.active());
+        // Clear reading starts the hold clock but does not exit yet.
+        assert!(b.observe(false));
+        assert!(b.active());
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!b.observe(false), "hold elapsed burn-free: exits");
+        assert!(!b.active());
+    }
+
+    #[test]
+    fn burn_during_hold_resets_the_clock() {
+        let b = Brownout::new(Duration::from_millis(40));
+        assert!(b.observe(true));
+        assert!(b.observe(false), "hold starts");
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.observe(true), "re-burn mid-hold");
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.observe(false), "25ms since the re-burn: still held");
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!b.observe(false));
+    }
+
+    // Scalar-strategy proptest (the vendored proptest lacks
+    // collection::vec): each u64 unpacks into a sequence of
+    // observations — bit i set means observation i presents
+    // congestion-shaped evidence.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        #[test]
+        fn aimd_limit_invariants(
+            capacity in 1usize..256,
+            pattern in any::<u64>(),
+            steps in 1usize..64,
+        ) {
+            let c = ctl(capacity);
+            for i in 0..steps {
+                let before = c.limit();
+                let congest_shaped = (pattern >> (i % 64)) & 1 == 1;
+                let (wait, forward) = if congest_shaped {
+                    (Duration::from_millis(200), Duration::from_millis(1))
+                } else {
+                    (Duration::from_millis(1), Duration::from_millis(1))
+                };
+                let congested = c.observe(wait, forward);
+                let after = c.limit();
+                prop_assert!(after >= 1.0, "limit {after} fell below 1");
+                prop_assert!(
+                    after <= capacity as f64,
+                    "limit {after} exceeded capacity {capacity}"
+                );
+                // Multiplicative decrease only on congestion evidence.
+                if !congested {
+                    prop_assert!(
+                        after >= before,
+                        "limit shrank {before} -> {after} without congestion"
+                    );
+                }
+                prop_assert_eq!(congested, congest_shaped);
+            }
+            // Whatever happened, one request is always admissible.
+            prop_assert!(c.admit(0));
+        }
+    }
+}

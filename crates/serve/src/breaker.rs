@@ -19,6 +19,12 @@
 //!   └──────────────────────────────┴───────────────────────────────┘
 //! ```
 //!
+//! Consecutive failed probes escalate the cooldown on a bounded
+//! exponential ladder ([`snn_fault::Backoff`]: `cooldown * 2^k`,
+//! capped at 32× the base), so a persistently broken engine is probed
+//! ever less often instead of at a fixed cadence; the first success
+//! resets the ladder.
+//!
 //! `/healthz` reports `degraded` whenever the circuit is not closed,
 //! and the `snn_serve_circuit_state` gauge exposes the state as
 //! 0 (closed) / 1 (half-open) / 2 (open).
@@ -51,26 +57,29 @@ impl CircuitState {
 #[derive(Debug)]
 enum Inner {
     Closed { fails: u32 },
-    Open { since: Instant },
-    HalfOpen,
+    /// `reopens` counts consecutive failed half-open probes; it
+    /// indexes the probe-cadence backoff ladder.
+    Open { since: Instant, reopens: u32 },
+    HalfOpen { reopens: u32 },
 }
 
 /// Consecutive-failure circuit breaker (see module docs).
 #[derive(Debug)]
 pub struct CircuitBreaker {
     threshold: u32,
-    cooldown: Duration,
+    probe_backoff: snn_fault::Backoff,
     inner: Mutex<Inner>,
 }
 
 impl CircuitBreaker {
     /// Builds a closed breaker that opens after `threshold`
-    /// consecutive failures and probes every `cooldown` thereafter.
-    /// A `threshold` of 0 is coerced to 1.
+    /// consecutive failures and probes after `cooldown` — doubling the
+    /// wait (capped at 32× `cooldown`) for every consecutive failed
+    /// probe. A `threshold` of 0 is coerced to 1.
     pub fn new(threshold: u32, cooldown: Duration) -> Self {
         CircuitBreaker {
             threshold: threshold.max(1),
-            cooldown,
+            probe_backoff: snn_fault::Backoff::new(cooldown, cooldown.saturating_mul(32)),
             inner: Mutex::new(Inner::Closed { fails: 0 }),
         }
     }
@@ -82,17 +91,18 @@ impl CircuitBreaker {
     }
 
     /// Whether a new request may enter. While open, returns `false`
-    /// until `cooldown` has elapsed; the first call after that flips
-    /// the circuit to half-open and is admitted as the probe — callers
-    /// racing behind it keep getting `false` until the probe resolves.
+    /// until the current cooldown has elapsed; the first call after
+    /// that flips the circuit to half-open and is admitted as the
+    /// probe — callers racing behind it keep getting `false` until the
+    /// probe resolves.
     pub fn admit(&self) -> bool {
         let mut inner = self.lock();
         match *inner {
             Inner::Closed { .. } => true,
-            Inner::HalfOpen => false,
-            Inner::Open { since } => {
-                if since.elapsed() >= self.cooldown {
-                    *inner = Inner::HalfOpen;
+            Inner::HalfOpen { .. } => false,
+            Inner::Open { since, reopens } => {
+                if since.elapsed() >= self.probe_backoff.delay(reopens as usize) {
+                    *inner = Inner::HalfOpen { reopens };
                     true
                 } else {
                     false
@@ -101,22 +111,26 @@ impl CircuitBreaker {
         }
     }
 
-    /// Records a successful batch: closes the circuit and clears the
-    /// failure streak.
+    /// Records a successful batch: closes the circuit and clears both
+    /// the failure streak and the probe-backoff ladder.
     pub fn on_success(&self) {
         *self.lock() = Inner::Closed { fails: 0 };
     }
 
     /// Records a failed batch: extends the failure streak, opening the
     /// circuit at `threshold`; a failed half-open probe re-opens
-    /// immediately.
+    /// immediately with an escalated cooldown.
     pub fn on_failure(&self) {
         let mut inner = self.lock();
         *inner = match *inner {
             Inner::Closed { fails } if fails + 1 < self.threshold => {
                 Inner::Closed { fails: fails + 1 }
             }
-            _ => Inner::Open { since: Instant::now() },
+            Inner::Closed { .. } => Inner::Open { since: Instant::now(), reopens: 0 },
+            Inner::HalfOpen { reopens } => {
+                Inner::Open { since: Instant::now(), reopens: reopens.saturating_add(1) }
+            }
+            Inner::Open { reopens, .. } => Inner::Open { since: Instant::now(), reopens },
         };
     }
 
@@ -125,9 +139,19 @@ impl CircuitBreaker {
     pub fn state(&self) -> CircuitState {
         match *self.lock() {
             Inner::Closed { .. } => CircuitState::Closed,
-            Inner::HalfOpen => CircuitState::HalfOpen,
+            Inner::HalfOpen { .. } => CircuitState::HalfOpen,
             Inner::Open { .. } => CircuitState::Open,
         }
+    }
+
+    /// Cooldown the breaker will wait before its next probe if it is
+    /// (or next goes) open at the current ladder position.
+    pub fn current_cooldown(&self) -> Duration {
+        let reopens = match *self.lock() {
+            Inner::Closed { .. } => 0,
+            Inner::Open { reopens, .. } | Inner::HalfOpen { reopens } => reopens,
+        };
+        self.probe_backoff.delay(reopens as usize)
     }
 }
 
@@ -177,6 +201,41 @@ mod tests {
         assert!(b.admit());
         b.on_failure();
         assert_eq!(b.state(), CircuitState::Open);
+    }
+
+    #[test]
+    fn consecutive_failed_probes_escalate_the_cooldown() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(40));
+        b.on_failure();
+        assert_eq!(b.current_cooldown(), Duration::from_millis(40), "first open: base cooldown");
+        // Force the probe and fail it three times; each failed probe
+        // doubles the wait before the next one.
+        for expected_ms in [80u64, 160, 320] {
+            std::thread::sleep(b.current_cooldown() + Duration::from_millis(5));
+            assert!(b.admit(), "cooldown elapsed: probe admitted");
+            b.on_failure();
+            assert_eq!(b.state(), CircuitState::Open);
+            assert_eq!(b.current_cooldown(), Duration::from_millis(expected_ms));
+        }
+        // A successful probe resets the ladder.
+        std::thread::sleep(b.current_cooldown() + Duration::from_millis(5));
+        assert!(b.admit());
+        b.on_success();
+        assert_eq!(b.state(), CircuitState::Closed);
+        b.on_failure();
+        assert_eq!(b.current_cooldown(), Duration::from_millis(40), "ladder reset on success");
+    }
+
+    #[test]
+    fn escalation_is_capped_at_32x() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(1));
+        b.on_failure();
+        for _ in 0..10 {
+            std::thread::sleep(b.current_cooldown() + Duration::from_millis(2));
+            assert!(b.admit());
+            b.on_failure();
+        }
+        assert_eq!(b.current_cooldown(), Duration::from_millis(32), "capped at 32x base");
     }
 
     #[test]

@@ -575,7 +575,8 @@ fn route(req: &Request, shared: &ServerShared, cap: &mut TraceCapture) -> (u16, 
         ("GET", "/healthz") => {
             let circuit = shared.batcher.circuit_state();
             let fast_burn = shared.metrics.slo_fast_burn();
-            (200, healthz_body(shared.registry.info(), &[circuit], fast_burn))
+            let brownout = shared.metrics.brownout_active();
+            healthz_body(shared.registry.info(), &[circuit], fast_burn, brownout)
         }
         ("GET", "/metrics") => (200, shared.metrics.render_prometheus()),
         ("GET", "/metrics.json") => {
@@ -598,23 +599,38 @@ fn route(req: &Request, shared: &ServerShared, cap: &mut TraceCapture) -> (u16, 
     }
 }
 
-/// The `/healthz` JSON body. `circuits` carries one breaker state per
-/// engine replica (the classic single-worker server passes a
+/// The `/healthz` status and JSON body. `circuits` carries one breaker
+/// state per engine replica (the classic single-worker server passes a
 /// one-element slice): `status` is `ok` only when **every** replica's
 /// circuit is closed and no SLO budget is fast-burning; the top-level
 /// `circuit` reports the worst replica state, and a `replicas` array
 /// spells out each one.
-pub fn healthz_body(info: ModelInfo, circuits: &[CircuitState], fast_burn: bool) -> String {
+///
+/// The HTTP status distinguishes "degraded but serving" from "not
+/// serving": when every replica's circuit is open, or an SLO budget is
+/// fast-burning with no brownout mitigation engaged, the endpoint
+/// answers `503` so load balancers stop routing here. An active
+/// brownout (`degraded_mode: "brownout"`) keeps `200` — the instance
+/// is degraded by choice and still has capacity.
+pub fn healthz_body(
+    info: ModelInfo,
+    circuits: &[CircuitState],
+    fast_burn: bool,
+    brownout: bool,
+) -> (u16, String) {
     let circuit_name = |c: CircuitState| match c {
         CircuitState::Closed => "closed",
         CircuitState::HalfOpen => "half-open",
         CircuitState::Open => "open",
     };
     let all_closed = circuits.iter().all(|c| *c == CircuitState::Closed);
-    // `degraded` (still HTTP 200 — the process is alive and will
-    // self-heal) whenever any replica's circuit is not closed or an
-    // SLO error budget is burning fast enough to page.
-    let status = if all_closed && !fast_burn { "ok" } else { "degraded" };
+    let all_open =
+        !circuits.is_empty() && circuits.iter().all(|c| *c == CircuitState::Open);
+    // `degraded` whenever any replica's circuit is not closed, an SLO
+    // error budget is burning fast enough to page, or brownout
+    // degradation is serving INT8 in place of the primary model.
+    let status = if all_closed && !fast_burn && !brownout { "ok" } else { "degraded" };
+    let http_status = if all_open || (fast_burn && !brownout) { 503 } else { 200 };
     let worst = circuits.iter().copied().max_by_key(|c| c.as_gauge() as i64);
     let replicas = circuits
         .iter()
@@ -629,6 +645,10 @@ pub fn healthz_body(info: ModelInfo, circuits: &[CircuitState], fast_burn: bool)
     let body = Value::Object(vec![
         ("status".into(), Value::String(status.into())),
         (
+            "degraded_mode".into(),
+            Value::String(if brownout { "brownout" } else { "none" }.into()),
+        ),
+        (
             "circuit".into(),
             Value::String(circuit_name(worst.unwrap_or(CircuitState::Closed)).into()),
         ),
@@ -638,7 +658,7 @@ pub fn healthz_body(info: ModelInfo, circuits: &[CircuitState], fast_burn: bool)
         ("version".into(), Value::Number(info.version as f64)),
         ("dtype".into(), Value::String(info.dtype)),
     ]);
-    render(&body)
+    (http_status, render(&body))
 }
 
 /// `GET /debug/traces`: ring stats plus every kept trace, newest
@@ -765,6 +785,7 @@ pub fn rejection_status(rejection: &Rejection) -> (u16, &'static str) {
         Rejection::ShuttingDown => (503, "shutdown"),
         Rejection::WorkerPanic => (503, "worker_panic"),
         Rejection::CircuitOpen => (503, "circuit_open"),
+        Rejection::AdmissionShed { .. } => (429, "admission_shed"),
     }
 }
 
@@ -956,6 +977,13 @@ pub fn format_response(
         body.len(),
         if close { "close" } else { "keep-alive" },
     );
+    // Overload statuses invite the client back: admission sheds (429)
+    // and circuit/shutdown sheds (503) clear on the order of the
+    // breaker cooldown, so a one-second backoff hint is honest. Both
+    // front ends emit it by construction.
+    if status == 429 || status == 503 {
+        response.push_str("Retry-After: 1\r\n");
+    }
     if let Some(id) = trace_id {
         response.push_str("x-snn-trace-id: ");
         response.push_str(id);
@@ -1076,7 +1104,41 @@ mod tests {
         let (status, body) = request(server.addr(), "GET", "/healthz", "");
         assert_eq!(status, 200);
         assert!(body.contains("\"status\":\"ok\""), "body: {body}");
+        assert!(body.contains("\"degraded_mode\":\"none\""), "body: {body}");
         assert!(body.contains("\"model\":\"demo\""), "body: {body}");
+    }
+
+    #[test]
+    fn healthz_status_matrix_separates_degraded_from_unserving() {
+        let info = || ModelRegistry::new(snapshot(11), "demo").unwrap().info();
+        use CircuitState::{Closed, Open};
+        // (circuits, fast_burn, brownout) → (http, status, mode)
+        type Case = (&'static [CircuitState], bool, bool, u16, &'static str, &'static str);
+        let cases: [Case; 6] = [
+            (&[Closed, Closed], false, false, 200, "ok", "none"),
+            // One of two replicas down: degraded but still serving.
+            (&[Open, Closed], false, false, 200, "degraded", "none"),
+            // Every replica's breaker open: nothing can be served.
+            (&[Open, Open], false, false, 503, "degraded", "none"),
+            // Unmitigated fast burn: erroring fast, stop routing here.
+            (&[Closed, Closed], true, false, 503, "degraded", "none"),
+            // Brownout engaged: degraded by choice, still has capacity.
+            (&[Closed, Closed], true, true, 200, "degraded", "brownout"),
+            // Burn cleared but the hysteresis hold keeps brownout on.
+            (&[Closed, Closed], false, true, 200, "degraded", "brownout"),
+        ];
+        for (circuits, burn, brownout, want_http, want_status, want_mode) in cases {
+            let (http, body) = healthz_body(info(), circuits, burn, brownout);
+            assert_eq!(http, want_http, "case {circuits:?}/{burn}/{brownout}: {body}");
+            assert!(
+                body.contains(&format!("\"status\":\"{want_status}\"")),
+                "case {circuits:?}/{burn}/{brownout}: {body}"
+            );
+            assert!(
+                body.contains(&format!("\"degraded_mode\":\"{want_mode}\"")),
+                "case {circuits:?}/{burn}/{brownout}: {body}"
+            );
+        }
     }
 
     #[test]
@@ -1204,9 +1266,12 @@ mod tests {
         assert_eq!(status, 503, "reply: {reply}");
         assert!(reply.contains("panicked"), "reply: {reply}");
 
+        // Every breaker (the only one) is open: nothing can be served,
+        // so the health check must tell load balancers to back off.
         let (status, health) = request(server.addr(), "GET", "/healthz", "");
-        assert_eq!(status, 200, "liveness stays 200 while degraded");
+        assert_eq!(status, 503, "all breakers open answers 503");
         assert!(health.contains("\"status\":\"degraded\""), "health: {health}");
+        assert!(health.contains("\"degraded_mode\":\"none\""), "health: {health}");
         assert!(health.contains("\"circuit\":\"open\""), "health: {health}");
 
         // After the cooldown the half-open probe succeeds (the
@@ -1214,7 +1279,8 @@ mod tests {
         std::thread::sleep(Duration::from_millis(60));
         let (status, reply) = request(server.addr(), "POST", "/infer", &body);
         assert_eq!(status, 200, "probe reply: {reply}");
-        let (_, health) = request(server.addr(), "GET", "/healthz", "");
+        let (status, health) = request(server.addr(), "GET", "/healthz", "");
+        assert_eq!(status, 200, "healed instance answers 200 again");
         assert!(health.contains("\"status\":\"ok\""), "health: {health}");
         assert_eq!(server.metrics().worker_panics.get(), 1);
     }
@@ -1524,9 +1590,12 @@ mod tests {
         for _ in 0..50 {
             server.metrics().slo_record(false, 1_000);
         }
+        // Fast burn with no brownout artifact published means there is
+        // no mitigation: the health check flips hard to 503.
         let (status, health) = request(server.addr(), "GET", "/healthz", "");
-        assert_eq!(status, 200, "liveness stays 200 while degraded");
+        assert_eq!(status, 503, "unmitigated fast burn answers 503");
         assert!(health.contains("\"status\":\"degraded\""), "health: {health}");
+        assert!(health.contains("\"degraded_mode\":\"none\""), "health: {health}");
         assert!(health.contains("\"slo_fast_burn\":true"), "health: {health}");
         assert!(health.contains("\"circuit\":\"closed\""), "degradation is SLO-driven");
         let (_, metrics) = request(server.addr(), "GET", "/metrics", "");

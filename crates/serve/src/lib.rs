@@ -81,6 +81,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod breaker;
 pub mod engine;
 pub mod http;
@@ -89,6 +90,7 @@ pub mod qengine;
 pub mod queue;
 pub mod registry;
 
+pub use admission::{AdmissionConfig, AimdController, Brownout};
 pub use breaker::{CircuitBreaker, CircuitState};
 pub use engine::{InferenceEngine, LayerFiring, RequestOutput};
 pub use http::{

@@ -13,6 +13,7 @@ use std::sync::{Arc, Mutex};
 use serde::Serialize;
 use snn_obs::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, SloConfig, SloTracker};
 
+use crate::admission::Brownout;
 use crate::engine::RequestOutput;
 use crate::registry::ModelInfo;
 
@@ -90,6 +91,17 @@ pub struct Metrics {
     /// derived from other counters, so it cannot go stale across
     /// `/reload` or shutdown drains.
     pub queue_depth: Arc<Gauge>,
+    /// Current AIMD admission queue-depth limit.
+    pub admit_limit: Arc<Gauge>,
+    /// Submissions shed at admission by the AIMD limit (429 +
+    /// `Retry-After`).
+    pub admit_shed: Arc<Counter>,
+    /// Multiplicative decreases the AIMD controller took on
+    /// congestion evidence.
+    pub admit_decreases: Arc<Counter>,
+    /// 1 while brownout degradation (INT8 engine substitution) is
+    /// active.
+    pub brownout_gauge: Arc<Gauge>,
     /// `parse` stage: request read + JSON validation, seconds.
     pub stage_parse: Arc<Histogram>,
     /// `queue_wait` stage: enqueue → worker drain, seconds.
@@ -113,6 +125,10 @@ pub struct Metrics {
     slo_availability_5m: Arc<Gauge>,
     slo_availability_1h: Arc<Gauge>,
     slo_fast_burn: Arc<Gauge>,
+    /// Brownout hysteresis shared by every worker on this instance
+    /// (pool replicas share one `Metrics`, so they brown out — and
+    /// recover — together).
+    brownout: Brownout,
 }
 
 impl Default for Metrics {
@@ -137,8 +153,15 @@ impl std::fmt::Debug for Metrics {
 impl Metrics {
     /// Builds the instrument set, tracking the given SLO objectives
     /// (pass `None` for no SLO accounting; the `snn_slo_*` gauges are
-    /// registered either way and read 0 when untracked).
+    /// registered either way and read 0 when untracked). Brownout
+    /// hysteresis comes from `SNN_BROWNOUT_HOLD_MS`.
     pub fn with_slo(slo_cfg: Option<SloConfig>) -> Self {
+        Metrics::with_overload(slo_cfg, Brownout::from_env())
+    }
+
+    /// [`Metrics::with_slo`] with an explicit [`Brownout`] switch —
+    /// tests and benches pick short hold periods this way.
+    pub fn with_overload(slo_cfg: Option<SloConfig>, brownout: Brownout) -> Self {
         // Touch the process-wide fault/recovery counters so
         // `snn_fault_injected_total` / `snn_recovery_total` exist in
         // the global registry (and thus every scrape) from the first
@@ -179,6 +202,22 @@ impl Metrics {
         );
         let queue_depth =
             registry.gauge("snn_serve_queue_depth", "jobs currently waiting in the batch queue");
+        let admit_limit = registry.gauge(
+            "snn_serve_admit_limit",
+            "current AIMD admission queue-depth limit (capacity when uncongested)",
+        );
+        let admit_shed = registry.counter(
+            "snn_serve_admit_shed_total",
+            "submissions shed at admission by the AIMD limit (429 + Retry-After)",
+        );
+        let admit_decreases = registry.counter(
+            "snn_serve_admit_decreases_total",
+            "multiplicative decreases the AIMD admission controller took on congestion",
+        );
+        let brownout_gauge = registry.gauge(
+            "snn_serve_brownout_active",
+            "1 while brownout degradation routes batches to the INT8 engine",
+        );
         let stage_bounds = snn_obs::span_bounds();
         let stage_parse = registry.histogram(
             "snn_serve_stage_parse_seconds",
@@ -255,6 +294,10 @@ impl Metrics {
             engine_f32_requests,
             engine_int8_requests,
             queue_depth,
+            admit_limit,
+            admit_shed,
+            admit_decreases,
+            brownout_gauge,
             stage_parse,
             stage_queue_wait,
             stage_batch_form,
@@ -270,7 +313,24 @@ impl Metrics {
             slo_availability_5m,
             slo_availability_1h,
             slo_fast_burn,
+            brownout,
         }
+    }
+
+    /// Feeds the current fast-burn reading through the brownout
+    /// hysteresis (workers call this at every batch boundary) and
+    /// returns whether brownout is active. Keeps the
+    /// `snn_serve_brownout_active` gauge in step.
+    pub fn brownout_observe(&self) -> bool {
+        let active = self.brownout.observe(self.slo_fast_burn());
+        self.brownout_gauge.set(if active { 1.0 } else { 0.0 });
+        active
+    }
+
+    /// Whether brownout degradation is active right now (no state
+    /// transition; `/healthz` reads this).
+    pub fn brownout_active(&self) -> bool {
+        self.brownout.active()
     }
 
     /// Records one request's end-to-end latency.
@@ -396,6 +456,9 @@ impl Metrics {
                 0.0
             },
             queue_depth: self.queue_depth.get(),
+            admit_limit: self.admit_limit.get(),
+            admit_shed: self.admit_shed.get(),
+            brownout_active: self.brownout.active(),
             latency_us: self.latency_stats(),
             layers: self.layers.lock().unwrap_or_else(|p| p.into_inner()).clone(),
             histograms: self.registry.histogram_snapshots(),
@@ -502,6 +565,12 @@ pub struct MetricsSnapshot {
     pub mean_batch_size: f64,
     /// Jobs waiting in the batch queue right now.
     pub queue_depth: f64,
+    /// AIMD admission limit at snapshot time.
+    pub admit_limit: f64,
+    /// Submissions shed at admission by the AIMD limit.
+    pub admit_shed: u64,
+    /// Whether brownout degradation was active at snapshot time.
+    pub brownout_active: bool,
     /// Latency percentiles derived from the latency histogram.
     pub latency_us: LatencyStats,
     /// Cumulative per-layer firing rates.
@@ -626,6 +695,10 @@ mod tests {
             "# TYPE snn_serve_request_latency_seconds histogram\n",
             "snn_serve_request_latency_seconds_count 1\n",
             "# TYPE snn_serve_queue_depth gauge\n",
+            "# TYPE snn_serve_admit_limit gauge\n",
+            "# TYPE snn_serve_admit_shed_total counter\n",
+            "# TYPE snn_serve_admit_decreases_total counter\n",
+            "# TYPE snn_serve_brownout_active gauge\n",
             "# TYPE snn_serve_stage_queue_wait_seconds histogram\n",
             "# TYPE snn_slo_burn_rate_latency_5m gauge\n",
             "# TYPE snn_slo_burn_rate_availability_1h gauge\n",

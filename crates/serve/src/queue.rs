@@ -31,6 +31,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use crate::admission::{AdmissionConfig, AimdController};
 use crate::breaker::{CircuitBreaker, CircuitState};
 use crate::engine::RequestOutput;
 use crate::metrics::Metrics;
@@ -57,8 +58,18 @@ pub struct BatcherConfig {
     /// [`Rejection::CircuitOpen`].
     pub breaker_threshold: u32,
     /// How long an open circuit sheds before admitting one half-open
-    /// probe request.
+    /// probe request (doubling per consecutive failed probe, capped at
+    /// 32×).
     pub breaker_cooldown: Duration,
+    /// AIMD admission-control tuning; enabled by default with the
+    /// limit starting at `capacity` (no behavior change until
+    /// congestion evidence arrives).
+    pub admission: AdmissionConfig,
+    /// Injection-site name the worker's panic checkpoint uses. The
+    /// pool front end renames its replicas' workers to `pool.replica`
+    /// so chaos plans can kill a replica without touching classic
+    /// single-worker servers.
+    pub fault_site: String,
 }
 
 impl Default for BatcherConfig {
@@ -70,6 +81,8 @@ impl Default for BatcherConfig {
             timesteps: 4,
             breaker_threshold: 3,
             breaker_cooldown: Duration::from_millis(250),
+            admission: AdmissionConfig::default(),
+            fault_site: "serve.worker".into(),
         }
     }
 }
@@ -103,6 +116,13 @@ pub enum Rejection {
     /// The circuit breaker is open after repeated worker failures;
     /// the request was shed without queueing.
     CircuitOpen,
+    /// The AIMD admission controller's queue-depth limit was reached;
+    /// the request was shed at admission (429 + `Retry-After`) before
+    /// costing anyone queue time.
+    AdmissionShed {
+        /// The controller's limit at shed time.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for Rejection {
@@ -123,6 +143,9 @@ impl fmt::Display for Rejection {
             }
             Rejection::CircuitOpen => {
                 write!(f, "circuit open: shedding requests after repeated worker failures")
+            }
+            Rejection::AdmissionShed { limit } => {
+                write!(f, "shed at admission: adaptive queue-depth limit {limit} reached")
             }
         }
     }
@@ -232,6 +255,7 @@ pub struct Batcher {
     input_len: usize,
     metrics: Arc<Metrics>,
     breaker: Arc<CircuitBreaker>,
+    admission: Arc<AimdController>,
 }
 
 impl Batcher {
@@ -256,11 +280,14 @@ impl Batcher {
         });
         let breaker =
             Arc::new(CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown));
+        let admission = Arc::new(AimdController::new(cfg.admission.clone(), cfg.capacity));
+        metrics.admit_limit.set(admission.limit());
         let worker = {
             let shared = Arc::clone(&shared);
             let cfg = cfg.clone();
             let metrics = Arc::clone(&metrics);
             let breaker = Arc::clone(&breaker);
+            let admission = Arc::clone(&admission);
             // The fault plan is thread-local; carry the submitter's
             // plan into the worker so `serve.worker` rules fire there.
             let plan = snn_fault::current();
@@ -268,11 +295,20 @@ impl Batcher {
                 .name("snn-serve-batcher".into())
                 .spawn(move || {
                     let _fault_guard = plan.map(snn_fault::install);
-                    run_worker(shared, registry, cfg, metrics, breaker, engine, engine_version)
+                    run_worker(
+                        shared,
+                        registry,
+                        cfg,
+                        metrics,
+                        breaker,
+                        admission,
+                        engine,
+                        engine_version,
+                    )
                 })
                 .expect("spawning batch worker")
         };
-        Ok(Batcher { shared, worker: Some(worker), cfg, input_len, metrics, breaker })
+        Ok(Batcher { shared, worker: Some(worker), cfg, input_len, metrics, breaker, admission })
     }
 
     /// Flattened input length the served model requires. Hot-swaps
@@ -291,6 +327,11 @@ impl Batcher {
     /// `degraded` whenever this is not [`CircuitState::Closed`].
     pub fn circuit_state(&self) -> CircuitState {
         self.breaker.state()
+    }
+
+    /// The AIMD admission controller's current queue-depth limit.
+    pub fn admission_limit(&self) -> f64 {
+        self.admission.limit()
     }
 
     /// Number of requests queued (accepted, not yet drained) right
@@ -375,6 +416,15 @@ impl Batcher {
                 self.metrics.rejected_full.inc();
                 return Err(Rejection::QueueFull { capacity: self.cfg.capacity });
             }
+            // AIMD admission runs after the fixed bound: it only sheds
+            // once congestion evidence has pulled the limit below
+            // capacity, so an uncongested server never sees it.
+            if !self.admission.admit(st.jobs.len()) {
+                self.metrics.admit_shed.inc();
+                return Err(Rejection::AdmissionShed {
+                    limit: self.admission.limit().floor().max(1.0) as usize,
+                });
+            }
             st.jobs.push_back(Job { input: take(), deadline, enqueued: Instant::now(), trace, tx });
             // Sampled under the queue lock at every enqueue/dequeue,
             // never derived, so the gauge cannot report a stale depth
@@ -417,12 +467,14 @@ impl Drop for Batcher {
 
 /// The worker loop. Owns the engine; everything it shares with
 /// submitters goes through `shared`.
+#[allow(clippy::too_many_arguments)]
 fn run_worker(
     shared: Arc<Shared>,
     registry: Arc<ModelRegistry>,
     cfg: BatcherConfig,
     metrics: Arc<Metrics>,
     breaker: Arc<CircuitBreaker>,
+    admission: Arc<AimdController>,
     engine: AnyEngine,
     mut engine_version: u64,
 ) {
@@ -430,6 +482,11 @@ fn run_worker(
     // torn mid-forward-pass, so the next batch rebuilds from the
     // registry instead of trusting it.
     let mut engine = Some(engine);
+    // Whether `engine` was built from the registry's brownout (INT8)
+    // artifact rather than the primary slot, and which brownout
+    // version it reflects.
+    let mut engine_brownout = false;
+    let mut engine_brownout_version = 0u64;
     loop {
         // Phase 1: sleep until there is work (or shutdown).
         let mut st = shared.lock();
@@ -484,17 +541,28 @@ fn run_worker(
         // deadline mid-scan, shedding a later job that an earlier,
         // identical deadline survived.
         let mut batch: Vec<Job> = Vec::with_capacity(taken.len());
+        let mut shed_wait = Duration::ZERO;
         for job in taken {
             match job.deadline {
                 Some(d) if drained_at >= d => {
                     metrics.rejected_deadline.inc();
-                    let waited_us = (drained_at - job.enqueued).as_micros() as u64;
+                    let waited = drained_at - job.enqueued;
+                    shed_wait = shed_wait.max(waited);
+                    let waited_us = waited.as_micros() as u64;
                     let _scope = job.trace.map(snn_obs::tracectx::set_scope);
                     snn_obs::log_warn!("request shed", reason = "deadline", waited_us = waited_us);
                     let _ = job.tx.send(Err(Rejection::DeadlineExceeded { waited_us }));
                 }
                 _ => batch.push(job),
             }
+        }
+        if shed_wait > Duration::ZERO {
+            // A deadline shed is queue wait with nothing to show for
+            // it — the strongest congestion evidence there is.
+            if admission.observe(shed_wait, Duration::ZERO) {
+                metrics.admit_decreases.inc();
+            }
+            metrics.admit_limit.set(admission.limit());
         }
         if batch.is_empty() {
             continue;
@@ -514,22 +582,47 @@ fn run_worker(
         // worker thread — a dead worker would hang every future ticket.
         let inputs: Vec<Vec<f32>> = batch.iter().map(|j| j.input.clone()).collect();
         let attempt = catch_unwind(AssertUnwindSafe(|| {
-            snn_fault::inject_panic("serve.worker");
+            snn_fault::inject_panic(&cfg.fault_site);
 
             // Phase 5: if the model was hot-swapped (or the engine was
             // discarded after a panic), rebuild so a batch never mixes
             // models — this is also where a dtype change (f32 → int8
             // promotion via /reload) takes effect. The registry only
             // admits validated models with an unchanged interface, so
-            // this cannot fail.
+            // this cannot fail. Brownout is decided here too, at the
+            // batch boundary: while the SLO fast-burn holds and the
+            // registry has a published INT8 brownout artifact, batches
+            // run on the quantized engine instead.
             let current_version = registry.version();
-            if engine.is_none() || current_version != engine_version {
+            let current_bv = registry.brownout_version();
+            // Short-circuit order matters: without a published
+            // artifact the hysteresis never engages, so
+            // `Metrics::brownout_active` means "mitigation actually
+            // serving INT8", which is what `/healthz` keys 200-vs-503
+            // off under a fast burn.
+            let want_brownout = current_bv > 0 && metrics.brownout_observe();
+            if engine.is_none()
+                || current_version != engine_version
+                || engine_brownout != want_brownout
+                || (want_brownout && engine_brownout_version != current_bv)
+            {
+                let loaded = if want_brownout {
+                    registry.brownout_artifact().expect("brownout_version > 0")
+                } else {
+                    registry.current()
+                };
                 engine = Some(
-                    AnyEngine::new(&registry.current().model, cfg.timesteps)
+                    AnyEngine::new(&loaded.model, cfg.timesteps)
                         .expect("registry admits only validated models"),
                 );
-                snn_obs::log_info!("engine rebuilt", version = current_version);
+                snn_obs::log_info!(
+                    "engine rebuilt",
+                    version = current_version,
+                    brownout = want_brownout,
+                );
                 engine_version = current_version;
+                engine_brownout = want_brownout;
+                engine_brownout_version = if want_brownout { current_bv } else { 0 };
             }
 
             // Phase 6: one forward pass for the whole batch.
@@ -565,6 +658,19 @@ fn run_worker(
         let infer_us = started.elapsed().as_micros() as u64;
         breaker.on_success();
         metrics.circuit_state.set(breaker.state().as_gauge());
+
+        // Feed the batch's stage timeline to the admission controller:
+        // the oldest rider's queue wait against the forward pass that
+        // then served it.
+        let oldest_wait = batch
+            .iter()
+            .map(|j| drained_at - j.enqueued)
+            .max()
+            .unwrap_or(Duration::ZERO);
+        if admission.observe(oldest_wait, Duration::from_micros(infer_us)) {
+            metrics.admit_decreases.inc();
+        }
+        metrics.admit_limit.set(admission.limit());
 
         metrics.batches.inc();
         metrics.batched_items.add(batch.len() as u64);
@@ -871,6 +977,104 @@ mod tests {
         }
         assert_eq!(batcher.queue_len(), 0, "drained batch leaves an empty queue");
     }
+
+    #[test]
+    fn congestion_drives_admission_sheds_below_capacity() {
+        // Two rounds of deadline-doomed work (queue wait with nothing
+        // to show for it) pull the AIMD limit from 16 to 16·0.25² = 1;
+        // the fixed capacity bound never fires, the adaptive one does.
+        let cfg = BatcherConfig {
+            max_batch: 16,
+            max_wait: Duration::from_millis(40),
+            capacity: 16,
+            timesteps: 2,
+            admission: AdmissionConfig {
+                decrease: 0.25,
+                queue_floor: Duration::from_millis(1),
+                ..AdmissionConfig::default()
+            },
+            ..BatcherConfig::default()
+        };
+        let (_r, metrics, batcher) = setup(cfg);
+        assert_eq!(batcher.admission_limit(), 16.0);
+        for _round in 0..2 {
+            let doomed: Vec<Ticket> = (0..4)
+                .map(|i| {
+                    batcher
+                        .submit(input(i), Some(Instant::now() + Duration::from_millis(1)))
+                        .unwrap()
+                })
+                .collect();
+            for t in doomed {
+                assert!(matches!(t.wait(), Err(Rejection::DeadlineExceeded { .. })));
+            }
+        }
+        assert_eq!(batcher.admission_limit(), 1.0);
+        assert!(metrics.admit_decreases.get() >= 2);
+        // One request is always admissible; the second in the same
+        // linger window sheds at admission, not at capacity.
+        let admitted = batcher.submit(input(1), None).unwrap();
+        let err = batcher.submit(input(2), None).unwrap_err();
+        assert_eq!(err, Rejection::AdmissionShed { limit: 1 });
+        assert_eq!(metrics.admit_shed.get(), 1);
+        assert_eq!(metrics.rejected_full.get(), 0, "capacity bound never fired");
+        // The admitted request still completes — shedding never
+        // starves accepted work. (Additive recovery is pinned by the
+        // admission module's own tests; this config's long linger
+        // reads as congestion by design.)
+        admitted.wait().unwrap();
+    }
+
+    #[test]
+    fn fast_burn_flips_batches_to_the_brownout_engine() {
+        use crate::admission::Brownout;
+        use snn_obs::SloConfig;
+
+        let registry = Arc::new(ModelRegistry::new(snapshot(11), "test").unwrap());
+        // Real SLO tracker, instant-exit brownout hold: ten failed
+        // requests saturate the 5-minute error budget and flip the
+        // fast-burn flag.
+        let metrics = Arc::new(Metrics::with_overload(
+            Some(SloConfig::parse("avail=99.9").unwrap()),
+            Brownout::new(Duration::ZERO),
+        ));
+        let batcher = Batcher::start(
+            Arc::clone(&registry),
+            BatcherConfig {
+                max_batch: 1,
+                max_wait: Duration::from_micros(100),
+                capacity: 8,
+                timesteps: 2,
+                ..BatcherConfig::default()
+            },
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+
+        // Publish the quantized twin of the serving model as the
+        // brownout artifact; the primary slot stays f32 at version 1.
+        let snap = snapshot(11);
+        let split: Vec<Vec<f32>> = (0..4).map(|i| input(i + 1)).collect();
+        let cal = snn_quant::calibrate(&snap, &split, 2).unwrap();
+        let artifact = snn_quant::quantize_snapshot(&snap, &cal, 8).unwrap();
+        registry.publish_brownout(artifact, "int8-brownout").unwrap();
+
+        let before = batcher.submit(input(3), None).unwrap().wait().unwrap();
+        assert_eq!(before.output.engine, "f32");
+        assert!(!metrics.brownout_active());
+
+        for _ in 0..MIN_EVENTS_FOR_BURN_TEST {
+            metrics.slo_record(false, 1_000);
+        }
+        assert!(metrics.slo_fast_burn(), "ten hard failures saturate the budget");
+        let during = batcher.submit(input(3), None).unwrap().wait().unwrap();
+        assert_eq!(during.output.engine, "int8", "brownout routes batches to INT8");
+        assert_eq!(during.model_version, 1, "replies still name the primary version");
+        assert!(metrics.brownout_active());
+        assert_eq!(during.output.counts.len(), 4);
+    }
+
+    const MIN_EVENTS_FOR_BURN_TEST: usize = 10;
 
     #[test]
     fn shutdown_rejects_queued_and_new_work() {

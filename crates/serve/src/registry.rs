@@ -215,6 +215,10 @@ impl std::error::Error for SwapError {}
 pub struct ModelRegistry {
     current: RwLock<Arc<LoadedModel>>,
     version: AtomicU64,
+    /// Published INT8 degradation artifact: what batch workers serve
+    /// while brownout is active. Absent means brownout cannot engage.
+    brownout: RwLock<Option<Arc<LoadedModel>>>,
+    brownout_version: AtomicU64,
 }
 
 impl ModelRegistry {
@@ -235,6 +239,8 @@ impl ModelRegistry {
         Ok(ModelRegistry {
             current: RwLock::new(Arc::new(LoadedModel { model, info })),
             version: AtomicU64::new(1),
+            brownout: RwLock::new(None),
+            brownout_version: AtomicU64::new(0),
         })
     }
 
@@ -336,6 +342,58 @@ impl ModelRegistry {
         self.version.store(version, Ordering::Release);
         Ok(SwapReceipt { replaced, info })
     }
+
+    /// Publishes an INT8 brownout artifact: the degraded-mode model
+    /// batch workers switch to while the SLO fast-burn signal holds.
+    /// Does not affect the primary serving slot or its version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwapError::Invalid`] for unservable artifacts and
+    /// [`SwapError::Incompatible`] when the artifact is not INT8 or
+    /// serves a different interface than the current primary model —
+    /// brownout must be transparent to callers except for the
+    /// `"engine"` tag.
+    pub fn publish_brownout(
+        &self,
+        model: impl Into<ServedModel>,
+        name: impl Into<String>,
+    ) -> Result<ModelInfo, SwapError> {
+        let model = model.into();
+        model.validate().map_err(SwapError::Invalid)?;
+        if model.dtype() != "int8" {
+            return Err(SwapError::Incompatible {
+                current: "brownout slot (requires an int8 artifact)".into(),
+                incoming: format!("{} artifact", model.dtype()),
+            });
+        }
+        let cur = self.current().model.interface();
+        let new = model.interface();
+        if cur != new {
+            return Err(SwapError::Incompatible {
+                current: format!("input {:?} / {} classes", cur.0, cur.1),
+                incoming: format!("input {:?} / {} classes", new.0, new.1),
+            });
+        }
+        let version = self.brownout_version.load(Ordering::Acquire) + 1;
+        let info = Self::info_for(&model, name.into(), version);
+        *self.brownout.write().expect("registry lock poisoned") =
+            Some(Arc::new(LoadedModel { model, info: info.clone() }));
+        self.brownout_version.store(version, Ordering::Release);
+        Ok(info)
+    }
+
+    /// The published brownout artifact, if any (cheap `Arc` clone).
+    pub fn brownout_artifact(&self) -> Option<Arc<LoadedModel>> {
+        self.brownout.read().expect("registry lock poisoned").clone()
+    }
+
+    /// Version counter of the brownout slot (0 = never published).
+    /// Workers serving in brownout compare this the same way they
+    /// compare [`ModelRegistry::version`] for the primary slot.
+    pub fn brownout_version(&self) -> u64 {
+        self.brownout_version.load(Ordering::Acquire)
+    }
 }
 
 #[cfg(test)]
@@ -428,6 +486,32 @@ mod tests {
         let err = reg.swap(qsnap(1, 5), "b").unwrap_err();
         assert!(matches!(err, SwapError::Incompatible { .. }));
         assert_eq!(reg.info().dtype, "f32");
+    }
+
+    #[test]
+    fn brownout_slot_requires_a_compatible_int8_artifact() {
+        let reg = ModelRegistry::new(snap(1, 4), "primary").unwrap();
+        assert!(reg.brownout_artifact().is_none());
+        assert_eq!(reg.brownout_version(), 0);
+        // f32 artifacts are refused: brownout exists to degrade *to*
+        // the integer engine.
+        let err = reg.publish_brownout(snap(1, 4), "nope").unwrap_err();
+        assert!(matches!(err, SwapError::Incompatible { .. }));
+        // Wrong interface is refused even when int8.
+        let err = reg.publish_brownout(qsnap(1, 5), "nope").unwrap_err();
+        assert!(matches!(err, SwapError::Incompatible { .. }));
+        // A compatible int8 artifact publishes without touching the
+        // primary slot or its version.
+        let info = reg.publish_brownout(qsnap(1, 4), "deg").unwrap();
+        assert_eq!(info.dtype, "int8");
+        assert_eq!(reg.brownout_version(), 1);
+        assert_eq!(reg.version(), 1, "primary version untouched");
+        assert_eq!(reg.info().dtype, "f32", "primary still serving f32");
+        let loaded = reg.brownout_artifact().expect("published");
+        assert_eq!(loaded.info.name, "deg");
+        // Republishing bumps the brownout version.
+        reg.publish_brownout(qsnap(2, 4), "deg2").unwrap();
+        assert_eq!(reg.brownout_version(), 2);
     }
 
     #[test]

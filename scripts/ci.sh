@@ -269,7 +269,7 @@ echo "ci.sh: event-datapath bench smoke test passed"
 # report both replica breakers, drive a short open-loop burst at a rate
 # far below capacity — zero 5xx and zero transport errors allowed, with
 # an intentional bad-request fraction that must land as 400s, not
-# errors — then run a capacity mini-sweep whose schema-v6 report
+# errors — then run a capacity mini-sweep whose schema-v7 report
 # obs-check must validate.
 pool_log="$(mktemp)"
 loadgen_json="$(mktemp)"
@@ -331,5 +331,164 @@ pool_pid=""
 rm -f "$pool_log" "$loadgen_json"
 trap - EXIT
 echo "ci.sh: scale-out serving smoke gate passed ($addr)"
+
+# Self-healing chaos gate: boot the pool with a hair-trigger breaker
+# (one trip quarantines) and an injected worker panic on the third
+# replica batch, then drive a sub-capacity burst through it. The
+# supervisor must quarantine the poisoned replica, rebuild it from the
+# registry, probe it, and re-admit it — all while the burst sees zero
+# transport errors and at most a handful of 5xx (the client retry
+# budget absorbs the panicked batch). obs-check must find the
+# admission and quarantine series in both expositions, and a SIGTERM
+# must drain the front end to a clean exit 0.
+heal_log="$(mktemp)"
+heal_text="$(mktemp)"
+heal_json="$(mktemp)"
+heal_pid=""
+trap 'kill "$heal_pid" 2>/dev/null || true; rm -f "$heal_log" "$heal_text" "$heal_json"' EXIT
+SNN_FAULTS="panic@pool.replica:3" \
+  target/release/snn serve --demo 8 --addr 127.0.0.1:0 --timesteps 2 --replicas 2 \
+  --breaker-threshold 1 --quarantine-trips 1 --drain-ms 3000 >"$heal_log" 2>&1 &
+heal_pid=$!
+addr=""
+for _ in $(seq 50); do
+  addr="$(sed -n 's/^listening on //p' "$heal_log")"
+  [ -n "$addr" ] && break
+  kill -0 "$heal_pid" 2>/dev/null \
+    || { cat "$heal_log"; echo "ci.sh: chaos pool exited early" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] \
+  || { cat "$heal_log"; echo "ci.sh: chaos pool never reported its address" >&2; exit 1; }
+
+burst="$(target/release/snn loadgen --addr "$addr" --rps 60 --duration-ms 2000 \
+  --warmup-ms 200 --connections 2)" \
+  || { cat "$heal_log"; echo "ci.sh: chaos burst failed" >&2; exit 1; }
+echo "$burst" | grep -q ' transport=0 ' \
+  || { echo "$burst"; echo "ci.sh: chaos burst saw transport errors" >&2; exit 1; }
+fives="$(echo "$burst" | sed -n 's/.* 5xx=\([0-9][0-9]*\) .*/\1/p')"
+[ -n "$fives" ] && [ "$fives" -le 5 ] \
+  || { echo "$burst"; echo "ci.sh: chaos burst saw unbounded 5xx ($fives)" >&2; exit 1; }
+
+# Readmission takes a probe cycle after the breaker cooldown, so poll.
+quarantined=""
+readmitted=""
+for _ in $(seq 100); do
+  metrics="$(curl -sf --max-time 5 "http://$addr/metrics")" || metrics=""
+  quarantined="$(printf '%s\n' "$metrics" | sed -n 's/^snn_pool_quarantine_total \([0-9][0-9]*\).*/\1/p')"
+  readmitted="$(printf '%s\n' "$metrics" | sed -n 's/^snn_pool_quarantine_readmitted_total \([0-9][0-9]*\).*/\1/p')"
+  [ -n "$readmitted" ] && [ "$readmitted" -ge 1 ] && break
+  sleep 0.1
+done
+[ -n "$quarantined" ] && [ "$quarantined" -ge 1 ] \
+  || { cat "$heal_log"; echo "ci.sh: the poisoned replica was never quarantined" >&2; exit 1; }
+[ -n "$readmitted" ] && [ "$readmitted" -ge 1 ] \
+  || { cat "$heal_log"; echo "ci.sh: the quarantined replica was never re-admitted" >&2; exit 1; }
+
+curl -sf --max-time 5 "http://$addr/metrics" >"$heal_text"
+curl -sf --max-time 5 "http://$addr/metrics.json" >"$heal_json"
+target/release/snn obs-check --text "$heal_text" --json "$heal_json" \
+  --require snn_serve_admit,snn_pool_quarantine \
+  || { echo "ci.sh: obs-check missed the admission/quarantine series" >&2; exit 1; }
+
+kill -TERM "$heal_pid"
+drain_rc=0
+wait "$heal_pid" || drain_rc=$?
+heal_pid=""
+[ "$drain_rc" -eq 0 ] \
+  || { cat "$heal_log"; echo "ci.sh: SIGTERM drain exited with status $drain_rc" >&2; exit 1; }
+
+rm -f "$heal_log" "$heal_text" "$heal_json"
+trap - EXIT
+echo "ci.sh: self-healing chaos gate passed (quarantined=$quarantined readmitted=$readmitted 5xx=$fives)"
+
+# Brownout degradation gate: serve the micro f32 model with a
+# published INT8 brownout artifact and a 1s hold, seed an SLO
+# availability fast burn with expired-deadline requests (504s), and
+# require the serving engine to flip to int8 — with /healthz staying
+# 200 but reporting degraded_mode=brownout — then flip back to f32
+# once successes dilute the burn and the hold elapses.
+bo_dir="$(mktemp -d)"
+bo_log="$(mktemp)"
+bo_pid=""
+trap 'kill "$bo_pid" 2>/dev/null || true; rm -rf "$bo_dir"; rm -f "$bo_log"' EXIT
+target/release/snn train --profile micro --epochs 3 --out "$bo_dir/f32.json" >/dev/null
+target/release/snn quantize --model "$bo_dir/f32.json" --profile micro \
+  --out "$bo_dir/int8.json" >/dev/null \
+  || { echo "ci.sh: quantize for the brownout artifact failed" >&2; exit 1; }
+SNN_SLO="avail=99" SNN_BROWNOUT_HOLD_MS=1000 \
+  target/release/snn serve --model "$bo_dir/f32.json" --brownout-model "$bo_dir/int8.json" \
+  --addr 127.0.0.1:0 --timesteps 2 >"$bo_log" 2>&1 &
+bo_pid=$!
+addr=""
+for _ in $(seq 50); do
+  addr="$(sed -n 's/^listening on //p' "$bo_log")"
+  [ -n "$addr" ] && break
+  kill -0 "$bo_pid" 2>/dev/null \
+    || { cat "$bo_log"; echo "ci.sh: brownout serve exited early" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] \
+  || { cat "$bo_log"; echo "ci.sh: brownout serve never reported its address" >&2; exit 1; }
+grep -q '^brownout artifact:' "$bo_log" \
+  || { cat "$bo_log"; echo "ci.sh: serve did not report the brownout artifact" >&2; exit 1; }
+
+input="$(seq 64 | sed 's/.*/0.5/' | paste -sd,)"
+infer="$(curl -sf --max-time 5 -X POST "http://$addr/infer" \
+  -H 'Content-Type: application/json' -d "{\"input\":[$input]}")" \
+  || { cat "$bo_log"; echo "ci.sh: healthy /infer failed" >&2; exit 1; }
+case "$infer" in
+  *'"engine":"f32"'*) ;;
+  *) echo "ci.sh: healthy serving not on the f32 engine: $infer" >&2; exit 1 ;;
+esac
+
+# Seed the fast burn: expired deadlines land as 504s against avail=99.
+for _ in $(seq 15); do
+  curl -s --max-time 5 -X POST "http://$addr/infer" \
+    -H 'Content-Type: application/json' \
+    -d "{\"input\":[$input],\"timeout_ms\":0}" >/dev/null || true
+done
+engine=""
+for _ in $(seq 50); do
+  infer="$(curl -sf --max-time 5 -X POST "http://$addr/infer" \
+    -H 'Content-Type: application/json' -d "{\"input\":[$input]}")" || infer=""
+  case "$infer" in
+    *'"engine":"int8"'*) engine=int8; break ;;
+  esac
+  sleep 0.1
+done
+[ "$engine" = int8 ] \
+  || { cat "$bo_log"; echo "ci.sh: fast burn never flipped serving to int8" >&2; exit 1; }
+health="$(curl -sf --max-time 5 "http://$addr/healthz")" \
+  || { cat "$bo_log"; echo "ci.sh: /healthz failed during brownout" >&2; exit 1; }
+case "$health" in
+  *'"degraded_mode":"brownout"'*) ;;
+  *) echo "ci.sh: /healthz does not report brownout: $health" >&2; exit 1 ;;
+esac
+
+# Dilute the burn with successes, then wait out the 1s hold.
+for _ in $(seq 200); do
+  curl -sf --max-time 5 -X POST "http://$addr/infer" \
+    -H 'Content-Type: application/json' -d "{\"input\":[$input]}" >/dev/null || true
+done
+engine=""
+for _ in $(seq 100); do
+  infer="$(curl -sf --max-time 5 -X POST "http://$addr/infer" \
+    -H 'Content-Type: application/json' -d "{\"input\":[$input]}")" || infer=""
+  case "$infer" in
+    *'"engine":"f32"'*) engine=f32; break ;;
+  esac
+  sleep 0.1
+done
+[ "$engine" = f32 ] \
+  || { cat "$bo_log"; echo "ci.sh: serving never recovered to f32 after the burn cleared" >&2; exit 1; }
+
+kill "$bo_pid" 2>/dev/null || true
+wait "$bo_pid" 2>/dev/null || true
+bo_pid=""
+rm -rf "$bo_dir"
+rm -f "$bo_log"
+trap - EXIT
+echo "ci.sh: brownout degradation gate passed ($addr)"
 
 echo "ci.sh: all gates passed"
